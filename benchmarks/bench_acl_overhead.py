@@ -1,0 +1,89 @@
+"""ABL-ACL — ablation of the per-request access-control work.
+
+The paper's measurement "passed through two access control checks involving
+access to several databases … No caching was performed on the server, with
+each request incurring a database lookup for all registered methods".  This
+ablation quantifies those choices:
+
+* 0 / 1 / 2 access checks per request (none, session-only, session+ACL);
+* method-list caching on vs off for ``system.list_methods``.
+
+The expected shape: each additional check costs throughput, and caching the
+method list recovers a measurable fraction — which is exactly why the paper
+points out it ran with no caching (its number is a conservative one).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.results import ResultTable
+from repro.bench.workloads import make_benchmark_environment
+from repro.client.asyncclient import AsyncLoadClient
+
+N_CLIENTS = 4
+
+
+def _throughput(env, calls: int) -> float:
+    with AsyncLoadClient(env.client_factory(), n_clients=N_CLIENTS) as load:
+        result = load.run_batch(calls)
+    assert result.errors == 0
+    return result.calls_per_second
+
+
+@pytest.mark.parametrize("checks", [0, 1, 2], ids=["no-checks", "session-only", "session+acl"])
+def test_dispatch_with_n_access_checks(benchmark, checks):
+    env = make_benchmark_environment(access_checks=checks, with_tls=False)
+    try:
+        client = env.client_factory()()
+        benchmark(client.call, "system.list_methods")
+        benchmark.extra_info["access_checks"] = checks
+    finally:
+        env.close()
+
+
+@pytest.mark.parametrize("cached", [False, True], ids=["db-lookup", "cached"])
+def test_method_list_lookup_caching(benchmark, cached):
+    env = make_benchmark_environment(access_checks=2, cache_method_list=cached, with_tls=False)
+    try:
+        client = env.client_factory()()
+        client.call("system.list_methods")  # warm the cache when enabled
+        benchmark(client.call, "system.list_methods")
+        benchmark.extra_info["cache_method_list"] = cached
+    finally:
+        env.close()
+
+
+def test_ablation_summary_table(benchmark, paper_scale, capsys):
+    calls = 600 if paper_scale else 200
+
+    def measure() -> list:
+        rows = []
+        for checks in (0, 1, 2):
+            for cached in (False, True):
+                env = make_benchmark_environment(access_checks=checks, cache_method_list=cached,
+                                                 with_tls=False)
+                try:
+                    rows.append((checks, cached, _throughput(env, calls)))
+                finally:
+                    env.close()
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+
+    table = ResultTable("Access-control / caching ablation (system.list_methods)",
+                        ["access checks", "method-list cache", "calls/s", "vs paper setup"])
+    paper_setup_rate = next(r for c, cached, r in rows if c == 2 and not cached)
+    for checks, cached, rate in rows:
+        table.add_row(checks, "on" if cached else "off", round(rate, 1),
+                      f"{rate / paper_setup_rate:.2f}x")
+    with capsys.disabled():
+        print("\n" + table.render())
+        print("[ABL-ACL] paper setup = 2 checks, no caching; the paper notes its figure "
+              "is conservative for exactly this reason.\n")
+
+    by_key = {(c, cached): r for c, cached, r in rows}
+    # Removing checks should not make things slower (allowing 10% noise).
+    assert by_key[(0, False)] >= by_key[(2, False)] * 0.9
+    # Caching the method list should not hurt.
+    assert by_key[(2, True)] >= by_key[(2, False)] * 0.9

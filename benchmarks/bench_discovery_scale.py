@@ -1,0 +1,111 @@
+"""ABL-DISC — discovery scalability.
+
+Section 2.4: a discovery environment "needs to scale to large numbers of
+servers and users without incurring prohibitively large amounts of
+administrative overhead", and the JClarens discovery server answers searches
+"far more rapidly by using the local database" aggregated from the MonALISA
+network (which at the time monitored 90+ sites).
+
+This benchmark populates the discovery registry with synthetic service
+descriptors (10 … 5000 — from a single site up to well beyond the 2005 grid)
+and measures query latency, registration throughput, and the cost of
+aggregating a full monitoring snapshot.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.bench.results import ResultTable
+from repro.bench.workloads import populate_discovery
+from repro.discovery.model import ServiceDescriptor
+from repro.discovery.registry import DiscoveryRegistry
+from repro.monitoring.bus import MessageBus
+from repro.monitoring.glue import generate_synthetic_grid
+from repro.monitoring.monalisa import MonALISARepository
+from repro.monitoring.station import StationServer
+
+POPULATIONS = (10, 100, 1000, 5000)
+
+
+@pytest.fixture(scope="module", params=POPULATIONS)
+def populated_registry(request):
+    registry = DiscoveryRegistry()
+    populate_discovery(registry, request.param)
+    return request.param, registry
+
+
+def test_query_by_module(benchmark, populated_registry):
+    n, registry = populated_registry
+    result = benchmark(registry.find, module="file")
+    assert result  # some servers always offer the file module
+    benchmark.extra_info["population"] = n
+
+
+def test_lookup_url_bind_time(benchmark, populated_registry):
+    """The bind-at-call-time primitive the discovery-aware client uses."""
+
+    n, registry = populated_registry
+    url = benchmark(registry.lookup_url, module="job")
+    assert url
+    benchmark.extra_info["population"] = n
+
+
+def test_registration_throughput(benchmark):
+    registry = DiscoveryRegistry()
+    counter = iter(range(10_000_000))
+
+    def register_one():
+        i = next(counter)
+        registry.register(ServiceDescriptor(
+            name=f"reg-{i}", url=f"http://server{i}.example/rpc", services=["system"]))
+
+    benchmark(register_one)
+
+
+def test_monitoring_aggregation(benchmark):
+    """Cost of syncing the discovery registry from a 90-site monitoring network."""
+
+    bus = MessageBus()
+    repository = MonALISARepository(bus)
+    station = StationServer("st", bus, site_name="grid")
+    schema = generate_synthetic_grid(90, nodes_per_farm=5)
+    for i, site_name in enumerate(sorted(schema.sites)):
+        station.receive_service_info({
+            "name": f"clarens-{site_name}", "url": f"http://{site_name}/clarens/rpc",
+            "services": ["system", "file"], "attributes": {"site": site_name}},
+            reliable=True)
+    registry = DiscoveryRegistry(repository=repository)
+    count = benchmark(registry.sync_from_repository)
+    assert count == 90
+
+
+def test_discovery_scaling_table(benchmark, paper_scale, capsys):
+    table = ResultTable("Discovery query latency vs registered services",
+                        ["services", "find(module) µs", "lookup_url µs", "register µs"])
+    populations = POPULATIONS if not paper_scale else POPULATIONS + (20000,)
+
+    def timed(func, repeats=50):
+        start = time.perf_counter()
+        for _ in range(repeats):
+            func()
+        return (time.perf_counter() - start) / repeats * 1e6
+
+    def measure_all() -> None:
+        for n in populations:
+            registry = DiscoveryRegistry()
+            populate_discovery(registry, n)
+            find_us = timed(lambda: registry.find(module="file"))
+            lookup_us = timed(lambda: registry.lookup_url(module="job"))
+            register_us = timed(lambda: registry.register(ServiceDescriptor(
+                name="probe", url="http://probe/rpc", services=["system"])))
+            table.add_row(n, round(find_us, 1), round(lookup_us, 1), round(register_us, 1))
+
+    benchmark.pedantic(measure_all, rounds=1, iterations=1)
+    with capsys.disabled():
+        print("\n" + table.render())
+        print("[ABL-DISC] query cost grows linearly with the registered population; "
+              "registration stays O(1) — the 2005-era grid (~100 servers) is far below "
+              "the point where this matters.\n")

@@ -1,0 +1,87 @@
+"""FIG4 — Figure 4: requests/second versus number of asynchronous clients.
+
+Paper setup: a single client process opens N unencrypted connections
+(N = 1..79) to the server and calls ``system.list_methods`` as rapidly as
+possible in batches of 1000 calls; every request passes two access-control
+checks (session + method ACL), the method list is read from the database
+(no caching) and the >30 method names are serialized as an XML-RPC array.
+The paper reports an average of ≈1450 requests/second on a dual 2.8 GHz Xeon.
+
+This benchmark reproduces the sweep on the loopback transport.  Absolute
+numbers reflect the host machine; the *shape* to check is that throughput
+rises from 1 client to a plateau and stays roughly flat out to 79 clients
+(the server, not the client count, is the bottleneck), with no errors.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.results import ComparisonRow, ResultTable, format_rate
+from repro.bench.sweep import summarize_sweep, sweep_client_counts
+from repro.client.asyncclient import AsyncLoadClient
+
+#: Sub-sampled client grid (full 1..79 with --paper-scale).
+CLIENT_GRID = (1, 2, 4, 8, 16, 32, 64, 79)
+PAPER_MEAN_CALLS_PER_SECOND = 1450.0
+
+
+@pytest.mark.parametrize("n_clients", CLIENT_GRID)
+def test_fig4_throughput_vs_clients(benchmark, bench_env, paper_scale, n_clients):
+    """One Figure-4 point: a batch of list_methods calls over N connections."""
+
+    calls = 1000 if paper_scale else 200
+    factory = bench_env.client_factory(encrypted=False, login=True)
+    load = AsyncLoadClient(factory, n_clients=n_clients)
+    with load:
+        result = benchmark.pedantic(load.run_batch, args=(calls,), rounds=3, iterations=1)
+    benchmark.extra_info["n_clients"] = n_clients
+    benchmark.extra_info["calls_per_second"] = result.calls_per_second
+    assert result.errors == 0
+    assert result.calls == calls
+
+
+def test_fig4_full_sweep_summary(benchmark, bench_env, paper_scale, capsys):
+    """Run the whole sweep and print the Figure 4 series + paper comparison."""
+
+    calls = 1000 if paper_scale else 150
+    grid = tuple(range(1, 80)) if paper_scale else CLIENT_GRID
+    records = benchmark.pedantic(
+        sweep_client_counts, args=(bench_env.client_factory(),),
+        kwargs={"client_counts": grid, "calls_per_batch": calls, "batches_per_point": 1},
+        rounds=1, iterations=1)
+    summary = summarize_sweep(records)
+
+    table = ResultTable("Figure 4 — requests/second vs asynchronous clients",
+                        ["clients", "calls/s"])
+    for n_clients, rate in summary["per_client_count"].items():
+        table.add_row(n_clients, round(rate, 1))
+    comparison = ComparisonRow(
+        experiment_id="FIG4",
+        description="mean requests/second over the client sweep",
+        paper_value=f"≈{PAPER_MEAN_CALLS_PER_SECOND:.0f} calls/s (dual Xeon, 2005)",
+        measured_value=format_rate(summary["overall_mean_calls_per_second"]),
+        shape_holds=_shape_holds(summary["per_client_count"]),
+        notes="throughput plateaus with client count; zero request errors",
+    )
+    with capsys.disabled():
+        print("\n" + table.render())
+        print(comparison.render() + "\n")
+
+    assert summary["total_errors"] == 0
+    assert _shape_holds(summary["per_client_count"])
+
+
+def _shape_holds(per_point: dict[int, float]) -> bool:
+    """The qualitative Figure 4 shape: no collapse at high client counts.
+
+    The paper's curve is roughly flat across 1..79 clients.  We accept the
+    shape when the highest-concurrency point retains at least a third of the
+    peak throughput (a collapse would indicate the framework serializes badly).
+    """
+
+    if not per_point:
+        return False
+    peak = max(per_point.values())
+    highest_clients = per_point[max(per_point)]
+    return highest_clients >= peak / 3.0

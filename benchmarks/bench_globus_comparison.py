@@ -1,0 +1,106 @@
+"""TXT-GT3 — Clarens versus the Globus Toolkit 3 container (and a plain baseline).
+
+Paper (footnote 4 + section 5): invoking a trivial method 100 times across a
+100 Mb/s LAN with GT 3.0 / GT 3.9.1 gave 1–5 calls/second, versus Clarens'
+≈1450 calls/second — a gap of roughly three orders of magnitude attributed to
+GT3's per-call container, SOAP/WS-Security and grid-mapfile processing.
+
+The GT3 comparator here is a behavioural model (see ``repro.baselines.globus``),
+so the check is the *ordering and rough magnitude of the gap*, not 2005's
+absolute numbers: plain baseline ≥ Clarens ≫ GT 3.9.1 ≥ GT 3.0.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.baselines.globus import GlobusGT3Server
+from repro.baselines.plain import PlainRPCServer
+from repro.bench.results import ComparisonRow, ResultTable, format_rate
+from repro.client.client import ClarensClient
+
+TRIVIAL_CALLS = 100  # the paper's "a trivial method 100 times"
+
+
+def _rate(func, calls: int) -> float:
+    start = time.perf_counter()
+    for _ in range(calls):
+        func()
+    return calls / (time.perf_counter() - start)
+
+
+@pytest.fixture(scope="module")
+def gt3_servers():
+    return {
+        "3.0": GlobusGT3Server(gt3_version="3.0", gridmap_size=500),
+        "3.9.1": GlobusGT3Server(gt3_version="3.9.1", gridmap_size=500),
+    }
+
+
+def test_clarens_trivial_method(benchmark, bench_env):
+    client = bench_env.client_factory()()
+    benchmark(client.call, "system.list_methods")
+    benchmark.extra_info["system"] = "clarens"
+
+
+def test_plain_baseline_trivial_method(benchmark):
+    server = PlainRPCServer()
+    client = ClarensClient.for_loopback(server.loopback())
+    benchmark(client.call, "system.list_methods")
+    benchmark.extra_info["system"] = "plain-rpc"
+
+
+@pytest.mark.parametrize("version", ["3.0", "3.9.1"])
+def test_gt3_trivial_method(benchmark, gt3_servers, version):
+    server = gt3_servers[version]
+    server.call("counter.getValue")  # ignore the first invocation, as the paper did
+    benchmark(server.call, "counter.getValue")
+    benchmark.extra_info["system"] = f"gt3-{version}"
+
+
+def test_comparison_table(benchmark, bench_env, gt3_servers, paper_scale, capsys):
+    calls = TRIVIAL_CALLS if paper_scale else 30
+    clarens_client = bench_env.client_factory()()
+    plain_client = ClarensClient.for_loopback(PlainRPCServer().loopback())
+    for server in gt3_servers.values():
+        server.call("counter.getValue")
+
+    def measure() -> dict:
+        return {
+            "plain RPC (no security)": _rate(
+                lambda: plain_client.call("system.list_methods"), calls),
+            "Clarens (2 ACL checks)": _rate(
+                lambda: clarens_client.call("system.list_methods"), calls),
+            "Globus GT 3.9.1 (model)": _rate(
+                lambda: gt3_servers["3.9.1"].call("counter.getValue"), max(10, calls // 5)),
+            "Globus GT 3.0 (model)": _rate(
+                lambda: gt3_servers["3.0"].call("counter.getValue"), max(10, calls // 5)),
+        }
+
+    rates = benchmark.pedantic(measure, rounds=1, iterations=1)
+
+    clarens_rate = rates["Clarens (2 ACL checks)"]
+    gt3_rate = rates["Globus GT 3.0 (model)"]
+    table = ResultTable("Trivial-method throughput: Clarens vs baselines",
+                        ["system", "calls/s", "vs Clarens"])
+    for name, rate in rates.items():
+        table.add_row(name, round(rate, 1), f"{rate / clarens_rate:.3f}x")
+    comparison = ComparisonRow(
+        experiment_id="TXT-GT3",
+        description="Clarens vs Globus GT3 calls/second ratio",
+        paper_value="≈1450 vs 1–5 calls/s (factor ≈300–1000)",
+        measured_value=f"factor ≈{clarens_rate / gt3_rate:.0f} (Clarens {format_rate(clarens_rate)}, "
+                       f"GT3.0 {format_rate(gt3_rate)})",
+        shape_holds=clarens_rate > 20 * gt3_rate and gt3_rate <= rates["Globus GT 3.9.1 (model)"],
+        notes="GT3 numbers come from the behavioural model described in DESIGN.md",
+    )
+    with capsys.disabled():
+        print("\n" + table.render())
+        print(comparison.render() + "\n")
+
+    # Ordering: plain >= clarens >> gt3.9.1 >= gt3.0 (small tolerance on the first).
+    assert rates["plain RPC (no security)"] >= clarens_rate * 0.5
+    assert clarens_rate > 20 * rates["Globus GT 3.9.1 (model)"]
+    assert rates["Globus GT 3.9.1 (model)"] >= rates["Globus GT 3.0 (model)"] * 0.8

@@ -1,0 +1,111 @@
+"""ABL-PROTO — the cost of the three wire protocols Clarens speaks.
+
+Section 2 lists XML-RPC, SOAP and JSON-RPC support.  The protocol choice
+changes only the codec on the same dispatch path, so this benchmark measures
+(a) raw encode+decode round-trips of the Figure 4 payload (the >30-string
+method list) and a typed event-metadata record, and (b) end-to-end
+``system.list_methods`` calls per protocol against a live server.
+
+Expected shape: JSON-RPC is the cheapest to parse, XML-RPC close behind, SOAP
+the most expensive (bigger envelopes, namespace handling) — the reason the
+original PClarens defaulted to XML-RPC rather than SOAP for analysis traffic.
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+import time
+
+import pytest
+
+from repro.bench.results import ResultTable
+from repro.client.client import ClarensClient
+from repro.protocols import JSONRPCCodec, SOAPCodec, XMLRPCCodec
+from repro.protocols.types import RPCRequest, RPCResponse
+
+CODECS = {"xml-rpc": XMLRPCCodec(), "soap": SOAPCodec(), "json-rpc": JSONRPCCodec()}
+
+#: The Figure 4 response payload: a method list of >30 strings.
+METHOD_LIST = [f"{module}.{name}" for module in ("system", "file", "vo", "acl", "job")
+               for name in ("read", "write", "list", "status", "info", "find", "check")]
+
+#: A typed record like the file/job services return.
+EVENT_RECORD = {
+    "dataset": "/store/cms/run2005A",
+    "events": 1_250_000,
+    "size_bytes": 8 << 30,
+    "luminosity": 2.37,
+    "good_run": True,
+    "checksum": b"\x12\x34\x56\x78" * 4,
+    "recorded": dt.datetime(2005, 6, 14, 12, 0, 0),
+    "files": [{"name": f"run1_{i}.root", "size": 2 << 20} for i in range(10)],
+}
+
+
+@pytest.mark.parametrize("name", list(CODECS), ids=list(CODECS))
+def test_encode_decode_method_list(benchmark, name):
+    codec = CODECS[name]
+    response = RPCResponse.from_result(METHOD_LIST)
+
+    def round_trip():
+        return codec.decode_response(codec.encode_response(response))
+
+    decoded = benchmark(round_trip)
+    assert decoded.result == METHOD_LIST
+    benchmark.extra_info["protocol"] = name
+    benchmark.extra_info["payload"] = "method-list"
+
+
+@pytest.mark.parametrize("name", list(CODECS), ids=list(CODECS))
+def test_encode_decode_typed_record(benchmark, name):
+    codec = CODECS[name]
+    request = RPCRequest("file.register_dataset", [EVENT_RECORD])
+
+    def round_trip():
+        return codec.decode_request(codec.encode_request(request))
+
+    decoded = benchmark(round_trip)
+    assert decoded.params[0]["events"] == EVENT_RECORD["events"]
+    benchmark.extra_info["protocol"] = name
+    benchmark.extra_info["payload"] = "event-record"
+
+
+@pytest.mark.parametrize("name", list(CODECS), ids=list(CODECS))
+def test_end_to_end_list_methods_per_protocol(benchmark, bench_env, name):
+    codec = CODECS[name]
+    client = ClarensClient.for_loopback(bench_env.loopback, codec=codec,
+                                        url_prefix=bench_env.server.config.url_prefix)
+    client.login_with_credential(bench_env.user)
+    result = benchmark(client.call, "system.list_methods")
+    assert len(result) > 30
+    benchmark.extra_info["protocol"] = name
+
+
+def test_protocol_summary_table(benchmark, bench_env, paper_scale, capsys):
+    calls = 400 if paper_scale else 120
+    table = ResultTable("Protocol comparison (end-to-end system.list_methods)",
+                        ["protocol", "calls/s", "wire bytes/response"])
+
+    def measure() -> dict:
+        rates = {}
+        for name, codec in CODECS.items():
+            client = ClarensClient.for_loopback(bench_env.loopback, codec=codec,
+                                                url_prefix=bench_env.server.config.url_prefix)
+            client.login_with_credential(bench_env.user)
+            wire_size = len(codec.encode_response(RPCResponse.from_result(
+                client.call("system.list_methods"))))
+            start = time.perf_counter()
+            for _ in range(calls):
+                client.call("system.list_methods")
+            rates[name] = calls / (time.perf_counter() - start)
+            table.add_row(name, round(rates[name], 1), wire_size)
+        return rates
+
+    rates = benchmark.pedantic(measure, rounds=1, iterations=1)
+    with capsys.disabled():
+        print("\n" + table.render())
+        print("[ABL-PROTO] all three protocols share one endpoint and dispatch path; "
+              "only serialization cost differs.\n")
+
+    # Shape: SOAP is the heaviest of the three (within 10% tolerance).
+    assert rates["soap"] <= max(rates["xml-rpc"], rates["json-rpc"]) * 1.1

@@ -1,0 +1,34 @@
+"""Shared benchmark fixtures.
+
+Every benchmark measures the same thing the paper measured wherever possible:
+the loopback transport (framework overhead, not kernel sockets), the standard
+two access-control checks per request, and no method-list caching unless the
+ablation says otherwise.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.workloads import make_benchmark_environment
+
+
+@pytest.fixture(scope="session")
+def bench_env():
+    """The paper's measurement setup: one server, TLS available, user issued."""
+
+    env = make_benchmark_environment(access_checks=2, cache_method_list=False, with_tls=True)
+    yield env
+    env.close()
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--paper-scale", action="store_true", default=False,
+        help="Run the full paper-scale sweeps (1000-call batches, full client grid). "
+             "Default is a reduced grid that preserves the curve shapes.")
+
+
+@pytest.fixture(scope="session")
+def paper_scale(request) -> bool:
+    return bool(request.config.getoption("--paper-scale"))

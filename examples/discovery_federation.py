@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Service discovery across a federation of Clarens servers.
+
+Reproduces section 2.4 of the paper: several Clarens servers publish their
+service descriptors (UDP-style) to MonALISA station servers; a discovery
+server aggregates them from the monitoring network; clients make
+location-independent calls that bind to a live endpoint at call time — and
+keep working when a service moves from one server to another.
+
+Run with::
+
+    python examples/discovery_federation.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+
+from repro.client.client import ClarensClient
+from repro.client.discovery_client import DiscoveryAwareClient, ServerDirectory
+from repro.core.config import ServerConfig
+from repro.core.server import ClarensServer
+from repro.core.system import SystemService
+from repro.discovery.publisher import ServicePublisher
+from repro.discovery.service import DiscoveryService
+from repro.monitoring.bus import MessageBus
+from repro.monitoring.monalisa import MonALISARepository
+from repro.monitoring.station import StationServer
+
+ADMIN_DN = "/O=grid.example/OU=People/CN=Grid Operations"
+
+
+def main() -> None:
+    ca_kwargs = {}
+    from repro.pki.authority import CertificateAuthority
+
+    ca = CertificateAuthority("/O=grid.example/CN=Federation CA", **ca_kwargs)
+    operator = ca.issue_user("Grid Operations")
+    analyst = ca.issue_user("Nadia Analyst")
+
+    # The monitoring substrate: one bus, one repository, one station per site.
+    bus = MessageBus()
+    repository = MonALISARepository(bus)
+    stations = {site: StationServer(f"station-{site}", bus, site_name=site)
+                for site in ("caltech", "cern", "fnal")}
+
+    directory = ServerDirectory()
+    servers: list[ClarensServer] = []
+    publishers: list[ServicePublisher] = []
+
+    with tempfile.TemporaryDirectory(prefix="clarens-federation-") as workdir:
+        # ------------------------------------------------ three worker servers
+        for site in stations:
+            host = ca.issue_host(f"clarens.{site}.example")
+            config = ServerConfig(server_name=f"clarens-{site}", admins=[ADMIN_DN],
+                                  data_dir=f"{workdir}/{site}",
+                                  host_dn=str(host.certificate.subject))
+            server = ClarensServer(config, credential=host, trust_store=ca.trust_store())
+            servers.append(server)
+            url = f"loopback://clarens-{site}/clarens/rpc"
+            directory.register_loopback(url, server.loopback())
+            publisher = ServicePublisher(stations[site],
+                                         lambda s=server, u=url: s.service_descriptor(url=u),
+                                         reliable=True)
+            publisher.publish_once()
+            publishers.append(publisher)
+            print(f"{config.server_name}: published {len(server.registry.list_methods())} "
+                  f"methods to {stations[site].name}")
+
+        # ------------------------------------------- the discovery server
+        host = ca.issue_host("discovery.grid.example")
+        discovery_server = ClarensServer(
+            ServerConfig(server_name="discovery", admins=[ADMIN_DN],
+                         host_dn=str(host.certificate.subject)),
+            credential=host, trust_store=ca.trust_store(),
+            monitor=repository, register_default_services=False)
+        discovery_server.add_service(SystemService(discovery_server))
+        discovery_service = discovery_server.add_service(DiscoveryService(discovery_server))
+        discovery_service.on_start()
+        synced = discovery_service.registry.sync_from_repository()
+        servers.append(discovery_server)
+        print(f"\ndiscovery server aggregated {synced} descriptors from the monitoring network")
+        print(f"monitoring snapshot: {repository.snapshot()}")
+
+        # --------------------------------------- location-independent clients
+        discovery_client = ClarensClient.for_loopback(discovery_server.loopback())
+        discovery_client.login_with_credential(operator)
+
+        smart = DiscoveryAwareClient(
+            discovery_client, directory,
+            login=lambda client: client.login_with_credential(analyst))
+
+        url = smart.resolve_url(module="file")
+        print(f"\n'file' module currently resolves to: {url}")
+        smart.call("file.write", "/shared/notes.txt", b"written via discovery binding", False)
+        print("file.read via discovery:",
+              smart.call("file.read", "/shared/notes.txt", 0, -1))
+
+        # ------------------------------------------------ a service moves site
+        moved_from = url.split("//")[1].split("/")[0]
+        print(f"\nsimulating an outage of {moved_from} …")
+        discovery_client.call("discovery.deregister", moved_from, "")
+        smart.unbind("file")
+        new_url = smart.resolve_url(module="file")
+        print(f"'file' module now resolves to: {new_url}")
+        smart.call("file.write", "/shared/after_move.txt", b"still working", False)
+        print("call after the move still succeeds:",
+              smart.call("file.exists", "/shared/after_move.txt"))
+
+        # ------------------------------------------------------------- wrap up
+        for server in servers:
+            server.close()
+    print("\ndiscovery federation example complete.")
+
+
+if __name__ == "__main__":
+    main()

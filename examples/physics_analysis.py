@@ -1,0 +1,148 @@
+#!/usr/bin/env python3
+"""A CMS-style distributed analysis session across two Clarens servers.
+
+This is the workload the paper's introduction motivates: a geographically
+distributed collaboration whose event data sits at different sites and whose
+members have different rights.  The script builds:
+
+* a Tier-1 Clarens server holding the staged dataset (file + VO + ACL
+  services), and a Tier-2 server where the analysis jobs run (shell + job
+  services);
+* a VO with a ``cms`` group and a ``cms.higgs`` analysis subgroup;
+* file ACLs so only the Higgs group reads the staged events;
+* an analysis "skim" submitted as jobs on the Tier-2 server, whose outputs
+  are uploaded back to the Tier-1 store and checksummed.
+
+Run with::
+
+    python examples/physics_analysis.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+
+from repro.acl.model import ACL
+from repro.bench.workloads import make_event_file
+from repro.client.client import ClarensClient
+from repro.client.files import download_file, upload_file
+from repro.core.config import ServerConfig
+from repro.core.server import ClarensServer
+from repro.pki.authority import CertificateAuthority
+
+ADMIN_DN = "/O=cms.example/OU=People/CN=Production Manager"
+
+
+def make_server(ca: CertificateAuthority, name: str, workdir: str) -> ClarensServer:
+    host = ca.issue_host(f"{name}.cms.example")
+    config = ServerConfig(
+        server_name=name,
+        data_dir=f"{workdir}/{name}/state",
+        file_root=f"{workdir}/{name}/files",
+        shell_root=f"{workdir}/{name}/sandboxes",
+        admins=[ADMIN_DN],
+        host_dn=str(host.certificate.subject),
+    )
+    return ClarensServer(config, credential=host, trust_store=ca.trust_store())
+
+
+def main() -> None:
+    ca = CertificateAuthority("/O=cms.example/CN=CMS Experiment CA")
+    manager = ca.issue_user("Production Manager")
+    alice = ca.issue_user("Alice Adams")      # Higgs group analyst
+    bob = ca.issue_user("Bob Brown")          # CMS member, not in the Higgs group
+
+    with tempfile.TemporaryDirectory(prefix="clarens-analysis-") as workdir:
+        tier1 = make_server(ca, "tier1", workdir)
+        tier2 = make_server(ca, "tier2", workdir)
+
+        admin_t1 = ClarensClient.for_loopback(tier1.loopback())
+        admin_t1.login_with_credential(manager)
+        admin_t2 = ClarensClient.for_loopback(tier2.loopback())
+        admin_t2.login_with_credential(manager)
+
+        # ------------------------------------------------------------------ VO
+        # Note on the VO semantics (paper section 2.1): members of a *parent*
+        # group are automatically members of its sub-groups, so a restricted
+        # analysis group must be a separate top-level group rather than a
+        # child of ``cms``.
+        alice_dn = str(alice.certificate.subject)
+        bob_dn = str(bob.certificate.subject)
+        admin_t1.call("vo.create_group", "cms", [alice_dn, bob_dn], [], "CMS collaboration")
+        admin_t1.call("vo.create_group", "higgs", [alice_dn], [], "Higgs analysis group")
+        print("VO groups on tier1:", admin_t1.call("vo.list_groups", ""))
+
+        # ------------------------------------------------------ stage the data
+        event_path = make_event_file(tier1.file_root, size_bytes=2 << 20,
+                                     name="run2005A_events.dat")
+        admin_t1.call("acl.set_file_acl", "/",
+                      ACL(groups_allowed=["cms"]).to_record(),
+                      ACL(dns_allowed=[ADMIN_DN, alice_dn]).to_record())
+        # The dataset itself: readable by the Higgs group, *specifically denied*
+        # at this lower level to the rest of CMS (the paper's override rule).
+        admin_t1.call("acl.set_file_acl", "/run2005A_events.dat",
+                      ACL(order="deny,allow", groups_allowed=["higgs"],
+                          groups_denied=["cms"]).to_record(),
+                      ACL(dns_allowed=[ADMIN_DN]).to_record())
+        print(f"staged dataset: {event_path.name} "
+              f"({admin_t1.call('file.size', '/run2005A_events.dat')} bytes)")
+
+        # ----------------------------------------------- access control checks
+        alice_t1 = ClarensClient.for_loopback(tier1.loopback())
+        alice_t1.login_with_credential(alice)
+        bob_t1 = ClarensClient.for_loopback(tier1.loopback())
+        bob_t1.login_with_credential(bob)
+
+        checksum = alice_t1.call("file.md5", "/run2005A_events.dat")
+        print(f"alice reads the dataset checksum: {checksum[:16]}…")
+        _, fault = bob_t1.try_call("file.read", "/run2005A_events.dat", 0, 64)
+        print(f"bob is denied as expected: fault {fault.code} ({fault.message[:60]}…)")
+
+        # ------------------------------------------------- analysis on tier-2
+        admin_t2.call("shell.add_mapping", "alice", [alice_dn], [])
+        alice_t2 = ClarensClient.for_loopback(tier2.loopback())
+        alice_t2.login_with_credential(alice)
+
+        # Transfer the dataset tier1 -> local -> tier2 sandbox (the 2005 way).
+        data = download_file(alice_t1, "/run2005A_events.dat", verify_checksum=True)
+        sandbox = alice_t2.call("shell.cmd_info")
+        print(f"alice's tier2 sandbox: {sandbox['sandbox']}")
+        with tempfile.NamedTemporaryFile() as staging:
+            staging.write(data)
+            staging.flush()
+            upload_file(alice_t2, staging.name, "/staged/run2005A_events.dat")
+        print("dataset staged on tier2:",
+              alice_t2.call("file.stat", "/staged/run2005A_events.dat")["size"], "bytes")
+
+        # Submit skim jobs (one per "trigger stream").
+        job_ids = []
+        for stream in ("mu", "e", "tau"):
+            job = alice_t2.call(
+                "job.submit",
+                f"echo skimming {stream} stream from run2005A > skim_{stream}.log && "
+                f"echo 125.0 >> skim_{stream}.log && cat skim_{stream}.log",
+                f"skim-{stream}", {"dataset": "/staged/run2005A_events.dat"})
+            job_ids.append(job["job_id"])
+        ran = admin_t2.call("job.run_pending", 0)
+        print(f"tier2 scheduler executed {ran} jobs")
+        for job_id in job_ids:
+            output = alice_t2.call("job.output", job_id)
+            print(f"  job {job_id[:8]}… -> {output['state']}, "
+                  f"last line: {output['stdout'].splitlines()[-1]!r}")
+
+        # --------------------------------------- publish results back to tier1
+        results = alice_t2.call("shell.cmd", "cat skim_mu.log skim_e.log skim_tau.log")
+        alice_t1.call("file.write", "/results/higgs_candidates.txt",
+                      results["stdout"].encode(), False)
+        print("results published to tier1:",
+              alice_t1.call("file.stat", "/results/higgs_candidates.txt"))
+
+        for client in (admin_t1, admin_t2, alice_t1, alice_t2, bob_t1):
+            client.logout()
+        tier1.close()
+        tier2.close()
+    print("\nphysics analysis example complete.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Quickstart: stand up a Clarens server, authenticate, call services.
+
+This walks the path a new deployment walks:
+
+1. create a certificate authority and issue a host certificate (normally the
+   grid CA does this — here we run our own);
+2. start a Clarens server with that credential;
+3. issue a user certificate, log in with the challenge-response flow, and
+   call a few services (introspection, file access, VO queries);
+4. do the same over a real TCP socket to show the two frontends behave
+   identically.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+
+from repro.client.client import ClarensClient
+from repro.core.config import ServerConfig
+from repro.core.server import ClarensServer
+from repro.pki.authority import CertificateAuthority
+
+
+def main() -> None:
+    # --- 1. PKI: a CA, a host certificate and one user certificate ---------
+    ca = CertificateAuthority("/O=quickstart.example/CN=Quickstart CA")
+    host = ca.issue_host("clarens.quickstart.example")
+    alice = ca.issue_user("Alice Adams")
+    print(f"CA          : {ca.name}")
+    print(f"server DN   : {host.certificate.subject}")
+    print(f"user DN     : {alice.certificate.subject}")
+
+    # --- 2. a server with Alice's supervisor as administrator --------------
+    with tempfile.TemporaryDirectory(prefix="clarens-quickstart-") as workdir:
+        config = ServerConfig(
+            server_name="quickstart",
+            data_dir=f"{workdir}/state",
+            file_root=f"{workdir}/files",
+            admins=["/O=quickstart.example/OU=People/CN=Grid Admin"],
+            host_dn=str(host.certificate.subject),
+        )
+        server = ClarensServer(config, credential=host, trust_store=ca.trust_store())
+
+        # --- 3. a client over the in-process loopback ----------------------
+        client = ClarensClient.for_loopback(server.loopback())
+        methods = client.list_methods()
+        print(f"\nanonymous introspection: {len(methods)} methods published, e.g. {methods[:4]}")
+
+        session = client.login_with_credential(alice)
+        print(f"logged in   : session {session['session_id'][:8]}… for {session['dn']}")
+        print(f"whoami      : {client.whoami()}")
+
+        client.call("file.write", "/welcome.txt", b"hello from Clarens\n", False)
+        print(f"file.ls /   : {[e['name'] for e in client.call('file.ls', '/')]}")
+        print(f"file.read   : {client.call('file.read', '/welcome.txt', 0, -1)!r}")
+        print(f"file.md5    : {client.call('file.md5', '/welcome.txt')}")
+        print(f"echo        : {client.call('system.echo', {'run': 2005, 'ok': True})}")
+
+        # --- 4. the same server over a real TCP socket ----------------------
+        with server.socket_server() as sock:
+            tcp_client = ClarensClient.for_url(sock.url)
+            tcp_client.login_with_credential(alice)
+            print(f"\nover TCP at {sock.url}:")
+            print(f"  server_info: {tcp_client.server_info()['server_name']}")
+            print(f"  GET /welcome.txt -> {tcp_client.http_get('welcome.txt').body_bytes()!r}")
+            tcp_client.logout()
+
+        client.logout()
+        server.close()
+    print("\nquickstart complete.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""Secure file sharing: proxies, delegation, VO-scoped ACLs and the shell sandbox.
+
+A common grid pattern the paper's proxy and shell services exist for:
+
+1. a scientist creates a proxy certificate and stores it on the server under
+   a password (so she can later log in from a web browser or a batch node
+   with just DN + password);
+2. she delegates a *limited* proxy to a colleague's production job, which can
+   then act on her behalf — but only within the rights she granted;
+3. data access is controlled per VO group with read/write file ACLs, and the
+   sandbox from the shell service is used as the working area.
+
+Run with::
+
+    python examples/secure_file_sharing.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+
+from repro.acl.model import ACL
+from repro.client.client import ClarensClient
+from repro.core.config import ServerConfig
+from repro.core.server import ClarensServer
+from repro.pki.authority import CertificateAuthority
+from repro.pki.proxy import ProxyCertificate, issue_proxy
+
+ADMIN_DN = "/O=ligo.example/OU=People/CN=Site Admin"
+
+
+def main() -> None:
+    ca = CertificateAuthority("/O=ligo.example/CN=LIGO Lab CA")
+    host = ca.issue_host("clarens.ligo.example")
+    admin = ca.issue_user("Site Admin")
+    grace = ca.issue_user("Grace Gravwave")       # data owner
+    worker = ca.issue_user("Walter Worker")        # runs the production jobs
+
+    with tempfile.TemporaryDirectory(prefix="clarens-sharing-") as workdir:
+        config = ServerConfig(server_name="ligo-data", admins=[ADMIN_DN],
+                              data_dir=f"{workdir}/state",
+                              file_root=f"{workdir}/files",
+                              shell_root=f"{workdir}/files/sandboxes",
+                              host_dn=str(host.certificate.subject))
+        server = ClarensServer(config, credential=host, trust_store=ca.trust_store())
+
+        admin_client = ClarensClient.for_loopback(server.loopback())
+        admin_client.login_with_credential(admin)
+        grace_dn = str(grace.certificate.subject)
+        worker_dn = str(worker.certificate.subject)
+
+        # ------------------------------------------------------------- VO/ACLs
+        # Writes are restricted to the data owner by DN (a sub-group would not
+        # do: per section 2.1, members of the parent group are automatically
+        # members of every sub-group).
+        admin_client.call("vo.create_group", "ligo", [grace_dn, worker_dn], [], "LIGO members")
+        admin_client.call("acl.set_file_acl", "/strain",
+                          ACL(groups_allowed=["ligo"]).to_record(),            # read: all of LIGO
+                          ACL(dns_allowed=[grace_dn, ADMIN_DN]).to_record())   # write: owner only
+        admin_client.call("shell.add_mapping", "grace", [grace_dn], [])
+        admin_client.call("shell.add_mapping", "worker", [worker_dn], [])
+
+        # ------------------------------------------------------ owner uploads
+        grace_client = ClarensClient.for_loopback(server.loopback())
+        grace_client.login_with_credential(grace)
+        grace_client.call("file.write", "/strain/H1_segment_001.dat", b"\x01\x02" * 4096, False)
+        print("grace uploaded:", grace_client.call("file.stat", "/strain/H1_segment_001.dat"))
+
+        # A colleague can read but not overwrite the data.
+        worker_client = ClarensClient.for_loopback(server.loopback())
+        worker_client.login_with_credential(worker)
+        print("worker read OK:",
+              len(worker_client.call("file.read", "/strain/H1_segment_001.dat", 0, 1024)), "bytes")
+        _, fault = worker_client.try_call("file.write", "/strain/H1_segment_001.dat", b"x", False)
+        print(f"worker write denied as expected (fault {fault.code})")
+
+        # ------------------------------------------------ proxy store / login
+        grace_proxy = issue_proxy(grace, lifetime=6 * 3600)
+        grace_client.call("proxy.store", grace_proxy.to_dict(), "correct horse battery")
+        print("\nproxy stored for", grace_dn)
+
+        # Later, from a machine with no certificate files: DN + password login.
+        browser_session = ClarensClient.for_loopback(server.loopback())
+        browser_session.login_with_stored_proxy(grace_dn, "correct horse battery")
+        print("password-only login as:", browser_session.whoami()["dn"])
+
+        # --------------------------------------------------------- delegation
+        delegated = ProxyCertificate.from_dict(
+            grace_client.call("proxy.delegate", grace_dn, "correct horse battery", 3600.0, True))
+        print(f"delegated proxy: depth={delegated.delegation_depth}, limited={delegated.limited}")
+
+        # Walter's job logs in *as Grace* using only the delegated proxy and
+        # writes the calibration result into the owners-only area — rights it
+        # got through delegation, not through its own identity.
+        job_client = ClarensClient.for_loopback(server.loopback())
+        job_client.login_with_proxy(delegated)
+        print("job authenticated as:", job_client.whoami()["dn"])
+        job_client.call("file.write", "/strain/H1_segment_001.calibrated", b"calibrated", False)
+        print("delegated write succeeded:",
+              job_client.call("file.exists", "/strain/H1_segment_001.calibrated"))
+
+        # ------------------------------------------------- sandbox + cleanup
+        sandbox = grace_client.call("shell.cmd_info")
+        grace_client.call("shell.cmd", "echo analysis notes > notes.txt")
+        print("\ngrace's sandbox lives under the file root:", sandbox["file_service_path"])
+        if sandbox["file_service_path"]:
+            notes_path = f"{sandbox['file_service_path']}/notes.txt"
+            print("notes visible through the file service:",
+                  grace_client.call("file.read", notes_path, 0, -1))
+
+        print("\nstored proxy metadata:", grace_client.call("proxy.info", ""))
+        grace_client.call("proxy.delete", "")
+        server.close()
+    print("\nsecure file sharing example complete.")
+
+
+if __name__ == "__main__":
+    main()

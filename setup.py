@@ -1,0 +1,10 @@
+"""Setuptools entry point.
+
+The project is fully described by ``pyproject.toml``; this shim exists so the
+package can be installed in environments whose setuptools predates PEP 660
+editable-install support (``pip install -e . --no-use-pep517``).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,32 @@
+"""Clarens web-service framework reproduction.
+
+This package reproduces the system described in *"The Clarens Web Service
+Framework for Distributed Scientific Analysis in Grid Projects"* (van Lingen
+et al., ICPP Workshops 2005): a high-performance, certificate-authenticated
+web-service framework for grid-based scientific analysis, together with every
+substrate it depends on (PKI, HTTP server, RPC protocols, embedded database,
+monitoring/discovery network) and the baselines used in its evaluation.
+
+The subpackages hold the full API:
+
+* :mod:`repro.core`         -- the Clarens server, dispatcher, sessions, auth.
+* :mod:`repro.client`       -- synchronous / asynchronous / discovery clients.
+* :mod:`repro.pki`          -- certificates, CAs, proxy certificates.
+* :mod:`repro.vo`           -- virtual-organization management.
+* :mod:`repro.acl`          -- hierarchical access-control lists.
+* :mod:`repro.fileservice`  -- remote file access.
+* :mod:`repro.discovery`    -- dynamic service discovery.
+* :mod:`repro.monitoring`   -- MonALISA-style monitoring substrate.
+* :mod:`repro.shell`        -- sandboxed shell service.
+* :mod:`repro.proxyservice` -- proxy-certificate storage / delegation.
+* :mod:`repro.jobs`         -- job submission service.
+* :mod:`repro.portal`       -- HTML/JS portal generation.
+* :mod:`repro.baselines`    -- Globus-GT3-like and plain baselines.
+* :mod:`repro.bench`        -- benchmark harness used by ``benchmarks/``.
+"""
+
+from __future__ import annotations
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,17 @@
+"""Access-control lists (paper section 2.2 / 2.3).
+
+Execution of web-service methods, the mapping of certificate DNs to server
+accounts, and file access are all controlled by hierarchical ACLs modelled on
+Apache ``.htaccess`` files.  An ACL names an evaluation order (``allow,deny``
+or ``deny,allow``) followed by lists of DNs and VO groups allowed and denied.
+A DN or group granted access to a higher-level method automatically has
+access to lower-level methods unless specifically denied at the lower level —
+so evaluation runs from the lowest (most specific) applicable level upward.
+"""
+
+from __future__ import annotations
+
+from repro.acl.evaluator import ACLDecision, ACLManager
+from repro.acl.model import ACL, ACLError, FileACL
+
+__all__ = ["ACL", "FileACL", "ACLError", "ACLManager", "ACLDecision"]

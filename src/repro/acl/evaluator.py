@@ -1,0 +1,165 @@
+"""Hierarchical ACL storage and evaluation.
+
+Methods "have a natural hierarchical structure … module.method or
+module.submodule.method", and files have path hierarchy; ACLs attach to any
+level.  The evaluation rule from the paper: a DN or group granted access to a
+higher-level name automatically has access to lower-level names *unless
+specifically denied at the lower level*, so the specification "is evaluated
+from the lowest applicable level to the highest".
+
+:class:`ACLManager` stores method ACLs and file ACLs in database tables (the
+performance test's "two access control checks involving access to several
+databases" are the session lookup plus this manager's per-request check) and
+exposes the check the dispatcher calls on every RPC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+from repro.acl.model import ACL, ACLError, FileACL, Verdict
+from repro.database import Database
+
+__all__ = ["ACLManager", "ACLDecision"]
+
+GroupMembership = Callable[[str, str], bool]  # (dn, group_name) -> bool
+
+
+@dataclass(frozen=True)
+class ACLDecision:
+    """The outcome of an access check, with the level that decided it."""
+
+    allowed: bool
+    decided_by: str | None  # the hierarchy level whose ACL decided, or None
+    reason: str
+
+    def __bool__(self) -> bool:
+        return self.allowed
+
+
+def _method_levels(method: str) -> list[str]:
+    """Hierarchy levels for a method name, most specific first.
+
+    ``file.sub.read`` -> ``["file.sub.read", "file.sub", "file"]``.
+    """
+
+    parts = method.split(".")
+    return [".".join(parts[:i]) for i in range(len(parts), 0, -1)]
+
+
+def _path_levels(path: str) -> list[str]:
+    """Hierarchy levels for a file path, most specific first.
+
+    ``/data/cms/run1.root`` -> ``["/data/cms/run1.root", "/data/cms", "/data", "/"]``.
+    """
+
+    path = "/" + path.strip("/")
+    if path == "/":
+        return ["/"]
+    parts = path.strip("/").split("/")
+    levels = ["/" + "/".join(parts[:i]) for i in range(len(parts), 0, -1)]
+    levels.append("/")
+    return levels
+
+
+class ACLManager:
+    """Stores and evaluates method and file ACLs."""
+
+    def __init__(self, database: Database, *, membership: GroupMembership,
+                 is_admin: Callable[[str], bool] | None = None,
+                 default_allow_authenticated: bool = True) -> None:
+        self._methods = database.table("acl_methods")
+        self._files = database.table("acl_files")
+        self._membership = membership
+        self._is_admin = is_admin or (lambda dn: False)
+        #: When no ACL level matches at all: allow any *authenticated* DN when
+        #: True (the out-of-the-box Clarens behaviour for ordinary services)
+        #: or deny when False (lock-down deployments).
+        self.default_allow_authenticated = default_allow_authenticated
+
+    # -- administration ------------------------------------------------------
+    def set_method_acl(self, level: str, acl: ACL, *, actor_dn: str | None = None) -> None:
+        self._authorize_admin(actor_dn)
+        if not level or level.startswith(".") or level.endswith("."):
+            raise ACLError(f"invalid method ACL level {level!r}")
+        self._methods.put(level, acl.to_record())
+
+    def get_method_acl(self, level: str) -> ACL | None:
+        record = self._methods.get(level, None)
+        return ACL.from_record(record) if record is not None else None
+
+    def remove_method_acl(self, level: str, *, actor_dn: str | None = None) -> bool:
+        self._authorize_admin(actor_dn)
+        return self._methods.delete(level)
+
+    def list_method_acls(self) -> dict[str, ACL]:
+        return {key: ACL.from_record(rec) for key, rec in self._methods.items()}
+
+    def set_file_acl(self, path: str, acl: FileACL, *, actor_dn: str | None = None) -> None:
+        self._authorize_admin(actor_dn)
+        normalized = "/" + path.strip("/") if path.strip("/") else "/"
+        self._files.put(normalized, acl.to_record())
+
+    def get_file_acl(self, path: str) -> FileACL | None:
+        normalized = "/" + path.strip("/") if path.strip("/") else "/"
+        record = self._files.get(normalized, None)
+        return FileACL.from_record(record) if record is not None else None
+
+    def remove_file_acl(self, path: str, *, actor_dn: str | None = None) -> bool:
+        self._authorize_admin(actor_dn)
+        normalized = "/" + path.strip("/") if path.strip("/") else "/"
+        return self._files.delete(normalized)
+
+    def list_file_acls(self) -> dict[str, FileACL]:
+        return {key: FileACL.from_record(rec) for key, rec in self._files.items()}
+
+    def _authorize_admin(self, actor_dn: str | None) -> None:
+        if actor_dn is None:
+            return  # internal/bootstrap calls
+        if not self._is_admin(actor_dn):
+            raise ACLError(f"{actor_dn} is not authorized to manage ACLs")
+
+    # -- evaluation ----------------------------------------------------------
+    def _evaluate_levels(self, dn: str, levels: Iterable[str],
+                         lookup: Callable[[str], ACL | None]) -> ACLDecision:
+        membership = lambda group: self._membership(dn, group)  # noqa: E731
+        matched_any_level = False
+        for level in levels:
+            acl = lookup(level)
+            if acl is None:
+                continue
+            matched_any_level = True
+            verdict = acl.evaluate(dn, membership)
+            if verdict is Verdict.ALLOW:
+                return ACLDecision(True, level, f"allowed by ACL at {level!r}")
+            if verdict is Verdict.DENY:
+                return ACLDecision(False, level, f"denied by ACL at {level!r}")
+        if matched_any_level:
+            # ACLs exist on the hierarchy but none matched this DN: the name
+            # is protected and the principal is not on any list.
+            return ACLDecision(False, None, "no applicable ACL entry matches this DN")
+        if self.default_allow_authenticated and dn:
+            return ACLDecision(True, None, "no ACL configured; authenticated access allowed")
+        return ACLDecision(False, None, "no ACL configured; access denied by default")
+
+    def check_method(self, dn: str, method: str) -> ACLDecision:
+        """Can ``dn`` invoke ``method``?  Server admins always can."""
+
+        if self._is_admin(dn):
+            return ACLDecision(True, None, "server administrator")
+        return self._evaluate_levels(dn, _method_levels(method), self.get_method_acl)
+
+    def check_file(self, dn: str, path: str, operation: str) -> ACLDecision:
+        """Can ``dn`` perform ``operation`` ('read'/'write') on ``path``?"""
+
+        if operation not in ("read", "write"):
+            raise ACLError(f"unknown file operation {operation!r}")
+        if self._is_admin(dn):
+            return ACLDecision(True, None, "server administrator")
+
+        def lookup(level: str) -> ACL | None:
+            file_acl = self.get_file_acl(level)
+            return None if file_acl is None else file_acl.acl_for(operation)
+
+        return self._evaluate_levels(dn, _path_levels(path), lookup)

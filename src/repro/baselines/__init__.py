@@ -1,0 +1,24 @@
+"""Baseline servers used in the paper's performance comparison.
+
+Section 4/5 of the paper compares Clarens with the Globus Toolkit 3 service
+container ("a trivial method 100 times … resulted in 5 to 1 calls per
+second", versus Clarens' ~1450 calls/s) and positions Clarens relative to a
+plain servlet container (Tomcat + AXIS) that lacks ACL/VO management.  Since
+neither comparator can be run here, both are modelled behaviourally:
+
+* :class:`~repro.baselines.globus.GlobusGT3Server` performs the per-call work
+  that made GT3 slow — building a fresh service-container context, parsing a
+  large SOAP envelope, WS-Security-style signing and verification of the
+  message, and a linear grid-mapfile scan — so its throughput sits orders of
+  magnitude below the Clarens dispatcher, as the paper reports.
+* :class:`~repro.baselines.plain.PlainRPCServer` is the opposite extreme: a
+  bare XML-RPC dispatcher with no authentication, session or ACL work,
+  bounding the overhead Clarens adds for its security features.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.globus import GlobusGT3Server
+from repro.baselines.plain import PlainRPCServer
+
+__all__ = ["GlobusGT3Server", "PlainRPCServer"]

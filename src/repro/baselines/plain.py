@@ -1,0 +1,70 @@
+"""A plain XML-RPC dispatcher baseline (the "Tomcat + AXIS" end of the scale).
+
+No sessions, no ACLs, no database lookups: just decode, look the method up in
+a dict, call it, encode.  The Figure-4 and ACL-ablation benchmarks use it to
+separate protocol/serialization cost from the security machinery Clarens adds
+on top.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable
+
+from repro.httpd.message import HTTPRequest, HTTPResponse
+from repro.httpd.loopback import LoopbackTransport
+from repro.protocols import detect_codec
+from repro.protocols.errors import Fault, FaultCode, ProtocolError
+from repro.protocols.types import RPCResponse
+
+__all__ = ["PlainRPCServer"]
+
+
+class PlainRPCServer:
+    """A minimal multi-protocol RPC server with no security machinery."""
+
+    def __init__(self) -> None:
+        self._methods: dict[str, Callable[..., Any]] = {}
+        self._lock = threading.Lock()
+        self.requests_handled = 0
+        self.register("system.list_methods", self.list_methods)
+        self.register("system.echo", lambda value="": value)
+        self.register("system.ping", lambda: "pong")
+
+    # -- registration ----------------------------------------------------------------
+    def register(self, name: str, func: Callable[..., Any]) -> None:
+        with self._lock:
+            self._methods[name] = func
+
+    def list_methods(self) -> list[str]:
+        with self._lock:
+            return sorted(self._methods)
+
+    # -- request handling --------------------------------------------------------------
+    def handle_request(self, request: HTTPRequest) -> HTTPResponse:
+        codec = detect_codec(request.body, request.content_type)
+        try:
+            rpc_request = codec.decode_request(request.body)
+        except ProtocolError as exc:
+            response = RPCResponse.from_fault(Fault(FaultCode.PARSE_ERROR, str(exc)))
+            return HTTPResponse.ok(codec.encode_response(response),
+                                   content_type=codec.content_type)
+        with self._lock:
+            func = self._methods.get(rpc_request.method)
+            self.requests_handled += 1
+        if func is None:
+            response = RPCResponse.from_fault(
+                Fault(FaultCode.METHOD_NOT_FOUND, f"no such method: {rpc_request.method}"),
+                call_id=rpc_request.call_id)
+        else:
+            try:
+                response = RPCResponse.from_result(func(*rpc_request.params),
+                                                   call_id=rpc_request.call_id)
+            except Exception as exc:  # noqa: BLE001
+                response = RPCResponse.from_fault(
+                    Fault(FaultCode.INTERNAL_ERROR, str(exc)), call_id=rpc_request.call_id)
+        return HTTPResponse.ok(codec.encode_response(response), content_type=codec.content_type)
+
+    # -- frontends ------------------------------------------------------------------------
+    def loopback(self) -> LoopbackTransport:
+        return LoopbackTransport(self.handle_request)

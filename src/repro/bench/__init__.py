@@ -1,0 +1,29 @@
+"""Benchmark harness shared by the scripts in ``benchmarks/``.
+
+* :mod:`repro.bench.workloads` -- builds standard servers, clients and
+  synthetic data sets (event files, service populations).
+* :mod:`repro.bench.sweep`     -- parameter sweeps (e.g. client counts 1..79).
+* :mod:`repro.bench.results`   -- result containers, table formatting and the
+  paper-vs-measured comparison records used by EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from repro.bench.results import ComparisonRow, ResultTable
+from repro.bench.sweep import sweep_client_counts
+from repro.bench.workloads import (
+    BenchmarkEnvironment,
+    make_benchmark_environment,
+    make_event_file,
+    populate_discovery,
+)
+
+__all__ = [
+    "BenchmarkEnvironment",
+    "make_benchmark_environment",
+    "make_event_file",
+    "populate_discovery",
+    "sweep_client_counts",
+    "ResultTable",
+    "ComparisonRow",
+]

@@ -1,0 +1,83 @@
+"""Result tables and paper-vs-measured comparisons.
+
+Benchmarks print their findings with :class:`ResultTable` (fixed-width text
+tables, one per paper artefact) and record the headline comparison with
+:class:`ComparisonRow` so EXPERIMENTS.md can be regenerated from benchmark
+output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+__all__ = ["ResultTable", "ComparisonRow", "format_rate"]
+
+
+def format_rate(value: float) -> str:
+    """Human-friendly formatting for calls/second or bytes/second values."""
+
+    if value >= 1e9:
+        return f"{value / 1e9:.2f} G/s"
+    if value >= 1e6:
+        return f"{value / 1e6:.2f} M/s"
+    if value >= 1e3:
+        return f"{value / 1e3:.2f} k/s"
+    return f"{value:.1f} /s"
+
+
+@dataclass
+class ResultTable:
+    """A fixed-width text table with a title (one per figure/table)."""
+
+    title: str
+    columns: Sequence[str]
+    rows: list[Sequence[Any]] = field(default_factory=list)
+
+    def add_row(self, *values: Any) -> None:
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"expected {len(self.columns)} values, got {len(values)}")
+        self.rows.append(tuple(values))
+
+    def render(self) -> str:
+        str_rows = [[_cell(v) for v in row] for row in self.rows]
+        widths = [len(c) for c in self.columns]
+        for row in str_rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        sep = "-+-".join("-" * w for w in widths)
+        lines = [self.title, "=" * len(self.title)]
+        lines.append(" | ".join(c.ljust(widths[i]) for i, c in enumerate(self.columns)))
+        lines.append(sep)
+        for row in str_rows:
+            lines.append(" | ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+        return "\n".join(lines)
+
+    def print(self) -> None:  # pragma: no cover - console convenience
+        print("\n" + self.render() + "\n")
+
+
+def _cell(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}" if abs(value) < 1000 else f"{value:,.1f}"
+    return str(value)
+
+
+@dataclass
+class ComparisonRow:
+    """One paper-vs-measured record for EXPERIMENTS.md."""
+
+    experiment_id: str
+    description: str
+    paper_value: str
+    measured_value: str
+    shape_holds: bool
+    notes: str = ""
+
+    def render(self) -> str:
+        verdict = "holds" if self.shape_holds else "DOES NOT HOLD"
+        return (f"[{self.experiment_id}] {self.description}\n"
+                f"    paper:    {self.paper_value}\n"
+                f"    measured: {self.measured_value}\n"
+                f"    shape:    {verdict}" + (f" — {self.notes}" if self.notes else ""))

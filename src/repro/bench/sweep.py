@@ -1,0 +1,63 @@
+"""Parameter sweeps.
+
+The Figure 4 measurement varies the number of asynchronous clients from 1 to
+79 and reports calls/second at each point.  ``sweep_client_counts`` runs that
+sweep (on a configurable grid — running all 79 points with 1000-call batches
+is unnecessary to recover the curve's shape) and returns one record per point.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Sequence
+
+from repro.client.asyncclient import AsyncLoadClient, LoadResult
+from repro.client.client import ClarensClient
+
+__all__ = ["sweep_client_counts", "DEFAULT_CLIENT_GRID", "summarize_sweep"]
+
+#: A sub-sampled version of the paper's 1..79 client grid.
+DEFAULT_CLIENT_GRID: tuple[int, ...] = (1, 2, 4, 8, 16, 32, 48, 64, 79)
+
+
+def sweep_client_counts(client_factory: Callable[[], ClarensClient], *,
+                        client_counts: Iterable[int] = DEFAULT_CLIENT_GRID,
+                        calls_per_batch: int = 1000,
+                        batches_per_point: int = 1,
+                        method: str = "system.list_methods",
+                        params: Sequence = ()) -> list[dict]:
+    """Run the Figure 4 sweep; returns one record per (client count, batch)."""
+
+    records: list[dict] = []
+    for n_clients in client_counts:
+        with AsyncLoadClient(client_factory, n_clients=n_clients) as load:
+            for batch_index in range(batches_per_point):
+                result: LoadResult = load.run_batch(calls_per_batch, method=method,
+                                                    params=params)
+                record = result.to_record()
+                record["batch"] = batch_index
+                records.append(record)
+    return records
+
+
+def summarize_sweep(records: list[dict]) -> dict:
+    """Aggregate sweep records into the figures the paper quotes.
+
+    Returns the per-client-count mean calls/second plus the overall average
+    (the paper's "average of 1450 requests per second served").
+    """
+
+    by_clients: dict[int, list[float]] = {}
+    for record in records:
+        by_clients.setdefault(record["n_clients"], []).append(record["calls_per_second"])
+    per_point = {
+        n: sum(values) / len(values) for n, values in sorted(by_clients.items())
+    }
+    overall = sum(per_point.values()) / len(per_point) if per_point else 0.0
+    total_calls = sum(r["calls"] for r in records)
+    total_errors = sum(r["errors"] for r in records)
+    return {
+        "per_client_count": per_point,
+        "overall_mean_calls_per_second": overall,
+        "total_calls": total_calls,
+        "total_errors": total_errors,
+    }

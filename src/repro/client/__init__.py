@@ -1,0 +1,39 @@
+"""Client implementations.
+
+The paper emphasises that Clarens comes "coupled with a set of useful client
+implementations".  This package provides:
+
+* :class:`~repro.client.client.ClarensClient` -- a synchronous client with
+  certificate / proxy / TLS login flows and typed RPC calls.
+* :class:`~repro.client.asyncclient.AsyncLoadClient` -- the asynchronous
+  multi-connection load generator used for Figure 4 (N concurrent client
+  connections issuing batches of calls "as rapidly as possible").
+* :class:`~repro.client.discovery_client.DiscoveryAwareClient` -- a client
+  that resolves service locations through a discovery server and binds at
+  call time.
+* :mod:`repro.client.files` -- file download/upload helpers (GET + file.read).
+* :mod:`repro.client.transport` -- loopback and real-HTTP transports.
+"""
+
+from __future__ import annotations
+
+from repro.client.asyncclient import AsyncLoadClient, LoadResult
+from repro.client.client import ClarensClient
+from repro.client.discovery_client import DiscoveryAwareClient, ServerDirectory
+from repro.client.errors import ClientError
+from repro.client.files import download_file, upload_file
+from repro.client.transport import HTTPTransport, LoopbackClientTransport, Transport
+
+__all__ = [
+    "ClarensClient",
+    "AsyncLoadClient",
+    "LoadResult",
+    "DiscoveryAwareClient",
+    "ServerDirectory",
+    "ClientError",
+    "Transport",
+    "LoopbackClientTransport",
+    "HTTPTransport",
+    "download_file",
+    "upload_file",
+]

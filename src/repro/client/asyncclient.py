@@ -1,0 +1,131 @@
+"""The asynchronous load-generating client (the Figure 4 workload).
+
+The paper's performance test ran "a configurable number of unencrypted client
+connections … set to access the ``system.list_methods`` Web Service method as
+rapidly as possible", with "a single process opening connections to the
+server and completing requests asynchronously".  Each batch was 1000 calls;
+batches were repeated and the number of asynchronous clients varied from 1 to
+79.
+
+:class:`AsyncLoadClient` reproduces that: it opens ``n_clients`` concurrent
+connections (each its own keep-alive loopback or HTTP connection) and divides
+a batch of calls across them, with each connection issuing its share
+back-to-back.  The result records wall-clock duration and the derived
+calls-per-second figure ("e.g. 0.5 seconds for 1000 calls means 2000 calls
+per second").
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+from repro.client.client import ClarensClient
+
+__all__ = ["AsyncLoadClient", "LoadResult"]
+
+#: A factory producing an independent, ready-to-use client (one per connection).
+ClientFactory = Callable[[], ClarensClient]
+
+
+@dataclass
+class LoadResult:
+    """Outcome of one load batch."""
+
+    n_clients: int
+    calls: int
+    duration_s: float
+    errors: int = 0
+    per_client_calls: list[int] = field(default_factory=list)
+
+    @property
+    def calls_per_second(self) -> float:
+        if self.duration_s <= 0:
+            return 0.0
+        return self.calls / self.duration_s
+
+    def to_record(self) -> dict[str, Any]:
+        return {
+            "n_clients": self.n_clients,
+            "calls": self.calls,
+            "duration_s": self.duration_s,
+            "calls_per_second": self.calls_per_second,
+            "errors": self.errors,
+        }
+
+
+class AsyncLoadClient:
+    """Drives many concurrent client connections against one server."""
+
+    def __init__(self, client_factory: ClientFactory, *, n_clients: int = 1) -> None:
+        if n_clients < 1:
+            raise ValueError("at least one client connection is required")
+        self.client_factory = client_factory
+        self.n_clients = n_clients
+        self._clients: list[ClarensClient] | None = None
+
+    # -- connection management -------------------------------------------------------
+    def _ensure_clients(self) -> list[ClarensClient]:
+        if self._clients is None:
+            self._clients = [self.client_factory() for _ in range(self.n_clients)]
+        return self._clients
+
+    def close(self) -> None:
+        if self._clients is not None:
+            for client in self._clients:
+                client.close()
+            self._clients = None
+
+    def __enter__(self) -> "AsyncLoadClient":
+        self._ensure_clients()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- load generation ----------------------------------------------------------------
+    def run_batch(self, calls: int = 1000, *, method: str = "system.list_methods",
+                  params: Sequence[Any] = ()) -> LoadResult:
+        """Issue ``calls`` total calls split across the client connections."""
+
+        clients = self._ensure_clients()
+        shares = _split(calls, len(clients))
+        errors = [0] * len(clients)
+        done = [0] * len(clients)
+
+        def worker(index: int) -> None:
+            client = clients[index]
+            for _ in range(shares[index]):
+                try:
+                    client.call(method, *params)
+                except Exception:  # noqa: BLE001 - count and continue, like the paper's client
+                    errors[index] += 1
+                done[index] += 1
+
+        threads = [threading.Thread(target=worker, args=(i,), daemon=True)
+                   for i in range(len(clients))]
+        start = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        duration = time.perf_counter() - start
+        return LoadResult(n_clients=len(clients), calls=sum(done), duration_s=duration,
+                          errors=sum(errors), per_client_calls=list(done))
+
+    def run_batches(self, batches: int, calls_per_batch: int = 1000, *,
+                    method: str = "system.list_methods",
+                    params: Sequence[Any] = ()) -> list[LoadResult]:
+        """Repeat :meth:`run_batch` and return every result (paper: 2000 repeats)."""
+
+        return [self.run_batch(calls_per_batch, method=method, params=params)
+                for _ in range(batches)]
+
+
+def _split(total: int, parts: int) -> list[int]:
+    """Split ``total`` calls across ``parts`` connections as evenly as possible."""
+
+    base, remainder = divmod(total, parts)
+    return [base + (1 if i < remainder else 0) for i in range(parts)]

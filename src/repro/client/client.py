@@ -1,0 +1,191 @@
+"""The synchronous Clarens client.
+
+Usage::
+
+    server, ca = ClarensServer.with_test_pki()
+    alice = ca.issue_user("Alice Adams")
+    client = ClarensClient.for_loopback(server.loopback())
+    client.login_with_credential(alice)
+    print(client.call("system.list_methods"))
+
+The client keeps the session id returned by the login methods and attaches it
+to every subsequent request (header ``X-Clarens-Session``), mirroring how the
+original clients carried their session cookie.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.client.errors import ClientError
+from repro.client.transport import HTTPTransport, LoopbackClientTransport, Transport
+from repro.core.dispatch import SESSION_HEADER
+from repro.httpd.loopback import LoopbackTransport
+from repro.httpd.message import HTTPResponse
+from repro.httpd.tls import TLSContext
+from repro.pki.credentials import Credential
+from repro.pki.proxy import ProxyCertificate
+from repro.protocols import default_codec
+from repro.protocols.errors import Fault, ProtocolError
+from repro.protocols.types import RPCRequest
+
+__all__ = ["ClarensClient"]
+
+
+class ClarensClient:
+    """A synchronous RPC client for one Clarens server."""
+
+    def __init__(self, transport: Transport, *, rpc_path: str = "/clarens/rpc",
+                 file_path: str = "/clarens/file", codec=None) -> None:
+        self.transport = transport
+        self.rpc_path = rpc_path
+        self.file_path = file_path
+        self.codec = codec or default_codec()
+        self.session_id: str | None = None
+        self.dn: str | None = None
+        self._call_counter = 0
+
+    # -- constructors ----------------------------------------------------------------
+    @classmethod
+    def for_loopback(cls, loopback: LoopbackTransport, *,
+                     credential: Credential | None = None,
+                     url_prefix: str = "/clarens", codec=None) -> "ClarensClient":
+        """Build a client over an in-process loopback transport.
+
+        When ``credential`` is given and the loopback has TLS enabled, the
+        connection performs mutual TLS so the server sees the client DN.
+        """
+
+        client_tls = None
+        if credential is not None:
+            client_tls = TLSContext(credential=credential)
+        transport = LoopbackClientTransport(loopback, client_tls=client_tls)
+        return cls(transport, rpc_path=f"{url_prefix}/rpc",
+                   file_path=f"{url_prefix}/file", codec=codec)
+
+    @classmethod
+    def for_url(cls, base_url: str, *, url_prefix: str = "/clarens", codec=None) -> "ClarensClient":
+        """Build a client speaking real HTTP to ``base_url``."""
+
+        transport = HTTPTransport(base_url)
+        return cls(transport, rpc_path=f"{url_prefix}/rpc",
+                   file_path=f"{url_prefix}/file", codec=codec)
+
+    # -- core call -------------------------------------------------------------------
+    def _headers(self, extra: Mapping[str, str] | None = None) -> dict[str, str]:
+        headers = {"Content-Type": self.codec.content_type}
+        if self.session_id:
+            headers[SESSION_HEADER] = self.session_id
+        if extra:
+            headers.update(extra)
+        return headers
+
+    def call(self, method: str, *params: Any) -> Any:
+        """Invoke ``method`` with positional parameters; return its result.
+
+        RPC faults raised by the server are re-raised as
+        :class:`repro.protocols.errors.Fault`.
+        """
+
+        self._call_counter += 1
+        request = RPCRequest(method=method, params=params, call_id=self._call_counter)
+        body = self.codec.encode_request(request)
+        response = self.transport.request("POST", self.rpc_path,
+                                          headers=self._headers(), body=body)
+        if response.status != 200:
+            raise ClientError(
+                f"HTTP {response.status} from server: {response.body_bytes()[:200]!r}")
+        try:
+            rpc_response = self.codec.decode_response(response.body_bytes())
+        except ProtocolError as exc:
+            raise ClientError(f"malformed response: {exc}") from exc
+        return rpc_response.unwrap()
+
+    def try_call(self, method: str, *params: Any) -> tuple[Any, Fault | None]:
+        """Like :meth:`call` but returns ``(result, fault)`` instead of raising."""
+
+        try:
+            return self.call(method, *params), None
+        except Fault as fault:
+            return None, fault
+
+    # -- login flows ------------------------------------------------------------------
+    def login_with_credential(self, credential: Credential) -> dict[str, Any]:
+        """Challenge–response login with a user credential (cert + key)."""
+
+        dn = str(credential.certificate.subject)
+        nonce = self.call("system.get_challenge", dn)
+        signature = credential.private_key.sign(nonce.encode())
+        chain = [cert.to_dict() for cert in credential.full_chain()]
+        session = self.call("system.auth", dn, format(signature, "x"), chain)
+        self.session_id = session["session_id"]
+        self.dn = session["dn"]
+        return session
+
+    def login_with_proxy(self, proxy: ProxyCertificate) -> dict[str, Any]:
+        """Login by presenting a proxy certificate chain."""
+
+        chain = [cert.to_dict() for cert in proxy.credential.full_chain()]
+        session = self.call("system.auth_proxy", chain)
+        self.session_id = session["session_id"]
+        self.dn = session["dn"]
+        return session
+
+    def login_with_stored_proxy(self, owner_dn: str, password: str) -> dict[str, Any]:
+        """Login using a proxy previously stored on the server (DN + password)."""
+
+        session = self.call("proxy.login", owner_dn, password)
+        self.session_id = session["session_id"]
+        self.dn = session["dn"]
+        return session
+
+    def login_tls(self) -> dict[str, Any]:
+        """Create a session from the TLS client certificate on the connection."""
+
+        session = self.call("system.auth_tls")
+        self.session_id = session["session_id"]
+        self.dn = session["dn"]
+        return session
+
+    def logout(self) -> bool:
+        """Destroy the current session (no-op when not logged in)."""
+
+        if not self.session_id:
+            return False
+        try:
+            result = bool(self.call("system.logout"))
+        finally:
+            self.session_id = None
+            self.dn = None
+        return result
+
+    @property
+    def authenticated(self) -> bool:
+        return self.session_id is not None
+
+    # -- convenience wrappers ------------------------------------------------------------
+    def list_methods(self) -> list[str]:
+        return list(self.call("system.list_methods"))
+
+    def server_info(self) -> dict[str, Any]:
+        return dict(self.call("system.server_info"))
+
+    def whoami(self) -> dict[str, Any]:
+        return dict(self.call("system.whoami"))
+
+    def http_get(self, path: str, *, query: str = "") -> HTTPResponse:
+        """Issue a raw GET (used for file downloads through the sendfile path)."""
+
+        full = path if path.startswith("/") else f"{self.file_path}/{path}"
+        if query:
+            full = f"{full}?{query}"
+        return self.transport.request("GET", full, headers=self._headers({"Accept": "*/*"}))
+
+    def close(self) -> None:
+        self.transport.close()
+
+    def __enter__(self) -> "ClarensClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

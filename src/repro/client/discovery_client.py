@@ -1,0 +1,131 @@
+"""A discovery-aware client: location-independent calls.
+
+"Using the discovery service, applications (and this includes other services)
+can make service calls that are location independent … Binding to a location
+can then occur in real time."  :class:`DiscoveryAwareClient` asks a discovery
+server which live endpoint offers the wanted module (or method), resolves the
+returned URL to a transport through a :class:`ServerDirectory`, and performs
+the call there.  Bindings are re-resolved whenever a cached endpoint fails or
+its descriptor disappears, so a service can move between servers mid-session.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable
+
+from repro.client.client import ClarensClient
+from repro.client.errors import ClientError
+from repro.httpd.loopback import LoopbackTransport
+from repro.pki.credentials import Credential
+
+__all__ = ["ServerDirectory", "DiscoveryAwareClient"]
+
+
+class ServerDirectory:
+    """Maps discovery URLs onto client factories.
+
+    In a real deployment the URL itself is enough (it names a host/port); the
+    reproduction also supports ``loopback://`` URLs that resolve to in-process
+    transports, so multi-server examples and tests run without sockets.
+    """
+
+    def __init__(self) -> None:
+        self._factories: dict[str, Callable[[], ClarensClient]] = {}
+        self._lock = threading.Lock()
+
+    def register_loopback(self, url: str, loopback: LoopbackTransport, *,
+                          credential: Credential | None = None,
+                          url_prefix: str = "/clarens") -> None:
+        """Associate a loopback transport with a discovery URL."""
+
+        with self._lock:
+            self._factories[url] = lambda: ClarensClient.for_loopback(
+                loopback, credential=credential, url_prefix=url_prefix)
+
+    def register_http(self, url: str, *, url_prefix: str = "/clarens") -> None:
+        """Associate a plain HTTP base URL with itself."""
+
+        with self._lock:
+            self._factories[url] = lambda: ClarensClient.for_url(url, url_prefix=url_prefix)
+
+    def register_factory(self, url: str, factory: Callable[[], ClarensClient]) -> None:
+        with self._lock:
+            self._factories[url] = factory
+
+    def resolve(self, url: str) -> ClarensClient:
+        with self._lock:
+            factory = self._factories.get(url)
+        if factory is None:
+            if url.startswith("http://"):
+                return ClarensClient.for_url(url)
+            raise ClientError(f"no transport registered for discovery URL {url!r}")
+        return factory()
+
+    def urls(self) -> list[str]:
+        with self._lock:
+            return sorted(self._factories)
+
+
+class DiscoveryAwareClient:
+    """Resolves service locations at call time through a discovery server."""
+
+    def __init__(self, discovery_client: ClarensClient, directory: ServerDirectory, *,
+                 login: Callable[[ClarensClient], None] | None = None) -> None:
+        self.discovery = discovery_client
+        self.directory = directory
+        #: Optional callable that logs a freshly bound client in (e.g. with a
+        #: user credential) before it is used.
+        self._login = login
+        self._bound: dict[str, tuple[str, ClarensClient]] = {}
+        self._lock = threading.Lock()
+
+    # -- binding -----------------------------------------------------------------------
+    def resolve_url(self, *, module: str = "", method: str = "", name: str = "") -> str:
+        url = self.discovery.call("discovery.lookup", module, method, name)
+        if not url:
+            target = name or method or module
+            raise ClientError(f"discovery found no live server offering {target!r}")
+        return url
+
+    def bind(self, module: str) -> ClarensClient:
+        """Return a client bound to a live server offering ``module``."""
+
+        url = self.resolve_url(module=module)
+        with self._lock:
+            cached = self._bound.get(module)
+            if cached is not None and cached[0] == url:
+                return cached[1]
+        client = self.directory.resolve(url)
+        if self._login is not None:
+            self._login(client)
+        with self._lock:
+            self._bound[module] = (url, client)
+        return client
+
+    def unbind(self, module: str) -> None:
+        with self._lock:
+            self._bound.pop(module, None)
+
+    # -- calls --------------------------------------------------------------------------
+    def call(self, method: str, *params: Any) -> Any:
+        """Call ``module.method`` on whichever live server offers it.
+
+        If the cached binding fails (server gone), the binding is dropped and
+        resolved again once before giving up — the "services move" scenario.
+        """
+
+        module = method.split(".", 1)[0]
+        client = self.bind(module)
+        try:
+            return client.call(method, *params)
+        except ClientError:
+            self.unbind(module)
+            client = self.bind(module)
+            return client.call(method, *params)
+
+    def close(self) -> None:
+        with self._lock:
+            for _, client in self._bound.values():
+                client.close()
+            self._bound.clear()

@@ -1,0 +1,13 @@
+"""Client-side errors."""
+
+from __future__ import annotations
+
+__all__ = ["ClientError", "TransportError"]
+
+
+class ClientError(Exception):
+    """Base class for client-side failures (transport, login, protocol)."""
+
+
+class TransportError(ClientError):
+    """The HTTP transport failed (connection refused, malformed response, ...)."""

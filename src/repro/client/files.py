@@ -1,0 +1,92 @@
+"""File transfer helpers.
+
+Two ways to move file data, matching the paper:
+
+* ``download_file`` issues an HTTP GET against the file endpoint, exercising
+  the server's zero-copy sendfile path (how the SC2003 bandwidth-challenge
+  streams were served);
+* ``download_file_rpc`` pulls the file in chunks through ``file.read``
+  (filename, offset, nbytes), the RPC path;
+* ``upload_file`` pushes data through ``file.write``.
+
+Both download helpers optionally verify the MD5 checksum against
+``file.md5``, the integrity check the paper describes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from pathlib import Path
+
+from repro.client.client import ClarensClient
+from repro.client.errors import ClientError
+
+__all__ = ["download_file", "download_file_rpc", "upload_file", "DEFAULT_CHUNK"]
+
+DEFAULT_CHUNK = 1 << 20  # 1 MiB, matching the server's FilePayload chunking
+
+
+def download_file(client: ClarensClient, remote_path: str,
+                  local_path: str | Path | None = None, *,
+                  verify_checksum: bool = False) -> bytes:
+    """Download a file over HTTP GET; optionally write it locally and verify MD5."""
+
+    response = client.http_get(remote_path.lstrip("/"))
+    if response.status != 200:
+        raise ClientError(
+            f"GET {remote_path} failed with HTTP {response.status}: "
+            f"{response.body_bytes()[:200]!r}")
+    data = response.body_bytes()
+    if verify_checksum:
+        expected = client.call("file.md5", remote_path)
+        actual = hashlib.md5(data).hexdigest()
+        if expected != actual:
+            raise ClientError(
+                f"checksum mismatch for {remote_path}: expected {expected}, got {actual}")
+    if local_path is not None:
+        Path(local_path).write_bytes(data)
+    return data
+
+
+def download_file_rpc(client: ClarensClient, remote_path: str,
+                      local_path: str | Path | None = None, *,
+                      chunk_size: int = DEFAULT_CHUNK,
+                      verify_checksum: bool = False) -> bytes:
+    """Download a file via chunked ``file.read`` RPC calls."""
+
+    size = client.call("file.size", remote_path)
+    chunks: list[bytes] = []
+    offset = 0
+    while offset < size:
+        chunk = client.call("file.read", remote_path, offset, min(chunk_size, size - offset))
+        if not chunk:
+            break
+        chunks.append(chunk)
+        offset += len(chunk)
+    data = b"".join(chunks)
+    if verify_checksum:
+        expected = client.call("file.md5", remote_path)
+        actual = hashlib.md5(data).hexdigest()
+        if expected != actual:
+            raise ClientError(
+                f"checksum mismatch for {remote_path}: expected {expected}, got {actual}")
+    if local_path is not None:
+        Path(local_path).write_bytes(data)
+    return data
+
+
+def upload_file(client: ClarensClient, local_path: str | Path, remote_path: str, *,
+                chunk_size: int = DEFAULT_CHUNK) -> int:
+    """Upload a local file via chunked ``file.write`` calls; returns bytes sent."""
+
+    data = Path(local_path).read_bytes()
+    sent = 0
+    first = True
+    while sent < len(data) or first:
+        chunk = data[sent:sent + chunk_size]
+        client.call("file.write", remote_path, chunk, not first)
+        sent += len(chunk)
+        first = False
+        if not chunk:
+            break
+    return sent

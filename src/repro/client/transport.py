@@ -1,0 +1,112 @@
+"""Client transports.
+
+A transport turns (method, path, headers, body) into an HTTP response.  Two
+implementations exist: one speaking to an in-process
+:class:`~repro.httpd.loopback.LoopbackConnection` (used by tests and the
+benchmarks, like the paper's framework-overhead measurement) and one speaking
+real HTTP over sockets via :mod:`http.client`.
+"""
+
+from __future__ import annotations
+
+import http.client
+import urllib.parse
+from typing import Mapping, Protocol
+
+from repro.client.errors import TransportError
+from repro.httpd.loopback import LoopbackConnection, LoopbackTransport
+from repro.httpd.message import Headers, HTTPRequest, HTTPResponse
+from repro.httpd.tls import TLSContext
+
+__all__ = ["Transport", "LoopbackClientTransport", "HTTPTransport"]
+
+
+class Transport(Protocol):
+    """The interface both transports implement."""
+
+    def request(self, method: str, path: str, *, headers: Mapping[str, str] | None = None,
+                body: bytes = b"") -> HTTPResponse:  # pragma: no cover - protocol
+        ...
+
+    def close(self) -> None:  # pragma: no cover - protocol
+        ...
+
+
+class LoopbackClientTransport:
+    """Transport over an in-process loopback connection."""
+
+    def __init__(self, transport: LoopbackTransport, *,
+                 client_tls: TLSContext | None = None) -> None:
+        self._loopback = transport
+        self._client_tls = client_tls
+        self._connection: LoopbackConnection | None = None
+
+    def _connect(self) -> LoopbackConnection:
+        if self._connection is None:
+            self._connection = self._loopback.connect(self._client_tls)
+        return self._connection
+
+    def request(self, method: str, path: str, *, headers: Mapping[str, str] | None = None,
+                body: bytes = b"") -> HTTPResponse:
+        request = HTTPRequest(method=method, path=path, headers=Headers(dict(headers or {})),
+                              body=body)
+        return self._connect().request(request)
+
+    @property
+    def client_dn(self) -> str | None:
+        return self._connect().client_dn
+
+    def close(self) -> None:
+        if self._connection is not None:
+            self._connection.close()
+            self._connection = None
+
+
+class HTTPTransport:
+    """Transport over a real TCP connection (keep-alive, one socket)."""
+
+    def __init__(self, base_url: str, *, timeout: float = 30.0) -> None:
+        parsed = urllib.parse.urlparse(base_url)
+        if parsed.scheme not in ("http", ""):
+            raise TransportError(f"unsupported URL scheme {parsed.scheme!r}")
+        if not parsed.hostname:
+            raise TransportError(f"URL {base_url!r} has no host")
+        self.host = parsed.hostname
+        self.port = parsed.port or 80
+        self.timeout = timeout
+        self._conn: http.client.HTTPConnection | None = None
+
+    def _connect(self) -> http.client.HTTPConnection:
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
+        return self._conn
+
+    def request(self, method: str, path: str, *, headers: Mapping[str, str] | None = None,
+                body: bytes = b"") -> HTTPResponse:
+        conn = self._connect()
+        try:
+            conn.request(method, path, body=body or None, headers=dict(headers or {}))
+            raw = conn.getresponse()
+            payload = raw.read()
+        except (OSError, http.client.HTTPException) as exc:
+            # One reconnect attempt: the server may have closed an idle
+            # keep-alive connection between requests.
+            self.close()
+            conn = self._connect()
+            try:
+                conn.request(method, path, body=body or None, headers=dict(headers or {}))
+                raw = conn.getresponse()
+                payload = raw.read()
+            except (OSError, http.client.HTTPException) as exc2:
+                raise TransportError(f"HTTP request failed: {exc2}") from exc
+        response_headers = Headers()
+        for key, value in raw.getheaders():
+            response_headers.add(key, value)
+        return HTTPResponse(status=raw.status, headers=response_headers, body=payload)
+
+    def close(self) -> None:
+        if self._conn is not None:
+            try:
+                self._conn.close()
+            finally:
+                self._conn = None

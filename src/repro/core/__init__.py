@@ -1,0 +1,39 @@
+"""The Clarens core: server, dispatcher, sessions, authentication.
+
+This package is the paper's primary contribution — the web-service framework
+itself.  The main entry point is :class:`repro.core.server.ClarensServer`,
+which assembles the substrates (database, PKI trust, HTTP frontends) and
+registers the standard services (system, VO, ACL, file, discovery, shell,
+proxy, jobs).  Requests flow::
+
+    HTTP frontend (loopback or socket)
+        -> Router (URL form selects RPC endpoint, file GET, or portal)
+        -> Dispatcher (protocol negotiation, session check, ACL check)
+        -> registered service method
+        -> RPC response (or fault) encoded with the request's protocol
+"""
+
+from __future__ import annotations
+
+from repro.core.config import ServerConfig
+from repro.core.context import CallContext
+from repro.core.dispatch import Dispatcher
+from repro.core.errors import ClarensError
+from repro.core.registry import MethodRegistry, RegisteredMethod
+from repro.core.server import ClarensServer
+from repro.core.service import ClarensService, rpc_method
+from repro.core.session import Session, SessionManager
+
+__all__ = [
+    "ClarensServer",
+    "ServerConfig",
+    "Dispatcher",
+    "CallContext",
+    "ClarensError",
+    "MethodRegistry",
+    "RegisteredMethod",
+    "ClarensService",
+    "rpc_method",
+    "Session",
+    "SessionManager",
+]

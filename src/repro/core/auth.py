@@ -1,0 +1,148 @@
+"""Certificate-based authentication.
+
+Clarens establishes the client's identity from its X.509 certificate, either
+presented over the SSL connection (where Apache/mod_ssl verified it and
+exported the DN) or through an explicit challenge–response exchange for
+unencrypted deployments such as the paper's performance test.  Either path
+ends with a persistent server-side session whose id the client attaches to
+subsequent requests.
+
+The :class:`Authenticator` supports three login flows:
+
+* **TLS client certificate** -- the transport already verified the chain;
+  ``login_tls`` just needs the DN.
+* **Challenge–response** -- the client asks for a nonce, signs it with its
+  private key, and submits the signature together with its certificate chain;
+  the server verifies the chain against its trust store and the signature
+  against the certificate's public key.
+* **Proxy certificate** -- a (possibly delegated) proxy chain is verified
+  with the proxy rules; the session is created for the *owner* DN.
+"""
+
+from __future__ import annotations
+
+import secrets
+import threading
+import time
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.core.errors import AuthenticationError
+from repro.core.session import Session, SessionManager
+from repro.pki.certificate import Certificate, TrustStore, VerificationError, verify_chain
+from repro.pki.proxy import ProxyCertificate, verify_proxy_chain
+
+__all__ = ["Authenticator", "Challenge"]
+
+_CHALLENGE_LIFETIME = 300.0  # five minutes
+
+
+@dataclass
+class Challenge:
+    """An outstanding authentication challenge."""
+
+    dn: str
+    nonce: str
+    issued: float
+
+    def is_expired(self, when: float | None = None) -> bool:
+        when = time.time() if when is None else when
+        return when - self.issued > _CHALLENGE_LIFETIME
+
+
+class Authenticator:
+    """Verifies credentials and turns them into sessions."""
+
+    def __init__(self, sessions: SessionManager, trust_store: TrustStore, *,
+                 revoked_serials: Mapping | None = None) -> None:
+        self.sessions = sessions
+        self.trust_store = trust_store
+        self.revoked_serials = dict(revoked_serials or {})
+        self._challenges: dict[str, Challenge] = {}
+        self._lock = threading.Lock()
+
+    # -- challenge/response ------------------------------------------------------
+    def issue_challenge(self, dn: str) -> str:
+        """Create a nonce the client must sign to prove key possession."""
+
+        if not dn:
+            raise AuthenticationError("a DN is required to request a challenge")
+        nonce = secrets.token_hex(24)
+        with self._lock:
+            # One outstanding challenge per DN; re-requesting replaces it.
+            self._challenges[dn] = Challenge(dn=dn, nonce=nonce, issued=time.time())
+            self._purge_expired_locked()
+        return nonce
+
+    def _purge_expired_locked(self) -> None:
+        now = time.time()
+        expired = [dn for dn, ch in self._challenges.items() if ch.is_expired(now)]
+        for dn in expired:
+            del self._challenges[dn]
+
+    def login_with_signature(self, dn: str, signature: int,
+                             chain: Sequence[Certificate]) -> Session:
+        """Verify a signed challenge plus certificate chain; create a session."""
+
+        with self._lock:
+            challenge = self._challenges.get(dn)
+        if challenge is None or challenge.is_expired():
+            raise AuthenticationError("no valid challenge outstanding for this DN")
+        if not chain:
+            raise AuthenticationError("a certificate chain is required")
+
+        try:
+            if any(cert.is_proxy for cert in chain):
+                owner = verify_proxy_chain(list(chain), self.trust_store,
+                                           revoked_serials=self.revoked_serials)
+                authenticated_dn = str(owner)
+                method = "proxy"
+            else:
+                end_entity = verify_chain(list(chain), self.trust_store,
+                                          revoked_serials=self.revoked_serials)
+                authenticated_dn = str(end_entity.subject)
+                method = "certificate"
+        except VerificationError as exc:
+            raise AuthenticationError(f"certificate verification failed: {exc}") from exc
+
+        if authenticated_dn != dn:
+            raise AuthenticationError(
+                f"challenge was issued for {dn!r} but the chain authenticates {authenticated_dn!r}"
+            )
+        # The signature must be made by the *presented* certificate (the proxy
+        # itself when logging in with a proxy), proving possession of its key.
+        presented = chain[0]
+        if not presented.public_key.verify(challenge.nonce.encode(), signature):
+            raise AuthenticationError("challenge signature verification failed")
+
+        with self._lock:
+            self._challenges.pop(dn, None)
+        return self.sessions.create(authenticated_dn, method=method)
+
+    # -- TLS-verified logins --------------------------------------------------------
+    def login_tls(self, client_dn: str | None) -> Session:
+        """Create a session for a DN already verified by the TLS layer."""
+
+        if not client_dn:
+            raise AuthenticationError("the connection did not present a client certificate")
+        return self.sessions.create(client_dn, method="certificate")
+
+    # -- proxy logins -----------------------------------------------------------------
+    def login_with_proxy(self, proxy: ProxyCertificate | Sequence[Certificate]) -> Session:
+        """Verify a proxy chain and create a session for its owner DN."""
+
+        try:
+            owner = verify_proxy_chain(proxy, self.trust_store,
+                                       revoked_serials=self.revoked_serials)
+        except VerificationError as exc:
+            raise AuthenticationError(f"proxy verification failed: {exc}") from exc
+        return self.sessions.create(str(owner), method="proxy")
+
+    # -- logout -------------------------------------------------------------------------
+    def logout(self, session_id: str) -> bool:
+        return self.sessions.destroy(session_id)
+
+    def outstanding_challenges(self) -> int:
+        with self._lock:
+            self._purge_expired_locked()
+            return len(self._challenges)

@@ -1,0 +1,186 @@
+"""Server configuration.
+
+PClarens read its settings from the Apache/mod_python configuration plus a
+Clarens-specific configuration file; the pieces the paper calls out are the
+static list of ``admins`` DNs (section 2.1), the virtual server root
+directories for file serving (section 2.3), and the shell user map location
+(section 2.5).  :class:`ServerConfig` gathers those plus the knobs the
+reproduction's benchmarks sweep (caching, session lifetime, ACL checks).
+
+Configurations can be built directly, from a dict, or parsed from an INI file
+so the examples can ship human-editable config files.
+"""
+
+from __future__ import annotations
+
+import configparser
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Mapping, Sequence
+
+__all__ = ["ServerConfig", "ConfigError"]
+
+
+class ConfigError(Exception):
+    """Raised when a configuration file or mapping is invalid."""
+
+
+@dataclass
+class ServerConfig:
+    """Configuration for one Clarens server instance."""
+
+    #: Human-readable server name; also used as the discovery service id.
+    server_name: str = "clarens"
+    #: The server's host DN (matched against its host certificate when set).
+    host_dn: str | None = None
+    #: Directory for the server's databases.  ``None`` keeps everything in
+    #: memory (no session persistence across restarts).
+    data_dir: str | None = None
+    #: DNs (or DN prefixes) of the server administrators; populates the
+    #: ``admins`` VO group on every start.
+    admins: list[str] = field(default_factory=list)
+    #: Virtual server root for the file service (paper: "a virtual server root
+    #: directory can be defined … which may be any directory on the server").
+    file_root: str | None = None
+    #: Root directory under which per-user shell sandboxes are created.
+    shell_root: str | None = None
+    #: Path of the shell service's DN -> system user map file.
+    user_map_path: str | None = None
+    #: URL prefix routed to Clarens (everything else is "handled transparently
+    #: by the Apache server", i.e. the default handler).
+    url_prefix: str = "/clarens"
+    #: Seconds an idle session stays valid.
+    session_lifetime: float = 24 * 3600.0
+    #: Number of access-control checks performed per request (the paper's test
+    #: notes two: session lookup and method ACL).  The ACL-overhead ablation
+    #: benchmark sweeps this value.
+    access_checks_per_request: int = 2
+    #: When True, the method-list DB lookup performed by system.list_methods is
+    #: cached; the paper explicitly ran with "no caching … on the server".
+    cache_method_list: bool = False
+    #: Allow any authenticated DN to call methods with no configured ACL.
+    default_allow_authenticated: bool = True
+    #: Allow unauthenticated (anonymous) calls to a small whitelist of system
+    #: methods (system.list_methods and friends), matching the public
+    #: discovery behaviour of deployed Clarens servers.
+    allow_anonymous_system_calls: bool = True
+    #: Maximum bytes a single file.read call may return.
+    max_read_bytes: int = 8 * 1024 * 1024
+    #: Interval between discovery re-publications, seconds.
+    discovery_publish_interval: float = 30.0
+    #: Extra free-form settings (service-specific tuning, experiment labels).
+    extra: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.server_name:
+            raise ConfigError("server_name must be non-empty")
+        if not self.url_prefix.startswith("/"):
+            self.url_prefix = "/" + self.url_prefix
+        self.url_prefix = self.url_prefix.rstrip("/") or "/clarens"
+        if self.session_lifetime <= 0:
+            raise ConfigError("session_lifetime must be positive")
+        if self.access_checks_per_request < 0:
+            raise ConfigError("access_checks_per_request cannot be negative")
+        if self.max_read_bytes <= 0:
+            raise ConfigError("max_read_bytes must be positive")
+        self.admins = [str(a) for a in self.admins]
+
+    # -- constructors --------------------------------------------------------
+    @classmethod
+    def from_mapping(cls, mapping: Mapping[str, Any]) -> "ServerConfig":
+        known = {f for f in cls.__dataclass_fields__}  # noqa: C416
+        kwargs: dict[str, Any] = {}
+        extra: dict[str, Any] = {}
+        for key, value in mapping.items():
+            if key in known and key != "extra":
+                kwargs[key] = value
+            else:
+                extra[key] = value
+        if "extra" in mapping and isinstance(mapping["extra"], dict):
+            extra.update(mapping["extra"])
+        kwargs["extra"] = extra
+        try:
+            return cls(**kwargs)
+        except TypeError as exc:
+            raise ConfigError(f"invalid configuration: {exc}") from exc
+
+    @classmethod
+    def from_ini(cls, path: str | Path) -> "ServerConfig":
+        """Parse an INI file with ``[server]``, ``[admins]`` and ``[extra]`` sections."""
+
+        parser = configparser.ConfigParser()
+        read = parser.read(str(path))
+        if not read:
+            raise ConfigError(f"configuration file not found: {path}")
+        mapping: dict[str, Any] = {}
+        if parser.has_section("server"):
+            for key, value in parser.items("server"):
+                mapping[key] = _coerce(value)
+        if parser.has_section("admins"):
+            mapping["admins"] = [v for _, v in parser.items("admins")]
+        if parser.has_section("extra"):
+            mapping["extra"] = {k: _coerce(v) for k, v in parser.items("extra")}
+        return cls.from_mapping(mapping)
+
+    def to_ini(self, path: str | Path) -> Path:
+        """Write the configuration out as an INI file (for the examples)."""
+
+        parser = configparser.ConfigParser()
+        parser["server"] = {}
+        for key in ("server_name", "host_dn", "data_dir", "file_root", "shell_root",
+                    "user_map_path", "url_prefix", "session_lifetime",
+                    "access_checks_per_request", "cache_method_list",
+                    "default_allow_authenticated", "allow_anonymous_system_calls",
+                    "max_read_bytes", "discovery_publish_interval"):
+            value = getattr(self, key)
+            if value is not None:
+                parser["server"][key] = str(value)
+        parser["admins"] = {f"admin{i}": dn for i, dn in enumerate(self.admins)}
+        if self.extra:
+            parser["extra"] = {k: str(v) for k, v in self.extra.items()}
+        path = Path(path)
+        with path.open("w", encoding="utf-8") as fh:
+            parser.write(fh)
+        return path
+
+    # -- helpers -------------------------------------------------------------
+    def rpc_path(self) -> str:
+        return f"{self.url_prefix}/rpc"
+
+    def file_path(self) -> str:
+        return f"{self.url_prefix}/file"
+
+    def portal_path(self) -> str:
+        return f"{self.url_prefix}/portal"
+
+    def with_overrides(self, **overrides: Any) -> "ServerConfig":
+        """A copy of this config with selected fields replaced."""
+
+        data = {f: getattr(self, f) for f in self.__dataclass_fields__}
+        data.update(overrides)
+        return ServerConfig(**data)
+
+
+def _coerce(value: str) -> Any:
+    lowered = value.strip().lower()
+    if lowered in ("true", "yes", "on"):
+        return True
+    if lowered in ("false", "no", "off"):
+        return False
+    if lowered in ("none", "null", ""):
+        return None
+    try:
+        return int(value)
+    except ValueError:
+        pass
+    try:
+        return float(value)
+    except ValueError:
+        pass
+    return value
+
+
+def _admin_list(value: str | Sequence[str]) -> list[str]:  # pragma: no cover - helper
+    if isinstance(value, str):
+        return [v.strip() for v in value.split(",") if v.strip()]
+    return [str(v) for v in value]

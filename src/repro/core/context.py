@@ -1,0 +1,59 @@
+"""Per-call context handed to service methods.
+
+Every registered method that declares a ``ctx`` first parameter receives a
+:class:`CallContext` describing the authenticated caller, the session, and a
+reference to the server so services can reach shared managers (VO, ACL,
+discovery, ...) without global state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
+
+from repro.core.errors import AuthenticationError
+from repro.core.session import Session
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.core.server import ClarensServer
+    from repro.httpd.message import HTTPRequest
+
+__all__ = ["CallContext"]
+
+
+@dataclass
+class CallContext:
+    """Context for one RPC invocation."""
+
+    server: "ClarensServer"
+    method: str
+    #: The authenticated DN (from the session or the TLS client certificate),
+    #: or None for anonymous calls to methods that allow them.
+    dn: str | None = None
+    session: Session | None = None
+    request: "HTTPRequest | None" = None
+    protocol: str = "xml-rpc"
+
+    @property
+    def authenticated(self) -> bool:
+        return self.dn is not None
+
+    def require_dn(self) -> str:
+        """The caller DN, raising AuthenticationError for anonymous calls."""
+
+        if self.dn is None:
+            raise AuthenticationError(f"method {self.method} requires authentication")
+        return self.dn
+
+    def session_attribute(self, key: str, default: Any = None) -> Any:
+        if self.session is None:
+            return default
+        return self.session.attributes.get(key, default)
+
+    def set_session_attribute(self, key: str, value: Any) -> None:
+        """Persist a per-session attribute (e.g. the shell sandbox path)."""
+
+        if self.session is None:
+            raise AuthenticationError("no session to attach attributes to")
+        self.server.sessions.set_attribute(self.session.session_id, key, value)
+        self.session.attributes[key] = value

@@ -1,0 +1,69 @@
+"""Core error types.
+
+Service code raises these; the dispatcher converts them to RPC faults with
+the codes defined in :class:`repro.protocols.errors.FaultCode` so every
+protocol reports failures consistently.
+"""
+
+from __future__ import annotations
+
+from repro.protocols.errors import Fault, FaultCode
+
+__all__ = [
+    "ClarensError",
+    "AuthenticationError",
+    "AccessDeniedError",
+    "SessionExpiredError",
+    "NotFoundError",
+    "to_fault",
+]
+
+
+class ClarensError(Exception):
+    """Base class for framework-level errors raised by services."""
+
+    fault_code = FaultCode.SERVICE_ERROR
+
+
+class AuthenticationError(ClarensError):
+    """The caller is not authenticated (no session, bad credentials)."""
+
+    fault_code = FaultCode.AUTHENTICATION_REQUIRED
+
+
+class SessionExpiredError(AuthenticationError):
+    """The presented session id is unknown or has expired."""
+
+    fault_code = FaultCode.SESSION_EXPIRED
+
+
+class AccessDeniedError(ClarensError):
+    """The caller is authenticated but not authorized (ACL denial)."""
+
+    fault_code = FaultCode.ACCESS_DENIED
+
+
+class NotFoundError(ClarensError):
+    """A named entity (file, job, service, group) does not exist."""
+
+    fault_code = FaultCode.NOT_FOUND
+
+
+def to_fault(exc: BaseException) -> Fault:
+    """Map an exception raised by a service method onto an RPC fault."""
+
+    # Imported here to avoid dependency cycles: the ACL/VO packages do not
+    # depend on core, but their authorization errors must surface as
+    # access-denied faults rather than generic internal errors.
+    from repro.acl.model import ACLError
+    from repro.vo.model import VOError
+
+    if isinstance(exc, Fault):
+        return exc
+    if isinstance(exc, ClarensError):
+        return Fault(exc.fault_code, str(exc))
+    if isinstance(exc, (ACLError, VOError)):
+        return Fault(FaultCode.ACCESS_DENIED, f"{type(exc).__name__}: {exc}")
+    if isinstance(exc, (TypeError, ValueError)):
+        return Fault(FaultCode.INVALID_PARAMS, f"{type(exc).__name__}: {exc}")
+    return Fault(FaultCode.INTERNAL_ERROR, f"{type(exc).__name__}: {exc}")

@@ -1,0 +1,263 @@
+"""The Clarens server assembly.
+
+:class:`ClarensServer` wires together the substrates (database, PKI trust,
+HTTP routing) and the standard services.  It exposes two frontends:
+
+* :meth:`ClarensServer.loopback` — an in-process transport used by tests and
+  by the Figure 4 benchmark (framework overhead only, as in the paper);
+* :meth:`ClarensServer.socket_server` — a real threaded HTTP server.
+
+Both route through the same :class:`~repro.httpd.router.Router`, so URL
+handling ("Apache invokes PClarens based on the form of the URL") and request
+processing are identical regardless of transport.
+"""
+
+from __future__ import annotations
+
+import tempfile
+import time
+from pathlib import Path
+from typing import Iterable
+
+from repro.acl.evaluator import ACLManager
+from repro.core.auth import Authenticator
+from repro.core.config import ServerConfig
+from repro.core.context import CallContext
+from repro.core.dispatch import Dispatcher
+from repro.core.errors import AccessDeniedError
+from repro.core.registry import MethodRegistry
+from repro.core.service import ClarensService
+from repro.core.session import SessionManager
+from repro.core.system import SystemService
+from repro.database import Database
+from repro.httpd.accesslog import AccessLog
+from repro.httpd.loopback import LoopbackTransport
+from repro.httpd.message import HTTPError, HTTPRequest, HTTPResponse
+from repro.httpd.router import Router
+from repro.httpd.server import SocketHTTPServer
+from repro.httpd.tls import TLSContext
+from repro.pki.certificate import TrustStore
+from repro.pki.credentials import Credential
+from repro.vo.model import VOManager
+
+__all__ = ["ClarensServer"]
+
+
+class ClarensServer:
+    """A Clarens web-service server instance."""
+
+    def __init__(self, config: ServerConfig | None = None, *,
+                 credential: Credential | None = None,
+                 trust_store: TrustStore | None = None,
+                 database: Database | None = None,
+                 monitor=None,
+                 register_default_services: bool = True) -> None:
+        self.config = config or ServerConfig()
+        self.credential = credential
+        self.trust_store = trust_store or TrustStore()
+        self.monitor = monitor
+        self.started_at = time.time()
+
+        # -- substrates -----------------------------------------------------
+        if database is not None:
+            self.db = database
+        elif self.config.data_dir:
+            self.db = Database(self.config.data_dir)
+        else:
+            self.db = Database()
+
+        self.access_log = AccessLog()
+        self.registry = MethodRegistry(self.db, cache_method_list=self.config.cache_method_list)
+        self.sessions = SessionManager(self.db, lifetime=self.config.session_lifetime)
+        self.vo = VOManager(self.db, admins=self.config.admins)
+        self.acl = ACLManager(
+            self.db,
+            membership=self.vo.is_member,
+            is_admin=lambda dn: self.vo.is_admin(dn),
+            default_allow_authenticated=self.config.default_allow_authenticated,
+        )
+        revoked = {}
+        self.authenticator = Authenticator(self.sessions, self.trust_store,
+                                           revoked_serials=revoked)
+        self.dispatcher = Dispatcher(self)
+
+        # -- file / shell roots ----------------------------------------------
+        self._owned_tempdirs: list[tempfile.TemporaryDirectory] = []
+        self.file_root = self._resolve_root(self.config.file_root, "files")
+        self.shell_root = self._resolve_root(self.config.shell_root, "sandboxes")
+
+        # -- services ---------------------------------------------------------
+        self.services: dict[str, ClarensService] = {}
+        if register_default_services:
+            self._register_default_services()
+
+        # -- routing ----------------------------------------------------------
+        self.router = Router()
+        self.router.add(self.config.rpc_path(), self.dispatcher.handle_http,
+                        methods=("POST",))
+        self.router.add(self.config.file_path(), self._handle_file_get,
+                        methods=("GET",))
+        self.router.set_default(self._handle_unrouted)
+
+        for service in self.services.values():
+            service.on_start()
+
+    # -- assembly helpers -----------------------------------------------------
+    def _resolve_root(self, configured: str | None, default_name: str) -> Path:
+        if configured:
+            path = Path(configured)
+            path.mkdir(parents=True, exist_ok=True)
+            return path
+        if self.config.data_dir:
+            path = Path(self.config.data_dir) / default_name
+            path.mkdir(parents=True, exist_ok=True)
+            return path
+        tmp = tempfile.TemporaryDirectory(prefix=f"clarens-{default_name}-")
+        self._owned_tempdirs.append(tmp)
+        return Path(tmp.name)
+
+    def _register_default_services(self) -> None:
+        # Imported here to keep the core package importable on its own and to
+        # avoid import cycles (each service module imports repro.core.service).
+        from repro.discovery.service import DiscoveryService
+        from repro.fileservice.service import FileService
+        from repro.jobs.service import JobService
+        from repro.messaging.service import MessagingService
+        from repro.proxyservice.service import ProxyService
+        from repro.shell.service import ShellService
+        from repro.storage.service import SRMService
+        from repro.acl.service import ACLService
+        from repro.vo.service import VOService
+
+        for service_cls in (SystemService, VOService, ACLService, FileService,
+                            DiscoveryService, ShellService, ProxyService, JobService,
+                            MessagingService, SRMService):
+            self.add_service(service_cls(self))
+
+    def add_service(self, service: ClarensService) -> ClarensService:
+        """Register a service instance and publish its methods."""
+
+        service.register(self.registry)
+        self.services[service.service_name] = service
+        return service
+
+    # -- authorization helper ---------------------------------------------------
+    def require_admin(self, ctx: CallContext) -> str:
+        """Raise AccessDeniedError unless the caller is a server administrator."""
+
+        dn = ctx.require_dn()
+        if not self.vo.is_admin(dn):
+            raise AccessDeniedError(f"{dn} is not a server administrator")
+        return dn
+
+    # -- HTTP handling ------------------------------------------------------------
+    def handle_request(self, request: HTTPRequest) -> HTTPResponse:
+        """The single entry point used by every transport."""
+
+        start = time.perf_counter()
+        response = self.router.dispatch(request)
+        self.access_log.log(
+            remote_addr=request.remote_addr,
+            client_dn=request.client_dn,
+            method=request.method,
+            path=request.url_path,
+            status=response.status,
+            response_bytes=response.content_length(),
+            duration_s=time.perf_counter() - start,
+        )
+        return response
+
+    def _handle_file_get(self, request: HTTPRequest, remainder: str) -> HTTPResponse:
+        file_service = self.services.get("file")
+        if file_service is None:
+            raise HTTPError(404, "file service is not enabled on this server")
+        return file_service.handle_get(request, remainder)  # type: ignore[attr-defined]
+
+    def _handle_unrouted(self, request: HTTPRequest, remainder: str) -> HTTPResponse:
+        # "Other URLs are handled transparently by the Apache server according
+        # to its configuration" — for the reproduction that means a 404 unless
+        # a deployment mounts extra routes on ``self.router``.
+        raise HTTPError(404, f"no handler configured for {request.url_path}")
+
+    # -- frontends -------------------------------------------------------------------
+    def loopback(self, *, tls: bool = False,
+                 require_client_cert: bool = False) -> LoopbackTransport:
+        """An in-process transport bound to this server."""
+
+        server_tls = None
+        if tls:
+            if self.credential is None:
+                raise ValueError("TLS requires the server to hold a host credential")
+            server_tls = TLSContext(credential=self.credential,
+                                    trust_store=self.trust_store,
+                                    require_client_cert=require_client_cert)
+        return LoopbackTransport(self.handle_request, server_tls=server_tls,
+                                 client_trust_store=self.trust_store)
+
+    def socket_server(self, *, host: str = "127.0.0.1", port: int = 0,
+                      keep_alive: bool = True) -> SocketHTTPServer:
+        """A real threaded HTTP server bound to this Clarens instance."""
+
+        return SocketHTTPServer(self.handle_request, host=host, port=port,
+                                keep_alive=keep_alive, access_log=self.access_log)
+
+    # -- discovery helpers ---------------------------------------------------------
+    def service_descriptor(self, url: str | None = None) -> dict:
+        """The descriptor this server publishes to the discovery network."""
+
+        return {
+            "name": self.config.server_name,
+            "url": url or f"loopback://{self.config.server_name}{self.config.rpc_path()}",
+            "host_dn": self.config.host_dn or (
+                str(self.credential.certificate.subject) if self.credential else ""),
+            "services": self.registry.modules(),
+            "methods": self.registry.list_methods(),
+            "protocols": ["xml-rpc", "soap", "json-rpc"],
+            "started_at": self.started_at,
+        }
+
+    # -- lifecycle --------------------------------------------------------------------
+    def checkpoint(self) -> None:
+        """Flush database state to disk (sessions, VO, ACLs, methods)."""
+
+        self.db.checkpoint()
+
+    def close(self) -> None:
+        for service in self.services.values():
+            service.on_stop()
+        self.db.close()
+        for tmp in self._owned_tempdirs:
+            tmp.cleanup()
+        self._owned_tempdirs.clear()
+
+    def __enter__(self) -> "ClarensServer":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- convenience constructors -----------------------------------------------------
+    @classmethod
+    def with_test_pki(cls, config: ServerConfig | None = None, *,
+                      ca_name: str = "/O=clarens.test/CN=Clarens Test CA",
+                      hostname: str = "server.clarens.test",
+                      extra_users: Iterable[str] = (),
+                      **kwargs):
+        """Build a server plus a CA and host credential, for tests and examples.
+
+        Returns ``(server, ca)`` so callers can issue client certificates from
+        the same CA the server trusts.
+        """
+
+        from repro.pki.authority import CertificateAuthority
+
+        ca = CertificateAuthority(ca_name)
+        host_credential = ca.issue_host(hostname)
+        config = config or ServerConfig()
+        if not config.host_dn:
+            config = config.with_overrides(host_dn=str(host_credential.certificate.subject))
+        server = cls(config, credential=host_credential, trust_store=ca.trust_store(),
+                     **kwargs)
+        for user in extra_users:
+            ca.issue_user(user)
+        return server, ca

@@ -1,0 +1,202 @@
+"""The ``system`` service.
+
+Every Clarens server publishes a ``system`` module with introspection and
+authentication methods.  ``system.list_methods`` is the method the paper's
+performance test calls one thousand times per batch; the other methods cover
+login (challenge/response, TLS, proxy), logout, session renewal and server
+information used by the discovery service and the portal.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Sequence
+
+from repro.core.context import CallContext
+from repro.core.errors import AuthenticationError, NotFoundError
+from repro.core.service import ClarensService, rpc_method
+from repro.pki.certificate import Certificate
+
+__all__ = ["SystemService"]
+
+
+def _decode_chain(chain_data: Sequence[dict]) -> list[Certificate]:
+    return [Certificate.from_dict(item) for item in chain_data]
+
+
+class SystemService(ClarensService):
+    """Introspection, authentication and housekeeping methods."""
+
+    service_name = "system"
+
+    # -- introspection -------------------------------------------------------------
+    @rpc_method(anonymous=True)
+    def list_methods(self) -> list[str]:
+        """Return the names of every method published by this server."""
+
+        return self.server.registry.list_methods()
+
+    @rpc_method(anonymous=True)
+    def method_signature(self, name: str) -> str:
+        """Return the signature string of a published method."""
+
+        return self.server.registry.method_signature(name)
+
+    @rpc_method(anonymous=True)
+    def method_help(self, name: str) -> str:
+        """Return the documentation string of a published method."""
+
+        return self.server.registry.method_help(name)
+
+    @rpc_method(anonymous=True)
+    def list_services(self) -> list[str]:
+        """Return the module names (services) hosted by this server."""
+
+        return self.server.registry.modules()
+
+    @rpc_method(anonymous=True)
+    def describe_methods(self) -> list[dict[str, Any]]:
+        """Return metadata (name, signature, help) for every method."""
+
+        return self.server.registry.describe()
+
+    @rpc_method(anonymous=True)
+    def server_info(self) -> dict[str, Any]:
+        """Return server identity and capability information."""
+
+        config = self.server.config
+        return {
+            "server_name": config.server_name,
+            "host_dn": config.host_dn or "",
+            "url_prefix": config.url_prefix,
+            "protocols": ["xml-rpc", "soap", "json-rpc"],
+            "services": self.server.registry.modules(),
+            "version": "1.0.0",
+            "time": time.time(),
+        }
+
+    @rpc_method(anonymous=True)
+    def ping(self) -> str:
+        """Liveness probe; returns the constant string ``pong``."""
+
+        return "pong"
+
+    @rpc_method(anonymous=True)
+    def echo(self, value: Any = "") -> Any:
+        """Return the argument unchanged (round-trip / serialization test)."""
+
+        return value
+
+    # -- authentication -------------------------------------------------------------
+    @rpc_method(anonymous=True)
+    def get_challenge(self, dn: str) -> str:
+        """Issue an authentication challenge (nonce) for ``dn``."""
+
+        return self.server.authenticator.issue_challenge(dn)
+
+    @rpc_method(anonymous=True)
+    def auth(self, dn: str, signature_hex: str, chain: list[dict]) -> dict[str, Any]:
+        """Authenticate with a signed challenge and certificate chain.
+
+        ``signature_hex`` is the hexadecimal signature over the challenge
+        nonce; ``chain`` is the certificate chain as dictionaries (end entity
+        or proxy first).  Returns the new session descriptor.
+        """
+
+        try:
+            signature = int(signature_hex, 16)
+        except (TypeError, ValueError) as exc:
+            raise AuthenticationError(f"malformed signature: {exc}") from exc
+        certificates = _decode_chain(chain)
+        session = self.server.authenticator.login_with_signature(dn, signature, certificates)
+        return {"session_id": session.session_id, "dn": session.dn,
+                "expires": session.expires, "method": session.method}
+
+    @rpc_method(anonymous=True)
+    def auth_tls(self, ctx: CallContext) -> dict[str, Any]:
+        """Create a session from the TLS-verified client certificate."""
+
+        client_dn = ctx.request.client_dn if ctx.request is not None else None
+        session = self.server.authenticator.login_tls(client_dn)
+        return {"session_id": session.session_id, "dn": session.dn,
+                "expires": session.expires, "method": session.method}
+
+    @rpc_method(anonymous=True)
+    def auth_proxy(self, chain: list[dict]) -> dict[str, Any]:
+        """Authenticate with a proxy certificate chain (delegation login)."""
+
+        certificates = _decode_chain(chain)
+        session = self.server.authenticator.login_with_proxy(certificates)
+        return {"session_id": session.session_id, "dn": session.dn,
+                "expires": session.expires, "method": session.method}
+
+    @rpc_method()
+    def whoami(self, ctx: CallContext) -> dict[str, Any]:
+        """Return the authenticated identity of the caller."""
+
+        return {
+            "dn": ctx.dn or "",
+            "authenticated": ctx.authenticated,
+            "session_id": ctx.session.session_id if ctx.session else "",
+            "groups": self.server.vo.groups_for(ctx.dn) if ctx.dn else [],
+        }
+
+    @rpc_method()
+    def renew_session(self, ctx: CallContext) -> dict[str, Any]:
+        """Extend the calling session's lifetime."""
+
+        if ctx.session is None:
+            raise AuthenticationError("no session to renew")
+        session = self.server.sessions.renew(ctx.session.session_id)
+        return {"session_id": session.session_id, "expires": session.expires}
+
+    @rpc_method()
+    def logout(self, ctx: CallContext) -> bool:
+        """Destroy the calling session."""
+
+        if ctx.session is None:
+            raise AuthenticationError("no session to log out of")
+        return self.server.authenticator.logout(ctx.session.session_id)
+
+    # -- housekeeping ------------------------------------------------------------------
+    @rpc_method()
+    def session_count(self, ctx: CallContext) -> int:
+        """Number of live sessions (administrators only)."""
+
+        self.server.require_admin(ctx)
+        return self.server.sessions.count()
+
+    @rpc_method()
+    def purge_sessions(self, ctx: CallContext) -> int:
+        """Remove expired sessions; returns how many were purged (admins only)."""
+
+        self.server.require_admin(ctx)
+        return self.server.sessions.purge_expired()
+
+    @rpc_method()
+    def stats(self, ctx: CallContext) -> dict[str, Any]:
+        """Dispatcher statistics (request counts, fault counts, latency)."""
+
+        self.server.require_admin(ctx)
+        return self.server.dispatcher.stats_snapshot()
+
+    @rpc_method(anonymous=True)
+    def get_time(self) -> float:
+        """Server wall-clock time (seconds since the epoch)."""
+
+        return time.time()
+
+    @rpc_method(anonymous=True)
+    def version(self) -> str:
+        """Framework version string."""
+
+        return "1.0.0"
+
+    @rpc_method()
+    def lookup_method(self, name: str) -> dict[str, Any]:
+        """Full metadata for one method (raises NotFound for unknown names)."""
+
+        for entry in self.server.registry.describe():
+            if entry["name"] == name:
+                return entry
+        raise NotFoundError(f"no such method: {name}")

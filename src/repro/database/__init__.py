@@ -1,0 +1,38 @@
+"""Embedded database substrate.
+
+PClarens cached VO information, sessions, ACLs and the method registry in
+server-side databases ("The list of group members is cached in a database, as
+is all VO information"; the performance test notes that "each request
+incur[s] a database lookup for all registered methods").  This package
+provides that substrate: a small, thread-safe, table-oriented store with
+secondary indexes and snapshot+journal persistence so that sessions survive
+server restarts (section 2 of the paper).
+
+Public API:
+
+* :class:`repro.database.engine.Database` -- a named collection of tables
+  bound to an optional on-disk directory.
+* :class:`repro.database.table.Table` -- insert/get/update/delete/query with
+  secondary indexes.
+* :class:`repro.database.persistence.SnapshotJournal` -- the durability layer.
+"""
+
+from __future__ import annotations
+
+from repro.database.engine import Database
+from repro.database.errors import (
+    DatabaseError,
+    DuplicateKeyError,
+    RecordNotFoundError,
+    TableNotFoundError,
+)
+from repro.database.table import Table
+
+__all__ = [
+    "Database",
+    "Table",
+    "DatabaseError",
+    "DuplicateKeyError",
+    "RecordNotFoundError",
+    "TableNotFoundError",
+]

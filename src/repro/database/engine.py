@@ -1,0 +1,108 @@
+"""The database engine: a named collection of tables.
+
+A :class:`Database` may be purely in-memory (``path=None``) — used by the
+benchmarks, which measure dispatch overhead rather than disk — or bound to a
+directory, in which case every table persists through a snapshot+journal and
+re-opening the same path restores all data (the paper's "sessions survive
+server restarts" property).
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import threading
+from pathlib import Path
+from typing import Iterator
+
+from repro.database.errors import TableNotFoundError
+from repro.database.persistence import SnapshotJournal
+from repro.database.table import Table
+
+__all__ = ["Database"]
+
+
+class Database:
+    """A collection of named :class:`~repro.database.table.Table` objects."""
+
+    def __init__(self, path: str | os.PathLike | None = None, *,
+                 checkpoint_every: int = 1000) -> None:
+        self.path = Path(path) if path is not None else None
+        self.checkpoint_every = checkpoint_every
+        self._tables: dict[str, Table] = {}
+        self._lock = threading.Lock()
+        if self.path is not None:
+            self.path.mkdir(parents=True, exist_ok=True)
+            # Re-open any table directories already on disk so data written by
+            # a previous server process is visible immediately.
+            for entry in sorted(self.path.iterdir()):
+                if entry.is_dir():
+                    self._open_table(entry.name)
+
+    # -- table management ----------------------------------------------------
+    def _open_table(self, name: str) -> Table:
+        storage = None
+        if self.path is not None:
+            storage = SnapshotJournal(self.path / name, checkpoint_every=self.checkpoint_every)
+        table = Table(name, storage=storage)
+        self._tables[name] = table
+        return table
+
+    def table(self, name: str, *, create: bool = True) -> Table:
+        """Return the named table, creating it on first use by default."""
+
+        with self._lock:
+            table = self._tables.get(name)
+            if table is not None:
+                return table
+            if not create:
+                raise TableNotFoundError(f"no such table: {name!r}")
+            return self._open_table(name)
+
+    def drop_table(self, name: str) -> bool:
+        """Remove a table and its on-disk data; returns False if absent."""
+
+        with self._lock:
+            table = self._tables.pop(name, None)
+        if table is None:
+            return False
+        table.close()
+        if self.path is not None:
+            shutil.rmtree(self.path / name, ignore_errors=True)
+        return True
+
+    def table_names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._tables)
+
+    def __contains__(self, name: object) -> bool:
+        with self._lock:
+            return name in self._tables
+
+    def __iter__(self) -> Iterator[Table]:
+        with self._lock:
+            return iter(list(self._tables.values()))
+
+    # -- lifecycle -----------------------------------------------------------
+    def checkpoint(self) -> None:
+        """Checkpoint every table (snapshot to disk, truncate journals)."""
+
+        for table in list(self._tables.values()):
+            table.checkpoint()
+
+    def close(self) -> None:
+        """Checkpoint and release file handles."""
+
+        for table in list(self._tables.values()):
+            table.checkpoint()
+            table.close()
+
+    def __enter__(self) -> "Database":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    @property
+    def persistent(self) -> bool:
+        return self.path is not None

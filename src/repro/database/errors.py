@@ -1,0 +1,37 @@
+"""Database exception hierarchy."""
+
+from __future__ import annotations
+
+__all__ = [
+    "DatabaseError",
+    "DuplicateKeyError",
+    "RecordNotFoundError",
+    "TableNotFoundError",
+    "JournalCorruptError",
+]
+
+
+class DatabaseError(Exception):
+    """Base class for all database errors."""
+
+
+class DuplicateKeyError(DatabaseError):
+    """A record with the same primary key already exists."""
+
+
+class RecordNotFoundError(DatabaseError, KeyError):
+    """No record exists for the requested primary key."""
+
+    def __str__(self) -> str:  # KeyError quotes its arg; keep message readable
+        return Exception.__str__(self)
+
+
+class TableNotFoundError(DatabaseError, KeyError):
+    """The requested table has not been created."""
+
+    def __str__(self) -> str:
+        return Exception.__str__(self)
+
+
+class JournalCorruptError(DatabaseError):
+    """The on-disk journal contains an entry that cannot be replayed."""

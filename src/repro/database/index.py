@@ -1,0 +1,115 @@
+"""Secondary indexes for tables.
+
+An index maps the value of one record field to the set of primary keys whose
+records carry that value.  Indexes are maintained incrementally on every
+insert/update/delete and can be declared unique (e.g. the session table's
+index on the session cookie).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, Iterable, Mapping
+
+from repro.database.errors import DuplicateKeyError
+
+__all__ = ["SecondaryIndex"]
+
+_MISSING = object()
+
+
+def _hashable(value: Any) -> Hashable:
+    """Convert common unhashable field values into hashable index keys."""
+
+    if isinstance(value, (list, tuple)):
+        return tuple(_hashable(v) for v in value)
+    if isinstance(value, dict):
+        return tuple(sorted((k, _hashable(v)) for k, v in value.items()))
+    if isinstance(value, set):
+        return frozenset(_hashable(v) for v in value)
+    return value
+
+
+class SecondaryIndex:
+    """An index over a single record field.
+
+    Parameters
+    ----------
+    field:
+        The record key being indexed.  Records missing the field are simply
+        not indexed (lookups for any value will not return them).
+    unique:
+        When true, two live records may not share a field value.
+    """
+
+    def __init__(self, field: str, *, unique: bool = False) -> None:
+        self.field = field
+        self.unique = unique
+        self._map: dict[Hashable, set[Hashable]] = {}
+
+    # -- maintenance -------------------------------------------------------
+    def add(self, primary_key: Hashable, record: Mapping[str, Any]) -> None:
+        value = record.get(self.field, _MISSING)
+        if value is _MISSING:
+            return
+        key = _hashable(value)
+        bucket = self._map.setdefault(key, set())
+        if self.unique and bucket and primary_key not in bucket:
+            raise DuplicateKeyError(
+                f"unique index on {self.field!r} violated by value {value!r}"
+            )
+        bucket.add(primary_key)
+
+    def remove(self, primary_key: Hashable, record: Mapping[str, Any]) -> None:
+        value = record.get(self.field, _MISSING)
+        if value is _MISSING:
+            return
+        key = _hashable(value)
+        bucket = self._map.get(key)
+        if bucket is not None:
+            bucket.discard(primary_key)
+            if not bucket:
+                del self._map[key]
+
+    def replace(
+        self,
+        primary_key: Hashable,
+        old_record: Mapping[str, Any],
+        new_record: Mapping[str, Any],
+    ) -> None:
+        old_value = old_record.get(self.field, _MISSING)
+        new_value = new_record.get(self.field, _MISSING)
+        if old_value is new_value or old_value == new_value:
+            return
+        self.remove(primary_key, old_record)
+        self.add(primary_key, new_record)
+
+    def rebuild(self, records: Mapping[Hashable, Mapping[str, Any]]) -> None:
+        self._map.clear()
+        for pk, record in records.items():
+            self.add(pk, record)
+
+    # -- lookup ------------------------------------------------------------
+    def lookup(self, value: Any) -> set[Hashable]:
+        """Primary keys whose records have ``field == value`` (a copy)."""
+
+        return set(self._map.get(_hashable(value), ()))
+
+    def lookup_one(self, value: Any) -> Hashable | None:
+        """A single primary key for ``value``, or ``None``.
+
+        Only meaningful for unique indexes; for non-unique indexes an
+        arbitrary member is returned.
+        """
+
+        bucket = self._map.get(_hashable(value))
+        if not bucket:
+            return None
+        return next(iter(bucket))
+
+    def values(self) -> Iterable[Hashable]:
+        """All distinct indexed field values."""
+
+        return self._map.keys()
+
+    def __len__(self) -> int:
+        return sum(len(bucket) for bucket in self._map.values())

@@ -1,0 +1,75 @@
+"""Reader/writer lock used by the table store.
+
+The Clarens dispatch path performs two database lookups per request (session
+check and ACL check) while administrative calls occasionally write.  A
+readers-preferring RW lock keeps the hot read path to a single mutex acquire
+and lets concurrent benchmark clients proceed in parallel.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Iterator
+
+__all__ = ["RWLock"]
+
+
+class RWLock:
+    """A readers/writer lock.
+
+    Multiple readers may hold the lock simultaneously; writers are exclusive.
+    Writers waiting do not starve indefinitely because new readers queue on
+    the internal condition once a writer is waiting.
+    """
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writer = False
+        self._writers_waiting = 0
+
+    # -- read side ---------------------------------------------------------
+    def acquire_read(self) -> None:
+        with self._cond:
+            while self._writer or self._writers_waiting:
+                self._cond.wait()
+            self._readers += 1
+
+    def release_read(self) -> None:
+        with self._cond:
+            self._readers -= 1
+            if self._readers == 0:
+                self._cond.notify_all()
+
+    @contextmanager
+    def read(self) -> Iterator[None]:
+        self.acquire_read()
+        try:
+            yield
+        finally:
+            self.release_read()
+
+    # -- write side --------------------------------------------------------
+    def acquire_write(self) -> None:
+        with self._cond:
+            self._writers_waiting += 1
+            try:
+                while self._writer or self._readers:
+                    self._cond.wait()
+                self._writer = True
+            finally:
+                self._writers_waiting -= 1
+
+    def release_write(self) -> None:
+        with self._cond:
+            self._writer = False
+            self._cond.notify_all()
+
+    @contextmanager
+    def write(self) -> Iterator[None]:
+        self.acquire_write()
+        try:
+            yield
+        finally:
+            self.release_write()

@@ -1,0 +1,147 @@
+"""Snapshot + journal persistence.
+
+Durability model: each table owns one directory containing
+
+* ``snapshot.json``   -- the full table contents as of the last checkpoint;
+* ``journal.jsonl``   -- one JSON line per mutation applied since then.
+
+On load the snapshot is read and the journal replayed; on checkpoint a new
+snapshot is written atomically (write-to-temp + rename) and the journal is
+truncated.  This is the property the paper relies on when it says session
+state "is stored persistently on the server side … allowing clients to
+survive server failures or restarts transparently".
+
+Records must be JSON serializable.  The layer is intentionally simple — it is
+a reproduction substrate, not a production storage engine — but corruption of
+the journal tail (e.g. a crash mid-write) is tolerated by stopping replay at
+the first damaged line, and any other malformed entry raises
+:class:`~repro.database.errors.JournalCorruptError`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from pathlib import Path
+from typing import Any, Callable, Hashable, Mapping
+
+from repro.database.errors import JournalCorruptError
+
+__all__ = ["SnapshotJournal"]
+
+
+class SnapshotJournal:
+    """Persistence backend for one table."""
+
+    SNAPSHOT_NAME = "snapshot.json"
+    JOURNAL_NAME = "journal.jsonl"
+
+    def __init__(self, directory: str | os.PathLike, *, checkpoint_every: int = 1000) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.checkpoint_every = max(1, int(checkpoint_every))
+        self._lock = threading.Lock()
+        self._journal_entries_since_checkpoint = 0
+        self._journal_fh = None
+
+    # -- paths -------------------------------------------------------------
+    @property
+    def snapshot_path(self) -> Path:
+        return self.directory / self.SNAPSHOT_NAME
+
+    @property
+    def journal_path(self) -> Path:
+        return self.directory / self.JOURNAL_NAME
+
+    # -- loading -----------------------------------------------------------
+    def load(self) -> dict[str, Any]:
+        """Return the persisted records as ``{primary_key: record}``.
+
+        Primary keys are stored as strings in JSON; callers that use
+        non-string keys must re-key the result themselves (the engine stores
+        a ``__pk__`` field inside each record to recover the original type).
+        """
+
+        records: dict[str, Any] = {}
+        if self.snapshot_path.exists():
+            try:
+                records = json.loads(self.snapshot_path.read_text() or "{}")
+            except json.JSONDecodeError as exc:
+                raise JournalCorruptError(f"snapshot corrupt: {exc}") from exc
+        if self.journal_path.exists():
+            with self.journal_path.open("r", encoding="utf-8") as fh:
+                for lineno, line in enumerate(fh, start=1):
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        entry = json.loads(line)
+                    except json.JSONDecodeError:
+                        # A torn final write is expected after a crash; anything
+                        # before the end of file is real corruption.
+                        remainder = fh.read().strip()
+                        if remainder:
+                            raise JournalCorruptError(
+                                f"journal line {lineno} is corrupt and not the final entry"
+                            )
+                        break
+                    self._apply_entry(records, entry, lineno)
+        return records
+
+    @staticmethod
+    def _apply_entry(records: dict[str, Any], entry: Mapping[str, Any], lineno: int) -> None:
+        op = entry.get("op")
+        key = entry.get("key")
+        if op == "put":
+            records[key] = entry.get("record")
+        elif op == "delete":
+            records.pop(key, None)
+        elif op == "clear":
+            records.clear()
+        else:
+            raise JournalCorruptError(f"journal line {lineno}: unknown op {op!r}")
+
+    # -- mutation logging ----------------------------------------------------
+    def _append(self, entry: Mapping[str, Any], snapshot_provider: Callable[[], Mapping[str, Any]]) -> None:
+        with self._lock:
+            if self._journal_fh is None:
+                self._journal_fh = self.journal_path.open("a", encoding="utf-8")
+            self._journal_fh.write(json.dumps(entry, separators=(",", ":")) + "\n")
+            self._journal_fh.flush()
+            self._journal_entries_since_checkpoint += 1
+            if self._journal_entries_since_checkpoint >= self.checkpoint_every:
+                self._checkpoint_locked(snapshot_provider())
+
+    def log_put(self, key: Hashable, record: Mapping[str, Any],
+                snapshot_provider: Callable[[], Mapping[str, Any]]) -> None:
+        self._append({"op": "put", "key": str(key), "record": dict(record)}, snapshot_provider)
+
+    def log_delete(self, key: Hashable, snapshot_provider: Callable[[], Mapping[str, Any]]) -> None:
+        self._append({"op": "delete", "key": str(key)}, snapshot_provider)
+
+    def log_clear(self, snapshot_provider: Callable[[], Mapping[str, Any]]) -> None:
+        self._append({"op": "clear"}, snapshot_provider)
+
+    # -- checkpointing -------------------------------------------------------
+    def checkpoint(self, records: Mapping[str, Any]) -> None:
+        """Write a full snapshot and truncate the journal."""
+
+        with self._lock:
+            self._checkpoint_locked(records)
+
+    def _checkpoint_locked(self, records: Mapping[str, Any]) -> None:
+        tmp = self.snapshot_path.with_suffix(".tmp")
+        tmp.write_text(json.dumps(records, separators=(",", ":")))
+        os.replace(tmp, self.snapshot_path)
+        if self._journal_fh is not None:
+            self._journal_fh.close()
+            self._journal_fh = None
+        self.journal_path.write_text("")
+        self._journal_entries_since_checkpoint = 0
+
+    def close(self) -> None:
+        with self._lock:
+            if self._journal_fh is not None:
+                self._journal_fh.close()
+                self._journal_fh = None

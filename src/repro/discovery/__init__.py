@@ -1,0 +1,24 @@
+"""Dynamic service discovery (paper section 2.4).
+
+"Within a global distributed service environment services will appear,
+disappear, and be moved in an unpredictable manner."  The discovery service
+lets clients and other services query for up-to-date service locations and
+interfaces so calls can be made location-independently and bound at call
+time.
+
+* :mod:`repro.discovery.model`     -- service descriptors.
+* :mod:`repro.discovery.registry`  -- the discovery server's local database of
+  descriptors (TTL-based, backed by the MonALISA repository when present).
+* :mod:`repro.discovery.publisher` -- periodic publication of a Clarens
+  server's descriptor to a station server.
+* :mod:`repro.discovery.service`   -- the ``discovery.*`` RPC methods.
+"""
+
+from __future__ import annotations
+
+from repro.discovery.model import ServiceDescriptor
+from repro.discovery.publisher import ServicePublisher
+from repro.discovery.registry import DiscoveryRegistry
+from repro.discovery.service import DiscoveryService
+
+__all__ = ["ServiceDescriptor", "DiscoveryRegistry", "ServicePublisher", "DiscoveryService"]

@@ -1,0 +1,77 @@
+"""Service descriptors.
+
+A descriptor is what a Clarens server publishes about itself: a name, the URL
+clients should bind to, the host DN, the service modules and methods it
+offers, and free-form attributes (VO, site, protocols).  Descriptors carry a
+TTL; stale descriptors disappear from discovery results, reproducing the
+"services appear, disappear, and move" behaviour the paper motivates.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+__all__ = ["ServiceDescriptor", "DEFAULT_TTL_SECONDS"]
+
+DEFAULT_TTL_SECONDS = 300.0
+
+
+@dataclass
+class ServiceDescriptor:
+    """Description of one published Clarens server / service endpoint."""
+
+    name: str
+    url: str
+    host_dn: str = ""
+    services: list[str] = field(default_factory=list)
+    methods: list[str] = field(default_factory=list)
+    protocols: list[str] = field(default_factory=lambda: ["xml-rpc"])
+    attributes: dict[str, Any] = field(default_factory=dict)
+    published_at: float = field(default_factory=time.time)
+    ttl: float = DEFAULT_TTL_SECONDS
+
+    @property
+    def key(self) -> str:
+        return f"{self.name}@{self.url}"
+
+    def is_expired(self, when: float | None = None) -> bool:
+        when = time.time() if when is None else when
+        return when - self.published_at > self.ttl
+
+    def refresh(self, when: float | None = None) -> None:
+        self.published_at = time.time() if when is None else when
+
+    def offers_module(self, module: str) -> bool:
+        return module in self.services
+
+    def offers_method(self, method: str) -> bool:
+        return method in self.methods
+
+    def to_record(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "url": self.url,
+            "host_dn": self.host_dn,
+            "services": list(self.services),
+            "methods": list(self.methods),
+            "protocols": list(self.protocols),
+            "attributes": dict(self.attributes),
+            "published_at": self.published_at,
+            "ttl": self.ttl,
+        }
+
+    @classmethod
+    def from_record(cls, record: Mapping[str, Any]) -> "ServiceDescriptor":
+        return cls(
+            name=record["name"],
+            url=record.get("url", ""),
+            host_dn=record.get("host_dn", ""),
+            services=list(record.get("services", [])),
+            methods=list(record.get("methods", [])),
+            protocols=list(record.get("protocols", ["xml-rpc"])),
+            attributes=dict(record.get("attributes", {})),
+            published_at=float(record.get("published_at", time.time())),
+            ttl=float(record.get("ttl", DEFAULT_TTL_SECONDS)),
+        )

@@ -1,0 +1,76 @@
+"""Publication of a server's descriptor to the monitoring network.
+
+A Clarens server periodically publishes its service information (UDP-like)
+to a station server, which republishes it to the MonALISA network; discovery
+servers aggregate from there.  :class:`ServicePublisher` implements the
+publishing side with either explicit ``publish_once`` calls (deterministic,
+used by tests and benchmarks) or a background thread republished on the
+configured interval.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Mapping
+
+from repro.discovery.model import ServiceDescriptor
+from repro.monitoring.station import StationServer
+
+__all__ = ["ServicePublisher"]
+
+
+class ServicePublisher:
+    """Publishes a (possibly changing) service descriptor to a station server."""
+
+    def __init__(self, station: StationServer,
+                 descriptor_source: Callable[[], Mapping | ServiceDescriptor], *,
+                 interval: float = 30.0, reliable: bool = False) -> None:
+        self.station = station
+        self._source = descriptor_source
+        self.interval = interval
+        self.reliable = reliable
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self.publications = 0
+
+    # -- one-shot --------------------------------------------------------------------
+    def publish_once(self) -> dict:
+        """Fetch the current descriptor and publish it; returns the record sent."""
+
+        descriptor = self._source()
+        if isinstance(descriptor, ServiceDescriptor):
+            record = descriptor.to_record()
+        else:
+            record = dict(descriptor)
+        self.station.receive_service_info(record, reliable=self.reliable)
+        self.publications += 1
+        return record
+
+    # -- background publication ---------------------------------------------------------
+    def start(self) -> "ServicePublisher":
+        if self._thread is not None:
+            return self
+        self._stop.clear()
+        self._thread = threading.Thread(target=self._run, name="clarens-publisher",
+                                        daemon=True)
+        self._thread.start()
+        return self
+
+    def _run(self) -> None:
+        # Publish immediately, then on every interval until stopped.
+        self.publish_once()
+        while not self._stop.wait(self.interval):
+            self.publish_once()
+
+    def stop(self) -> None:
+        if self._thread is None:
+            return
+        self._stop.set()
+        self._thread.join(timeout=5)
+        self._thread = None
+
+    def __enter__(self) -> "ServicePublisher":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()

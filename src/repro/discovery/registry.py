@@ -1,0 +1,142 @@
+"""The discovery server's local registry of service descriptors.
+
+Descriptors arrive either directly (a server registering over RPC) or by
+aggregation from the MonALISA repository (the JClarens "fully fledged JINI
+client" behaviour).  Queries are answered from the local registry so that
+"the server is consequently able to respond to service searches far more
+rapidly by using the local database".
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Iterable
+
+from repro.discovery.model import ServiceDescriptor
+from repro.monitoring.monalisa import MonALISARepository
+
+__all__ = ["DiscoveryRegistry"]
+
+
+class DiscoveryRegistry:
+    """TTL-based registry of service descriptors with attribute queries."""
+
+    def __init__(self, *, repository: MonALISARepository | None = None) -> None:
+        self._descriptors: dict[str, ServiceDescriptor] = {}
+        self._lock = threading.Lock()
+        self._repository = repository
+        self.registrations = 0
+        self.queries = 0
+
+    # -- registration ----------------------------------------------------------------
+    def register(self, descriptor: ServiceDescriptor) -> ServiceDescriptor:
+        """Add or refresh a descriptor; returns the stored copy."""
+
+        with self._lock:
+            existing = self._descriptors.get(descriptor.key)
+            if existing is not None:
+                descriptor.published_at = time.time()
+            self._descriptors[descriptor.key] = descriptor
+            self.registrations += 1
+        return descriptor
+
+    def deregister(self, name: str, url: str | None = None) -> int:
+        """Remove descriptors by name (and URL when given); returns the count removed."""
+
+        with self._lock:
+            keys = [
+                key for key, desc in self._descriptors.items()
+                if desc.name == name and (url is None or desc.url == url)
+            ]
+            for key in keys:
+                del self._descriptors[key]
+            return len(keys)
+
+    def refresh(self, name: str, url: str) -> bool:
+        with self._lock:
+            descriptor = self._descriptors.get(f"{name}@{url}")
+            if descriptor is None:
+                return False
+            descriptor.refresh()
+            return True
+
+    # -- aggregation from the monitoring network ----------------------------------------
+    def sync_from_repository(self) -> int:
+        """Pull descriptors published on the monitoring network; returns how many."""
+
+        if self._repository is None:
+            return 0
+        count = 0
+        for record in self._repository.find_services():
+            data = {k: v for k, v in record.items() if not k.startswith("_")}
+            if "name" not in data or "url" not in data:
+                continue
+            self.register(ServiceDescriptor.from_record(data))
+            count += 1
+        return count
+
+    # -- queries ----------------------------------------------------------------------------
+    def _live_descriptors(self) -> list[ServiceDescriptor]:
+        now = time.time()
+        with self._lock:
+            expired = [k for k, d in self._descriptors.items() if d.is_expired(now)]
+            for key in expired:
+                del self._descriptors[key]
+            return list(self._descriptors.values())
+
+    def all(self) -> list[ServiceDescriptor]:
+        return self._live_descriptors()
+
+    def find(self, *, name: str | None = None, module: str | None = None,
+             method: str | None = None, protocol: str | None = None,
+             attributes: dict[str, Any] | None = None) -> list[ServiceDescriptor]:
+        """Descriptors matching every given criterion."""
+
+        with self._lock:
+            self.queries += 1
+        results = []
+        for descriptor in self._live_descriptors():
+            if name is not None and descriptor.name != name:
+                continue
+            if module is not None and not descriptor.offers_module(module):
+                continue
+            if method is not None and not descriptor.offers_method(method):
+                continue
+            if protocol is not None and protocol not in descriptor.protocols:
+                continue
+            if attributes and any(descriptor.attributes.get(k) != v
+                                  for k, v in attributes.items()):
+                continue
+            results.append(descriptor)
+        return results
+
+    def lookup_url(self, *, module: str | None = None, method: str | None = None,
+                   name: str | None = None) -> str | None:
+        """The URL of the first live descriptor matching the criteria, or None.
+
+        This is the "bind at call time" primitive the discovery-aware client
+        uses for location-independent calls.
+        """
+
+        matches = self.find(name=name, module=module, method=method)
+        if not matches:
+            return None
+        # Prefer the most recently published descriptor (services move).
+        matches.sort(key=lambda d: d.published_at, reverse=True)
+        return matches[0].url
+
+    def purge_expired(self) -> int:
+        before = len(self._descriptors)
+        self._live_descriptors()
+        return before - len(self._descriptors)
+
+    def bulk_register(self, descriptors: Iterable[ServiceDescriptor]) -> int:
+        count = 0
+        for descriptor in descriptors:
+            self.register(descriptor)
+            count += 1
+        return count
+
+    def count(self) -> int:
+        return len(self._live_descriptors())

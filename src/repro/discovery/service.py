@@ -1,0 +1,106 @@
+"""The ``discovery`` service: RPC access to the discovery registry.
+
+Applications (and other services) "can make service calls that are location
+independent by virtue of the discovery service.  Binding to a location can
+then occur in real time."  These methods let servers register themselves,
+let clients query for services by name/module/method, and let a discovery
+server aggregate descriptors from the monitoring network.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.context import CallContext
+from repro.core.service import ClarensService, rpc_method
+from repro.discovery.model import ServiceDescriptor
+from repro.discovery.registry import DiscoveryRegistry
+
+__all__ = ["DiscoveryService"]
+
+
+class DiscoveryService(ClarensService):
+    """Service discovery methods backed by a local registry."""
+
+    service_name = "discovery"
+
+    def __init__(self, server) -> None:
+        super().__init__(server)
+        repository = getattr(server, "monitor", None)
+        self.registry = DiscoveryRegistry(repository=repository)
+
+    def on_start(self) -> None:
+        # A server always knows about itself; this also guarantees that a
+        # freshly started server answers discovery queries for its own modules.
+        self.registry.register(ServiceDescriptor.from_record(self.server.service_descriptor()))
+
+    # -- registration ------------------------------------------------------------------
+    # Published as ``discovery.register``; the Python name differs so it does
+    # not shadow ClarensService.register (the framework registration hook).
+    @rpc_method("register")
+    def register_descriptor(self, ctx: CallContext, descriptor: dict) -> bool:
+        """Register (or refresh) a service descriptor."""
+
+        ctx.require_dn()
+        self.registry.register(ServiceDescriptor.from_record(descriptor))
+        return True
+
+    @rpc_method()
+    def deregister(self, ctx: CallContext, name: str, url: str = "") -> int:
+        """Remove descriptors by name (and URL when given); returns the count."""
+
+        ctx.require_dn()
+        return self.registry.deregister(name, url or None)
+
+    @rpc_method()
+    def refresh(self, ctx: CallContext, name: str, url: str) -> bool:
+        """Refresh the TTL of an existing registration."""
+
+        ctx.require_dn()
+        return self.registry.refresh(name, url)
+
+    # -- queries -----------------------------------------------------------------------
+    @rpc_method(anonymous=True)
+    def find(self, name: str = "", module: str = "", method: str = "",
+             protocol: str = "") -> list[dict[str, Any]]:
+        """Find live service descriptors matching the given criteria."""
+
+        matches = self.registry.find(
+            name=name or None, module=module or None,
+            method=method or None, protocol=protocol or None)
+        return [m.to_record() for m in matches]
+
+    @rpc_method(anonymous=True)
+    def lookup(self, module: str = "", method: str = "", name: str = "") -> str:
+        """Return the URL of a live server offering the module/method ('' if none)."""
+
+        url = self.registry.lookup_url(module=module or None, method=method or None,
+                                       name=name or None)
+        return url or ""
+
+    @rpc_method(anonymous=True)
+    def list_servers(self) -> list[dict[str, Any]]:
+        """All live descriptors known to this discovery server."""
+
+        return [d.to_record() for d in self.registry.all()]
+
+    @rpc_method(anonymous=True)
+    def count(self) -> int:
+        """Number of live descriptors."""
+
+        return self.registry.count()
+
+    # -- aggregation ----------------------------------------------------------------------
+    @rpc_method()
+    def sync(self, ctx: CallContext) -> int:
+        """Pull descriptors from the monitoring network (admins only)."""
+
+        self.server.require_admin(ctx)
+        return self.registry.sync_from_repository()
+
+    @rpc_method()
+    def purge(self, ctx: CallContext) -> int:
+        """Drop expired descriptors (admins only); returns how many were removed."""
+
+        self.server.require_admin(ctx)
+        return self.registry.purge_expired()

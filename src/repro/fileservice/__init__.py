@@ -1,0 +1,16 @@
+"""Remote file access (paper section 2.3).
+
+"In many big-science experiments data is stored in files rather than in
+databases" — the file service lets collaborators read, list, checksum and
+(where allowed) write files under a *virtual server root*, with per-file and
+per-directory ACLs.  Files are served both through RPC methods
+(``file.read`` with an offset and byte count) and plain HTTP GET requests
+that use the zero-copy sendfile path.
+"""
+
+from __future__ import annotations
+
+from repro.fileservice.service import FileService
+from repro.fileservice.vfs import VirtualFileSystem, VFSError
+
+__all__ = ["FileService", "VirtualFileSystem", "VFSError"]

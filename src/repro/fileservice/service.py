@@ -1,0 +1,215 @@
+"""The ``file`` service.
+
+Implements the methods named in the paper — ``file.read`` (filename, offset,
+number of bytes), ``file.ls``, ``file.stat``, ``file.md5``, ``file.find`` —
+plus write-side methods (upload, mkdir, delete) used by the shell sandbox and
+the job service.  Every operation is subject to the hierarchical file ACLs of
+section 2.3 (method ACLs extended with ``read`` and ``write`` fields), and
+HTTP GET requests are served through the zero-copy
+:class:`~repro.httpd.sendfile.FilePayload` path.
+"""
+
+from __future__ import annotations
+
+import mimetypes
+from typing import Any
+
+from repro.core.context import CallContext
+from repro.core.errors import AccessDeniedError, NotFoundError
+from repro.core.service import ClarensService, rpc_method
+from repro.acl.model import ACL, FileACL
+from repro.fileservice.vfs import VFSError, VirtualFileSystem
+from repro.httpd.message import HTTPError, HTTPRequest, HTTPResponse
+from repro.httpd.sendfile import FilePayload
+
+__all__ = ["FileService"]
+
+
+class FileService(ClarensService):
+    """Remote file access under the server's virtual root."""
+
+    service_name = "file"
+
+    def __init__(self, server) -> None:
+        super().__init__(server)
+        self.vfs = VirtualFileSystem(server.file_root)
+
+    # -- ACL helpers -------------------------------------------------------------
+    def _check(self, dn: str | None, path: str, operation: str) -> None:
+        decision = self.server.acl.check_file(dn or "", path, operation)
+        if not decision.allowed:
+            raise AccessDeniedError(
+                f"{operation} access to {path} denied: {decision.reason}")
+
+    # -- read-side methods ----------------------------------------------------------
+    @rpc_method()
+    def read(self, ctx: CallContext, filename: str, offset: int = 0,
+             nbytes: int = -1) -> bytes:
+        """Read ``nbytes`` from ``filename`` starting at ``offset``.
+
+        ``nbytes = -1`` reads to the end of file, capped by the server's
+        ``max_read_bytes`` setting.
+        """
+
+        self._check(ctx.dn, filename, "read")
+        limit = self.server.config.max_read_bytes
+        if nbytes < 0 or nbytes > limit:
+            nbytes = limit
+        try:
+            return self.vfs.read(filename, offset, nbytes)
+        except VFSError as exc:
+            raise NotFoundError(str(exc)) from exc
+
+    @rpc_method()
+    def ls(self, ctx: CallContext, path: str = "/") -> list[dict[str, Any]]:
+        """List a directory (name, path, type, size, mtime per entry)."""
+
+        self._check(ctx.dn, path, "read")
+        try:
+            return self.vfs.listdir(path)
+        except VFSError as exc:
+            raise NotFoundError(str(exc)) from exc
+
+    @rpc_method()
+    def stat(self, ctx: CallContext, path: str) -> dict[str, Any]:
+        """Return file or directory metadata."""
+
+        self._check(ctx.dn, path, "read")
+        try:
+            return self.vfs.stat(path)
+        except VFSError as exc:
+            raise NotFoundError(str(exc)) from exc
+
+    @rpc_method()
+    def md5(self, ctx: CallContext, filename: str) -> str:
+        """MD5 checksum of a file, for integrity verification after transfer."""
+
+        self._check(ctx.dn, filename, "read")
+        try:
+            return self.vfs.md5(filename)
+        except VFSError as exc:
+            raise NotFoundError(str(exc)) from exc
+
+    @rpc_method()
+    def find(self, ctx: CallContext, pattern: str, path: str = "/") -> list[str]:
+        """Recursively find entries whose name matches a glob pattern."""
+
+        self._check(ctx.dn, path, "read")
+        try:
+            return self.vfs.find(pattern, path)
+        except VFSError as exc:
+            raise NotFoundError(str(exc)) from exc
+
+    @rpc_method()
+    def size(self, ctx: CallContext, filename: str) -> int:
+        """Size of a file in bytes."""
+
+        self._check(ctx.dn, filename, "read")
+        try:
+            return self.vfs.size(filename)
+        except VFSError as exc:
+            raise NotFoundError(str(exc)) from exc
+
+    @rpc_method()
+    def exists(self, ctx: CallContext, path: str) -> bool:
+        """Whether a path exists under the virtual root."""
+
+        self._check(ctx.dn, path, "read")
+        return self.vfs.exists(path)
+
+    # -- write-side methods ------------------------------------------------------------
+    @rpc_method()
+    def write(self, ctx: CallContext, filename: str, data: bytes,
+              append: bool = False) -> int:
+        """Write (or append) bytes to a file; returns the number written."""
+
+        self._check(ctx.dn, filename, "write")
+        try:
+            return self.vfs.write(filename, bytes(data), append=bool(append))
+        except VFSError as exc:
+            raise NotFoundError(str(exc)) from exc
+
+    @rpc_method()
+    def mkdir(self, ctx: CallContext, path: str) -> str:
+        """Create a directory (and parents); returns its virtual path."""
+
+        self._check(ctx.dn, path, "write")
+        try:
+            return self.vfs.mkdir(path)
+        except VFSError as exc:
+            raise NotFoundError(str(exc)) from exc
+
+    @rpc_method()
+    def delete(self, ctx: CallContext, path: str, recursive: bool = False) -> bool:
+        """Delete a file or directory; returns False when it did not exist."""
+
+        self._check(ctx.dn, path, "write")
+        try:
+            return self.vfs.delete(path, recursive=bool(recursive))
+        except VFSError as exc:
+            raise NotFoundError(str(exc)) from exc
+
+    @rpc_method()
+    def copy(self, ctx: CallContext, src: str, dst: str) -> str:
+        """Copy a file or directory within the virtual root."""
+
+        self._check(ctx.dn, src, "read")
+        self._check(ctx.dn, dst, "write")
+        try:
+            return self.vfs.copy(src, dst)
+        except VFSError as exc:
+            raise NotFoundError(str(exc)) from exc
+
+    # -- file ACL administration ----------------------------------------------------------
+    @rpc_method()
+    def set_acl(self, ctx: CallContext, path: str, read_acl: dict, write_acl: dict) -> bool:
+        """Attach a read/write ACL to a path (ACL managers only)."""
+
+        dn = ctx.require_dn()
+        file_acl = FileACL(read=ACL.from_record(read_acl), write=ACL.from_record(write_acl))
+        self.server.acl.set_file_acl(path, file_acl, actor_dn=dn)
+        return True
+
+    @rpc_method()
+    def get_acl(self, ctx: CallContext, path: str) -> dict:
+        """Return the ACL attached directly to ``path`` (empty dict when none)."""
+
+        self._check(ctx.dn, path, "read")
+        file_acl = self.server.acl.get_file_acl(path)
+        return file_acl.to_record() if file_acl is not None else {}
+
+    # -- HTTP GET (the sendfile path) --------------------------------------------------------
+    def handle_get(self, request: HTTPRequest, remainder: str) -> HTTPResponse:
+        """Serve ``GET <prefix>/file/<path>`` with a zero-copy file payload.
+
+        GET errors come back as XML error documents, as the paper describes.
+        """
+
+        virtual = "/" + remainder
+        dn = request.client_dn or request.headers.get("X-Clarens-DN")
+        session_id = request.headers.get("X-Clarens-Session")
+        if session_id:
+            session = self.server.sessions.get(session_id)
+            if session is not None and not session.is_expired():
+                dn = session.dn
+        decision = self.server.acl.check_file(dn or "", virtual, "read")
+        if not decision.allowed:
+            raise HTTPError(403, f"read access to {virtual} denied")
+        try:
+            real = self.vfs.resolve(virtual, must_exist=True)
+        except VFSError as exc:
+            raise HTTPError(404, str(exc)) from exc
+        if real.is_dir():
+            listing = self.vfs.listdir(virtual)
+            body = "\n".join(entry["path"] for entry in listing).encode() + b"\n"
+            return HTTPResponse.ok(body, content_type="text/plain")
+
+        offset = int(request.query.get("offset", "0"))
+        length = int(request.query.get("length", "-1"))
+        content_type = mimetypes.guess_type(real.name)[0] or "application/octet-stream"
+        try:
+            payload = FilePayload(str(real), offset=offset, length=length)
+        except (ValueError, FileNotFoundError) as exc:
+            raise HTTPError(400, str(exc)) from exc
+        return HTTPResponse.ok(payload, content_type=content_type,
+                               extra_headers={"X-Clarens-File": virtual})

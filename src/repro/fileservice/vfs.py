@@ -1,0 +1,178 @@
+"""The virtual filesystem rooted at the server's configured directory.
+
+"A virtual server root directory can be defined … which may be any directory
+on the server system."  The VFS maps client-visible paths (always treated as
+absolute within the virtual root) onto the real filesystem, refusing any path
+that escapes the root, and implements the primitive operations the file
+service methods and the HTTP GET handler are built from.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import hashlib
+import os
+import shutil
+import stat as statmod
+from pathlib import Path
+from typing import Iterator
+
+__all__ = ["VirtualFileSystem", "VFSError"]
+
+
+class VFSError(Exception):
+    """Raised for invalid paths or filesystem failures inside the VFS."""
+
+
+class VirtualFileSystem:
+    """Path-safe file operations under a single root directory."""
+
+    def __init__(self, root: str | os.PathLike) -> None:
+        self.root = Path(root).resolve()
+        if not self.root.is_dir():
+            raise VFSError(f"virtual root {self.root} is not a directory")
+
+    # -- path handling -----------------------------------------------------------
+    def resolve(self, virtual_path: str, *, must_exist: bool = False) -> Path:
+        """Map a client path onto a real path, refusing escapes from the root."""
+
+        cleaned = (virtual_path or "/").replace("\\", "/")
+        candidate = (self.root / cleaned.lstrip("/")).resolve()
+        if candidate != self.root and self.root not in candidate.parents:
+            raise VFSError(f"path {virtual_path!r} escapes the virtual root")
+        if must_exist and not candidate.exists():
+            raise VFSError(f"no such file or directory: {virtual_path}")
+        return candidate
+
+    def virtual_path(self, real_path: Path) -> str:
+        """The client-visible path for a real path under the root."""
+
+        return "/" + str(real_path.resolve().relative_to(self.root)).replace(os.sep, "/")
+
+    def exists(self, virtual_path: str) -> bool:
+        try:
+            return self.resolve(virtual_path).exists()
+        except VFSError:
+            return False
+
+    # -- reading ------------------------------------------------------------------
+    def read(self, virtual_path: str, offset: int = 0, length: int = -1) -> bytes:
+        """Read up to ``length`` bytes starting at ``offset`` (the file.read semantics)."""
+
+        path = self.resolve(virtual_path, must_exist=True)
+        if not path.is_file():
+            raise VFSError(f"{virtual_path} is not a regular file")
+        if offset < 0:
+            raise VFSError("offset must be non-negative")
+        size = path.stat().st_size
+        if offset > size:
+            return b""
+        with path.open("rb") as fh:
+            fh.seek(offset)
+            return fh.read(length if length >= 0 else size - offset)
+
+    def size(self, virtual_path: str) -> int:
+        path = self.resolve(virtual_path, must_exist=True)
+        return path.stat().st_size
+
+    def listdir(self, virtual_path: str = "/") -> list[dict]:
+        """Directory entries with the fields the portal's file browser shows."""
+
+        path = self.resolve(virtual_path, must_exist=True)
+        if not path.is_dir():
+            raise VFSError(f"{virtual_path} is not a directory")
+        entries = []
+        for child in sorted(path.iterdir(), key=lambda p: p.name):
+            info = child.stat()
+            entries.append({
+                "name": child.name,
+                "path": self.virtual_path(child),
+                "type": "directory" if child.is_dir() else "file",
+                "size": info.st_size if child.is_file() else 0,
+                "mtime": info.st_mtime,
+            })
+        return entries
+
+    def stat(self, virtual_path: str) -> dict:
+        path = self.resolve(virtual_path, must_exist=True)
+        info = path.stat()
+        return {
+            "path": self.virtual_path(path) if path != self.root else "/",
+            "type": "directory" if path.is_dir() else "file",
+            "size": info.st_size,
+            "mtime": info.st_mtime,
+            "ctime": info.st_ctime,
+            "mode": statmod.filemode(info.st_mode),
+        }
+
+    def md5(self, virtual_path: str) -> str:
+        """MD5 hex digest of a file ("to obtain a hash file for checking file integrity")."""
+
+        path = self.resolve(virtual_path, must_exist=True)
+        if not path.is_file():
+            raise VFSError(f"{virtual_path} is not a regular file")
+        digest = hashlib.md5()
+        with path.open("rb") as fh:
+            for chunk in iter(lambda: fh.read(1 << 20), b""):
+                digest.update(chunk)
+        return digest.hexdigest()
+
+    def find(self, pattern: str, virtual_path: str = "/", *, max_results: int = 10_000) -> list[str]:
+        """Recursively find entries whose *name* matches a glob pattern."""
+
+        start = self.resolve(virtual_path, must_exist=True)
+        matches: list[str] = []
+        for real in self._walk(start):
+            if fnmatch.fnmatch(real.name, pattern):
+                matches.append(self.virtual_path(real))
+                if len(matches) >= max_results:
+                    break
+        return matches
+
+    def _walk(self, start: Path) -> Iterator[Path]:
+        for dirpath, dirnames, filenames in os.walk(start):
+            base = Path(dirpath)
+            for name in sorted(dirnames) + sorted(filenames):
+                yield base / name
+
+    # -- writing ---------------------------------------------------------------------
+    def write(self, virtual_path: str, data: bytes, *, append: bool = False) -> int:
+        path = self.resolve(virtual_path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        mode = "ab" if append else "wb"
+        with path.open(mode) as fh:
+            fh.write(data)
+        return len(data)
+
+    def mkdir(self, virtual_path: str) -> str:
+        path = self.resolve(virtual_path)
+        path.mkdir(parents=True, exist_ok=True)
+        return self.virtual_path(path)
+
+    def delete(self, virtual_path: str, *, recursive: bool = False) -> bool:
+        path = self.resolve(virtual_path)
+        if path == self.root:
+            raise VFSError("refusing to delete the virtual root")
+        if not path.exists():
+            return False
+        if path.is_dir():
+            if recursive:
+                shutil.rmtree(path)
+            else:
+                try:
+                    path.rmdir()
+                except OSError as exc:
+                    raise VFSError(f"directory not empty: {virtual_path}") from exc
+        else:
+            path.unlink()
+        return True
+
+    def copy(self, src: str, dst: str) -> str:
+        src_path = self.resolve(src, must_exist=True)
+        dst_path = self.resolve(dst)
+        dst_path.parent.mkdir(parents=True, exist_ok=True)
+        if src_path.is_dir():
+            shutil.copytree(src_path, dst_path, dirs_exist_ok=True)
+        else:
+            shutil.copy2(src_path, dst_path)
+        return self.virtual_path(dst_path)

@@ -1,0 +1,42 @@
+"""HTTP server substrate (the "Apache + mod_python" layer).
+
+In the paper's architecture (Figure 1) the Apache web server receives HTTP
+GET/POST requests, hands Clarens-form URLs to mod_python, terminates SSL
+transparently, and serves file responses with the zero-copy ``sendfile()``
+path.  This package reproduces that substrate:
+
+* :mod:`repro.httpd.message`   -- HTTP request/response objects and parsing.
+* :mod:`repro.httpd.router`    -- URL-form routing (Clarens prefix vs static).
+* :mod:`repro.httpd.tls`       -- simulated SSL/TLS (certificate handshake +
+  keystream record layer with real CPU cost).
+* :mod:`repro.httpd.sendfile`  -- zero-copy-style file payloads.
+* :mod:`repro.httpd.loopback`  -- an in-process transport used by tests and by
+  the Figure 4 benchmark (measures framework overhead, not kernel sockets).
+* :mod:`repro.httpd.server`    -- a real threaded socket HTTP server.
+* :mod:`repro.httpd.workers`   -- the Apache-like worker pool model.
+* :mod:`repro.httpd.accesslog` -- common-log-format access logging.
+"""
+
+from __future__ import annotations
+
+from repro.httpd.loopback import LoopbackConnection, LoopbackTransport
+from repro.httpd.message import HTTPError, HTTPRequest, HTTPResponse
+from repro.httpd.router import Route, Router
+from repro.httpd.sendfile import FilePayload
+from repro.httpd.server import SocketHTTPServer
+from repro.httpd.tls import TLSChannel, TLSContext, TLSError
+
+__all__ = [
+    "HTTPRequest",
+    "HTTPResponse",
+    "HTTPError",
+    "Route",
+    "Router",
+    "FilePayload",
+    "LoopbackTransport",
+    "LoopbackConnection",
+    "SocketHTTPServer",
+    "TLSContext",
+    "TLSChannel",
+    "TLSError",
+]

@@ -1,0 +1,95 @@
+"""Access logging in Apache common log format.
+
+The Clarens server sat behind Apache, whose access log was the operational
+record of every service call.  The reproduction keeps an in-memory ring of
+recent entries (useful in tests and the portal status page) and can mirror
+them to a file.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from pathlib import Path
+
+__all__ = ["AccessLogEntry", "AccessLog"]
+
+
+@dataclass(frozen=True)
+class AccessLogEntry:
+    """One logged request."""
+
+    timestamp: float
+    remote_addr: str
+    client_dn: str | None
+    method: str
+    path: str
+    status: int
+    response_bytes: int
+    duration_s: float
+
+    def common_log_line(self) -> str:
+        """Render in Apache common log format (with the DN as the user field)."""
+
+        when = time.strftime("%d/%b/%Y:%H:%M:%S +0000", time.gmtime(self.timestamp))
+        user = self.client_dn or "-"
+        return (
+            f'{self.remote_addr} - "{user}" [{when}] '
+            f'"{self.method} {self.path} HTTP/1.1" {self.status} {self.response_bytes} '
+            f"{self.duration_s * 1000:.3f}ms"
+        )
+
+
+class AccessLog:
+    """Thread-safe bounded access log with optional file mirroring."""
+
+    def __init__(self, *, capacity: int = 10_000, path: str | None = None) -> None:
+        self._entries: deque[AccessLogEntry] = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+        self._path = Path(path) if path else None
+        self._counts: dict[int, int] = {}
+
+    def record(self, entry: AccessLogEntry) -> None:
+        with self._lock:
+            self._entries.append(entry)
+            self._counts[entry.status] = self._counts.get(entry.status, 0) + 1
+        if self._path is not None:
+            with self._path.open("a", encoding="utf-8") as fh:
+                fh.write(entry.common_log_line() + "\n")
+
+    def log(self, *, remote_addr: str, client_dn: str | None, method: str, path: str,
+            status: int, response_bytes: int, duration_s: float) -> AccessLogEntry:
+        entry = AccessLogEntry(
+            timestamp=time.time(),
+            remote_addr=remote_addr,
+            client_dn=client_dn,
+            method=method,
+            path=path,
+            status=status,
+            response_bytes=response_bytes,
+            duration_s=duration_s,
+        )
+        self.record(entry)
+        return entry
+
+    def entries(self) -> list[AccessLogEntry]:
+        with self._lock:
+            return list(self._entries)
+
+    def status_counts(self) -> dict[int, int]:
+        with self._lock:
+            return dict(self._counts)
+
+    def total(self) -> int:
+        with self._lock:
+            return sum(self._counts.values())
+
+    def error_rate(self) -> float:
+        with self._lock:
+            total = sum(self._counts.values())
+            if not total:
+                return 0.0
+            errors = sum(c for status, c in self._counts.items() if status >= 400)
+            return errors / total

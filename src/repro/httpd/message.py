@@ -1,0 +1,263 @@
+"""HTTP message objects and wire parsing.
+
+The framework deals in :class:`HTTPRequest`/:class:`HTTPResponse` values
+regardless of transport (loopback or socket), so the Clarens dispatcher is
+written once and exercised identically by unit tests, benchmarks, and the
+real server.
+"""
+
+from __future__ import annotations
+
+import urllib.parse
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.httpd.sendfile import FilePayload
+
+__all__ = ["HTTPRequest", "HTTPResponse", "HTTPError", "Headers", "REASON_PHRASES"]
+
+REASON_PHRASES = {
+    200: "OK",
+    201: "Created",
+    204: "No Content",
+    206: "Partial Content",
+    301: "Moved Permanently",
+    302: "Found",
+    304: "Not Modified",
+    400: "Bad Request",
+    401: "Unauthorized",
+    403: "Forbidden",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    411: "Length Required",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+    501: "Not Implemented",
+    503: "Service Unavailable",
+}
+
+
+class HTTPError(Exception):
+    """An error that maps directly onto an HTTP status response."""
+
+    def __init__(self, status: int, message: str = "") -> None:
+        super().__init__(message or REASON_PHRASES.get(status, "error"))
+        self.status = status
+        self.message = message or REASON_PHRASES.get(status, "error")
+
+
+class Headers:
+    """A case-insensitive multi-dict for HTTP headers (last value wins on get)."""
+
+    def __init__(self, initial: Mapping[str, str] | None = None) -> None:
+        self._items: list[tuple[str, str]] = []
+        if initial:
+            for key, value in initial.items():
+                self.add(key, value)
+
+    def add(self, key: str, value: str) -> None:
+        self._items.append((str(key), str(value)))
+
+    def set(self, key: str, value: str) -> None:
+        lowered = key.lower()
+        self._items = [(k, v) for k, v in self._items if k.lower() != lowered]
+        self._items.append((str(key), str(value)))
+
+    def get(self, key: str, default: str | None = None) -> str | None:
+        lowered = key.lower()
+        result = default
+        for k, v in self._items:
+            if k.lower() == lowered:
+                result = v
+        return result
+
+    def get_all(self, key: str) -> list[str]:
+        lowered = key.lower()
+        return [v for k, v in self._items if k.lower() == lowered]
+
+    def remove(self, key: str) -> None:
+        lowered = key.lower()
+        self._items = [(k, v) for k, v in self._items if k.lower() != lowered]
+
+    def items(self) -> list[tuple[str, str]]:
+        return list(self._items)
+
+    def __contains__(self, key: object) -> bool:
+        return isinstance(key, str) and any(k.lower() == key.lower() for k, _ in self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def copy(self) -> "Headers":
+        clone = Headers()
+        clone._items = list(self._items)
+        return clone
+
+
+@dataclass
+class HTTPRequest:
+    """An HTTP request as seen by the Clarens handler."""
+
+    method: str = "GET"
+    path: str = "/"
+    headers: Headers = field(default_factory=Headers)
+    body: bytes = b""
+    http_version: str = "HTTP/1.1"
+    #: The DN string of the verified client certificate, when the request
+    #: arrived over (simulated) TLS with client authentication — the same
+    #: information Apache's mod_ssl exports to mod_python.
+    client_dn: str | None = None
+    #: Peer address, for logging.
+    remote_addr: str = "127.0.0.1"
+
+    def __post_init__(self) -> None:
+        self.method = self.method.upper()
+        if isinstance(self.headers, dict):
+            self.headers = Headers(self.headers)
+
+    # -- URL helpers ---------------------------------------------------------
+    @property
+    def raw_path(self) -> str:
+        return self.path
+
+    @property
+    def url_path(self) -> str:
+        """The path with the query string stripped and percent-decoding applied."""
+
+        path = self.path.split("?", 1)[0]
+        return urllib.parse.unquote(path)
+
+    @property
+    def query(self) -> dict[str, str]:
+        """Query-string parameters (last value wins)."""
+
+        if "?" not in self.path:
+            return {}
+        qs = self.path.split("?", 1)[1]
+        return {k: v[-1] for k, v in urllib.parse.parse_qs(qs, keep_blank_values=True).items()}
+
+    @property
+    def content_type(self) -> str | None:
+        return self.headers.get("Content-Type")
+
+    def wants_keepalive(self) -> bool:
+        connection = (self.headers.get("Connection") or "").lower()
+        if self.http_version == "HTTP/1.0":
+            return connection == "keep-alive"
+        return connection != "close"
+
+    # -- wire format ---------------------------------------------------------
+    def to_bytes(self) -> bytes:
+        headers = self.headers.copy()
+        if self.body and "Content-Length" not in headers:
+            headers.set("Content-Length", str(len(self.body)))
+        lines = [f"{self.method} {self.path} {self.http_version}"]
+        lines.extend(f"{k}: {v}" for k, v in headers.items())
+        head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+        return head + self.body
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "HTTPRequest":
+        head, _, body = data.partition(b"\r\n\r\n")
+        lines = head.decode("latin-1").split("\r\n")
+        if not lines or not lines[0]:
+            raise HTTPError(400, "empty request")
+        parts = lines[0].split()
+        if len(parts) != 3:
+            raise HTTPError(400, f"malformed request line: {lines[0]!r}")
+        method, path, version = parts
+        headers = Headers()
+        for line in lines[1:]:
+            if not line:
+                continue
+            if ":" not in line:
+                raise HTTPError(400, f"malformed header line: {line!r}")
+            key, _, value = line.partition(":")
+            headers.add(key.strip(), value.strip())
+        return cls(method=method, path=path, headers=headers, body=body, http_version=version)
+
+
+@dataclass
+class HTTPResponse:
+    """An HTTP response; the body may be bytes or a :class:`FilePayload`."""
+
+    status: int = 200
+    headers: Headers = field(default_factory=Headers)
+    body: bytes | FilePayload = b""
+
+    def __post_init__(self) -> None:
+        if isinstance(self.headers, dict):
+            self.headers = Headers(self.headers)
+
+    @property
+    def reason(self) -> str:
+        return REASON_PHRASES.get(self.status, "Unknown")
+
+    def body_bytes(self) -> bytes:
+        """Materialize the body as bytes (reads the file for FilePayloads)."""
+
+        if isinstance(self.body, FilePayload):
+            return self.body.read_all()
+        return self.body
+
+    def content_length(self) -> int:
+        if isinstance(self.body, FilePayload):
+            return self.body.length
+        return len(self.body)
+
+    def to_bytes(self) -> bytes:
+        headers = self.headers.copy()
+        headers.set("Content-Length", str(self.content_length()))
+        lines = [f"HTTP/1.1 {self.status} {self.reason}"]
+        lines.extend(f"{k}: {v}" for k, v in headers.items())
+        head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+        return head + self.body_bytes()
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "HTTPResponse":
+        head, _, body = data.partition(b"\r\n\r\n")
+        lines = head.decode("latin-1").split("\r\n")
+        if not lines or not lines[0].startswith("HTTP/"):
+            raise HTTPError(400, "malformed response status line")
+        parts = lines[0].split(" ", 2)
+        status = int(parts[1])
+        headers = Headers()
+        for line in lines[1:]:
+            if not line:
+                continue
+            key, _, value = line.partition(":")
+            headers.add(key.strip(), value.strip())
+        return cls(status=status, headers=headers, body=body)
+
+    # -- constructors --------------------------------------------------------
+    @classmethod
+    def ok(cls, body: bytes | FilePayload, content_type: str = "application/octet-stream",
+           extra_headers: Mapping[str, str] | None = None) -> "HTTPResponse":
+        headers = Headers({"Content-Type": content_type})
+        for key, value in (extra_headers or {}).items():
+            headers.set(key, value)
+        return cls(status=200, headers=headers, body=body)
+
+    @classmethod
+    def error(cls, status: int, message: str = "", content_type: str = "text/plain") -> "HTTPResponse":
+        message = message or REASON_PHRASES.get(status, "error")
+        return cls(status=status, headers=Headers({"Content-Type": content_type}),
+                   body=message.encode())
+
+    @classmethod
+    def xml_error(cls, status: int, message: str) -> "HTTPResponse":
+        """GET errors are returned as XML documents (paper, section 2)."""
+
+        body = (
+            "<?xml version='1.0'?><error>"
+            f"<code>{status}</code><message>{_xml_escape(message)}</message></error>"
+        ).encode()
+        return cls(status=status, headers=Headers({"Content-Type": "text/xml"}), body=body)
+
+
+def _xml_escape(text: str) -> str:
+    return text.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+
+
+def _unused(*args: Any) -> None:  # pragma: no cover
+    pass

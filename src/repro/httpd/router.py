@@ -1,0 +1,93 @@
+"""URL-form routing.
+
+Apache "invokes PClarens based on the form of the URL specified by the
+client (other URLs are handled transparently by the Apache server according
+to its configuration)" — section 2 of the paper.  The :class:`Router`
+reproduces that: the longest matching path prefix wins, and unmatched paths
+fall through to a default handler (normally a 404 or a static-file handler).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+from repro.httpd.message import HTTPError, HTTPRequest, HTTPResponse
+
+__all__ = ["Route", "Router"]
+
+#: A handler receives the request and the path remainder after the prefix.
+Handler = Callable[[HTTPRequest, str], HTTPResponse]
+
+
+@dataclass(frozen=True)
+class Route:
+    """A prefix route: handler plus allowed methods."""
+
+    prefix: str
+    handler: Handler
+    methods: tuple[str, ...] = ("GET", "POST")
+
+    def matches(self, path: str) -> bool:
+        if not path.startswith(self.prefix):
+            return False
+        if len(path) == len(self.prefix):
+            return True
+        # Only match at path-segment boundaries, so /clarens does not
+        # swallow /clarensology.
+        return self.prefix.endswith("/") or path[len(self.prefix)] == "/"
+
+    def remainder(self, path: str) -> str:
+        rest = path[len(self.prefix):]
+        return rest.lstrip("/")
+
+
+class Router:
+    """Longest-prefix-match URL router with a configurable fallback."""
+
+    def __init__(self, default_handler: Handler | None = None) -> None:
+        self._routes: list[Route] = []
+        self._default = default_handler
+
+    def add(self, prefix: str, handler: Handler,
+            methods: Iterable[str] = ("GET", "POST")) -> Route:
+        """Register a handler for a URL prefix (normalized to start with '/')."""
+
+        if not prefix.startswith("/"):
+            prefix = "/" + prefix
+        route = Route(prefix=prefix.rstrip("/") or "/", handler=handler,
+                      methods=tuple(m.upper() for m in methods))
+        self._routes.append(route)
+        # Longest prefixes first so the most specific route wins.
+        self._routes.sort(key=lambda r: len(r.prefix), reverse=True)
+        return route
+
+    def set_default(self, handler: Handler) -> None:
+        self._default = handler
+
+    def resolve(self, request: HTTPRequest) -> tuple[Route | None, str]:
+        path = request.url_path
+        for route in self._routes:
+            if route.matches(path):
+                return route, route.remainder(path)
+        return None, path.lstrip("/")
+
+    def dispatch(self, request: HTTPRequest) -> HTTPResponse:
+        """Route a request to its handler, mapping errors onto HTTP statuses."""
+
+        route, remainder = self.resolve(request)
+        try:
+            if route is None:
+                if self._default is None:
+                    raise HTTPError(404, f"no handler for {request.url_path}")
+                return self._default(request, remainder)
+            if request.method not in route.methods:
+                raise HTTPError(405, f"{request.method} not allowed on {route.prefix}")
+            return route.handler(request, remainder)
+        except HTTPError as exc:
+            if request.method == "GET":
+                return HTTPResponse.xml_error(exc.status, exc.message)
+            return HTTPResponse.error(exc.status, exc.message)
+
+    def routes(self) -> list[Route]:
+        return list(self._routes)

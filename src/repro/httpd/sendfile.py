@@ -1,0 +1,99 @@
+"""Zero-copy-style file payloads.
+
+The paper notes that for remote file access "Network I/O is handed off to the
+web server, which uses the zero-copy ``sendfile()`` system call where
+available to minimize CPU usage and increase throughput".  A
+:class:`FilePayload` defers reading the file: the socket server can hand the
+file descriptor to ``os.sendfile`` directly, and the loopback transport can
+stream it in large chunks without building the whole body in memory.
+The file-throughput benchmark (TXT-SC03 in DESIGN.md) compares this path to
+the chunked ``file.read()`` RPC path.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator
+
+__all__ = ["FilePayload", "DEFAULT_CHUNK_SIZE"]
+
+DEFAULT_CHUNK_SIZE = 1 << 20  # 1 MiB
+
+
+@dataclass
+class FilePayload:
+    """A region of a file to be sent as a response body."""
+
+    path: str
+    offset: int = 0
+    length: int = -1  # -1 means "to end of file"
+    chunk_size: int = DEFAULT_CHUNK_SIZE
+
+    def __post_init__(self) -> None:
+        path = Path(self.path)
+        if not path.is_file():
+            raise FileNotFoundError(f"no such file: {self.path}")
+        size = path.stat().st_size
+        if self.offset < 0 or self.offset > size:
+            raise ValueError(f"offset {self.offset} outside file of size {size}")
+        if self.length < 0:
+            self.length = size - self.offset
+        else:
+            self.length = min(self.length, size - self.offset)
+
+    # -- consumption ---------------------------------------------------------
+    def read_all(self) -> bytes:
+        """Materialize the payload (used by the loopback transport and tests)."""
+
+        with open(self.path, "rb") as fh:
+            fh.seek(self.offset)
+            return fh.read(self.length)
+
+    def chunks(self) -> Iterator[bytes]:
+        """Yield the payload in ``chunk_size`` pieces without loading it all."""
+
+        remaining = self.length
+        with open(self.path, "rb") as fh:
+            fh.seek(self.offset)
+            while remaining > 0:
+                chunk = fh.read(min(self.chunk_size, remaining))
+                if not chunk:
+                    break
+                remaining -= len(chunk)
+                yield chunk
+
+    def sendfile_to(self, sock) -> int:
+        """Send the payload over a socket, using ``os.sendfile`` when available.
+
+        Returns the number of bytes sent.  Falls back to chunked ``send`` when
+        the platform or socket type does not support ``sendfile``.
+        """
+
+        sent_total = 0
+        with open(self.path, "rb") as fh:
+            if hasattr(os, "sendfile"):
+                try:
+                    offset = self.offset
+                    remaining = self.length
+                    while remaining > 0:
+                        sent = os.sendfile(sock.fileno(), fh.fileno(), offset, remaining)
+                        if sent == 0:
+                            break
+                        offset += sent
+                        remaining -= sent
+                        sent_total += sent
+                    return sent_total
+                except (OSError, ValueError):
+                    sent_total = 0  # fall back below
+            fh.seek(self.offset)
+            remaining = self.length
+            while remaining > 0:
+                chunk = fh.read(min(self.chunk_size, remaining))
+                if not chunk:
+                    break
+                sock.sendall(chunk)
+                remaining -= len(chunk)
+                sent_total += len(chunk)
+        return sent_total

@@ -1,0 +1,187 @@
+"""A threaded socket HTTP server.
+
+This is the "real network" frontend: a small HTTP/1.1 server built on the
+standard library's :mod:`socketserver`, speaking plain HTTP (the simulated
+TLS layer is an in-process construct; real-socket deployments of the
+reproduction run unencrypted, as the paper's performance test did).  It
+routes requests through the same handler callable as the loopback transport,
+supports keep-alive, and uses :class:`~repro.httpd.sendfile.FilePayload`
+bodies via ``os.sendfile`` where possible.
+"""
+
+from __future__ import annotations
+
+import socket
+import socketserver
+import threading
+import time
+from typing import Callable
+
+from repro.httpd.accesslog import AccessLog
+from repro.httpd.message import Headers, HTTPError, HTTPRequest, HTTPResponse
+from repro.httpd.sendfile import FilePayload
+
+__all__ = ["SocketHTTPServer"]
+
+Handler = Callable[[HTTPRequest], HTTPResponse]
+
+_MAX_HEADER_BYTES = 64 * 1024
+_MAX_BODY_BYTES = 256 * 1024 * 1024
+
+
+def _read_request(rfile) -> HTTPRequest | None:
+    """Read one HTTP request from a buffered socket file, or None at EOF."""
+
+    request_line = rfile.readline(_MAX_HEADER_BYTES)
+    if not request_line:
+        return None
+    line = request_line.decode("latin-1").rstrip("\r\n")
+    parts = line.split()
+    if len(parts) != 3:
+        raise HTTPError(400, f"malformed request line: {line!r}")
+    method, path, version = parts
+
+    headers = Headers()
+    total = 0
+    while True:
+        header_line = rfile.readline(_MAX_HEADER_BYTES)
+        total += len(header_line)
+        if total > _MAX_HEADER_BYTES:
+            raise HTTPError(413, "header section too large")
+        if header_line in (b"\r\n", b"\n", b""):
+            break
+        text = header_line.decode("latin-1").rstrip("\r\n")
+        if ":" not in text:
+            raise HTTPError(400, f"malformed header: {text!r}")
+        key, _, value = text.partition(":")
+        headers.add(key.strip(), value.strip())
+
+    body = b""
+    length_header = headers.get("Content-Length")
+    if length_header is not None:
+        try:
+            length = int(length_header)
+        except ValueError as exc:
+            raise HTTPError(400, "invalid Content-Length") from exc
+        if length < 0 or length > _MAX_BODY_BYTES:
+            raise HTTPError(413, "request body too large")
+        body = rfile.read(length)
+        if len(body) != length:
+            raise HTTPError(400, "request body truncated")
+    elif method in ("POST", "PUT"):
+        raise HTTPError(411, "Content-Length required")
+
+    return HTTPRequest(method=method, path=path, headers=headers, body=body,
+                       http_version=version)
+
+
+class _ConnectionHandler(socketserver.StreamRequestHandler):
+    """Handles one TCP connection, possibly carrying multiple requests."""
+
+    def handle(self) -> None:  # noqa: D102 - socketserver API
+        owner: SocketHTTPServer = self.server.owner  # type: ignore[attr-defined]
+        self.connection.settimeout(owner.request_timeout)
+        while True:
+            start = time.perf_counter()
+            try:
+                request = _read_request(self.rfile)
+            except HTTPError as exc:
+                self._send(HTTPResponse.error(exc.status, exc.message), "GET", "-", None, start)
+                return
+            except (socket.timeout, ConnectionError, OSError):
+                return
+            if request is None:
+                return
+            request.remote_addr = self.client_address[0]
+            try:
+                response = owner.handler(request)
+            except Exception as exc:  # noqa: BLE001 - never kill the connection loop
+                response = HTTPResponse.error(500, f"internal server error: {exc}")
+            keep_alive = request.wants_keepalive() and owner.keep_alive
+            response.headers.set("Connection", "keep-alive" if keep_alive else "close")
+            self._send(response, request.method, request.path, request.client_dn, start)
+            if not keep_alive:
+                return
+
+    def _send(self, response: HTTPResponse, method: str, path: str,
+              client_dn: str | None, start: float) -> None:
+        owner: SocketHTTPServer = self.server.owner  # type: ignore[attr-defined]
+        body = response.body
+        headers = response.headers.copy()
+        headers.set("Content-Length", str(response.content_length()))
+        headers.set("Server", "Clarens-repro/1.0")
+        lines = [f"HTTP/1.1 {response.status} {response.reason}"]
+        lines.extend(f"{k}: {v}" for k, v in headers.items())
+        head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+        try:
+            self.wfile.write(head)
+            if isinstance(body, FilePayload):
+                self.wfile.flush()
+                body.sendfile_to(self.connection)
+            elif body:
+                self.wfile.write(body)
+            self.wfile.flush()
+        except (BrokenPipeError, ConnectionError, OSError):
+            return
+        finally:
+            owner.access_log.log(
+                remote_addr=self.client_address[0],
+                client_dn=client_dn,
+                method=method,
+                path=path,
+                status=response.status,
+                response_bytes=response.content_length(),
+                duration_s=time.perf_counter() - start,
+            )
+
+
+class _TCPServer(socketserver.ThreadingMixIn, socketserver.TCPServer):
+    daemon_threads = True
+    allow_reuse_address = True
+
+
+class SocketHTTPServer:
+    """A threaded HTTP server bound to a host/port."""
+
+    def __init__(self, handler: Handler, *, host: str = "127.0.0.1", port: int = 0,
+                 keep_alive: bool = True, request_timeout: float = 30.0,
+                 access_log: AccessLog | None = None) -> None:
+        self.handler = handler
+        self.keep_alive = keep_alive
+        self.request_timeout = request_timeout
+        self.access_log = access_log or AccessLog()
+        self._server = _TCPServer((host, port), _ConnectionHandler, bind_and_activate=True)
+        self._server.owner = self  # type: ignore[attr-defined]
+        self._thread: threading.Thread | None = None
+
+    # -- lifecycle -----------------------------------------------------------
+    @property
+    def address(self) -> tuple[str, int]:
+        return self._server.server_address  # type: ignore[return-value]
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def start(self) -> "SocketHTTPServer":
+        if self._thread is not None:
+            return self
+        self._thread = threading.Thread(target=self._server.serve_forever,
+                                        name="clarens-httpd", daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        if self._thread is None:
+            return
+        self._server.shutdown()
+        self._server.server_close()
+        self._thread.join(timeout=5)
+        self._thread = None
+
+    def __enter__(self) -> "SocketHTTPServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()

@@ -1,0 +1,244 @@
+"""Simulated SSL/TLS.
+
+The real Clarens terminated SSL in Apache; the paper reports that informal
+tests showed SSL/TLS-encrypted connections "reduce performance by up to 50%".
+To reproduce that observation without OpenSSL, this module provides a
+behavioural TLS stand-in with the properties the framework relies on:
+
+* a handshake in which the client verifies the server's certificate chain,
+  optionally presents its own certificate (mutual auth — how Clarens learns
+  the client DN), proves key possession by signing the handshake transcript,
+  and both sides derive a shared session key via RSA key transport;
+* a record layer that actually spends CPU per byte (HMAC-SHA-256 keystream
+  generation plus a per-record MAC), so enabling "TLS" has a realistic
+  relative cost in the benchmarks.
+
+It is *not* secure cryptography; it is a simulation with genuine work.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import json
+import os
+import struct
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.pki.certificate import Certificate, TrustStore, VerificationError, verify_chain
+from repro.pki.credentials import Credential
+from repro.pki.proxy import verify_proxy_chain
+
+__all__ = ["TLSError", "TLSContext", "TLSChannel", "perform_handshake"]
+
+_KEYSTREAM_BLOCK = 64  # SHA-512 digest size; one hash call per 64 bytes.
+
+
+class TLSError(Exception):
+    """Raised when the simulated handshake or record layer fails."""
+
+
+@dataclass
+class TLSContext:
+    """Configuration for one side of a TLS endpoint."""
+
+    credential: Credential | None = None
+    trust_store: TrustStore | None = None
+    require_client_cert: bool = False
+    #: Maps revoked serials per issuer; consulted during chain verification.
+    revoked_serials: dict = field(default_factory=dict)
+
+    def certificate_chain(self) -> Sequence[Certificate]:
+        if self.credential is None:
+            return ()
+        return self.credential.full_chain()
+
+
+def _derive_keystream_key(secret: bytes, label: bytes) -> bytes:
+    return hmac.new(secret, label, hashlib.sha256).digest()
+
+
+class _RecordCipher:
+    """Counter-mode keystream cipher + per-record MAC.
+
+    Each record is ``len(4 bytes) || ciphertext || mac(16 bytes)``.  The
+    keystream is made of keyed-BLAKE2b(counter, block) digests — one hash pass
+    per 64 bytes, which is real per-byte CPU work (so enabling "TLS" has a
+    measurable relative cost, as the paper observed) without being as
+    disproportionately slow as an HMAC-per-block construction would be
+    relative to the rest of this pure-Python server.
+    """
+
+    MAC_LEN = 16
+
+    def __init__(self, key: bytes, mac_key: bytes) -> None:
+        self._key = key[:64]
+        self._mac_key = mac_key[:64]
+        self._enc_counter = 0
+        self._dec_counter = 0
+
+    def _keystream(self, counter: int, length: int) -> bytes:
+        blocks = []
+        block_index = 0
+        while len(blocks) * _KEYSTREAM_BLOCK < length:
+            msg = struct.pack(">QQ", counter, block_index)
+            blocks.append(hashlib.blake2b(msg, key=self._key, digest_size=64).digest())
+            block_index += 1
+        return b"".join(blocks)[:length]
+
+    def _xor(self, data: bytes, stream: bytes) -> bytes:
+        if not data:
+            return b""
+        # Whole-buffer XOR via big-integer arithmetic: orders of magnitude
+        # faster than a per-byte Python loop on multi-kilobyte records.
+        n = len(data)
+        return (int.from_bytes(data, "big") ^ int.from_bytes(stream[:n], "big")).to_bytes(n, "big")
+
+    def _mac(self, counter: int, ciphertext: bytes) -> bytes:
+        return hashlib.blake2b(struct.pack(">Q", counter) + ciphertext,
+                               key=self._mac_key, digest_size=self.MAC_LEN).digest()
+
+    def encrypt(self, plaintext: bytes) -> bytes:
+        counter = self._enc_counter
+        self._enc_counter += 1
+        stream = self._keystream(counter, len(plaintext))
+        ciphertext = self._xor(plaintext, stream)
+        mac = self._mac(counter, ciphertext)
+        return struct.pack(">I", len(ciphertext)) + ciphertext + mac
+
+    def decrypt(self, record: bytes) -> bytes:
+        if len(record) < 4 + self.MAC_LEN:
+            raise TLSError("record too short")
+        (length,) = struct.unpack(">I", record[:4])
+        if len(record) != 4 + length + self.MAC_LEN:
+            raise TLSError("record length mismatch")
+        ciphertext = record[4:4 + length]
+        mac = record[4 + length:]
+        counter = self._dec_counter
+        if not hmac.compare_digest(mac, self._mac(counter, ciphertext)):
+            raise TLSError("record MAC verification failed")
+        self._dec_counter += 1
+        stream = self._keystream(counter, len(ciphertext))
+        return self._xor(ciphertext, stream)
+
+
+@dataclass
+class HandshakeResult:
+    """Outcome of a successful handshake."""
+
+    session_secret: bytes
+    client_dn: str | None
+    server_dn: str
+
+
+class TLSChannel:
+    """A bidirectional encrypted channel derived from a handshake secret.
+
+    Separate cipher states are kept for each direction so a client channel and
+    a server channel constructed from the same :class:`HandshakeResult`
+    interoperate (client "send" pairs with server "recv" and vice versa).
+    """
+
+    def __init__(self, result: HandshakeResult, *, is_client: bool) -> None:
+        secret = result.session_secret
+        c2s_key = _derive_keystream_key(secret, b"c2s-key")
+        c2s_mac = _derive_keystream_key(secret, b"c2s-mac")
+        s2c_key = _derive_keystream_key(secret, b"s2c-key")
+        s2c_mac = _derive_keystream_key(secret, b"s2c-mac")
+        if is_client:
+            self._send_cipher = _RecordCipher(c2s_key, c2s_mac)
+            self._recv_cipher = _RecordCipher(s2c_key, s2c_mac)
+        else:
+            self._send_cipher = _RecordCipher(s2c_key, s2c_mac)
+            self._recv_cipher = _RecordCipher(c2s_key, c2s_mac)
+        self.client_dn = result.client_dn
+        self.server_dn = result.server_dn
+
+    def wrap(self, data: bytes) -> bytes:
+        """Encrypt outbound application data into a record."""
+
+        return self._send_cipher.encrypt(data)
+
+    def unwrap(self, record: bytes) -> bytes:
+        """Decrypt an inbound record into application data."""
+
+        return self._recv_cipher.decrypt(record)
+
+
+def _verify_peer(chain: Sequence[Certificate], trust_store: TrustStore,
+                 revoked: dict) -> str:
+    """Verify a peer chain (plain or proxy) and return the authenticated DN."""
+
+    if not chain:
+        raise TLSError("peer presented no certificate")
+    if any(c.is_proxy for c in chain):
+        owner = verify_proxy_chain(list(chain), trust_store, revoked_serials=revoked)
+        return str(owner)
+    end_entity = verify_chain(list(chain), trust_store, revoked_serials=revoked)
+    return str(end_entity.subject)
+
+
+def perform_handshake(client: TLSContext, server: TLSContext,
+                      *, rng=None) -> tuple[TLSChannel, TLSChannel]:
+    """Run the simulated handshake and return (client_channel, server_channel).
+
+    The message flow mirrors TLS-with-client-auth:
+
+    1. server -> client: certificate chain.
+    2. client: verifies the chain against its trust store.
+    3. client -> server: its own chain (if any), an RSA-encrypted pre-master
+       secret, and a signature over the transcript proving key possession.
+    4. server: verifies the client chain, checks the signature, decrypts the
+       secret.  Both sides derive the record-layer keys from the secret.
+    """
+
+    if server.credential is None:
+        raise TLSError("server endpoint has no credential")
+    if client.trust_store is None:
+        raise TLSError("client has no trust store to verify the server against")
+
+    server_chain = list(server.certificate_chain())
+    try:
+        server_dn = _verify_peer(server_chain, client.trust_store, server.revoked_serials)
+    except (VerificationError, TLSError) as exc:
+        raise TLSError(f"server certificate rejected: {exc}") from exc
+
+    pre_master = (rng.randbytes(32) if rng is not None else os.urandom(32))
+    encrypted_secret = server.credential.certificate.public_key.encrypt_secret(pre_master)
+
+    transcript = json.dumps({
+        "server": server_dn,
+        "secret_fingerprint": hashlib.sha256(pre_master).hexdigest(),
+    }, sort_keys=True).encode()
+
+    client_dn: str | None = None
+    client_chain: list[Certificate] = []
+    client_signature: int | None = None
+    if client.credential is not None:
+        client_chain = list(client.certificate_chain())
+        client_signature = client.credential.private_key.sign(transcript)
+
+    # --- server side processing ------------------------------------------
+    if server.require_client_cert and not client_chain:
+        raise TLSError("server requires a client certificate and none was presented")
+    if client_chain:
+        if server.trust_store is None:
+            raise TLSError("server cannot verify client certificates without a trust store")
+        try:
+            client_dn = _verify_peer(client_chain, server.trust_store, client.revoked_serials)
+        except (VerificationError, TLSError) as exc:
+            raise TLSError(f"client certificate rejected: {exc}") from exc
+        if client_signature is None or not client_chain[0].public_key.verify(
+                transcript, client_signature):
+            raise TLSError("client failed proof of key possession")
+
+    try:
+        recovered = server.credential.private_key.decrypt_secret(encrypted_secret)
+    except ValueError as exc:
+        raise TLSError(f"pre-master secret recovery failed: {exc}") from exc
+    if recovered != pre_master:
+        raise TLSError("pre-master secret mismatch")
+
+    result = HandshakeResult(session_secret=pre_master, client_dn=client_dn, server_dn=server_dn)
+    return TLSChannel(result, is_client=True), TLSChannel(result, is_client=False)

@@ -1,0 +1,108 @@
+"""Worker pool.
+
+Apache's prefork/worker model hands each accepted connection to a worker
+process; PClarens inherited that concurrency model.  The reproduction's
+equivalent is a bounded thread pool with per-task exception capture, used by
+the socket server for connection handling and by the asynchronous client/
+benchmark harness for concurrent in-flight requests.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+__all__ = ["WorkerPool", "TaskResult"]
+
+
+@dataclass
+class TaskResult:
+    """Outcome of one submitted task."""
+
+    value: Any = None
+    error: BaseException | None = None
+    _event: threading.Event = field(default_factory=threading.Event, repr=False)
+
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def wait(self, timeout: float | None = None) -> bool:
+        return self._event.wait(timeout)
+
+    def result(self, timeout: float | None = None) -> Any:
+        if not self._event.wait(timeout):
+            raise TimeoutError("task did not complete in time")
+        if self.error is not None:
+            raise self.error
+        return self.value
+
+    def _complete(self, value: Any = None, error: BaseException | None = None) -> None:
+        self.value = value
+        self.error = error
+        self._event.set()
+
+
+class WorkerPool:
+    """A fixed-size pool of daemon worker threads."""
+
+    def __init__(self, size: int = 8, *, name: str = "clarens-worker") -> None:
+        if size < 1:
+            raise ValueError("worker pool needs at least one worker")
+        self.size = size
+        self._queue: queue.Queue = queue.Queue()
+        self._threads: list[threading.Thread] = []
+        self._shutdown = threading.Event()
+        for idx in range(size):
+            thread = threading.Thread(target=self._run, name=f"{name}-{idx}", daemon=True)
+            thread.start()
+            self._threads.append(thread)
+
+    def _run(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is None:
+                self._queue.task_done()
+                return
+            func, args, kwargs, result = item
+            try:
+                result._complete(value=func(*args, **kwargs))
+            except BaseException as exc:  # noqa: BLE001 - report to caller
+                result._complete(error=exc)
+            finally:
+                self._queue.task_done()
+
+    def submit(self, func: Callable, *args: Any, **kwargs: Any) -> TaskResult:
+        """Schedule ``func(*args, **kwargs)`` and return its pending result."""
+
+        if self._shutdown.is_set():
+            raise RuntimeError("worker pool has been shut down")
+        result = TaskResult()
+        self._queue.put((func, args, kwargs, result))
+        return result
+
+    def map(self, func: Callable, items) -> list[Any]:
+        """Run ``func`` over ``items`` on the pool and return results in order."""
+
+        results = [self.submit(func, item) for item in items]
+        return [r.result() for r in results]
+
+    def pending(self) -> int:
+        return self._queue.qsize()
+
+    def shutdown(self, wait: bool = True) -> None:
+        if self._shutdown.is_set():
+            return
+        self._shutdown.set()
+        for _ in self._threads:
+            self._queue.put(None)
+        if wait:
+            for thread in self._threads:
+                thread.join(timeout=5)
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.shutdown()

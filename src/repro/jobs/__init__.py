@@ -1,0 +1,18 @@
+"""Job submission service.
+
+The portal lists "job submission" among its components, and Clarens was the
+service layer for the Monte-Carlo Processing Service (RunJob) and the PROOF
+Enabled Analysis Center.  This package provides the job substrate those
+integrations assumed: a queue of jobs, a scheduler that executes them inside
+the submitting user's shell sandbox, and RPC methods to submit, monitor,
+cancel and collect output.
+"""
+
+from __future__ import annotations
+
+from repro.jobs.model import Job, JobState
+from repro.jobs.queue import JobQueue
+from repro.jobs.scheduler import JobScheduler
+from repro.jobs.service import JobService
+
+__all__ = ["Job", "JobState", "JobQueue", "JobScheduler", "JobService"]

@@ -1,0 +1,83 @@
+"""Job model."""
+
+from __future__ import annotations
+
+import time
+import uuid
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any
+
+__all__ = ["Job", "JobState"]
+
+
+class JobState(str, Enum):
+    """Lifecycle states of a submitted job."""
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    COMPLETED = "completed"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+    @property
+    def is_terminal(self) -> bool:
+        return self in (JobState.COMPLETED, JobState.FAILED, JobState.CANCELLED)
+
+
+@dataclass
+class Job:
+    """One submitted job: a command line run in the owner's sandbox."""
+
+    owner_dn: str
+    command: str
+    job_id: str = field(default_factory=lambda: uuid.uuid4().hex[:16])
+    name: str = ""
+    state: JobState = JobState.QUEUED
+    submitted: float = field(default_factory=time.time)
+    started: float | None = None
+    finished: float | None = None
+    exit_code: int | None = None
+    stdout: str = ""
+    stderr: str = ""
+    #: Free-form metadata (dataset name, estimated events, priority hints).
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def wall_time(self) -> float | None:
+        if self.started is None or self.finished is None:
+            return None
+        return self.finished - self.started
+
+    def to_record(self) -> dict[str, Any]:
+        return {
+            "job_id": self.job_id,
+            "owner_dn": self.owner_dn,
+            "command": self.command,
+            "name": self.name,
+            "state": self.state.value,
+            "submitted": self.submitted,
+            "started": self.started,
+            "finished": self.finished,
+            "exit_code": self.exit_code,
+            "stdout": self.stdout,
+            "stderr": self.stderr,
+            "metadata": dict(self.metadata),
+        }
+
+    @classmethod
+    def from_record(cls, record: dict[str, Any]) -> "Job":
+        return cls(
+            owner_dn=record["owner_dn"],
+            command=record["command"],
+            job_id=record["job_id"],
+            name=record.get("name", ""),
+            state=JobState(record.get("state", "queued")),
+            submitted=float(record.get("submitted", time.time())),
+            started=record.get("started"),
+            finished=record.get("finished"),
+            exit_code=record.get("exit_code"),
+            stdout=record.get("stdout", ""),
+            stderr=record.get("stderr", ""),
+            metadata=dict(record.get("metadata", {})),
+        )

@@ -1,0 +1,124 @@
+"""The job queue.
+
+Jobs are persisted in the ``jobs`` database table (so a restart does not lose
+queued or completed jobs) and handed to the scheduler in a fair-share order:
+round-robin across owners, FIFO within an owner.  That is the behaviour the
+RunJob/Monte-Carlo production use-case needs — one heavy user cannot starve
+the rest of the collaboration.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Iterable
+
+from repro.database import Database
+from repro.jobs.model import Job, JobState
+
+__all__ = ["JobQueue"]
+
+
+class JobQueue:
+    """Persistent queue of jobs with fair-share ordering."""
+
+    def __init__(self, database: Database) -> None:
+        self._table = database.table("jobs")
+        self._table.create_index("owner_dn")
+        self._table.create_index("state")
+        self._lock = threading.Lock()
+        #: Rotates across owners for fair-share dequeueing.
+        self._last_owner: str | None = None
+
+    # -- submission ----------------------------------------------------------------
+    def submit(self, job: Job) -> Job:
+        self._table.insert(job.job_id, job.to_record())
+        return job
+
+    def get(self, job_id: str) -> Job | None:
+        record = self._table.get(job_id, None)
+        return Job.from_record(record) if record is not None else None
+
+    def update(self, job: Job) -> None:
+        self._table.put(job.job_id, job.to_record())
+
+    # -- queries --------------------------------------------------------------------
+    def jobs_for(self, owner_dn: str) -> list[Job]:
+        return sorted(
+            (Job.from_record(r) for r in self._table.lookup("owner_dn", owner_dn)),
+            key=lambda j: j.submitted,
+        )
+
+    def jobs_in_state(self, state: JobState) -> list[Job]:
+        return sorted(
+            (Job.from_record(r) for r in self._table.lookup("state", state.value)),
+            key=lambda j: j.submitted,
+        )
+
+    def all_jobs(self) -> list[Job]:
+        return sorted((Job.from_record(r) for r in self._table.all()),
+                      key=lambda j: j.submitted)
+
+    def counts(self) -> dict[str, int]:
+        counts: dict[str, int] = {state.value: 0 for state in JobState}
+        for record in self._table.all():
+            counts[record.get("state", "queued")] = counts.get(record.get("state", "queued"), 0) + 1
+        return counts
+
+    # -- scheduling ------------------------------------------------------------------
+    def next_queued(self) -> Job | None:
+        """Pop the next job to run under fair-share ordering (or None).
+
+        The job is *not* removed from the table; its state transition to
+        RUNNING is the scheduler's responsibility via :meth:`update`.
+        """
+
+        with self._lock:
+            queued = self.jobs_in_state(JobState.QUEUED)
+            if not queued:
+                return None
+            owners = sorted({j.owner_dn for j in queued})
+            # Start from the owner after the one we served last.
+            if self._last_owner in owners:
+                start = (owners.index(self._last_owner) + 1) % len(owners)
+            else:
+                start = 0
+            ordered_owners = owners[start:] + owners[:start]
+            for owner in ordered_owners:
+                owner_jobs = [j for j in queued if j.owner_dn == owner]
+                if owner_jobs:
+                    self._last_owner = owner
+                    return owner_jobs[0]
+            return None
+
+    def cancel(self, job_id: str) -> Job | None:
+        """Mark a non-terminal job cancelled; returns the job or None."""
+
+        job = self.get(job_id)
+        if job is None or job.state.is_terminal:
+            return job
+        job.state = JobState.CANCELLED
+        self.update(job)
+        return job
+
+    def purge_terminal(self, owner_dn: str | None = None) -> int:
+        """Delete completed/failed/cancelled jobs; returns how many."""
+
+        removed = 0
+        for job in self.all_jobs():
+            if not job.state.is_terminal:
+                continue
+            if owner_dn is not None and job.owner_dn != owner_dn:
+                continue
+            if self._table.delete(job.job_id):
+                removed += 1
+        return removed
+
+    def bulk_submit(self, jobs: Iterable[Job]) -> int:
+        count = 0
+        for job in jobs:
+            self.submit(job)
+            count += 1
+        return count
+
+    def __len__(self) -> int:
+        return len(self._table)

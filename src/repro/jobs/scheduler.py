@@ -1,0 +1,125 @@
+"""The job scheduler.
+
+Executes queued jobs inside the owner's shell sandbox using the confined
+interpreter.  It can run synchronously (``run_pending`` — deterministic, used
+by tests and examples) or as a background thread with a configurable number
+of worker slots (the "processing farm" behaviour the Monte-Carlo production
+service expected).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable
+
+from repro.httpd.workers import WorkerPool
+from repro.jobs.model import Job, JobState
+from repro.jobs.queue import JobQueue
+from repro.shell.interpreter import ShellInterpreter
+from repro.shell.sandbox import SandboxManager
+
+__all__ = ["JobScheduler"]
+
+#: Maps an owner DN to the local sandbox user that should run the job.
+UserMapper = Callable[[str], str]
+
+
+class JobScheduler:
+    """Runs queued jobs in per-owner sandboxes."""
+
+    def __init__(self, queue: JobQueue, sandboxes: SandboxManager, *,
+                 user_mapper: UserMapper | None = None, slots: int = 2,
+                 poll_interval: float = 0.05) -> None:
+        self.queue = queue
+        self.sandboxes = sandboxes
+        self.user_mapper = user_mapper or (lambda dn: "clarens")
+        self.slots = max(1, slots)
+        self.poll_interval = poll_interval
+        self._pool: WorkerPool | None = None
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self.jobs_executed = 0
+        self._lock = threading.Lock()
+
+    # -- execution of one job --------------------------------------------------------
+    def execute(self, job: Job) -> Job:
+        """Run one job to completion and persist its result."""
+
+        job.state = JobState.RUNNING
+        job.started = time.time()
+        self.queue.update(job)
+        try:
+            user = self.user_mapper(job.owner_dn)
+            sandbox = self.sandboxes.get_or_create(user)
+            interpreter = ShellInterpreter(sandbox.path)
+            result = interpreter.run(job.command)
+            job.stdout = result.stdout
+            job.stderr = result.stderr
+            job.exit_code = result.exit_code
+            job.state = JobState.COMPLETED if result.exit_code == 0 else JobState.FAILED
+        except Exception as exc:  # noqa: BLE001 - job failures must not kill the scheduler
+            job.stderr = f"{type(exc).__name__}: {exc}\n"
+            job.exit_code = -1
+            job.state = JobState.FAILED
+        finally:
+            job.finished = time.time()
+            self.queue.update(job)
+            with self._lock:
+                self.jobs_executed += 1
+        return job
+
+    # -- synchronous draining -----------------------------------------------------------
+    def run_pending(self, max_jobs: int | None = None) -> int:
+        """Run queued jobs until the queue is empty (or ``max_jobs`` reached)."""
+
+        executed = 0
+        while max_jobs is None or executed < max_jobs:
+            # Re-check cancellation between jobs: cancel() may have raced us.
+            job = self.queue.next_queued()
+            if job is None:
+                break
+            current = self.queue.get(job.job_id)
+            if current is None or current.state is not JobState.QUEUED:
+                continue
+            self.execute(current)
+            executed += 1
+        return executed
+
+    # -- background operation --------------------------------------------------------------
+    def start(self) -> "JobScheduler":
+        if self._thread is not None:
+            return self
+        self._stop.clear()
+        self._pool = WorkerPool(self.slots, name="clarens-job")
+        self._thread = threading.Thread(target=self._run, name="clarens-scheduler", daemon=True)
+        self._thread.start()
+        return self
+
+    def _run(self) -> None:
+        assert self._pool is not None
+        in_flight: list = []
+        while not self._stop.is_set():
+            in_flight = [task for task in in_flight if not task.done()]
+            while len(in_flight) < self.slots:
+                job = self.queue.next_queued()
+                if job is None:
+                    break
+                in_flight.append(self._pool.submit(self.execute, job))
+            self._stop.wait(self.poll_interval)
+
+    def stop(self) -> None:
+        if self._thread is None:
+            return
+        self._stop.set()
+        self._thread.join(timeout=5)
+        self._thread = None
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def __enter__(self) -> "JobScheduler":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()

@@ -1,0 +1,155 @@
+"""The ``job`` service.
+
+RPC access to the job queue and scheduler: submit a command to run in your
+sandbox, poll its state, fetch its output, cancel it, and (for
+administrators) inspect the whole queue.  ``job.run_pending`` drives the
+scheduler synchronously, which keeps the examples and tests deterministic;
+deployments that want continuous execution call ``job.start_scheduler``.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.context import CallContext
+from repro.core.errors import AccessDeniedError, NotFoundError
+from repro.core.service import ClarensService, rpc_method
+from repro.jobs.model import Job, JobState
+from repro.jobs.queue import JobQueue
+from repro.jobs.scheduler import JobScheduler
+
+__all__ = ["JobService"]
+
+
+class JobService(ClarensService):
+    """Job submission, monitoring and control."""
+
+    service_name = "job"
+
+    def __init__(self, server) -> None:
+        super().__init__(server)
+        self.queue = JobQueue(server.db)
+        shell_service = server.services.get("shell")
+        if shell_service is not None:
+            sandboxes = shell_service.sandboxes
+            user_mapper = shell_service._map_user
+        else:  # pragma: no cover - shell is registered before job by default
+            from repro.shell.sandbox import SandboxManager
+
+            sandboxes = SandboxManager(server.shell_root)
+            user_mapper = lambda dn: "clarens"  # noqa: E731
+        self.scheduler = JobScheduler(self.queue, sandboxes, user_mapper=user_mapper)
+
+    def on_stop(self) -> None:
+        self.scheduler.stop()
+
+    # -- ownership helper ----------------------------------------------------------------
+    def _get_owned(self, ctx: CallContext, job_id: str) -> Job:
+        job = self.queue.get(job_id)
+        if job is None:
+            raise NotFoundError(f"no such job: {job_id}")
+        dn = ctx.require_dn()
+        if job.owner_dn != dn and not self.server.vo.is_admin(dn):
+            raise AccessDeniedError("this job belongs to a different identity")
+        return job
+
+    # -- submission / monitoring --------------------------------------------------------
+    @rpc_method()
+    def submit(self, ctx: CallContext, command: str, name: str = "",
+               metadata: dict = {}) -> dict[str, Any]:
+        """Submit a command to run in the caller's sandbox; returns the job record."""
+
+        job = Job(owner_dn=ctx.require_dn(), command=command, name=name,
+                  metadata=dict(metadata or {}))
+        self.queue.submit(job)
+        return job.to_record()
+
+    @rpc_method()
+    def status(self, ctx: CallContext, job_id: str) -> dict[str, Any]:
+        """The current state of a job (owner or administrator only)."""
+
+        job = self._get_owned(ctx, job_id)
+        record = job.to_record()
+        # Output can be large; status keeps the record light.
+        record.pop("stdout", None)
+        record.pop("stderr", None)
+        return record
+
+    @rpc_method()
+    def output(self, ctx: CallContext, job_id: str) -> dict[str, Any]:
+        """The stdout/stderr and exit code of a (finished or running) job."""
+
+        job = self._get_owned(ctx, job_id)
+        return {"job_id": job.job_id, "state": job.state.value,
+                "exit_code": job.exit_code, "stdout": job.stdout, "stderr": job.stderr}
+
+    @rpc_method()
+    def list(self, ctx: CallContext, owner_dn: str = "") -> list[dict[str, Any]]:
+        """Jobs belonging to the caller (or, for admins, any owner / all)."""
+
+        caller = ctx.require_dn()
+        if owner_dn and owner_dn != caller:
+            self.server.require_admin(ctx)
+            jobs = self.queue.jobs_for(owner_dn)
+        elif owner_dn == "" and self.server.vo.is_admin(caller):
+            jobs = self.queue.all_jobs()
+        else:
+            jobs = self.queue.jobs_for(caller)
+        return [{k: v for k, v in j.to_record().items() if k not in ("stdout", "stderr")}
+                for j in jobs]
+
+    @rpc_method()
+    def cancel(self, ctx: CallContext, job_id: str) -> dict[str, Any]:
+        """Cancel a queued or running job."""
+
+        self._get_owned(ctx, job_id)
+        job = self.queue.cancel(job_id)
+        assert job is not None
+        return {"job_id": job.job_id, "state": job.state.value}
+
+    @rpc_method()
+    def queue_counts(self, ctx: CallContext) -> dict[str, int]:
+        """Number of jobs per state."""
+
+        ctx.require_dn()
+        return self.queue.counts()
+
+    # -- execution control ------------------------------------------------------------------
+    @rpc_method()
+    def run_pending(self, ctx: CallContext, max_jobs: int = 0) -> int:
+        """Synchronously execute queued jobs; returns how many ran (admins only)."""
+
+        self.server.require_admin(ctx)
+        return self.scheduler.run_pending(max_jobs or None)
+
+    @rpc_method()
+    def start_scheduler(self, ctx: CallContext) -> bool:
+        """Start the background scheduler (administrators only)."""
+
+        self.server.require_admin(ctx)
+        self.scheduler.start()
+        return True
+
+    @rpc_method()
+    def stop_scheduler(self, ctx: CallContext) -> bool:
+        """Stop the background scheduler (administrators only)."""
+
+        self.server.require_admin(ctx)
+        self.scheduler.stop()
+        return True
+
+    @rpc_method()
+    def purge(self, ctx: CallContext, all_owners: bool = False) -> int:
+        """Delete finished jobs (yours by default; all with admin rights)."""
+
+        caller = ctx.require_dn()
+        if all_owners:
+            self.server.require_admin(ctx)
+            return self.queue.purge_terminal(None)
+        return self.queue.purge_terminal(caller)
+
+    # -- convenience for other services -------------------------------------------------------
+    def states(self) -> list[str]:
+        """All job state names (useful for portal rendering)."""
+
+        return [state.value for state in JobState]

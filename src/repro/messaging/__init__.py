@@ -1,0 +1,25 @@
+"""Asynchronous messaging (paper section 6, "Future Work").
+
+The paper notes that the request/response web-service model is "ill-suited
+for the type of asynchronous bi-directional communication required for
+interactions between users and the jobs they are running on private networks
+protected by NAT and firewalls", and proposes an instant-messaging
+architecture so that "messages can be sent and received by jobs
+asynchronously" and jobs can feed monitoring or remote-debugging tools.
+
+This package implements that extension:
+
+* :mod:`repro.messaging.broker`  -- a store-and-forward message broker with
+  named mailboxes, topic broadcast, presence and offline delivery.
+* :mod:`repro.messaging.service` -- the ``msg.*`` RPC methods.  Because the
+  participants behind NAT can only make *outbound* calls, delivery is by
+  polling (``msg.poll``), which is exactly how the IM-style job monitors of
+  the era worked.
+"""
+
+from __future__ import annotations
+
+from repro.messaging.broker import Mailbox, Message, MessageBroker
+from repro.messaging.service import MessagingService
+
+__all__ = ["Message", "Mailbox", "MessageBroker", "MessagingService"]

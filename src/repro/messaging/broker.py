@@ -1,0 +1,210 @@
+"""The store-and-forward message broker.
+
+Mailboxes are named by their owner DN plus an optional resource (so a user
+and each of her running jobs have distinct addresses, e.g.
+``/O=x/CN=alice`` and ``/O=x/CN=alice/job-42``).  Messages sent to an address
+are queued until the owner polls them — participants behind NAT or firewalls
+never need to accept inbound connections.  Topics provide broadcast fan-out
+(job monitoring streams), and presence records who has polled recently.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+__all__ = ["Message", "Mailbox", "MessageBroker", "MessagingError"]
+
+
+class MessagingError(Exception):
+    """Raised for unknown mailboxes or malformed addresses."""
+
+
+@dataclass
+class Message:
+    """One queued message."""
+
+    message_id: int
+    sender: str
+    recipient: str
+    subject: str
+    body: Any
+    sent_at: float = field(default_factory=time.time)
+    topic: str | None = None
+
+    def to_record(self) -> dict[str, Any]:
+        return {
+            "message_id": self.message_id,
+            "sender": self.sender,
+            "recipient": self.recipient,
+            "subject": self.subject,
+            "body": self.body,
+            "sent_at": self.sent_at,
+            "topic": self.topic or "",
+        }
+
+
+@dataclass
+class Mailbox:
+    """A per-address queue plus presence bookkeeping."""
+
+    address: str
+    owner_dn: str
+    created: float = field(default_factory=time.time)
+    last_poll: float = 0.0
+    messages: list[Message] = field(default_factory=list)
+    subscriptions: set[str] = field(default_factory=set)
+
+    @property
+    def pending(self) -> int:
+        return len(self.messages)
+
+    def is_online(self, *, presence_window: float = 60.0, when: float | None = None) -> bool:
+        when = time.time() if when is None else when
+        return (when - self.last_poll) <= presence_window
+
+
+def _owner_of(address: str) -> str:
+    """The DN owning an address (the part before the first ``#`` resource tag)."""
+
+    return address.split("#", 1)[0]
+
+
+class MessageBroker:
+    """Named mailboxes, direct messages, topic broadcast, offline delivery."""
+
+    def __init__(self, *, max_pending_per_mailbox: int = 10_000,
+                 presence_window: float = 60.0) -> None:
+        self.max_pending_per_mailbox = max_pending_per_mailbox
+        self.presence_window = presence_window
+        self._mailboxes: dict[str, Mailbox] = {}
+        self._message_ids = itertools.count(1)
+        self._lock = threading.Condition()
+
+    # -- mailbox lifecycle ---------------------------------------------------------
+    def register(self, address: str, owner_dn: str | None = None) -> Mailbox:
+        """Create (or return) the mailbox for ``address``.
+
+        Addresses are ``<owner-dn>`` or ``<owner-dn>#<resource>`` — e.g. a job
+        registers ``/O=x/CN=alice#job-42`` and only Alice may poll it.
+        """
+
+        if not address:
+            raise MessagingError("mailbox addresses must be non-empty")
+        owner = owner_dn or _owner_of(address)
+        with self._lock:
+            mailbox = self._mailboxes.get(address)
+            if mailbox is None:
+                mailbox = Mailbox(address=address, owner_dn=owner)
+                self._mailboxes[address] = mailbox
+            return mailbox
+
+    def unregister(self, address: str) -> bool:
+        with self._lock:
+            return self._mailboxes.pop(address, None) is not None
+
+    def mailbox(self, address: str) -> Mailbox:
+        with self._lock:
+            mailbox = self._mailboxes.get(address)
+        if mailbox is None:
+            raise MessagingError(f"no such mailbox: {address}")
+        return mailbox
+
+    def addresses(self) -> list[str]:
+        with self._lock:
+            return sorted(self._mailboxes)
+
+    def addresses_for(self, owner_dn: str) -> list[str]:
+        with self._lock:
+            return sorted(a for a, m in self._mailboxes.items() if m.owner_dn == owner_dn)
+
+    # -- sending ----------------------------------------------------------------------
+    def send(self, sender: str, recipient: str, subject: str, body: Any) -> Message:
+        """Queue a direct message; the recipient mailbox is created if needed."""
+
+        with self._lock:
+            mailbox = self._mailboxes.get(recipient)
+            if mailbox is None:
+                mailbox = Mailbox(address=recipient, owner_dn=_owner_of(recipient))
+                self._mailboxes[recipient] = mailbox
+            if mailbox.pending >= self.max_pending_per_mailbox:
+                raise MessagingError(f"mailbox {recipient} is full")
+            message = Message(message_id=next(self._message_ids), sender=sender,
+                              recipient=recipient, subject=subject, body=body)
+            mailbox.messages.append(message)
+            self._lock.notify_all()
+            return message
+
+    def publish(self, sender: str, topic: str, subject: str, body: Any) -> int:
+        """Broadcast to every mailbox subscribed to ``topic``; returns the fan-out."""
+
+        delivered = 0
+        with self._lock:
+            for mailbox in self._mailboxes.values():
+                if topic not in mailbox.subscriptions:
+                    continue
+                if mailbox.pending >= self.max_pending_per_mailbox:
+                    continue
+                mailbox.messages.append(Message(
+                    message_id=next(self._message_ids), sender=sender,
+                    recipient=mailbox.address, subject=subject, body=body, topic=topic))
+                delivered += 1
+            if delivered:
+                self._lock.notify_all()
+        return delivered
+
+    def subscribe(self, address: str, topic: str) -> None:
+        self.mailbox(address)  # existence check
+        with self._lock:
+            self._mailboxes[address].subscriptions.add(topic)
+
+    def unsubscribe(self, address: str, topic: str) -> None:
+        with self._lock:
+            mailbox = self._mailboxes.get(address)
+            if mailbox is not None:
+                mailbox.subscriptions.discard(topic)
+
+    # -- receiving ----------------------------------------------------------------------
+    def poll(self, address: str, *, max_messages: int = 100,
+             wait: float = 0.0) -> list[Message]:
+        """Drain up to ``max_messages`` messages; optionally long-poll for ``wait`` s."""
+
+        deadline = time.time() + wait
+        with self._lock:
+            mailbox = self._mailboxes.get(address)
+            if mailbox is None:
+                raise MessagingError(f"no such mailbox: {address}")
+            while not mailbox.messages and wait > 0:
+                remaining = deadline - time.time()
+                if remaining <= 0:
+                    break
+                self._lock.wait(remaining)
+            mailbox.last_poll = time.time()
+            drained = mailbox.messages[:max_messages]
+            mailbox.messages = mailbox.messages[max_messages:]
+            return drained
+
+    def peek(self, address: str) -> int:
+        """Number of pending messages without draining them."""
+
+        return self.mailbox(address).pending
+
+    # -- presence -----------------------------------------------------------------------
+    def presence(self, owner_dn: str | None = None) -> list[dict[str, Any]]:
+        """Presence records (address, online, pending) for all or one owner's mailboxes."""
+
+        now = time.time()
+        with self._lock:
+            boxes: Iterable[Mailbox] = self._mailboxes.values()
+            if owner_dn is not None:
+                boxes = [m for m in boxes if m.owner_dn == owner_dn]
+            return [{
+                "address": m.address,
+                "owner_dn": m.owner_dn,
+                "online": m.is_online(presence_window=self.presence_window, when=now),
+                "pending": m.pending,
+                "last_poll": m.last_poll,
+            } for m in boxes]

@@ -1,0 +1,138 @@
+"""The ``msg`` service: RPC access to the message broker.
+
+Addresses are rooted in the caller's DN, so a user (or a job holding her
+delegated proxy, which authenticates as her) may only register, poll and
+unregister mailboxes she owns; anyone authenticated may *send*.  This is the
+instant-messaging architecture of the paper's future-work section: jobs on
+private networks post status outbound and poll for control messages, with the
+Clarens server as the rendezvous point.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.context import CallContext
+from repro.core.errors import AccessDeniedError, NotFoundError
+from repro.core.service import ClarensService, rpc_method
+from repro.messaging.broker import MessageBroker, MessagingError
+
+__all__ = ["MessagingService"]
+
+
+class MessagingService(ClarensService):
+    """Store-and-forward messaging for users and their jobs."""
+
+    service_name = "msg"
+
+    def __init__(self, server) -> None:
+        super().__init__(server)
+        self.broker = MessageBroker()
+
+    # -- address helpers ----------------------------------------------------------
+    def _own_address(self, ctx: CallContext, resource: str = "") -> str:
+        dn = ctx.require_dn()
+        return f"{dn}#{resource}" if resource else dn
+
+    def _require_owner(self, ctx: CallContext, address: str) -> str:
+        dn = ctx.require_dn()
+        owner = address.split("#", 1)[0]
+        if owner != dn and not self.server.vo.is_admin(dn):
+            raise AccessDeniedError(f"{dn} does not own mailbox {address}")
+        return address
+
+    # -- mailbox management ---------------------------------------------------------
+    # Published as ``msg.register``; the Python name differs so it does not
+    # shadow ClarensService.register (the framework registration hook).
+    @rpc_method("register")
+    def register_mailbox(self, ctx: CallContext, resource: str = "") -> dict[str, Any]:
+        """Register a mailbox for the caller (optionally ``#<resource>``-tagged)."""
+
+        address = self._own_address(ctx, resource)
+        mailbox = self.broker.register(address, ctx.require_dn())
+        return {"address": mailbox.address, "pending": mailbox.pending}
+
+    @rpc_method()
+    def unregister(self, ctx: CallContext, resource: str = "") -> bool:
+        """Remove one of the caller's mailboxes."""
+
+        return self.broker.unregister(self._own_address(ctx, resource))
+
+    @rpc_method()
+    def my_mailboxes(self, ctx: CallContext) -> list[str]:
+        """Addresses of every mailbox the caller owns."""
+
+        return self.broker.addresses_for(ctx.require_dn())
+
+    # -- messaging --------------------------------------------------------------------
+    @rpc_method()
+    def send(self, ctx: CallContext, recipient: str, subject: str, body: Any) -> dict[str, Any]:
+        """Send a direct message to an address (``dn`` or ``dn#resource``)."""
+
+        try:
+            message = self.broker.send(ctx.require_dn(), recipient, subject, body)
+        except MessagingError as exc:
+            raise NotFoundError(str(exc)) from exc
+        return {"message_id": message.message_id, "sent_at": message.sent_at}
+
+    @rpc_method()
+    def poll(self, ctx: CallContext, resource: str = "", max_messages: int = 100,
+             wait: float = 0.0) -> list[dict[str, Any]]:
+        """Drain pending messages from one of the caller's mailboxes.
+
+        ``wait`` enables long-polling (bounded to 30 s) so jobs behind NAT can
+        wait for control messages without busy-looping.
+        """
+
+        address = self._own_address(ctx, resource)
+        try:
+            messages = self.broker.poll(address, max_messages=int(max_messages),
+                                        wait=min(float(wait), 30.0))
+        except MessagingError as exc:
+            raise NotFoundError(str(exc)) from exc
+        return [m.to_record() for m in messages]
+
+    @rpc_method()
+    def pending(self, ctx: CallContext, resource: str = "") -> int:
+        """Number of messages waiting in one of the caller's mailboxes."""
+
+        try:
+            return self.broker.peek(self._own_address(ctx, resource))
+        except MessagingError as exc:
+            raise NotFoundError(str(exc)) from exc
+
+    # -- topics --------------------------------------------------------------------------
+    @rpc_method()
+    def subscribe(self, ctx: CallContext, topic: str, resource: str = "") -> bool:
+        """Subscribe one of the caller's mailboxes to a broadcast topic."""
+
+        address = self._own_address(ctx, resource)
+        self.broker.register(address, ctx.require_dn())
+        self.broker.subscribe(address, topic)
+        return True
+
+    @rpc_method()
+    def unsubscribe(self, ctx: CallContext, topic: str, resource: str = "") -> bool:
+        """Remove a topic subscription."""
+
+        self.broker.unsubscribe(self._own_address(ctx, resource), topic)
+        return True
+
+    @rpc_method()
+    def publish(self, ctx: CallContext, topic: str, subject: str, body: Any) -> int:
+        """Broadcast to every subscriber of ``topic``; returns the fan-out count."""
+
+        return self.broker.publish(ctx.require_dn(), topic, subject, body)
+
+    # -- presence -----------------------------------------------------------------------
+    @rpc_method()
+    def presence(self, ctx: CallContext, dn: str = "") -> list[dict[str, Any]]:
+        """Presence for the caller's mailboxes (or, for admins, any DN / all)."""
+
+        caller = ctx.require_dn()
+        if dn and dn != caller:
+            self.server.require_admin(ctx)
+            return self.broker.presence(dn)
+        if not dn and self.server.vo.is_admin(caller):
+            return self.broker.presence(None)
+        return self.broker.presence(caller)

@@ -1,0 +1,42 @@
+"""MonALISA-style monitoring substrate (paper section 2.4).
+
+The real deployment used the MonALISA framework — a network of JINI-based
+station servers monitoring "more than 90 sites", arranged according to the
+GLUE schema as a hierarchy of servers, farms, nodes and key/value pairs —
+as the transport for Clarens service discovery: Clarens servers publish
+service information via UDP to station servers, which republish it to the
+MonALISA network, and discovery servers aggregate it.
+
+This package is the in-process equivalent:
+
+* :mod:`repro.monitoring.bus`      -- a publish/subscribe message bus (the
+  "network"), with per-topic subscriptions and optional lossy (UDP-like)
+  delivery.
+* :mod:`repro.monitoring.glue`     -- the GLUE-like schema: sites, farms,
+  nodes, and metric key/value pairs.
+* :mod:`repro.monitoring.station`  -- station servers that receive
+  publications from services and republish them onto the bus.
+* :mod:`repro.monitoring.monalisa` -- the aggregating repository that
+  discovery servers query (the JINI lookup role).
+* :mod:`repro.monitoring.lookup`   -- a JINI-like lookup/lease service.
+"""
+
+from __future__ import annotations
+
+from repro.monitoring.bus import MessageBus
+from repro.monitoring.glue import Farm, GlueSchema, Node, Site
+from repro.monitoring.lookup import Lease, LookupService
+from repro.monitoring.monalisa import MonALISARepository
+from repro.monitoring.station import StationServer
+
+__all__ = [
+    "MessageBus",
+    "GlueSchema",
+    "Site",
+    "Farm",
+    "Node",
+    "StationServer",
+    "MonALISARepository",
+    "LookupService",
+    "Lease",
+]

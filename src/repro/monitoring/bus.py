@@ -1,0 +1,111 @@
+"""An in-process publish/subscribe message bus.
+
+Stands in for the UDP + JINI transport of the MonALISA network.  Topics are
+dotted strings; subscribers register a callback for a topic prefix.  Delivery
+is synchronous by default (deterministic for tests) with an optional loss
+probability to model the UDP publications the paper mentions ("Clarens
+servers can publish service information using a UDP-based application").
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+__all__ = ["Message", "MessageBus", "Subscription"]
+
+Callback = Callable[["Message"], None]
+
+
+@dataclass(frozen=True)
+class Message:
+    """One published message."""
+
+    topic: str
+    payload: dict[str, Any]
+    timestamp: float
+    source: str = ""
+
+
+@dataclass
+class Subscription:
+    """A registered subscriber."""
+
+    topic_prefix: str
+    callback: Callback
+    id: int = 0
+    delivered: int = field(default=0)
+
+    def matches(self, topic: str) -> bool:
+        return topic == self.topic_prefix or topic.startswith(self.topic_prefix + ".") \
+            or self.topic_prefix == "*"
+
+
+class MessageBus:
+    """Topic-based pub/sub with optional lossy delivery."""
+
+    def __init__(self, *, loss_probability: float = 0.0,
+                 rng: random.Random | None = None) -> None:
+        if not (0.0 <= loss_probability < 1.0):
+            raise ValueError("loss_probability must be in [0, 1)")
+        self.loss_probability = loss_probability
+        self._rng = rng or random.Random()
+        self._subs: dict[int, Subscription] = {}
+        self._next_id = 1
+        self._lock = threading.Lock()
+        self.published = 0
+        self.delivered = 0
+        self.dropped = 0
+
+    # -- subscription -------------------------------------------------------------
+    def subscribe(self, topic_prefix: str, callback: Callback) -> int:
+        """Register a callback for a topic prefix; returns a subscription id."""
+
+        with self._lock:
+            sub_id = self._next_id
+            self._next_id += 1
+            self._subs[sub_id] = Subscription(topic_prefix=topic_prefix,
+                                              callback=callback, id=sub_id)
+            return sub_id
+
+    def unsubscribe(self, sub_id: int) -> bool:
+        with self._lock:
+            return self._subs.pop(sub_id, None) is not None
+
+    def subscriptions(self) -> list[Subscription]:
+        with self._lock:
+            return list(self._subs.values())
+
+    # -- publication ----------------------------------------------------------------
+    def publish(self, topic: str, payload: dict[str, Any], *, source: str = "",
+                reliable: bool = True) -> Message:
+        """Publish a message; unreliable publications may be dropped."""
+
+        message = Message(topic=topic, payload=dict(payload),
+                          timestamp=time.time(), source=source)
+        with self._lock:
+            subscribers = [s for s in self._subs.values() if s.matches(topic)]
+            self.published += 1
+        for sub in subscribers:
+            if not reliable and self.loss_probability and self._rng.random() < self.loss_probability:
+                with self._lock:
+                    self.dropped += 1
+                continue
+            sub.callback(message)
+            sub.delivered += 1
+            with self._lock:
+                self.delivered += 1
+        return message
+
+    # -- introspection -----------------------------------------------------------------
+    def stats(self) -> dict[str, int]:
+        with self._lock:
+            return {
+                "published": self.published,
+                "delivered": self.delivered,
+                "dropped": self.dropped,
+                "subscriptions": len(self._subs),
+            }

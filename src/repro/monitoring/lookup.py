@@ -1,0 +1,123 @@
+"""A JINI-like lookup service with leases.
+
+MonALISA's discovery layer is built on JINI: services register with a lookup
+service under a lease which they must renew, and clients query the lookup
+service by attribute matching.  The Clarens discovery server "becomes a fully
+fledged JINI client, aggregating discovery information from the JINI
+network".  This module provides the lease/lookup behaviour the discovery
+registry builds on.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+__all__ = ["Lease", "LookupService"]
+
+DEFAULT_LEASE_SECONDS = 120.0
+
+
+@dataclass
+class Lease:
+    """A registration lease."""
+
+    lease_id: int
+    entry_id: str
+    granted: float
+    duration: float
+
+    @property
+    def expires(self) -> float:
+        return self.granted + self.duration
+
+    def is_expired(self, when: float | None = None) -> bool:
+        when = time.time() if when is None else when
+        return when > self.expires
+
+
+@dataclass
+class _Entry:
+    entry_id: str
+    attributes: dict[str, Any]
+    lease: Lease
+    registered: float = field(default_factory=time.time)
+
+
+class LookupService:
+    """Attribute-matching registration/lookup with lease expiry."""
+
+    def __init__(self, *, default_lease: float = DEFAULT_LEASE_SECONDS) -> None:
+        self.default_lease = default_lease
+        self._entries: dict[str, _Entry] = {}
+        self._lease_counter = itertools.count(1)
+        self._lock = threading.Lock()
+
+    # -- registration -------------------------------------------------------------
+    def register(self, entry_id: str, attributes: Mapping[str, Any], *,
+                 lease_seconds: float | None = None) -> Lease:
+        """Register (or refresh) an entry; returns its lease."""
+
+        duration = lease_seconds if lease_seconds is not None else self.default_lease
+        with self._lock:
+            lease = Lease(lease_id=next(self._lease_counter), entry_id=entry_id,
+                          granted=time.time(), duration=duration)
+            self._entries[entry_id] = _Entry(entry_id=entry_id,
+                                             attributes=dict(attributes), lease=lease)
+            return lease
+
+    def renew(self, entry_id: str, *, lease_seconds: float | None = None) -> Lease | None:
+        """Renew an entry's lease; returns None when the entry is unknown."""
+
+        with self._lock:
+            entry = self._entries.get(entry_id)
+            if entry is None:
+                return None
+            duration = lease_seconds if lease_seconds is not None else entry.lease.duration
+            entry.lease = Lease(lease_id=next(self._lease_counter), entry_id=entry_id,
+                                granted=time.time(), duration=duration)
+            return entry.lease
+
+    def cancel(self, entry_id: str) -> bool:
+        with self._lock:
+            return self._entries.pop(entry_id, None) is not None
+
+    # -- queries --------------------------------------------------------------------
+    def _purge_locked(self, now: float) -> None:
+        expired = [eid for eid, entry in self._entries.items() if entry.lease.is_expired(now)]
+        for eid in expired:
+            del self._entries[eid]
+
+    def purge_expired(self) -> int:
+        with self._lock:
+            before = len(self._entries)
+            self._purge_locked(time.time())
+            return before - len(self._entries)
+
+    def get(self, entry_id: str) -> dict[str, Any] | None:
+        with self._lock:
+            self._purge_locked(time.time())
+            entry = self._entries.get(entry_id)
+            return dict(entry.attributes) if entry is not None else None
+
+    def match(self, **criteria: Any) -> list[dict[str, Any]]:
+        """Entries whose attributes equal every criterion (empty criteria = all)."""
+
+        with self._lock:
+            self._purge_locked(time.time())
+            results = []
+            for entry in self._entries.values():
+                if all(entry.attributes.get(k) == v for k, v in criteria.items()):
+                    record = dict(entry.attributes)
+                    record["_entry_id"] = entry.entry_id
+                    record["_lease_expires"] = entry.lease.expires
+                    results.append(record)
+            return results
+
+    def entry_count(self) -> int:
+        with self._lock:
+            self._purge_locked(time.time())
+            return len(self._entries)

@@ -1,0 +1,94 @@
+"""The MonALISA repository: the aggregating view of the monitoring network.
+
+A :class:`MonALISARepository` subscribes to every ``monalisa.*`` topic on the
+bus, maintains the global GLUE hierarchy (sites/farms/nodes/metrics) and the
+set of published service descriptors, and exposes the query interface the
+Clarens discovery server uses ("the JClarens server … aggregat[es] discovery
+information from the JINI network [and] is consequently able to respond to
+service searches far more rapidly by using the local database").
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any
+
+from repro.monitoring.bus import Message, MessageBus
+from repro.monitoring.glue import GlueSchema
+from repro.monitoring.lookup import LookupService
+
+__all__ = ["MonALISARepository"]
+
+
+class MonALISARepository:
+    """Aggregates monitoring and service-discovery information from the bus."""
+
+    def __init__(self, bus: MessageBus, *, service_lease_seconds: float = 300.0) -> None:
+        self.bus = bus
+        self.schema = GlueSchema()
+        self.lookup = LookupService(default_lease=service_lease_seconds)
+        self._lock = threading.Lock()
+        self.metric_updates = 0
+        self._subscription = bus.subscribe("monalisa", self._on_message)
+
+    # -- bus ingestion -------------------------------------------------------------
+    def _on_message(self, message: Message) -> None:
+        if message.topic.endswith(".metric"):
+            payload = message.payload
+            with self._lock:
+                self.schema.record_metric(payload["site"], payload["farm"],
+                                          payload["node"], payload["key"],
+                                          payload["value"])
+                self.metric_updates += 1
+        elif message.topic.endswith(".service"):
+            descriptor = dict(message.payload)
+            name = descriptor.get("name", "")
+            url = descriptor.get("url", "")
+            entry_id = f"{name}@{url}" if url else name
+            # Service attributes (VO, tier, region, ...) are promoted to the
+            # top level so lookup criteria can match them directly.
+            attributes = descriptor.get("attributes")
+            if isinstance(attributes, dict):
+                descriptor = {**attributes, **descriptor}
+            self.lookup.register(entry_id, descriptor)
+
+    # -- queries -----------------------------------------------------------------------
+    def find_services(self, **criteria: Any) -> list[dict[str, Any]]:
+        """Service descriptors whose attributes match every criterion."""
+
+        return self.lookup.match(**criteria)
+
+    def find_services_by_module(self, module: str) -> list[dict[str, Any]]:
+        """Descriptors of servers that publish a given service module (e.g. ``file``)."""
+
+        return [d for d in self.lookup.match() if module in d.get("services", [])]
+
+    def service_count(self) -> int:
+        return self.lookup.entry_count()
+
+    def sites(self) -> list[str]:
+        with self._lock:
+            return sorted(self.schema.sites)
+
+    def site_metrics(self, site: str, key: str) -> float:
+        """Sum of a metric over every node of a site (0.0 for unknown sites)."""
+
+        with self._lock:
+            if site not in self.schema.sites:
+                return 0.0
+            return sum(farm.total_metric(key) for farm in self.schema.sites[site].farms.values())
+
+    def snapshot(self) -> dict[str, Any]:
+        with self._lock:
+            return {
+                "sites": self.schema.site_count(),
+                "nodes": self.schema.node_count(),
+                "metric_updates": self.metric_updates,
+                "services": self.lookup.entry_count(),
+                "generated_at": time.time(),
+            }
+
+    # -- lifecycle -------------------------------------------------------------------------
+    def close(self) -> None:
+        self.bus.unsubscribe(self._subscription)

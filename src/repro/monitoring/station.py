@@ -1,0 +1,78 @@
+"""Station servers.
+
+"Clarens servers can publish service information using a UDP-based
+application to so called station servers that in turn republish it to the
+MonALISA network."  A :class:`StationServer` accepts publications from local
+services (possibly lossy, as UDP would be), folds metric updates into its
+GLUE view of the local site, and republishes everything onto the monitoring
+bus under the ``monalisa.<station>`` topic hierarchy.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Mapping
+
+from repro.monitoring.bus import MessageBus
+from repro.monitoring.glue import GlueSchema
+
+__all__ = ["StationServer"]
+
+
+class StationServer:
+    """One MonALISA station server responsible for a site."""
+
+    def __init__(self, name: str, bus: MessageBus, *, site_name: str | None = None) -> None:
+        self.name = name
+        self.site_name = site_name or name
+        self.bus = bus
+        self.schema = GlueSchema()
+        self._lock = threading.Lock()
+        self.publications_received = 0
+        self.service_publications = 0
+
+    # -- ingest from local services -----------------------------------------------
+    def receive_metric(self, farm: str, node: str, key: str, value: float, *,
+                       reliable: bool = False) -> None:
+        """Receive one metric sample from a local node (UDP-like by default)."""
+
+        with self._lock:
+            self.schema.record_metric(self.site_name, farm, node, key, value)
+            self.publications_received += 1
+        self.bus.publish(
+            f"monalisa.{self.name}.metric",
+            {"site": self.site_name, "farm": farm, "node": node, "key": key, "value": value},
+            source=self.name, reliable=reliable,
+        )
+
+    def receive_service_info(self, descriptor: Mapping[str, Any], *,
+                             reliable: bool = False) -> None:
+        """Receive a Clarens service descriptor and republish it to the network."""
+
+        record = dict(descriptor)
+        record.setdefault("published_at", time.time())
+        record["station"] = self.name
+        record["site"] = self.site_name
+        with self._lock:
+            site = self.schema.site(self.site_name)
+            # Replace any previous descriptor for the same service name.
+            site.services = [s for s in site.services if s.get("name") != record.get("name")]
+            site.services.append(record)
+            self.publications_received += 1
+            self.service_publications += 1
+        self.bus.publish(f"monalisa.{self.name}.service", record,
+                         source=self.name, reliable=reliable)
+
+    # -- views -------------------------------------------------------------------------
+    def site_snapshot(self) -> dict:
+        with self._lock:
+            return self.schema.site(self.site_name).to_record()
+
+    def stats(self) -> dict[str, int]:
+        with self._lock:
+            return {
+                "publications_received": self.publications_received,
+                "service_publications": self.service_publications,
+                "nodes": self.schema.node_count(),
+            }

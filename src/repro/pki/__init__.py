@@ -1,0 +1,48 @@
+"""Public-key infrastructure substrate for Clarens.
+
+The paper relies on X.509 (RFC 3280) certificates issued by grid CAs (for
+example the DOE Science Grid CA) for authentication, and on *proxy
+certificates* (a temporary certificate plus unencrypted private key) for
+delegation and password-free logins.  This package implements the pieces of
+that infrastructure the framework actually exercises, from scratch:
+
+* :mod:`repro.pki.dn`          -- distinguished-name parsing and prefix matching.
+* :mod:`repro.pki.rsa`         -- textbook RSA key generation, signing, verification.
+* :mod:`repro.pki.certificate` -- certificates and chain verification.
+* :mod:`repro.pki.authority`   -- certificate authorities and revocation lists.
+* :mod:`repro.pki.proxy`       -- proxy-certificate issuance and validation.
+* :mod:`repro.pki.credentials` -- (certificate, private key) bundles and key stores.
+* :mod:`repro.pki.pem`         -- a PEM-like armored text serialization.
+
+This is a *simulation* of X.509 sufficient for reproducing the framework's
+behaviour (DN-based identity, chains, expiry, revocation, delegation).  It is
+not a hardened cryptographic implementation and must not be used to protect
+real data.
+"""
+
+from __future__ import annotations
+
+from repro.pki.authority import CertificateAuthority
+from repro.pki.certificate import Certificate, CertificateError, VerificationError
+from repro.pki.credentials import Credential, KeyStore
+from repro.pki.dn import DN, DNParseError
+from repro.pki.proxy import ProxyCertificate, issue_proxy, verify_proxy_chain
+from repro.pki.rsa import RSAKeyPair, RSAPrivateKey, RSAPublicKey, generate_keypair
+
+__all__ = [
+    "CertificateAuthority",
+    "Certificate",
+    "CertificateError",
+    "VerificationError",
+    "Credential",
+    "KeyStore",
+    "DN",
+    "DNParseError",
+    "ProxyCertificate",
+    "issue_proxy",
+    "verify_proxy_chain",
+    "RSAKeyPair",
+    "RSAPrivateKey",
+    "RSAPublicKey",
+    "generate_keypair",
+]

@@ -1,0 +1,182 @@
+"""Certificate authorities.
+
+Grid projects of the Clarens era ran their own CAs (DOEGrids, DOE Science
+Grid).  :class:`CertificateAuthority` models one: it holds a self-signed root
+certificate, issues user/host/service certificates under a configurable base
+DN, and maintains a certificate revocation list consulted during chain
+verification.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+import threading
+import time
+from typing import Mapping
+
+from repro.pki.certificate import Certificate, CertificateError, TrustStore
+from repro.pki.credentials import Credential
+from repro.pki.dn import DN
+from repro.pki.rsa import RSAKeyPair, generate_keypair
+
+__all__ = ["CertificateAuthority", "DEFAULT_USER_LIFETIME", "DEFAULT_CA_LIFETIME"]
+
+#: One year, the typical lifetime of grid user certificates.
+DEFAULT_USER_LIFETIME = 365 * 24 * 3600.0
+#: Ten years for CA roots.
+DEFAULT_CA_LIFETIME = 10 * 365 * 24 * 3600.0
+
+
+class CertificateAuthority:
+    """A certificate authority able to issue and revoke certificates.
+
+    Parameters
+    ----------
+    name:
+        The CA's DN, e.g. ``/O=doesciencegrid.org/CN=DOE Science Grid CA``.
+        Strings are parsed.
+    key_bits:
+        RSA modulus size used for the CA key *and* for issued keys.
+    rng:
+        Optional seeded random source for reproducible test fixtures.
+    """
+
+    def __init__(
+        self,
+        name: DN | str,
+        *,
+        key_bits: int = 512,
+        lifetime: float = DEFAULT_CA_LIFETIME,
+        rng: random.Random | None = None,
+    ) -> None:
+        self.name = DN.coerce(name)
+        self._rng = rng or random.SystemRandom()
+        self._key_bits = key_bits
+        self._lock = threading.Lock()
+        self._serial_counter = itertools.count(1)
+        self._revoked: set[int] = set()
+        self._issued: dict[int, Certificate] = {}
+
+        self._keypair: RSAKeyPair = generate_keypair(key_bits, self._rng)
+        self.certificate = Certificate.build_and_sign(
+            subject=self.name,
+            issuer=self.name,
+            public_key=self._keypair.public,
+            signing_key=self._keypair.private,
+            serial=next(self._serial_counter),
+            lifetime=lifetime,
+            is_ca=True,
+            path_length=4,
+        )
+
+    # -- issuing -----------------------------------------------------------
+    def _next_serial(self) -> int:
+        with self._lock:
+            return next(self._serial_counter)
+
+    def issue(
+        self,
+        subject: DN | str,
+        *,
+        lifetime: float = DEFAULT_USER_LIFETIME,
+        is_ca: bool = False,
+        path_length: int | None = None,
+        key_bits: int | None = None,
+        extensions: Mapping[str, str] | None = None,
+    ) -> Credential:
+        """Issue a certificate for ``subject`` with a fresh key pair.
+
+        Returns a :class:`~repro.pki.credentials.Credential` bundling the new
+        certificate, its private key, and the issuing chain (just the root).
+        """
+
+        subject_dn = DN.coerce(subject)
+        keypair = generate_keypair(key_bits or self._key_bits, self._rng)
+        cert = Certificate.build_and_sign(
+            subject=subject_dn,
+            issuer=self.name,
+            public_key=keypair.public,
+            signing_key=self._keypair.private,
+            serial=self._next_serial(),
+            lifetime=lifetime,
+            is_ca=is_ca,
+            path_length=path_length,
+            extensions=extensions,
+        )
+        with self._lock:
+            self._issued[cert.serial] = cert
+        return Credential(certificate=cert, private_key=keypair.private, chain=(self.certificate,))
+
+    def issue_user(self, common_name: str, organizational_unit: str = "People",
+                   *, lifetime: float = DEFAULT_USER_LIFETIME) -> Credential:
+        """Issue an individual's certificate under the CA's organization.
+
+        Mirrors the paper's example DN layout::
+
+            /O=doesciencegrid.org/OU=People/CN=John Smith 12345
+        """
+
+        org = self.name.organization or self.name.common_name or "grid"
+        subject = DN([("O", org), ("OU", organizational_unit), ("CN", common_name)])
+        return self.issue(subject, lifetime=lifetime)
+
+    def issue_host(self, hostname: str, *, lifetime: float = DEFAULT_USER_LIFETIME) -> Credential:
+        """Issue a host/service certificate (``OU=Services, CN=host/<fqdn>``)."""
+
+        org = self.name.organization or self.name.common_name or "grid"
+        subject = DN([("O", org), ("OU", "Services"), ("CN", f"host/{hostname}")])
+        return self.issue(subject, lifetime=lifetime)
+
+    def issue_sub_ca(self, name: DN | str, *, lifetime: float = DEFAULT_CA_LIFETIME,
+                     path_length: int = 0) -> Credential:
+        """Issue an intermediate CA certificate."""
+
+        return self.issue(name, lifetime=lifetime, is_ca=True, path_length=path_length)
+
+    # -- revocation --------------------------------------------------------
+    def revoke(self, cert_or_serial: Certificate | int) -> None:
+        """Add a certificate (by object or serial) to the CRL."""
+
+        serial = cert_or_serial.serial if isinstance(cert_or_serial, Certificate) else int(cert_or_serial)
+        with self._lock:
+            if serial not in self._issued:
+                raise CertificateError(f"serial {serial} was not issued by this CA")
+            self._revoked.add(serial)
+
+    def is_revoked(self, cert_or_serial: Certificate | int) -> bool:
+        serial = cert_or_serial.serial if isinstance(cert_or_serial, Certificate) else int(cert_or_serial)
+        with self._lock:
+            return serial in self._revoked
+
+    def crl(self) -> dict[DN, set[int]]:
+        """The CRL in the mapping form expected by ``verify_chain``."""
+
+        with self._lock:
+            return {self.name: set(self._revoked)}
+
+    # -- trust -------------------------------------------------------------
+    def trust_store(self) -> TrustStore:
+        """A trust store containing just this CA's root certificate."""
+
+        return TrustStore([self.certificate])
+
+    def issued_certificates(self) -> list[Certificate]:
+        with self._lock:
+            return list(self._issued.values())
+
+    # -- introspection -----------------------------------------------------
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CertificateAuthority({str(self.name)!r}, issued={len(self._issued)})"
+
+    def describe(self) -> dict:
+        """A JSON-friendly summary (used by the portal and discovery demos)."""
+
+        with self._lock:
+            return {
+                "name": str(self.name),
+                "issued": len(self._issued),
+                "revoked": len(self._revoked),
+                "not_after": self.certificate.not_after,
+                "generated_at": time.time(),
+            }

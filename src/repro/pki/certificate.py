@@ -1,0 +1,309 @@
+"""Certificates and chain verification.
+
+A :class:`Certificate` binds a subject :class:`~repro.pki.dn.DN` to an RSA
+public key, signed by an issuer.  It carries the subset of X.509/RFC 3280
+fields the Clarens framework actually consults: subject, issuer, serial
+number, validity window, a proxy flag (RFC 3820-style proxy certificates are
+modelled in :mod:`repro.pki.proxy`) and free-form extensions.
+
+Chain verification walks from an end-entity certificate up to a trusted root,
+checking signatures, validity windows, issuer/subject linkage, path length
+for CA certificates and revocation (CRLs are published by
+:class:`repro.pki.authority.CertificateAuthority`).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+from repro.pki.dn import DN
+from repro.pki.rsa import RSAPrivateKey, RSAPublicKey
+
+__all__ = [
+    "Certificate",
+    "CertificateError",
+    "VerificationError",
+    "TrustStore",
+    "verify_chain",
+]
+
+
+class CertificateError(Exception):
+    """Base class for certificate handling errors."""
+
+
+class VerificationError(CertificateError):
+    """Raised when a certificate or chain fails verification."""
+
+
+def _tbs_bytes(
+    subject: DN,
+    issuer: DN,
+    public_key: RSAPublicKey,
+    serial: int,
+    not_before: float,
+    not_after: float,
+    is_ca: bool,
+    is_proxy: bool,
+    path_length: int | None,
+    extensions: Mapping[str, str],
+) -> bytes:
+    """The canonical "to be signed" byte string for a certificate."""
+
+    payload = {
+        "subject": str(subject),
+        "issuer": str(issuer),
+        "public_key": public_key.to_dict(),
+        "serial": serial,
+        "not_before": round(not_before, 6),
+        "not_after": round(not_after, 6),
+        "is_ca": is_ca,
+        "is_proxy": is_proxy,
+        "path_length": path_length,
+        "extensions": dict(sorted(extensions.items())),
+    }
+    return json.dumps(payload, sort_keys=True, separators=(",", ":")).encode()
+
+
+@dataclass(frozen=True)
+class Certificate:
+    """An X.509-like certificate.
+
+    Instances are immutable; use :meth:`repro.pki.authority.CertificateAuthority.issue`
+    or :func:`repro.pki.proxy.issue_proxy` to create signed certificates.
+    """
+
+    subject: DN
+    issuer: DN
+    public_key: RSAPublicKey
+    serial: int
+    not_before: float
+    not_after: float
+    signature: int
+    is_ca: bool = False
+    is_proxy: bool = False
+    path_length: int | None = None
+    extensions: Mapping[str, str] = field(default_factory=dict)
+
+    # -- basic checks ------------------------------------------------------
+    def tbs_bytes(self) -> bytes:
+        """The byte string that was signed by the issuer."""
+
+        return _tbs_bytes(
+            self.subject,
+            self.issuer,
+            self.public_key,
+            self.serial,
+            self.not_before,
+            self.not_after,
+            self.is_ca,
+            self.is_proxy,
+            self.path_length,
+            self.extensions,
+        )
+
+    def is_valid_at(self, when: float | None = None) -> bool:
+        """True when the validity window covers ``when`` (default: now)."""
+
+        when = time.time() if when is None else when
+        return self.not_before <= when <= self.not_after
+
+    def is_self_signed(self) -> bool:
+        return self.subject == self.issuer
+
+    def verify_signature(self, issuer_key: RSAPublicKey) -> bool:
+        """True when the certificate's signature checks out under ``issuer_key``."""
+
+        return issuer_key.verify(self.tbs_bytes(), self.signature)
+
+    def fingerprint(self) -> str:
+        """Stable identifier combining subject, serial and key fingerprint."""
+
+        import hashlib
+
+        material = f"{self.subject}|{self.serial}|{self.public_key.fingerprint()}".encode()
+        return hashlib.sha256(material).hexdigest()[:32]
+
+    # -- serialization -----------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "subject": str(self.subject),
+            "issuer": str(self.issuer),
+            "public_key": self.public_key.to_dict(),
+            "serial": self.serial,
+            "not_before": self.not_before,
+            "not_after": self.not_after,
+            "signature": format(self.signature, "x"),
+            "is_ca": self.is_ca,
+            "is_proxy": self.is_proxy,
+            "path_length": self.path_length,
+            "extensions": dict(self.extensions),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "Certificate":
+        try:
+            return cls(
+                subject=DN.parse(data["subject"]),
+                issuer=DN.parse(data["issuer"]),
+                public_key=RSAPublicKey.from_dict(data["public_key"]),
+                serial=int(data["serial"]),
+                not_before=float(data["not_before"]),
+                not_after=float(data["not_after"]),
+                signature=int(data["signature"], 16),
+                is_ca=bool(data.get("is_ca", False)),
+                is_proxy=bool(data.get("is_proxy", False)),
+                path_length=data.get("path_length"),
+                extensions=dict(data.get("extensions", {})),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CertificateError(f"malformed certificate data: {exc}") from exc
+
+    @staticmethod
+    def build_and_sign(
+        *,
+        subject: DN,
+        issuer: DN,
+        public_key: RSAPublicKey,
+        signing_key: RSAPrivateKey,
+        serial: int,
+        lifetime: float,
+        not_before: float | None = None,
+        is_ca: bool = False,
+        is_proxy: bool = False,
+        path_length: int | None = None,
+        extensions: Mapping[str, str] | None = None,
+    ) -> "Certificate":
+        """Assemble a certificate and sign it with ``signing_key``."""
+
+        extensions = dict(extensions or {})
+        not_before = time.time() if not_before is None else not_before
+        not_after = not_before + lifetime
+        tbs = _tbs_bytes(
+            subject, issuer, public_key, serial, not_before, not_after,
+            is_ca, is_proxy, path_length, extensions,
+        )
+        signature = signing_key.sign(tbs)
+        return Certificate(
+            subject=subject,
+            issuer=issuer,
+            public_key=public_key,
+            serial=serial,
+            not_before=not_before,
+            not_after=not_after,
+            signature=signature,
+            is_ca=is_ca,
+            is_proxy=is_proxy,
+            path_length=path_length,
+            extensions=extensions,
+        )
+
+
+class TrustStore:
+    """A set of trusted root (CA) certificates, keyed by subject DN."""
+
+    def __init__(self, roots: Iterable[Certificate] = ()):  # noqa: D401
+        self._roots: dict[DN, Certificate] = {}
+        for cert in roots:
+            self.add(cert)
+
+    def add(self, cert: Certificate) -> None:
+        if not cert.is_ca:
+            raise CertificateError(f"{cert.subject} is not a CA certificate")
+        if not cert.is_self_signed():
+            raise CertificateError("trust anchors must be self-signed")
+        if not cert.verify_signature(cert.public_key):
+            raise VerificationError(f"self-signature of {cert.subject} is invalid")
+        self._roots[cert.subject] = cert
+
+    def remove(self, subject: DN | str) -> None:
+        self._roots.pop(DN.coerce(subject), None)
+
+    def get(self, subject: DN | str) -> Certificate | None:
+        return self._roots.get(DN.coerce(subject))
+
+    def __contains__(self, subject: object) -> bool:
+        try:
+            return DN.coerce(subject) in self._roots  # type: ignore[arg-type]
+        except Exception:
+            return False
+
+    def __len__(self) -> int:
+        return len(self._roots)
+
+    def roots(self) -> Sequence[Certificate]:
+        return tuple(self._roots.values())
+
+
+def verify_chain(
+    chain: Sequence[Certificate],
+    trust_store: TrustStore,
+    *,
+    when: float | None = None,
+    revoked_serials: Mapping[DN, set[int]] | None = None,
+) -> Certificate:
+    """Verify an ordered chain (end entity first, root last or omitted).
+
+    Returns the end-entity certificate on success.  Proxy certificates must be
+    verified with :func:`repro.pki.proxy.verify_proxy_chain`, which layers the
+    proxy-specific rules on top of this routine.
+
+    ``revoked_serials`` maps issuer DN to the set of revoked serial numbers
+    (as published in the issuer's CRL).
+    """
+
+    if not chain:
+        raise VerificationError("empty certificate chain")
+    when = time.time() if when is None else when
+    revoked_serials = revoked_serials or {}
+
+    # Locate the trust anchor: either the last element of the chain if it is
+    # a known root, or a root from the store matching the last issuer.
+    work = list(chain)
+    anchor = trust_store.get(work[-1].issuer)
+    if anchor is None and work[-1].is_self_signed():
+        anchor = trust_store.get(work[-1].subject)
+        if anchor is not None:
+            work = work[:-1] or [anchor]
+    if anchor is None:
+        raise VerificationError(
+            f"no trusted root found for issuer {work[-1].issuer}"
+        )
+
+    # Walk from the top (closest to root) down to the end entity.
+    issuer_cert = anchor
+    ca_depth = 0
+    for cert in reversed(work):
+        if cert is anchor:
+            continue
+        if not cert.is_valid_at(when):
+            raise VerificationError(
+                f"certificate {cert.subject} outside validity window"
+            )
+        if cert.issuer != issuer_cert.subject:
+            raise VerificationError(
+                f"chain break: {cert.subject} issued by {cert.issuer}, "
+                f"expected {issuer_cert.subject}"
+            )
+        if not issuer_cert.is_ca and not issuer_cert.is_proxy and not cert.is_proxy:
+            raise VerificationError(
+                f"issuer {issuer_cert.subject} is not a CA"
+            )
+        if not cert.verify_signature(issuer_cert.public_key):
+            raise VerificationError(f"bad signature on {cert.subject}")
+        serials = revoked_serials.get(issuer_cert.subject)
+        if serials and cert.serial in serials:
+            raise VerificationError(f"certificate {cert.subject} is revoked")
+        if cert.is_ca:
+            ca_depth += 1
+            if issuer_cert.path_length is not None and ca_depth > issuer_cert.path_length + 1:
+                raise VerificationError("CA path length constraint exceeded")
+        issuer_cert = cert
+
+    if not anchor.is_valid_at(when):
+        raise VerificationError(f"trust anchor {anchor.subject} expired")
+    end_entity = work[0]
+    return end_entity

@@ -1,0 +1,140 @@
+"""Credential bundles and key stores.
+
+A :class:`Credential` is what a grid user or service holds on disk: a
+certificate, the matching private key, and the chain of issuing certificates.
+The :class:`KeyStore` persists credentials in a directory layout similar to
+``~/.globus`` (one subdirectory per credential, PEM-armored files) so the
+examples can demonstrate "log in with the certificate you keep on disk".
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Sequence
+
+from repro.pki import pem
+from repro.pki.certificate import Certificate, CertificateError
+from repro.pki.dn import DN
+from repro.pki.rsa import RSAPrivateKey
+
+__all__ = ["Credential", "KeyStore"]
+
+
+@dataclass(frozen=True)
+class Credential:
+    """A certificate plus its private key and issuing chain."""
+
+    certificate: Certificate
+    private_key: RSAPrivateKey
+    chain: Sequence[Certificate] = field(default_factory=tuple)
+
+    @property
+    def subject(self) -> DN:
+        return self.certificate.subject
+
+    def full_chain(self) -> tuple[Certificate, ...]:
+        """The end-entity certificate followed by the issuing chain."""
+
+        return (self.certificate, *tuple(self.chain))
+
+    def sign(self, data: bytes) -> int:
+        """Sign arbitrary data with the credential's private key."""
+
+        return self.private_key.sign(data)
+
+    # -- serialization -----------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "certificate": self.certificate.to_dict(),
+            "private_key": self.private_key.to_dict(),
+            "chain": [c.to_dict() for c in self.chain],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Credential":
+        try:
+            return cls(
+                certificate=Certificate.from_dict(data["certificate"]),
+                private_key=RSAPrivateKey.from_dict(data["private_key"]),
+                chain=tuple(Certificate.from_dict(c) for c in data.get("chain", ())),
+            )
+        except (KeyError, TypeError) as exc:
+            raise CertificateError(f"malformed credential data: {exc}") from exc
+
+    def to_pem(self) -> str:
+        """Serialize the whole credential as concatenated PEM-like blocks."""
+
+        blocks = [pem.encode("CLARENS CERTIFICATE", json.dumps(self.certificate.to_dict()).encode())]
+        blocks.append(pem.encode("CLARENS PRIVATE KEY", json.dumps(self.private_key.to_dict()).encode()))
+        for cert in self.chain:
+            blocks.append(pem.encode("CLARENS CA CERTIFICATE", json.dumps(cert.to_dict()).encode()))
+        return "".join(blocks)
+
+    @classmethod
+    def from_pem(cls, text: str) -> "Credential":
+        certificate: Certificate | None = None
+        private_key: RSAPrivateKey | None = None
+        chain: list[Certificate] = []
+        for label, payload in pem.decode_all(text):
+            data = json.loads(payload.decode())
+            if label == "CLARENS CERTIFICATE":
+                certificate = Certificate.from_dict(data)
+            elif label == "CLARENS PRIVATE KEY":
+                private_key = RSAPrivateKey.from_dict(data)
+            elif label == "CLARENS CA CERTIFICATE":
+                chain.append(Certificate.from_dict(data))
+        if certificate is None or private_key is None:
+            raise CertificateError("PEM text does not contain a full credential")
+        return cls(certificate=certificate, private_key=private_key, chain=tuple(chain))
+
+
+class KeyStore:
+    """A directory-backed store of credentials keyed by a friendly alias."""
+
+    def __init__(self, root: str | os.PathLike) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, alias: str) -> Path:
+        safe = "".join(ch if ch.isalnum() or ch in "-_." else "_" for ch in alias)
+        if not any(ch.isalnum() for ch in safe):
+            raise ValueError("credential alias must contain at least one alphanumeric character")
+        return self.root / f"{safe}.pem"
+
+    def save(self, alias: str, credential: Credential) -> Path:
+        """Persist a credential under ``alias`` and return its file path."""
+
+        path = self._path(alias)
+        path.write_text(credential.to_pem())
+        # Private-key files should not be world readable, mirroring grid
+        # tooling which refuses keys with loose permissions.
+        try:
+            os.chmod(path, 0o600)
+        except OSError:  # pragma: no cover - platform specific
+            pass
+        return path
+
+    def load(self, alias: str) -> Credential:
+        path = self._path(alias)
+        if not path.exists():
+            raise KeyError(f"no credential stored under alias {alias!r}")
+        return Credential.from_pem(path.read_text())
+
+    def delete(self, alias: str) -> bool:
+        path = self._path(alias)
+        if path.exists():
+            path.unlink()
+            return True
+        return False
+
+    def aliases(self) -> list[str]:
+        return sorted(p.stem for p in self.root.glob("*.pem"))
+
+    def __contains__(self, alias: object) -> bool:
+        return isinstance(alias, str) and self._path(alias).exists()
+
+    def __len__(self) -> int:
+        return len(self.aliases())

@@ -1,0 +1,72 @@
+"""PEM-like armored text encoding.
+
+Grid credentials live on disk as PEM files.  This module provides the same
+armoring (``-----BEGIN <LABEL>-----`` / base64 body / ``-----END <LABEL>-----``)
+for the reproduction's own certificate and key serializations, so credentials
+and stored proxies are human-recognizable text files.
+"""
+
+from __future__ import annotations
+
+import base64
+import re
+from typing import Iterator
+
+__all__ = ["encode", "decode", "decode_all", "PEMError"]
+
+_BEGIN_RE = re.compile(r"-----BEGIN ([A-Z0-9 _-]+)-----")
+_LINE_LENGTH = 64
+
+
+class PEMError(ValueError):
+    """Raised when armored text cannot be decoded."""
+
+
+def encode(label: str, payload: bytes) -> str:
+    """Armor ``payload`` under ``label``; the result ends with a newline."""
+
+    if not label or label != label.upper():
+        raise PEMError(f"PEM labels must be non-empty and upper case: {label!r}")
+    body = base64.b64encode(payload).decode("ascii")
+    lines = [body[i:i + _LINE_LENGTH] for i in range(0, len(body), _LINE_LENGTH)] or [""]
+    return (
+        f"-----BEGIN {label}-----\n"
+        + "\n".join(lines)
+        + f"\n-----END {label}-----\n"
+    )
+
+
+def decode_all(text: str) -> Iterator[tuple[str, bytes]]:
+    """Yield ``(label, payload)`` for every armored block in ``text``."""
+
+    pos = 0
+    found = False
+    while True:
+        match = _BEGIN_RE.search(text, pos)
+        if match is None:
+            break
+        label = match.group(1)
+        end_marker = f"-----END {label}-----"
+        end = text.find(end_marker, match.end())
+        if end == -1:
+            raise PEMError(f"missing end marker for {label!r}")
+        body = text[match.end():end]
+        try:
+            payload = base64.b64decode("".join(body.split()), validate=True)
+        except Exception as exc:
+            raise PEMError(f"invalid base64 in {label!r} block: {exc}") from exc
+        found = True
+        yield label, payload
+        pos = end + len(end_marker)
+    if not found and text.strip():
+        raise PEMError("no PEM blocks found")
+
+
+def decode(text: str, expected_label: str | None = None) -> tuple[str, bytes]:
+    """Decode the first armored block, optionally asserting its label."""
+
+    for label, payload in decode_all(text):
+        if expected_label is not None and label != expected_label:
+            raise PEMError(f"expected {expected_label!r} block, found {label!r}")
+        return label, payload
+    raise PEMError("no PEM blocks found")

@@ -1,0 +1,210 @@
+"""Proxy certificates.
+
+Section 2.6 of the paper describes the proxy service: a *proxy certificate*
+"consist[s] of a temporary certificate (public key) and unencrypted private
+key that can be used to log into remote servers without the inconvenience to
+type in the private key password over and over", and delegation lets others
+act on the user's behalf.
+
+A proxy certificate here follows the RFC 3820 idea in miniature: it is a
+short-lived certificate whose *issuer* is the user's own end-entity
+certificate (not a CA), whose subject is the user's DN with an extra
+``CN=proxy`` (or ``CN=limited proxy``) component appended, and which is
+signed with the user's private key.  Chains of proxies (delegation) append
+one more ``CN=proxy`` level per hop, bounded by ``delegation_depth``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.pki.certificate import Certificate, TrustStore, VerificationError, verify_chain
+from repro.pki.credentials import Credential
+from repro.pki.dn import DN
+from repro.pki.rsa import generate_keypair
+
+__all__ = ["ProxyCertificate", "issue_proxy", "verify_proxy_chain", "DEFAULT_PROXY_LIFETIME"]
+
+#: Twelve hours -- the conventional lifetime of ``grid-proxy-init`` proxies.
+DEFAULT_PROXY_LIFETIME = 12 * 3600.0
+
+_proxy_serials = itertools.count(10_000_000)
+_serial_lock = threading.Lock()
+
+
+def _next_proxy_serial() -> int:
+    with _serial_lock:
+        return next(_proxy_serials)
+
+
+@dataclass(frozen=True)
+class ProxyCertificate:
+    """A proxy credential: certificate, *unencrypted* private key, chain.
+
+    ``chain`` holds the issuing certificates from the user's end-entity
+    certificate up to (but not including) the CA root.
+    """
+
+    credential: Credential
+    limited: bool = False
+
+    @property
+    def certificate(self) -> Certificate:
+        return self.credential.certificate
+
+    @property
+    def subject(self) -> DN:
+        return self.credential.certificate.subject
+
+    @property
+    def owner_dn(self) -> DN:
+        """The DN of the end entity that (transitively) issued this proxy."""
+
+        dn = self.credential.certificate.subject
+        while dn.rdns and dn.rdns[-1].key == "CN" and dn.rdns[-1].value in ("proxy", "limited proxy"):
+            parent = dn.parent()
+            if parent is None:
+                break
+            dn = parent
+        return dn
+
+    @property
+    def delegation_depth(self) -> int:
+        """How many proxy levels separate this proxy from the end entity."""
+
+        depth = 0
+        for rdn in reversed(self.credential.certificate.subject.rdns):
+            if rdn.key == "CN" and rdn.value in ("proxy", "limited proxy"):
+                depth += 1
+            else:
+                break
+        return depth
+
+    def time_left(self, when: float | None = None) -> float:
+        """Seconds of validity remaining (may be negative once expired)."""
+
+        when = time.time() if when is None else when
+        return self.credential.certificate.not_after - when
+
+    def is_expired(self, when: float | None = None) -> bool:
+        return self.time_left(when) <= 0
+
+    def to_dict(self) -> dict:
+        return {"credential": self.credential.to_dict(), "limited": self.limited}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ProxyCertificate":
+        return cls(credential=Credential.from_dict(data["credential"]), limited=bool(data["limited"]))
+
+
+def issue_proxy(
+    issuer: Credential,
+    *,
+    lifetime: float = DEFAULT_PROXY_LIFETIME,
+    limited: bool = False,
+    key_bits: int | None = None,
+) -> ProxyCertificate:
+    """Create a proxy certificate signed by ``issuer``.
+
+    ``issuer`` may itself be a proxy credential, in which case the result is a
+    delegated (second-level, third-level, ...) proxy.  The proxy's lifetime is
+    clipped to its issuer's remaining lifetime, matching grid tooling which
+    refuses to issue proxies outliving the signing credential.
+    """
+
+    now = time.time()
+    issuer_cert = issuer.certificate
+    if issuer_cert.not_after <= now:
+        raise VerificationError("cannot issue a proxy from an expired credential")
+    lifetime = min(lifetime, issuer_cert.not_after - now)
+
+    cn_value = "limited proxy" if limited else "proxy"
+    subject = issuer_cert.subject.child("CN", cn_value)
+    keypair = generate_keypair(key_bits or issuer_cert.public_key.bits, None)
+    cert = Certificate.build_and_sign(
+        subject=subject,
+        issuer=issuer_cert.subject,
+        public_key=keypair.public,
+        signing_key=issuer.private_key,
+        serial=_next_proxy_serial(),
+        lifetime=lifetime,
+        not_before=now,
+        is_ca=False,
+        is_proxy=True,
+        extensions={"proxy_policy": "limited" if limited else "impersonation"},
+    )
+    chain = (issuer_cert, *tuple(issuer.chain))
+    return ProxyCertificate(
+        credential=Credential(certificate=cert, private_key=keypair.private, chain=chain),
+        limited=limited,
+    )
+
+
+def verify_proxy_chain(
+    proxy: ProxyCertificate | Sequence[Certificate],
+    trust_store: TrustStore,
+    *,
+    when: float | None = None,
+    max_delegation_depth: int = 8,
+    revoked_serials=None,
+) -> DN:
+    """Verify a proxy chain and return the *owner* DN it authenticates.
+
+    The chain is ``proxy -> [intermediate proxies] -> end entity -> CA``.
+    Rules layered on top of ordinary chain verification:
+
+    * every certificate below the end entity must carry ``is_proxy``;
+    * each proxy's subject must be its issuer's subject plus exactly one
+      ``CN=proxy`` / ``CN=limited proxy`` component;
+    * delegation depth is bounded;
+    * a limited proxy may only be followed by limited proxies.
+    """
+
+    if isinstance(proxy, ProxyCertificate):
+        chain: list[Certificate] = list(proxy.credential.full_chain())
+    else:
+        chain = list(proxy)
+    if not chain:
+        raise VerificationError("empty proxy chain")
+
+    when = time.time() if when is None else when
+
+    proxies = [c for c in chain if c.is_proxy]
+    non_proxies = [c for c in chain if not c.is_proxy]
+    if not proxies:
+        raise VerificationError("chain does not contain a proxy certificate")
+    if not non_proxies:
+        raise VerificationError("proxy chain lacks an end-entity certificate")
+    if len(proxies) > max_delegation_depth:
+        raise VerificationError(
+            f"delegation depth {len(proxies)} exceeds limit {max_delegation_depth}"
+        )
+
+    # The ordering must be proxies first (deepest first), then end entity.
+    for idx, cert in enumerate(chain):
+        if cert.is_proxy and any(not c.is_proxy for c in chain[:idx]):
+            raise VerificationError("proxy certificate appears above an end-entity certificate")
+
+    # Validate proxy naming: subject == issuer subject + CN=proxy.
+    limited_seen = False
+    for cert in reversed(proxies):  # walk from least-delegated to most
+        last = cert.subject.rdns[-1]
+        if last.key != "CN" or last.value not in ("proxy", "limited proxy"):
+            raise VerificationError(f"proxy subject {cert.subject} lacks a CN=proxy component")
+        if cert.subject.parent() != cert.issuer:
+            raise VerificationError(
+                f"proxy subject {cert.subject} is not issuer subject plus one component"
+            )
+        if limited_seen and last.value != "limited proxy":
+            raise VerificationError("a limited proxy may not delegate a full proxy")
+        if last.value == "limited proxy":
+            limited_seen = True
+
+    verify_chain(chain, trust_store, when=when, revoked_serials=revoked_serials)
+
+    owner = non_proxies[0].subject
+    return owner

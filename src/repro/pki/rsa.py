@@ -1,0 +1,287 @@
+"""Textbook RSA implemented from scratch.
+
+The Clarens servers of 2005 authenticated clients with X.509 certificates
+whose signatures were produced by RSA.  This module provides the minimal RSA
+machinery the reproduction needs — deterministic-enough key generation via
+Miller–Rabin, SHA-256 based signatures, and a tiny OAEP-less encryption
+primitive used by the simulated TLS handshake and the proxy store.
+
+Design notes
+------------
+* Keys default to 512-bit moduli.  That is far too small for real security
+  but keeps key generation and per-request signature checks cheap, which
+  matters because the Figure 4 benchmark performs certificate-derived session
+  checks on every call.  The size is configurable for tests that want to
+  exercise bigger keys.
+* Signing is "hash then modular exponentiation" with a fixed domain prefix.
+  Verification recomputes the hash and compares.  No padding oracle concerns
+  apply because this is a behavioural simulation, documented as such in
+  DESIGN.md.
+* All functions are pure and thread-safe; key generation accepts an optional
+  :class:`random.Random` so tests and benchmarks are reproducible.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass
+from typing import Iterable
+
+__all__ = [
+    "RSAPublicKey",
+    "RSAPrivateKey",
+    "RSAKeyPair",
+    "generate_keypair",
+    "is_probable_prime",
+    "generate_prime",
+]
+
+_SMALL_PRIMES: tuple[int, ...] = (
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67,
+    71, 73, 79, 83, 89, 97, 101, 103, 107, 109, 113, 127, 131, 137, 139, 149,
+    151, 157, 163, 167, 173, 179, 181, 191, 193, 197, 199, 211, 223, 227, 229,
+)
+
+_SIGNATURE_DOMAIN = b"clarens-rsa-sign-v1:"
+_ENCRYPTION_DOMAIN = b"clarens-rsa-encrypt-v1:"
+_PUBLIC_EXPONENT = 65537
+
+
+def _digest_to_int(data: bytes, modulus: int, domain: bytes) -> int:
+    """Map arbitrary data to an integer smaller than ``modulus``.
+
+    A counter-mode SHA-256 expansion gives enough digest material for any
+    modulus size, and reducing modulo ``modulus`` keeps the value in range.
+    """
+
+    nbytes = (modulus.bit_length() + 7) // 8 + 8
+    blocks = []
+    counter = 0
+    while sum(len(b) for b in blocks) < nbytes:
+        blocks.append(hashlib.sha256(domain + counter.to_bytes(4, "big") + data).digest())
+        counter += 1
+    value = int.from_bytes(b"".join(blocks)[:nbytes], "big")
+    return value % modulus
+
+
+def is_probable_prime(n: int, rounds: int = 24, rng: random.Random | None = None) -> bool:
+    """Miller–Rabin primality test.
+
+    Deterministic for small numbers via trial division by the small-prime
+    table; probabilistic (error < 4**-rounds) beyond that.
+    """
+
+    if n < 2:
+        return False
+    for p in _SMALL_PRIMES:
+        if n == p:
+            return True
+        if n % p == 0:
+            return False
+    rng = rng or random
+    # write n-1 = d * 2^r with d odd
+    d = n - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    for _ in range(rounds):
+        a = rng.randrange(2, n - 1)
+        x = pow(a, d, n)
+        if x in (1, n - 1):
+            continue
+        for _ in range(r - 1):
+            x = pow(x, 2, n)
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def generate_prime(bits: int, rng: random.Random | None = None) -> int:
+    """Generate a probable prime of exactly ``bits`` bits."""
+
+    if bits < 8:
+        raise ValueError("prime size must be at least 8 bits")
+    rng = rng or random.SystemRandom()
+    while True:
+        candidate = rng.getrandbits(bits)
+        candidate |= (1 << (bits - 1)) | 1  # force top bit and oddness
+        if is_probable_prime(candidate, rng=rng):
+            return candidate
+
+
+@dataclass(frozen=True)
+class RSAPublicKey:
+    """An RSA public key ``(n, e)``."""
+
+    n: int
+    e: int = _PUBLIC_EXPONENT
+
+    @property
+    def bits(self) -> int:
+        return self.n.bit_length()
+
+    def verify(self, data: bytes, signature: int) -> bool:
+        """Return True when ``signature`` is a valid signature over ``data``."""
+
+        if not isinstance(signature, int) or not (0 < signature < self.n):
+            return False
+        expected = _digest_to_int(data, self.n, _SIGNATURE_DOMAIN)
+        return pow(signature, self.e, self.n) == expected
+
+    def encrypt_int(self, value: int) -> int:
+        """Raw RSA encryption of an integer already reduced modulo ``n``."""
+
+        if not (0 <= value < self.n):
+            raise ValueError("plaintext integer out of range for this key")
+        return pow(value, self.e, self.n)
+
+    def encrypt_secret(self, secret: bytes) -> int:
+        """Encrypt a short secret (for example a TLS pre-master key).
+
+        The secret is mapped into the key's integer range with a domain
+        separated hash expansion, so the receiving side must use
+        :meth:`RSAPrivateKey.recover_secret_check` with the candidate secret.
+        For the simulated handshake we instead encrypt the integer encoding of
+        the secret directly; the secret must therefore be shorter than the
+        modulus.
+        """
+
+        value = int.from_bytes(_ENCRYPTION_DOMAIN + secret, "big")
+        if value >= self.n:
+            raise ValueError("secret too long for key size")
+        return self.encrypt_int(value)
+
+    def fingerprint(self) -> str:
+        """A short stable identifier for the key (hex SHA-256 prefix)."""
+
+        material = f"{self.n:x}:{self.e:x}".encode()
+        return hashlib.sha256(material).hexdigest()[:32]
+
+    def to_dict(self) -> dict:
+        return {"n": format(self.n, "x"), "e": self.e}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RSAPublicKey":
+        return cls(n=int(data["n"], 16), e=int(data["e"]))
+
+
+@dataclass(frozen=True)
+class RSAPrivateKey:
+    """An RSA private key ``(n, d)`` retaining the prime factors."""
+
+    n: int
+    d: int
+    p: int
+    q: int
+    e: int = _PUBLIC_EXPONENT
+
+    def public_key(self) -> RSAPublicKey:
+        return RSAPublicKey(n=self.n, e=self.e)
+
+    def sign(self, data: bytes) -> int:
+        """Sign ``data`` (hash-then-exponentiate)."""
+
+        digest = _digest_to_int(data, self.n, _SIGNATURE_DOMAIN)
+        return pow(digest, self.d, self.n)
+
+    def decrypt_int(self, ciphertext: int) -> int:
+        if not (0 <= ciphertext < self.n):
+            raise ValueError("ciphertext out of range for this key")
+        return pow(ciphertext, self.d, self.n)
+
+    def decrypt_secret(self, ciphertext: int) -> bytes:
+        """Recover a secret produced by :meth:`RSAPublicKey.encrypt_secret`."""
+
+        value = self.decrypt_int(ciphertext)
+        nbytes = (value.bit_length() + 7) // 8
+        raw = value.to_bytes(nbytes, "big")
+        if not raw.startswith(_ENCRYPTION_DOMAIN):
+            raise ValueError("decryption failed: bad domain prefix")
+        return raw[len(_ENCRYPTION_DOMAIN):]
+
+    def to_dict(self) -> dict:
+        return {
+            "n": format(self.n, "x"),
+            "d": format(self.d, "x"),
+            "p": format(self.p, "x"),
+            "q": format(self.q, "x"),
+            "e": self.e,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RSAPrivateKey":
+        return cls(
+            n=int(data["n"], 16),
+            d=int(data["d"], 16),
+            p=int(data["p"], 16),
+            q=int(data["q"], 16),
+            e=int(data["e"]),
+        )
+
+
+@dataclass(frozen=True)
+class RSAKeyPair:
+    """A matched public/private key pair."""
+
+    public: RSAPublicKey
+    private: RSAPrivateKey
+
+
+def _modinv(a: int, m: int) -> int:
+    """Modular inverse via the extended Euclidean algorithm."""
+
+    g, x, _ = _egcd(a, m)
+    if g != 1:
+        raise ValueError("modular inverse does not exist")
+    return x % m
+
+
+def _egcd(a: int, b: int) -> tuple[int, int, int]:
+    old_r, r = a, b
+    old_s, s = 1, 0
+    old_t, t = 0, 1
+    while r:
+        q = old_r // r
+        old_r, r = r, old_r - q * r
+        old_s, s = s, old_s - q * s
+        old_t, t = t, old_t - q * t
+    return old_r, old_s, old_t
+
+
+def generate_keypair(bits: int = 512, rng: random.Random | None = None) -> RSAKeyPair:
+    """Generate an RSA key pair with a modulus of roughly ``bits`` bits.
+
+    ``rng`` may be a seeded :class:`random.Random` for reproducible test
+    fixtures; production callers should leave it ``None`` to get
+    :class:`random.SystemRandom`.
+    """
+
+    if bits < 128:
+        raise ValueError("modulus must be at least 128 bits")
+    rng = rng or random.SystemRandom()
+    half = bits // 2
+    while True:
+        p = generate_prime(half, rng)
+        q = generate_prime(bits - half, rng)
+        if p == q:
+            continue
+        n = p * q
+        phi = (p - 1) * (q - 1)
+        if phi % _PUBLIC_EXPONENT == 0:
+            continue
+        d = _modinv(_PUBLIC_EXPONENT, phi)
+        private = RSAPrivateKey(n=n, d=d, p=p, q=q, e=_PUBLIC_EXPONENT)
+        return RSAKeyPair(public=private.public_key(), private=private)
+
+
+def combined_fingerprint(keys: Iterable[RSAPublicKey]) -> str:
+    """Fingerprint of a set of public keys (used for trust-store identity)."""
+
+    h = hashlib.sha256()
+    for key in sorted(keys, key=lambda k: k.n):
+        h.update(key.fingerprint().encode())
+    return h.hexdigest()[:32]

@@ -1,0 +1,36 @@
+"""Grid portal generation (paper section 3).
+
+"The portal is implemented as a series of static web pages that embed
+JavaScript scripts to handle communication and web service calls using
+dynamic HTML", eliminating any client-side install beyond a browser.  This
+package generates those static pages: an index plus one component page each
+for remote file browsing, ACL management, VO management, service discovery
+and job submission.  The JavaScript embedded in each page posts JSON-RPC
+requests to the server's RPC endpoint — the same endpoint and protocol the
+Python client uses.
+"""
+
+from __future__ import annotations
+
+from repro.portal.components import (
+    ACLManagerComponent,
+    DiscoveryComponent,
+    FileBrowserComponent,
+    JobSubmissionComponent,
+    PortalComponent,
+    VOManagerComponent,
+)
+from repro.portal.generator import PortalGenerator
+from repro.portal.templates import TemplateError, render_template
+
+__all__ = [
+    "PortalGenerator",
+    "PortalComponent",
+    "FileBrowserComponent",
+    "VOManagerComponent",
+    "ACLManagerComponent",
+    "DiscoveryComponent",
+    "JobSubmissionComponent",
+    "render_template",
+    "TemplateError",
+]

@@ -1,0 +1,271 @@
+"""Portal components.
+
+Each component produces one self-contained HTML page whose embedded
+JavaScript drives the corresponding Clarens services over JSON-RPC —
+"JavaScript components that execute Web Service calls to Web Services".  The
+shared JavaScript runtime (``clarens_rpc``) posts to the server's RPC
+endpoint with the session id stored in ``localStorage``, mirroring the
+original browser client's cookie handling.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.portal.templates import render_template
+
+__all__ = [
+    "PortalComponent",
+    "FileBrowserComponent",
+    "VOManagerComponent",
+    "ACLManagerComponent",
+    "DiscoveryComponent",
+    "JobSubmissionComponent",
+]
+
+#: Shared JavaScript: a tiny JSON-RPC client plus session handling.
+CLARENS_JS_RUNTIME = """
+var clarens = {
+  endpoint: "{{ rpc_path }}",
+  sessionId: window.localStorage ? localStorage.getItem("clarens_session") : null,
+  call: function (method, params, onResult, onError) {
+    var xhr = new XMLHttpRequest();
+    xhr.open("POST", this.endpoint, true);
+    xhr.setRequestHeader("Content-Type", "application/json");
+    if (this.sessionId) {
+      xhr.setRequestHeader("X-Clarens-Session", this.sessionId);
+    }
+    xhr.onreadystatechange = function () {
+      if (xhr.readyState !== 4) { return; }
+      var payload = JSON.parse(xhr.responseText || "{}");
+      if (payload.error) { (onError || console.error)(payload.error); }
+      else { onResult(payload.result); }
+    };
+    xhr.send(JSON.stringify({jsonrpc: "2.0", id: 1, method: method, params: params || []}));
+  },
+  setSession: function (sessionId) {
+    this.sessionId = sessionId;
+    if (window.localStorage) { localStorage.setItem("clarens_session", sessionId); }
+  }
+};
+"""
+
+_PAGE_TEMPLATE = """<!DOCTYPE html>
+<html>
+<head>
+  <meta charset="utf-8">
+  <title>Clarens portal &mdash; {{ title }}</title>
+  <style>
+    body { font-family: sans-serif; margin: 2em; }
+    h1 { color: #223a63; }
+    table { border-collapse: collapse; }
+    td, th { border: 1px solid #aab; padding: 4px 8px; }
+    #status { color: #666; font-size: 90%; }
+    nav a { margin-right: 1em; }
+  </style>
+  <script>
+  {{ runtime }}
+  </script>
+</head>
+<body>
+  <h1>{{ title }}</h1>
+  <nav>
+    {% for link in nav_links %}<a href="{{ link }}">{{ link }}</a>{% endfor %}
+  </nav>
+  <div id="status">server: {{ server_name }} &middot; endpoint: {{ rpc_path }}</div>
+  {{ body }}
+  <script>
+  {{ script }}
+  </script>
+</body>
+</html>
+"""
+
+
+class PortalComponent:
+    """Base class: a titled page with a body and a driving script.
+
+    ``title`` and ``slug`` are class-level attributes overridden by each
+    component; ``rpc_path`` and ``server_name`` are per-instance deployment
+    parameters.
+    """
+
+    title: str = "Clarens"
+    slug: str = "index"
+
+    def __init__(self, rpc_path: str = "/clarens/rpc", server_name: str = "clarens") -> None:
+        self.rpc_path = rpc_path
+        self.server_name = server_name
+
+    def body_html(self) -> str:
+        return "<p>Welcome to the Clarens grid portal.</p>"
+
+    def script_js(self) -> str:
+        return ""
+
+    def render(self, nav_links: Mapping[str, str] | list[str] | None = None) -> str:
+        runtime = render_template(CLARENS_JS_RUNTIME, {"rpc_path": self.rpc_path})
+        return render_template(_PAGE_TEMPLATE, {
+            "title": self.title,
+            "runtime": runtime,
+            "body": self.body_html(),
+            "script": self.script_js(),
+            "rpc_path": self.rpc_path,
+            "server_name": self.server_name,
+            "nav_links": list(nav_links or []),
+        })
+
+
+class FileBrowserComponent(PortalComponent):
+    """Remote file browsing "with a look and feel similar to conventional file browsers"."""
+
+    title = "Remote files"
+    slug = "files"
+
+    def body_html(self) -> str:
+        return (
+            '<div><input id="path" value="/" size="60">'
+            '<button onclick="browse()">Browse</button></div>'
+            '<table id="listing"><tr><th>Name</th><th>Type</th><th>Size</th></tr></table>'
+        )
+
+    def script_js(self) -> str:
+        return """
+function browse() {
+  var path = document.getElementById("path").value;
+  clarens.call("file.ls", [path], function (entries) {
+    var table = document.getElementById("listing");
+    table.innerHTML = "<tr><th>Name</th><th>Type</th><th>Size</th></tr>";
+    entries.forEach(function (entry) {
+      var row = table.insertRow(-1);
+      row.insertCell(0).textContent = entry.name;
+      row.insertCell(1).textContent = entry.type;
+      row.insertCell(2).textContent = entry.size;
+    });
+  });
+}
+"""
+
+
+class VOManagerComponent(PortalComponent):
+    """Virtual-organization management."""
+
+    title = "Virtual organizations"
+    slug = "vo"
+
+    def body_html(self) -> str:
+        return (
+            '<div><button onclick="loadGroups()">Refresh groups</button></div>'
+            '<ul id="groups"></ul>'
+            '<div><input id="newgroup" placeholder="group name">'
+            '<button onclick="createGroup()">Create group</button></div>'
+        )
+
+    def script_js(self) -> str:
+        return """
+function loadGroups() {
+  clarens.call("vo.list_groups", [""], function (groups) {
+    var list = document.getElementById("groups");
+    list.innerHTML = "";
+    groups.forEach(function (name) {
+      var item = document.createElement("li");
+      item.textContent = name;
+      list.appendChild(item);
+    });
+  });
+}
+function createGroup() {
+  var name = document.getElementById("newgroup").value;
+  clarens.call("vo.create_group", [name, [], [], ""], loadGroups);
+}
+"""
+
+
+class ACLManagerComponent(PortalComponent):
+    """Access-control management."""
+
+    title = "Access control"
+    slug = "acl"
+
+    def body_html(self) -> str:
+        return (
+            '<div><input id="method" placeholder="method (e.g. file.read)">'
+            '<button onclick="checkAccess()">Check my access</button></div>'
+            '<pre id="result"></pre>'
+        )
+
+    def script_js(self) -> str:
+        return """
+function checkAccess() {
+  var method = document.getElementById("method").value;
+  clarens.call("acl.check_method", [method, ""], function (decision) {
+    document.getElementById("result").textContent = JSON.stringify(decision, null, 2);
+  });
+}
+"""
+
+
+class DiscoveryComponent(PortalComponent):
+    """Service discovery browsing: query servers and navigate to them."""
+
+    title = "Service discovery"
+    slug = "discovery"
+
+    def body_html(self) -> str:
+        return (
+            '<div><input id="module" placeholder="service module (e.g. file)">'
+            '<button onclick="findServers()">Find servers</button></div>'
+            '<table id="servers"><tr><th>Name</th><th>URL</th><th>Services</th></tr></table>'
+        )
+
+    def script_js(self) -> str:
+        return """
+function findServers() {
+  var module = document.getElementById("module").value;
+  clarens.call("discovery.find", ["", module, "", ""], function (servers) {
+    var table = document.getElementById("servers");
+    table.innerHTML = "<tr><th>Name</th><th>URL</th><th>Services</th></tr>";
+    servers.forEach(function (server) {
+      var row = table.insertRow(-1);
+      row.insertCell(0).textContent = server.name;
+      row.insertCell(1).textContent = server.url;
+      row.insertCell(2).textContent = server.services.join(", ");
+    });
+  });
+}
+"""
+
+
+class JobSubmissionComponent(PortalComponent):
+    """Job submission and monitoring."""
+
+    title = "Job submission"
+    slug = "jobs"
+
+    def body_html(self) -> str:
+        return (
+            '<div><input id="command" size="60" placeholder="command to run in your sandbox">'
+            '<button onclick="submitJob()">Submit</button>'
+            '<button onclick="listJobs()">Refresh</button></div>'
+            '<table id="jobs"><tr><th>Id</th><th>Name</th><th>State</th></tr></table>'
+        )
+
+    def script_js(self) -> str:
+        return """
+function submitJob() {
+  var command = document.getElementById("command").value;
+  clarens.call("job.submit", [command, "portal job", {}], listJobs);
+}
+function listJobs() {
+  clarens.call("job.list", [""], function (jobs) {
+    var table = document.getElementById("jobs");
+    table.innerHTML = "<tr><th>Id</th><th>Name</th><th>State</th></tr>";
+    jobs.forEach(function (job) {
+      var row = table.insertRow(-1);
+      row.insertCell(0).textContent = job.job_id;
+      row.insertCell(1).textContent = job.name;
+      row.insertCell(2).textContent = job.state;
+    });
+  });
+}
+"""

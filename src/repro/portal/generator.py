@@ -1,0 +1,105 @@
+"""Portal page generation.
+
+:class:`PortalGenerator` writes the static portal — an index page plus one
+page per component — into an output directory.  Pointing the output directory
+inside the server's file root makes the portal reachable through the file
+service's GET handler, which is how the original served its pages ("Clarens
+is able to serve web pages in response to HTTP GET requests").
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Sequence
+
+from repro.portal.components import (
+    ACLManagerComponent,
+    DiscoveryComponent,
+    FileBrowserComponent,
+    JobSubmissionComponent,
+    PortalComponent,
+    VOManagerComponent,
+)
+from repro.portal.templates import render_template
+
+__all__ = ["PortalGenerator", "DEFAULT_COMPONENTS"]
+
+DEFAULT_COMPONENTS: tuple[type[PortalComponent], ...] = (
+    FileBrowserComponent,
+    VOManagerComponent,
+    ACLManagerComponent,
+    DiscoveryComponent,
+    JobSubmissionComponent,
+)
+
+_INDEX_BODY = """
+<p>This portal provides browser access to the Clarens services hosted by
+<strong>{{ server_name }}</strong>:</p>
+<ul>
+{% for page in pages %}<li><a href="{{ page }}.html">{{ page }}</a></li>{% endfor %}
+</ul>
+<p>All pages talk to the server's RPC endpoint ({{ rpc_path }}) with JSON-RPC
+calls issued from the embedded JavaScript; nothing needs to be installed
+beyond a web browser.</p>
+"""
+
+
+class PortalGenerator:
+    """Generates the static portal pages for one server."""
+
+    def __init__(self, *, rpc_path: str = "/clarens/rpc", server_name: str = "clarens",
+                 components: Sequence[type[PortalComponent]] = DEFAULT_COMPONENTS) -> None:
+        self.rpc_path = rpc_path
+        self.server_name = server_name
+        self.component_classes = tuple(components)
+
+    @classmethod
+    def for_server(cls, server) -> "PortalGenerator":
+        """Build a generator configured from a ClarensServer instance."""
+
+        return cls(rpc_path=server.config.rpc_path(), server_name=server.config.server_name)
+
+    # -- rendering --------------------------------------------------------------------
+    def components(self) -> list[PortalComponent]:
+        built = []
+        for component_cls in self.component_classes:
+            component = component_cls()
+            component.rpc_path = self.rpc_path
+            component.server_name = self.server_name
+            built.append(component)
+        return built
+
+    def render_index(self, pages: Sequence[str]) -> str:
+        index = PortalComponent(rpc_path=self.rpc_path, server_name=self.server_name)
+        index.title = f"Clarens portal — {self.server_name}"
+
+        body = render_template(_INDEX_BODY, {
+            "server_name": self.server_name,
+            "pages": list(pages),
+            "rpc_path": self.rpc_path,
+        })
+        index.body_html = lambda: body  # type: ignore[method-assign]
+        return index.render(nav_links=[f"{page}.html" for page in pages])
+
+    def render_all(self) -> dict[str, str]:
+        """Render every page; returns ``{filename: html}``."""
+
+        components = self.components()
+        nav = [f"{c.slug}.html" for c in components]
+        pages = {"index.html": self.render_index([c.slug for c in components])}
+        for component in components:
+            pages[f"{component.slug}.html"] = component.render(nav_links=["index.html"] + nav)
+        return pages
+
+    # -- writing ------------------------------------------------------------------------
+    def write(self, output_dir: str | Path) -> list[Path]:
+        """Write all pages into ``output_dir``; returns the written paths."""
+
+        output = Path(output_dir)
+        output.mkdir(parents=True, exist_ok=True)
+        written = []
+        for filename, html in self.render_all().items():
+            path = output / filename
+            path.write_text(html, encoding="utf-8")
+            written.append(path)
+        return sorted(written)

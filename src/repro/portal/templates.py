@@ -1,0 +1,58 @@
+"""A minimal template engine for the portal pages.
+
+Supports ``{{ name }}`` substitution and ``{% for item in items %}…{% endfor %}``
+loops over string sequences — just enough to generate the static HTML/JS pages
+without pulling in a templating dependency the 2005 portal never had.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Mapping
+
+__all__ = ["render_template", "TemplateError"]
+
+_VAR_RE = re.compile(r"\{\{\s*([A-Za-z_][A-Za-z0-9_.]*)\s*\}\}")
+_FOR_RE = re.compile(
+    r"\{%\s*for\s+([A-Za-z_][A-Za-z0-9_]*)\s+in\s+([A-Za-z_][A-Za-z0-9_.]*)\s*%\}"
+    r"(.*?)"
+    r"\{%\s*endfor\s*%\}",
+    re.DOTALL,
+)
+
+
+class TemplateError(ValueError):
+    """Raised for unknown variables or malformed loops."""
+
+
+def _lookup(name: str, context: Mapping[str, Any]) -> Any:
+    value: Any = context
+    for part in name.split("."):
+        if isinstance(value, Mapping) and part in value:
+            value = value[part]
+        elif hasattr(value, part):
+            value = getattr(value, part)
+        else:
+            raise TemplateError(f"unknown template variable {name!r}")
+    return value
+
+
+def render_template(template: str, context: Mapping[str, Any]) -> str:
+    """Render ``template`` with ``{{ var }}`` and ``{% for %}`` constructs."""
+
+    def render_for(match: re.Match) -> str:
+        var, source, body = match.group(1), match.group(2), match.group(3)
+        items = _lookup(source, context)
+        parts = []
+        for item in items:
+            local = dict(context)
+            local[var] = item
+            parts.append(render_template(body, local))
+        return "".join(parts)
+
+    expanded = _FOR_RE.sub(render_for, template)
+
+    def render_var(match: re.Match) -> str:
+        return str(_lookup(match.group(1), context))
+
+    return _VAR_RE.sub(render_var, expanded)

@@ -1,0 +1,38 @@
+"""RPC protocol codecs.
+
+Clarens speaks several RPC protocols over HTTP (paper section 2): XML-RPC,
+SOAP, and JSON-RPC (plus Java RMI for JClarens, which has no Python
+equivalent and is out of scope).  Each codec converts between Python values
+and a wire body, for both requests (method name + positional parameters) and
+responses (a return value or a fault).
+
+All codecs share one type model (:mod:`repro.protocols.types`):
+``None``/bool/int/float/str/bytes/datetime plus lists and string-keyed dicts,
+nested arbitrarily.
+
+:mod:`repro.protocols.negotiate` selects a codec from an HTTP Content-Type
+header or by sniffing the body, which is how the server supports multiple
+protocols on a single endpoint.
+"""
+
+from __future__ import annotations
+
+from repro.protocols.errors import Fault, ProtocolError
+from repro.protocols.jsonrpc import JSONRPCCodec
+from repro.protocols.negotiate import codec_for_content_type, detect_codec, default_codec
+from repro.protocols.soap import SOAPCodec
+from repro.protocols.types import RPCRequest, RPCResponse
+from repro.protocols.xmlrpc import XMLRPCCodec
+
+__all__ = [
+    "Fault",
+    "ProtocolError",
+    "RPCRequest",
+    "RPCResponse",
+    "XMLRPCCodec",
+    "SOAPCodec",
+    "JSONRPCCodec",
+    "codec_for_content_type",
+    "detect_codec",
+    "default_codec",
+]

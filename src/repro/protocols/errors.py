@@ -1,0 +1,56 @@
+"""Protocol-level errors and RPC faults."""
+
+from __future__ import annotations
+
+__all__ = ["ProtocolError", "Fault", "FaultCode"]
+
+
+class ProtocolError(Exception):
+    """The wire body could not be parsed or serialized."""
+
+
+class FaultCode:
+    """Well-known fault codes used across the framework.
+
+    The numbering loosely follows the XML-RPC "specification for fault code
+    interoperability" ranges: -326xx for transport/parse issues, positive
+    application-defined codes for Clarens services.
+    """
+
+    PARSE_ERROR = -32700
+    METHOD_NOT_FOUND = -32601
+    INVALID_PARAMS = -32602
+    INTERNAL_ERROR = -32603
+
+    # Clarens application faults.
+    AUTHENTICATION_REQUIRED = 401
+    ACCESS_DENIED = 403
+    NOT_FOUND = 404
+    SESSION_EXPIRED = 440
+    SERVICE_ERROR = 500
+
+
+class Fault(Exception):
+    """An RPC fault: a numeric code and a human-readable string.
+
+    Faults raised by service methods are serialized onto the wire by whichever
+    codec handled the request and re-raised client-side by the client library.
+    """
+
+    def __init__(self, code: int, message: str) -> None:
+        super().__init__(message)
+        self.code = int(code)
+        self.message = str(message)
+
+    def __repr__(self) -> str:
+        return f"Fault({self.code}, {self.message!r})"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Fault)
+            and self.code == other.code
+            and self.message == other.message
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.code, self.message))

@@ -1,0 +1,142 @@
+"""JSON-RPC codec.
+
+The paper lists JSON-RPC among the protocols Clarens supports (it cites the
+metaparadigm JSON-RPC implementation, i.e. JSON-RPC 1.0).  This codec speaks
+the 2.0 framing by default but accepts 1.0 requests (no ``jsonrpc`` member)
+for compatibility.
+
+Because JSON has no native bytes or datetime types, those travel as tagged
+objects ``{"__bytes__": <base64>}`` and ``{"__datetime__": <iso8601>}`` —
+the same convention the original Clarens JavaScript portal clients used for
+binary payloads.
+"""
+
+from __future__ import annotations
+
+import base64
+import datetime as _dt
+import json
+from typing import Any
+
+from repro.protocols.errors import Fault, ProtocolError
+from repro.protocols.types import RPCRequest, RPCResponse, validate_value
+
+__all__ = ["JSONRPCCodec"]
+
+_BYTES_TAG = "__bytes__"
+_DATETIME_TAG = "__datetime__"
+
+
+def _to_jsonable(value: Any) -> Any:
+    if isinstance(value, bytes):
+        return {_BYTES_TAG: base64.b64encode(value).decode("ascii")}
+    if isinstance(value, _dt.datetime):
+        return {_DATETIME_TAG: value.isoformat()}
+    if isinstance(value, (list, tuple)):
+        return [_to_jsonable(v) for v in value]
+    if isinstance(value, dict):
+        return {k: _to_jsonable(v) for k, v in value.items()}
+    return value
+
+
+def _from_jsonable(value: Any) -> Any:
+    if isinstance(value, list):
+        return [_from_jsonable(v) for v in value]
+    if isinstance(value, dict):
+        if set(value.keys()) == {_BYTES_TAG}:
+            try:
+                return base64.b64decode(value[_BYTES_TAG])
+            except Exception as exc:
+                raise ProtocolError(f"invalid base64 payload: {exc}") from exc
+        if set(value.keys()) == {_DATETIME_TAG}:
+            try:
+                return _dt.datetime.fromisoformat(value[_DATETIME_TAG])
+            except ValueError as exc:
+                raise ProtocolError(f"invalid datetime payload: {exc}") from exc
+        return {k: _from_jsonable(v) for k, v in value.items()}
+    return value
+
+
+def _loads(body: bytes | str) -> Any:
+    if isinstance(body, bytes):
+        body = body.decode("utf-8")
+    try:
+        return json.loads(body)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError(f"malformed JSON: {exc}") from exc
+
+
+class JSONRPCCodec:
+    """Encode/decode JSON-RPC 2.0 (accepting 1.0 on input)."""
+
+    name = "json-rpc"
+    content_type = "application/json"
+
+    def __init__(self, *, version: str = "2.0") -> None:
+        if version not in ("1.0", "2.0"):
+            raise ValueError("JSON-RPC version must be '1.0' or '2.0'")
+        self.version = version
+
+    # -- requests ------------------------------------------------------------
+    def encode_request(self, request: RPCRequest) -> bytes:
+        for param in request.params:
+            validate_value(param)
+        payload: dict[str, Any] = {
+            "method": request.method,
+            "params": _to_jsonable(list(request.params)),
+            "id": request.call_id if request.call_id is not None else 1,
+        }
+        if self.version == "2.0":
+            payload["jsonrpc"] = "2.0"
+        return json.dumps(payload, separators=(",", ":")).encode("utf-8")
+
+    def decode_request(self, body: bytes | str) -> RPCRequest:
+        payload = _loads(body)
+        if not isinstance(payload, dict):
+            raise ProtocolError("JSON-RPC request must be an object")
+        method = payload.get("method")
+        if not isinstance(method, str) or not method:
+            raise ProtocolError("JSON-RPC request missing method name")
+        params = payload.get("params", [])
+        if isinstance(params, dict):
+            raise ProtocolError("named parameters are not supported by Clarens services")
+        if not isinstance(params, list):
+            raise ProtocolError("JSON-RPC params must be an array")
+        return RPCRequest(
+            method=method,
+            params=[_from_jsonable(p) for p in params],
+            call_id=payload.get("id"),
+        )
+
+    # -- responses -----------------------------------------------------------
+    def encode_response(self, response: RPCResponse) -> bytes:
+        call_id = response.call_id if response.call_id is not None else 1
+        payload: dict[str, Any] = {"id": call_id}
+        if self.version == "2.0":
+            payload["jsonrpc"] = "2.0"
+        if response.is_fault:
+            assert response.fault is not None
+            payload["error"] = {"code": response.fault.code, "message": response.fault.message}
+            if self.version == "1.0":
+                payload["result"] = None
+        else:
+            payload["result"] = _to_jsonable(response.result)
+            if self.version == "1.0":
+                payload["error"] = None
+        return json.dumps(payload, separators=(",", ":")).encode("utf-8")
+
+    def decode_response(self, body: bytes | str) -> RPCResponse:
+        payload = _loads(body)
+        if not isinstance(payload, dict):
+            raise ProtocolError("JSON-RPC response must be an object")
+        error = payload.get("error")
+        if error:
+            if not isinstance(error, dict):
+                raise ProtocolError("JSON-RPC error member must be an object")
+            return RPCResponse.from_fault(
+                Fault(int(error.get("code", 0)), str(error.get("message", ""))),
+                call_id=payload.get("id"),
+            )
+        if "result" not in payload:
+            raise ProtocolError("JSON-RPC response carries neither result nor error")
+        return RPCResponse.from_result(_from_jsonable(payload["result"]), call_id=payload.get("id"))

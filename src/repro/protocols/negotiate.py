@@ -1,0 +1,85 @@
+"""Protocol negotiation.
+
+A single Clarens endpoint serves XML-RPC, SOAP and JSON-RPC POST bodies.  The
+server selects a codec from the request's Content-Type header when it is
+specific enough, and otherwise sniffs the body (a JSON object, a SOAP
+envelope, or an XML-RPC ``<methodCall>``).
+"""
+
+from __future__ import annotations
+
+from repro.protocols.errors import ProtocolError
+from repro.protocols.jsonrpc import JSONRPCCodec
+from repro.protocols.soap import SOAPCodec
+from repro.protocols.xmlrpc import XMLRPCCodec
+
+__all__ = ["codec_for_content_type", "detect_codec", "default_codec", "all_codecs"]
+
+_XMLRPC = XMLRPCCodec()
+_SOAP = SOAPCodec()
+_JSONRPC = JSONRPCCodec()
+
+_BY_NAME = {
+    _XMLRPC.name: _XMLRPC,
+    _SOAP.name: _SOAP,
+    _JSONRPC.name: _JSONRPC,
+}
+
+
+def default_codec() -> XMLRPCCodec:
+    """XML-RPC is the framework's native protocol (and the paper's)."""
+
+    return _XMLRPC
+
+
+def all_codecs():
+    """All codec singletons, XML-RPC first."""
+
+    return (_XMLRPC, _SOAP, _JSONRPC)
+
+
+def codec_by_name(name: str):
+    """Look a codec up by its short name (``xml-rpc``, ``soap``, ``json-rpc``)."""
+
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise ProtocolError(f"unknown protocol {name!r}") from None
+
+
+def codec_for_content_type(content_type: str | None):
+    """Select a codec from a Content-Type header, or ``None`` when ambiguous.
+
+    ``text/xml`` is ambiguous between XML-RPC and SOAP, so it returns ``None``
+    and the caller should fall back to :func:`detect_codec`.
+    """
+
+    if not content_type:
+        return None
+    mime = content_type.split(";", 1)[0].strip().lower()
+    if mime in ("application/json", "application/json-rpc"):
+        return _JSONRPC
+    if mime in ("application/soap+xml",):
+        return _SOAP
+    if mime in ("application/xml-rpc",):
+        return _XMLRPC
+    return None
+
+
+def detect_codec(body: bytes, content_type: str | None = None):
+    """Pick the codec for a request body, raising ProtocolError when impossible."""
+
+    codec = codec_for_content_type(content_type)
+    if codec is not None:
+        return codec
+    head = body.lstrip()[:256]
+    if head.startswith(b"{"):
+        return _JSONRPC
+    if b"Envelope" in head and (b"soap" in head.lower() or b"envelope" in head.lower()):
+        return _SOAP
+    if b"<methodCall" in head or head.startswith(b"<?xml"):
+        # An XML prologue without an Envelope is XML-RPC.
+        if b"Envelope" in body[:1024]:
+            return _SOAP
+        return _XMLRPC
+    raise ProtocolError("unable to determine RPC protocol from request body")

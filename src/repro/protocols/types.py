@@ -1,0 +1,91 @@
+"""The shared RPC type model and request/response containers."""
+
+from __future__ import annotations
+
+import datetime as _dt
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from repro.protocols.errors import Fault, ProtocolError
+
+__all__ = ["RPCRequest", "RPCResponse", "validate_value", "SCALAR_TYPES"]
+
+SCALAR_TYPES = (type(None), bool, int, float, str, bytes, _dt.datetime)
+
+
+def validate_value(value: Any, *, _depth: int = 0) -> Any:
+    """Check that ``value`` is expressible in the shared type model.
+
+    Returns the value unchanged on success and raises
+    :class:`~repro.protocols.errors.ProtocolError` otherwise.  Tuples are
+    accepted and treated as arrays.  The depth limit guards the recursive
+    codecs against pathological nesting.
+    """
+
+    if _depth > 64:
+        raise ProtocolError("value nesting exceeds 64 levels")
+    if isinstance(value, SCALAR_TYPES):
+        return value
+    if isinstance(value, (list, tuple)):
+        for item in value:
+            validate_value(item, _depth=_depth + 1)
+        return value
+    if isinstance(value, dict):
+        for key, item in value.items():
+            if not isinstance(key, str):
+                raise ProtocolError(f"struct keys must be strings, got {type(key).__name__}")
+            validate_value(item, _depth=_depth + 1)
+        return value
+    raise ProtocolError(f"type {type(value).__name__} is not representable in RPC")
+
+
+@dataclass
+class RPCRequest:
+    """A decoded RPC call: method name, positional parameters, call id.
+
+    ``call_id`` is used by JSON-RPC (request/response correlation); the XML
+    protocols ignore it.
+    """
+
+    method: str
+    params: Sequence[Any] = field(default_factory=tuple)
+    call_id: Any = None
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.method, str) or not self.method:
+            raise ProtocolError("RPC method name must be a non-empty string")
+        self.params = tuple(self.params)
+        for param in self.params:
+            validate_value(param)
+
+
+@dataclass
+class RPCResponse:
+    """A decoded RPC response: either a result value or a fault."""
+
+    result: Any = None
+    fault: Fault | None = None
+    call_id: Any = None
+
+    def __post_init__(self) -> None:
+        if self.fault is None:
+            validate_value(self.result)
+
+    @property
+    def is_fault(self) -> bool:
+        return self.fault is not None
+
+    def unwrap(self) -> Any:
+        """Return the result, raising the fault if there is one."""
+
+        if self.fault is not None:
+            raise self.fault
+        return self.result
+
+    @classmethod
+    def from_fault(cls, fault: Fault, call_id: Any = None) -> "RPCResponse":
+        return cls(result=None, fault=fault, call_id=call_id)
+
+    @classmethod
+    def from_result(cls, result: Any, call_id: Any = None) -> "RPCResponse":
+        return cls(result=result, fault=None, call_id=call_id)

@@ -1,0 +1,15 @@
+"""The proxy service (paper section 2.6).
+
+Stores proxy certificates server-side so a user can later log in "by only
+knowing the certificate distinguished name and password that was used to
+store it", can let others act on their behalf (delegation), and can attach a
+stored proxy to an existing session to renew it or add delegation rights to a
+session initiated with a plain browser certificate.
+"""
+
+from __future__ import annotations
+
+from repro.proxyservice.service import ProxyService
+from repro.proxyservice.store import ProxyStore, ProxyStoreError
+
+__all__ = ["ProxyStore", "ProxyStoreError", "ProxyService"]

@@ -1,0 +1,160 @@
+"""The ``proxy`` service.
+
+Methods:
+
+* ``proxy.store``    -- store a proxy certificate under a password.
+* ``proxy.retrieve`` -- retrieve a stored proxy (DN + password).
+* ``proxy.login``    -- create a session from a stored proxy, "by only knowing
+  the certificate distinguished name and password that was used to store it".
+* ``proxy.attach``   -- attach a stored proxy to the *current* session,
+  renewing it and recording the delegation in the session attributes.
+* ``proxy.info`` / ``proxy.delete`` / ``proxy.delegate`` -- housekeeping and
+  delegation of a fresh (deeper) proxy from a stored one.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.context import CallContext
+from repro.core.errors import AccessDeniedError, AuthenticationError, NotFoundError
+from repro.core.service import ClarensService, rpc_method
+from repro.pki.proxy import ProxyCertificate, issue_proxy, verify_proxy_chain
+from repro.pki.certificate import VerificationError
+from repro.proxyservice.store import ProxyStore, ProxyStoreError
+
+__all__ = ["ProxyService"]
+
+
+class ProxyService(ClarensService):
+    """Proxy-certificate storage, retrieval, login and delegation."""
+
+    service_name = "proxy"
+
+    def __init__(self, server) -> None:
+        super().__init__(server)
+        self.store_backend = ProxyStore(server.db)
+
+    # -- storage ----------------------------------------------------------------------
+    @rpc_method(anonymous=True)
+    def store(self, proxy: dict, password: str) -> dict[str, Any]:
+        """Store a proxy certificate (dict form) under a password.
+
+        The proxy chain is verified against the server's trust store before it
+        is accepted, so the store never holds forged material.  Storing is
+        allowed without a session because its whole point is to enable the
+        first login.
+        """
+
+        proxy_cert = ProxyCertificate.from_dict(proxy)
+        try:
+            owner = verify_proxy_chain(proxy_cert, self.server.trust_store)
+        except VerificationError as exc:
+            raise AuthenticationError(f"refusing to store an invalid proxy: {exc}") from exc
+        return self.store_backend.store(str(owner), proxy_cert, password)
+
+    @rpc_method(anonymous=True)
+    def retrieve(self, owner_dn: str, password: str) -> dict[str, Any]:
+        """Retrieve a stored proxy (certificate plus unencrypted private key)."""
+
+        try:
+            proxy = self.store_backend.retrieve(owner_dn, password)
+        except ProxyStoreError as exc:
+            raise AuthenticationError(str(exc)) from exc
+        return proxy.to_dict()
+
+    @rpc_method(anonymous=True)
+    def login(self, owner_dn: str, password: str) -> dict[str, Any]:
+        """Create a session from a stored proxy (DN + password only)."""
+
+        try:
+            proxy = self.store_backend.retrieve(owner_dn, password)
+        except ProxyStoreError as exc:
+            raise AuthenticationError(str(exc)) from exc
+        session = self.server.authenticator.login_with_proxy(proxy)
+        return {"session_id": session.session_id, "dn": session.dn,
+                "expires": session.expires, "method": session.method}
+
+    @rpc_method()
+    def attach(self, ctx: CallContext, owner_dn: str, password: str) -> dict[str, Any]:
+        """Attach a stored proxy to the current session (renewal / delegation).
+
+        The stored proxy must belong to the session's DN; attaching renews the
+        session and records the proxy's expiry in the session attributes so
+        services can honour delegation.
+        """
+
+        if ctx.session is None:
+            raise AuthenticationError("proxy.attach requires an existing session")
+        try:
+            proxy = self.store_backend.retrieve(owner_dn, password)
+        except ProxyStoreError as exc:
+            raise AuthenticationError(str(exc)) from exc
+        if proxy.owner_dn != ctx.require_dn() and not self.server.vo.is_admin(ctx.require_dn()):
+            raise AccessDeniedError("the stored proxy belongs to a different identity")
+        session = self.server.sessions.renew(ctx.session.session_id)
+        self.server.sessions.set_attribute(session.session_id, "proxy", {
+            "owner_dn": str(proxy.owner_dn),
+            "not_after": proxy.certificate.not_after,
+            "limited": proxy.limited,
+            "delegation_depth": proxy.delegation_depth,
+        })
+        return {"session_id": session.session_id, "expires": session.expires,
+                "proxy_not_after": proxy.certificate.not_after}
+
+    # -- delegation ---------------------------------------------------------------------
+    @rpc_method()
+    def delegate(self, ctx: CallContext, owner_dn: str, password: str,
+                 lifetime: float = 3600.0, limited: bool = True) -> dict[str, Any]:
+        """Issue a delegated (deeper) proxy from a stored proxy and return it.
+
+        This lets a job or collaborator "use the proxy on behalf of the user"
+        without ever seeing the original credential.
+        """
+
+        caller = ctx.require_dn()
+        try:
+            proxy = self.store_backend.retrieve(owner_dn, password)
+        except ProxyStoreError as exc:
+            raise AuthenticationError(str(exc)) from exc
+        if proxy.owner_dn != caller and not self.server.vo.is_admin(caller):
+            raise AccessDeniedError("cannot delegate from a proxy you do not own")
+        delegated = issue_proxy(proxy.credential, lifetime=float(lifetime),
+                                limited=bool(limited) or proxy.limited)
+        return delegated.to_dict()
+
+    # -- housekeeping ------------------------------------------------------------------------
+    @rpc_method()
+    def info(self, ctx: CallContext, owner_dn: str = "") -> dict[str, Any]:
+        """Metadata about a stored proxy (defaults to the caller's own)."""
+
+        target = owner_dn or ctx.require_dn()
+        if target != ctx.require_dn() and not self.server.vo.is_admin(ctx.require_dn()):
+            raise AccessDeniedError("cannot inspect another identity's stored proxy")
+        info = self.store_backend.info(target)
+        if info is None:
+            raise NotFoundError(f"no proxy stored for {target}")
+        return info
+
+    @rpc_method()
+    def delete(self, ctx: CallContext, owner_dn: str = "") -> bool:
+        """Delete a stored proxy (your own, or any as an administrator)."""
+
+        target = owner_dn or ctx.require_dn()
+        if target != ctx.require_dn() and not self.server.vo.is_admin(ctx.require_dn()):
+            raise AccessDeniedError("cannot delete another identity's stored proxy")
+        return self.store_backend.delete(target)
+
+    @rpc_method()
+    def list_owners(self, ctx: CallContext) -> list[str]:
+        """DNs with stored proxies (administrators only)."""
+
+        self.server.require_admin(ctx)
+        return self.store_backend.owners()
+
+    @rpc_method()
+    def purge_expired(self, ctx: CallContext) -> int:
+        """Remove expired stored proxies (administrators only)."""
+
+        self.server.require_admin(ctx)
+        return self.store_backend.purge_expired()

@@ -1,0 +1,136 @@
+"""Password-protected storage of proxy certificates.
+
+The store keeps each proxy encrypted at rest under a key derived from the
+owner's chosen password (PBKDF2-HMAC-SHA256 + the same keystream cipher the
+simulated TLS layer uses), keyed by the owner DN.  Retrieval requires the DN
+and the password — exactly the MyProxy-style login flow the paper describes.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import hmac
+import json
+import os
+import struct
+import time
+from typing import Any
+
+from repro.database import Database
+from repro.pki.proxy import ProxyCertificate
+
+__all__ = ["ProxyStore", "ProxyStoreError"]
+
+_PBKDF2_ITERATIONS = 20_000
+_KEYSTREAM_BLOCK = 64
+
+
+class ProxyStoreError(Exception):
+    """Raised for missing proxies or bad passwords."""
+
+
+def _derive_key(password: str, salt: bytes) -> bytes:
+    return hashlib.pbkdf2_hmac("sha256", password.encode(), salt, _PBKDF2_ITERATIONS)
+
+
+def _keystream(key: bytes, length: int) -> bytes:
+    blocks = []
+    counter = 0
+    while len(blocks) * _KEYSTREAM_BLOCK < length:
+        blocks.append(hmac.new(key, struct.pack(">Q", counter), hashlib.sha512).digest())
+        counter += 1
+    return b"".join(blocks)[:length]
+
+
+def _encrypt(key: bytes, plaintext: bytes) -> bytes:
+    stream = _keystream(key, len(plaintext))
+    ciphertext = bytes(a ^ b for a, b in zip(plaintext, stream))
+    mac = hmac.new(key, ciphertext, hashlib.sha256).digest()[:16]
+    return ciphertext + mac
+
+
+def _decrypt(key: bytes, blob: bytes) -> bytes:
+    if len(blob) < 16:
+        raise ProxyStoreError("stored proxy blob is truncated")
+    ciphertext, mac = blob[:-16], blob[-16:]
+    expected = hmac.new(key, ciphertext, hashlib.sha256).digest()[:16]
+    if not hmac.compare_digest(mac, expected):
+        raise ProxyStoreError("incorrect password for stored proxy")
+    stream = _keystream(key, len(ciphertext))
+    return bytes(a ^ b for a, b in zip(ciphertext, stream))
+
+
+class ProxyStore:
+    """Database-backed, password-protected proxy storage."""
+
+    def __init__(self, database: Database) -> None:
+        self._table = database.table("stored_proxies")
+        self._table.create_index("owner_dn")
+
+    # -- storage ----------------------------------------------------------------------
+    def store(self, owner_dn: str, proxy: ProxyCertificate, password: str) -> dict[str, Any]:
+        """Encrypt and store a proxy under (owner DN, password)."""
+
+        if not password:
+            raise ProxyStoreError("a non-empty password is required to store a proxy")
+        salt = os.urandom(16)
+        key = _derive_key(password, salt)
+        plaintext = json.dumps(proxy.to_dict()).encode()
+        blob = _encrypt(key, plaintext)
+        record = {
+            "owner_dn": str(owner_dn),
+            "salt": base64.b64encode(salt).decode("ascii"),
+            "blob": base64.b64encode(blob).decode("ascii"),
+            "stored_at": time.time(),
+            "not_after": proxy.certificate.not_after,
+            "limited": proxy.limited,
+            "delegation_depth": proxy.delegation_depth,
+        }
+        self._table.put(str(owner_dn), record)
+        return {"owner_dn": str(owner_dn), "not_after": proxy.certificate.not_after}
+
+    def retrieve(self, owner_dn: str, password: str) -> ProxyCertificate:
+        """Decrypt and return the stored proxy for (owner DN, password)."""
+
+        record = self._table.get(str(owner_dn), None)
+        if record is None:
+            raise ProxyStoreError(f"no proxy stored for {owner_dn}")
+        salt = base64.b64decode(record["salt"])
+        blob = base64.b64decode(record["blob"])
+        key = _derive_key(password, salt)
+        plaintext = _decrypt(key, blob)
+        try:
+            data = json.loads(plaintext.decode())
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ProxyStoreError("stored proxy payload is corrupt") from exc
+        return ProxyCertificate.from_dict(data)
+
+    def delete(self, owner_dn: str) -> bool:
+        return self._table.delete(str(owner_dn))
+
+    def info(self, owner_dn: str) -> dict[str, Any] | None:
+        """Metadata about a stored proxy (no secret material)."""
+
+        record = self._table.get(str(owner_dn), None)
+        if record is None:
+            return None
+        return {
+            "owner_dn": record["owner_dn"],
+            "stored_at": record["stored_at"],
+            "not_after": record["not_after"],
+            "limited": record["limited"],
+            "delegation_depth": record["delegation_depth"],
+        }
+
+    def owners(self) -> list[str]:
+        return sorted(r["owner_dn"] for r in self._table.all())
+
+    def purge_expired(self, when: float | None = None) -> int:
+        when = time.time() if when is None else when
+        removed = 0
+        for key, record in self._table.items():
+            if float(record.get("not_after", 0)) < when:
+                if self._table.delete(key):
+                    removed += 1
+        return removed

@@ -1,0 +1,31 @@
+"""The shell service (paper section 2.5).
+
+"The Shell provides a secure way for authorized clients to execute shell
+commands on the server.  The command is executed by a designated local system
+user" selected through the ``.clarens_user_map`` file, inside a sandbox that
+is also "visible to the file service".
+
+Because a test environment cannot switch local UNIX users, the reproduction
+maps each DN to a *sandbox owner name* (the mapped "local user") and executes
+commands with a built-in, allow-listed command interpreter confined to that
+user's sandbox directory.  The mapping-file format, the sandbox lifecycle and
+``shell.cmd_info`` semantics follow the paper; the substitution is recorded in
+DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from repro.shell.interpreter import CommandResult, ShellInterpreter
+from repro.shell.sandbox import Sandbox, SandboxManager
+from repro.shell.service import ShellService
+from repro.shell.usermap import UserMap, UserMapEntry
+
+__all__ = [
+    "UserMap",
+    "UserMapEntry",
+    "Sandbox",
+    "SandboxManager",
+    "ShellInterpreter",
+    "CommandResult",
+    "ShellService",
+]

@@ -1,0 +1,292 @@
+"""A confined command interpreter.
+
+The original shell service forked ``/bin/sh`` as the mapped local user.  A
+portable reproduction cannot switch UNIX users, so commands run through this
+allow-listed interpreter instead: a small set of file-oriented commands
+(``ls``, ``cat``, ``echo``, ``mkdir``, ``rm``, ``cp``, ``mv``, ``touch``,
+``wc``, ``grep``, ``find``, ``pwd``, ``head``, ``tail``) implemented directly
+in Python and confined to the caller's sandbox directory.  Command syntax
+supports arguments with shell-style quoting, ``>`` / ``>>`` redirection into
+sandbox files, and ``&&`` sequencing — enough to drive the job-service and
+analysis examples.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import shlex
+import shutil
+from dataclasses import dataclass
+from pathlib import Path
+
+__all__ = ["CommandResult", "ShellInterpreter", "ShellCommandError", "ALLOWED_COMMANDS"]
+
+ALLOWED_COMMANDS = (
+    "ls", "cat", "echo", "mkdir", "rm", "cp", "mv", "touch",
+    "wc", "grep", "find", "pwd", "head", "tail",
+)
+
+
+class ShellCommandError(Exception):
+    """Raised for unknown commands or path escapes."""
+
+
+@dataclass
+class CommandResult:
+    """The outcome of one command line."""
+
+    command: str
+    exit_code: int
+    stdout: str
+    stderr: str
+
+    def to_record(self) -> dict:
+        return {
+            "command": self.command,
+            "exit_code": self.exit_code,
+            "stdout": self.stdout,
+            "stderr": self.stderr,
+        }
+
+
+class ShellInterpreter:
+    """Executes allow-listed commands inside one sandbox directory."""
+
+    def __init__(self, sandbox_dir: str | Path) -> None:
+        self.root = Path(sandbox_dir).resolve()
+        if not self.root.is_dir():
+            raise ShellCommandError(f"sandbox directory {self.root} does not exist")
+        self.cwd = self.root
+
+    # -- path containment -----------------------------------------------------------
+    def _resolve(self, arg: str) -> Path:
+        candidate = (self.cwd / arg).resolve() if not arg.startswith("/") \
+            else (self.root / arg.lstrip("/")).resolve()
+        if candidate != self.root and self.root not in candidate.parents:
+            raise ShellCommandError(f"path {arg!r} escapes the sandbox")
+        return candidate
+
+    def _display(self, path: Path) -> str:
+        if path == self.root:
+            return "/"
+        return "/" + str(path.relative_to(self.root))
+
+    # -- execution --------------------------------------------------------------------
+    def run(self, command_line: str) -> CommandResult:
+        """Run a command line (possibly ``&&``-chained); returns the last result."""
+
+        segments = [seg.strip() for seg in command_line.split("&&")]
+        result = CommandResult(command=command_line, exit_code=0, stdout="", stderr="")
+        outputs = []
+        for segment in segments:
+            if not segment:
+                continue
+            result = self._run_single(segment)
+            outputs.append(result.stdout)
+            if result.exit_code != 0:
+                break
+        combined = "".join(outputs[:-1]) + (result.stdout if outputs else "")
+        return CommandResult(command=command_line, exit_code=result.exit_code,
+                             stdout=combined, stderr=result.stderr)
+
+    def _run_single(self, segment: str) -> CommandResult:
+        try:
+            tokens = shlex.split(segment)
+        except ValueError as exc:
+            return CommandResult(segment, 2, "", f"parse error: {exc}\n")
+        if not tokens:
+            return CommandResult(segment, 0, "", "")
+
+        # Output redirection.
+        redirect_path: Path | None = None
+        append = False
+        if ">>" in tokens:
+            idx = tokens.index(">>")
+            append = True
+        elif ">" in tokens:
+            idx = tokens.index(">")
+        else:
+            idx = -1
+        if idx >= 0:
+            if idx + 1 >= len(tokens):
+                return CommandResult(segment, 2, "", "redirection without a target\n")
+            try:
+                redirect_path = self._resolve(tokens[idx + 1])
+            except ShellCommandError as exc:
+                return CommandResult(segment, 1, "", f"{exc}\n")
+            tokens = tokens[:idx]
+
+        name, *args = tokens
+        if name not in ALLOWED_COMMANDS:
+            return CommandResult(segment, 127, "",
+                                 f"{name}: command not found (allowed: {', '.join(ALLOWED_COMMANDS)})\n")
+        handler = getattr(self, f"_cmd_{name}")
+        try:
+            stdout = handler(args)
+            code = 0
+            stderr = ""
+        except ShellCommandError as exc:
+            stdout, code, stderr = "", 1, f"{exc}\n"
+        except FileNotFoundError as exc:
+            stdout, code, stderr = "", 1, f"{exc}\n"
+        except OSError as exc:
+            stdout, code, stderr = "", 1, f"{exc}\n"
+
+        if redirect_path is not None and code == 0:
+            redirect_path.parent.mkdir(parents=True, exist_ok=True)
+            mode = "a" if append else "w"
+            with redirect_path.open(mode, encoding="utf-8") as fh:
+                fh.write(stdout)
+            stdout = ""
+        return CommandResult(segment, code, stdout, stderr)
+
+    # -- individual commands --------------------------------------------------------------
+    def _cmd_pwd(self, args: list[str]) -> str:
+        return self._display(self.cwd) + "\n"
+
+    def _cmd_echo(self, args: list[str]) -> str:
+        return " ".join(args) + "\n"
+
+    def _cmd_ls(self, args: list[str]) -> str:
+        target = self._resolve(args[0]) if args else self.cwd
+        if target.is_file():
+            return self._display(target) + "\n"
+        if not target.is_dir():
+            raise ShellCommandError(f"ls: no such file or directory: {args[0] if args else '.'}")
+        names = sorted(p.name + ("/" if p.is_dir() else "") for p in target.iterdir())
+        return "\n".join(names) + ("\n" if names else "")
+
+    def _cmd_cat(self, args: list[str]) -> str:
+        if not args:
+            raise ShellCommandError("cat: missing file operand")
+        out = []
+        for arg in args:
+            path = self._resolve(arg)
+            if not path.is_file():
+                raise ShellCommandError(f"cat: no such file: {arg}")
+            out.append(path.read_text())
+        return "".join(out)
+
+    def _cmd_mkdir(self, args: list[str]) -> str:
+        if not args:
+            raise ShellCommandError("mkdir: missing operand")
+        for arg in args:
+            if arg == "-p":
+                continue
+            self._resolve(arg).mkdir(parents=True, exist_ok=True)
+        return ""
+
+    def _cmd_touch(self, args: list[str]) -> str:
+        if not args:
+            raise ShellCommandError("touch: missing operand")
+        for arg in args:
+            path = self._resolve(arg)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.touch()
+        return ""
+
+    def _cmd_rm(self, args: list[str]) -> str:
+        recursive = "-r" in args or "-rf" in args
+        targets = [a for a in args if not a.startswith("-")]
+        if not targets:
+            raise ShellCommandError("rm: missing operand")
+        for arg in targets:
+            path = self._resolve(arg)
+            if path == self.root:
+                raise ShellCommandError("rm: refusing to remove the sandbox root")
+            if path.is_dir():
+                if not recursive:
+                    raise ShellCommandError(f"rm: {arg} is a directory (use -r)")
+                shutil.rmtree(path)
+            elif path.exists():
+                path.unlink()
+            else:
+                raise ShellCommandError(f"rm: no such file: {arg}")
+        return ""
+
+    def _cmd_cp(self, args: list[str]) -> str:
+        if len(args) != 2:
+            raise ShellCommandError("cp: expected source and destination")
+        src = self._resolve(args[0])
+        dst = self._resolve(args[1])
+        if src.is_dir():
+            shutil.copytree(src, dst, dirs_exist_ok=True)
+        else:
+            dst.parent.mkdir(parents=True, exist_ok=True)
+            shutil.copy2(src, dst)
+        return ""
+
+    def _cmd_mv(self, args: list[str]) -> str:
+        if len(args) != 2:
+            raise ShellCommandError("mv: expected source and destination")
+        src = self._resolve(args[0])
+        dst = self._resolve(args[1])
+        dst.parent.mkdir(parents=True, exist_ok=True)
+        shutil.move(str(src), str(dst))
+        return ""
+
+    def _cmd_wc(self, args: list[str]) -> str:
+        targets = [a for a in args if not a.startswith("-")]
+        if not targets:
+            raise ShellCommandError("wc: missing file operand")
+        out = []
+        for arg in targets:
+            path = self._resolve(arg)
+            text = path.read_text()
+            out.append(f"{len(text.splitlines())} {len(text.split())} {len(text)} {arg}")
+        return "\n".join(out) + "\n"
+
+    def _cmd_grep(self, args: list[str]) -> str:
+        if len(args) < 2:
+            raise ShellCommandError("grep: expected pattern and file")
+        pattern, *files = args
+        out = []
+        for arg in files:
+            path = self._resolve(arg)
+            for line in path.read_text().splitlines():
+                if pattern in line:
+                    prefix = f"{arg}:" if len(files) > 1 else ""
+                    out.append(prefix + line)
+        return "\n".join(out) + ("\n" if out else "")
+
+    def _cmd_find(self, args: list[str]) -> str:
+        start = self.cwd
+        pattern = "*"
+        remaining = list(args)
+        if remaining and not remaining[0].startswith("-"):
+            start = self._resolve(remaining.pop(0))
+        if "-name" in remaining:
+            idx = remaining.index("-name")
+            if idx + 1 < len(remaining):
+                pattern = remaining[idx + 1]
+        matches = []
+        for path in sorted(start.rglob("*")):
+            if fnmatch.fnmatch(path.name, pattern):
+                matches.append(self._display(path))
+        return "\n".join(matches) + ("\n" if matches else "")
+
+    def _cmd_head(self, args: list[str]) -> str:
+        return self._head_tail(args, head=True)
+
+    def _cmd_tail(self, args: list[str]) -> str:
+        return self._head_tail(args, head=False)
+
+    def _head_tail(self, args: list[str], *, head: bool) -> str:
+        count = 10
+        files = []
+        it = iter(args)
+        for arg in it:
+            if arg == "-n":
+                count = int(next(it, "10"))
+            elif arg.startswith("-"):
+                count = int(arg[1:])
+            else:
+                files.append(arg)
+        if not files:
+            raise ShellCommandError("head/tail: missing file operand")
+        out = []
+        for arg in files:
+            lines = self._resolve(arg).read_text().splitlines()
+            chosen = lines[:count] if head else lines[-count:]
+            out.extend(chosen)
+        return "\n".join(out) + ("\n" if out else "")

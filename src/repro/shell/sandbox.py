@@ -1,0 +1,89 @@
+"""Per-user command sandboxes.
+
+"Execution takes place in a sandbox owned by the local system user.  This
+sandbox can be created or re-used for subsequent commands and is visible to
+the file service."  A sandbox here is a directory under the server's shell
+root, named after the mapped local user, which the file service can reach
+because the shell root lives under (or is registered with) the virtual file
+root.
+"""
+
+from __future__ import annotations
+
+import shutil
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = ["Sandbox", "SandboxManager"]
+
+
+@dataclass
+class Sandbox:
+    """One user's sandbox directory."""
+
+    user: str
+    path: Path
+    created: float = field(default_factory=time.time)
+    commands_run: int = 0
+
+    def exists(self) -> bool:
+        return self.path.is_dir()
+
+    def to_record(self) -> dict:
+        return {
+            "user": self.user,
+            "path": str(self.path),
+            "created": self.created,
+            "commands_run": self.commands_run,
+        }
+
+
+class SandboxManager:
+    """Creates and re-uses sandboxes under a root directory."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._sandboxes: dict[str, Sandbox] = {}
+        self._lock = threading.Lock()
+        # Re-adopt sandboxes left by a previous server process.
+        for child in self.root.iterdir():
+            if child.is_dir():
+                self._sandboxes[child.name] = Sandbox(user=child.name, path=child)
+
+    def get_or_create(self, user: str) -> Sandbox:
+        """Return the user's sandbox, creating the directory on first use."""
+
+        safe = "".join(ch if ch.isalnum() or ch in "-_." else "_" for ch in user)
+        if not safe:
+            raise ValueError("cannot create a sandbox for an empty user name")
+        with self._lock:
+            sandbox = self._sandboxes.get(safe)
+            if sandbox is None or not sandbox.exists():
+                path = self.root / safe
+                path.mkdir(parents=True, exist_ok=True)
+                sandbox = Sandbox(user=safe, path=path)
+                self._sandboxes[safe] = sandbox
+            return sandbox
+
+    def get(self, user: str) -> Sandbox | None:
+        with self._lock:
+            return self._sandboxes.get(user)
+
+    def destroy(self, user: str) -> bool:
+        with self._lock:
+            sandbox = self._sandboxes.pop(user, None)
+        if sandbox is None:
+            return False
+        shutil.rmtree(sandbox.path, ignore_errors=True)
+        return True
+
+    def list_sandboxes(self) -> list[Sandbox]:
+        with self._lock:
+            return list(self._sandboxes.values())
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._sandboxes)

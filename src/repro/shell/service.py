@@ -1,0 +1,131 @@
+"""The ``shell`` service.
+
+``shell.cmd`` executes a command line in the caller's sandbox (after mapping
+the caller DN to a local user through the ``.clarens_user_map``);
+``shell.cmd_info`` returns "the top directory of the sandbox that it can use
+to issue file service commands such as uploading and downloading files" —
+i.e. the sandbox path expressed relative to the file service's virtual root.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any
+
+from repro.core.context import CallContext
+from repro.core.errors import AccessDeniedError
+from repro.core.service import ClarensService, rpc_method
+from repro.shell.interpreter import ALLOWED_COMMANDS, ShellInterpreter
+from repro.shell.sandbox import SandboxManager
+from repro.shell.usermap import UserMap, UserMapEntry
+
+__all__ = ["ShellService"]
+
+
+class ShellService(ClarensService):
+    """Sandboxed remote command execution."""
+
+    service_name = "shell"
+
+    def __init__(self, server) -> None:
+        super().__init__(server)
+        self.sandboxes = SandboxManager(server.shell_root)
+        map_path = server.config.user_map_path
+        if map_path:
+            self.user_map = UserMap.load(map_path)
+        else:
+            self.user_map = UserMap()
+        # Server administrators are always mapped (to the "clarens" account)
+        # so a freshly configured server is usable without a map file.
+        for admin_dn in server.config.admins:
+            if self.user_map.resolve(admin_dn) is None:
+                self.user_map.add(UserMapEntry(user="clarens", dns=[admin_dn]))
+
+    # -- mapping -------------------------------------------------------------------
+    def _map_user(self, dn: str) -> str:
+        user = self.user_map.resolve(dn, group_membership=self.server.vo.is_member)
+        if user is None:
+            raise AccessDeniedError(
+                f"{dn} is not mapped to a local user in .clarens_user_map")
+        return user
+
+    def _interpreter_for(self, ctx: CallContext) -> tuple[str, ShellInterpreter]:
+        dn = ctx.require_dn()
+        user = self._map_user(dn)
+        sandbox = self.sandboxes.get_or_create(user)
+        return user, ShellInterpreter(sandbox.path)
+
+    # -- methods -------------------------------------------------------------------
+    @rpc_method()
+    def cmd(self, ctx: CallContext, command_line: str) -> dict[str, Any]:
+        """Execute a command line in the caller's sandbox; returns the result."""
+
+        user, interpreter = self._interpreter_for(ctx)
+        result = interpreter.run(command_line)
+        sandbox = self.sandboxes.get_or_create(user)
+        sandbox.commands_run += 1
+        return result.to_record() | {"user": user}
+
+    @rpc_method()
+    def cmd_info(self, ctx: CallContext) -> dict[str, Any]:
+        """Return the sandbox's top directory, as a file-service path when possible."""
+
+        dn = ctx.require_dn()
+        user = self._map_user(dn)
+        sandbox = self.sandboxes.get_or_create(user)
+        file_root = Path(self.server.file_root).resolve()
+        sandbox_path = sandbox.path.resolve()
+        try:
+            virtual = "/" + str(sandbox_path.relative_to(file_root))
+        except ValueError:
+            virtual = ""
+        return {
+            "user": user,
+            "sandbox": str(sandbox_path),
+            "file_service_path": virtual,
+            "commands_run": sandbox.commands_run,
+        }
+
+    @rpc_method()
+    def allowed_commands(self, ctx: CallContext) -> list[str]:
+        """The commands the confined interpreter accepts."""
+
+        return list(ALLOWED_COMMANDS)
+
+    @rpc_method()
+    def whoami_local(self, ctx: CallContext) -> str:
+        """The local user name the caller's DN maps to."""
+
+        return self._map_user(ctx.require_dn())
+
+    @rpc_method()
+    def list_mappings(self, ctx: CallContext) -> list[dict[str, Any]]:
+        """The user-map entries (administrators only)."""
+
+        self.server.require_admin(ctx)
+        return [
+            {"user": e.user, "dns": list(e.dns), "groups": list(e.groups)}
+            for e in self.user_map.entries
+        ]
+
+    @rpc_method()
+    def add_mapping(self, ctx: CallContext, user: str, dns: list[str],
+                    groups: list[str] = []) -> bool:
+        """Add a mapping tuple (administrators only)."""
+
+        self.server.require_admin(ctx)
+        self.user_map.add(UserMapEntry(user=user, dns=list(dns), groups=list(groups or [])))
+        if self.server.config.user_map_path:
+            self.user_map.save(self.server.config.user_map_path)
+        return True
+
+    @rpc_method()
+    def destroy_sandbox(self, ctx: CallContext, user: str = "") -> bool:
+        """Destroy a sandbox (your own by default; others require admin)."""
+
+        dn = ctx.require_dn()
+        own_user = self._map_user(dn)
+        target = user or own_user
+        if target != own_user:
+            self.server.require_admin(ctx)
+        return self.sandboxes.destroy(target)

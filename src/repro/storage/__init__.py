@@ -1,0 +1,32 @@
+"""Mass-storage integration (paper section 6, "Future Work").
+
+"Although Clarens provides remote file access through a Web Service, it does
+not support interfaces to mass storage facilities yet.  Work is under way to
+provide an SRM service interface to dCache such that Clarens can support
+robust file transfer between different mass storage facilities."
+
+This package implements that extension:
+
+* :mod:`repro.storage.masstore` -- a simulated dCache-style mass storage
+  system: disk pools in front of a tape archive, staging latency, pinning,
+  and pool-space accounting.
+* :mod:`repro.storage.srm`      -- a Storage Resource Manager over the mass
+  store: space reservation, ``prepare_to_get``/``prepare_to_put`` returning
+  transfer URLs (TURLs) served by the Clarens file service, pin lifetimes and
+  request tracking.
+* :mod:`repro.storage.service`  -- the ``srm.*`` RPC methods.
+"""
+
+from __future__ import annotations
+
+from repro.storage.masstore import MassStorageSystem, StorageError
+from repro.storage.srm import SRMRequest, StorageResourceManager
+from repro.storage.service import SRMService
+
+__all__ = [
+    "MassStorageSystem",
+    "StorageError",
+    "StorageResourceManager",
+    "SRMRequest",
+    "SRMService",
+]

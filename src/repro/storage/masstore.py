@@ -1,0 +1,263 @@
+"""A simulated dCache-style mass storage system.
+
+The real dCache presents a single namespace backed by disk pools in front of
+a tape archive: files newly written land on a pool, may be flushed to tape,
+and reading a tape-resident file requires *staging* it back to a pool (a slow
+operation the SRM layer hides behind asynchronous requests).  This module
+reproduces those behaviours with the knobs the SRM benchmarks and examples
+need:
+
+* a namespace mapping logical paths to file metadata (size, checksum,
+  disk/tape residency, pins);
+* disk pools with finite capacity and LRU eviction of unpinned replicas to
+  "tape" (the archive directory);
+* a configurable staging delay so the asynchronous SRM flow is observable.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = ["MassStorageSystem", "StorageError", "FileRecord", "Pool"]
+
+
+class StorageError(Exception):
+    """Raised for unknown paths, full pools, or invalid state transitions."""
+
+
+@dataclass
+class FileRecord:
+    """Metadata for one logical file in the namespace."""
+
+    logical_path: str
+    size: int
+    checksum: str
+    on_disk: bool
+    on_tape: bool
+    pool: str | None
+    created: float = field(default_factory=time.time)
+    last_access: float = field(default_factory=time.time)
+    pinned_until: float = 0.0
+
+    @property
+    def pinned(self) -> bool:
+        return self.pinned_until > time.time()
+
+    def to_record(self) -> dict:
+        return {
+            "logical_path": self.logical_path,
+            "size": self.size,
+            "checksum": self.checksum,
+            "locality": self._locality(),
+            "pool": self.pool or "",
+            "pinned_until": self.pinned_until,
+        }
+
+    def _locality(self) -> str:
+        if self.on_disk and self.on_tape:
+            return "ONLINE_AND_NEARLINE"
+        if self.on_disk:
+            return "ONLINE"
+        if self.on_tape:
+            return "NEARLINE"
+        return "LOST"
+
+
+@dataclass
+class Pool:
+    """A disk pool with finite capacity."""
+
+    name: str
+    capacity: int
+    used: int = 0
+
+    @property
+    def free(self) -> int:
+        return self.capacity - self.used
+
+
+class MassStorageSystem:
+    """Namespace + pools + tape archive, with staging."""
+
+    def __init__(self, root: str | Path, *, pool_capacity: int = 256 << 20,
+                 n_pools: int = 2, staging_delay: float = 0.0) -> None:
+        self.root = Path(root)
+        (self.root / "pools").mkdir(parents=True, exist_ok=True)
+        (self.root / "tape").mkdir(parents=True, exist_ok=True)
+        self.staging_delay = staging_delay
+        self._pools = {f"pool-{i}": Pool(name=f"pool-{i}", capacity=pool_capacity)
+                       for i in range(max(1, n_pools))}
+        for pool in self._pools.values():
+            (self.root / "pools" / pool.name).mkdir(exist_ok=True)
+        self._namespace: dict[str, FileRecord] = {}
+        self._lock = threading.Lock()
+        self.stage_operations = 0
+        self.flush_operations = 0
+
+    # -- path helpers -----------------------------------------------------------------
+    @staticmethod
+    def _normalize(logical_path: str) -> str:
+        cleaned = "/" + logical_path.strip("/")
+        if ".." in cleaned.split("/"):
+            raise StorageError(f"invalid logical path {logical_path!r}")
+        return cleaned
+
+    def _disk_path(self, record: FileRecord) -> Path:
+        assert record.pool is not None
+        return self.root / "pools" / record.pool / record.logical_path.strip("/").replace("/", "__")
+
+    def _tape_path(self, record: FileRecord) -> Path:
+        return self.root / "tape" / record.logical_path.strip("/").replace("/", "__")
+
+    # -- pool management ----------------------------------------------------------------
+    def _pick_pool(self, size: int) -> Pool:
+        candidates = sorted(self._pools.values(), key=lambda p: p.free, reverse=True)
+        if candidates and candidates[0].free >= size:
+            return candidates[0]
+        # Try to evict unpinned, tape-safe replicas (LRU first).
+        victims = sorted((r for r in self._namespace.values()
+                          if r.on_disk and r.on_tape and not r.pinned),
+                         key=lambda r: r.last_access)
+        for victim in victims:
+            self._evict_locked(victim)
+            candidates = sorted(self._pools.values(), key=lambda p: p.free, reverse=True)
+            if candidates[0].free >= size:
+                return candidates[0]
+        raise StorageError("no pool has enough free space (all replicas pinned?)")
+
+    def _evict_locked(self, record: FileRecord) -> None:
+        if not (record.on_disk and record.on_tape) or record.pool is None:
+            return
+        self._disk_path(record).unlink(missing_ok=True)
+        self._pools[record.pool].used -= record.size
+        record.on_disk = False
+        record.pool = None
+
+    # -- writes --------------------------------------------------------------------------
+    def write(self, logical_path: str, data: bytes) -> FileRecord:
+        """Write a new file onto a disk pool (not yet on tape)."""
+
+        logical_path = self._normalize(logical_path)
+        with self._lock:
+            if logical_path in self._namespace:
+                raise StorageError(f"{logical_path} already exists in the namespace")
+            pool = self._pick_pool(len(data))
+            record = FileRecord(logical_path=logical_path, size=len(data),
+                                checksum=hashlib.md5(data).hexdigest(),
+                                on_disk=True, on_tape=False, pool=pool.name)
+            self._disk_path(record).write_bytes(data)
+            pool.used += len(data)
+            self._namespace[logical_path] = record
+            return record
+
+    def flush_to_tape(self, logical_path: str) -> FileRecord:
+        """Copy a disk-resident file to the tape archive (it stays on disk)."""
+
+        with self._lock:
+            record = self._require(logical_path)
+            if not record.on_disk:
+                raise StorageError(f"{logical_path} is not on disk")
+            if not record.on_tape:
+                self._tape_path(record).write_bytes(self._disk_path(record).read_bytes())
+                record.on_tape = True
+                self.flush_operations += 1
+            return record
+
+    def evict(self, logical_path: str) -> FileRecord:
+        """Drop the disk replica of a tape-resident file (it becomes NEARLINE)."""
+
+        with self._lock:
+            record = self._require(logical_path)
+            if record.pinned:
+                raise StorageError(f"{logical_path} is pinned and cannot be evicted")
+            if not record.on_tape:
+                raise StorageError(f"{logical_path} has no tape copy; refusing to evict")
+            self._evict_locked(record)
+            return record
+
+    # -- reads / staging ------------------------------------------------------------------
+    def _require(self, logical_path: str) -> FileRecord:
+        record = self._namespace.get(self._normalize(logical_path))
+        if record is None:
+            raise StorageError(f"no such file in namespace: {logical_path}")
+        return record
+
+    def stage(self, logical_path: str, *, pin_seconds: float = 600.0) -> FileRecord:
+        """Ensure a disk replica exists (staging from tape if needed) and pin it."""
+
+        with self._lock:
+            record = self._require(logical_path)
+            if not record.on_disk:
+                if not record.on_tape:
+                    raise StorageError(f"{logical_path} is lost (neither disk nor tape)")
+                if self.staging_delay:
+                    time.sleep(self.staging_delay)
+                pool = self._pick_pool(record.size)
+                record.pool = pool.name
+                self._disk_path(record).write_bytes(self._tape_path(record).read_bytes())
+                pool.used += record.size
+                record.on_disk = True
+                self.stage_operations += 1
+            record.last_access = time.time()
+            record.pinned_until = max(record.pinned_until, time.time() + pin_seconds)
+            return record
+
+    def read(self, logical_path: str) -> bytes:
+        """Read a disk-resident file's bytes (stage first if NEARLINE)."""
+
+        record = self.stage(logical_path, pin_seconds=0.0)
+        with self._lock:
+            return self._disk_path(record).read_bytes()
+
+    def disk_path(self, logical_path: str) -> Path:
+        """The on-disk replica path (for zero-copy serving); file must be ONLINE."""
+
+        with self._lock:
+            record = self._require(logical_path)
+            if not record.on_disk:
+                raise StorageError(f"{logical_path} is not online; stage it first")
+            return self._disk_path(record)
+
+    # -- pinning / queries -------------------------------------------------------------------
+    def pin(self, logical_path: str, seconds: float) -> FileRecord:
+        with self._lock:
+            record = self._require(logical_path)
+            record.pinned_until = max(record.pinned_until, time.time() + seconds)
+            return record
+
+    def unpin(self, logical_path: str) -> FileRecord:
+        with self._lock:
+            record = self._require(logical_path)
+            record.pinned_until = 0.0
+            return record
+
+    def stat(self, logical_path: str) -> dict:
+        with self._lock:
+            return self._require(logical_path).to_record()
+
+    def listdir(self, prefix: str = "/") -> list[dict]:
+        prefix = self._normalize(prefix)
+        with self._lock:
+            return [r.to_record() for p, r in sorted(self._namespace.items())
+                    if p == prefix or p.startswith(prefix.rstrip("/") + "/")]
+
+    def pools(self) -> list[dict]:
+        with self._lock:
+            return [{"name": p.name, "capacity": p.capacity, "used": p.used, "free": p.free}
+                    for p in self._pools.values()]
+
+    def delete(self, logical_path: str) -> bool:
+        with self._lock:
+            record = self._namespace.pop(self._normalize(logical_path), None)
+            if record is None:
+                return False
+            if record.on_disk and record.pool:
+                self._disk_path(record).unlink(missing_ok=True)
+                self._pools[record.pool].used -= record.size
+            if record.on_tape:
+                self._tape_path(record).unlink(missing_ok=True)
+            return True

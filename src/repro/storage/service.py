@@ -1,0 +1,172 @@
+"""The ``srm`` service: RPC access to the storage resource manager.
+
+TURLs returned by the get/put calls are paths under the server's file
+service, so the actual byte transfer uses the same authenticated, ACL-checked
+GET/``file.write`` machinery as every other file — which is precisely the
+integration the paper's future-work section describes (an SRM interface "such
+that Clarens can support robust file transfer between different mass storage
+facilities").
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any
+
+from repro.core.context import CallContext
+from repro.core.errors import AccessDeniedError, NotFoundError
+from repro.core.service import ClarensService, rpc_method
+from repro.storage.masstore import MassStorageSystem, StorageError
+from repro.storage.srm import StorageResourceManager
+
+__all__ = ["SRMService"]
+
+
+class SRMService(ClarensService):
+    """Storage Resource Manager methods over a simulated dCache."""
+
+    service_name = "srm"
+
+    def __init__(self, server) -> None:
+        super().__init__(server)
+        store_root = Path(server.file_root).parent / "masstore"
+        transfer_root = Path(server.file_root) / "srm-transfers"
+        self.store = MassStorageSystem(store_root)
+        self.srm = StorageResourceManager(self.store, transfer_root,
+                                          turl_prefix="/srm-transfers")
+
+    # -- helpers ------------------------------------------------------------------------
+    def _own_request(self, ctx: CallContext, request_id: int):
+        request = self.srm.get_request(int(request_id))
+        dn = ctx.require_dn()
+        if request.owner_dn != dn and not self.server.vo.is_admin(dn):
+            raise AccessDeniedError("this SRM request belongs to a different identity")
+        return request
+
+    # -- archive management (admins ingest production data) ---------------------------------
+    @rpc_method()
+    def archive(self, ctx: CallContext, surl: str, data: bytes,
+                flush_to_tape: bool = True) -> dict[str, Any]:
+        """Write a file into the mass store (administrators only)."""
+
+        self.server.require_admin(ctx)
+        try:
+            record = self.store.write(surl, bytes(data))
+            if flush_to_tape:
+                self.store.flush_to_tape(surl)
+        except StorageError as exc:
+            raise NotFoundError(str(exc)) from exc
+        return self.store.stat(surl)
+
+    @rpc_method()
+    def evict(self, ctx: CallContext, surl: str) -> dict[str, Any]:
+        """Drop the disk replica of a tape-resident file (administrators only)."""
+
+        self.server.require_admin(ctx)
+        try:
+            return self.store.evict(surl).to_record()
+        except StorageError as exc:
+            raise NotFoundError(str(exc)) from exc
+
+    # -- namespace ----------------------------------------------------------------------------
+    @rpc_method()
+    def ls(self, ctx: CallContext, prefix: str = "/") -> list[dict[str, Any]]:
+        """List namespace entries (logical path, size, locality, pin state)."""
+
+        ctx.require_dn()
+        return self.srm.ls(prefix)
+
+    @rpc_method()
+    def stat(self, ctx: CallContext, surl: str) -> dict[str, Any]:
+        """Metadata for one logical file."""
+
+        ctx.require_dn()
+        try:
+            return self.srm.stat(surl)
+        except StorageError as exc:
+            raise NotFoundError(str(exc)) from exc
+
+    @rpc_method()
+    def pools(self, ctx: CallContext) -> list[dict[str, Any]]:
+        """Disk-pool occupancy (capacity/used/free)."""
+
+        ctx.require_dn()
+        return self.store.pools()
+
+    # -- transfers ----------------------------------------------------------------------------
+    @rpc_method()
+    def prepare_to_get(self, ctx: CallContext, surl: str,
+                       pin_seconds: float = 600.0) -> dict[str, Any]:
+        """Stage a file and return the request (TURL present once READY)."""
+
+        try:
+            request = self.srm.prepare_to_get(ctx.require_dn(), surl,
+                                              pin_seconds=float(pin_seconds))
+        except StorageError as exc:
+            raise NotFoundError(str(exc)) from exc
+        return request.to_record()
+
+    @rpc_method()
+    def prepare_to_put(self, ctx: CallContext, surl: str, size_bytes: int,
+                       space_token: str = "") -> dict[str, Any]:
+        """Allocate an upload TURL for a new logical file."""
+
+        request = self.srm.prepare_to_put(ctx.require_dn(), surl, int(size_bytes),
+                                          space_token=space_token)
+        return request.to_record()
+
+    @rpc_method()
+    def put_done(self, ctx: CallContext, request_id: int) -> dict[str, Any]:
+        """Commit an upload after the TURL has been written via the file service."""
+
+        self._own_request(ctx, request_id)
+        try:
+            return self.srm.put_done(int(request_id)).to_record()
+        except StorageError as exc:
+            raise NotFoundError(str(exc)) from exc
+
+    @rpc_method()
+    def status(self, ctx: CallContext, request_id: int) -> dict[str, Any]:
+        """Status of one of the caller's requests."""
+
+        return self._own_request(ctx, request_id).to_record()
+
+    @rpc_method()
+    def release(self, ctx: CallContext, request_id: int) -> dict[str, Any]:
+        """Release the pin and transfer area of a completed get request."""
+
+        self._own_request(ctx, request_id)
+        return self.srm.release(int(request_id)).to_record()
+
+    @rpc_method()
+    def my_requests(self, ctx: CallContext) -> list[dict[str, Any]]:
+        """All of the caller's SRM requests."""
+
+        return [r.to_record() for r in self.srm.requests_for(ctx.require_dn())]
+
+    # -- space reservation -----------------------------------------------------------------------
+    @rpc_method()
+    def reserve_space(self, ctx: CallContext, size_bytes: int,
+                      lifetime: float = 86400.0) -> dict[str, Any]:
+        """Reserve space for a set of uploads; returns the space token."""
+
+        reservation = self.srm.reserve_space(ctx.require_dn(), int(size_bytes),
+                                             lifetime=float(lifetime))
+        return reservation.to_record()
+
+    @rpc_method()
+    def release_space(self, ctx: CallContext, token: str) -> bool:
+        """Release a space reservation."""
+
+        ctx.require_dn()
+        return self.srm.release_space(token)
+
+    @rpc_method()
+    def pin(self, ctx: CallContext, surl: str, seconds: float = 600.0) -> dict[str, Any]:
+        """Extend the pin lifetime of an online replica."""
+
+        ctx.require_dn()
+        try:
+            return self.store.pin(surl, float(seconds)).to_record()
+        except StorageError as exc:
+            raise NotFoundError(str(exc)) from exc

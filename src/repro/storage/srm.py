@@ -1,0 +1,257 @@
+"""The Storage Resource Manager (SRM) layer over the mass store.
+
+SRM is the grid middleware contract the paper cites ([27] Shoshani et al.):
+clients negotiate *requests* against logical file names (SURLs); the SRM
+stages data, pins it, and hands back *transfer URLs* (TURLs) that point at an
+actual transfer endpoint — here, paths under the Clarens file service so the
+zero-copy GET path does the byte moving.
+
+Implemented subset (the calls the 2005 dCache/SRM deployments used):
+
+* ``prepare_to_get``  -- asynchronous staging request; poll until READY, then
+  fetch the TURL.
+* ``prepare_to_put``  -- allocate a namespace entry + TURL for an upload and
+  later commit it with ``put_done``.
+* pinning / release, space reservation, ``ls`` and request status tracking.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from dataclasses import dataclass, field
+from enum import Enum
+from pathlib import Path
+from typing import Any
+
+from repro.storage.masstore import MassStorageSystem, StorageError
+
+__all__ = ["RequestState", "SRMRequest", "SpaceReservation", "StorageResourceManager"]
+
+
+class RequestState(str, Enum):
+    """Lifecycle of an SRM request."""
+
+    QUEUED = "SRM_REQUEST_QUEUED"
+    INPROGRESS = "SRM_REQUEST_INPROGRESS"
+    READY = "SRM_FILE_READY"
+    DONE = "SRM_SUCCESS"
+    FAILED = "SRM_FAILURE"
+    RELEASED = "SRM_RELEASED"
+
+
+@dataclass
+class SRMRequest:
+    """One get/put request."""
+
+    request_id: int
+    kind: str                      # "get" or "put"
+    surl: str                      # logical path (storage URL)
+    owner_dn: str
+    state: RequestState = RequestState.QUEUED
+    turl: str = ""                 # transfer URL (file-service path)
+    error: str = ""
+    created: float = field(default_factory=time.time)
+    pin_seconds: float = 600.0
+    space_token: str = ""
+
+    def to_record(self) -> dict[str, Any]:
+        return {
+            "request_id": self.request_id,
+            "kind": self.kind,
+            "surl": self.surl,
+            "state": self.state.value,
+            "turl": self.turl,
+            "error": self.error,
+            "created": self.created,
+            "space_token": self.space_token,
+        }
+
+
+@dataclass
+class SpaceReservation:
+    """A reserved chunk of storage (the SRM ``reserveSpace`` concept)."""
+
+    token: str
+    owner_dn: str
+    size_bytes: int
+    used_bytes: int = 0
+    lifetime: float = 24 * 3600.0
+    created: float = field(default_factory=time.time)
+
+    @property
+    def expired(self) -> bool:
+        return time.time() > self.created + self.lifetime
+
+    def to_record(self) -> dict[str, Any]:
+        return {
+            "token": self.token,
+            "owner_dn": self.owner_dn,
+            "size_bytes": self.size_bytes,
+            "used_bytes": self.used_bytes,
+            "expires": self.created + self.lifetime,
+        }
+
+
+class StorageResourceManager:
+    """SRM request handling over a :class:`MassStorageSystem`.
+
+    ``transfer_root`` is the directory (inside the Clarens virtual file root)
+    where staged replicas and upload areas are exposed; the returned TURLs are
+    file-service paths under it.
+    """
+
+    def __init__(self, store: MassStorageSystem, transfer_root: Path, *,
+                 turl_prefix: str = "/srm-transfers") -> None:
+        self.store = store
+        self.transfer_root = Path(transfer_root)
+        self.transfer_root.mkdir(parents=True, exist_ok=True)
+        self.turl_prefix = "/" + turl_prefix.strip("/")
+        self._requests: dict[int, SRMRequest] = {}
+        self._spaces: dict[str, SpaceReservation] = {}
+        self._request_ids = itertools.count(1)
+        self._space_ids = itertools.count(1)
+        self._lock = threading.Lock()
+
+    # -- helpers ---------------------------------------------------------------------
+    def _turl_for(self, surl: str) -> tuple[str, Path]:
+        flat = surl.strip("/").replace("/", "__")
+        return f"{self.turl_prefix}/{flat}", self.transfer_root / flat
+
+    # -- get side ---------------------------------------------------------------------
+    def prepare_to_get(self, owner_dn: str, surl: str, *, pin_seconds: float = 600.0) -> SRMRequest:
+        """Start an asynchronous staging request for ``surl``."""
+
+        with self._lock:
+            request = SRMRequest(request_id=next(self._request_ids), kind="get", surl=surl,
+                                 owner_dn=owner_dn, pin_seconds=pin_seconds)
+            self._requests[request.request_id] = request
+        self._process_get(request)
+        return request
+
+    def _process_get(self, request: SRMRequest) -> None:
+        request.state = RequestState.INPROGRESS
+        try:
+            record = self.store.stage(request.surl, pin_seconds=request.pin_seconds)
+            turl, local = self._turl_for(request.surl)
+            local.parent.mkdir(parents=True, exist_ok=True)
+            # Expose the online replica through the transfer area.  A hard link
+            # keeps this zero-copy; fall back to a copy across filesystems.
+            replica = self.store.disk_path(request.surl)
+            if local.exists():
+                local.unlink()
+            try:
+                local.hardlink_to(replica)
+            except OSError:
+                local.write_bytes(replica.read_bytes())
+            request.turl = turl
+            request.state = RequestState.READY
+            request.error = ""
+            _ = record
+        except StorageError as exc:
+            request.state = RequestState.FAILED
+            request.error = str(exc)
+
+    # -- put side ---------------------------------------------------------------------
+    def prepare_to_put(self, owner_dn: str, surl: str, size_bytes: int, *,
+                       space_token: str = "") -> SRMRequest:
+        """Allocate an upload slot; the client writes the TURL then calls put_done."""
+
+        with self._lock:
+            if space_token:
+                space = self._spaces.get(space_token)
+                if space is None or space.expired:
+                    request = SRMRequest(request_id=next(self._request_ids), kind="put",
+                                         surl=surl, owner_dn=owner_dn,
+                                         state=RequestState.FAILED,
+                                         error=f"invalid space token {space_token!r}")
+                    self._requests[request.request_id] = request
+                    return request
+                if space.used_bytes + size_bytes > space.size_bytes:
+                    request = SRMRequest(request_id=next(self._request_ids), kind="put",
+                                         surl=surl, owner_dn=owner_dn,
+                                         state=RequestState.FAILED,
+                                         error="space reservation exhausted")
+                    self._requests[request.request_id] = request
+                    return request
+                space.used_bytes += size_bytes
+            request = SRMRequest(request_id=next(self._request_ids), kind="put", surl=surl,
+                                 owner_dn=owner_dn, space_token=space_token)
+            turl, local = self._turl_for(surl)
+            local.parent.mkdir(parents=True, exist_ok=True)
+            request.turl = turl
+            request.state = RequestState.READY
+            self._requests[request.request_id] = request
+            return request
+
+    def put_done(self, request_id: int) -> SRMRequest:
+        """Commit an upload: ingest the TURL's bytes into the mass store."""
+
+        request = self.get_request(request_id)
+        if request.kind != "put" or request.state is not RequestState.READY:
+            raise StorageError(f"request {request_id} is not an open put request")
+        _, local = self._turl_for(request.surl)
+        if not local.exists():
+            request.state = RequestState.FAILED
+            request.error = "no data was written to the transfer URL"
+            return request
+        try:
+            record = self.store.write(request.surl, local.read_bytes())
+            self.store.flush_to_tape(request.surl)
+            request.state = RequestState.DONE
+            request.error = ""
+            _ = record
+        except StorageError as exc:
+            request.state = RequestState.FAILED
+            request.error = str(exc)
+        return request
+
+    # -- request / pin management ----------------------------------------------------------
+    def get_request(self, request_id: int) -> SRMRequest:
+        with self._lock:
+            request = self._requests.get(int(request_id))
+        if request is None:
+            raise StorageError(f"no such SRM request: {request_id}")
+        return request
+
+    def release(self, request_id: int) -> SRMRequest:
+        """Release the pin / transfer area of a completed get request."""
+
+        request = self.get_request(request_id)
+        if request.kind == "get" and request.state is RequestState.READY:
+            self.store.unpin(request.surl)
+            _, local = self._turl_for(request.surl)
+            local.unlink(missing_ok=True)
+            request.state = RequestState.RELEASED
+        return request
+
+    def requests_for(self, owner_dn: str) -> list[SRMRequest]:
+        with self._lock:
+            return sorted((r for r in self._requests.values() if r.owner_dn == owner_dn),
+                          key=lambda r: r.request_id)
+
+    # -- space reservation --------------------------------------------------------------------
+    def reserve_space(self, owner_dn: str, size_bytes: int, *,
+                      lifetime: float = 24 * 3600.0) -> SpaceReservation:
+        with self._lock:
+            token = f"space-{next(self._space_ids):06d}"
+            reservation = SpaceReservation(token=token, owner_dn=owner_dn,
+                                           size_bytes=int(size_bytes), lifetime=lifetime)
+            self._spaces[token] = reservation
+            return reservation
+
+    def release_space(self, token: str) -> bool:
+        with self._lock:
+            return self._spaces.pop(token, None) is not None
+
+    def space(self, token: str) -> SpaceReservation | None:
+        with self._lock:
+            return self._spaces.get(token)
+
+    # -- namespace queries -----------------------------------------------------------------------
+    def ls(self, prefix: str = "/") -> list[dict[str, Any]]:
+        return self.store.listdir(prefix)
+
+    def stat(self, surl: str) -> dict[str, Any]:
+        return self.store.stat(surl)

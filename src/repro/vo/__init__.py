@@ -1,0 +1,15 @@
+"""Virtual Organization management (paper section 2.1).
+
+Each Clarens server manages a tree-like VO structure rooted in an ``admins``
+group whose members come from the server configuration at every restart.
+Groups hold two DN lists (members and administrators); membership is
+hierarchical (members of a higher-level group are automatically members of
+the lower-level groups in the same branch) and DN *prefixes* may be listed to
+admit every identity issued under a CA branch.
+"""
+
+from __future__ import annotations
+
+from repro.vo.model import Group, VOError, VOManager
+
+__all__ = ["Group", "VOManager", "VOError"]

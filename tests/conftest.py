@@ -1,0 +1,100 @@
+"""Shared fixtures.
+
+Key generation dominates test runtime, so one CA and a small cast of
+credentials are created per session and shared; tests that need their own
+trust roots build them explicitly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import ServerConfig
+from repro.core.server import ClarensServer
+from repro.client.client import ClarensClient
+from repro.pki.authority import CertificateAuthority
+
+ADMIN_DN = "/O=clarens.test/OU=People/CN=Ada Admin"
+
+
+@pytest.fixture(scope="session")
+def ca() -> CertificateAuthority:
+    """A session-wide certificate authority."""
+
+    return CertificateAuthority("/O=clarens.test/CN=Clarens Test CA", key_bits=512)
+
+
+@pytest.fixture(scope="session")
+def host_credential(ca):
+    return ca.issue_host("server.clarens.test")
+
+
+@pytest.fixture(scope="session")
+def admin_credential(ca):
+    return ca.issue_user("Ada Admin")
+
+
+@pytest.fixture(scope="session")
+def alice_credential(ca):
+    return ca.issue_user("Alice Adams")
+
+
+@pytest.fixture(scope="session")
+def bob_credential(ca):
+    return ca.issue_user("Bob Brown")
+
+
+def build_server(ca, host_credential, *, admins=(ADMIN_DN,), data_dir=None, **overrides):
+    """Construct a ClarensServer wired to the shared test CA."""
+
+    config = ServerConfig(
+        server_name=overrides.pop("server_name", "test-server"),
+        admins=list(admins),
+        data_dir=str(data_dir) if data_dir is not None else None,
+        host_dn=str(host_credential.certificate.subject),
+        **overrides,
+    )
+    return ClarensServer(config, credential=host_credential, trust_store=ca.trust_store())
+
+
+@pytest.fixture()
+def server(ca, host_credential):
+    """A fresh in-memory server per test."""
+
+    srv = build_server(ca, host_credential)
+    yield srv
+    srv.close()
+
+
+@pytest.fixture()
+def loopback(server):
+    return server.loopback()
+
+
+@pytest.fixture()
+def client(server, loopback, alice_credential):
+    """A client logged in as Alice over the unencrypted loopback."""
+
+    cl = ClarensClient.for_loopback(loopback)
+    cl.login_with_credential(alice_credential)
+    yield cl
+    cl.close()
+
+
+@pytest.fixture()
+def admin_client(server, loopback, admin_credential):
+    """A client logged in as the server administrator."""
+
+    cl = ClarensClient.for_loopback(loopback)
+    cl.login_with_credential(admin_credential)
+    yield cl
+    cl.close()
+
+
+@pytest.fixture()
+def anon_client(server, loopback):
+    """A client with no session (anonymous system calls only)."""
+
+    cl = ClarensClient.for_loopback(loopback)
+    yield cl
+    cl.close()

@@ -1,0 +1,114 @@
+"""Baseline servers: the plain RPC dispatcher and the GT3-like comparator."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.baselines.globus import GlobusGT3Server
+from repro.baselines.plain import PlainRPCServer
+from repro.client.client import ClarensClient
+from repro.protocols.errors import Fault
+
+
+class TestPlainRPCServer:
+    @pytest.fixture()
+    def plain_client(self):
+        server = PlainRPCServer()
+        return ClarensClient.for_loopback(server.loopback())
+
+    def test_builtin_methods(self, plain_client):
+        assert plain_client.call("system.ping") == "pong"
+        assert plain_client.call("system.echo", {"k": [1, 2]}) == {"k": [1, 2]}
+        assert "system.list_methods" in plain_client.call("system.list_methods")
+
+    def test_custom_method_registration(self):
+        server = PlainRPCServer()
+        server.register("math.add", lambda a, b: a + b)
+        client = ClarensClient.for_loopback(server.loopback())
+        assert client.call("math.add", 2, 3) == 5
+
+    def test_unknown_method_fault(self, plain_client):
+        with pytest.raises(Fault):
+            plain_client.call("no.such.method")
+
+    def test_no_authentication_needed(self, plain_client):
+        # The whole point of the baseline: zero security machinery.
+        assert plain_client.call("system.echo", "open access") == "open access"
+
+    def test_method_exception_becomes_fault(self):
+        server = PlainRPCServer()
+        server.register("explode", lambda: 1 / 0)
+        client = ClarensClient.for_loopback(server.loopback())
+        with pytest.raises(Fault):
+            client.call("explode")
+
+    def test_parse_error_fault(self):
+        server = PlainRPCServer()
+        from repro.httpd.message import HTTPRequest
+
+        response = server.handle_request(HTTPRequest(method="POST", path="/rpc",
+                                                     body=b"<methodCall><broken>"))
+        assert response.status == 200  # fault travels inside the RPC body
+        assert b"fault" in response.body_bytes().lower()
+
+
+class TestGlobusGT3Baseline:
+    def test_trivial_method_returns_result(self):
+        server = GlobusGT3Server(gt3_version="3.9.1", gridmap_size=50)
+        assert server.call("counter.getValue") == 42
+        assert server.call("system.echo", "hi") == "hi"
+        assert server.calls_handled == 2
+
+    def test_unknown_dn_rejected_by_gridmap(self):
+        server = GlobusGT3Server(gridmap_size=10)
+        with pytest.raises(Fault):
+            server.call("counter.getValue", dn="/O=unknown/CN=Stranger")
+
+    def test_unknown_method_fault(self):
+        server = GlobusGT3Server(gridmap_size=10)
+        with pytest.raises(Fault):
+            server.call("no.such.service")
+
+    def test_invalid_version_rejected(self):
+        with pytest.raises(ValueError):
+            GlobusGT3Server(gt3_version="4.2")
+
+    def test_gt30_slower_than_gt391(self):
+        """The paper's footnote orders the versions: GT 3.0 slower than 3.9.1."""
+
+        slow = GlobusGT3Server(gt3_version="3.0", gridmap_size=200)
+        fast = GlobusGT3Server(gt3_version="3.9.1", gridmap_size=200)
+
+        def time_calls(server, n=5):
+            start = time.perf_counter()
+            for _ in range(n):
+                server.call("counter.getValue")
+            return time.perf_counter() - start
+
+        # Warm up both (the paper ignores the first invocation too).
+        slow.call("counter.getValue")
+        fast.call("counter.getValue")
+        assert time_calls(slow) > time_calls(fast)
+
+    def test_clarens_dispatch_is_much_faster_than_gt3(self, server, loopback, alice_credential):
+        """TXT-GT3 shape check: Clarens wins by a large factor."""
+
+        client = ClarensClient.for_loopback(loopback)
+        client.login_with_credential(alice_credential)
+        gt3 = GlobusGT3Server(gt3_version="3.9.1", gridmap_size=100)
+        gt3.call("counter.getValue")  # warm-up
+
+        n = 20
+        start = time.perf_counter()
+        for _ in range(n):
+            client.call("system.list_methods")
+        clarens_rate = n / (time.perf_counter() - start)
+
+        start = time.perf_counter()
+        for _ in range(5):
+            gt3.call("counter.getValue")
+        gt3_rate = 5 / (time.perf_counter() - start)
+
+        assert clarens_rate > gt3_rate * 5

@@ -1,0 +1,167 @@
+"""Client library: transports, login flows, file helpers, async load client."""
+
+from __future__ import annotations
+
+import hashlib
+
+import pytest
+
+from repro.client.asyncclient import AsyncLoadClient, _split
+from repro.client.client import ClarensClient
+from repro.client.errors import ClientError, TransportError
+from repro.client.files import download_file, download_file_rpc, upload_file
+from repro.client.transport import HTTPTransport
+from repro.protocols import JSONRPCCodec, SOAPCodec
+from repro.protocols.errors import Fault
+
+
+class TestClientBasics:
+    def test_login_logout_cycle(self, server, loopback, alice_credential):
+        client = ClarensClient.for_loopback(loopback)
+        assert not client.authenticated
+        session = client.login_with_credential(alice_credential)
+        assert client.authenticated and session["method"] == "certificate"
+        assert client.logout() is True
+        assert not client.authenticated
+
+    def test_call_raises_fault(self, client):
+        with pytest.raises(Fault):
+            client.call("system.method_help", "does.not.exist")
+
+    def test_try_call_returns_fault(self, client):
+        result, fault = client.try_call("system.ping")
+        assert result == "pong" and fault is None
+        result, fault = client.try_call("nope.nothing")
+        assert result is None and fault is not None
+
+    def test_alternate_codecs(self, server, loopback, alice_credential):
+        for codec in (JSONRPCCodec(), SOAPCodec()):
+            client = ClarensClient.for_loopback(loopback, codec=codec)
+            client.login_with_credential(alice_credential)
+            assert client.call("system.ping") == "pong"
+            assert client.whoami()["authenticated"] is True
+
+    def test_convenience_wrappers(self, client, server):
+        assert "system.echo" in client.list_methods()
+        assert client.server_info()["server_name"] == server.config.server_name
+
+    def test_proxy_login_flow(self, server, loopback, alice_credential):
+        from repro.pki.proxy import issue_proxy
+
+        client = ClarensClient.for_loopback(loopback)
+        session = client.login_with_proxy(issue_proxy(alice_credential))
+        assert session["method"] == "proxy"
+        assert client.whoami()["dn"] == str(alice_credential.certificate.subject)
+
+    def test_tls_login_flow(self, server, alice_credential):
+        tls = server.loopback(tls=True)
+        client = ClarensClient.for_loopback(tls, credential=alice_credential)
+        session = client.login_tls()
+        assert session["dn"] == str(alice_credential.certificate.subject)
+        # A fresh file root holds only the SRM transfer area the server creates.
+        assert {e["name"] for e in client.call("file.ls", "/")} <= {"srm-transfers"}
+
+    def test_custom_url_prefix(self, ca, host_credential):
+        from tests.conftest import build_server
+
+        server = build_server(ca, host_credential, url_prefix="/grid")
+        try:
+            client = ClarensClient.for_loopback(server.loopback(), url_prefix="/grid")
+            assert client.call("system.ping") == "pong"
+        finally:
+            server.close()
+
+    def test_http_transport_bad_url(self):
+        with pytest.raises(TransportError):
+            HTTPTransport("ftp://host/path")
+        with pytest.raises(TransportError):
+            HTTPTransport("http://")
+
+    def test_client_over_real_socket(self, server, alice_credential):
+        with server.socket_server() as sock:
+            client = ClarensClient.for_url(sock.url)
+            client.login_with_credential(alice_credential)
+            assert client.call("system.ping") == "pong"
+            assert len(client.list_methods()) > 30
+            client.close()
+
+
+class TestFileHelpers:
+    @pytest.fixture()
+    def dataset(self, admin_client):
+        payload = b"event-record " * 5000
+        admin_client.call("file.write", "/datasets/run1.dat", payload, False)
+        return payload
+
+    def test_download_via_get_with_checksum(self, dataset, client, tmp_path):
+        local = tmp_path / "run1.dat"
+        data = download_file(client, "/datasets/run1.dat", local, verify_checksum=True)
+        assert data == dataset
+        assert local.read_bytes() == dataset
+
+    def test_download_via_rpc_chunks(self, dataset, client):
+        data = download_file_rpc(client, "/datasets/run1.dat", chunk_size=1000,
+                                 verify_checksum=True)
+        assert data == dataset
+        assert hashlib.md5(data).hexdigest() == client.call("file.md5", "/datasets/run1.dat")
+
+    def test_download_missing_file_raises(self, client):
+        with pytest.raises(ClientError):
+            download_file(client, "/datasets/absent.dat")
+
+    def test_upload_round_trip(self, client, tmp_path):
+        source = tmp_path / "upload.bin"
+        source.write_bytes(b"\x00\x01\x02" * 4000)
+        sent = upload_file(client, source, "/uploads/upload.bin", chunk_size=2048)
+        assert sent == source.stat().st_size
+        assert download_file_rpc(client, "/uploads/upload.bin") == source.read_bytes()
+
+    def test_upload_empty_file(self, client, tmp_path):
+        source = tmp_path / "empty.bin"
+        source.write_bytes(b"")
+        assert upload_file(client, source, "/uploads/empty.bin") == 0
+        assert client.call("file.size", "/uploads/empty.bin") == 0
+
+
+class TestAsyncLoadClient:
+    def test_split_covers_total(self):
+        assert _split(1000, 3) == [334, 333, 333]
+        assert sum(_split(79, 7)) == 79
+        assert _split(5, 8) == [1, 1, 1, 1, 1, 0, 0, 0]
+
+    def test_batch_runs_requested_calls(self, server, loopback, alice_credential):
+        def factory():
+            c = ClarensClient.for_loopback(loopback)
+            c.login_with_credential(alice_credential)
+            return c
+
+        with AsyncLoadClient(factory, n_clients=4) as load:
+            result = load.run_batch(120)
+        assert result.calls == 120
+        assert result.errors == 0
+        assert result.n_clients == 4
+        assert result.calls_per_second > 0
+        assert sum(result.per_client_calls) == 120
+
+    def test_errors_counted_not_raised(self, server, loopback):
+        def factory():
+            return ClarensClient.for_loopback(loopback)  # not logged in
+
+        with AsyncLoadClient(factory, n_clients=2) as load:
+            result = load.run_batch(20, method="file.ls", params=("/",))
+        assert result.errors == 20
+
+    def test_multiple_batches(self, server, loopback, alice_credential):
+        def factory():
+            c = ClarensClient.for_loopback(loopback)
+            c.login_with_credential(alice_credential)
+            return c
+
+        with AsyncLoadClient(factory, n_clients=2) as load:
+            results = load.run_batches(3, calls_per_batch=30)
+        assert len(results) == 3
+        assert all(r.calls == 30 for r in results)
+
+    def test_invalid_client_count(self, server, loopback):
+        with pytest.raises(ValueError):
+            AsyncLoadClient(lambda: ClarensClient.for_loopback(loopback), n_clients=0)

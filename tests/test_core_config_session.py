@@ -1,0 +1,148 @@
+"""Server configuration and the persistent session manager."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core.config import ConfigError, ServerConfig
+from repro.core.errors import SessionExpiredError
+from repro.core.session import SessionManager
+from repro.database import Database
+
+
+class TestServerConfig:
+    def test_defaults(self):
+        config = ServerConfig()
+        assert config.url_prefix == "/clarens"
+        assert config.rpc_path() == "/clarens/rpc"
+        assert config.access_checks_per_request == 2
+        assert not config.cache_method_list  # the paper ran without caching
+
+    def test_url_prefix_normalised(self):
+        assert ServerConfig(url_prefix="grid/").url_prefix == "/grid"
+        assert ServerConfig(url_prefix="grid").file_path() == "/grid/file"
+
+    @pytest.mark.parametrize("kwargs", [
+        {"server_name": ""},
+        {"session_lifetime": 0},
+        {"access_checks_per_request": -1},
+        {"max_read_bytes": 0},
+    ])
+    def test_invalid_values_rejected(self, kwargs):
+        with pytest.raises(ConfigError):
+            ServerConfig(**kwargs)
+
+    def test_from_mapping_separates_extra(self):
+        config = ServerConfig.from_mapping({
+            "server_name": "t1", "admins": ["/O=x/CN=a"], "experiment": "fig4"})
+        assert config.server_name == "t1"
+        assert config.extra == {"experiment": "fig4"}
+
+    def test_ini_round_trip(self, tmp_path):
+        original = ServerConfig(server_name="ini-server", admins=["/O=x/CN=a", "/O=x/CN=b"],
+                                session_lifetime=600.0, cache_method_list=True)
+        path = original.to_ini(tmp_path / "clarens.ini")
+        loaded = ServerConfig.from_ini(path)
+        assert loaded.server_name == "ini-server"
+        assert loaded.admins == ["/O=x/CN=a", "/O=x/CN=b"]
+        assert loaded.session_lifetime == 600.0
+        assert loaded.cache_method_list is True
+
+    def test_from_ini_missing_file(self, tmp_path):
+        with pytest.raises(ConfigError):
+            ServerConfig.from_ini(tmp_path / "missing.ini")
+
+    def test_with_overrides_copies(self):
+        base = ServerConfig(server_name="a")
+        derived = base.with_overrides(server_name="b", access_checks_per_request=0)
+        assert base.server_name == "a"
+        assert derived.server_name == "b" and derived.access_checks_per_request == 0
+
+
+class TestSessionManager:
+    def test_create_and_validate(self):
+        sessions = SessionManager(Database())
+        session = sessions.create("/O=x/CN=alice")
+        fetched = sessions.validate(session.session_id)
+        assert fetched.dn == "/O=x/CN=alice"
+        assert fetched.method == "certificate"
+
+    def test_unknown_session_rejected(self):
+        sessions = SessionManager(Database())
+        with pytest.raises(SessionExpiredError):
+            sessions.validate("does-not-exist")
+
+    def test_expired_session_rejected_and_removed(self):
+        sessions = SessionManager(Database(), lifetime=0.01)
+        session = sessions.create("/O=x/CN=alice")
+        time.sleep(0.02)
+        with pytest.raises(SessionExpiredError):
+            sessions.validate(session.session_id)
+        assert sessions.get(session.session_id) is None
+
+    def test_renew_extends_expiry(self):
+        sessions = SessionManager(Database(), lifetime=0.05)
+        session = sessions.create("/O=x/CN=alice")
+        renewed = sessions.renew(session.session_id, lifetime=60.0)
+        assert renewed.expires > session.expires
+
+    def test_destroy_and_destroy_for_dn(self):
+        sessions = SessionManager(Database())
+        s1 = sessions.create("/O=x/CN=alice")
+        sessions.create("/O=x/CN=alice")
+        sessions.create("/O=x/CN=bob")
+        assert sessions.destroy(s1.session_id)
+        assert sessions.destroy_for_dn("/O=x/CN=alice") == 1
+        assert sessions.count() == 1
+
+    def test_sessions_for_dn(self):
+        sessions = SessionManager(Database())
+        sessions.create("/O=x/CN=alice")
+        sessions.create("/O=x/CN=alice", method="proxy")
+        found = sessions.sessions_for("/O=x/CN=alice")
+        assert len(found) == 2
+        assert {s.method for s in found} == {"certificate", "proxy"}
+
+    def test_purge_expired(self):
+        sessions = SessionManager(Database(), lifetime=0.01)
+        for _ in range(3):
+            sessions.create("/O=x/CN=a")
+        keeper = sessions.create("/O=x/CN=b", lifetime=60)
+        time.sleep(0.02)
+        assert sessions.purge_expired() == 3
+        assert sessions.validate(keeper.session_id).dn == "/O=x/CN=b"
+
+    def test_attributes_persist(self):
+        sessions = SessionManager(Database())
+        session = sessions.create("/O=x/CN=alice")
+        sessions.set_attribute(session.session_id, "sandbox", "/sandboxes/alice")
+        assert sessions.validate(session.session_id).attributes["sandbox"] == "/sandboxes/alice"
+
+    def test_session_ids_are_unique_and_opaque(self):
+        sessions = SessionManager(Database())
+        ids = {sessions.create("/O=x/CN=a").session_id for _ in range(50)}
+        assert len(ids) == 50
+        assert all(len(i) == 32 for i in ids)
+
+    def test_sessions_survive_restart(self, tmp_path):
+        """The paper's core claim: clients survive server restarts transparently."""
+
+        db = Database(tmp_path / "state")
+        sessions = SessionManager(db)
+        session = sessions.create("/O=x/CN=alice")
+        db.close()
+
+        restarted = SessionManager(Database(tmp_path / "state"))
+        fetched = restarted.validate(session.session_id)
+        assert fetched.dn == "/O=x/CN=alice"
+        assert fetched.created == pytest.approx(session.created)
+
+    def test_touch_on_validate_updates_last_used(self):
+        sessions = SessionManager(Database(), touch_on_validate=True)
+        session = sessions.create("/O=x/CN=alice")
+        before = session.last_used
+        time.sleep(0.01)
+        after = sessions.validate(session.session_id).last_used
+        assert after > before

@@ -1,0 +1,142 @@
+"""The dispatcher: protocol handling, access checks, faults, stats."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.client.client import ClarensClient
+from repro.core.dispatch import SESSION_HEADER
+from repro.httpd.message import Headers, HTTPRequest
+from repro.protocols import JSONRPCCodec, SOAPCodec, XMLRPCCodec
+from repro.protocols.errors import Fault, FaultCode
+from repro.protocols.types import RPCRequest
+
+from tests.conftest import build_server
+
+
+def rpc_post(server, body: bytes, *, content_type="text/xml", session_id=None, client_dn=None):
+    headers = Headers({"Content-Type": content_type})
+    if session_id:
+        headers.set(SESSION_HEADER, session_id)
+    request = HTTPRequest(method="POST", path=server.config.rpc_path(), headers=headers,
+                          body=body, client_dn=client_dn)
+    return server.handle_request(request)
+
+
+class TestProtocolHandling:
+    @pytest.mark.parametrize("codec", [XMLRPCCodec(), SOAPCodec(), JSONRPCCodec()],
+                             ids=["xml-rpc", "soap", "json-rpc"])
+    def test_each_protocol_served_on_same_endpoint(self, server, codec):
+        body = codec.encode_request(RPCRequest("system.list_methods"))
+        response = rpc_post(server, body, content_type=codec.content_type)
+        assert response.status == 200
+        result = codec.decode_response(response.body_bytes()).unwrap()
+        assert "system.list_methods" in result
+
+    def test_garbage_body_produces_parse_fault(self, server):
+        response = rpc_post(server, b"complete garbage", content_type="text/plain")
+        decoded = XMLRPCCodec().decode_response(response.body_bytes())
+        assert decoded.is_fault and decoded.fault.code == FaultCode.PARSE_ERROR
+
+    def test_malformed_xml_produces_parse_fault(self, server):
+        response = rpc_post(server, b"<?xml version='1.0'?><methodCall><broken>")
+        decoded = XMLRPCCodec().decode_response(response.body_bytes())
+        assert decoded.is_fault and decoded.fault.code == FaultCode.PARSE_ERROR
+
+    def test_jsonrpc_call_id_echoed(self, server):
+        codec = JSONRPCCodec()
+        body = codec.encode_request(RPCRequest("system.ping", call_id=42))
+        response = rpc_post(server, body, content_type="application/json")
+        decoded = codec.decode_response(response.body_bytes())
+        assert decoded.call_id == 42 and decoded.result == "pong"
+
+
+class TestAccessChecks:
+    def test_unknown_method_fault(self, client):
+        with pytest.raises(Fault) as excinfo:
+            client.call("nothing.here")
+        assert excinfo.value.code == FaultCode.NOT_FOUND
+
+    def test_protected_method_requires_session(self, anon_client):
+        with pytest.raises(Fault) as excinfo:
+            anon_client.call("file.ls", "/")
+        assert excinfo.value.code == FaultCode.AUTHENTICATION_REQUIRED
+
+    def test_anonymous_methods_allowed_without_session(self, anon_client):
+        assert anon_client.call("system.ping") == "pong"
+        assert isinstance(anon_client.call("system.list_methods"), list)
+
+    def test_anonymous_calls_rejected_when_disabled(self, ca, host_credential):
+        server = build_server(ca, host_credential, allow_anonymous_system_calls=False)
+        try:
+            client = ClarensClient.for_loopback(server.loopback())
+            with pytest.raises(Fault) as excinfo:
+                client.call("system.ping")
+            assert excinfo.value.code == FaultCode.AUTHENTICATION_REQUIRED
+        finally:
+            server.close()
+
+    def test_bogus_session_id_rejected(self, server):
+        body = XMLRPCCodec().encode_request(RPCRequest("system.whoami"))
+        response = rpc_post(server, body, session_id="f" * 32)
+        decoded = XMLRPCCodec().decode_response(response.body_bytes())
+        assert decoded.is_fault and decoded.fault.code == FaultCode.SESSION_EXPIRED
+
+    def test_tls_client_dn_bypasses_session_requirement(self, server, alice_credential):
+        body = XMLRPCCodec().encode_request(RPCRequest("system.whoami"))
+        dn = str(alice_credential.certificate.subject)
+        response = rpc_post(server, body, client_dn=dn)
+        decoded = XMLRPCCodec().decode_response(response.body_bytes()).unwrap()
+        assert decoded["dn"] == dn
+
+    def test_acl_denial_produces_access_denied_fault(self, server, admin_client, client):
+        from repro.acl.model import ACL
+
+        admin_client.call("acl.set_method_acl", "file",
+                          ACL(order="allow,deny", dns_allowed=["/O=nobody/CN=none"]).to_record())
+        with pytest.raises(Fault) as excinfo:
+            client.call("file.ls", "/")
+        assert excinfo.value.code == FaultCode.ACCESS_DENIED
+        # system methods remain reachable: the denial was scoped to "file".
+        assert client.call("system.ping") == "pong"
+
+    def test_access_checks_zero_skips_session_validation(self, ca, host_credential):
+        server = build_server(ca, host_credential, access_checks_per_request=0)
+        try:
+            client = ClarensClient.for_loopback(server.loopback())
+            # Normally protected (requires authentication); with checks disabled
+            # the call goes straight to the method, which then sees no DN.
+            result = client.call("system.whoami")
+            assert result["authenticated"] is False
+        finally:
+            server.close()
+
+    def test_invalid_params_fault(self, client):
+        with pytest.raises(Fault) as excinfo:
+            client.call("system.method_help")  # missing required argument
+        assert excinfo.value.code == FaultCode.INVALID_PARAMS
+
+
+class TestStats:
+    def test_dispatcher_counts_requests_and_faults(self, server, client):
+        before = server.dispatcher.stats_snapshot()
+        client.call("system.ping")
+        try:
+            client.call("no.such.method")
+        except Fault:
+            pass
+        after = server.dispatcher.stats_snapshot()
+        assert after["requests"] >= before["requests"] + 2
+        assert after["faults"] >= before["faults"] + 1
+        assert after["per_method"]["system.ping"] >= 1
+
+    def test_stats_method_requires_admin(self, client, admin_client):
+        with pytest.raises(Fault):
+            client.call("system.stats")
+        stats = admin_client.call("system.stats")
+        assert "requests" in stats and stats["requests"] > 0
+
+    def test_mean_latency_reported(self, server, client):
+        client.call("system.ping")
+        snapshot = server.dispatcher.stats_snapshot()
+        assert snapshot["mean_latency_ms"] >= 0.0

@@ -1,0 +1,117 @@
+"""The system service: introspection, login methods, housekeeping."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.protocols.errors import Fault
+
+from tests.conftest import ADMIN_DN
+
+
+class TestIntrospection:
+    def test_list_methods_has_more_than_thirty_entries(self, anon_client):
+        # The paper's measured response serializes "more than 30 strings".
+        methods = anon_client.call("system.list_methods")
+        assert len(methods) > 30
+        assert methods == sorted(methods)
+        assert "system.list_methods" in methods and "file.read" in methods
+
+    def test_list_services_covers_all_standard_modules(self, anon_client):
+        services = set(anon_client.call("system.list_services"))
+        assert {"system", "vo", "acl", "file", "discovery", "shell", "proxy", "job"} <= services
+
+    def test_method_signature_and_help(self, anon_client):
+        assert "filename" in anon_client.call("system.method_signature", "file.read")
+        assert "Read" in anon_client.call("system.method_help", "file.read")
+
+    def test_method_signature_unknown_method(self, anon_client):
+        with pytest.raises(Fault):
+            anon_client.call("system.method_signature", "nope.nothing")
+
+    def test_describe_methods_metadata(self, anon_client):
+        entries = {e["name"]: e for e in anon_client.call("system.describe_methods")}
+        assert entries["system.list_methods"]["anonymous"] is True
+        assert entries["file.read"]["anonymous"] is False
+        assert entries["file.read"]["service"] == "file"
+
+    def test_lookup_method_requires_auth(self, anon_client, client):
+        with pytest.raises(Fault):
+            anon_client.call("system.lookup_method", "system.ping")
+        assert client.call("system.lookup_method", "system.ping")["name"] == "system.ping"
+
+    def test_server_info(self, anon_client, server):
+        info = anon_client.call("system.server_info")
+        assert info["server_name"] == server.config.server_name
+        assert set(info["protocols"]) == {"xml-rpc", "soap", "json-rpc"}
+
+    def test_echo_round_trips_structures(self, anon_client):
+        payload = {"run": 2005, "files": ["a.root", "b.root"], "raw": b"\x00\x01"}
+        assert anon_client.call("system.echo", payload) == payload
+
+    def test_ping_version_time(self, anon_client):
+        assert anon_client.call("system.ping") == "pong"
+        assert anon_client.call("system.version") == "1.0.0"
+        assert anon_client.call("system.get_time") > 0
+
+
+class TestSessions:
+    def test_whoami_reports_dn_and_groups(self, client, alice_credential):
+        info = client.call("system.whoami")
+        assert info["dn"] == str(alice_credential.certificate.subject)
+        assert info["authenticated"] is True
+
+    def test_renew_session_extends_expiry(self, client):
+        first = client.call("system.renew_session")
+        second = client.call("system.renew_session")
+        assert second["expires"] >= first["expires"]
+
+    def test_logout_invalidates_session(self, server, loopback, alice_credential):
+        from repro.client.client import ClarensClient
+
+        client = ClarensClient.for_loopback(loopback)
+        client.login_with_credential(alice_credential)
+        session_id = client.session_id
+        assert client.logout() is True
+        client.session_id = session_id  # simulate a stale client reusing the id
+        with pytest.raises(Fault):
+            client.call("system.whoami")
+
+    def test_session_count_and_purge_admin_only(self, client, admin_client):
+        with pytest.raises(Fault):
+            client.call("system.session_count")
+        count = admin_client.call("system.session_count")
+        assert count >= 2  # alice + admin
+        assert admin_client.call("system.purge_sessions") >= 0
+
+    def test_double_login_creates_independent_sessions(self, server, loopback, alice_credential):
+        from repro.client.client import ClarensClient
+
+        c1 = ClarensClient.for_loopback(loopback)
+        c2 = ClarensClient.for_loopback(loopback)
+        c1.login_with_credential(alice_credential)
+        c2.login_with_credential(alice_credential)
+        assert c1.session_id != c2.session_id
+        c1.logout()
+        # c2's session is unaffected by c1 logging out.
+        assert c2.call("system.whoami")["authenticated"] is True
+
+
+class TestAdminBootstrap:
+    def test_admin_dn_comes_from_config(self, server):
+        assert server.vo.is_admin(ADMIN_DN)
+        assert not server.vo.is_admin("/O=clarens.test/OU=People/CN=Alice Adams")
+
+    def test_admin_group_repopulated_on_restart(self, ca, host_credential, tmp_path):
+        from tests.conftest import build_server
+
+        first = build_server(ca, host_credential, data_dir=tmp_path / "state",
+                             admins=["/O=clarens.test/OU=People/CN=Old Admin"])
+        first.close()
+        second = build_server(ca, host_credential, data_dir=tmp_path / "state",
+                              admins=["/O=clarens.test/OU=People/CN=New Admin"])
+        try:
+            assert second.vo.is_admin("/O=clarens.test/OU=People/CN=New Admin")
+            assert not second.vo.is_admin("/O=clarens.test/OU=People/CN=Old Admin")
+        finally:
+            second.close()

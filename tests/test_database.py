@@ -1,0 +1,322 @@
+"""The embedded database: tables, indexes, queries, persistence, locks."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.database import (
+    Database,
+    DuplicateKeyError,
+    RecordNotFoundError,
+    Table,
+    TableNotFoundError,
+)
+from repro.database.errors import JournalCorruptError
+from repro.database.locks import RWLock
+from repro.database.persistence import SnapshotJournal
+
+
+class TestTableBasics:
+    def test_insert_and_get_returns_copy(self):
+        table = Table("t")
+        table.insert("a", {"x": 1})
+        record = table.get("a")
+        record["x"] = 99
+        assert table.get("a")["x"] == 1
+
+    def test_duplicate_insert_rejected_unless_overwrite(self):
+        table = Table("t")
+        table.insert("a", {"x": 1})
+        with pytest.raises(DuplicateKeyError):
+            table.insert("a", {"x": 2})
+        table.insert("a", {"x": 2}, overwrite=True)
+        assert table.get("a")["x"] == 2
+
+    def test_get_missing_raises_or_defaults(self):
+        table = Table("t")
+        with pytest.raises(RecordNotFoundError):
+            table.get("missing")
+        assert table.get("missing", None) is None
+
+    def test_update_merges_fields(self):
+        table = Table("t")
+        table.insert("a", {"x": 1, "y": 2})
+        updated = table.update("a", {"y": 3, "z": 4})
+        assert updated == {"x": 1, "y": 3, "z": 4}
+        with pytest.raises(RecordNotFoundError):
+            table.update("missing", {"x": 1})
+
+    def test_delete_and_contains(self):
+        table = Table("t")
+        table.insert("a", {"x": 1})
+        assert "a" in table
+        assert table.delete("a")
+        assert not table.delete("a")
+        assert "a" not in table
+
+    def test_clear_len_iter(self):
+        table = Table("t")
+        for i in range(5):
+            table.insert(str(i), {"i": i})
+        assert len(table) == 5
+        assert sorted(table) == [str(i) for i in range(5)]
+        table.clear()
+        assert len(table) == 0
+
+    def test_keys_all_items(self):
+        table = Table("t")
+        table.insert("a", {"x": 1})
+        table.insert("b", {"x": 2})
+        assert sorted(table.keys()) == ["a", "b"]
+        assert {r["x"] for r in table.all()} == {1, 2}
+        assert dict(table.items())["b"] == {"x": 2}
+
+
+class TestQueriesAndIndexes:
+    def make_table(self, indexed: bool) -> Table:
+        table = Table("sessions")
+        if indexed:
+            table.create_index("dn")
+        for i in range(20):
+            table.insert(f"s{i}", {"dn": f"/O=x/CN=user{i % 4}", "seq": i})
+        return table
+
+    @pytest.mark.parametrize("indexed", [True, False])
+    def test_find_by_equality(self, indexed):
+        table = self.make_table(indexed)
+        rows = table.find(dn="/O=x/CN=user1")
+        assert len(rows) == 5
+        assert all(r["dn"] == "/O=x/CN=user1" for r in rows)
+
+    def test_find_with_predicate(self):
+        table = self.make_table(False)
+        rows = table.find(lambda r: r["seq"] >= 15)
+        assert {r["seq"] for r in rows} == {15, 16, 17, 18, 19}
+
+    def test_find_one(self):
+        table = self.make_table(True)
+        assert table.find_one(dn="/O=x/CN=user2") is not None
+        assert table.find_one(dn="/O=x/CN=nobody") is None
+
+    def test_lookup_uses_index_after_updates(self):
+        table = self.make_table(True)
+        table.update("s0", {"dn": "/O=x/CN=moved"})
+        assert {r["seq"] for r in table.lookup("dn", "/O=x/CN=moved")} == {0}
+        assert all(r["seq"] != 0 for r in table.lookup("dn", "/O=x/CN=user0"))
+
+    def test_index_removed_on_delete(self):
+        table = self.make_table(True)
+        table.delete("s4")
+        assert all(r["seq"] != 4 for r in table.lookup("dn", "/O=x/CN=user0"))
+
+    def test_unique_index_violation(self):
+        table = Table("methods")
+        table.create_index("name", unique=True)
+        table.insert("1", {"name": "system.echo"})
+        with pytest.raises(DuplicateKeyError):
+            table.insert("2", {"name": "system.echo"})
+
+    def test_index_created_after_inserts_is_built(self):
+        table = Table("t")
+        table.insert("a", {"group": "g1"})
+        table.insert("b", {"group": "g2"})
+        table.create_index("group")
+        assert len(table.lookup("group", "g1")) == 1
+
+    def test_index_on_list_valued_field(self):
+        table = Table("t")
+        table.create_index("tags")
+        table.insert("a", {"tags": ["x", "y"]})
+        assert table.lookup("tags", ["x", "y"])[0]["tags"] == ["x", "y"]
+
+
+class TestDatabaseEngine:
+    def test_table_created_on_demand(self):
+        db = Database()
+        table = db.table("sessions")
+        assert "sessions" in db
+        assert db.table("sessions") is table
+
+    def test_table_not_found_when_create_false(self):
+        db = Database()
+        with pytest.raises(TableNotFoundError):
+            db.table("nope", create=False)
+
+    def test_drop_table(self, tmp_path):
+        db = Database(tmp_path)
+        db.table("temp").insert("a", {"x": 1})
+        assert db.drop_table("temp")
+        assert not db.drop_table("temp")
+        assert not (tmp_path / "temp").exists()
+
+    def test_persistent_flag(self, tmp_path):
+        assert Database(tmp_path).persistent
+        assert not Database().persistent
+
+    def test_context_manager_closes(self, tmp_path):
+        with Database(tmp_path) as db:
+            db.table("t").insert("a", {"x": 1})
+        reopened = Database(tmp_path)
+        assert reopened.table("t").get("a") == {"x": 1}
+
+
+class TestPersistence:
+    def test_data_survives_reopen(self, tmp_path):
+        db = Database(tmp_path)
+        db.table("sessions").insert("s1", {"dn": "/O=x/CN=a", "expires": 1.5})
+        db.close()
+        db2 = Database(tmp_path)
+        assert db2.table("sessions").get("s1") == {"dn": "/O=x/CN=a", "expires": 1.5}
+
+    def test_journal_replay_without_checkpoint(self, tmp_path):
+        db = Database(tmp_path, checkpoint_every=10_000)
+        table = db.table("t")
+        for i in range(25):
+            table.put(str(i), {"i": i})
+        table.delete("3")
+        # No close/checkpoint: reopening must replay the journal.
+        db2 = Database(tmp_path, checkpoint_every=10_000)
+        t2 = db2.table("t")
+        assert len(t2) == 24
+        assert "3" not in t2
+
+    def test_checkpoint_truncates_journal(self, tmp_path):
+        journal = SnapshotJournal(tmp_path / "t", checkpoint_every=5)
+        for i in range(12):
+            journal.log_put(str(i), {"i": i}, lambda: {str(j): {"i": j} for j in range(i + 1)})
+        # After the automatic checkpoints the journal holds < 5 entries.
+        lines = (tmp_path / "t" / "journal.jsonl").read_text().splitlines()
+        assert len(lines) < 5
+        assert json.loads((tmp_path / "t" / "snapshot.json").read_text())
+
+    def test_torn_final_journal_line_tolerated(self, tmp_path):
+        journal = SnapshotJournal(tmp_path / "t", checkpoint_every=10_000)
+        journal.log_put("a", {"x": 1}, dict)
+        journal.log_put("b", {"x": 2}, dict)
+        journal.close()
+        with (tmp_path / "t" / "journal.jsonl").open("a") as fh:
+            fh.write('{"op": "put", "key": "c", "record": {"x":')  # torn write
+        loaded = SnapshotJournal(tmp_path / "t").load()
+        assert set(loaded) == {"a", "b"}
+
+    def test_corrupt_mid_journal_raises(self, tmp_path):
+        journal = SnapshotJournal(tmp_path / "t", checkpoint_every=10_000)
+        journal.log_put("a", {"x": 1}, dict)
+        journal.close()
+        path = tmp_path / "t" / "journal.jsonl"
+        path.write_text("GARBAGE\n" + path.read_text())
+        with pytest.raises(JournalCorruptError):
+            SnapshotJournal(tmp_path / "t").load()
+
+    def test_unknown_journal_op_raises(self, tmp_path):
+        directory = tmp_path / "t"
+        directory.mkdir()
+        (directory / "journal.jsonl").write_text('{"op": "frobnicate", "key": "a"}\n')
+        with pytest.raises(JournalCorruptError):
+            SnapshotJournal(directory).load()
+
+    def test_clear_is_journaled(self, tmp_path):
+        db = Database(tmp_path, checkpoint_every=10_000)
+        table = db.table("t")
+        table.insert("a", {"x": 1})
+        table.clear()
+        db2 = Database(tmp_path, checkpoint_every=10_000)
+        assert len(db2.table("t")) == 0
+
+
+class TestConcurrency:
+    def test_parallel_inserts_all_land(self):
+        table = Table("t")
+        errors = []
+
+        def worker(start: int) -> None:
+            try:
+                for i in range(start, start + 100):
+                    table.insert(str(i), {"i": i})
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(i * 100,)) for i in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert len(table) == 800
+
+    def test_rwlock_allows_concurrent_readers(self):
+        lock = RWLock()
+        active = []
+        barrier = threading.Barrier(4)
+
+        def reader() -> None:
+            with lock.read():
+                barrier.wait(timeout=5)
+                active.append(1)
+
+        threads = [threading.Thread(target=reader) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(active) == 4
+
+    def test_rwlock_writer_exclusive(self):
+        lock = RWLock()
+        order = []
+
+        def writer(tag: str) -> None:
+            with lock.write():
+                order.append(f"{tag}-start")
+                order.append(f"{tag}-end")
+
+        threads = [threading.Thread(target=writer, args=(str(i),)) for i in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        # Starts and ends must alternate (no interleaving inside the lock).
+        for i in range(0, len(order), 2):
+            assert order[i].split("-")[0] == order[i + 1].split("-")[0]
+
+
+# -- property-based -------------------------------------------------------------
+
+_record_st = st.dictionaries(
+    keys=st.text(st.characters(whitelist_categories=("L", "N")), min_size=1, max_size=8),
+    values=st.one_of(st.integers(-1000, 1000), st.text(max_size=12), st.booleans(),
+                     st.floats(allow_nan=False, allow_infinity=False)),
+    max_size=5,
+)
+
+
+@settings(deadline=None, max_examples=40)
+@given(st.dictionaries(st.text(min_size=1, max_size=6), _record_st, max_size=20))
+def test_table_reflects_last_write(records):
+    table = Table("prop")
+    for key, record in records.items():
+        table.put(key, record)
+    assert len(table) == len(records)
+    for key, record in records.items():
+        assert table.get(key) == record
+
+
+@settings(deadline=None, max_examples=25)
+@given(st.lists(st.tuples(st.sampled_from(["put", "delete"]),
+                          st.sampled_from(["a", "b", "c", "d"]),
+                          st.integers(0, 100)), max_size=40))
+def test_table_matches_reference_dict(operations):
+    table = Table("prop")
+    reference: dict[str, dict] = {}
+    for op, key, value in operations:
+        if op == "put":
+            table.put(key, {"v": value})
+            reference[key] = {"v": value}
+        else:
+            table.delete(key)
+            reference.pop(key, None)
+    assert {k: table.get(k) for k in table.keys()} == reference

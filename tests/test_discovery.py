@@ -1,0 +1,151 @@
+"""Service discovery: descriptors, the registry, publication, and the RPC service."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.discovery.model import ServiceDescriptor
+from repro.discovery.publisher import ServicePublisher
+from repro.discovery.registry import DiscoveryRegistry
+from repro.monitoring.bus import MessageBus
+from repro.monitoring.monalisa import MonALISARepository
+from repro.monitoring.station import StationServer
+from repro.protocols.errors import Fault
+
+
+def descriptor(name="clarens-a", url="http://a/clarens/rpc", services=("system", "file"),
+               ttl=300.0, **attrs) -> ServiceDescriptor:
+    return ServiceDescriptor(name=name, url=url, services=list(services),
+                             methods=[f"{s}.ping" for s in services],
+                             attributes=dict(attrs), ttl=ttl)
+
+
+class TestServiceDescriptor:
+    def test_record_round_trip(self):
+        original = descriptor(vo="cms")
+        restored = ServiceDescriptor.from_record(original.to_record())
+        assert restored.name == original.name
+        assert restored.attributes == {"vo": "cms"}
+        assert restored.offers_module("file") and not restored.offers_module("job")
+
+    def test_expiry_and_refresh(self):
+        d = descriptor(ttl=0.01)
+        time.sleep(0.02)
+        assert d.is_expired()
+        d.refresh()
+        assert not d.is_expired()
+
+
+class TestDiscoveryRegistry:
+    def test_register_find_deregister(self):
+        registry = DiscoveryRegistry()
+        registry.register(descriptor("a", "http://a/rpc", ("system", "file")))
+        registry.register(descriptor("b", "http://b/rpc", ("system", "job")))
+        assert registry.count() == 2
+        assert [d.name for d in registry.find(module="file")] == ["a"]
+        assert [d.name for d in registry.find(method="job.ping")] == ["b"]
+        assert registry.deregister("a") == 1
+        assert registry.count() == 1
+
+    def test_find_by_attributes_and_protocol(self):
+        registry = DiscoveryRegistry()
+        registry.register(descriptor("a", vo="cms"))
+        registry.register(descriptor("b", url="http://b/rpc", vo="atlas"))
+        assert [d.name for d in registry.find(attributes={"vo": "cms"})] == ["a"]
+        assert len(registry.find(protocol="xml-rpc")) == 2
+        assert registry.find(protocol="corba") == []
+
+    def test_expired_descriptors_disappear(self):
+        registry = DiscoveryRegistry()
+        registry.register(descriptor("ephemeral", ttl=0.01))
+        registry.register(descriptor("stable", url="http://s/rpc", ttl=300))
+        time.sleep(0.02)
+        assert [d.name for d in registry.all()] == ["stable"]
+
+    def test_reregistration_refreshes_ttl(self):
+        registry = DiscoveryRegistry()
+        registry.register(descriptor("a", ttl=0.05))
+        time.sleep(0.03)
+        registry.register(descriptor("a", ttl=0.05))
+        time.sleep(0.03)
+        assert registry.count() == 1  # still alive thanks to the refresh
+
+    def test_lookup_url_prefers_most_recent(self):
+        registry = DiscoveryRegistry()
+        old = descriptor("svc", url="http://old/rpc")
+        old.published_at = time.time() - 100
+        registry.register(old)
+        registry.register(descriptor("svc", url="http://new/rpc"))
+        assert registry.lookup_url(module="file") == "http://new/rpc"
+        assert registry.lookup_url(module="does-not-exist") is None
+
+    def test_refresh_named_registration(self):
+        registry = DiscoveryRegistry()
+        registry.register(descriptor("a", url="http://a/rpc", ttl=10))
+        assert registry.refresh("a", "http://a/rpc")
+        assert not registry.refresh("missing", "http://x/rpc")
+
+    def test_sync_from_monitoring_repository(self):
+        bus = MessageBus()
+        repo = MonALISARepository(bus)
+        station = StationServer("st", bus)
+        station.receive_service_info(descriptor("published", url="http://p/rpc").to_record(),
+                                     reliable=True)
+        registry = DiscoveryRegistry(repository=repo)
+        assert registry.sync_from_repository() == 1
+        assert registry.lookup_url(name="published") == "http://p/rpc"
+
+
+class TestServicePublisher:
+    def test_publish_once_reaches_repository(self):
+        bus = MessageBus()
+        repo = MonALISARepository(bus)
+        station = StationServer("st", bus)
+        publisher = ServicePublisher(station, lambda: descriptor("pub", url="http://pub/rpc"),
+                                     reliable=True)
+        record = publisher.publish_once()
+        assert record["name"] == "pub"
+        assert repo.find_services(name="pub")
+        assert publisher.publications == 1
+
+    def test_background_publication(self):
+        bus = MessageBus()
+        station = StationServer("st", bus)
+        publisher = ServicePublisher(station, lambda: descriptor("bg"), interval=0.02,
+                                     reliable=True)
+        with publisher:
+            time.sleep(0.06)
+        assert publisher.publications >= 2
+
+
+class TestDiscoveryService:
+    def test_server_registers_itself_on_start(self, anon_client, server):
+        servers = anon_client.call("discovery.list_servers")
+        assert any(d["name"] == server.config.server_name for d in servers)
+        assert anon_client.call("discovery.count") >= 1
+
+    def test_register_and_lookup_over_rpc(self, client):
+        client.call("discovery.register", descriptor("remote-1", url="http://r1/rpc",
+                                                      services=("system", "job")).to_record())
+        assert client.call("discovery.lookup", "job", "", "") == "http://r1/rpc"
+        # Both the hosting server (it offers "job" too) and the new registration
+        # match a module query; the freshly registered one must be among them.
+        found = client.call("discovery.find", "", "job", "", "")
+        assert "remote-1" in {d["name"] for d in found}
+        assert client.call("discovery.find", "remote-1", "", "", "")[0]["url"] == "http://r1/rpc"
+        assert client.call("discovery.deregister", "remote-1", "") == 1
+
+    def test_lookup_returns_empty_string_when_absent(self, anon_client):
+        assert anon_client.call("discovery.lookup", "nonexistent-module", "", "") == ""
+
+    def test_registration_requires_authentication(self, anon_client):
+        with pytest.raises(Fault):
+            anon_client.call("discovery.register", descriptor().to_record())
+
+    def test_sync_and_purge_require_admin(self, client, admin_client):
+        with pytest.raises(Fault):
+            client.call("discovery.sync")
+        assert admin_client.call("discovery.sync") == 0  # no monitor attached
+        assert admin_client.call("discovery.purge") >= 0

@@ -1,0 +1,195 @@
+"""Failure injection: malformed inputs, forged credentials, corrupted state.
+
+These tests check that the framework degrades the way a production service
+must: bad input becomes a protocol fault or an HTTP error, forged or expired
+credentials are refused at the door, and damaged on-disk state is either
+tolerated (torn journal tail) or reported loudly (mid-journal corruption) —
+never silently misread.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.client.client import ClarensClient
+from repro.core.dispatch import SESSION_HEADER
+from repro.httpd.message import Headers, HTTPRequest
+from repro.pki.authority import CertificateAuthority
+from repro.pki.proxy import issue_proxy
+from repro.protocols import XMLRPCCodec
+from repro.protocols.errors import Fault, FaultCode
+from repro.protocols.types import RPCRequest
+
+from tests.conftest import build_server
+
+
+class TestMalformedRequests:
+    @pytest.mark.parametrize("body", [
+        b"", b"{", b"<xml but not rpc/>", b"\xff\xfe garbage bytes", b"GET / HTTP/1.0",
+        b'{"jsonrpc": "2.0"}',
+    ])
+    def test_bad_bodies_become_faults_not_crashes(self, server, body):
+        from repro.protocols.negotiate import all_codecs
+
+        request = HTTPRequest(method="POST", path=server.config.rpc_path(),
+                              headers=Headers({"Content-Type": "text/xml"}), body=body)
+        response = server.handle_request(request)
+        assert response.status == 200
+        # The fault body is encoded with whichever codec the sniffer chose;
+        # exactly one of the codecs must decode it to a fault.
+        decoded = None
+        for codec in all_codecs():
+            try:
+                decoded = codec.decode_response(response.body_bytes())
+                break
+            except Exception:  # noqa: BLE001 - other codecs simply do not apply
+                continue
+        assert decoded is not None and decoded.is_fault
+
+    def test_wrong_http_method_on_rpc_endpoint(self, server):
+        request = HTTPRequest(method="GET", path=server.config.rpc_path())
+        assert server.handle_request(request).status == 405
+
+    def test_unrouted_path_404(self, server):
+        assert server.handle_request(HTTPRequest(path="/cgi-bin/blah")).status == 404
+
+    def test_oversized_parameters_still_handled(self, client):
+        # A 1 MiB string round-trips (slow path, but no failure).
+        blob = "x" * (1 << 20)
+        assert client.call("system.echo", blob) == blob
+
+    def test_wrong_parameter_types_become_invalid_params(self, client):
+        with pytest.raises(Fault) as excinfo:
+            client.call("file.read", 12345, "not-an-offset", None)
+        assert excinfo.value.code in (FaultCode.INVALID_PARAMS, FaultCode.INTERNAL_ERROR,
+                                      FaultCode.NOT_FOUND)
+
+
+class TestForgedCredentials:
+    def test_certificate_from_unknown_ca_rejected(self, server, loopback):
+        rogue_ca = CertificateAuthority("/O=clarens.test/CN=Rogue CA", key_bits=512)
+        mallory = rogue_ca.issue_user("Mallory")
+        client = ClarensClient.for_loopback(loopback)
+        with pytest.raises(Fault) as excinfo:
+            client.login_with_credential(mallory)
+        assert excinfo.value.code == FaultCode.AUTHENTICATION_REQUIRED
+
+    def test_signature_from_wrong_key_rejected(self, server, loopback, alice_credential,
+                                               bob_credential):
+        client = ClarensClient.for_loopback(loopback)
+        dn = str(alice_credential.certificate.subject)
+        nonce = client.call("system.get_challenge", dn)
+        forged_signature = bob_credential.private_key.sign(nonce.encode())
+        chain = [cert.to_dict() for cert in alice_credential.full_chain()]
+        with pytest.raises(Fault):
+            client.call("system.auth", dn, format(forged_signature, "x"), chain)
+
+    def test_expired_proxy_login_rejected(self, server, loopback, alice_credential):
+        import time
+
+        proxy = issue_proxy(alice_credential, lifetime=0.001)
+        time.sleep(0.01)
+        client = ClarensClient.for_loopback(loopback)
+        with pytest.raises(Fault):
+            client.login_with_proxy(proxy)
+
+    def test_revoked_user_cannot_authenticate(self, ca, host_credential):
+        server = build_server(ca, host_credential)
+        try:
+            victim = ca.issue_user("Revoked Victim")
+            ca.revoke(victim.certificate)
+            server.authenticator.revoked_serials = ca.crl()
+            client = ClarensClient.for_loopback(server.loopback())
+            with pytest.raises(Fault):
+                client.login_with_credential(victim)
+        finally:
+            server.close()
+
+    def test_malformed_signature_hex_rejected(self, server, loopback, alice_credential):
+        client = ClarensClient.for_loopback(loopback)
+        dn = str(alice_credential.certificate.subject)
+        client.call("system.get_challenge", dn)
+        chain = [cert.to_dict() for cert in alice_credential.full_chain()]
+        with pytest.raises(Fault):
+            client.call("system.auth", dn, "not-hex!!", chain)
+
+    def test_malformed_chain_payload_rejected(self, server, loopback, alice_credential):
+        client = ClarensClient.for_loopback(loopback)
+        dn = str(alice_credential.certificate.subject)
+        nonce = client.call("system.get_challenge", dn)
+        signature = alice_credential.private_key.sign(nonce.encode())
+        with pytest.raises(Fault):
+            client.call("system.auth", dn, format(signature, "x"), [{"bogus": True}])
+
+    def test_stolen_session_header_of_logged_out_user(self, server, loopback,
+                                                      alice_credential):
+        client = ClarensClient.for_loopback(loopback)
+        client.login_with_credential(alice_credential)
+        stolen = client.session_id
+        client.logout()
+        body = XMLRPCCodec().encode_request(RPCRequest("system.whoami"))
+        request = HTTPRequest(method="POST", path=server.config.rpc_path(),
+                              headers=Headers({"Content-Type": "text/xml",
+                                               SESSION_HEADER: stolen}), body=body)
+        decoded = XMLRPCCodec().decode_response(server.handle_request(request).body_bytes())
+        assert decoded.is_fault and decoded.fault.code == FaultCode.SESSION_EXPIRED
+
+
+class TestServiceMisuse:
+    def test_path_traversal_via_rpc_rejected(self, client):
+        with pytest.raises(Fault):
+            client.call("file.read", "/../../../etc/passwd", 0, 100)
+
+    def test_path_traversal_via_get_rejected(self, client):
+        response = client.http_get("../../etc/passwd")
+        assert response.status in (403, 404)
+
+    def test_shell_cannot_run_arbitrary_binaries(self, admin_client):
+        result = admin_client.call("shell.cmd", "bash -c 'rm -rf /'")
+        assert result["exit_code"] == 127
+
+    def test_non_admin_cannot_grant_themselves_access(self, client):
+        from repro.acl.model import ACL
+
+        with pytest.raises(Fault) as excinfo:
+            client.call("acl.set_method_acl", "system", ACL.allow_all().to_record())
+        assert excinfo.value.code == FaultCode.ACCESS_DENIED
+
+    def test_vo_escalation_blocked(self, client):
+        with pytest.raises(Fault):
+            client.call("vo.add_member", "admins", "/O=clarens.test/OU=People/CN=Alice Adams")
+
+
+class TestCorruptedState:
+    def test_server_starts_with_torn_journal_tail(self, ca, host_credential, tmp_path):
+        data_dir = tmp_path / "state"
+        server = build_server(ca, host_credential, data_dir=data_dir)
+        server.sessions.create("/O=clarens.test/CN=survivor")
+        server.close()
+        # Simulate a crash mid-write on the sessions journal.
+        journal = data_dir / "sessions" / "journal.jsonl"
+        with journal.open("a") as fh:
+            fh.write('{"op": "put", "key": "torn", "record": {"dn"')
+        reopened = build_server(ca, host_credential, data_dir=data_dir)
+        try:
+            assert reopened.sessions.count() == 1
+        finally:
+            reopened.close()
+
+    def test_worker_exception_does_not_kill_server(self, server, client):
+        # Register a method that raises; the dispatcher must fault, then keep serving.
+        server.registry.register("broken.method", lambda: 1 / 0, service="broken")
+        with pytest.raises(Fault) as excinfo:
+            client.call("broken.method")
+        assert excinfo.value.code == FaultCode.INTERNAL_ERROR
+        assert client.call("system.ping") == "pong"
+
+    def test_discovery_lease_expiry_removes_moved_services(self, client):
+        from repro.discovery.model import ServiceDescriptor
+        import time
+
+        client.call("discovery.register", ServiceDescriptor(
+            name="flaky", url="http://flaky/rpc", services=["system"], ttl=0.05).to_record())
+        assert client.call("discovery.lookup", "", "", "flaky") == "http://flaky/rpc"
+        time.sleep(0.06)
+        assert client.call("discovery.lookup", "", "", "flaky") == ""

@@ -1,0 +1,205 @@
+"""Remote file access: the VFS, the RPC methods, and the GET/sendfile path."""
+
+from __future__ import annotations
+
+import hashlib
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.acl.model import ACL
+from repro.fileservice.vfs import VFSError, VirtualFileSystem
+from repro.protocols.errors import Fault, FaultCode
+
+
+@pytest.fixture()
+def vfs(tmp_path):
+    root = tmp_path / "vroot"
+    (root / "data" / "cms").mkdir(parents=True)
+    (root / "data" / "cms" / "run1.root").write_bytes(b"event" * 1000)
+    (root / "data" / "cms" / "run2.root").write_bytes(b"other" * 500)
+    (root / "readme.txt").write_text("hello grid\n")
+    return VirtualFileSystem(root)
+
+
+class TestVFS:
+    def test_read_full_and_with_offset(self, vfs):
+        assert vfs.read("/readme.txt") == b"hello grid\n"
+        assert vfs.read("/readme.txt", 6, 4) == b"grid"
+        assert vfs.read("/readme.txt", 6, -1) == b"grid\n"
+
+    def test_read_past_eof_returns_empty(self, vfs):
+        assert vfs.read("/readme.txt", 10_000, 10) == b""
+
+    def test_negative_offset_rejected(self, vfs):
+        with pytest.raises(VFSError):
+            vfs.read("/readme.txt", -1, 10)
+
+    def test_read_directory_rejected(self, vfs):
+        with pytest.raises(VFSError):
+            vfs.read("/data")
+
+    def test_path_escape_refused(self, vfs):
+        for attempt in ("../secrets", "/../../etc/passwd", "/data/../../x",
+                        "data/cms/../../../../etc/shadow"):
+            with pytest.raises(VFSError):
+                vfs.resolve(attempt)
+
+    def test_listdir_entries(self, vfs):
+        names = {e["name"]: e for e in vfs.listdir("/data/cms")}
+        assert set(names) == {"run1.root", "run2.root"}
+        assert names["run1.root"]["type"] == "file"
+        assert names["run1.root"]["size"] == 5000
+        root_entries = {e["name"]: e["type"] for e in vfs.listdir("/")}
+        assert root_entries == {"data": "directory", "readme.txt": "file"}
+
+    def test_stat_fields(self, vfs):
+        info = vfs.stat("/data/cms/run1.root")
+        assert info["type"] == "file" and info["size"] == 5000
+        assert vfs.stat("/")["type"] == "directory"
+
+    def test_md5_matches_hashlib(self, vfs):
+        expected = hashlib.md5(b"event" * 1000).hexdigest()
+        assert vfs.md5("/data/cms/run1.root") == expected
+
+    def test_find_glob(self, vfs):
+        assert vfs.find("*.root") == ["/data/cms/run1.root", "/data/cms/run2.root"]
+        assert vfs.find("run1*", "/data") == ["/data/cms/run1.root"]
+        assert vfs.find("*.nothing") == []
+
+    def test_write_append_delete(self, vfs):
+        assert vfs.write("/out/result.txt", b"abc") == 3
+        assert vfs.write("/out/result.txt", b"def", append=True) == 3
+        assert vfs.read("/out/result.txt") == b"abcdef"
+        assert vfs.delete("/out/result.txt")
+        assert not vfs.exists("/out/result.txt")
+
+    def test_delete_directory_requires_recursive(self, vfs):
+        with pytest.raises(VFSError):
+            vfs.delete("/data")
+        assert vfs.delete("/data", recursive=True)
+        with pytest.raises(VFSError):
+            vfs.delete("/", recursive=True)
+
+    def test_copy(self, vfs):
+        vfs.copy("/readme.txt", "/copies/readme2.txt")
+        assert vfs.read("/copies/readme2.txt") == b"hello grid\n"
+
+    def test_mkdir(self, vfs):
+        assert vfs.mkdir("/new/deep/dir") == "/new/deep/dir"
+        assert vfs.stat("/new/deep/dir")["type"] == "directory"
+
+
+@pytest.fixture()
+def filled_server(server, admin_client):
+    """Write a small dataset into the running test server's file root."""
+
+    admin_client.call("file.mkdir", "/data/cms")
+    admin_client.call("file.write", "/data/cms/run1.root", b"event" * 1000, False)
+    admin_client.call("file.write", "/readme.txt", b"hello grid\n", False)
+    return server
+
+
+class TestFileServiceRPC:
+    def test_read_ls_stat_md5(self, filled_server, client):
+        assert client.call("file.read", "/data/cms/run1.root", 0, 10) == b"event" * 2
+        listing = client.call("file.ls", "/data/cms")
+        assert listing[0]["name"] == "run1.root"
+        assert client.call("file.stat", "/readme.txt")["size"] == 11
+        assert client.call("file.md5", "/readme.txt") == hashlib.md5(b"hello grid\n").hexdigest()
+        assert client.call("file.size", "/readme.txt") == 11
+        assert client.call("file.exists", "/readme.txt") is True
+        assert client.call("file.find", "*.root", "/") == ["/data/cms/run1.root"]
+
+    def test_read_caps_at_max_read_bytes(self, filled_server, admin_client, client):
+        filled_server.config.max_read_bytes = 100
+        data = client.call("file.read", "/data/cms/run1.root", 0, -1)
+        assert len(data) == 100
+
+    def test_missing_file_raises_not_found(self, filled_server, client):
+        with pytest.raises(Fault) as excinfo:
+            client.call("file.read", "/no/such/file.root", 0, 10)
+        assert excinfo.value.code == FaultCode.NOT_FOUND
+
+    def test_write_and_delete(self, filled_server, client):
+        client.call("file.write", "/scratch/notes.txt", b"note", False)
+        assert client.call("file.read", "/scratch/notes.txt", 0, -1) == b"note"
+        assert client.call("file.delete", "/scratch/notes.txt", False) is True
+
+    def test_anonymous_caller_denied(self, filled_server, anon_client):
+        with pytest.raises(Fault) as excinfo:
+            anon_client.call("file.read", "/readme.txt", 0, 10)
+        assert excinfo.value.code == FaultCode.AUTHENTICATION_REQUIRED
+
+    def test_file_acl_enforced_per_operation(self, filled_server, admin_client, client,
+                                             alice_credential, bob_credential):
+        alice_dn = str(alice_credential.certificate.subject)
+        admin_client.call("acl.set_file_acl", "/data",
+                          ACL(dns_allowed=[alice_dn]).to_record(),
+                          ACL(dns_allowed=["/O=clarens.test/OU=People/CN=Ada Admin"]).to_record())
+        # Alice can read but not write under /data.
+        assert client.call("file.read", "/data/cms/run1.root", 0, 4) == b"even"
+        with pytest.raises(Fault) as excinfo:
+            client.call("file.write", "/data/cms/new.root", b"x", False)
+        assert excinfo.value.code == FaultCode.ACCESS_DENIED
+
+    def test_acl_denies_other_vo_member(self, filled_server, admin_client, server, loopback,
+                                        alice_credential, bob_credential):
+        from repro.client.client import ClarensClient
+
+        alice_dn = str(alice_credential.certificate.subject)
+        admin_client.call("acl.set_file_acl", "/data",
+                          ACL(dns_allowed=[alice_dn]).to_record(),
+                          ACL(dns_allowed=[alice_dn]).to_record())
+        bob = ClarensClient.for_loopback(loopback)
+        bob.login_with_credential(bob_credential)
+        with pytest.raises(Fault) as excinfo:
+            bob.call("file.ls", "/data/cms")
+        assert excinfo.value.code == FaultCode.ACCESS_DENIED
+
+
+class TestFileGET:
+    def test_get_serves_file_with_headers(self, filled_server, client):
+        response = client.http_get("readme.txt")
+        assert response.status == 200
+        assert response.body_bytes() == b"hello grid\n"
+        assert response.headers.get("X-Clarens-File") == "/readme.txt"
+
+    def test_get_with_offset_and_length(self, filled_server, client):
+        response = client.http_get("readme.txt", query="offset=6&length=4")
+        assert response.body_bytes() == b"grid"
+
+    def test_get_directory_lists_entries(self, filled_server, client):
+        response = client.http_get("data")
+        assert b"/data/cms" in response.body_bytes()
+
+    def test_get_missing_file_is_xml_404(self, filled_server, client):
+        response = client.http_get("nothing/here.dat")
+        assert response.status == 404
+        assert response.headers.get("Content-Type") == "text/xml"
+
+    def test_get_respects_file_acl(self, filled_server, admin_client, client,
+                                   alice_credential):
+        admin_client.call("acl.set_file_acl", "/data",
+                          ACL(dns_allowed=["/O=clarens.test/OU=People/CN=Ada Admin"]).to_record(),
+                          ACL(dns_allowed=["/O=clarens.test/OU=People/CN=Ada Admin"]).to_record())
+        response = client.http_get("data/cms/run1.root")
+        assert response.status == 403
+
+    def test_get_content_type_guessed(self, filled_server, admin_client, client):
+        admin_client.call("file.write", "/page.html", b"<html></html>", False)
+        response = client.http_get("page.html")
+        assert response.headers.get("Content-Type") == "text/html"
+
+
+# -- property-based: file.read(offset, nbytes) equals slicing the reference bytes ------
+
+@settings(deadline=None, max_examples=40)
+@given(data=st.binary(min_size=0, max_size=4096),
+       offset=st.integers(0, 5000), length=st.integers(-1, 5000))
+def test_read_matches_python_slicing(tmp_path_factory, data, offset, length):
+    root = tmp_path_factory.mktemp("vfs-prop")
+    (root / "blob.bin").write_bytes(data)
+    vfs = VirtualFileSystem(root)
+    expected = data[offset:] if length < 0 else data[offset:offset + length]
+    assert vfs.read("/blob.bin", offset, length) == expected

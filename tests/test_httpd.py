@@ -1,0 +1,300 @@
+"""HTTP substrate: messages, routing, TLS simulation, sendfile, workers, logs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.httpd.accesslog import AccessLog
+from repro.httpd.message import Headers, HTTPError, HTTPRequest, HTTPResponse
+from repro.httpd.router import Router
+from repro.httpd.sendfile import FilePayload
+from repro.httpd.tls import TLSChannel, TLSContext, TLSError, perform_handshake
+from repro.httpd.workers import WorkerPool
+from repro.pki.authority import CertificateAuthority
+
+
+class TestHeaders:
+    def test_case_insensitive_get(self):
+        headers = Headers({"Content-Type": "text/xml"})
+        assert headers.get("content-type") == "text/xml"
+        assert "CONTENT-TYPE" in headers
+
+    def test_set_replaces_add_appends(self):
+        headers = Headers()
+        headers.add("X-Multi", "1")
+        headers.add("X-Multi", "2")
+        assert headers.get_all("x-multi") == ["1", "2"]
+        headers.set("X-Multi", "3")
+        assert headers.get_all("x-multi") == ["3"]
+
+    def test_remove_and_copy(self):
+        headers = Headers({"A": "1", "B": "2"})
+        clone = headers.copy()
+        headers.remove("a")
+        assert "A" not in headers and clone.get("A") == "1"
+
+
+class TestHTTPMessages:
+    def test_request_wire_round_trip(self):
+        request = HTTPRequest(method="post", path="/clarens/rpc",
+                              headers=Headers({"Content-Type": "text/xml"}),
+                              body=b"<methodCall/>")
+        parsed = HTTPRequest.from_bytes(request.to_bytes())
+        assert parsed.method == "POST"
+        assert parsed.url_path == "/clarens/rpc"
+        assert parsed.body == b"<methodCall/>"
+        assert parsed.headers.get("Content-Length") == str(len(b"<methodCall/>"))
+
+    def test_response_wire_round_trip(self):
+        response = HTTPResponse.ok(b"payload", content_type="text/plain")
+        parsed = HTTPResponse.from_bytes(response.to_bytes())
+        assert parsed.status == 200
+        assert parsed.body_bytes() == b"payload"
+
+    def test_query_parsing_and_unquoting(self):
+        request = HTTPRequest(path="/clarens/file/data%20set/run1.root?offset=10&length=20")
+        assert request.url_path == "/clarens/file/data set/run1.root"
+        assert request.query == {"offset": "10", "length": "20"}
+
+    def test_keepalive_defaults_by_version(self):
+        assert HTTPRequest(http_version="HTTP/1.1").wants_keepalive()
+        assert not HTTPRequest(http_version="HTTP/1.0").wants_keepalive()
+        closing = HTTPRequest(headers=Headers({"Connection": "close"}))
+        assert not closing.wants_keepalive()
+
+    def test_malformed_request_line_rejected(self):
+        with pytest.raises(HTTPError):
+            HTTPRequest.from_bytes(b"NONSENSE\r\n\r\n")
+
+    def test_xml_error_body(self):
+        response = HTTPResponse.xml_error(404, "no such file <x>")
+        assert response.status == 404
+        assert b"&lt;x&gt;" in response.body_bytes()
+
+    def test_error_reason_phrases(self):
+        assert HTTPResponse.error(403).reason == "Forbidden"
+        assert HTTPError(405).message == "Method Not Allowed"
+
+
+class TestRouter:
+    def make_router(self):
+        router = Router()
+        router.add("/clarens/rpc", lambda req, rest: HTTPResponse.ok(b"rpc:" + rest.encode()),
+                   methods=("POST",))
+        router.add("/clarens/file", lambda req, rest: HTTPResponse.ok(b"file:" + rest.encode()),
+                   methods=("GET",))
+        router.add("/clarens", lambda req, rest: HTTPResponse.ok(b"root"), methods=("GET",))
+        return router
+
+    def test_longest_prefix_wins(self):
+        router = self.make_router()
+        response = router.dispatch(HTTPRequest(method="GET", path="/clarens/file/data/x.root"))
+        assert response.body_bytes() == b"file:data/x.root"
+
+    def test_short_prefix_still_matches(self):
+        router = self.make_router()
+        assert router.dispatch(HTTPRequest(method="GET", path="/clarens")).body_bytes() == b"root"
+
+    def test_prefix_does_not_match_inside_segment(self):
+        router = self.make_router()
+        response = router.dispatch(HTTPRequest(method="GET", path="/clarensology"))
+        assert response.status == 404
+
+    def test_unrouted_path_is_404_xml_for_get(self):
+        router = self.make_router()
+        response = router.dispatch(HTTPRequest(method="GET", path="/other/url"))
+        assert response.status == 404
+        assert response.headers.get("Content-Type") == "text/xml"
+
+    def test_method_not_allowed(self):
+        router = self.make_router()
+        response = router.dispatch(HTTPRequest(method="GET", path="/clarens/rpc"))
+        assert response.status == 405
+
+    def test_default_handler_receives_unmatched(self):
+        router = Router(default_handler=lambda req, rest: HTTPResponse.ok(rest.encode()))
+        assert router.dispatch(HTTPRequest(path="/static/page.html")).body_bytes() == b"static/page.html"
+
+    def test_handler_http_error_translated(self):
+        router = Router()
+
+        def handler(req, rest):
+            raise HTTPError(403, "not yours")
+
+        router.add("/secret", handler)
+        assert router.dispatch(HTTPRequest(method="POST", path="/secret")).status == 403
+
+
+class TestFilePayload:
+    def test_full_and_partial_reads(self, tmp_path):
+        path = tmp_path / "data.bin"
+        path.write_bytes(bytes(range(200)) * 10)
+        full = FilePayload(str(path))
+        assert full.length == 2000
+        assert full.read_all() == path.read_bytes()
+        partial = FilePayload(str(path), offset=100, length=50)
+        assert partial.read_all() == path.read_bytes()[100:150]
+
+    def test_length_clipped_to_eof(self, tmp_path):
+        path = tmp_path / "small.bin"
+        path.write_bytes(b"abcdef")
+        payload = FilePayload(str(path), offset=4, length=100)
+        assert payload.length == 2 and payload.read_all() == b"ef"
+
+    def test_chunks_cover_whole_payload(self, tmp_path):
+        path = tmp_path / "big.bin"
+        path.write_bytes(b"x" * (3 * 1024 * 1024 + 17))
+        payload = FilePayload(str(path), chunk_size=1024 * 1024)
+        chunks = list(payload.chunks())
+        assert len(chunks) == 4
+        assert b"".join(chunks) == path.read_bytes()
+
+    def test_invalid_offset_rejected(self, tmp_path):
+        path = tmp_path / "f.bin"
+        path.write_bytes(b"abc")
+        with pytest.raises(ValueError):
+            FilePayload(str(path), offset=10)
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            FilePayload(str(tmp_path / "absent.bin"))
+
+
+class TestWorkerPool:
+    def test_map_preserves_order(self):
+        with WorkerPool(4) as pool:
+            assert pool.map(lambda x: x * x, range(10)) == [i * i for i in range(10)]
+
+    def test_exception_surfaces_to_caller(self):
+        with WorkerPool(2) as pool:
+            task = pool.submit(lambda: 1 / 0)
+            with pytest.raises(ZeroDivisionError):
+                task.result(timeout=5)
+
+    def test_submit_after_shutdown_rejected(self):
+        pool = WorkerPool(1)
+        pool.shutdown()
+        with pytest.raises(RuntimeError):
+            pool.submit(lambda: None)
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ValueError):
+            WorkerPool(0)
+
+
+class TestAccessLog:
+    def test_entries_and_counts(self):
+        log = AccessLog(capacity=10)
+        for status in (200, 200, 404, 500):
+            log.log(remote_addr="10.0.0.1", client_dn=None, method="GET", path="/x",
+                    status=status, response_bytes=10, duration_s=0.001)
+        assert log.total() == 4
+        assert log.status_counts()[200] == 2
+        assert log.error_rate() == pytest.approx(0.5)
+
+    def test_capacity_bounds_entries(self):
+        log = AccessLog(capacity=3)
+        for i in range(10):
+            log.log(remote_addr="a", client_dn=None, method="GET", path=f"/{i}",
+                    status=200, response_bytes=0, duration_s=0)
+        assert len(log.entries()) == 3
+        assert log.total() == 10
+
+    def test_common_log_format_contains_dn(self):
+        log = AccessLog()
+        entry = log.log(remote_addr="10.1.2.3", client_dn="/O=x/CN=alice", method="POST",
+                        path="/clarens/rpc", status=200, response_bytes=321, duration_s=0.01)
+        line = entry.common_log_line()
+        assert "10.1.2.3" in line and "/O=x/CN=alice" in line and "321" in line
+
+    def test_file_mirroring(self, tmp_path):
+        log_path = tmp_path / "access.log"
+        log = AccessLog(path=str(log_path))
+        log.log(remote_addr="a", client_dn=None, method="GET", path="/x", status=200,
+                response_bytes=1, duration_s=0)
+        assert log_path.read_text().count("\n") == 1
+
+
+class TestTLS:
+    @pytest.fixture(scope="class")
+    def pki(self):
+        ca = CertificateAuthority("/O=tls.test/CN=TLS CA", key_bits=512)
+        return {
+            "ca": ca,
+            "server": ca.issue_host("tls.server.test"),
+            "client": ca.issue_user("Tess Transport"),
+        }
+
+    def _contexts(self, pki, *, with_client_cert=True, require=False):
+        server_ctx = TLSContext(credential=pki["server"], trust_store=pki["ca"].trust_store(),
+                                require_client_cert=require)
+        client_ctx = TLSContext(credential=pki["client"] if with_client_cert else None,
+                                trust_store=pki["ca"].trust_store())
+        return client_ctx, server_ctx
+
+    def test_handshake_reports_both_dns(self, pki):
+        client_ctx, server_ctx = self._contexts(pki)
+        client_chan, server_chan = perform_handshake(client_ctx, server_ctx)
+        assert server_chan.client_dn == str(pki["client"].certificate.subject)
+        assert client_chan.server_dn == str(pki["server"].certificate.subject)
+
+    def test_record_layer_round_trip_both_directions(self, pki):
+        client_ctx, server_ctx = self._contexts(pki)
+        client_chan, server_chan = perform_handshake(client_ctx, server_ctx)
+        for payload in (b"", b"hello", b"x" * 100_000):
+            assert server_chan.unwrap(client_chan.wrap(payload)) == payload
+            assert client_chan.unwrap(server_chan.wrap(payload)) == payload
+
+    def test_record_is_actually_scrambled(self, pki):
+        client_ctx, server_ctx = self._contexts(pki)
+        client_chan, _ = perform_handshake(client_ctx, server_ctx)
+        record = client_chan.wrap(b"super secret payload")
+        assert b"super secret" not in record
+
+    def test_tampered_record_rejected(self, pki):
+        client_ctx, server_ctx = self._contexts(pki)
+        client_chan, server_chan = perform_handshake(client_ctx, server_ctx)
+        record = bytearray(client_chan.wrap(b"data"))
+        record[10] ^= 0xFF
+        with pytest.raises(TLSError):
+            server_chan.unwrap(bytes(record))
+
+    def test_anonymous_client_allowed_unless_required(self, pki):
+        client_ctx, server_ctx = self._contexts(pki, with_client_cert=False)
+        _, server_chan = perform_handshake(client_ctx, server_ctx)
+        assert server_chan.client_dn is None
+
+    def test_required_client_cert_enforced(self, pki):
+        client_ctx, server_ctx = self._contexts(pki, with_client_cert=False, require=True)
+        with pytest.raises(TLSError):
+            perform_handshake(client_ctx, server_ctx)
+
+    def test_untrusted_server_rejected_by_client(self, pki):
+        rogue_ca = CertificateAuthority("/O=tls.test/CN=Rogue CA", key_bits=512)
+        rogue_server = TLSContext(credential=rogue_ca.issue_host("evil.test"),
+                                  trust_store=rogue_ca.trust_store())
+        client_ctx = TLSContext(trust_store=pki["ca"].trust_store())
+        with pytest.raises(TLSError, match="server certificate rejected"):
+            perform_handshake(client_ctx, rogue_server)
+
+    def test_untrusted_client_rejected_by_server(self, pki):
+        rogue_ca = CertificateAuthority("/O=tls.test/CN=Rogue CA 2", key_bits=512)
+        client_ctx = TLSContext(credential=rogue_ca.issue_user("Mallory"),
+                                trust_store=pki["ca"].trust_store())
+        server_ctx = TLSContext(credential=pki["server"], trust_store=pki["ca"].trust_store())
+        with pytest.raises(TLSError, match="client certificate rejected"):
+            perform_handshake(client_ctx, server_ctx)
+
+    def test_revoked_client_rejected(self, pki):
+        ca = pki["ca"]
+        revoked_user = ca.issue_user("Revoked Tess")
+        ca.revoke(revoked_user.certificate)
+        client_ctx = TLSContext(credential=revoked_user, trust_store=ca.trust_store(),
+                                revoked_serials=ca.crl())
+        server_ctx = TLSContext(credential=pki["server"], trust_store=ca.trust_store())
+        with pytest.raises(TLSError):
+            perform_handshake(client_ctx, server_ctx)
+
+    def test_server_without_credential_rejected(self, pki):
+        with pytest.raises(TLSError):
+            perform_handshake(TLSContext(trust_store=pki["ca"].trust_store()), TLSContext())

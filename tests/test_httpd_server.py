@@ -1,0 +1,169 @@
+"""The socket HTTP server and loopback transport."""
+
+from __future__ import annotations
+
+import http.client
+
+import pytest
+
+from repro.httpd.loopback import LoopbackTransport
+from repro.httpd.message import Headers, HTTPRequest, HTTPResponse
+from repro.httpd.sendfile import FilePayload
+from repro.httpd.server import SocketHTTPServer
+from repro.httpd.tls import TLSContext
+from repro.pki.authority import CertificateAuthority
+
+
+def echo_handler(request: HTTPRequest) -> HTTPResponse:
+    body = f"{request.method} {request.url_path} {len(request.body)}".encode()
+    return HTTPResponse.ok(body, content_type="text/plain")
+
+
+class TestLoopbackTransport:
+    def test_request_counting(self):
+        transport = LoopbackTransport(echo_handler)
+        connection = transport.connect()
+        for _ in range(3):
+            connection.request(HTTPRequest(method="GET", path="/ping"))
+        assert transport.requests_handled == 3
+        assert connection.requests_sent == 3
+
+    def test_unencrypted_connection_has_no_dn(self):
+        transport = LoopbackTransport(echo_handler)
+        connection = transport.connect()
+        assert connection.client_dn is None
+        assert not connection.encrypted
+
+    def test_tls_connection_carries_dn_to_handler(self):
+        ca = CertificateAuthority("/O=loop.test/CN=Loop CA", key_bits=512)
+        seen = {}
+
+        def handler(request: HTTPRequest) -> HTTPResponse:
+            seen["dn"] = request.client_dn
+            return HTTPResponse.ok(b"ok")
+
+        transport = LoopbackTransport(
+            handler,
+            server_tls=TLSContext(credential=ca.issue_host("h"), trust_store=ca.trust_store()),
+            client_trust_store=ca.trust_store(),
+        )
+        user = ca.issue_user("Loop User")
+        connection = transport.connect(TLSContext(credential=user))
+        response = connection.request(HTTPRequest(method="POST", path="/x", body=b"abc"))
+        assert response.status == 200
+        assert connection.encrypted
+        assert seen["dn"] == str(user.certificate.subject)
+
+    def test_tls_round_trip_preserves_binary_bodies(self):
+        ca = CertificateAuthority("/O=loop.test/CN=Loop CA 2", key_bits=512)
+        payload = bytes(range(256)) * 64
+
+        def handler(request: HTTPRequest) -> HTTPResponse:
+            return HTTPResponse.ok(request.body)
+
+        transport = LoopbackTransport(
+            handler,
+            server_tls=TLSContext(credential=ca.issue_host("h"), trust_store=ca.trust_store()),
+            client_trust_store=ca.trust_store(),
+        )
+        connection = transport.connect()
+        response = connection.request(HTTPRequest(method="POST", path="/x", body=payload))
+        assert response.body_bytes() == payload
+
+
+@pytest.fixture()
+def running_server():
+    server = SocketHTTPServer(echo_handler).start()
+    yield server
+    server.stop()
+
+
+class TestSocketHTTPServer:
+    def test_simple_get(self, running_server):
+        host, port = running_server.address
+        conn = http.client.HTTPConnection(host, port, timeout=5)
+        conn.request("GET", "/hello/world")
+        response = conn.getresponse()
+        assert response.status == 200
+        assert response.read() == b"GET /hello/world 0"
+        conn.close()
+
+    def test_post_with_body(self, running_server):
+        host, port = running_server.address
+        conn = http.client.HTTPConnection(host, port, timeout=5)
+        conn.request("POST", "/rpc", body=b"x" * 100)
+        assert conn.getresponse().read() == b"POST /rpc 100"
+        conn.close()
+
+    def test_keepalive_reuses_connection(self, running_server):
+        host, port = running_server.address
+        conn = http.client.HTTPConnection(host, port, timeout=5)
+        for i in range(5):
+            conn.request("GET", f"/req/{i}")
+            assert conn.getresponse().read().endswith(f"/req/{i} 0".encode())
+        conn.close()
+        assert running_server.access_log.total() >= 5
+
+    def test_post_without_content_length_rejected(self, running_server):
+        host, port = running_server.address
+        import socket
+
+        with socket.create_connection((host, port), timeout=5) as sock:
+            sock.sendall(b"POST /rpc HTTP/1.1\r\nHost: x\r\n\r\n")
+            data = sock.recv(4096)
+        assert b"411" in data.split(b"\r\n", 1)[0]
+
+    def test_malformed_request_line_gets_400(self, running_server):
+        host, port = running_server.address
+        import socket
+
+        with socket.create_connection((host, port), timeout=5) as sock:
+            sock.sendall(b"TOTALLY BROKEN\r\n\r\n")
+            data = sock.recv(4096)
+        assert b"400" in data.split(b"\r\n", 1)[0]
+
+    def test_handler_exception_becomes_500(self):
+        def broken(request: HTTPRequest) -> HTTPResponse:
+            raise RuntimeError("kaboom")
+
+        with SocketHTTPServer(broken) as server:
+            host, port = server.address
+            conn = http.client.HTTPConnection(host, port, timeout=5)
+            conn.request("GET", "/x")
+            assert conn.getresponse().status == 500
+            conn.close()
+
+    def test_file_payload_served_via_sendfile_path(self, tmp_path):
+        data = b"event-data" * 10_000
+        path = tmp_path / "events.dat"
+        path.write_bytes(data)
+
+        def handler(request: HTTPRequest) -> HTTPResponse:
+            return HTTPResponse.ok(FilePayload(str(path)), content_type="application/octet-stream")
+
+        with SocketHTTPServer(handler) as server:
+            host, port = server.address
+            conn = http.client.HTTPConnection(host, port, timeout=5)
+            conn.request("GET", "/events.dat")
+            response = conn.getresponse()
+            assert response.status == 200
+            assert response.read() == data
+            conn.close()
+
+    def test_url_property(self, running_server):
+        assert running_server.url.startswith("http://127.0.0.1:")
+
+    def test_headers_forwarded_to_handler(self):
+        seen = {}
+
+        def handler(request: HTTPRequest) -> HTTPResponse:
+            seen["session"] = request.headers.get("X-Clarens-Session")
+            return HTTPResponse.ok(b"ok")
+
+        with SocketHTTPServer(handler) as server:
+            host, port = server.address
+            conn = http.client.HTTPConnection(host, port, timeout=5)
+            conn.request("GET", "/x", headers={"X-Clarens-Session": "abc123"})
+            conn.getresponse().read()
+            conn.close()
+        assert seen["session"] == "abc123"

@@ -1,0 +1,205 @@
+"""End-to-end integration scenarios spanning many subsystems."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.acl.model import ACL
+from repro.client.client import ClarensClient
+from repro.client.discovery_client import DiscoveryAwareClient, ServerDirectory
+from repro.client.files import download_file
+from repro.discovery.model import ServiceDescriptor
+from repro.discovery.publisher import ServicePublisher
+from repro.monitoring.bus import MessageBus
+from repro.monitoring.monalisa import MonALISARepository
+from repro.monitoring.station import StationServer
+from repro.protocols.errors import Fault
+
+from tests.conftest import ADMIN_DN, build_server
+
+
+class TestPhysicsAnalysisScenario:
+    """A CMS-style analysis session: VO + ACL + files + shell + jobs."""
+
+    def test_full_workflow(self, server, admin_client, client, alice_credential,
+                           bob_credential):
+        alice_dn = str(alice_credential.certificate.subject)
+        bob_dn = str(bob_credential.certificate.subject)
+
+        # 1. The admin sets up the VO: Alice in cms.higgs, Bob outside.
+        admin_client.call("vo.create_group", "cms", [], [], "CMS collaboration")
+        admin_client.call("vo.create_group", "cms.higgs", [alice_dn], [], "Higgs group")
+
+        # 2. Stage a dataset and protect it so only cms.higgs may read it.
+        admin_client.call("file.mkdir", "/store/higgs")
+        admin_client.call("file.write", "/store/higgs/run2005A.dat", b"event " * 1000, False)
+        admin_client.call("acl.set_file_acl", "/store/higgs",
+                          ACL(groups_allowed=["cms.higgs"]).to_record(),
+                          ACL(dns_allowed=[ADMIN_DN]).to_record())
+
+        # 3. Alice reads the data, Bob is denied.
+        assert client.call("file.md5", "/store/higgs/run2005A.dat")
+        bob = ClarensClient.for_loopback(server.loopback())
+        bob.login_with_credential(bob_credential)
+        with pytest.raises(Fault):
+            bob.call("file.read", "/store/higgs/run2005A.dat", 0, 16)
+
+        # 4. Alice gets a sandbox and submits an analysis job.
+        admin_client.call("shell.add_mapping", "alice", [alice_dn], [])
+        client.call("shell.cmd", "mkdir work")
+        job = client.call("job.submit",
+                          "echo selected 42 events > work/selection.txt && cat work/selection.txt",
+                          "higgs-selection", {"dataset": "/store/higgs/run2005A.dat"})
+        admin_client.call("job.run_pending", 0)
+        output = client.call("job.output", job["job_id"])
+        assert output["state"] == "completed"
+        assert "42 events" in output["stdout"]
+
+        # 5. The job's sandbox output is visible through the shell service.
+        listing = client.call("shell.cmd", "ls work")
+        assert "selection.txt" in listing["stdout"]
+
+        # 6. Bob never gained access to anything of Alice's.
+        with pytest.raises(Fault):
+            bob.call("job.output", job["job_id"])
+
+
+class TestSessionPersistenceAcrossRestart:
+    def test_client_survives_server_restart(self, ca, host_credential, alice_credential,
+                                             tmp_path):
+        data_dir = tmp_path / "server-state"
+        first = build_server(ca, host_credential, data_dir=data_dir)
+        client = ClarensClient.for_loopback(first.loopback())
+        client.login_with_credential(alice_credential)
+        session_id = client.session_id
+        client.call("file.write", "/persistent.txt", b"survives", False)
+        first.close()
+
+        # A new server process over the same data directory: the old session id
+        # keeps working without re-authentication (paper, section 2).
+        second = build_server(ca, host_credential, data_dir=data_dir)
+        try:
+            revived = ClarensClient.for_loopback(second.loopback())
+            revived.session_id = session_id
+            assert revived.call("system.whoami")["dn"] == str(
+                alice_credential.certificate.subject)
+            assert revived.call("file.read", "/persistent.txt", 0, -1) == b"survives"
+        finally:
+            second.close()
+
+    def test_vo_and_acl_state_survive_restart(self, ca, host_credential, alice_credential,
+                                              admin_credential, tmp_path):
+        data_dir = tmp_path / "server-state"
+        alice_dn = str(alice_credential.certificate.subject)
+        first = build_server(ca, host_credential, data_dir=data_dir)
+        admin = ClarensClient.for_loopback(first.loopback())
+        admin.login_with_credential(admin_credential)
+        admin.call("vo.create_group", "ligo", [alice_dn], [], "")
+        admin.call("acl.set_method_acl", "shell", ACL(groups_allowed=["ligo"]).to_record())
+        first.close()
+
+        second = build_server(ca, host_credential, data_dir=data_dir)
+        try:
+            assert second.vo.is_member(alice_dn, "ligo")
+            assert second.acl.check_method(alice_dn, "shell.cmd").allowed
+        finally:
+            second.close()
+
+
+class TestDiscoveryFederation:
+    """Multiple servers publish to a monitoring network; clients bind at call time."""
+
+    def test_location_independent_calls_survive_a_move(self, ca, alice_credential):
+        bus = MessageBus()
+        repository = MonALISARepository(bus)
+        station = StationServer("station-1", bus, site_name="caltech")
+
+        directory = ServerDirectory()
+        servers = []
+        loopbacks = {}
+        for name in ("clarens-file-a", "clarens-file-b"):
+            host = ca.issue_host(f"{name}.clarens.test")
+            srv = build_server(ca, host, server_name=name)
+            servers.append(srv)
+            loopback = srv.loopback()
+            loopbacks[name] = loopback
+            url = f"loopback://{name}/clarens/rpc"
+            directory.register_loopback(url, loopback)
+            publisher = ServicePublisher(
+                station, lambda s=srv, u=url: s.service_descriptor(url=u), reliable=True)
+            publisher.publish_once()
+
+        # A dedicated discovery server (system + discovery modules only)
+        # aggregates from the monitoring network, like the JClarens JINI client.
+        from repro.core.config import ServerConfig
+        from repro.core.server import ClarensServer
+        from repro.core.system import SystemService
+        from repro.discovery.service import DiscoveryService
+
+        discovery_host = ca.issue_host("discovery.clarens.test")
+        discovery_server = ClarensServer(
+            ServerConfig(server_name="discovery-server", admins=[ADMIN_DN],
+                         host_dn=str(discovery_host.certificate.subject)),
+            credential=discovery_host, trust_store=ca.trust_store(),
+            monitor=repository, register_default_services=False)
+        discovery_server.add_service(SystemService(discovery_server))
+        discovery_service = discovery_server.add_service(DiscoveryService(discovery_server))
+        discovery_service.on_start()
+        discovery_service.registry.sync_from_repository()
+        servers.append(discovery_server)
+
+        try:
+            discovery_client = ClarensClient.for_loopback(discovery_server.loopback())
+            discovery_client.login_with_credential(alice_credential)
+            assert discovery_client.call("discovery.count") >= 3  # itself + the two file servers
+
+            def login(client: ClarensClient) -> None:
+                client.login_with_credential(alice_credential)
+
+            smart = DiscoveryAwareClient(discovery_client, directory, login=login)
+            # Location-independent call: we ask for the "file" module, not a host.
+            assert {e["name"] for e in smart.call("file.ls", "/")} <= {"srm-transfers"}
+            bound_url = smart.resolve_url(module="file")
+            assert bound_url.startswith("loopback://clarens-file-")
+
+            # The bound server disappears; a re-registration points at the other
+            # one and the next call transparently rebinds.
+            gone = "clarens-file-a" if "file-a" in bound_url else "clarens-file-b"
+            remaining = "clarens-file-b" if gone == "clarens-file-a" else "clarens-file-a"
+            discovery_client.call("discovery.deregister", gone, "")
+            smart.unbind("file")
+            assert {e["name"] for e in smart.call("file.ls", "/")} <= {"srm-transfers"}
+            assert remaining in smart.resolve_url(module="file")
+        finally:
+            for srv in servers:
+                srv.close()
+
+    def test_descriptor_attributes_flow_through_monitoring(self, ca):
+        bus = MessageBus()
+        repository = MonALISARepository(bus)
+        station = StationServer("station-x", bus, site_name="fnal")
+        descriptor = ServiceDescriptor(name="tier1-clarens", url="http://tier1/clarens/rpc",
+                                       services=["system", "file"],
+                                       attributes={"vo": "cms", "tier": "1"})
+        station.receive_service_info(descriptor.to_record(), reliable=True)
+        found = repository.find_services(vo="cms")
+        assert found and found[0]["name"] == "tier1-clarens"
+
+
+class TestEncryptedEndToEnd:
+    def test_mutual_tls_session_and_file_download(self, server, admin_client,
+                                                  alice_credential):
+        admin_client.call("file.write", "/secure/blob.bin", b"\x01\x02" * 512, False)
+        tls = server.loopback(tls=True, require_client_cert=True)
+        client = ClarensClient.for_loopback(tls, credential=alice_credential)
+        client.login_tls()
+        assert client.whoami()["dn"] == str(alice_credential.certificate.subject)
+        data = download_file(client, "/secure/blob.bin", verify_checksum=True)
+        assert data == b"\x01\x02" * 512
+
+    def test_tls_required_client_cert_blocks_anonymous(self, server):
+        tls = server.loopback(tls=True, require_client_cert=True)
+        from repro.httpd.tls import TLSError
+
+        with pytest.raises(TLSError):
+            tls.connect()  # no client credential supplied

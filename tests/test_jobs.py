@@ -1,0 +1,206 @@
+"""The job service: queue semantics, scheduler execution, RPC methods."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.database import Database
+from repro.jobs.model import Job, JobState
+from repro.jobs.queue import JobQueue
+from repro.jobs.scheduler import JobScheduler
+from repro.protocols.errors import Fault, FaultCode
+from repro.shell.sandbox import SandboxManager
+
+ALICE = "/O=jobs.test/CN=Alice"
+BOB = "/O=jobs.test/CN=Bob"
+
+
+class TestJobQueue:
+    def test_submit_get_update(self):
+        queue = JobQueue(Database())
+        job = queue.submit(Job(owner_dn=ALICE, command="echo hi", name="first"))
+        fetched = queue.get(job.job_id)
+        assert fetched is not None and fetched.state is JobState.QUEUED
+        fetched.state = JobState.RUNNING
+        queue.update(fetched)
+        assert queue.get(job.job_id).state is JobState.RUNNING
+
+    def test_fair_share_round_robin_across_owners(self):
+        queue = JobQueue(Database())
+        for i in range(3):
+            queue.submit(Job(owner_dn=ALICE, command=f"echo a{i}"))
+        for i in range(3):
+            queue.submit(Job(owner_dn=BOB, command=f"echo b{i}"))
+        order = []
+        for _ in range(6):
+            job = queue.next_queued()
+            job.state = JobState.COMPLETED
+            queue.update(job)
+            order.append(job.owner_dn)
+        # Owners must alternate rather than draining Alice's queue first.
+        assert order[:4] in ([ALICE, BOB, ALICE, BOB], [BOB, ALICE, BOB, ALICE])
+
+    def test_fifo_within_an_owner(self):
+        queue = JobQueue(Database())
+        ids = [queue.submit(Job(owner_dn=ALICE, command=f"echo {i}")).job_id for i in range(3)]
+        seen = []
+        for _ in range(3):
+            job = queue.next_queued()
+            job.state = JobState.COMPLETED
+            queue.update(job)
+            seen.append(job.job_id)
+        assert seen == ids
+
+    def test_cancel_and_counts(self):
+        queue = JobQueue(Database())
+        job = queue.submit(Job(owner_dn=ALICE, command="echo x"))
+        cancelled = queue.cancel(job.job_id)
+        assert cancelled.state is JobState.CANCELLED
+        assert queue.counts()["cancelled"] == 1
+        # Cancelling a terminal job is a no-op.
+        assert queue.cancel(job.job_id).state is JobState.CANCELLED
+        assert queue.cancel("missing") is None
+
+    def test_purge_terminal_scoped_by_owner(self):
+        queue = JobQueue(Database())
+        done = queue.submit(Job(owner_dn=ALICE, command="x", state=JobState.COMPLETED))
+        queue.submit(Job(owner_dn=BOB, command="y", state=JobState.FAILED))
+        queue.submit(Job(owner_dn=ALICE, command="z"))
+        assert queue.purge_terminal(ALICE) == 1
+        assert queue.get(done.job_id) is None
+        assert queue.purge_terminal() == 1
+        assert len(queue) == 1
+
+    def test_jobs_survive_restart(self, tmp_path):
+        db = Database(tmp_path / "jobs")
+        JobQueue(db).submit(Job(owner_dn=ALICE, command="echo persistent", job_id="fixed-id"))
+        db.close()
+        reloaded = JobQueue(Database(tmp_path / "jobs"))
+        assert reloaded.get("fixed-id").command == "echo persistent"
+
+
+class TestJobScheduler:
+    @pytest.fixture()
+    def scheduler(self, tmp_path):
+        queue = JobQueue(Database())
+        sandboxes = SandboxManager(tmp_path / "sandboxes")
+        return JobScheduler(queue, sandboxes, user_mapper=lambda dn: dn.rsplit("=", 1)[-1].lower())
+
+    def test_run_pending_executes_and_captures_output(self, scheduler):
+        job = scheduler.queue.submit(Job(owner_dn=ALICE, command="echo 125 GeV > higgs.txt && cat higgs.txt"))
+        assert scheduler.run_pending() == 1
+        finished = scheduler.queue.get(job.job_id)
+        assert finished.state is JobState.COMPLETED
+        assert finished.stdout == "125 GeV\n"
+        assert finished.exit_code == 0
+        assert finished.wall_time is not None
+
+    def test_failing_command_marks_job_failed(self, scheduler):
+        job = scheduler.queue.submit(Job(owner_dn=ALICE, command="cat /no/such/file"))
+        scheduler.run_pending()
+        finished = scheduler.queue.get(job.job_id)
+        assert finished.state is JobState.FAILED
+        assert finished.exit_code != 0
+
+    def test_disallowed_command_fails_cleanly(self, scheduler):
+        job = scheduler.queue.submit(Job(owner_dn=ALICE, command="python3 -c 'print(1)'"))
+        scheduler.run_pending()
+        assert scheduler.queue.get(job.job_id).state is JobState.FAILED
+
+    def test_jobs_run_in_owner_sandbox(self, scheduler):
+        scheduler.queue.submit(Job(owner_dn=ALICE, command="echo alice-data > out.txt"))
+        scheduler.queue.submit(Job(owner_dn=BOB, command="echo bob-data > out.txt"))
+        scheduler.run_pending()
+        alice_out = scheduler.sandboxes.get_or_create("alice").path / "out.txt"
+        bob_out = scheduler.sandboxes.get_or_create("bob").path / "out.txt"
+        assert alice_out.read_text() == "alice-data\n"
+        assert bob_out.read_text() == "bob-data\n"
+
+    def test_cancelled_job_not_executed(self, scheduler):
+        job = scheduler.queue.submit(Job(owner_dn=ALICE, command="echo nope"))
+        scheduler.queue.cancel(job.job_id)
+        assert scheduler.run_pending() == 0
+        assert scheduler.queue.get(job.job_id).state is JobState.CANCELLED
+
+    def test_max_jobs_bound(self, scheduler):
+        for i in range(5):
+            scheduler.queue.submit(Job(owner_dn=ALICE, command=f"echo {i}"))
+        assert scheduler.run_pending(max_jobs=2) == 2
+        assert scheduler.queue.counts()["queued"] == 3
+
+    def test_background_scheduler_drains_queue(self, scheduler):
+        import time
+
+        for i in range(4):
+            scheduler.queue.submit(Job(owner_dn=ALICE, command=f"echo bg{i}"))
+        with scheduler:
+            deadline = time.time() + 5
+            while scheduler.queue.counts()["queued"] and time.time() < deadline:
+                time.sleep(0.02)
+        assert scheduler.queue.counts()["completed"] == 4
+
+
+class TestJobServiceRPC:
+    @pytest.fixture()
+    def mapped_client(self, client, admin_client, alice_credential):
+        admin_client.call("shell.add_mapping", "alice",
+                          [str(alice_credential.certificate.subject)], [])
+        return client
+
+    def test_submit_status_output_cycle(self, mapped_client, admin_client):
+        job = mapped_client.call("job.submit", "echo skim done > skim.log && cat skim.log",
+                                 "skim", {"dataset": "/cms/run2005A"})
+        assert job["state"] == "queued"
+        assert admin_client.call("job.run_pending", 0) == 1
+        status = mapped_client.call("job.status", job["job_id"])
+        assert status["state"] == "completed"
+        output = mapped_client.call("job.output", job["job_id"])
+        assert output["stdout"] == "skim done\n"
+
+    def test_status_of_unknown_job(self, mapped_client):
+        with pytest.raises(Fault) as excinfo:
+            mapped_client.call("job.status", "missing-job")
+        assert excinfo.value.code == FaultCode.NOT_FOUND
+
+    def test_other_users_jobs_are_hidden(self, mapped_client, server, loopback, bob_credential,
+                                         admin_client):
+        from repro.client.client import ClarensClient
+
+        job = mapped_client.call("job.submit", "echo private", "", {})
+        bob = ClarensClient.for_loopback(loopback)
+        bob.login_with_credential(bob_credential)
+        with pytest.raises(Fault) as excinfo:
+            bob.call("job.status", job["job_id"])
+        assert excinfo.value.code == FaultCode.ACCESS_DENIED
+        # Admins can see it.
+        assert admin_client.call("job.status", job["job_id"])["job_id"] == job["job_id"]
+
+    def test_list_and_queue_counts(self, mapped_client):
+        mapped_client.call("job.submit", "echo one", "j1", {})
+        mapped_client.call("job.submit", "echo two", "j2", {})
+        listed = mapped_client.call("job.list", "")
+        assert {j["name"] for j in listed} >= {"j1", "j2"}
+        counts = mapped_client.call("job.queue_counts")
+        assert counts["queued"] >= 2
+
+    def test_cancel_over_rpc(self, mapped_client):
+        job = mapped_client.call("job.submit", "echo cancel-me", "", {})
+        result = mapped_client.call("job.cancel", job["job_id"])
+        assert result["state"] == "cancelled"
+
+    def test_run_pending_requires_admin(self, mapped_client):
+        with pytest.raises(Fault):
+            mapped_client.call("job.run_pending", 0)
+
+    def test_purge_own_jobs(self, mapped_client, admin_client):
+        job = mapped_client.call("job.submit", "echo done", "", {})
+        admin_client.call("job.run_pending", 0)
+        assert mapped_client.call("job.purge", False) >= 1
+        with pytest.raises(Fault):
+            mapped_client.call("job.status", job["job_id"])
+
+    def test_scheduler_start_stop_admin_only(self, mapped_client, admin_client):
+        with pytest.raises(Fault):
+            mapped_client.call("job.start_scheduler")
+        assert admin_client.call("job.start_scheduler") is True
+        assert admin_client.call("job.stop_scheduler") is True

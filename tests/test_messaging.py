@@ -1,0 +1,167 @@
+"""The messaging extension: broker semantics and the msg.* RPC methods."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.client.client import ClarensClient
+from repro.messaging.broker import MessageBroker, MessagingError
+from repro.protocols.errors import Fault, FaultCode
+
+ALICE = "/O=msg.test/CN=Alice"
+BOB = "/O=msg.test/CN=Bob"
+
+
+class TestMessageBroker:
+    def test_send_then_poll(self):
+        broker = MessageBroker()
+        broker.register(ALICE)
+        broker.send(BOB, ALICE, "status", {"job": "42", "state": "done"})
+        messages = broker.poll(ALICE)
+        assert len(messages) == 1
+        assert messages[0].sender == BOB
+        assert messages[0].body == {"job": "42", "state": "done"}
+        # A second poll finds the mailbox drained.
+        assert broker.poll(ALICE) == []
+
+    def test_send_creates_recipient_mailbox(self):
+        broker = MessageBroker()
+        broker.send(BOB, ALICE, "hi", "there")
+        assert broker.peek(ALICE) == 1
+
+    def test_offline_delivery_preserves_order(self):
+        broker = MessageBroker()
+        broker.register(ALICE)
+        for i in range(5):
+            broker.send(BOB, ALICE, f"m{i}", i)
+        bodies = [m.body for m in broker.poll(ALICE)]
+        assert bodies == [0, 1, 2, 3, 4]
+
+    def test_poll_unknown_mailbox(self):
+        with pytest.raises(MessagingError):
+            MessageBroker().poll("/O=nobody/CN=ghost")
+
+    def test_resource_addresses_are_independent(self):
+        broker = MessageBroker()
+        broker.register(f"{ALICE}#job-1")
+        broker.register(f"{ALICE}#job-2")
+        broker.send(BOB, f"{ALICE}#job-1", "ctl", "pause")
+        assert broker.peek(f"{ALICE}#job-1") == 1
+        assert broker.peek(f"{ALICE}#job-2") == 0
+        assert broker.addresses_for(ALICE) == [f"{ALICE}#job-1", f"{ALICE}#job-2"]
+
+    def test_topic_broadcast_fanout(self):
+        broker = MessageBroker()
+        for i in range(3):
+            address = f"{ALICE}#monitor-{i}"
+            broker.register(address)
+            broker.subscribe(address, "job.status")
+        broker.register(f"{BOB}#other")
+        delivered = broker.publish(BOB, "job.status", "update", {"done": 10})
+        assert delivered == 3
+        assert broker.peek(f"{BOB}#other") == 0
+        assert broker.poll(f"{ALICE}#monitor-0")[0].topic == "job.status"
+
+    def test_unsubscribe_stops_delivery(self):
+        broker = MessageBroker()
+        broker.register(ALICE)
+        broker.subscribe(ALICE, "news")
+        broker.unsubscribe(ALICE, "news")
+        assert broker.publish(BOB, "news", "s", "b") == 0
+
+    def test_mailbox_capacity_enforced(self):
+        broker = MessageBroker(max_pending_per_mailbox=2)
+        broker.register(ALICE)
+        broker.send(BOB, ALICE, "1", "")
+        broker.send(BOB, ALICE, "2", "")
+        with pytest.raises(MessagingError, match="full"):
+            broker.send(BOB, ALICE, "3", "")
+
+    def test_long_poll_wakes_on_send(self):
+        broker = MessageBroker()
+        broker.register(ALICE)
+        received = []
+
+        def poller():
+            received.extend(broker.poll(ALICE, wait=5.0))
+
+        thread = threading.Thread(target=poller)
+        thread.start()
+        time.sleep(0.05)
+        broker.send(BOB, ALICE, "wake", "up")
+        thread.join(timeout=5)
+        assert received and received[0].subject == "wake"
+
+    def test_presence_tracking(self):
+        broker = MessageBroker(presence_window=0.05)
+        broker.register(ALICE)
+        assert broker.presence(ALICE)[0]["online"] is False
+        broker.poll(ALICE)
+        assert broker.presence(ALICE)[0]["online"] is True
+        time.sleep(0.06)
+        assert broker.presence(ALICE)[0]["online"] is False
+
+    def test_unregister(self):
+        broker = MessageBroker()
+        broker.register(ALICE)
+        assert broker.unregister(ALICE)
+        assert not broker.unregister(ALICE)
+
+
+class TestMessagingService:
+    def test_user_to_job_round_trip(self, client, admin_client, alice_credential,
+                                    admin_credential):
+        alice_dn = str(alice_credential.certificate.subject)
+        admin_dn = str(admin_credential.certificate.subject)
+        # Alice's job (authenticating as Alice via a delegated proxy in real
+        # life) registers a control mailbox and polls it.
+        client.call("msg.register", "job-7")
+        # The admin sends it a control message.
+        admin_client.call("msg.send", f"{alice_dn}#job-7", "control", {"action": "checkpoint"})
+        messages = client.call("msg.poll", "job-7", 10, 0.0)
+        assert len(messages) == 1
+        assert messages[0]["sender"] == admin_dn
+        assert messages[0]["body"] == {"action": "checkpoint"}
+
+    def test_cannot_poll_someone_elses_mailbox(self, client, admin_client,
+                                               admin_credential):
+        admin_client.call("msg.register", "private")
+        # Alice registering "private" creates *her* mailbox, not the admin's —
+        # addresses are rooted at the caller DN, so there is nothing to steal.
+        client.call("msg.register", "private")
+        admin_client.call("msg.send",
+                          f"{str(admin_credential.certificate.subject)}#private", "s", "secret")
+        assert client.call("msg.poll", "private", 10, 0.0) == []
+
+    def test_pending_and_mailbox_listing(self, client, admin_client, alice_credential):
+        alice_dn = str(alice_credential.certificate.subject)
+        client.call("msg.register", "")
+        admin_client.call("msg.send", alice_dn, "ping", "x")
+        assert client.call("msg.pending", "") == 1
+        assert alice_dn in client.call("msg.my_mailboxes")
+
+    def test_topic_publish_over_rpc(self, client, admin_client):
+        client.call("msg.subscribe", "run.status", "dashboard")
+        fanout = admin_client.call("msg.publish", "run.status", "run 2005A", {"events": 10_000})
+        assert fanout == 1
+        messages = client.call("msg.poll", "dashboard", 10, 0.0)
+        assert messages[0]["topic"] == "run.status"
+
+    def test_poll_unregistered_mailbox_faults(self, client):
+        with pytest.raises(Fault) as excinfo:
+            client.call("msg.poll", "never-registered", 10, 0.0)
+        assert excinfo.value.code == FaultCode.NOT_FOUND
+
+    def test_presence_scoping(self, client, admin_client):
+        client.call("msg.register", "")
+        assert all(p["owner_dn"] == client.dn for p in client.call("msg.presence", ""))
+        # Admins may inspect everyone.
+        assert isinstance(admin_client.call("msg.presence", ""), list)
+
+    def test_requires_authentication(self, anon_client):
+        with pytest.raises(Fault) as excinfo:
+            anon_client.call("msg.register", "")
+        assert excinfo.value.code == FaultCode.AUTHENTICATION_REQUIRED

@@ -1,0 +1,161 @@
+"""The MonALISA-style monitoring substrate: bus, GLUE schema, stations, repository."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.monitoring.bus import MessageBus
+from repro.monitoring.glue import GlueSchema, generate_synthetic_grid
+from repro.monitoring.lookup import LookupService
+from repro.monitoring.monalisa import MonALISARepository
+from repro.monitoring.station import StationServer
+
+
+class TestMessageBus:
+    def test_topic_prefix_subscription(self):
+        bus = MessageBus()
+        received = []
+        bus.subscribe("monalisa.station1", received.append)
+        bus.publish("monalisa.station1.metric", {"v": 1})
+        bus.publish("monalisa.station2.metric", {"v": 2})
+        bus.publish("monalisa.station1", {"v": 3})
+        assert [m.payload["v"] for m in received] == [1, 3]
+
+    def test_wildcard_subscription(self):
+        bus = MessageBus()
+        received = []
+        bus.subscribe("*", received.append)
+        bus.publish("anything.at.all", {})
+        assert len(received) == 1
+
+    def test_unsubscribe(self):
+        bus = MessageBus()
+        received = []
+        sub = bus.subscribe("x", received.append)
+        assert bus.unsubscribe(sub)
+        assert not bus.unsubscribe(sub)
+        bus.publish("x.y", {})
+        assert received == []
+
+    def test_lossy_delivery_drops_some_unreliable_messages(self):
+        bus = MessageBus(loss_probability=0.5, rng=random.Random(1))
+        received = []
+        bus.subscribe("udp", received.append)
+        for i in range(200):
+            bus.publish("udp.sample", {"i": i}, reliable=False)
+        assert 0 < len(received) < 200
+        assert bus.stats()["dropped"] == 200 - len(received)
+
+    def test_reliable_delivery_never_drops(self):
+        bus = MessageBus(loss_probability=0.9, rng=random.Random(1))
+        received = []
+        bus.subscribe("tcp", received.append)
+        for i in range(50):
+            bus.publish("tcp.sample", {"i": i}, reliable=True)
+        assert len(received) == 50
+
+    def test_invalid_loss_probability(self):
+        with pytest.raises(ValueError):
+            MessageBus(loss_probability=1.0)
+
+
+class TestGlueSchema:
+    def test_hierarchy_and_metrics(self):
+        schema = GlueSchema()
+        schema.record_metric("caltech", "tier2", "node-001", "cpu_usage", 75.0)
+        schema.record_metric("caltech", "tier2", "node-001", "cpu_usage", 80.0)
+        schema.record_metric("caltech", "tier2", "node-002", "cpu_usage", 20.0)
+        site = schema.site("caltech")
+        assert site.node_count() == 2
+        assert site.farm("tier2").total_metric("cpu_usage") == 100.0
+        assert schema.site_count() == 1
+
+    def test_iter_nodes_and_records(self):
+        schema = GlueSchema()
+        schema.record_metric("s", "f", "n", "load1", 1.5)
+        entries = list(schema.iter_nodes())
+        assert entries[0][0:2] == ("s", "f")
+        record = schema.to_record()
+        assert record["sites"][0]["farms"][0]["nodes"][0]["metrics"]["load1"] == 1.5
+
+    def test_synthetic_grid_scale(self):
+        schema = generate_synthetic_grid(90, rng=random.Random(5))
+        # The paper's MonALISA deployment monitored "more than 90 sites".
+        assert schema.site_count() == 90
+        assert schema.node_count() > 500
+        regions = {site.attributes["region"] for site in schema.sites.values()}
+        assert regions == {"us", "eu", "asia", "sa"}
+
+
+class TestLookupService:
+    def test_register_match_cancel(self):
+        lookup = LookupService()
+        lookup.register("svc-a", {"name": "a", "vo": "cms"})
+        lookup.register("svc-b", {"name": "b", "vo": "atlas"})
+        assert len(lookup.match()) == 2
+        assert lookup.match(vo="cms")[0]["name"] == "a"
+        assert lookup.cancel("svc-a")
+        assert lookup.get("svc-a") is None
+
+    def test_lease_expiry(self):
+        lookup = LookupService(default_lease=0.01)
+        lookup.register("ephemeral", {"name": "e"})
+        import time
+
+        time.sleep(0.02)
+        assert lookup.match() == []
+        assert lookup.entry_count() == 0
+
+    def test_renew_extends_lease(self):
+        lookup = LookupService(default_lease=0.05)
+        lookup.register("svc", {"name": "s"})
+        lease = lookup.renew("svc", lease_seconds=60)
+        assert lease is not None and lease.duration == 60
+        assert lookup.renew("unknown") is None
+
+
+class TestStationAndRepository:
+    def test_station_republishes_to_repository(self):
+        bus = MessageBus()
+        repo = MonALISARepository(bus)
+        station = StationServer("station-caltech", bus, site_name="caltech")
+        station.receive_metric("tier2", "node-001", "cpu_usage", 50.0, reliable=True)
+        station.receive_service_info({"name": "clarens-1", "url": "http://c1/rpc",
+                                      "services": ["system", "file"]}, reliable=True)
+        assert repo.site_metrics("caltech", "cpu_usage") == 50.0
+        assert repo.service_count() == 1
+        assert repo.find_services_by_module("file")[0]["name"] == "clarens-1"
+        assert repo.snapshot()["sites"] == 1
+
+    def test_service_descriptor_replaced_not_duplicated(self):
+        bus = MessageBus()
+        repo = MonALISARepository(bus)
+        station = StationServer("st", bus)
+        for _ in range(3):
+            station.receive_service_info({"name": "clarens-1", "url": "http://c1/rpc",
+                                          "services": ["system"]}, reliable=True)
+        assert repo.service_count() == 1
+        assert station.stats()["service_publications"] == 3
+        assert len(station.site_snapshot()["services"]) == 1
+
+    def test_multiple_stations_aggregate(self):
+        bus = MessageBus()
+        repo = MonALISARepository(bus)
+        for i in range(5):
+            station = StationServer(f"st-{i}", bus, site_name=f"site-{i}")
+            station.receive_service_info({"name": f"clarens-{i}", "url": f"http://c{i}/rpc",
+                                          "services": ["system"]}, reliable=True)
+            station.receive_metric("farm", "n0", "load1", float(i), reliable=True)
+        assert repo.service_count() == 5
+        assert len(repo.sites()) == 5
+        assert repo.find_services(vo="cms") == []  # attribute not published
+
+    def test_repository_close_stops_ingestion(self):
+        bus = MessageBus()
+        repo = MonALISARepository(bus)
+        station = StationServer("st", bus)
+        repo.close()
+        station.receive_metric("f", "n", "load1", 1.0, reliable=True)
+        assert repo.metric_updates == 0

@@ -1,0 +1,188 @@
+"""Certificates, trust stores, chain verification and CAs."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.pki.authority import CertificateAuthority
+from repro.pki.certificate import (
+    Certificate,
+    CertificateError,
+    TrustStore,
+    VerificationError,
+    verify_chain,
+)
+from repro.pki.dn import DN
+
+
+@pytest.fixture(scope="module")
+def authority():
+    return CertificateAuthority("/O=grid.test/CN=Module CA", key_bits=512)
+
+
+@pytest.fixture(scope="module")
+def user_credential(authority):
+    return authority.issue_user("Carol Chen")
+
+
+class TestCertificateBasics:
+    def test_issued_certificate_fields(self, authority, user_credential):
+        cert = user_credential.certificate
+        assert cert.issuer == authority.name
+        assert cert.subject.common_name == "Carol Chen"
+        assert not cert.is_ca and not cert.is_proxy
+        assert cert.is_valid_at()
+
+    def test_signature_verifies_under_ca_key(self, authority, user_credential):
+        assert user_credential.certificate.verify_signature(authority.certificate.public_key)
+
+    def test_signature_fails_under_other_key(self, authority, user_credential):
+        other = CertificateAuthority("/O=grid.test/CN=Other CA", key_bits=256)
+        assert not user_credential.certificate.verify_signature(other.certificate.public_key)
+
+    def test_validity_window(self, authority):
+        cred = authority.issue("/O=grid.test/CN=short", lifetime=10.0)
+        cert = cred.certificate
+        assert cert.is_valid_at(cert.not_before + 5)
+        assert not cert.is_valid_at(cert.not_before - 5)
+        assert not cert.is_valid_at(cert.not_after + 5)
+
+    def test_dict_round_trip(self, user_credential):
+        cert = user_credential.certificate
+        assert Certificate.from_dict(cert.to_dict()) == cert
+
+    def test_malformed_dict_raises(self):
+        with pytest.raises(CertificateError):
+            Certificate.from_dict({"subject": "/O=x"})
+
+    def test_fingerprint_distinct_per_certificate(self, authority):
+        a = authority.issue_user("User A").certificate
+        b = authority.issue_user("User B").certificate
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_serials_unique_and_increasing(self, authority):
+        first = authority.issue_user("Serial One").certificate
+        second = authority.issue_user("Serial Two").certificate
+        assert second.serial > first.serial
+
+
+class TestTrustStore:
+    def test_only_self_signed_ca_accepted_as_root(self, authority, user_credential):
+        store = TrustStore()
+        store.add(authority.certificate)
+        assert authority.name in store
+        with pytest.raises(CertificateError):
+            store.add(user_credential.certificate)
+
+    def test_forged_self_signature_rejected(self, authority):
+        cert = authority.certificate
+        forged = Certificate(
+            subject=cert.subject, issuer=cert.issuer, public_key=cert.public_key,
+            serial=cert.serial, not_before=cert.not_before, not_after=cert.not_after,
+            signature=cert.signature + 1, is_ca=True)
+        with pytest.raises(VerificationError):
+            TrustStore([forged])
+
+    def test_remove_and_len(self, authority):
+        store = TrustStore([authority.certificate])
+        assert len(store) == 1
+        store.remove(authority.name)
+        assert len(store) == 0
+        assert authority.name not in store
+
+
+class TestChainVerification:
+    def test_valid_user_chain(self, authority, user_credential):
+        end = verify_chain(user_credential.full_chain(), authority.trust_store())
+        assert end.subject == user_credential.certificate.subject
+
+    def test_untrusted_root_rejected(self, user_credential):
+        other = CertificateAuthority("/O=grid.test/CN=Stranger CA", key_bits=256)
+        with pytest.raises(VerificationError, match="no trusted root"):
+            verify_chain(user_credential.full_chain(), other.trust_store())
+
+    def test_expired_certificate_rejected(self, authority):
+        cred = authority.issue("/O=grid.test/CN=expired", lifetime=0.001)
+        time.sleep(0.01)
+        with pytest.raises(VerificationError, match="validity"):
+            verify_chain(cred.full_chain(), authority.trust_store())
+
+    def test_tampered_certificate_rejected(self, authority, user_credential):
+        cert = user_credential.certificate
+        tampered = Certificate(
+            subject=DN.parse("/O=grid.test/CN=Mallory"), issuer=cert.issuer,
+            public_key=cert.public_key, serial=cert.serial, not_before=cert.not_before,
+            not_after=cert.not_after, signature=cert.signature)
+        with pytest.raises(VerificationError, match="bad signature"):
+            verify_chain([tampered, *user_credential.chain], authority.trust_store())
+
+    def test_revoked_certificate_rejected(self, authority):
+        cred = authority.issue_user("Revoked User")
+        authority.revoke(cred.certificate)
+        with pytest.raises(VerificationError, match="revoked"):
+            verify_chain(cred.full_chain(), authority.trust_store(),
+                         revoked_serials=authority.crl())
+
+    def test_unrevoked_sibling_still_valid(self, authority):
+        revoked = authority.issue_user("To Revoke")
+        fine = authority.issue_user("Still Fine")
+        authority.revoke(revoked.certificate)
+        end = verify_chain(fine.full_chain(), authority.trust_store(),
+                           revoked_serials=authority.crl())
+        assert end.subject.common_name == "Still Fine"
+
+    def test_empty_chain_rejected(self, authority):
+        with pytest.raises(VerificationError):
+            verify_chain([], authority.trust_store())
+
+    def test_intermediate_ca_chain(self, authority):
+        sub = authority.issue_sub_ca("/O=grid.test/CN=Sub CA", path_length=0)
+        sub_ca = CertificateAuthority("/O=grid.test/CN=unused", key_bits=256)
+        # Re-sign a user certificate under the intermediate key by building the
+        # chain by hand: user signed by sub CA, sub CA signed by root.
+        user_key = sub_ca._keypair  # reuse a generated keypair for speed
+        user_cert = Certificate.build_and_sign(
+            subject=DN.parse("/O=grid.test/OU=People/CN=Nested User"),
+            issuer=sub.certificate.subject,
+            public_key=user_key.public,
+            signing_key=sub.private_key,
+            serial=999_001,
+            lifetime=3600,
+        )
+        chain = [user_cert, sub.certificate, authority.certificate]
+        end = verify_chain(chain, authority.trust_store())
+        assert end.subject.common_name == "Nested User"
+
+    def test_chain_break_detected(self, authority, user_credential):
+        other = CertificateAuthority("/O=grid.test/CN=Unrelated CA", key_bits=256)
+        broken = [user_credential.certificate, other.certificate, authority.certificate]
+        with pytest.raises(VerificationError):
+            verify_chain(broken, authority.trust_store())
+
+
+class TestCertificateAuthority:
+    def test_issue_user_dn_layout(self, authority):
+        cred = authority.issue_user("Dave Dunn", "Staff")
+        assert cred.certificate.subject == DN.parse("/O=grid.test/OU=Staff/CN=Dave Dunn")
+
+    def test_issue_host_dn_layout(self, authority):
+        cred = authority.issue_host("node1.grid.test")
+        assert cred.certificate.subject.common_name == "host/node1.grid.test"
+        assert cred.certificate.subject.is_service_dn()
+
+    def test_revoke_unknown_serial_raises(self, authority):
+        with pytest.raises(CertificateError):
+            authority.revoke(123456789)
+
+    def test_is_revoked(self, authority):
+        cred = authority.issue_user("Eve Example")
+        assert not authority.is_revoked(cred.certificate)
+        authority.revoke(cred.certificate.serial)
+        assert authority.is_revoked(cred.certificate)
+
+    def test_describe_counts(self, authority):
+        info = authority.describe()
+        assert info["issued"] == len(authority.issued_certificates())
+        assert info["name"] == str(authority.name)

@@ -1,0 +1,136 @@
+"""Credential bundles, PEM armoring and the key store."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.pki import pem
+from repro.pki.authority import CertificateAuthority
+from repro.pki.certificate import CertificateError
+from repro.pki.credentials import Credential, KeyStore
+
+
+@pytest.fixture(scope="module")
+def authority():
+    return CertificateAuthority("/O=grid.test/CN=Credential CA", key_bits=512)
+
+
+@pytest.fixture(scope="module")
+def credential(authority):
+    return authority.issue_user("Kay Keystore")
+
+
+class TestPEM:
+    def test_encode_decode_round_trip(self):
+        text = pem.encode("CLARENS CERTIFICATE", b"payload bytes")
+        label, payload = pem.decode(text)
+        assert label == "CLARENS CERTIFICATE"
+        assert payload == b"payload bytes"
+
+    def test_multiple_blocks(self):
+        text = pem.encode("A BLOCK", b"one") + pem.encode("B BLOCK", b"two")
+        blocks = list(pem.decode_all(text))
+        assert [b[0] for b in blocks] == ["A BLOCK", "B BLOCK"]
+        assert [b[1] for b in blocks] == [b"one", b"two"]
+
+    def test_long_payload_wraps_lines(self):
+        text = pem.encode("DATA", b"x" * 1000)
+        body_lines = [l for l in text.splitlines() if not l.startswith("-----")]
+        assert all(len(line) <= 64 for line in body_lines)
+
+    def test_missing_end_marker_rejected(self):
+        with pytest.raises(pem.PEMError):
+            list(pem.decode_all("-----BEGIN DATA-----\nAAAA\n"))
+
+    def test_invalid_base64_rejected(self):
+        with pytest.raises(pem.PEMError):
+            list(pem.decode_all("-----BEGIN DATA-----\n@@@@\n-----END DATA-----\n"))
+
+    def test_no_blocks_rejected(self):
+        with pytest.raises(pem.PEMError):
+            pem.decode("just some text")
+
+    def test_lowercase_label_rejected(self):
+        with pytest.raises(pem.PEMError):
+            pem.encode("lowercase", b"x")
+
+    def test_wrong_expected_label(self):
+        text = pem.encode("A BLOCK", b"one")
+        with pytest.raises(pem.PEMError):
+            pem.decode(text, expected_label="B BLOCK")
+
+    def test_empty_payload_round_trip(self):
+        label, payload = pem.decode(pem.encode("EMPTY", b""))
+        assert label == "EMPTY" and payload == b""
+
+
+class TestCredential:
+    def test_dict_round_trip(self, credential):
+        restored = Credential.from_dict(credential.to_dict())
+        assert restored.certificate == credential.certificate
+        assert restored.private_key == credential.private_key
+        assert restored.chain == tuple(credential.chain)
+
+    def test_pem_round_trip(self, credential):
+        restored = Credential.from_pem(credential.to_pem())
+        assert restored.certificate == credential.certificate
+        assert len(restored.chain) == len(credential.chain)
+
+    def test_pem_without_key_rejected(self, credential):
+        import json
+
+        text = pem.encode("CLARENS CERTIFICATE",
+                          json.dumps(credential.certificate.to_dict()).encode())
+        with pytest.raises(CertificateError):
+            Credential.from_pem(text)
+
+    def test_malformed_dict_rejected(self):
+        with pytest.raises(CertificateError):
+            Credential.from_dict({"certificate": {}})
+
+    def test_sign_uses_private_key(self, credential):
+        signature = credential.sign(b"message")
+        assert credential.certificate.public_key.verify(b"message", signature)
+
+    def test_full_chain_order(self, credential):
+        chain = credential.full_chain()
+        assert chain[0] == credential.certificate
+        assert chain[-1].is_ca
+
+
+class TestKeyStore:
+    def test_save_and_load(self, tmp_path, credential):
+        store = KeyStore(tmp_path)
+        store.save("kay", credential)
+        restored = store.load("kay")
+        assert restored.certificate == credential.certificate
+        assert "kay" in store and len(store) == 1
+
+    def test_load_missing_alias(self, tmp_path):
+        with pytest.raises(KeyError):
+            KeyStore(tmp_path).load("absent")
+
+    def test_delete(self, tmp_path, credential):
+        store = KeyStore(tmp_path)
+        store.save("kay", credential)
+        assert store.delete("kay")
+        assert not store.delete("kay")
+        assert "kay" not in store
+
+    def test_aliases_sorted(self, tmp_path, credential):
+        store = KeyStore(tmp_path)
+        store.save("zeta", credential)
+        store.save("alpha", credential)
+        assert store.aliases() == ["alpha", "zeta"]
+
+    def test_alias_sanitisation(self, tmp_path, credential):
+        store = KeyStore(tmp_path)
+        path = store.save("weird/alias name", credential)
+        assert "/" not in path.name.replace(".pem", "")
+        with pytest.raises(ValueError):
+            store.save("///", credential)
+
+    def test_private_key_file_permissions(self, tmp_path, credential):
+        store = KeyStore(tmp_path)
+        path = store.save("kay", credential)
+        assert (path.stat().st_mode & 0o077) == 0

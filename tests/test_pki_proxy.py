@@ -1,0 +1,125 @@
+"""Proxy certificates: issuance, delegation and verification rules."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.pki.authority import CertificateAuthority
+from repro.pki.certificate import VerificationError
+from repro.pki.proxy import ProxyCertificate, issue_proxy, verify_proxy_chain
+
+
+@pytest.fixture(scope="module")
+def authority():
+    return CertificateAuthority("/O=grid.test/CN=Proxy CA", key_bits=512)
+
+
+@pytest.fixture(scope="module")
+def user(authority):
+    return authority.issue_user("Paula Proxy")
+
+
+@pytest.fixture()
+def proxy(user):
+    return issue_proxy(user, lifetime=3600.0)
+
+
+class TestIssuance:
+    def test_subject_gets_cn_proxy_suffix(self, user, proxy):
+        assert str(proxy.subject) == str(user.certificate.subject) + "/CN=proxy"
+        assert proxy.certificate.is_proxy
+        assert proxy.owner_dn == user.certificate.subject
+
+    def test_limited_proxy_naming(self, user):
+        limited = issue_proxy(user, limited=True)
+        assert limited.subject.rdns[-1].value == "limited proxy"
+        assert limited.limited
+
+    def test_lifetime_clipped_to_issuer(self, authority):
+        short = authority.issue("/O=grid.test/CN=shortlived", lifetime=5.0)
+        proxy = issue_proxy(short, lifetime=10 * 3600.0)
+        assert proxy.certificate.not_after <= short.certificate.not_after + 1e-6
+
+    def test_cannot_issue_from_expired_credential(self, authority):
+        expired = authority.issue("/O=grid.test/CN=gone", lifetime=0.001)
+        time.sleep(0.01)
+        with pytest.raises(VerificationError):
+            issue_proxy(expired)
+
+    def test_delegation_depth_counts_levels(self, user, proxy):
+        second = issue_proxy(proxy.credential)
+        third = issue_proxy(second.credential)
+        assert proxy.delegation_depth == 1
+        assert second.delegation_depth == 2
+        assert third.delegation_depth == 3
+        assert third.owner_dn == user.certificate.subject
+
+    def test_time_left_positive_then_expired(self, user):
+        proxy = issue_proxy(user, lifetime=3600.0)
+        assert proxy.time_left() > 3500
+        assert not proxy.is_expired()
+
+    def test_dict_round_trip(self, proxy):
+        restored = ProxyCertificate.from_dict(proxy.to_dict())
+        assert restored.certificate == proxy.certificate
+        assert restored.owner_dn == proxy.owner_dn
+
+
+class TestVerification:
+    def test_valid_proxy_authenticates_owner(self, authority, user, proxy):
+        owner = verify_proxy_chain(proxy, authority.trust_store())
+        assert owner == user.certificate.subject
+
+    def test_delegated_proxy_authenticates_original_owner(self, authority, user, proxy):
+        delegated = issue_proxy(proxy.credential)
+        owner = verify_proxy_chain(delegated, authority.trust_store())
+        assert owner == user.certificate.subject
+
+    def test_untrusted_root_rejected(self, proxy):
+        other = CertificateAuthority("/O=grid.test/CN=Enemy CA", key_bits=256)
+        with pytest.raises(VerificationError):
+            verify_proxy_chain(proxy, other.trust_store())
+
+    def test_expired_proxy_rejected(self, authority, user):
+        proxy = issue_proxy(user, lifetime=0.001)
+        time.sleep(0.01)
+        with pytest.raises(VerificationError):
+            verify_proxy_chain(proxy, authority.trust_store())
+
+    def test_delegation_depth_limit_enforced(self, authority, user):
+        proxy = issue_proxy(user)
+        for _ in range(3):
+            proxy = issue_proxy(proxy.credential)
+        with pytest.raises(VerificationError, match="delegation depth"):
+            verify_proxy_chain(proxy, authority.trust_store(), max_delegation_depth=2)
+
+    def test_plain_chain_without_proxy_rejected(self, authority, user):
+        with pytest.raises(VerificationError, match="does not contain a proxy"):
+            verify_proxy_chain(list(user.full_chain()), authority.trust_store())
+
+    def test_limited_proxy_cannot_delegate_full_proxy(self, authority, user):
+        limited = issue_proxy(user, limited=True)
+        # Forging a *full* proxy below a limited one must be rejected.
+        full_below_limited = issue_proxy(limited.credential, limited=False)
+        with pytest.raises(VerificationError, match="limited"):
+            verify_proxy_chain(full_below_limited, authority.trust_store())
+
+    def test_limited_chain_of_limited_proxies_is_fine(self, authority, user):
+        limited = issue_proxy(user, limited=True)
+        deeper = issue_proxy(limited.credential, limited=True)
+        owner = verify_proxy_chain(deeper, authority.trust_store())
+        assert owner == user.certificate.subject
+
+    def test_revoked_user_certificate_invalidates_proxy(self, authority):
+        victim = authority.issue_user("Revoked Owner")
+        proxy = issue_proxy(victim)
+        authority.revoke(victim.certificate)
+        with pytest.raises(VerificationError, match="revoked"):
+            verify_proxy_chain(proxy, authority.trust_store(),
+                               revoked_serials=authority.crl())
+
+    def test_empty_chain_rejected(self, authority):
+        with pytest.raises(VerificationError):
+            verify_proxy_chain([], authority.trust_store())

@@ -1,0 +1,153 @@
+"""RSA key generation, signatures and secret transport."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.pki.rsa import (
+    RSAPrivateKey,
+    RSAPublicKey,
+    generate_keypair,
+    generate_prime,
+    is_probable_prime,
+)
+
+
+@pytest.fixture(scope="module")
+def keypair():
+    return generate_keypair(512, random.Random(7))
+
+
+class TestPrimality:
+    def test_small_primes_recognised(self):
+        for p in (2, 3, 5, 7, 11, 101, 229):
+            assert is_probable_prime(p)
+
+    def test_small_composites_rejected(self):
+        for c in (0, 1, 4, 9, 15, 21, 100, 221):
+            assert not is_probable_prime(c)
+
+    def test_carmichael_number_rejected(self):
+        assert not is_probable_prime(561)
+        assert not is_probable_prime(41041)
+
+    def test_generate_prime_has_requested_bits(self):
+        rng = random.Random(3)
+        p = generate_prime(96, rng)
+        assert p.bit_length() == 96
+        assert is_probable_prime(p)
+
+    def test_generate_prime_rejects_tiny_sizes(self):
+        with pytest.raises(ValueError):
+            generate_prime(4)
+
+
+class TestKeyGeneration:
+    def test_modulus_size(self, keypair):
+        assert 500 <= keypair.public.bits <= 513
+
+    def test_public_matches_private(self, keypair):
+        assert keypair.private.public_key() == keypair.public
+        assert keypair.private.n == keypair.private.p * keypair.private.q
+
+    def test_reproducible_with_seeded_rng(self):
+        a = generate_keypair(256, random.Random(42))
+        b = generate_keypair(256, random.Random(42))
+        assert a.public == b.public
+
+    def test_distinct_keys_for_distinct_seeds(self):
+        a = generate_keypair(256, random.Random(1))
+        b = generate_keypair(256, random.Random(2))
+        assert a.public != b.public
+
+    def test_rejects_tiny_modulus(self):
+        with pytest.raises(ValueError):
+            generate_keypair(64)
+
+
+class TestSignatures:
+    def test_sign_verify_round_trip(self, keypair):
+        signature = keypair.private.sign(b"hello grid")
+        assert keypair.public.verify(b"hello grid", signature)
+
+    def test_verify_rejects_tampered_message(self, keypair):
+        signature = keypair.private.sign(b"hello grid")
+        assert not keypair.public.verify(b"hello grid!", signature)
+
+    def test_verify_rejects_tampered_signature(self, keypair):
+        signature = keypair.private.sign(b"hello grid")
+        assert not keypair.public.verify(b"hello grid", signature + 1)
+
+    def test_verify_rejects_wrong_key(self, keypair):
+        other = generate_keypair(256, random.Random(9))
+        signature = keypair.private.sign(b"payload")
+        assert not other.public.verify(b"payload", signature)
+
+    def test_verify_rejects_out_of_range_values(self, keypair):
+        assert not keypair.public.verify(b"x", 0)
+        assert not keypair.public.verify(b"x", keypair.public.n)
+        assert not keypair.public.verify(b"x", "nonsense")  # type: ignore[arg-type]
+
+    def test_empty_message_signable(self, keypair):
+        assert keypair.public.verify(b"", keypair.private.sign(b""))
+
+
+class TestSecretTransport:
+    def test_encrypt_decrypt_secret(self, keypair):
+        secret = b"\x01" * 32
+        ciphertext = keypair.public.encrypt_secret(secret)
+        assert keypair.private.decrypt_secret(ciphertext) == secret
+
+    def test_decrypt_with_wrong_key_fails(self, keypair):
+        other = generate_keypair(512, random.Random(11))
+        ciphertext = keypair.public.encrypt_secret(b"s" * 16)
+        with pytest.raises(ValueError):
+            other.private.decrypt_secret(ciphertext)
+
+    def test_secret_too_long_rejected(self, keypair):
+        with pytest.raises(ValueError):
+            keypair.public.encrypt_secret(b"x" * 128)
+
+    def test_encrypt_int_range_checks(self, keypair):
+        with pytest.raises(ValueError):
+            keypair.public.encrypt_int(keypair.public.n)
+        with pytest.raises(ValueError):
+            keypair.private.decrypt_int(-1)
+
+
+class TestSerialization:
+    def test_public_key_dict_round_trip(self, keypair):
+        assert RSAPublicKey.from_dict(keypair.public.to_dict()) == keypair.public
+
+    def test_private_key_dict_round_trip(self, keypair):
+        restored = RSAPrivateKey.from_dict(keypair.private.to_dict())
+        assert restored == keypair.private
+        assert restored.public_key() == keypair.public
+
+    def test_fingerprint_stable_and_distinct(self, keypair):
+        other = generate_keypair(256, random.Random(5))
+        assert keypair.public.fingerprint() == keypair.public.fingerprint()
+        assert keypair.public.fingerprint() != other.public.fingerprint()
+
+
+# -- property-based -------------------------------------------------------------
+
+_KP = generate_keypair(384, random.Random(99))
+
+
+@settings(deadline=None, max_examples=30)
+@given(st.binary(min_size=0, max_size=256))
+def test_sign_verify_property(message):
+    signature = _KP.private.sign(message)
+    assert _KP.public.verify(message, signature)
+
+
+@settings(deadline=None, max_examples=30)
+@given(st.binary(min_size=1, max_size=256), st.binary(min_size=1, max_size=256))
+def test_signature_does_not_transfer_between_messages(m1, m2):
+    if m1 == m2:
+        return
+    assert not _KP.public.verify(m2, _KP.private.sign(m1))

@@ -1,0 +1,91 @@
+"""Portal generation: templates, components and integration with the file service."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.portal.components import (
+    ACLManagerComponent,
+    DiscoveryComponent,
+    FileBrowserComponent,
+    JobSubmissionComponent,
+    VOManagerComponent,
+)
+from repro.portal.generator import PortalGenerator
+from repro.portal.templates import TemplateError, render_template
+
+
+class TestTemplates:
+    def test_variable_substitution(self):
+        assert render_template("Hello {{ name }}!", {"name": "grid"}) == "Hello grid!"
+
+    def test_dotted_lookup(self):
+        assert render_template("{{ server.name }}", {"server": {"name": "clarens"}}) == "clarens"
+
+    def test_for_loop(self):
+        out = render_template("{% for x in items %}[{{ x }}]{% endfor %}",
+                              {"items": ["a", "b", "c"]})
+        assert out == "[a][b][c]"
+
+    def test_nested_context_inside_loop(self):
+        out = render_template("{% for x in items %}{{ prefix }}{{ x }} {% endfor %}",
+                              {"items": ["1", "2"], "prefix": "v"})
+        assert out == "v1 v2 "
+
+    def test_unknown_variable_raises(self):
+        with pytest.raises(TemplateError):
+            render_template("{{ missing }}", {})
+
+    def test_empty_loop_renders_nothing(self):
+        assert render_template("{% for x in items %}x{% endfor %}", {"items": []}) == ""
+
+
+class TestComponents:
+    @pytest.mark.parametrize("component_cls,expected_call", [
+        (FileBrowserComponent, "file.ls"),
+        (VOManagerComponent, "vo.list_groups"),
+        (ACLManagerComponent, "acl.check_method"),
+        (DiscoveryComponent, "discovery.find"),
+        (JobSubmissionComponent, "job.submit"),
+    ])
+    def test_each_component_embeds_its_service_call(self, component_cls, expected_call):
+        component = component_cls(rpc_path="/clarens/rpc", server_name="portal-test")
+        html = component.render()
+        assert expected_call in html
+        assert "/clarens/rpc" in html
+        assert "X-Clarens-Session" in html  # session header wired into the JS runtime
+        assert html.startswith("<!DOCTYPE html>")
+
+    def test_navigation_links_rendered(self):
+        html = FileBrowserComponent().render(nav_links=["index.html", "vo.html"])
+        assert 'href="index.html"' in html and 'href="vo.html"' in html
+
+
+class TestGenerator:
+    def test_render_all_produces_expected_pages(self):
+        pages = PortalGenerator(server_name="cms-portal").render_all()
+        assert set(pages) == {"index.html", "files.html", "vo.html", "acl.html",
+                              "discovery.html", "jobs.html"}
+        assert "cms-portal" in pages["index.html"]
+        assert 'href="files.html"' in pages["index.html"]
+
+    def test_write_creates_files(self, tmp_path):
+        written = PortalGenerator().write(tmp_path / "portal")
+        assert len(written) == 6
+        assert all(path.exists() and path.stat().st_size > 0 for path in written)
+
+    def test_for_server_uses_config(self, server):
+        generator = PortalGenerator.for_server(server)
+        html = generator.render_all()["files.html"]
+        assert server.config.rpc_path() in html
+        assert server.config.server_name in html
+
+    def test_portal_served_through_file_service(self, server, admin_client, client):
+        """Writing the portal under the file root makes it reachable over GET."""
+
+        portal_dir = server.file_root / "portal"
+        PortalGenerator.for_server(server).write(portal_dir)
+        response = client.http_get("portal/index.html")
+        assert response.status == 200
+        assert b"Clarens portal" in response.body_bytes()
+        assert response.headers.get("Content-Type") == "text/html"

@@ -1,0 +1,142 @@
+"""The proxy service: store, retrieve, login, attach, delegate."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.pki.proxy import ProxyCertificate, issue_proxy
+from repro.proxyservice.store import ProxyStore, ProxyStoreError
+from repro.protocols.errors import Fault, FaultCode
+from repro.database import Database
+
+
+class TestProxyStore:
+    @pytest.fixture()
+    def store(self):
+        return ProxyStore(Database())
+
+    @pytest.fixture()
+    def proxy(self, alice_credential):
+        return issue_proxy(alice_credential, lifetime=3600.0)
+
+    def test_store_and_retrieve(self, store, proxy, alice_credential):
+        dn = str(alice_credential.certificate.subject)
+        store.store(dn, proxy, "s3cret")
+        restored = store.retrieve(dn, "s3cret")
+        assert restored.certificate == proxy.certificate
+        assert restored.owner_dn == proxy.owner_dn
+
+    def test_wrong_password_rejected(self, store, proxy, alice_credential):
+        dn = str(alice_credential.certificate.subject)
+        store.store(dn, proxy, "s3cret")
+        with pytest.raises(ProxyStoreError, match="password"):
+            store.retrieve(dn, "wrong")
+
+    def test_missing_proxy_rejected(self, store):
+        with pytest.raises(ProxyStoreError, match="no proxy stored"):
+            store.retrieve("/O=x/CN=ghost", "pw")
+
+    def test_empty_password_rejected(self, store, proxy, alice_credential):
+        with pytest.raises(ProxyStoreError):
+            store.store(str(alice_credential.certificate.subject), proxy, "")
+
+    def test_stored_blob_is_not_plaintext(self, store, proxy, alice_credential):
+        dn = str(alice_credential.certificate.subject)
+        store.store(dn, proxy, "s3cret")
+        record = store._table.get(dn)
+        assert "proxy" not in record["blob"]
+        assert format(proxy.credential.private_key.d, "x") not in record["blob"]
+
+    def test_info_and_owners(self, store, proxy, alice_credential):
+        dn = str(alice_credential.certificate.subject)
+        store.store(dn, proxy, "pw")
+        info = store.info(dn)
+        assert info is not None and info["delegation_depth"] == 1
+        assert store.owners() == [dn]
+        assert store.info("/O=x/CN=none") is None
+
+    def test_delete_and_purge(self, store, proxy, alice_credential):
+        dn = str(alice_credential.certificate.subject)
+        store.store(dn, proxy, "pw")
+        assert store.delete(dn)
+        assert not store.delete(dn)
+        store.store(dn, proxy, "pw")
+        assert store.purge_expired(when=proxy.certificate.not_after + 10) == 1
+
+
+class TestProxyServiceRPC:
+    @pytest.fixture()
+    def stored_proxy(self, anon_client, alice_credential):
+        proxy = issue_proxy(alice_credential, lifetime=3600.0)
+        anon_client.call("proxy.store", proxy.to_dict(), "grid-pass")
+        return proxy
+
+    def test_store_rejects_untrusted_proxy(self, anon_client):
+        from repro.pki.authority import CertificateAuthority
+
+        rogue = CertificateAuthority("/O=rogue/CN=Rogue CA", key_bits=512)
+        forged = issue_proxy(rogue.issue_user("Mallory"))
+        with pytest.raises(Fault) as excinfo:
+            anon_client.call("proxy.store", forged.to_dict(), "pw")
+        assert excinfo.value.code == FaultCode.AUTHENTICATION_REQUIRED
+
+    def test_login_with_dn_and_password_only(self, stored_proxy, anon_client, alice_credential):
+        dn = str(alice_credential.certificate.subject)
+        session = anon_client.call("proxy.login", dn, "grid-pass")
+        assert session["dn"] == dn and session["method"] == "proxy"
+
+    def test_login_with_wrong_password_fails(self, stored_proxy, anon_client, alice_credential):
+        with pytest.raises(Fault):
+            anon_client.call("proxy.login", str(alice_credential.certificate.subject), "nope")
+
+    def test_retrieve_returns_usable_proxy(self, stored_proxy, anon_client, alice_credential):
+        dn = str(alice_credential.certificate.subject)
+        data = anon_client.call("proxy.retrieve", dn, "grid-pass")
+        restored = ProxyCertificate.from_dict(data)
+        assert restored.owner_dn == dn
+
+    def test_attach_renews_session_and_records_delegation(self, stored_proxy, client,
+                                                          alice_credential, server):
+        dn = str(alice_credential.certificate.subject)
+        result = client.call("proxy.attach", dn, "grid-pass")
+        assert result["proxy_not_after"] > 0
+        session = server.sessions.validate(client.session_id)
+        assert session.attributes["proxy"]["owner_dn"] == dn
+
+    def test_attach_rejects_other_users_proxy(self, stored_proxy, server, loopback,
+                                              bob_credential, alice_credential):
+        from repro.client.client import ClarensClient
+
+        bob = ClarensClient.for_loopback(loopback)
+        bob.login_with_credential(bob_credential)
+        with pytest.raises(Fault) as excinfo:
+            bob.call("proxy.attach", str(alice_credential.certificate.subject), "grid-pass")
+        assert excinfo.value.code == FaultCode.ACCESS_DENIED
+
+    def test_delegate_produces_deeper_limited_proxy(self, stored_proxy, client, alice_credential,
+                                                    server):
+        dn = str(alice_credential.certificate.subject)
+        delegated = client.call("proxy.delegate", dn, "grid-pass", 600.0, True)
+        proxy = ProxyCertificate.from_dict(delegated)
+        assert proxy.delegation_depth == 2
+        assert proxy.limited
+        # The delegated proxy is good enough to log in with.
+        session = server.authenticator.login_with_proxy(proxy)
+        assert session.dn == dn
+
+    def test_info_and_delete_scoping(self, stored_proxy, client, admin_client,
+                                     alice_credential):
+        dn = str(alice_credential.certificate.subject)
+        assert client.call("proxy.info", "")["owner_dn"] == dn
+        assert admin_client.call("proxy.list_owners") == [dn]
+        with pytest.raises(Fault):
+            client.call("proxy.list_owners")
+        assert client.call("proxy.delete", "") is True
+        with pytest.raises(Fault):
+            client.call("proxy.info", "")
+
+    def test_proxy_login_then_call_protected_method(self, stored_proxy, anon_client,
+                                                    alice_credential):
+        dn = str(alice_credential.certificate.subject)
+        anon_client.login_with_stored_proxy(dn, "grid-pass")
+        assert anon_client.call("system.whoami")["dn"] == dn

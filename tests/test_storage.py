@@ -1,0 +1,202 @@
+"""The SRM/mass-storage extension: the simulated dCache, the SRM layer, the RPC."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.client.files import download_file
+from repro.protocols.errors import Fault, FaultCode
+from repro.storage.masstore import MassStorageSystem, StorageError
+from repro.storage.srm import RequestState, StorageResourceManager
+
+OWNER = "/O=srm.test/CN=Data Owner"
+
+
+@pytest.fixture()
+def store(tmp_path):
+    return MassStorageSystem(tmp_path / "masstore", pool_capacity=1 << 20, n_pools=2)
+
+
+class TestMassStorage:
+    def test_write_read_round_trip(self, store):
+        record = store.write("/cms/run1.dat", b"events" * 100)
+        assert record.on_disk and not record.on_tape
+        assert store.read("/cms/run1.dat") == b"events" * 100
+        assert store.stat("/cms/run1.dat")["locality"] == "ONLINE"
+
+    def test_duplicate_write_rejected(self, store):
+        store.write("/a.dat", b"x")
+        with pytest.raises(StorageError):
+            store.write("/a.dat", b"y")
+
+    def test_flush_evict_stage_cycle(self, store):
+        store.write("/tape/archive.dat", b"z" * 1000)
+        store.flush_to_tape("/tape/archive.dat")
+        assert store.stat("/tape/archive.dat")["locality"] == "ONLINE_AND_NEARLINE"
+        store.unpin("/tape/archive.dat")
+        store.evict("/tape/archive.dat")
+        assert store.stat("/tape/archive.dat")["locality"] == "NEARLINE"
+        # Staging brings it back online and pins it.
+        record = store.stage("/tape/archive.dat", pin_seconds=60)
+        assert record.on_disk and record.pinned
+        assert store.read("/tape/archive.dat") == b"z" * 1000
+        assert store.stage_operations == 1
+
+    def test_evict_without_tape_copy_refused(self, store):
+        store.write("/precious.dat", b"only-copy")
+        with pytest.raises(StorageError, match="no tape copy"):
+            store.evict("/precious.dat")
+
+    def test_evict_pinned_replica_refused(self, store):
+        store.write("/pinned.dat", b"p")
+        store.flush_to_tape("/pinned.dat")
+        store.pin("/pinned.dat", 60)
+        with pytest.raises(StorageError, match="pinned"):
+            store.evict("/pinned.dat")
+
+    def test_pool_pressure_evicts_lru_tape_backed_replicas(self, tmp_path):
+        store = MassStorageSystem(tmp_path / "small", pool_capacity=1000, n_pools=1)
+        store.write("/old.dat", b"a" * 600)
+        store.flush_to_tape("/old.dat")
+        store.unpin("/old.dat")
+        # The next write does not fit beside /old.dat, so /old.dat is evicted.
+        store.write("/new.dat", b"b" * 600)
+        assert store.stat("/old.dat")["locality"] == "NEARLINE"
+        assert store.stat("/new.dat")["locality"] == "ONLINE"
+
+    def test_pool_full_of_unarchived_data_raises(self, tmp_path):
+        store = MassStorageSystem(tmp_path / "tiny", pool_capacity=500, n_pools=1)
+        store.write("/only.dat", b"a" * 400)  # no tape copy, cannot be evicted
+        with pytest.raises(StorageError, match="free space"):
+            store.write("/more.dat", b"b" * 400)
+
+    def test_listdir_and_delete(self, store):
+        store.write("/cms/a.dat", b"1")
+        store.write("/cms/b.dat", b"2")
+        store.write("/atlas/c.dat", b"3")
+        assert [e["logical_path"] for e in store.listdir("/cms")] == ["/cms/a.dat", "/cms/b.dat"]
+        assert store.delete("/cms/a.dat")
+        assert not store.delete("/cms/a.dat")
+
+    def test_invalid_paths_rejected(self, store):
+        with pytest.raises(StorageError):
+            store.write("/../escape.dat", b"x")
+        with pytest.raises(StorageError):
+            store.stat("/missing.dat")
+
+
+class TestSRMLayer:
+    @pytest.fixture()
+    def srm(self, store, tmp_path):
+        return StorageResourceManager(store, tmp_path / "transfers")
+
+    def test_prepare_to_get_stages_and_exposes_turl(self, srm, store):
+        store.write("/cms/run1.dat", b"payload")
+        store.flush_to_tape("/cms/run1.dat")
+        store.unpin("/cms/run1.dat")
+        store.evict("/cms/run1.dat")
+        request = srm.prepare_to_get(OWNER, "/cms/run1.dat")
+        assert request.state is RequestState.READY
+        assert request.turl.startswith("/srm-transfers/")
+        assert store.stat("/cms/run1.dat")["locality"].startswith("ONLINE")
+
+    def test_prepare_to_get_missing_file_fails(self, srm):
+        request = srm.prepare_to_get(OWNER, "/nope.dat")
+        assert request.state is RequestState.FAILED
+        assert "no such file" in request.error
+
+    def test_put_cycle(self, srm, tmp_path):
+        request = srm.prepare_to_put(OWNER, "/cms/new_upload.dat", 5)
+        assert request.state is RequestState.READY
+        # The client writes to the TURL (here: directly into the transfer area).
+        (tmp_path / "transfers" / request.turl.rsplit("/", 1)[-1]).write_bytes(b"fresh")
+        done = srm.put_done(request.request_id)
+        assert done.state is RequestState.DONE
+        assert srm.stat("/cms/new_upload.dat")["locality"] == "ONLINE_AND_NEARLINE"
+
+    def test_put_done_without_data_fails(self, srm):
+        request = srm.prepare_to_put(OWNER, "/cms/ghost.dat", 5)
+        done = srm.put_done(request.request_id)
+        assert done.state is RequestState.FAILED
+
+    def test_release_unpins_and_clears_turl(self, srm, store, tmp_path):
+        store.write("/cms/run2.dat", b"data")
+        request = srm.prepare_to_get(OWNER, "/cms/run2.dat")
+        released = srm.release(request.request_id)
+        assert released.state is RequestState.RELEASED
+        assert not (tmp_path / "transfers" / request.turl.rsplit("/", 1)[-1]).exists()
+
+    def test_space_reservation_accounting(self, srm):
+        space = srm.reserve_space(OWNER, 10)
+        ok = srm.prepare_to_put(OWNER, "/a.dat", 8, space_token=space.token)
+        assert ok.state is RequestState.READY
+        too_big = srm.prepare_to_put(OWNER, "/b.dat", 8, space_token=space.token)
+        assert too_big.state is RequestState.FAILED
+        bad_token = srm.prepare_to_put(OWNER, "/c.dat", 1, space_token="space-999999")
+        assert bad_token.state is RequestState.FAILED
+        assert srm.release_space(space.token)
+
+    def test_request_tracking(self, srm, store):
+        store.write("/cms/run3.dat", b"d")
+        srm.prepare_to_get(OWNER, "/cms/run3.dat")
+        srm.prepare_to_put(OWNER, "/cms/out.dat", 1)
+        assert [r.kind for r in srm.requests_for(OWNER)] == ["get", "put"]
+        with pytest.raises(StorageError):
+            srm.get_request(999)
+
+
+class TestSRMService:
+    def test_full_transfer_through_file_service(self, admin_client, client):
+        # An administrator archives production data (it goes to disk + tape).
+        admin_client.call("srm.archive", "/cms/run2005A/events.dat", b"event " * 500, True)
+        admin_client.call("srm.evict", "/cms/run2005A/events.dat")
+        assert admin_client.call("srm.stat", "/cms/run2005A/events.dat")["locality"] == "NEARLINE"
+
+        # A user stages it via SRM and downloads the TURL through the file GET path.
+        request = client.call("srm.prepare_to_get", "/cms/run2005A/events.dat", 600.0)
+        assert request["state"] == "SRM_FILE_READY"
+        data = download_file(client, request["turl"])
+        assert data == b"event " * 500
+
+        # Status / release round-trip.
+        status = client.call("srm.status", request["request_id"])
+        assert status["state"] == "SRM_FILE_READY"
+        released = client.call("srm.release", request["request_id"])
+        assert released["state"] == "SRM_RELEASED"
+
+    def test_upload_via_prepare_to_put(self, admin_client, client):
+        space = client.call("srm.reserve_space", 1 << 20, 3600.0)
+        request = client.call("srm.prepare_to_put", "/user/alice/histos.root", 12,
+                              space["token"])
+        assert request["state"] == "SRM_FILE_READY"
+        # Upload through the ordinary (ACL-checked) file service write.
+        client.call("file.write", request["turl"], b"histogram!!", False)
+        done = client.call("srm.put_done", request["request_id"])
+        assert done["state"] == "SRM_SUCCESS"
+        listed = client.call("srm.ls", "/user/alice")
+        assert listed and listed[0]["logical_path"] == "/user/alice/histos.root"
+
+    def test_archive_requires_admin(self, client):
+        with pytest.raises(Fault) as excinfo:
+            client.call("srm.archive", "/x.dat", b"data", True)
+        assert excinfo.value.code == FaultCode.ACCESS_DENIED
+
+    def test_foreign_request_hidden(self, client, admin_client):
+        admin_client.call("srm.archive", "/cms/other.dat", b"d", True)
+        request = admin_client.call("srm.prepare_to_get", "/cms/other.dat", 60.0)
+        with pytest.raises(Fault) as excinfo:
+            client.call("srm.status", request["request_id"])
+        assert excinfo.value.code == FaultCode.ACCESS_DENIED
+
+    def test_pools_and_pin(self, admin_client, client):
+        admin_client.call("srm.archive", "/cms/pinme.dat", b"p", True)
+        pools = client.call("srm.pools")
+        assert pools and all("free" in p for p in pools)
+        pinned = client.call("srm.pin", "/cms/pinme.dat", 120.0)
+        assert pinned["pinned_until"] > 0
+        assert client.call("srm.my_requests") == []
+
+    def test_missing_surl_faults(self, client):
+        with pytest.raises(Fault) as excinfo:
+            client.call("srm.stat", "/does/not/exist.dat")
+        assert excinfo.value.code == FaultCode.NOT_FOUND
