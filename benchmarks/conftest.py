@@ -27,8 +27,18 @@ def pytest_addoption(parser):
         "--paper-scale", action="store_true", default=False,
         help="Run the full paper-scale sweeps (1000-call batches, full client grid). "
              "Default is a reduced grid that preserves the curve shapes.")
+    parser.addoption(
+        "--smoke", action="store_true", default=False,
+        help="Fast mode: shrink iteration counts so a benchmark finishes in "
+             "seconds (for CI gates); ratios are still asserted, absolute "
+             "numbers are meaningless.")
 
 
 @pytest.fixture(scope="session")
 def paper_scale(request) -> bool:
     return bool(request.config.getoption("--paper-scale"))
+
+
+@pytest.fixture(scope="session")
+def smoke(request) -> bool:
+    return bool(request.config.getoption("--smoke"))

@@ -14,6 +14,7 @@ The subpackages hold the full API:
 * :mod:`repro.pki`          -- certificates, CAs, proxy certificates.
 * :mod:`repro.vo`           -- virtual-organization management.
 * :mod:`repro.acl`          -- hierarchical access-control lists.
+* :mod:`repro.cache`        -- tiered hot-path caching with tag invalidation.
 * :mod:`repro.fileservice`  -- remote file access.
 * :mod:`repro.discovery`    -- dynamic service discovery.
 * :mod:`repro.monitoring`   -- MonALISA-style monitoring substrate.

@@ -19,6 +19,8 @@ from dataclasses import dataclass
 from typing import Callable, Iterable
 
 from repro.acl.model import ACL, ACLError, FileACL, Verdict
+from repro.cache.core import MISSING, TTLLRUCache
+from repro.cache.invalidation import InvalidationBus
 from repro.database import Database
 
 __all__ = ["ACLManager", "ACLDecision"]
@@ -48,16 +50,28 @@ def _method_levels(method: str) -> list[str]:
     return [".".join(parts[:i]) for i in range(len(parts), 0, -1)]
 
 
+def _normalize_path(path: str) -> str:
+    """Canonical form of a file path: single slashes, no trailing slash.
+
+    ``/data//cms/`` and ``data/cms`` both normalize to ``/data/cms`` so ACLs
+    are stored and looked up under one spelling.
+    """
+
+    parts = [segment for segment in path.split("/") if segment]
+    return "/" + "/".join(parts) if parts else "/"
+
+
 def _path_levels(path: str) -> list[str]:
     """Hierarchy levels for a file path, most specific first.
 
     ``/data/cms/run1.root`` -> ``["/data/cms/run1.root", "/data/cms", "/data", "/"]``.
+    Empty segments (``/data//cms``, trailing slashes) are dropped, so a path
+    with duplicate slashes sees exactly the ACLs of its normalized spelling.
     """
 
-    path = "/" + path.strip("/")
-    if path == "/":
+    parts = [segment for segment in path.split("/") if segment]
+    if not parts:
         return ["/"]
-    parts = path.strip("/").split("/")
     levels = ["/" + "/".join(parts[:i]) for i in range(len(parts), 0, -1)]
     levels.append("/")
     return levels
@@ -68,22 +82,73 @@ class ACLManager:
 
     def __init__(self, database: Database, *, membership: GroupMembership,
                  is_admin: Callable[[str], bool] | None = None,
-                 default_allow_authenticated: bool = True) -> None:
+                 default_allow_authenticated: bool = True,
+                 decision_cache: TTLLRUCache | None = None,
+                 invalidation: InvalidationBus | None = None) -> None:
         self._methods = database.table("acl_methods")
         self._files = database.table("acl_files")
         self._membership = membership
         self._is_admin = is_admin or (lambda dn: False)
-        #: When no ACL level matches at all: allow any *authenticated* DN when
-        #: True (the out-of-the-box Clarens behaviour for ordinary services)
-        #: or deny when False (lock-down deployments).
-        self.default_allow_authenticated = default_allow_authenticated
+        self._default_allow_authenticated = bool(default_allow_authenticated)
+        #: Optional per-(dn, name) decision cache (disabled in paper mode).
+        self._cache = decision_cache
+        self._invalidation = invalidation
+        if decision_cache is not None and invalidation is not None:
+            invalidation.subscribe("acl", decision_cache)
+        self._normalize_persisted_file_keys()
+
+    def _normalize_persisted_file_keys(self) -> None:
+        """One-time sweep: re-key file ACLs persisted under un-normalized paths.
+
+        Older versions could store keys containing duplicate slashes (e.g.
+        ``/data//cms``); lookups now only ever produce normalized spellings,
+        so such records would silently stop being enforced and become
+        undeletable through the API.  An already-present normalized record
+        wins (it was the reachable one for normalized queries).
+        """
+
+        for key in [k for k, _ in self._files.items()]:
+            normalized = _normalize_path(key)
+            if normalized == key:
+                continue
+            record = self._files.get(key, None)
+            self._files.delete(key)
+            if record is not None and self._files.get(normalized, None) is None:
+                self._files.put(normalized, record)
+
+    def _publish_invalidation(self, tag: str) -> None:
+        """Flush cached decisions after an ACL write."""
+
+        if self._invalidation is not None:
+            self._invalidation.publish(tag)
+        elif self._cache is not None:
+            self._cache.invalidate_tag(tag)
+
+    @property
+    def default_allow_authenticated(self) -> bool:
+        """When no ACL level matches at all: allow any *authenticated* DN when
+        True (the out-of-the-box Clarens behaviour for ordinary services) or
+        deny when False (lock-down deployments).  Flipping it at runtime
+        flushes every cached decision — the default decided them."""
+
+        return self._default_allow_authenticated
+
+    @default_allow_authenticated.setter
+    def default_allow_authenticated(self, value: bool) -> None:
+        value = bool(value)
+        if value != self._default_allow_authenticated:
+            self._default_allow_authenticated = value
+            self._publish_invalidation("acl")
 
     # -- administration ------------------------------------------------------
     def set_method_acl(self, level: str, acl: ACL, *, actor_dn: str | None = None) -> None:
         self._authorize_admin(actor_dn)
-        if not level or level.startswith(".") or level.endswith("."):
+        # Reject empty segments anywhere: leading/trailing dots and interior
+        # runs like "a..b" would create levels no method name ever walks.
+        if not level or any(not segment for segment in level.split(".")):
             raise ACLError(f"invalid method ACL level {level!r}")
         self._methods.put(level, acl.to_record())
+        self._publish_invalidation("acl:method")
 
     def get_method_acl(self, level: str) -> ACL | None:
         record = self._methods.get(level, None)
@@ -91,25 +156,29 @@ class ACLManager:
 
     def remove_method_acl(self, level: str, *, actor_dn: str | None = None) -> bool:
         self._authorize_admin(actor_dn)
-        return self._methods.delete(level)
+        removed = self._methods.delete(level)
+        if removed:
+            self._publish_invalidation("acl:method")
+        return removed
 
     def list_method_acls(self) -> dict[str, ACL]:
         return {key: ACL.from_record(rec) for key, rec in self._methods.items()}
 
     def set_file_acl(self, path: str, acl: FileACL, *, actor_dn: str | None = None) -> None:
         self._authorize_admin(actor_dn)
-        normalized = "/" + path.strip("/") if path.strip("/") else "/"
-        self._files.put(normalized, acl.to_record())
+        self._files.put(_normalize_path(path), acl.to_record())
+        self._publish_invalidation("acl:file")
 
     def get_file_acl(self, path: str) -> FileACL | None:
-        normalized = "/" + path.strip("/") if path.strip("/") else "/"
-        record = self._files.get(normalized, None)
+        record = self._files.get(_normalize_path(path), None)
         return FileACL.from_record(record) if record is not None else None
 
     def remove_file_acl(self, path: str, *, actor_dn: str | None = None) -> bool:
         self._authorize_admin(actor_dn)
-        normalized = "/" + path.strip("/") if path.strip("/") else "/"
-        return self._files.delete(normalized)
+        removed = self._files.delete(_normalize_path(path))
+        if removed:
+            self._publish_invalidation("acl:file")
+        return removed
 
     def list_file_acls(self) -> dict[str, FileACL]:
         return {key: FileACL.from_record(rec) for key, rec in self._files.items()}
@@ -146,6 +215,20 @@ class ACLManager:
     def check_method(self, dn: str, method: str) -> ACLDecision:
         """Can ``dn`` invoke ``method``?  Server admins always can."""
 
+        if self._cache is not None:
+            key = ("method", dn, method)
+            cached = self._cache.get(key)
+            if cached is not MISSING:
+                return cached
+            # Epoch-guarded so an ACL edit racing this evaluation cannot be
+            # overwritten by the stale decision (no stale-grant window).
+            epoch = self._cache.epoch
+            decision = self._check_method_db(dn, method)
+            self._cache.put_if_epoch(key, decision, epoch=epoch, tags=("acl:method",))
+            return decision
+        return self._check_method_db(dn, method)
+
+    def _check_method_db(self, dn: str, method: str) -> ACLDecision:
         if self._is_admin(dn):
             return ACLDecision(True, None, "server administrator")
         return self._evaluate_levels(dn, _method_levels(method), self.get_method_acl)
@@ -155,6 +238,18 @@ class ACLManager:
 
         if operation not in ("read", "write"):
             raise ACLError(f"unknown file operation {operation!r}")
+        if self._cache is not None:
+            key = ("file", dn, _normalize_path(path), operation)
+            cached = self._cache.get(key)
+            if cached is not MISSING:
+                return cached
+            epoch = self._cache.epoch
+            decision = self._check_file_db(dn, path, operation)
+            self._cache.put_if_epoch(key, decision, epoch=epoch, tags=("acl:file",))
+            return decision
+        return self._check_file_db(dn, path, operation)
+
+    def _check_file_db(self, dn: str, path: str, operation: str) -> ACLDecision:
         if self._is_admin(dn):
             return ACLDecision(True, None, "server administrator")
 

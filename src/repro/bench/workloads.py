@@ -30,6 +30,7 @@ from repro.pki.credentials import Credential
 __all__ = [
     "BenchmarkEnvironment",
     "make_benchmark_environment",
+    "make_cached_benchmark_environment",
     "make_event_file",
     "populate_discovery",
 ]
@@ -78,9 +79,15 @@ class BenchmarkEnvironment:
 
 
 def make_benchmark_environment(*, access_checks: int = 2, cache_method_list: bool = False,
+                               cache_enabled: bool = False,
                                with_tls: bool = True,
                                key_bits: int = 512) -> BenchmarkEnvironment:
-    """Build the paper's measurement setup over the loopback transport."""
+    """Build the paper's measurement setup over the loopback transport.
+
+    ``cache_enabled=False`` (the default) is the paper's configuration —
+    every request hits the session and ACL databases.  ``cache_enabled=True``
+    turns on the :mod:`repro.cache` subsystem for warm/cold comparisons.
+    """
 
     ca = CertificateAuthority("/O=clarens.bench/CN=Benchmark CA", key_bits=key_bits)
     host = ca.issue_host("bench.clarens.local")
@@ -90,6 +97,7 @@ def make_benchmark_environment(*, access_checks: int = 2, cache_method_list: boo
         admins=["/O=clarens.bench/OU=People/CN=Benchmark Admin"],
         access_checks_per_request=access_checks,
         cache_method_list=cache_method_list,
+        cache_enabled=cache_enabled,
         host_dn=str(host.certificate.subject),
     )
     server = ClarensServer(config, credential=host, trust_store=ca.trust_store())
@@ -97,6 +105,16 @@ def make_benchmark_environment(*, access_checks: int = 2, cache_method_list: boo
     tls_loopback = server.loopback(tls=True) if with_tls else None
     return BenchmarkEnvironment(server=server, ca=ca, user=user,
                                 loopback=loopback, tls_loopback=tls_loopback)
+
+
+def make_cached_benchmark_environment(*, access_checks: int = 2,
+                                      with_tls: bool = True,
+                                      key_bits: int = 512) -> BenchmarkEnvironment:
+    """The same measurement setup with the hot-path caches switched on."""
+
+    return make_benchmark_environment(access_checks=access_checks,
+                                      cache_enabled=True,
+                                      with_tls=with_tls, key_bits=key_bits)
 
 
 def make_event_file(directory: str | Path, *, size_bytes: int = 8 << 20,

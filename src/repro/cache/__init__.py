@@ -1,0 +1,40 @@
+"""Tiered caching for the per-RPC hot path.
+
+The paper's performance test measures exactly the path this package
+accelerates: every request performs "two access control checks involving
+access to several databases" — a session lookup plus a hierarchical method
+ACL evaluation — and the paper explicitly ran with "no caching … on the
+server".  That uncached mode remains the default (``ServerConfig.cache_enabled
+= False``), so benchmarks still reproduce the paper's numbers; flipping the
+flag interposes memory-speed caches in front of the session, ACL, discovery
+and PKI database reads, with write-through invalidation so no stale grant is
+ever served.
+
+The package has three layers:
+
+* :mod:`repro.cache.core` — the :class:`~repro.cache.core.TTLLRUCache`
+  primitive (thread-safe TTL + LRU with per-cache statistics and
+  sentinel-based negative caching) and the :class:`~repro.cache.core.CacheRegistry`
+  that names every cache in the process;
+* :mod:`repro.cache.invalidation` — the tag-based
+  :class:`~repro.cache.invalidation.InvalidationBus` writers publish to
+  (``session:<id>``, ``acl:method``, ``discovery``, ``pki:<dn>`` …) so a
+  single ACL edit flushes only ACL decision entries;
+* :mod:`repro.cache.decorators` — the :func:`~repro.cache.decorators.cached`
+  wrapper for read-through memoization of functions and methods.
+"""
+
+from repro.cache.core import MISSING, NEGATIVE, CacheRegistry, CacheStats, TTLLRUCache
+from repro.cache.decorators import cached
+from repro.cache.invalidation import InvalidationBus, invalidate_all
+
+__all__ = [
+    "MISSING",
+    "NEGATIVE",
+    "CacheRegistry",
+    "CacheStats",
+    "TTLLRUCache",
+    "InvalidationBus",
+    "cached",
+    "invalidate_all",
+]

@@ -1,0 +1,368 @@
+"""The cache primitive and the process-wide cache registry.
+
+:class:`TTLLRUCache` is a thread-safe mapping with three eviction causes,
+each counted separately in its :class:`CacheStats`: LRU capacity evictions,
+TTL expirations, and explicit invalidations (by key or by tag).  Negative
+results ("this session id does not exist") are first-class citizens: callers
+store the :data:`NEGATIVE` sentinel so repeated lookups of a missing key are
+served from memory instead of re-querying the database.
+
+Every cache in a process is registered under a unique name in a
+:class:`CacheRegistry`, which aggregates statistics for the monitoring
+subsystem (``system.cache_stats`` exposes the snapshot over RPC).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Callable, Hashable, Iterator
+
+__all__ = ["MISSING", "NEGATIVE", "CacheStats", "TTLLRUCache", "CacheRegistry"]
+
+
+class _Sentinel:
+    """A named singleton marker (repr-friendly, never equal to user values)."""
+
+    __slots__ = ("_name",)
+
+    def __init__(self, name: str) -> None:
+        self._name = name
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{self._name}>"
+
+
+#: Returned by :meth:`TTLLRUCache.get` when the key has no live entry.
+MISSING = _Sentinel("MISSING")
+#: Stored to cache the *absence* of a value (negative caching).
+NEGATIVE = _Sentinel("NEGATIVE")
+
+
+@dataclass
+class CacheStats:
+    """Counters for one cache (all monotonically increasing)."""
+
+    hits: int = 0
+    misses: int = 0
+    negative_hits: int = 0
+    evictions: int = 0
+    expirations: int = 0
+    invalidations: int = 0
+    stores: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        lookups = self.lookups
+        return (self.hits / lookups) if lookups else 0.0
+
+    def snapshot(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "negative_hits": self.negative_hits,
+            "evictions": self.evictions,
+            "expirations": self.expirations,
+            "invalidations": self.invalidations,
+            "stores": self.stores,
+            "lookups": self.lookups,
+            "hit_rate": self.hit_rate,
+        }
+
+
+def _tag_ancestors(tag: str) -> list[str]:
+    """Every proper colon-prefix of ``tag``: ``a:b:c`` -> ``["a", "a:b"]``."""
+
+    ancestors = []
+    index = tag.find(":")
+    while index != -1:
+        ancestors.append(tag[:index])
+        index = tag.find(":", index + 1)
+    return ancestors
+
+
+class _Entry:
+    __slots__ = ("value", "expires", "tags")
+
+    def __init__(self, value: Any, expires: float | None, tags: tuple[str, ...]) -> None:
+        self.value = value
+        self.expires = expires
+        self.tags = tags
+
+
+class TTLLRUCache:
+    """A thread-safe TTL + LRU cache with tag-based invalidation.
+
+    ``ttl`` is the default time-to-live in seconds applied by :meth:`put`
+    (``None`` means entries never expire by age).  ``maxsize`` bounds the
+    entry count; the least recently *read or written* entry is evicted first.
+    Entries may carry string tags (e.g. ``session:<id>``, ``acl:method``);
+    :meth:`invalidate_tag` removes every entry whose tags match the given tag
+    exactly or fall under it in the colon-separated hierarchy.
+    """
+
+    def __init__(self, name: str, *, maxsize: int = 1024, ttl: float | None = None,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        if maxsize <= 0:
+            raise ValueError("maxsize must be positive")
+        if ttl is not None and ttl <= 0:
+            raise ValueError("ttl must be positive (or None for no expiry)")
+        self.name = str(name)
+        self.maxsize = int(maxsize)
+        self.ttl = None if ttl is None else float(ttl)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[Hashable, _Entry]" = OrderedDict()
+        self._tag_index: dict[str, set[Hashable]] = {}
+        #: Descendant tags registered under each ancestor prefix, so a family
+        #: flush (tag "acl" hitting "acl:method") touches only matching tags.
+        self._tag_children: dict[str, set[str]] = {}
+        #: Bumped on *every* invalidation (key, tag or clear) — including ones
+        #: that matched nothing, because the entry being invalidated may be a
+        #: concurrent read-through that has not called put yet.  See
+        #: :meth:`put_if_epoch`.
+        self._epoch = 0
+        self.stats = CacheStats()
+
+    # -- lookups -------------------------------------------------------------
+    def get(self, key: Hashable, default: Any = MISSING) -> Any:
+        """The live value for ``key``, or ``default`` (:data:`MISSING`).
+
+        A hit on a negative entry returns :data:`NEGATIVE`; callers translate
+        that into their own "known absent" behaviour.
+        """
+
+        now = self._clock()
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.stats.misses += 1
+                return default
+            if entry.expires is not None and now >= entry.expires:
+                self._remove_locked(key, entry)
+                self.stats.expirations += 1
+                self.stats.misses += 1
+                return default
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            if entry.value is NEGATIVE:
+                self.stats.negative_hits += 1
+            return entry.value
+
+    def __contains__(self, key: object) -> bool:
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                return False
+            return entry.expires is None or self._clock() < entry.expires
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __bool__(self) -> bool:
+        # An *empty* cache must still be truthy — "is a cache configured?"
+        # checks would otherwise silently disable caching at startup.
+        return True
+
+    # -- stores --------------------------------------------------------------
+    def put(self, key: Hashable, value: Any, *, ttl: float | None = None,
+            tags: tuple[str, ...] = ()) -> None:
+        """Store ``value`` under ``key`` (``ttl=None`` uses the cache default)."""
+
+        with self._lock:
+            self._put_locked(key, value, ttl, tuple(tags))
+
+    def _put_locked(self, key: Hashable, value: Any, ttl: float | None,
+                    tags: tuple[str, ...]) -> None:
+        effective_ttl = self.ttl if ttl is None else float(ttl)
+        expires = None if effective_ttl is None else self._clock() + effective_ttl
+        existing = self._entries.pop(key, None)
+        if existing is not None:
+            self._unindex_locked(key, existing)
+        self._entries[key] = _Entry(value, expires, tags)
+        for tag in tags:
+            keys = self._tag_index.setdefault(tag, set())
+            if not keys:
+                for ancestor in _tag_ancestors(tag):
+                    self._tag_children.setdefault(ancestor, set()).add(tag)
+            keys.add(key)
+        self.stats.stores += 1
+        while len(self._entries) > self.maxsize:
+            old_key, old_entry = self._entries.popitem(last=False)
+            self._unindex_locked(old_key, old_entry)
+            self.stats.evictions += 1
+
+    def put_negative(self, key: Hashable, *, ttl: float | None = None,
+                     tags: tuple[str, ...] = ()) -> None:
+        """Record that ``key`` has no value (stores the :data:`NEGATIVE` sentinel)."""
+
+        self.put(key, NEGATIVE, ttl=ttl, tags=tags)
+
+    @property
+    def epoch(self) -> int:
+        """The invalidation epoch (monotonic; bumped by every invalidation)."""
+
+        with self._lock:
+            return self._epoch
+
+    def put_if_epoch(self, key: Hashable, value: Any, *, epoch: int,
+                     ttl: float | None = None, tags: tuple[str, ...] = ()) -> bool:
+        """Store only if no invalidation happened since ``epoch`` was read.
+
+        Read-through callers capture :attr:`epoch` *before* loading from the
+        backing store and use this to publish the result; a writer that
+        invalidated in between (destroy racing a validate, ACL edit racing a
+        check) bumps the epoch and the stale store is dropped instead of
+        resurrecting deleted state.  The epoch is cache-global, so an
+        unrelated invalidation also aborts the fill — the cost is one extra
+        backing-store read on the next lookup, traded for a race-free
+        guarantee without per-key bookkeeping.  Returns whether the value
+        was stored.
+        """
+
+        # Check and insert under one lock acquisition: a racing invalidation
+        # either lands before (the store is refused) or after (the tag index
+        # finds and drops the fresh entry) — a stale value is never visible.
+        with self._lock:
+            if self._epoch != epoch:
+                return False
+            self._put_locked(key, value, ttl, tuple(tags))
+        return True
+
+    # -- invalidation --------------------------------------------------------
+    def invalidate(self, key: Hashable) -> bool:
+        """Drop ``key``; returns whether an entry was removed."""
+
+        with self._lock:
+            self._epoch += 1
+            entry = self._entries.get(key)
+            if entry is None:
+                return False
+            self._remove_locked(key, entry)
+            self.stats.invalidations += 1
+            return True
+
+    def invalidate_tag(self, tag: str) -> int:
+        """Drop every entry tagged ``tag`` or tagged under it (``tag:...``)."""
+
+        with self._lock:
+            self._epoch += 1
+            matching = [tag, *self._tag_children.get(tag, ())]
+            keys: set[Hashable] = set()
+            for indexed in matching:
+                keys.update(self._tag_index.get(indexed, ()))
+            for key in keys:
+                entry = self._entries.get(key)
+                if entry is not None:
+                    self._remove_locked(key, entry)
+            self.stats.invalidations += len(keys)
+            return len(keys)
+
+    def clear(self) -> int:
+        """Drop every entry; returns how many were removed."""
+
+        with self._lock:
+            self._epoch += 1
+            count = len(self._entries)
+            self._entries.clear()
+            self._tag_index.clear()
+            self._tag_children.clear()
+            self.stats.invalidations += count
+            return count
+
+    # -- internals -----------------------------------------------------------
+    def _remove_locked(self, key: Hashable, entry: _Entry) -> None:
+        del self._entries[key]
+        self._unindex_locked(key, entry)
+
+    def _unindex_locked(self, key: Hashable, entry: _Entry) -> None:
+        for tag in entry.tags:
+            tagged = self._tag_index.get(tag)
+            if tagged is not None:
+                tagged.discard(key)
+                if not tagged:
+                    del self._tag_index[tag]
+                    for ancestor in _tag_ancestors(tag):
+                        children = self._tag_children.get(ancestor)
+                        if children is not None:
+                            children.discard(tag)
+                            if not children:
+                                del self._tag_children[ancestor]
+
+    # -- introspection -------------------------------------------------------
+    def stats_snapshot(self) -> dict:
+        with self._lock:
+            snapshot = self.stats.snapshot()
+            snapshot["size"] = len(self._entries)
+        snapshot["maxsize"] = self.maxsize
+        snapshot["ttl"] = self.ttl
+        return snapshot
+
+
+class CacheRegistry:
+    """Names every cache in the process and aggregates their statistics."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._caches: dict[str, TTLLRUCache] = {}
+
+    def create(self, name: str, *, maxsize: int = 1024, ttl: float | None = None,
+               clock: Callable[[], float] = time.monotonic) -> TTLLRUCache:
+        """Create, register and return a new named cache."""
+
+        cache = TTLLRUCache(name, maxsize=maxsize, ttl=ttl, clock=clock)
+        self.register(cache)
+        return cache
+
+    def register(self, cache: TTLLRUCache) -> TTLLRUCache:
+        with self._lock:
+            if cache.name in self._caches:
+                raise ValueError(f"a cache named {cache.name!r} is already registered")
+            self._caches[cache.name] = cache
+        return cache
+
+    def get(self, name: str) -> TTLLRUCache | None:
+        with self._lock:
+            return self._caches.get(name)
+
+    def names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._caches)
+
+    def __iter__(self) -> Iterator[TTLLRUCache]:
+        with self._lock:
+            caches = list(self._caches.values())
+        return iter(caches)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._caches)
+
+    def __contains__(self, name: object) -> bool:
+        with self._lock:
+            return name in self._caches
+
+    def invalidate_all(self) -> int:
+        """Flush every registered cache; returns total entries dropped."""
+
+        return sum(cache.clear() for cache in self)
+
+    def stats_snapshot(self) -> dict:
+        """Per-cache statistics plus process totals."""
+
+        caches = {cache.name: cache.stats_snapshot() for cache in self}
+        totals = {"hits": 0, "misses": 0, "evictions": 0, "expirations": 0,
+                  "invalidations": 0, "size": 0}
+        for snapshot in caches.values():
+            for key in totals:
+                totals[key] += snapshot[key]
+        lookups = totals["hits"] + totals["misses"]
+        totals["hit_rate"] = (totals["hits"] / lookups) if lookups else 0.0
+        return {"caches": caches, "totals": totals}

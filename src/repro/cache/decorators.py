@@ -1,0 +1,70 @@
+"""Read-through memoization.
+
+:func:`cached` wraps a function (or method) so results are served from a
+named :class:`~repro.cache.core.TTLLRUCache` in the given registry.  ``None``
+results are stored as negative entries, so "not found" answers are cached
+too.  The wrapped function exposes its cache as ``wrapper.cache`` for tests
+and explicit invalidation.
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Any, Callable, Iterable
+
+from repro.cache.core import MISSING, NEGATIVE, CacheRegistry, TTLLRUCache
+
+__all__ = ["cached", "default_key"]
+
+
+def default_key(*args: Any, **kwargs: Any) -> tuple:
+    """Positional args plus sorted keyword items (all must be hashable)."""
+
+    return (args, tuple(sorted(kwargs.items())))
+
+
+def cached(registry: CacheRegistry | None, name: str, *,
+           key_fn: Callable[..., Any] | None = None,
+           ttl: float | None = None,
+           tags: Iterable[str] | Callable[..., Iterable[str]] = (),
+           maxsize: int = 1024,
+           cache: TTLLRUCache | None = None) -> Callable:
+    """Decorator: memoize calls through a registry-named cache.
+
+    ``key_fn`` maps the call arguments to a hashable key (default:
+    :func:`default_key`).  ``tags`` is a static iterable of tags or a callable
+    of the call arguments returning the tags for that entry.  Pass an existing
+    ``cache`` to share one between wrappers; otherwise the cache named
+    ``name`` is created in (or fetched from) ``registry``.
+    """
+
+    if cache is None:
+        if registry is None:
+            raise ValueError("cached() needs a registry or an explicit cache")
+        cache = registry.get(name) or registry.create(name, maxsize=maxsize, ttl=ttl)
+
+    tags_fn = tags if callable(tags) else None
+    static_tags = () if callable(tags) else tuple(tags)
+
+    def decorator(func: Callable) -> Callable:
+        @functools.wraps(func)
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
+            key = key_fn(*args, **kwargs) if key_fn is not None else default_key(*args, **kwargs)
+            value = cache.get(key)
+            if value is NEGATIVE:
+                return None
+            if value is not MISSING:
+                return value
+            # Epoch-guarded fill: an invalidation published while func() runs
+            # aborts the store instead of caching the pre-invalidation result.
+            epoch = cache.epoch
+            result = func(*args, **kwargs)
+            entry_tags = tuple(tags_fn(*args, **kwargs)) if tags_fn is not None else static_tags
+            stored = NEGATIVE if result is None else result
+            cache.put_if_epoch(key, stored, epoch=epoch, ttl=ttl, tags=entry_tags)
+            return result
+
+        wrapper.cache = cache  # type: ignore[attr-defined]
+        return wrapper
+
+    return decorator

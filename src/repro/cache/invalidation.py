@@ -1,0 +1,105 @@
+"""Tag-based cache invalidation.
+
+Writers never talk to caches directly: they publish invalidation *tags* onto
+an :class:`InvalidationBus` and every cache subscribed to a matching tag
+family drops the affected entries.  Tags form a colon-separated hierarchy:
+
+* ``session:<id>``  — one session changed (create/renew/destroy/attribute);
+* ``acl:method`` / ``acl:file`` — a method/file ACL was edited;
+* ``acl``           — anything ACL-relevant changed (e.g. VO group edits);
+* ``discovery``     — the service registry changed;
+* ``pki:<dn>``      — a credential's verification status changed.
+
+Publishing a tag reaches a subscription when either is an ancestor of the
+other, so publishing ``acl`` flushes a cache subscribed to ``acl:method``,
+and publishing ``session:abc`` reaches the cache subscribed to ``session``
+(which then drops only the entries tagged ``session:abc``).
+
+The module-level :func:`invalidate_all` flushes every cache subscribed to any
+live bus in the process — a big hammer for tests and operational resets.
+"""
+
+from __future__ import annotations
+
+import threading
+import weakref
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cache.core import TTLLRUCache
+
+__all__ = ["InvalidationBus", "tag_matches", "invalidate_all"]
+
+_ALL_BUSES: "weakref.WeakSet[InvalidationBus]" = weakref.WeakSet()
+
+
+def tag_matches(subscription: str, tag: str) -> bool:
+    """Whether a published ``tag`` reaches a ``subscription`` prefix.
+
+    True when the two are equal or one is a colon-hierarchy ancestor of the
+    other; ``"*"`` subscribes to everything.
+    """
+
+    if subscription == "*" or subscription == tag:
+        return True
+    return tag.startswith(subscription + ":") or subscription.startswith(tag + ":")
+
+
+class InvalidationBus:
+    """Routes published invalidation tags to subscribed caches."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._subscriptions: list[tuple[str, "TTLLRUCache"]] = []
+        self.published = 0
+        self.entries_invalidated = 0
+        _ALL_BUSES.add(self)
+
+    def subscribe(self, tag_prefix: str, cache: "TTLLRUCache") -> None:
+        """Subscribe ``cache`` to every tag under ``tag_prefix``."""
+
+        if not tag_prefix:
+            raise ValueError("tag_prefix must be non-empty")
+        with self._lock:
+            if (tag_prefix, cache) not in self._subscriptions:
+                self._subscriptions.append((tag_prefix, cache))
+
+    def unsubscribe(self, tag_prefix: str, cache: "TTLLRUCache") -> bool:
+        with self._lock:
+            try:
+                self._subscriptions.remove((tag_prefix, cache))
+                return True
+            except ValueError:
+                return False
+
+    def publish(self, tag: str) -> int:
+        """Publish one invalidation tag; returns entries dropped across caches."""
+
+        with self._lock:
+            self.published += 1
+            targets = [cache for prefix, cache in self._subscriptions
+                       if tag_matches(prefix, tag)]
+        dropped = sum(cache.invalidate_tag(tag) for cache in targets)
+        with self._lock:
+            self.entries_invalidated += dropped
+        return dropped
+
+    def publish_many(self, tags) -> int:
+        return sum(self.publish(tag) for tag in tags)
+
+    def invalidate_all(self) -> int:
+        """Flush every subscribed cache completely."""
+
+        with self._lock:
+            caches = {id(cache): cache for _, cache in self._subscriptions}
+        return sum(cache.clear() for cache in caches.values())
+
+    def subscriptions(self) -> list[str]:
+        with self._lock:
+            return sorted({prefix for prefix, _ in self._subscriptions})
+
+
+def invalidate_all() -> int:
+    """Flush every cache subscribed to any live bus in this process."""
+
+    return sum(bus.invalidate_all() for bus in list(_ALL_BUSES))

@@ -30,7 +30,7 @@ from typing import Mapping, Sequence
 from repro.core.errors import AuthenticationError
 from repro.core.session import Session, SessionManager
 from repro.pki.certificate import Certificate, TrustStore, VerificationError, verify_chain
-from repro.pki.proxy import ProxyCertificate, verify_proxy_chain
+from repro.pki.proxy import ChainVerificationCache, ProxyCertificate, verify_proxy_chain
 
 __all__ = ["Authenticator", "Challenge"]
 
@@ -54,12 +54,32 @@ class Authenticator:
     """Verifies credentials and turns them into sessions."""
 
     def __init__(self, sessions: SessionManager, trust_store: TrustStore, *,
-                 revoked_serials: Mapping | None = None) -> None:
+                 revoked_serials: Mapping | None = None,
+                 chain_cache: ChainVerificationCache | None = None) -> None:
         self.sessions = sessions
         self.trust_store = trust_store
         self.revoked_serials = dict(revoked_serials or {})
+        #: Optional memoization of successful chain verifications (the RSA
+        #: signature checks dominate login cost); None preserves paper mode.
+        self.chain_cache = chain_cache
         self._challenges: dict[str, Challenge] = {}
         self._lock = threading.Lock()
+
+    def _verify_chain(self, chain: Sequence[Certificate]) -> Certificate:
+        if self.chain_cache is not None:
+            # Pass the authenticator's own (current) revocation mapping so a
+            # cache constructed without one can never skip revocation checks.
+            return self.chain_cache.verify_chain(
+                chain, revoked_serials=self.revoked_serials)
+        return verify_chain(list(chain), self.trust_store,
+                            revoked_serials=self.revoked_serials)
+
+    def _verify_proxy_chain(self, proxy: ProxyCertificate | Sequence[Certificate]):
+        if self.chain_cache is not None:
+            return self.chain_cache.verify_proxy_chain(
+                proxy, revoked_serials=self.revoked_serials)
+        return verify_proxy_chain(proxy, self.trust_store,
+                                  revoked_serials=self.revoked_serials)
 
     # -- challenge/response ------------------------------------------------------
     def issue_challenge(self, dn: str) -> str:
@@ -93,13 +113,11 @@ class Authenticator:
 
         try:
             if any(cert.is_proxy for cert in chain):
-                owner = verify_proxy_chain(list(chain), self.trust_store,
-                                           revoked_serials=self.revoked_serials)
+                owner = self._verify_proxy_chain(list(chain))
                 authenticated_dn = str(owner)
                 method = "proxy"
             else:
-                end_entity = verify_chain(list(chain), self.trust_store,
-                                          revoked_serials=self.revoked_serials)
+                end_entity = self._verify_chain(chain)
                 authenticated_dn = str(end_entity.subject)
                 method = "certificate"
         except VerificationError as exc:
@@ -132,8 +150,7 @@ class Authenticator:
         """Verify a proxy chain and create a session for its owner DN."""
 
         try:
-            owner = verify_proxy_chain(proxy, self.trust_store,
-                                       revoked_serials=self.revoked_serials)
+            owner = self._verify_proxy_chain(proxy)
         except VerificationError as exc:
             raise AuthenticationError(f"proxy verification failed: {exc}") from exc
         return self.sessions.create(str(owner), method="proxy")

@@ -58,6 +58,24 @@ class ServerConfig:
     #: When True, the method-list DB lookup performed by system.list_methods is
     #: cached; the paper explicitly ran with "no caching … on the server".
     cache_method_list: bool = False
+    #: Master switch for the :mod:`repro.cache` subsystem (session validation,
+    #: ACL decisions, discovery lookups, PKI chain verification).  Off by
+    #: default so the out-of-the-box server matches the paper's uncached
+    #: measurement setup.
+    cache_enabled: bool = False
+    #: Session-validation cache: max entries and entry TTL (seconds).
+    cache_session_maxsize: int = 4096
+    cache_session_ttl: float = 300.0
+    #: ACL decision cache, keyed by (dn, kind, name).
+    cache_acl_maxsize: int = 8192
+    cache_acl_ttl: float = 300.0
+    #: Discovery query-result cache; the short TTL bounds how long an expired
+    #: descriptor can keep appearing in cached results.
+    cache_discovery_maxsize: int = 1024
+    cache_discovery_ttl: float = 5.0
+    #: PKI chain-verification cache (successful verifications only).
+    cache_pki_maxsize: int = 512
+    cache_pki_ttl: float = 600.0
     #: Allow any authenticated DN to call methods with no configured ACL.
     default_allow_authenticated: bool = True
     #: Allow unauthenticated (anonymous) calls to a small whitelist of system
@@ -83,6 +101,12 @@ class ServerConfig:
             raise ConfigError("access_checks_per_request cannot be negative")
         if self.max_read_bytes <= 0:
             raise ConfigError("max_read_bytes must be positive")
+        for knob in ("cache_session_maxsize", "cache_session_ttl",
+                     "cache_acl_maxsize", "cache_acl_ttl",
+                     "cache_discovery_maxsize", "cache_discovery_ttl",
+                     "cache_pki_maxsize", "cache_pki_ttl"):
+            if getattr(self, knob) <= 0:
+                raise ConfigError(f"{knob} must be positive")
         self.admins = [str(a) for a in self.admins]
 
     # -- constructors --------------------------------------------------------
@@ -130,6 +154,10 @@ class ServerConfig:
         for key in ("server_name", "host_dn", "data_dir", "file_root", "shell_root",
                     "user_map_path", "url_prefix", "session_lifetime",
                     "access_checks_per_request", "cache_method_list",
+                    "cache_enabled", "cache_session_maxsize", "cache_session_ttl",
+                    "cache_acl_maxsize", "cache_acl_ttl",
+                    "cache_discovery_maxsize", "cache_discovery_ttl",
+                    "cache_pki_maxsize", "cache_pki_ttl",
                     "default_allow_authenticated", "allow_anonymous_system_calls",
                     "max_read_bytes", "discovery_publish_interval"):
             value = getattr(self, key)

@@ -20,6 +20,8 @@ from pathlib import Path
 from typing import Iterable
 
 from repro.acl.evaluator import ACLManager
+from repro.cache.core import CacheRegistry, TTLLRUCache
+from repro.cache.invalidation import InvalidationBus
 from repro.core.auth import Authenticator
 from repro.core.config import ServerConfig
 from repro.core.context import CallContext
@@ -38,6 +40,7 @@ from repro.httpd.server import SocketHTTPServer
 from repro.httpd.tls import TLSContext
 from repro.pki.certificate import TrustStore
 from repro.pki.credentials import Credential
+from repro.pki.proxy import ChainVerificationCache
 from repro.vo.model import VOManager
 
 __all__ = ["ClarensServer"]
@@ -68,17 +71,50 @@ class ClarensServer:
 
         self.access_log = AccessLog()
         self.registry = MethodRegistry(self.db, cache_method_list=self.config.cache_method_list)
-        self.sessions = SessionManager(self.db, lifetime=self.config.session_lifetime)
+
+        # -- caching (repro.cache) -------------------------------------------
+        # The registry and bus always exist (so cache_stats is queryable), but
+        # caches are only created when cache_enabled is True; with the flag
+        # off every component receives None and behaves exactly as the
+        # paper's uncached server did.
+        self.caches = CacheRegistry()
+        self.invalidation = InvalidationBus()
+        cfg = self.config
+        session_cache = self.make_cache("core.sessions",
+                                        maxsize=cfg.cache_session_maxsize,
+                                        ttl=cfg.cache_session_ttl)
+        acl_cache = self.make_cache("acl.decisions",
+                                    maxsize=cfg.cache_acl_maxsize,
+                                    ttl=cfg.cache_acl_ttl)
+        pki_cache = self.make_cache("pki.chains",
+                                    maxsize=cfg.cache_pki_maxsize,
+                                    ttl=cfg.cache_pki_ttl)
+
+        self.sessions = SessionManager(self.db, lifetime=self.config.session_lifetime,
+                                       cache=session_cache,
+                                       invalidation=self.invalidation if session_cache is not None else None)
         self.vo = VOManager(self.db, admins=self.config.admins)
         self.acl = ACLManager(
             self.db,
             membership=self.vo.is_member,
             is_admin=lambda dn: self.vo.is_admin(dn),
             default_allow_authenticated=self.config.default_allow_authenticated,
+            decision_cache=acl_cache,
+            invalidation=self.invalidation if acl_cache is not None else None,
         )
-        revoked = {}
-        self.authenticator = Authenticator(self.sessions, self.trust_store,
-                                           revoked_serials=revoked)
+        if acl_cache is not None:
+            # ACL decisions depend on VO group membership, so any group edit
+            # must flush them too.
+            self.vo.on_change = lambda: self.invalidation.publish("acl")
+        self.authenticator = Authenticator(self.sessions, self.trust_store)
+        if pki_cache is not None:
+            # The authenticator passes its *current* revocation mapping into
+            # every cache lookup, so both in-place mutation and wholesale
+            # reassignment of ``authenticator.revoked_serials`` take effect
+            # immediately — failing fresh verifications and evicting cached
+            # ones.  The cache itself therefore needs no mapping of its own.
+            self.authenticator.chain_cache = ChainVerificationCache(
+                pki_cache, self.trust_store, invalidation=self.invalidation)
         self.dispatcher = Dispatcher(self)
 
         # -- file / shell roots ----------------------------------------------
@@ -103,6 +139,18 @@ class ClarensServer:
             service.on_start()
 
     # -- assembly helpers -----------------------------------------------------
+    def make_cache(self, name: str, *, maxsize: int, ttl: float | None) -> TTLLRUCache | None:
+        """A named cache when caching is enabled on this server, else None.
+
+        Components treat a None cache as "run uncached", so gating creation
+        here keeps every integration point identical to paper mode when
+        ``cache_enabled`` is off.
+        """
+
+        if not self.config.cache_enabled:
+            return None
+        return self.caches.create(name, maxsize=maxsize, ttl=ttl)
+
     def _resolve_root(self, configured: str | None, default_name: str) -> Path:
         if configured:
             path = Path(configured)

@@ -16,6 +16,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Any
 
+from repro.cache.core import MISSING, NEGATIVE, TTLLRUCache
+from repro.cache.invalidation import InvalidationBus
 from repro.core.errors import SessionExpiredError
 from repro.database import Database
 
@@ -68,7 +70,9 @@ class SessionManager:
     """Creates, validates and expires sessions, backed by the database."""
 
     def __init__(self, database: Database, *, lifetime: float = 24 * 3600.0,
-                 touch_on_validate: bool = False) -> None:
+                 touch_on_validate: bool = False,
+                 cache: TTLLRUCache | None = None,
+                 invalidation: InvalidationBus | None = None) -> None:
         self._db = database
         self._table = database.table("sessions")
         self._table.create_index("dn")
@@ -76,6 +80,19 @@ class SessionManager:
         #: Updating last_used on every validation doubles the DB writes on the
         #: hot path; the paper's server did not, so it is off by default.
         self.touch_on_validate = touch_on_validate
+        #: Optional validate-path cache (the paper mode runs without one).
+        self._cache = cache
+        self._invalidation = invalidation
+        if cache is not None and invalidation is not None:
+            invalidation.subscribe("session", cache)
+
+    def _publish_invalidation(self, session_id: str) -> None:
+        """Flush cached state for one session after any write."""
+
+        if self._invalidation is not None:
+            self._invalidation.publish(f"session:{session_id}")
+        elif self._cache is not None:
+            self._cache.invalidate(session_id)
 
     # -- creation ------------------------------------------------------------
     def create(self, dn: str, *, method: str = "certificate",
@@ -94,6 +111,11 @@ class SessionManager:
             attributes=dict(attributes or {}),
         )
         self._table.insert(session.session_id, session.to_record())
+        # A negative entry can only exist if this exact id was probed before
+        # creation; ids are 128-bit secrets, so skip the (epoch-bumping)
+        # publish unless the cache actually holds one.
+        if self._cache is not None and session.session_id in self._cache:
+            self._publish_invalidation(session.session_id)
         return session
 
     # -- validation (the per-request hot path) --------------------------------
@@ -105,17 +127,66 @@ class SessionManager:
         are associated with a current session"): a database lookup per call.
         """
 
+        if self._cache is not None:
+            return self._validate_cached(session_id)
+        session = self._load_live(session_id)
+        if session is None:
+            raise SessionExpiredError("unknown session id")
+        self._touch_if_configured(session)
+        return session
+
+    def _load_live(self, session_id: str) -> Session | None:
+        """Load from the database (the uncached check): the live session,
+        None for an unknown id, or SessionExpiredError for an expired one
+        (which is deleted on the way out)."""
+
         record = self._table.get(session_id, None)
         if record is None:
-            raise SessionExpiredError("unknown session id")
+            return None
         session = Session.from_record(record)
-        now = time.time()
-        if session.is_expired(now):
+        if session.is_expired(time.time()):
             self._table.delete(session_id)
+            self._publish_invalidation(session_id)
             raise SessionExpiredError("session has expired")
+        return session
+
+    def _touch_if_configured(self, session: Session) -> None:
         if self.touch_on_validate:
+            now = time.time()
             session.last_used = now
-            self._table.update(session_id, {"last_used": now})
+            self._table.update(session.session_id, {"last_used": now})
+
+    def _validate_cached(self, session_id: str) -> Session:
+        """Serve validation from the cache, falling back to the database.
+
+        The expiry deadline is re-checked on every hit, so a cached session
+        can never outlive its ``expires`` timestamp; every write path
+        publishes a ``session:<id>`` invalidation, so destroy/renew/attribute
+        changes are visible immediately.  Cache fills are epoch-guarded: a
+        destroy racing this read-through bumps the cache epoch, so the stale
+        session is discarded instead of stored.
+        """
+
+        cached = self._cache.get(session_id)
+        if cached is NEGATIVE:
+            raise SessionExpiredError("unknown session id")
+        if cached is not MISSING:
+            session: Session = cached
+            if session.is_expired(time.time()):
+                self._table.delete(session_id)
+                self._publish_invalidation(session_id)
+                raise SessionExpiredError("session has expired")
+            self._touch_if_configured(session)
+            return session
+
+        epoch = self._cache.epoch
+        tag = (f"session:{session_id}",)
+        session = self._load_live(session_id)
+        if session is None:
+            self._cache.put_if_epoch(session_id, NEGATIVE, epoch=epoch, tags=tag)
+            raise SessionExpiredError("unknown session id")
+        self._touch_if_configured(session)
+        self._cache.put_if_epoch(session_id, session, epoch=epoch, tags=tag)
         return session
 
     def get(self, session_id: str) -> Session | None:
@@ -126,20 +197,26 @@ class SessionManager:
     def touch(self, session_id: str) -> None:
         if session_id in self._table:
             self._table.update(session_id, {"last_used": time.time()})
+            self._publish_invalidation(session_id)
 
     def set_attribute(self, session_id: str, key: str, value: Any) -> None:
         session = self.validate(session_id)
         session.attributes[key] = value
         self._table.update(session_id, {"attributes": session.attributes})
+        self._publish_invalidation(session_id)
 
     def renew(self, session_id: str, *, lifetime: float | None = None) -> Session:
         session = self.validate(session_id)
         session.expires = time.time() + (lifetime if lifetime is not None else self.lifetime)
         self._table.update(session_id, {"expires": session.expires})
+        self._publish_invalidation(session_id)
         return session
 
     def destroy(self, session_id: str) -> bool:
-        return self._table.delete(session_id)
+        destroyed = self._table.delete(session_id)
+        if destroyed:
+            self._publish_invalidation(session_id)
+        return destroyed
 
     def destroy_for_dn(self, dn: str) -> int:
         """Destroy every session belonging to ``dn``; returns the count."""
@@ -148,6 +225,7 @@ class SessionManager:
         count = 0
         for record in sessions:
             if self._table.delete(record["session_id"]):
+                self._publish_invalidation(record["session_id"])
                 count += 1
         return count
 
@@ -162,6 +240,7 @@ class SessionManager:
         for key, record in self._table.items():
             if float(record.get("expires", 0)) < now:
                 if self._table.delete(key):
+                    self._publish_invalidation(key)
                     removed += 1
         return removed
 

@@ -180,6 +180,16 @@ class SystemService(ClarensService):
         self.server.require_admin(ctx)
         return self.server.dispatcher.stats_snapshot()
 
+    @rpc_method()
+    def cache_stats(self, ctx: CallContext) -> dict[str, Any]:
+        """Hot-path cache statistics per named cache (admins only)."""
+
+        self.server.require_admin(ctx)
+        snapshot = self.server.caches.stats_snapshot()
+        snapshot["enabled"] = self.server.config.cache_enabled
+        snapshot["invalidations_published"] = self.server.invalidation.published
+        return snapshot
+
     @rpc_method(anonymous=True)
     def get_time(self) -> float:
         """Server wall-clock time (seconds since the epoch)."""

@@ -13,6 +13,8 @@ import threading
 import time
 from typing import Any, Iterable
 
+from repro.cache.core import MISSING, TTLLRUCache
+from repro.cache.invalidation import InvalidationBus
 from repro.discovery.model import ServiceDescriptor
 from repro.monitoring.monalisa import MonALISARepository
 
@@ -22,12 +24,28 @@ __all__ = ["DiscoveryRegistry"]
 class DiscoveryRegistry:
     """TTL-based registry of service descriptors with attribute queries."""
 
-    def __init__(self, *, repository: MonALISARepository | None = None) -> None:
+    def __init__(self, *, repository: MonALISARepository | None = None,
+                 cache: TTLLRUCache | None = None,
+                 invalidation: InvalidationBus | None = None) -> None:
         self._descriptors: dict[str, ServiceDescriptor] = {}
         self._lock = threading.Lock()
         self._repository = repository
         self.registrations = 0
         self.queries = 0
+        #: Optional query-result cache; its (short) TTL bounds how long an
+        #: expired-but-unpurged descriptor can still appear in results.
+        self._cache = cache
+        self._invalidation = invalidation
+        if cache is not None and invalidation is not None:
+            invalidation.subscribe("discovery", cache)
+
+    def _publish_invalidation(self) -> None:
+        """Flush cached query results after any registry change."""
+
+        if self._invalidation is not None:
+            self._invalidation.publish("discovery")
+        elif self._cache is not None:
+            self._cache.invalidate_tag("discovery")
 
     # -- registration ----------------------------------------------------------------
     def register(self, descriptor: ServiceDescriptor) -> ServiceDescriptor:
@@ -39,6 +57,7 @@ class DiscoveryRegistry:
                 descriptor.published_at = time.time()
             self._descriptors[descriptor.key] = descriptor
             self.registrations += 1
+        self._publish_invalidation()
         return descriptor
 
     def deregister(self, name: str, url: str | None = None) -> int:
@@ -51,7 +70,9 @@ class DiscoveryRegistry:
             ]
             for key in keys:
                 del self._descriptors[key]
-            return len(keys)
+        if keys:
+            self._publish_invalidation()
+        return len(keys)
 
     def refresh(self, name: str, url: str) -> bool:
         with self._lock:
@@ -59,7 +80,8 @@ class DiscoveryRegistry:
             if descriptor is None:
                 return False
             descriptor.refresh()
-            return True
+        self._publish_invalidation()
+        return True
 
     # -- aggregation from the monitoring network ----------------------------------------
     def sync_from_repository(self) -> int:
@@ -95,6 +117,28 @@ class DiscoveryRegistry:
 
         with self._lock:
             self.queries += 1
+        if self._cache is not None:
+            key = ("find", name, module, method, protocol,
+                   tuple(sorted(attributes.items())) if attributes else ())
+            try:
+                cached = self._cache.get(key)
+            except TypeError:  # unhashable attribute value: skip the cache
+                return self._find_uncached(name=name, module=module, method=method,
+                                           protocol=protocol, attributes=attributes)
+            if cached is not MISSING:
+                return list(cached)
+            epoch = self._cache.epoch
+            results = self._find_uncached(name=name, module=module, method=method,
+                                          protocol=protocol, attributes=attributes)
+            self._cache.put_if_epoch(key, tuple(results), epoch=epoch,
+                                     tags=("discovery",))
+            return results
+        return self._find_uncached(name=name, module=module, method=method,
+                                   protocol=protocol, attributes=attributes)
+
+    def _find_uncached(self, *, name: str | None, module: str | None,
+                       method: str | None, protocol: str | None,
+                       attributes: dict[str, Any] | None) -> list[ServiceDescriptor]:
         results = []
         for descriptor in self._live_descriptors():
             if name is not None and descriptor.name != name:

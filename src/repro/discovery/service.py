@@ -27,7 +27,12 @@ class DiscoveryService(ClarensService):
     def __init__(self, server) -> None:
         super().__init__(server)
         repository = getattr(server, "monitor", None)
-        self.registry = DiscoveryRegistry(repository=repository)
+        cache = server.make_cache("discovery.lookups",
+                                  maxsize=server.config.cache_discovery_maxsize,
+                                  ttl=server.config.cache_discovery_ttl)
+        self.registry = DiscoveryRegistry(
+            repository=repository, cache=cache,
+            invalidation=server.invalidation if cache is not None else None)
 
     def on_start(self) -> None:
         # A server always knows about itself; this also guarantees that a

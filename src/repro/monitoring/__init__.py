@@ -19,11 +19,14 @@ This package is the in-process equivalent:
 * :mod:`repro.monitoring.monalisa` -- the aggregating repository that
   discovery servers query (the JINI lookup role).
 * :mod:`repro.monitoring.lookup`   -- a JINI-like lookup/lease service.
+* :mod:`repro.monitoring.cachemetrics` -- republishes :mod:`repro.cache`
+  statistics (the hot-path caches) onto the bus / station servers.
 """
 
 from __future__ import annotations
 
 from repro.monitoring.bus import MessageBus
+from repro.monitoring.cachemetrics import CacheStatsReporter
 from repro.monitoring.glue import Farm, GlueSchema, Node, Site
 from repro.monitoring.lookup import Lease, LookupService
 from repro.monitoring.monalisa import MonALISARepository
@@ -39,4 +42,5 @@ __all__ = [
     "MonALISARepository",
     "LookupService",
     "Lease",
+    "CacheStatsReporter",
 ]

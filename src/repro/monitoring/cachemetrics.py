@@ -1,0 +1,72 @@
+"""Publishing cache statistics onto the monitoring network.
+
+The caches introduced by :mod:`repro.cache` sit on the paper's measured hot
+path (the per-request session and ACL checks), so their hit rates belong on
+the same monitoring substrate as every other server metric.  A
+:class:`CacheStatsReporter` snapshots a :class:`~repro.cache.core.CacheRegistry`
+and republishes each cache's counters:
+
+* onto a :class:`~repro.monitoring.bus.MessageBus` under
+  ``cache.stats.<cache name>`` (plus ``cache.stats.totals``), or
+* into a :class:`~repro.monitoring.station.StationServer` as per-node metric
+  samples, so cache behaviour shows up in the GLUE site view alongside CPU
+  and network numbers.
+"""
+
+from __future__ import annotations
+
+from repro.cache.core import CacheRegistry
+from repro.monitoring.bus import MessageBus
+from repro.monitoring.station import StationServer
+
+__all__ = ["CacheStatsReporter"]
+
+#: The numeric stats folded into station-server metric samples.
+_METRIC_KEYS = ("hits", "misses", "evictions", "expirations", "invalidations",
+                "size", "hit_rate")
+
+
+class CacheStatsReporter:
+    """Snapshots a cache registry and republishes it for monitoring."""
+
+    def __init__(self, registry: CacheRegistry, *, source: str = "",
+                 topic_prefix: str = "cache.stats") -> None:
+        self.registry = registry
+        self.source = source
+        self.topic_prefix = topic_prefix
+        self.publications = 0
+
+    def snapshot(self) -> dict:
+        return self.registry.stats_snapshot()
+
+    def publish(self, bus: MessageBus, *, reliable: bool = True) -> int:
+        """Publish one message per cache plus the totals; returns the count."""
+
+        snapshot = self.snapshot()
+        count = 0
+        for name, stats in snapshot["caches"].items():
+            bus.publish(f"{self.topic_prefix}.{name}", stats,
+                        source=self.source, reliable=reliable)
+            count += 1
+        bus.publish(f"{self.topic_prefix}.totals", snapshot["totals"],
+                    source=self.source, reliable=reliable)
+        self.publications += 1
+        return count + 1
+
+    def publish_to_station(self, station: StationServer, *,
+                           farm: str = "caches") -> int:
+        """Fold cache counters into a station server's GLUE view.
+
+        Each cache becomes one node in ``farm``; returns how many metric
+        samples were delivered.
+        """
+
+        snapshot = self.snapshot()
+        samples = 0
+        for name, stats in snapshot["caches"].items():
+            for key in _METRIC_KEYS:
+                if key in stats and stats[key] is not None:
+                    station.receive_metric(farm, name, f"cache_{key}",
+                                           float(stats[key]), reliable=True)
+                    samples += 1
+        return samples

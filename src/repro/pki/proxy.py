@@ -22,18 +22,24 @@ import time
 from dataclasses import dataclass
 from typing import Sequence
 
+from repro.cache.core import MISSING, TTLLRUCache
+from repro.cache.invalidation import InvalidationBus
 from repro.pki.certificate import Certificate, TrustStore, VerificationError, verify_chain
 from repro.pki.credentials import Credential
 from repro.pki.dn import DN
 from repro.pki.rsa import generate_keypair
 
-__all__ = ["ProxyCertificate", "issue_proxy", "verify_proxy_chain", "DEFAULT_PROXY_LIFETIME"]
+__all__ = ["ProxyCertificate", "issue_proxy", "verify_proxy_chain",
+           "ChainVerificationCache", "DEFAULT_PROXY_LIFETIME"]
 
 #: Twelve hours -- the conventional lifetime of ``grid-proxy-init`` proxies.
 DEFAULT_PROXY_LIFETIME = 12 * 3600.0
 
 _proxy_serials = itertools.count(10_000_000)
 _serial_lock = threading.Lock()
+
+#: Distinguishes "argument omitted" from an explicit ``None`` revocation map.
+_UNSET = object()
 
 
 def _next_proxy_serial() -> int:
@@ -208,3 +214,148 @@ def verify_proxy_chain(
 
     owner = non_proxies[0].subject
     return owner
+
+
+class ChainVerificationCache:
+    """Memoizes successful chain verifications (RSA math is the cost).
+
+    Verifying a chain re-runs one RSA signature check per certificate; for a
+    busy server the same client chain arrives on every login.  The cache key
+    is the tuple of certificate fingerprints, so any re-issued or altered
+    certificate misses.  Only *successful* verifications are cached, each
+    bounded by the earliest ``not_after`` in the chain; every hit re-checks
+    both that deadline and the live ``revoked_serials`` mapping, so a cached
+    entry can neither outlive the chain's validity nor survive a revocation.
+    Entries are tagged ``pki:<owner dn>``; :meth:`invalidate_dn` publishes
+    that tag for an explicit flush.
+    """
+
+    def __init__(self, cache: TTLLRUCache, trust_store: TrustStore, *,
+                 revoked_serials=None,
+                 invalidation: InvalidationBus | None = None) -> None:
+        #: ``revoked_serials`` may be the mapping itself or a zero-argument
+        #: callable returning the *current* mapping, so callers that replace
+        #: their revocation dict wholesale (rather than mutating it in place)
+        #: are still honoured on every lookup.
+        self._cache = cache
+        self._trust_store = trust_store
+        self._revoked_serials = revoked_serials
+        self._invalidation = invalidation
+        if invalidation is not None:
+            invalidation.subscribe("pki", cache)
+
+    def _current_revocations(self):
+        if callable(self._revoked_serials):
+            return self._revoked_serials()
+        return self._revoked_serials
+
+    @staticmethod
+    def _key(kind: str, chain: Sequence[Certificate]) -> tuple:
+        return (kind, tuple(cert.fingerprint() for cert in chain))
+
+    @staticmethod
+    def _any_revoked(revoked, revocation_pairs) -> bool:
+        if not revoked:
+            return False
+        for issuer, serial in revocation_pairs:
+            serials = revoked.get(issuer)
+            if serials and serial in serials:
+                return True
+        return False
+
+    def _cached_result(self, key: tuple, when: float, revoked):
+        entry = self._cache.get(key)
+        if entry is MISSING:
+            return MISSING
+        result, not_before, not_after, revocation_pairs, anchor_subject, anchor_fp = entry
+        # The validity window, revocation list and trust anchor are
+        # re-checked on every hit, so a cached verification is never served
+        # outside the chain's own validity, a serial revoked after caching
+        # forces a full (failing) re-verification, and removing (or
+        # replacing) the root CA from the trust store takes effect
+        # immediately.
+        anchor = self._trust_store.get(anchor_subject)
+        if (when < not_before or when >= not_after
+                or anchor is None or anchor.fingerprint() != anchor_fp
+                or self._any_revoked(revoked, revocation_pairs)):
+            self._cache.invalidate(key)
+            return MISSING
+        return result
+
+    def _store(self, key: tuple, result, chain: Sequence[Certificate], owner: str,
+               epoch: int) -> None:
+        # A chain may omit the root; verification resolved the anchor from
+        # the trust store, so its expiry (and continued presence, checked on
+        # every hit) bounds the cached success too.
+        anchor = self._trust_store.get(chain[-1].issuer)
+        if anchor is None:  # pragma: no cover - verification already passed
+            return
+        certs = [*chain, anchor]
+        not_before = max(cert.not_before for cert in certs)
+        not_after = min(cert.not_after for cert in certs)
+        revocation_pairs = tuple((cert.issuer, cert.serial) for cert in chain)
+        entry = (result, not_before, not_after, revocation_pairs,
+                 anchor.subject, anchor.fingerprint())
+        self._cache.put_if_epoch(key, entry, epoch=epoch, tags=(f"pki:{owner}",))
+
+    def verify_chain(self, chain: Sequence[Certificate], *,
+                     when: float | None = None,
+                     revoked_serials=_UNSET) -> Certificate:
+        """Like :func:`repro.pki.certificate.verify_chain`, memoized.
+
+        ``revoked_serials`` overrides the constructor mapping for this call,
+        so a caller that owns the authoritative revocation list (e.g. the
+        authenticator) can pass its current one every time.
+        """
+
+        when = time.time() if when is None else when
+        revoked = (self._current_revocations() if revoked_serials is _UNSET
+                   else revoked_serials)
+        key = self._key("chain", chain)
+        cached = self._cached_result(key, when, revoked)
+        if cached is not MISSING:
+            return cached
+        epoch = self._cache.epoch
+        end_entity = verify_chain(list(chain), self._trust_store, when=when,
+                                  revoked_serials=revoked)
+        self._store(key, end_entity, chain, str(end_entity.subject), epoch)
+        return end_entity
+
+    def verify_proxy_chain(self, proxy: "ProxyCertificate | Sequence[Certificate]", *,
+                           when: float | None = None,
+                           max_delegation_depth: int = 8,
+                           revoked_serials=_UNSET) -> DN:
+        """Like :func:`verify_proxy_chain`, memoized on the chain fingerprints.
+
+        ``max_delegation_depth`` is part of the cache key, so a stricter
+        bound never gets served a success computed under a laxer one;
+        ``revoked_serials`` overrides the constructor mapping per call.
+        """
+
+        when = time.time() if when is None else when
+        revoked = (self._current_revocations() if revoked_serials is _UNSET
+                   else revoked_serials)
+        if isinstance(proxy, ProxyCertificate):
+            chain: Sequence[Certificate] = proxy.credential.full_chain()
+        else:
+            chain = tuple(proxy)
+        key = ("proxy", max_delegation_depth,
+               tuple(cert.fingerprint() for cert in chain))
+        cached = self._cached_result(key, when, revoked)
+        if cached is not MISSING:
+            return cached
+        epoch = self._cache.epoch
+        owner = verify_proxy_chain(chain, self._trust_store, when=when,
+                                   max_delegation_depth=max_delegation_depth,
+                                   revoked_serials=revoked)
+        self._store(key, owner, chain, str(owner), epoch)
+        return owner
+
+    def invalidate_dn(self, dn) -> None:
+        """Drop every cached verification owned by ``dn`` (e.g. revocation)."""
+
+        tag = f"pki:{dn}"
+        if self._invalidation is not None:
+            self._invalidation.publish(tag)
+        else:
+            self._cache.invalidate_tag(tag)

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Iterable, Sequence
+from typing import Callable, Iterable, Sequence
 
 from repro.database import Database
 from repro.pki.dn import DN, DNParseError
@@ -106,6 +106,9 @@ class VOManager:
         self._db = database
         self._table = database.table("vo_groups")
         self._table.create_index("name", unique=True)
+        #: Called (no arguments) after every group mutation.  The server uses
+        #: it to flush cached ACL decisions, which depend on group membership.
+        self.on_change: "Callable[[], None] | None" = None
         # The admins group is populated statically from the configuration on
         # each server restart (paper, section 2.1).
         admin_list = [str(a) for a in admins]
@@ -203,6 +206,10 @@ class VOManager:
         return [name for name in self.list_groups() if self.is_member(dn, name)]
 
     # -- mutation -------------------------------------------------------------
+    def _notify(self) -> None:
+        if self.on_change is not None:
+            self.on_change()
+
     def _require_admin(self, actor_dn: str | None, group_name: str) -> None:
         if actor_dn is None:
             return  # internal calls (server bootstrap) skip authorization
@@ -228,6 +235,7 @@ class VOManager:
         group = Group(name=name, members=[str(m) for m in members],
                       admins=[str(a) for a in admins], description=description)
         self._table.put(name, group.to_record())
+        self._notify()
         return group
 
     def delete_group(self, name: str, *, actor_dn: str | None = None,
@@ -244,6 +252,7 @@ class VOManager:
         for child in children:
             self._table.delete(child)
         self._table.delete(name)
+        self._notify()
 
     def add_member(self, group_name: str, dn: str, *, actor_dn: str | None = None) -> None:
         group_name = _validate_group_name(group_name)
@@ -252,6 +261,7 @@ class VOManager:
         if dn not in group.members:
             group.members.append(str(dn))
             self._table.put(group_name, group.to_record())
+            self._notify()
 
     def remove_member(self, group_name: str, dn: str, *, actor_dn: str | None = None) -> None:
         group_name = _validate_group_name(group_name)
@@ -260,6 +270,7 @@ class VOManager:
         if dn in group.members:
             group.members.remove(dn)
             self._table.put(group_name, group.to_record())
+            self._notify()
 
     def add_admin(self, group_name: str, dn: str, *, actor_dn: str | None = None) -> None:
         group_name = _validate_group_name(group_name)
@@ -270,6 +281,7 @@ class VOManager:
         if dn not in group.admins:
             group.admins.append(str(dn))
             self._table.put(group_name, group.to_record())
+            self._notify()
 
     def remove_admin(self, group_name: str, dn: str, *, actor_dn: str | None = None) -> None:
         group_name = _validate_group_name(group_name)
@@ -280,3 +292,4 @@ class VOManager:
         if dn in group.admins:
             group.admins.remove(dn)
             self._table.put(group_name, group.to_record())
+            self._notify()

@@ -150,6 +150,49 @@ class TestHierarchicalEvaluation:
         with pytest.raises(ACLError):
             manager.check_file(ALICE, "/x", "execute")
 
+    def test_duplicate_slashes_see_same_acls(self):
+        # "/data//cms/run1.root" must walk the same hierarchy levels as its
+        # normalized spelling, so an ACL on /data/cms is not skipped.
+        manager, _ = make_manager(default_allow_authenticated=False)
+        manager.set_file_acl("/data/cms", FileACL(read=ACL(dns_allowed=[ALICE]),
+                                                  write=ACL()))
+        assert manager.check_file(ALICE, "/data//cms/run1.root", "read").allowed
+        assert manager.check_file(ALICE, "/data/cms/run1.root/", "read").allowed
+        assert not manager.check_file(ALICE, "//elsewhere//x", "read").allowed
+
+    def test_file_acl_keys_are_normalized_on_write(self):
+        manager, _ = make_manager()
+        manager.set_file_acl("/data//cms/", FileACL(read=ACL(dns_allowed=[ALICE]),
+                                                    write=ACL()))
+        assert list(manager.list_file_acls()) == ["/data/cms"]
+        assert manager.get_file_acl("/data/cms") is not None
+        assert manager.get_file_acl("//data//cms") is not None
+        assert manager.remove_file_acl("/data/cms/")
+        assert manager.list_file_acls() == {}
+
+    def test_persisted_unnormalized_keys_are_swept_on_open(self):
+        # Records stored under duplicate-slash keys by older versions are
+        # re-keyed when the manager opens the table, so they stay enforced.
+        db = Database()
+        db.table("acl_files").put("/data//secret",
+                                  FileACL(read=ACL(dns_allowed=[ALICE]),
+                                          write=ACL()).to_record())
+        vo = VOManager(db, admins=[ADMIN])
+        manager = ACLManager(db, membership=vo.is_member,
+                             is_admin=lambda dn: vo.is_admin(dn),
+                             default_allow_authenticated=False)
+        assert list(manager.list_file_acls()) == ["/data/secret"]
+        assert manager.check_file(ALICE, "/data/secret/x", "read").allowed
+        assert manager.remove_file_acl("/data/secret")
+
+    def test_method_level_rejects_empty_segments(self):
+        manager, _ = make_manager()
+        for bad in ("", ".file", "file.", "a..b", "a...b", "."):
+            with pytest.raises(ACLError):
+                manager.set_method_acl(bad, ACL.allow_all())
+        manager.set_method_acl("a.b", ACL.allow_all())
+        assert manager.get_method_acl("a.b") is not None
+
     def test_acl_administration_requires_admin(self):
         manager, _ = make_manager()
         with pytest.raises(ACLError):

@@ -1,0 +1,379 @@
+"""Unit tests for the repro.cache subsystem (core, invalidation, decorators)."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.cache import invalidate_all
+from repro.cache.core import MISSING, NEGATIVE, CacheRegistry, TTLLRUCache
+from repro.cache.decorators import cached
+from repro.cache.invalidation import InvalidationBus, tag_matches
+
+
+class FakeClock:
+    """A controllable monotonic clock."""
+
+    def __init__(self) -> None:
+        self.now = 1000.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+# -- TTLLRUCache basics --------------------------------------------------------
+
+class TestTTLLRUCache:
+    def test_put_get_roundtrip(self):
+        cache = TTLLRUCache("t")
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert cache.get("b") is MISSING
+        assert cache.get("b", None) is None
+
+    def test_empty_cache_is_truthy(self):
+        # `if cache:` checks must mean "is a cache configured", not "is it
+        # non-empty" — an empty cache being falsy would disable caching.
+        assert bool(TTLLRUCache("t")) is True
+
+    def test_ttl_expiry(self):
+        clock = FakeClock()
+        cache = TTLLRUCache("t", ttl=10.0, clock=clock)
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        clock.advance(10.0)
+        assert cache.get("a") is MISSING
+        assert cache.stats.expirations == 1
+        assert len(cache) == 0
+
+    def test_per_entry_ttl_overrides_default(self):
+        clock = FakeClock()
+        cache = TTLLRUCache("t", ttl=10.0, clock=clock)
+        cache.put("long", 1, ttl=100.0)
+        clock.advance(50.0)
+        assert cache.get("long") == 1
+
+    def test_no_ttl_means_no_expiry(self):
+        clock = FakeClock()
+        cache = TTLLRUCache("t", clock=clock)
+        cache.put("a", 1)
+        clock.advance(10 ** 9)
+        assert cache.get("a") == 1
+
+    def test_lru_eviction_order(self):
+        cache = TTLLRUCache("t", maxsize=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")  # "a" is now most recently used
+        cache.put("c", 3)
+        assert cache.get("b") is MISSING  # least recently used went first
+        assert cache.get("a") == 1
+        assert cache.get("c") == 3
+        assert cache.stats.evictions == 1
+
+    def test_overwrite_does_not_evict(self):
+        cache = TTLLRUCache("t", maxsize=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)
+        assert len(cache) == 2
+        assert cache.stats.evictions == 0
+        assert cache.get("a") == 10
+
+    def test_negative_caching(self):
+        cache = TTLLRUCache("t")
+        cache.put_negative("gone")
+        assert cache.get("gone") is NEGATIVE
+        assert cache.stats.negative_hits == 1
+        assert cache.stats.hits == 1
+
+    def test_invalidate_key(self):
+        cache = TTLLRUCache("t")
+        cache.put("a", 1)
+        assert cache.invalidate("a") is True
+        assert cache.invalidate("a") is False
+        assert cache.get("a") is MISSING
+        assert cache.stats.invalidations == 1
+
+    def test_invalidate_tag_exact_and_hierarchy(self):
+        cache = TTLLRUCache("t")
+        cache.put("s1", 1, tags=("session:1",))
+        cache.put("s2", 2, tags=("session:2",))
+        cache.put("m1", 3, tags=("acl:method",))
+        assert cache.invalidate_tag("session:1") == 1
+        assert cache.get("s1") is MISSING
+        assert cache.get("s2") == 2
+        # Publishing the family tag flushes everything underneath it.
+        assert cache.invalidate_tag("session") == 1
+        assert cache.get("s2") is MISSING
+        assert cache.get("m1") == 3
+
+    def test_clear(self):
+        cache = TTLLRUCache("t")
+        cache.put("a", 1, tags=("x",))
+        cache.put("b", 2)
+        assert cache.clear() == 2
+        assert len(cache) == 0
+        assert cache.invalidate_tag("x") == 0
+
+    def test_contains_respects_expiry(self):
+        clock = FakeClock()
+        cache = TTLLRUCache("t", ttl=5.0, clock=clock)
+        cache.put("a", 1)
+        assert "a" in cache
+        clock.advance(5.0)
+        assert "a" not in cache
+
+    def test_eviction_cleans_tag_index(self):
+        cache = TTLLRUCache("t", maxsize=1)
+        cache.put("a", 1, tags=("g",))
+        cache.put("b", 2, tags=("g",))
+        # "a" was evicted; invalidating the tag must only drop "b".
+        assert cache.invalidate_tag("g") == 1
+        assert len(cache) == 0
+
+    def test_put_if_epoch_rejects_stale_fill(self):
+        # Read-through protocol: capture the epoch, load, store-if-unchanged.
+        cache = TTLLRUCache("t")
+        epoch = cache.epoch
+        # Any invalidation bumps the epoch — even one matching nothing, since
+        # the "nothing" may be a concurrent read-through not yet stored.
+        cache.invalidate_tag("session:1")
+        assert cache.put_if_epoch("k", 1, epoch=epoch) is False
+        assert cache.get("k") is MISSING
+        fresh = cache.epoch
+        assert cache.put_if_epoch("k", 1, epoch=fresh) is True
+        assert cache.get("k") == 1
+
+    def test_invalidate_key_bumps_epoch(self):
+        cache = TTLLRUCache("t")
+        epoch = cache.epoch
+        cache.invalidate("missing-key")
+        assert cache.epoch > epoch
+        cache.put("a", 1)
+        epoch = cache.epoch
+        cache.clear()
+        assert cache.epoch > epoch
+
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(ValueError):
+            TTLLRUCache("t", maxsize=0)
+        with pytest.raises(ValueError):
+            TTLLRUCache("t", ttl=0)
+
+    def test_thread_safety_smoke(self):
+        cache = TTLLRUCache("t", maxsize=128)
+        errors = []
+
+        def worker(base: int) -> None:
+            try:
+                for i in range(500):
+                    cache.put((base, i % 64), i, tags=(f"w:{base}",))
+                    cache.get((base, (i + 1) % 64))
+                    if i % 100 == 0:
+                        cache.invalidate_tag(f"w:{base}")
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(n,)) for n in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+
+
+# -- statistics ----------------------------------------------------------------
+
+class TestStats:
+    def test_hit_rate(self):
+        cache = TTLLRUCache("t")
+        cache.put("a", 1)
+        cache.get("a")
+        cache.get("a")
+        cache.get("zz")
+        snap = cache.stats_snapshot()
+        assert snap["hits"] == 2
+        assert snap["misses"] == 1
+        assert snap["hit_rate"] == pytest.approx(2 / 3)
+        assert snap["size"] == 1
+
+    def test_registry_aggregation(self):
+        registry = CacheRegistry()
+        a = registry.create("a")
+        b = registry.create("b")
+        a.put("k", 1)
+        a.get("k")
+        b.get("nope")
+        snap = registry.stats_snapshot()
+        assert set(snap["caches"]) == {"a", "b"}
+        assert snap["totals"]["hits"] == 1
+        assert snap["totals"]["misses"] == 1
+        assert snap["totals"]["hit_rate"] == pytest.approx(0.5)
+
+    def test_registry_rejects_duplicate_names(self):
+        registry = CacheRegistry()
+        registry.create("a")
+        with pytest.raises(ValueError):
+            registry.create("a")
+
+    def test_registry_invalidate_all(self):
+        registry = CacheRegistry()
+        a = registry.create("a")
+        b = registry.create("b")
+        a.put("k", 1)
+        b.put("k", 2)
+        assert registry.invalidate_all() == 2
+        assert len(a) == 0 and len(b) == 0
+
+
+# -- invalidation bus ----------------------------------------------------------
+
+class TestInvalidationBus:
+    def test_tag_matches(self):
+        assert tag_matches("session", "session")
+        assert tag_matches("session", "session:abc")
+        assert tag_matches("acl:method", "acl")  # family event reaches children
+        assert tag_matches("*", "anything")
+        assert not tag_matches("session", "sessions:abc")
+        assert not tag_matches("acl:method", "acl:file")
+
+    def test_publish_routes_to_matching_caches(self):
+        bus = InvalidationBus()
+        sessions = TTLLRUCache("sessions")
+        acls = TTLLRUCache("acls")
+        bus.subscribe("session", sessions)
+        bus.subscribe("acl", acls)
+        sessions.put("s1", 1, tags=("session:1",))
+        acls.put("d1", 2, tags=("acl:method",))
+        assert bus.publish("session:1") == 1
+        assert sessions.get("s1") is MISSING
+        assert acls.get("d1") == 2
+        assert bus.published == 1
+        assert bus.entries_invalidated == 1
+
+    def test_family_publish_flushes_children(self):
+        bus = InvalidationBus()
+        acls = TTLLRUCache("acls")
+        bus.subscribe("acl", acls)
+        acls.put("m", 1, tags=("acl:method",))
+        acls.put("f", 2, tags=("acl:file",))
+        assert bus.publish("acl") == 2
+        assert len(acls) == 0
+
+    def test_bus_invalidate_all(self):
+        bus = InvalidationBus()
+        cache = TTLLRUCache("c")
+        bus.subscribe("x", cache)
+        cache.put("a", 1)
+        cache.put("b", 2, tags=("y",))  # untagged/other-tag entries flush too
+        assert bus.invalidate_all() == 2
+        assert len(cache) == 0
+
+    def test_process_wide_invalidate_all(self):
+        bus = InvalidationBus()
+        cache = TTLLRUCache("c")
+        bus.subscribe("x", cache)
+        cache.put("a", 1)
+        assert invalidate_all() >= 1
+        assert len(cache) == 0
+
+    def test_unsubscribe(self):
+        bus = InvalidationBus()
+        cache = TTLLRUCache("c")
+        bus.subscribe("x", cache)
+        assert bus.unsubscribe("x", cache) is True
+        assert bus.unsubscribe("x", cache) is False
+        cache.put("a", 1, tags=("x:1",))
+        bus.publish("x:1")
+        assert cache.get("a") == 1
+
+
+# -- decorator -----------------------------------------------------------------
+
+class TestCachedDecorator:
+    def test_read_through(self):
+        registry = CacheRegistry()
+        calls = []
+
+        @cached(registry, "lookups", ttl=60.0)
+        def lookup(x):
+            calls.append(x)
+            return x * 2
+
+        assert lookup(3) == 6
+        assert lookup(3) == 6
+        assert calls == [3]
+        assert registry.get("lookups").stats.hits == 1
+
+    def test_negative_results_cached(self):
+        registry = CacheRegistry()
+        calls = []
+
+        @cached(registry, "maybe")
+        def find(x):
+            calls.append(x)
+            return None
+
+        assert find("k") is None
+        assert find("k") is None
+        assert calls == ["k"]
+
+    def test_key_fn_and_tags(self):
+        registry = CacheRegistry()
+
+        @cached(registry, "acl", key_fn=lambda dn, m: (dn, m),
+                tags=lambda dn, m: (f"acl:{m}",))
+        def check(dn, method):
+            return f"{dn}->{method}"
+
+        check("alice", "read")
+        check("bob", "write")
+        cache = registry.get("acl")
+        assert cache.invalidate_tag("acl:read") == 1
+        assert len(cache) == 1
+
+    def test_exposes_cache_attribute(self):
+        registry = CacheRegistry()
+
+        @cached(registry, "c")
+        def f(x):
+            return x
+
+        f(1)
+        assert f.cache is registry.get("c")
+        f.cache.clear()
+        assert len(f.cache) == 0
+
+    def test_fill_aborted_by_invalidation_during_load(self):
+        registry = CacheRegistry()
+
+        race = [True]
+
+        @cached(registry, "r", tags=("t",))
+        def load(k):
+            if race[0]:
+                race[0] = False
+                load.cache.invalidate_tag("t")  # writer races the in-flight load
+            return k * 2
+
+        assert load(2) == 4            # caller still gets the result...
+        assert len(load.cache) == 0    # ...but the stale fill is dropped
+        assert load(2) == 4            # next call re-loads and caches
+        assert len(load.cache) == 1
+
+    def test_requires_registry_or_cache(self):
+        with pytest.raises(ValueError):
+            cached(None, "nope")
+        explicit = TTLLRUCache("explicit")
+
+        @cached(None, "ignored", cache=explicit)
+        def g(x):
+            return x + 1
+
+        assert g(1) == 2
+        assert len(explicit) == 1

@@ -1,0 +1,374 @@
+"""End-to-end behaviour of a caching server.
+
+The invariant under test: with ``cache_enabled=True`` every write (session
+destroy/renew, ACL edit, VO group change, discovery registration) is visible
+through the caches *immediately* — there is no stale-grant window — while
+repeated reads are served from memory (visible in the cache statistics).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.acl.model import ACL
+from repro.cache.core import NEGATIVE
+from repro.client.client import ClarensClient
+from repro.core.errors import SessionExpiredError
+from repro.monitoring.bus import MessageBus
+from repro.monitoring.cachemetrics import CacheStatsReporter
+from repro.monitoring.station import StationServer
+from repro.protocols.errors import Fault
+
+from tests.conftest import ADMIN_DN, build_server
+
+ALICE_DN = "/O=clarens.test/OU=People/CN=Alice Adams"
+
+
+@pytest.fixture()
+def cached_server(ca, host_credential):
+    """A fresh in-memory server with the hot-path caches enabled."""
+
+    srv = build_server(ca, host_credential, cache_enabled=True)
+    yield srv
+    srv.close()
+
+
+@pytest.fixture()
+def cached_client(cached_server, alice_credential):
+    cl = ClarensClient.for_loopback(cached_server.loopback())
+    cl.login_with_credential(alice_credential)
+    yield cl
+    cl.close()
+
+
+@pytest.fixture()
+def cached_admin(cached_server, admin_credential):
+    cl = ClarensClient.for_loopback(cached_server.loopback())
+    cl.login_with_credential(admin_credential)
+    yield cl
+    cl.close()
+
+
+class TestSessionCache:
+    def test_validate_hits_cache_on_repeat(self, cached_server):
+        session = cached_server.sessions.create(ALICE_DN)
+        cache = cached_server.caches.get("core.sessions")
+        before = cache.stats.hits
+        for _ in range(5):
+            assert cached_server.sessions.validate(session.session_id).dn == ALICE_DN
+        assert cache.stats.hits >= before + 4
+
+    def test_destroy_is_visible_immediately(self, cached_server):
+        session = cached_server.sessions.create(ALICE_DN)
+        cached_server.sessions.validate(session.session_id)  # warm the cache
+        assert cached_server.sessions.destroy(session.session_id)
+        with pytest.raises(SessionExpiredError):
+            cached_server.sessions.validate(session.session_id)
+
+    def test_renew_is_visible_immediately(self, cached_server):
+        session = cached_server.sessions.create(ALICE_DN, lifetime=60.0)
+        cached_server.sessions.validate(session.session_id)
+        renewed = cached_server.sessions.renew(session.session_id, lifetime=3600.0)
+        assert cached_server.sessions.validate(session.session_id).expires == renewed.expires
+
+    def test_set_attribute_is_visible_immediately(self, cached_server):
+        session = cached_server.sessions.create(ALICE_DN)
+        cached_server.sessions.validate(session.session_id)
+        cached_server.sessions.set_attribute(session.session_id, "color", "green")
+        assert cached_server.sessions.validate(session.session_id).attributes["color"] == "green"
+
+    def test_unknown_ids_are_negative_cached(self, cached_server):
+        cache = cached_server.caches.get("core.sessions")
+        for _ in range(3):
+            with pytest.raises(SessionExpiredError):
+                cached_server.sessions.validate("no-such-session")
+        assert cache.stats.negative_hits >= 2
+        assert cache.get("no-such-session") is NEGATIVE
+
+    def test_logout_over_rpc_ends_the_session(self, cached_client):
+        assert cached_client.call("system.whoami")["authenticated"]
+        assert cached_client.call("system.logout") is True
+        with pytest.raises(Fault):
+            cached_client.call("system.whoami")
+
+    def test_destroy_racing_validate_is_not_resurrected(self, cached_server):
+        # A destroy landing between the cache miss's DB read and its cache
+        # fill must win: the stale session may be returned to the overlapped
+        # caller, but it must not be (re)stored in the cache.
+        sessions = cached_server.sessions
+        sid = sessions.create(ALICE_DN).session_id
+        cache = cached_server.caches.get("core.sessions")
+        table = sessions._table
+        real_get = table.get
+
+        def racing_get(key, default=...):
+            record = real_get(key, default)
+            table.get = real_get  # fire only once
+            sessions.destroy(sid)
+            return record
+
+        table.get = racing_get
+        sessions.validate(sid)  # overlapped with the destroy
+        from repro.cache.core import MISSING
+
+        assert cache.get(sid) is MISSING
+        with pytest.raises(SessionExpiredError):
+            sessions.validate(sid)
+
+    def test_destroy_for_dn_flushes_every_session(self, cached_server):
+        ids = [cached_server.sessions.create(ALICE_DN).session_id for _ in range(3)]
+        for sid in ids:
+            cached_server.sessions.validate(sid)
+        assert cached_server.sessions.destroy_for_dn(ALICE_DN) == 3
+        for sid in ids:
+            with pytest.raises(SessionExpiredError):
+                cached_server.sessions.validate(sid)
+
+
+class TestACLDecisionCache:
+    def test_acl_edit_is_visible_immediately(self, cached_server, cached_client,
+                                             cached_admin):
+        # Warm the decision cache with an allowed call...
+        assert cached_client.call("system.echo", "hi") == "hi"
+        # ...then deny Alice at the method level and retry at once.
+        cached_admin.call("acl.set_method_acl", "system.echo",
+                          ACL(order="allow,deny", dns_denied=[ALICE_DN]).to_record())
+        with pytest.raises(Fault):
+            cached_client.call("system.echo", "hi")
+        # Removing the ACL restores access just as immediately.
+        cached_admin.call("acl.remove_method_acl", "system.echo")
+        assert cached_client.call("system.echo", "hi") == "hi"
+
+    def test_repeat_checks_hit_the_cache(self, cached_server):
+        cache = cached_server.caches.get("acl.decisions")
+        cached_server.acl.check_method(ALICE_DN, "system.echo")
+        before = cache.stats.hits
+        for _ in range(4):
+            assert cached_server.acl.check_method(ALICE_DN, "system.echo").allowed
+        assert cache.stats.hits >= before + 4
+
+    def test_default_allow_flip_flushes_decisions(self, cached_server):
+        # Flipping the runtime lock-down knob must invalidate decisions that
+        # were decided by the default, immediately.
+        acl = cached_server.acl
+        assert acl.check_method(ALICE_DN, "system.echo").allowed  # cached allow
+        acl.default_allow_authenticated = False
+        assert not acl.check_method(ALICE_DN, "system.echo").allowed
+        acl.default_allow_authenticated = True
+        assert acl.check_method(ALICE_DN, "system.echo").allowed
+
+    def test_vo_group_change_flushes_decisions(self, cached_server):
+        server = cached_server
+        server.acl.set_method_acl("job", ACL(groups_allowed=["cms"]))
+        assert not server.acl.check_method(ALICE_DN, "job.submit").allowed
+        server.vo.create_group("cms", members=[ALICE_DN], actor_dn=ADMIN_DN)
+        assert server.acl.check_method(ALICE_DN, "job.submit").allowed
+        server.vo.remove_member("cms", ALICE_DN, actor_dn=ADMIN_DN)
+        assert not server.acl.check_method(ALICE_DN, "job.submit").allowed
+
+    def test_acl_edit_racing_check_is_not_cached(self, cached_server):
+        # An ACL edit between a check's DB evaluation and its cache fill must
+        # not leave the stale allow in the cache (no stale-grant window).
+        acl = cached_server.acl
+        real = acl.get_method_acl
+
+        def racing(level):
+            result = real(level)
+            acl.get_method_acl = real  # fire only once
+            acl.set_method_acl("system.echo",
+                               ACL(order="allow,deny", dns_denied=[ALICE_DN]))
+            return result
+
+        acl.get_method_acl = racing
+        acl.check_method(ALICE_DN, "system.echo")  # overlapped with the edit
+        assert not acl.check_method(ALICE_DN, "system.echo").allowed
+
+    def test_file_decisions_cached_and_flushed(self, cached_server):
+        from repro.acl.model import FileACL
+
+        server = cached_server
+        server.acl.set_file_acl("/data", FileACL(read=ACL(dns_allowed=[ALICE_DN]),
+                                                 write=ACL()))
+        assert server.acl.check_file(ALICE_DN, "/data/x.root", "read").allowed
+        server.acl.remove_file_acl("/data")
+        server.acl.default_allow_authenticated = False
+        assert not server.acl.check_file(ALICE_DN, "/data/x.root", "read").allowed
+
+
+class TestDiscoveryCache:
+    def test_registration_is_visible_immediately(self, cached_server):
+        registry = cached_server.services["discovery"].registry
+        assert registry.lookup_url(module="nosuch") is None
+        from repro.discovery.model import ServiceDescriptor
+
+        registry.register(ServiceDescriptor(
+            name="peer", url="http://peer.example/rpc", host_dn="/CN=peer",
+            services=["nosuch"], methods=["nosuch.ping"], ttl=600.0))
+        assert registry.lookup_url(module="nosuch") == "http://peer.example/rpc"
+
+    def test_repeat_queries_hit_the_cache(self, cached_server):
+        registry = cached_server.services["discovery"].registry
+        cache = cached_server.caches.get("discovery.lookups")
+        registry.find(module="system")
+        before = cache.stats.hits
+        registry.find(module="system")
+        registry.find(module="system")
+        assert cache.stats.hits >= before + 2
+
+
+class TestPKIChainCache:
+    def test_second_login_hits_the_chain_cache(self, cached_server, alice_credential):
+        cache = cached_server.caches.get("pki.chains")
+        for _ in range(2):
+            cl = ClarensClient.for_loopback(cached_server.loopback())
+            cl.login_with_credential(alice_credential)
+            cl.close()
+        assert cache.stats.hits >= 1
+        assert cache.stats.misses >= 1
+
+    def test_revocation_rejects_despite_warm_cache(self, cached_server,
+                                                   alice_credential):
+        # Warm the chain cache with a successful login...
+        cl = ClarensClient.for_loopback(cached_server.loopback())
+        cl.login_with_credential(alice_credential)
+        cl.close()
+        # ...then revoke Alice's serial through the runtime knob.
+        cert = alice_credential.certificate
+        revoked = cached_server.authenticator.revoked_serials
+        revoked.setdefault(cert.issuer, set()).add(cert.serial)
+        cl2 = ClarensClient.for_loopback(cached_server.loopback())
+        with pytest.raises(Fault):
+            cl2.login_with_credential(alice_credential)
+        cl2.close()
+
+    def test_revocation_by_dict_reassignment(self, cached_server, alice_credential):
+        # The failure-injection idiom replaces the dict wholesale
+        # (authenticator.revoked_serials = ca.crl()); the chain cache must
+        # read the current mapping, not the one captured at startup.
+        cl = ClarensClient.for_loopback(cached_server.loopback())
+        cl.login_with_credential(alice_credential)
+        cl.close()
+        cert = alice_credential.certificate
+        cached_server.authenticator.revoked_serials = {cert.issuer: {cert.serial}}
+        cl2 = ClarensClient.for_loopback(cached_server.loopback())
+        with pytest.raises(Fault):
+            cl2.login_with_credential(alice_credential)
+        cl2.close()
+
+    def test_cached_hit_respects_not_before(self, cached_server, alice_credential):
+        from repro.pki.certificate import VerificationError
+
+        chain_cache = cached_server.authenticator.chain_cache
+        chain = alice_credential.full_chain()
+        assert chain_cache.verify_chain(chain)  # warm at the current time
+        past = alice_credential.certificate.not_before - 10.0
+        with pytest.raises(VerificationError):
+            chain_cache.verify_chain(chain, when=past)
+
+    def test_trust_anchor_removal_rejects_despite_warm_cache(self, ca,
+                                                             host_credential,
+                                                             alice_credential):
+        server = build_server(ca, host_credential, cache_enabled=True)
+        try:
+            cl = ClarensClient.for_loopback(server.loopback())
+            cl.login_with_credential(alice_credential)
+            cl.close()
+            # CA-compromise response: drop the root from the trust store.
+            server.trust_store.remove(ca.certificate.subject)
+            cl2 = ClarensClient.for_loopback(server.loopback())
+            with pytest.raises(Fault):
+                cl2.login_with_credential(alice_credential)
+            cl2.close()
+        finally:
+            server.close()
+
+    def test_direct_authenticator_pair_enforces_revocation(self, cached_server,
+                                                           alice_credential):
+        # An Authenticator built with BOTH revoked_serials and a chain cache
+        # (constructed without one) must still enforce revocation.
+        from repro.cache.core import TTLLRUCache
+        from repro.core.auth import Authenticator, AuthenticationError
+        from repro.pki.proxy import ChainVerificationCache, issue_proxy
+
+        cert = alice_credential.certificate
+        auth = Authenticator(
+            cached_server.sessions, cached_server.trust_store,
+            revoked_serials={cert.issuer: {cert.serial}},
+            chain_cache=ChainVerificationCache(TTLLRUCache("direct-pki"),
+                                               cached_server.trust_store))
+        with pytest.raises(AuthenticationError):
+            auth.login_with_proxy(issue_proxy(alice_credential))
+
+    def test_delegation_depth_is_part_of_cache_key(self, cached_server,
+                                                   alice_credential):
+        from repro.pki.proxy import issue_proxy
+        from repro.pki.certificate import VerificationError
+
+        chain_cache = cached_server.authenticator.chain_cache
+        proxy = issue_proxy(alice_credential)
+        delegated = issue_proxy(proxy.credential)
+        assert chain_cache.verify_proxy_chain(delegated)  # depth 2, cached
+        with pytest.raises(VerificationError):
+            chain_cache.verify_proxy_chain(delegated, max_delegation_depth=1)
+
+
+class TestObservability:
+    def test_cache_stats_rpc(self, cached_admin):
+        snapshot = cached_admin.call("system.cache_stats")
+        assert snapshot["enabled"] is True
+        assert "core.sessions" in snapshot["caches"]
+        assert "acl.decisions" in snapshot["caches"]
+        assert snapshot["totals"]["hits"] >= 0
+
+    def test_cache_stats_requires_admin(self, cached_client):
+        with pytest.raises(Fault):
+            cached_client.call("system.cache_stats")
+
+    def test_reporter_publishes_to_bus_and_station(self, cached_server):
+        cached_server.sessions.create(ALICE_DN)
+        bus = MessageBus()
+        seen = []
+        bus.subscribe("cache.stats", seen.append)
+        reporter = CacheStatsReporter(cached_server.caches, source="test")
+        published = reporter.publish(bus)
+        assert published == len(cached_server.caches.names()) + 1
+        topics = {m.topic for m in seen}
+        assert "cache.stats.core.sessions" in topics
+        assert "cache.stats.totals" in topics
+
+        station = StationServer("st", MessageBus())
+        samples = reporter.publish_to_station(station)
+        assert samples > 0
+        site = station.site_snapshot()
+        farm_names = {farm["name"] for farm in site["farms"]}
+        assert "caches" in farm_names
+
+
+class TestPaperModePreserved:
+    def test_caching_is_off_by_default(self, server):
+        assert server.config.cache_enabled is False
+        assert server.caches.names() == []
+        assert server.sessions._cache is None
+        assert server.acl._cache is None
+        assert server.authenticator.chain_cache is None
+
+    def test_uncached_stats_rpc_reports_disabled(self, admin_client):
+        snapshot = admin_client.call("system.cache_stats")
+        assert snapshot["enabled"] is False
+        assert snapshot["caches"] == {}
+
+    def test_cached_and_uncached_servers_agree(self, cached_server, ca,
+                                               host_credential, alice_credential):
+        plain = build_server(ca, host_credential)
+        try:
+            answers = []
+            for srv in (plain, cached_server):
+                cl = ClarensClient.for_loopback(srv.loopback())
+                cl.login_with_credential(alice_credential)
+                answers.append((sorted(cl.call("system.list_methods")),
+                                cl.call("system.echo", {"k": [1, 2]}),
+                                cl.call("system.whoami")["dn"]))
+                cl.close()
+            assert answers[0] == answers[1]
+        finally:
+            plain.close()
