@@ -12,6 +12,22 @@ import pytest
 
 from repro.bench.workloads import make_benchmark_environment
 
+#: Benchmarks cheap enough to ride along with the tier-1 test suite.  Files
+#: named ``bench_*.py`` are normally only collected when named explicitly
+#: (``pytest benchmarks/bench_x.py``); the ones listed here are additionally
+#: picked up by plain ``pytest``, so CI exercises the code path (the replica
+#: transfer engine) on every run.  Their default sizes are seconds-scale;
+#: ``--smoke`` shrinks them further.
+TIER1_BENCHMARKS = {"bench_replica.py"}
+
+
+def pytest_collect_file(file_path, parent):
+    # Explicitly named files (pytest benchmarks/bench_x.py) are collected by
+    # pytest itself; only step in for directory/rootdir collection sweeps.
+    if file_path.name in TIER1_BENCHMARKS and not parent.session.isinitpath(file_path):
+        return pytest.Module.from_parent(parent, path=file_path)
+    return None
+
 
 @pytest.fixture(scope="session")
 def bench_env():

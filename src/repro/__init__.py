@@ -16,6 +16,7 @@ The subpackages hold the full API:
 * :mod:`repro.acl`          -- hierarchical access-control lists.
 * :mod:`repro.cache`        -- tiered hot-path caching with tag invalidation.
 * :mod:`repro.fileservice`  -- remote file access.
+* :mod:`repro.replica`      -- replica catalogue, transfer engine, broker.
 * :mod:`repro.discovery`    -- dynamic service discovery.
 * :mod:`repro.monitoring`   -- MonALISA-style monitoring substrate.
 * :mod:`repro.shell`        -- sandboxed shell service.

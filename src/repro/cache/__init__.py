@@ -21,11 +21,16 @@ The package has three layers:
   (``session:<id>``, ``acl:method``, ``discovery``, ``pki:<dn>`` …) so a
   single ACL edit flushes only ACL decision entries;
 * :mod:`repro.cache.decorators` — the :func:`~repro.cache.decorators.cached`
-  wrapper for read-through memoization of functions and methods.
+  wrapper for read-through memoization of functions and methods;
+* :mod:`repro.cache.distributed` — the
+  :class:`~repro.cache.distributed.CacheInvalidationRelay` that republishes
+  local invalidation tags over the monitoring message bus (and applies
+  remote ones), keeping multi-server deployments coherent.
 """
 
 from repro.cache.core import MISSING, NEGATIVE, CacheRegistry, CacheStats, TTLLRUCache
 from repro.cache.decorators import cached
+from repro.cache.distributed import CacheInvalidationRelay
 from repro.cache.invalidation import InvalidationBus, invalidate_all
 
 __all__ = [
@@ -34,6 +39,7 @@ __all__ = [
     "CacheRegistry",
     "CacheStats",
     "TTLLRUCache",
+    "CacheInvalidationRelay",
     "InvalidationBus",
     "cached",
     "invalidate_all",

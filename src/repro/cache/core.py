@@ -7,6 +7,14 @@ results ("this session id does not exist") are first-class citizens: callers
 store the :data:`NEGATIVE` sentinel so repeated lookups of a missing key are
 served from memory instead of re-querying the database.
 
+The key space can be partitioned into ``shards``, each with its own lock,
+entry map and tag index, so many-core servers do not serialise every lookup
+on one mutex; hit/miss/eviction counters are kept per shard (each mutated
+only under its shard's lock) and summed on read, so statistics stay exact.
+The default of one shard preserves strict cache-wide LRU ordering; sharded
+caches approximate it per shard, which is the standard trade for lock
+locality.
+
 Every cache in a process is registered under a unique name in a
 :class:`CacheRegistry`, which aggregates statistics for the monitoring
 subsystem (``system.cache_stats`` exposes the snapshot over RPC).
@@ -96,39 +104,66 @@ class _Entry:
         self.tags = tags
 
 
+class _Shard:
+    """One lock's worth of cache state: entries, tag index, and counters."""
+
+    __slots__ = ("lock", "entries", "tag_index", "tag_children", "maxsize", "stats")
+
+    def __init__(self, maxsize: int) -> None:
+        self.lock = threading.Lock()
+        self.entries: "OrderedDict[Hashable, _Entry]" = OrderedDict()
+        self.tag_index: dict[str, set[Hashable]] = {}
+        #: Descendant tags registered under each ancestor prefix, so a family
+        #: flush (tag "acl" hitting "acl:method") touches only matching tags.
+        self.tag_children: dict[str, set[str]] = {}
+        self.maxsize = maxsize
+        self.stats = CacheStats()
+
+
 class TTLLRUCache:
     """A thread-safe TTL + LRU cache with tag-based invalidation.
 
     ``ttl`` is the default time-to-live in seconds applied by :meth:`put`
     (``None`` means entries never expire by age).  ``maxsize`` bounds the
-    entry count; the least recently *read or written* entry is evicted first.
-    Entries may carry string tags (e.g. ``session:<id>``, ``acl:method``);
-    :meth:`invalidate_tag` removes every entry whose tags match the given tag
-    exactly or fall under it in the colon-separated hierarchy.
+    entry count; the least recently *read or written* entry of a shard is
+    evicted first.  ``shards`` splits the key space across independently
+    locked buckets (1 — the default — keeps a single lock and exact
+    cache-wide LRU order).  Entries may carry string tags (e.g.
+    ``session:<id>``, ``acl:method``); :meth:`invalidate_tag` removes every
+    entry whose tags match the given tag exactly or fall under it in the
+    colon-separated hierarchy.
     """
 
     def __init__(self, name: str, *, maxsize: int = 1024, ttl: float | None = None,
+                 shards: int = 1,
                  clock: Callable[[], float] = time.monotonic) -> None:
         if maxsize <= 0:
             raise ValueError("maxsize must be positive")
         if ttl is not None and ttl <= 0:
             raise ValueError("ttl must be positive (or None for no expiry)")
+        if shards <= 0:
+            raise ValueError("shards must be positive")
         self.name = str(name)
         self.maxsize = int(maxsize)
         self.ttl = None if ttl is None else float(ttl)
         self._clock = clock
-        self._lock = threading.Lock()
-        self._entries: "OrderedDict[Hashable, _Entry]" = OrderedDict()
-        self._tag_index: dict[str, set[Hashable]] = {}
-        #: Descendant tags registered under each ancestor prefix, so a family
-        #: flush (tag "acl" hitting "acl:method") touches only matching tags.
-        self._tag_children: dict[str, set[str]] = {}
+        shards = min(int(shards), self.maxsize)
+        per_shard = -(-self.maxsize // shards)  # ceil division
+        self._shards = [_Shard(per_shard) for _ in range(shards)]
         #: Bumped on *every* invalidation (key, tag or clear) — including ones
         #: that matched nothing, because the entry being invalidated may be a
         #: concurrent read-through that has not called put yet.  See
-        #: :meth:`put_if_epoch`.
+        #: :meth:`put_if_epoch`.  Guarded by its own lock, always acquired
+        #: *after* a shard lock (never the other way around).
         self._epoch = 0
-        self.stats = CacheStats()
+        self._epoch_lock = threading.Lock()
+
+    @property
+    def shards(self) -> int:
+        return len(self._shards)
+
+    def _shard_for(self, key: Hashable) -> _Shard:
+        return self._shards[hash(key) % len(self._shards)]
 
     # -- lookups -------------------------------------------------------------
     def get(self, key: Hashable, default: Any = MISSING) -> Any:
@@ -139,65 +174,74 @@ class TTLLRUCache:
         """
 
         now = self._clock()
-        with self._lock:
-            entry = self._entries.get(key)
+        shard = self._shard_for(key)
+        with shard.lock:
+            entry = shard.entries.get(key)
             if entry is None:
-                self.stats.misses += 1
+                shard.stats.misses += 1
                 return default
             if entry.expires is not None and now >= entry.expires:
-                self._remove_locked(key, entry)
-                self.stats.expirations += 1
-                self.stats.misses += 1
+                self._remove_locked(shard, key, entry)
+                shard.stats.expirations += 1
+                shard.stats.misses += 1
                 return default
-            self._entries.move_to_end(key)
-            self.stats.hits += 1
+            shard.entries.move_to_end(key)
+            shard.stats.hits += 1
             if entry.value is NEGATIVE:
-                self.stats.negative_hits += 1
+                shard.stats.negative_hits += 1
             return entry.value
 
     def __contains__(self, key: object) -> bool:
-        with self._lock:
-            entry = self._entries.get(key)
+        shard = self._shard_for(key)
+        with shard.lock:
+            entry = shard.entries.get(key)
             if entry is None:
                 return False
             return entry.expires is None or self._clock() < entry.expires
 
     def __len__(self) -> int:
-        with self._lock:
-            return len(self._entries)
+        return sum(len(shard.entries) for shard in self._iter_locked())
 
     def __bool__(self) -> bool:
         # An *empty* cache must still be truthy — "is a cache configured?"
         # checks would otherwise silently disable caching at startup.
         return True
 
+    def _iter_locked(self) -> Iterator[_Shard]:
+        """Yield each shard with its lock held for the duration of the yield."""
+
+        for shard in self._shards:
+            with shard.lock:
+                yield shard
+
     # -- stores --------------------------------------------------------------
     def put(self, key: Hashable, value: Any, *, ttl: float | None = None,
             tags: tuple[str, ...] = ()) -> None:
         """Store ``value`` under ``key`` (``ttl=None`` uses the cache default)."""
 
-        with self._lock:
-            self._put_locked(key, value, ttl, tuple(tags))
+        shard = self._shard_for(key)
+        with shard.lock:
+            self._put_locked(shard, key, value, ttl, tuple(tags))
 
-    def _put_locked(self, key: Hashable, value: Any, ttl: float | None,
-                    tags: tuple[str, ...]) -> None:
+    def _put_locked(self, shard: _Shard, key: Hashable, value: Any,
+                    ttl: float | None, tags: tuple[str, ...]) -> None:
         effective_ttl = self.ttl if ttl is None else float(ttl)
         expires = None if effective_ttl is None else self._clock() + effective_ttl
-        existing = self._entries.pop(key, None)
+        existing = shard.entries.pop(key, None)
         if existing is not None:
-            self._unindex_locked(key, existing)
-        self._entries[key] = _Entry(value, expires, tags)
+            self._unindex_locked(shard, key, existing)
+        shard.entries[key] = _Entry(value, expires, tags)
         for tag in tags:
-            keys = self._tag_index.setdefault(tag, set())
+            keys = shard.tag_index.setdefault(tag, set())
             if not keys:
                 for ancestor in _tag_ancestors(tag):
-                    self._tag_children.setdefault(ancestor, set()).add(tag)
+                    shard.tag_children.setdefault(ancestor, set()).add(tag)
             keys.add(key)
-        self.stats.stores += 1
-        while len(self._entries) > self.maxsize:
-            old_key, old_entry = self._entries.popitem(last=False)
-            self._unindex_locked(old_key, old_entry)
-            self.stats.evictions += 1
+        shard.stats.stores += 1
+        while len(shard.entries) > shard.maxsize:
+            old_key, old_entry = shard.entries.popitem(last=False)
+            self._unindex_locked(shard, old_key, old_entry)
+            shard.stats.evictions += 1
 
     def put_negative(self, key: Hashable, *, ttl: float | None = None,
                      tags: tuple[str, ...] = ()) -> None:
@@ -209,8 +253,12 @@ class TTLLRUCache:
     def epoch(self) -> int:
         """The invalidation epoch (monotonic; bumped by every invalidation)."""
 
-        with self._lock:
+        with self._epoch_lock:
             return self._epoch
+
+    def _bump_epoch(self) -> None:
+        with self._epoch_lock:
+            self._epoch += 1
 
     def put_if_epoch(self, key: Hashable, value: Any, *, epoch: int,
                      ttl: float | None = None, tags: tuple[str, ...] = ()) -> bool:
@@ -227,82 +275,115 @@ class TTLLRUCache:
         was stored.
         """
 
-        # Check and insert under one lock acquisition: a racing invalidation
-        # either lands before (the store is refused) or after (the tag index
-        # finds and drops the fresh entry) — a stale value is never visible.
-        with self._lock:
-            if self._epoch != epoch:
-                return False
-            self._put_locked(key, value, ttl, tuple(tags))
+        # Check and insert under the key's shard lock: a racing key
+        # invalidation (same shard lock) either lands before (the store is
+        # refused) or after (the tag index finds and drops the fresh entry);
+        # a racing tag invalidation bumps the epoch before sweeping any
+        # shard, so a fill that read the older epoch is refused — a stale
+        # value is never visible.
+        shard = self._shard_for(key)
+        with shard.lock:
+            with self._epoch_lock:
+                if self._epoch != epoch:
+                    return False
+            self._put_locked(shard, key, value, ttl, tuple(tags))
         return True
 
     # -- invalidation --------------------------------------------------------
     def invalidate(self, key: Hashable) -> bool:
         """Drop ``key``; returns whether an entry was removed."""
 
-        with self._lock:
-            self._epoch += 1
-            entry = self._entries.get(key)
+        shard = self._shard_for(key)
+        with shard.lock:
+            self._bump_epoch()
+            entry = shard.entries.get(key)
             if entry is None:
                 return False
-            self._remove_locked(key, entry)
-            self.stats.invalidations += 1
+            self._remove_locked(shard, key, entry)
+            shard.stats.invalidations += 1
             return True
 
     def invalidate_tag(self, tag: str) -> int:
         """Drop every entry tagged ``tag`` or tagged under it (``tag:...``)."""
 
-        with self._lock:
-            self._epoch += 1
-            matching = [tag, *self._tag_children.get(tag, ())]
-            keys: set[Hashable] = set()
-            for indexed in matching:
-                keys.update(self._tag_index.get(indexed, ()))
-            for key in keys:
-                entry = self._entries.get(key)
-                if entry is not None:
-                    self._remove_locked(key, entry)
-            self.stats.invalidations += len(keys)
-            return len(keys)
+        self._bump_epoch()
+        dropped = 0
+        for shard in self._shards:
+            with shard.lock:
+                matching = [tag, *shard.tag_children.get(tag, ())]
+                keys: set[Hashable] = set()
+                for indexed in matching:
+                    keys.update(shard.tag_index.get(indexed, ()))
+                for key in keys:
+                    entry = shard.entries.get(key)
+                    if entry is not None:
+                        self._remove_locked(shard, key, entry)
+                shard.stats.invalidations += len(keys)
+                dropped += len(keys)
+        return dropped
 
     def clear(self) -> int:
         """Drop every entry; returns how many were removed."""
 
-        with self._lock:
-            self._epoch += 1
-            count = len(self._entries)
-            self._entries.clear()
-            self._tag_index.clear()
-            self._tag_children.clear()
-            self.stats.invalidations += count
-            return count
+        self._bump_epoch()
+        count = 0
+        for shard in self._shards:
+            with shard.lock:
+                count += len(shard.entries)
+                shard.stats.invalidations += len(shard.entries)
+                shard.entries.clear()
+                shard.tag_index.clear()
+                shard.tag_children.clear()
+        return count
 
     # -- internals -----------------------------------------------------------
-    def _remove_locked(self, key: Hashable, entry: _Entry) -> None:
-        del self._entries[key]
-        self._unindex_locked(key, entry)
+    def _remove_locked(self, shard: _Shard, key: Hashable, entry: _Entry) -> None:
+        del shard.entries[key]
+        self._unindex_locked(shard, key, entry)
 
-    def _unindex_locked(self, key: Hashable, entry: _Entry) -> None:
+    def _unindex_locked(self, shard: _Shard, key: Hashable, entry: _Entry) -> None:
         for tag in entry.tags:
-            tagged = self._tag_index.get(tag)
+            tagged = shard.tag_index.get(tag)
             if tagged is not None:
                 tagged.discard(key)
                 if not tagged:
-                    del self._tag_index[tag]
+                    del shard.tag_index[tag]
                     for ancestor in _tag_ancestors(tag):
-                        children = self._tag_children.get(ancestor)
+                        children = shard.tag_children.get(ancestor)
                         if children is not None:
                             children.discard(tag)
                             if not children:
-                                del self._tag_children[ancestor]
+                                del shard.tag_children[ancestor]
 
     # -- introspection -------------------------------------------------------
+    @property
+    def stats(self) -> CacheStats:
+        """Aggregated counters across shards (the live object when unsharded).
+
+        Each per-shard counter is only ever mutated under that shard's lock,
+        so the sum is exact — no updates are lost to unsynchronised ``+=``.
+        """
+
+        if len(self._shards) == 1:
+            return self._shards[0].stats
+        total = CacheStats()
+        for shard in self._iter_locked():
+            stats = shard.stats
+            total.hits += stats.hits
+            total.misses += stats.misses
+            total.negative_hits += stats.negative_hits
+            total.evictions += stats.evictions
+            total.expirations += stats.expirations
+            total.invalidations += stats.invalidations
+            total.stores += stats.stores
+        return total
+
     def stats_snapshot(self) -> dict:
-        with self._lock:
-            snapshot = self.stats.snapshot()
-            snapshot["size"] = len(self._entries)
+        snapshot = self.stats.snapshot()
+        snapshot["size"] = len(self)
         snapshot["maxsize"] = self.maxsize
         snapshot["ttl"] = self.ttl
+        snapshot["shards"] = len(self._shards)
         return snapshot
 
 
@@ -314,10 +395,12 @@ class CacheRegistry:
         self._caches: dict[str, TTLLRUCache] = {}
 
     def create(self, name: str, *, maxsize: int = 1024, ttl: float | None = None,
+               shards: int = 1,
                clock: Callable[[], float] = time.monotonic) -> TTLLRUCache:
         """Create, register and return a new named cache."""
 
-        cache = TTLLRUCache(name, maxsize=maxsize, ttl=ttl, clock=clock)
+        cache = TTLLRUCache(name, maxsize=maxsize, ttl=ttl, shards=shards,
+                            clock=clock)
         self.register(cache)
         return cache
 

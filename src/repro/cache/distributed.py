@@ -1,0 +1,98 @@
+"""Cross-process cache invalidation over the monitoring message bus.
+
+A single server keeps its caches coherent through its local
+:class:`~repro.cache.invalidation.InvalidationBus`; a multi-server
+deployment also needs *other* servers' caches flushed when one server edits
+an ACL, destroys a session, or changes a VO group.  The
+:class:`CacheInvalidationRelay` bridges the two substrates:
+
+* every tag published on the local invalidation bus is republished onto the
+  shared monitoring :class:`~repro.monitoring.bus.MessageBus` under
+  ``cache.invalidate.<tag family>`` (the full colon tag rides in the
+  payload, since bus topics are dot-separated);
+* every ``cache.invalidate.*`` message from a *different* server is applied
+  to the local invalidation bus, flushing the matching cache entries.
+
+Messages carry the originating server's name as the bus ``source`` and are
+ignored when it matches our own, so a flush never echoes back; a
+thread-local re-entrancy guard additionally stops a remotely applied flush
+from being republished (bus delivery is synchronous, so a relay loop would
+otherwise recurse).
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import threading
+
+from repro.cache.invalidation import InvalidationBus
+from repro.monitoring.bus import Message, MessageBus
+
+__all__ = ["CacheInvalidationRelay", "INVALIDATION_TOPIC"]
+
+#: Topic family used on the monitoring bus.
+INVALIDATION_TOPIC = "cache.invalidate"
+
+#: Process-wide counter making every relay's source unique, so two servers
+#: that were both left on the default ``server_name`` and wired to one bus
+#: still receive each other's flushes instead of mistaking them for echoes.
+_RELAY_IDS = itertools.count(1)
+
+
+class CacheInvalidationRelay:
+    """Bridges a local InvalidationBus and a shared monitoring MessageBus."""
+
+    def __init__(self, invalidation: InvalidationBus, bus: MessageBus, *,
+                 source: str, topic_prefix: str = INVALIDATION_TOPIC) -> None:
+        if not source:
+            raise ValueError("relay source (server name) must be non-empty")
+        self.invalidation = invalidation
+        self.bus = bus
+        self.source = f"{source}#{os.getpid()}-{next(_RELAY_IDS)}"
+        self.topic_prefix = topic_prefix
+        self.relayed_out = 0
+        self.applied_in = 0
+        self.ignored_own = 0
+        self._local = threading.local()
+        invalidation.add_listener(self._on_local_tag)
+        self._subscription = bus.subscribe(topic_prefix, self._on_bus_message)
+
+    # -- outbound: local flush -> bus ---------------------------------------
+    def _on_local_tag(self, tag: str) -> None:
+        if getattr(self._local, "applying", False):
+            return                        # this flush *came from* the bus
+        family = tag.split(":", 1)[0]
+        self.bus.publish(f"{self.topic_prefix}.{family}", {"tag": tag},
+                         source=self.source)
+        self.relayed_out += 1
+
+    # -- inbound: bus -> local flush ----------------------------------------
+    def _on_bus_message(self, message: Message) -> None:
+        if message.source == self.source:
+            self.ignored_own += 1
+            return
+        tag = message.payload.get("tag")
+        if not isinstance(tag, str) or not tag:
+            return
+        self._local.applying = True
+        try:
+            self.invalidation.publish(tag)
+        finally:
+            self._local.applying = False
+        self.applied_in += 1
+
+    # -- lifecycle -----------------------------------------------------------
+    def close(self) -> None:
+        """Detach from both buses."""
+
+        self.invalidation.remove_listener(self._on_local_tag)
+        self.bus.unsubscribe(self._subscription)
+
+    def stats(self) -> dict:
+        return {
+            "source": self.source,
+            "relayed_out": self.relayed_out,
+            "applied_in": self.applied_in,
+            "ignored_own": self.ignored_own,
+        }

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import threading
 import weakref
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Callable
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.cache.core import TTLLRUCache
@@ -51,9 +51,28 @@ class InvalidationBus:
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self._subscriptions: list[tuple[str, "TTLLRUCache"]] = []
+        self._listeners: list[Callable[[str], None]] = []
         self.published = 0
         self.entries_invalidated = 0
         _ALL_BUSES.add(self)
+
+    def add_listener(self, listener: Callable[[str], None]) -> None:
+        """Observe every published tag (used to relay flushes across servers).
+
+        Listeners run synchronously after the local caches have been flushed;
+        they must not raise.
+        """
+
+        with self._lock:
+            self._listeners.append(listener)
+
+    def remove_listener(self, listener: Callable[[str], None]) -> bool:
+        with self._lock:
+            try:
+                self._listeners.remove(listener)
+                return True
+            except ValueError:
+                return False
 
     def subscribe(self, tag_prefix: str, cache: "TTLLRUCache") -> None:
         """Subscribe ``cache`` to every tag under ``tag_prefix``."""
@@ -79,9 +98,12 @@ class InvalidationBus:
             self.published += 1
             targets = [cache for prefix, cache in self._subscriptions
                        if tag_matches(prefix, tag)]
+            listeners = list(self._listeners)
         dropped = sum(cache.invalidate_tag(tag) for cache in targets)
         with self._lock:
             self.entries_invalidated += dropped
+        for listener in listeners:
+            listener(tag)
         return dropped
 
     def publish_many(self, tags) -> int:

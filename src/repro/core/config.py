@@ -76,6 +76,13 @@ class ServerConfig:
     #: PKI chain-verification cache (successful verifications only).
     cache_pki_maxsize: int = 512
     cache_pki_ttl: float = 600.0
+    #: Lock shards per cache.  1 keeps one mutex and exact cache-wide LRU
+    #: order; higher values split the key space across independently locked
+    #: buckets so many-core servers do not serialise on one lock.
+    cache_shards: int = 8
+    #: Seconds between periodic cache-statistics publications onto the
+    #: monitoring message bus (0 disables the reporter loop).
+    cache_stats_interval: float = 0.0
     #: Allow any authenticated DN to call methods with no configured ACL.
     default_allow_authenticated: bool = True
     #: Allow unauthenticated (anonymous) calls to a small whitelist of system
@@ -86,6 +93,15 @@ class ServerConfig:
     max_read_bytes: int = 8 * 1024 * 1024
     #: Interval between discovery re-publications, seconds.
     discovery_publish_interval: float = 30.0
+    #: Name of this server's local storage element in the replica layer (the
+    #: broker prefers it when resolving logical file names).
+    replica_local_se: str = "local"
+    #: Worker threads draining the replica transfer queue.
+    replica_transfer_workers: int = 2
+    #: Attempts per transfer before it is declared failed.
+    replica_max_attempts: int = 3
+    #: Base delay for the transfer retry backoff (doubles per attempt).
+    replica_retry_delay: float = 0.05
     #: Extra free-form settings (service-specific tuning, experiment labels).
     extra: dict[str, Any] = field(default_factory=dict)
 
@@ -104,9 +120,17 @@ class ServerConfig:
         for knob in ("cache_session_maxsize", "cache_session_ttl",
                      "cache_acl_maxsize", "cache_acl_ttl",
                      "cache_discovery_maxsize", "cache_discovery_ttl",
-                     "cache_pki_maxsize", "cache_pki_ttl"):
+                     "cache_pki_maxsize", "cache_pki_ttl",
+                     "cache_shards",
+                     "replica_transfer_workers", "replica_max_attempts"):
             if getattr(self, knob) <= 0:
                 raise ConfigError(f"{knob} must be positive")
+        if self.cache_stats_interval < 0:
+            raise ConfigError("cache_stats_interval cannot be negative")
+        if self.replica_retry_delay < 0:
+            raise ConfigError("replica_retry_delay cannot be negative")
+        if not self.replica_local_se:
+            raise ConfigError("replica_local_se must be non-empty")
         self.admins = [str(a) for a in self.admins]
 
     # -- constructors --------------------------------------------------------
@@ -158,8 +182,11 @@ class ServerConfig:
                     "cache_acl_maxsize", "cache_acl_ttl",
                     "cache_discovery_maxsize", "cache_discovery_ttl",
                     "cache_pki_maxsize", "cache_pki_ttl",
+                    "cache_shards", "cache_stats_interval",
                     "default_allow_authenticated", "allow_anonymous_system_calls",
-                    "max_read_bytes", "discovery_publish_interval"):
+                    "max_read_bytes", "discovery_publish_interval",
+                    "replica_local_se", "replica_transfer_workers",
+                    "replica_max_attempts", "replica_retry_delay"):
             value = getattr(self, key)
             if value is not None:
                 parser["server"][key] = str(value)

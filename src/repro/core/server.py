@@ -19,8 +19,11 @@ import time
 from pathlib import Path
 from typing import Iterable
 
+import threading
+
 from repro.acl.evaluator import ACLManager
 from repro.cache.core import CacheRegistry, TTLLRUCache
+from repro.cache.distributed import CacheInvalidationRelay
 from repro.cache.invalidation import InvalidationBus
 from repro.core.auth import Authenticator
 from repro.core.config import ServerConfig
@@ -38,6 +41,8 @@ from repro.httpd.message import HTTPError, HTTPRequest, HTTPResponse
 from repro.httpd.router import Router
 from repro.httpd.server import SocketHTTPServer
 from repro.httpd.tls import TLSContext
+from repro.monitoring.bus import MessageBus
+from repro.monitoring.cachemetrics import CacheStatsReporter
 from repro.pki.certificate import TrustStore
 from repro.pki.credentials import Credential
 from repro.pki.proxy import ChainVerificationCache
@@ -54,11 +59,17 @@ class ClarensServer:
                  trust_store: TrustStore | None = None,
                  database: Database | None = None,
                  monitor=None,
+                 message_bus: MessageBus | None = None,
                  register_default_services: bool = True) -> None:
         self.config = config or ServerConfig()
         self.credential = credential
         self.trust_store = trust_store or TrustStore()
         self.monitor = monitor
+        #: The monitoring message bus.  Pass one shared instance to several
+        #: servers (standing in for the UDP/JINI transport between real
+        #: hosts) and they exchange cache invalidations and see each other's
+        #: transfer/cache metrics; by default each server gets its own.
+        self.message_bus = message_bus or MessageBus()
         self.started_at = time.time()
 
         # -- substrates -----------------------------------------------------
@@ -80,6 +91,13 @@ class ClarensServer:
         self.caches = CacheRegistry()
         self.invalidation = InvalidationBus()
         cfg = self.config
+        # Multi-server coherence: relay local invalidation tags onto the
+        # monitoring bus (cache.invalidate.*) and apply flushes published by
+        # other servers sharing that bus.
+        self.invalidation_relay = None
+        if cfg.cache_enabled:
+            self.invalidation_relay = CacheInvalidationRelay(
+                self.invalidation, self.message_bus, source=cfg.server_name)
         session_cache = self.make_cache("core.sessions",
                                         maxsize=cfg.cache_session_maxsize,
                                         ttl=cfg.cache_session_ttl)
@@ -123,6 +141,7 @@ class ClarensServer:
         self.shell_root = self._resolve_root(self.config.shell_root, "sandboxes")
 
         # -- services ---------------------------------------------------------
+        self.replica_broker = None        # set by ReplicaService when registered
         self.services: dict[str, ClarensService] = {}
         if register_default_services:
             self._register_default_services()
@@ -138,6 +157,17 @@ class ClarensServer:
         for service in self.services.values():
             service.on_start()
 
+        # -- periodic cache-statistics reporter --------------------------------
+        self.cache_reporter = CacheStatsReporter(self.caches,
+                                                 source=self.config.server_name)
+        self._reporter_stop = threading.Event()
+        self._reporter_thread: threading.Thread | None = None
+        if self.config.cache_stats_interval > 0:
+            self._reporter_thread = threading.Thread(
+                target=self._reporter_loop, name="cache-stats-reporter",
+                daemon=True)
+            self._reporter_thread.start()
+
     # -- assembly helpers -----------------------------------------------------
     def make_cache(self, name: str, *, maxsize: int, ttl: float | None) -> TTLLRUCache | None:
         """A named cache when caching is enabled on this server, else None.
@@ -149,7 +179,8 @@ class ClarensServer:
 
         if not self.config.cache_enabled:
             return None
-        return self.caches.create(name, maxsize=maxsize, ttl=ttl)
+        return self.caches.create(name, maxsize=maxsize, ttl=ttl,
+                                  shards=self.config.cache_shards)
 
     def _resolve_root(self, configured: str | None, default_name: str) -> Path:
         if configured:
@@ -172,14 +203,17 @@ class ClarensServer:
         from repro.jobs.service import JobService
         from repro.messaging.service import MessagingService
         from repro.proxyservice.service import ProxyService
+        from repro.replica.service import ReplicaService
         from repro.shell.service import ShellService
         from repro.storage.service import SRMService
         from repro.acl.service import ACLService
         from repro.vo.service import VOService
 
+        # ReplicaService comes after SRMService so the mass store behind the
+        # SRM frontend is available as a replica storage element.
         for service_cls in (SystemService, VOService, ACLService, FileService,
                             DiscoveryService, ShellService, ProxyService, JobService,
-                            MessagingService, SRMService):
+                            MessagingService, SRMService, ReplicaService):
             self.add_service(service_cls(self))
 
     def add_service(self, service: ClarensService) -> ClarensService:
@@ -188,6 +222,17 @@ class ClarensServer:
         service.register(self.registry)
         self.services[service.service_name] = service
         return service
+
+    # -- monitoring loop -------------------------------------------------------
+    def _reporter_loop(self) -> None:
+        """Periodically publish cache statistics onto the monitoring bus."""
+
+        interval = self.config.cache_stats_interval
+        while not self._reporter_stop.wait(timeout=interval):
+            try:
+                self.cache_reporter.publish(self.message_bus)
+            except Exception:  # pragma: no cover - monitoring must never kill
+                pass
 
     # -- authorization helper ---------------------------------------------------
     def require_admin(self, ctx: CallContext) -> str:
@@ -271,6 +316,12 @@ class ClarensServer:
         self.db.checkpoint()
 
     def close(self) -> None:
+        self._reporter_stop.set()
+        if self._reporter_thread is not None:
+            self._reporter_thread.join(timeout=5.0)
+            self._reporter_thread = None
+        if self.invalidation_relay is not None:
+            self.invalidation_relay.close()
         for service in self.services.values():
             service.on_stop()
         self.db.close()

@@ -179,19 +179,40 @@ class FileService(ClarensService):
         return file_acl.to_record() if file_acl is not None else {}
 
     # -- HTTP GET (the sendfile path) --------------------------------------------------------
+    @staticmethod
+    def _range_params(request: HTTPRequest) -> tuple[int, int]:
+        """Validated ``offset``/``length`` query params (400 on bad input)."""
+
+        try:
+            offset = int(request.query.get("offset", "0"))
+            length = int(request.query.get("length", "-1"))
+        except ValueError as exc:
+            raise HTTPError(400, f"invalid offset/length: {exc}") from exc
+        if offset < 0:
+            raise HTTPError(400, "offset must be non-negative")
+        return offset, length
+
     def handle_get(self, request: HTTPRequest, remainder: str) -> HTTPResponse:
         """Serve ``GET <prefix>/file/<path>`` with a zero-copy file payload.
+
+        ``GET <prefix>/file/.lfn/<logical name>`` resolves through the
+        replica broker instead: the best replica is selected (local element
+        first), local copies are still served zero-copy, and a failing
+        replica fails over to the next one transparently.
 
         GET errors come back as XML error documents, as the paper describes.
         """
 
-        virtual = "/" + remainder
         dn = request.client_dn or request.headers.get("X-Clarens-DN")
         session_id = request.headers.get("X-Clarens-Session")
         if session_id:
             session = self.server.sessions.get(session_id)
             if session is not None and not session.is_expired():
                 dn = session.dn
+        if remainder.startswith(".lfn/"):
+            return self._handle_get_lfn(request, dn,
+                                        "/" + remainder[len(".lfn/"):])
+        virtual = "/" + remainder
         decision = self.server.acl.check_file(dn or "", virtual, "read")
         if not decision.allowed:
             raise HTTPError(403, f"read access to {virtual} denied")
@@ -204,8 +225,7 @@ class FileService(ClarensService):
             body = "\n".join(entry["path"] for entry in listing).encode() + b"\n"
             return HTTPResponse.ok(body, content_type="text/plain")
 
-        offset = int(request.query.get("offset", "0"))
-        length = int(request.query.get("length", "-1"))
+        offset, length = self._range_params(request)
         content_type = mimetypes.guess_type(real.name)[0] or "application/octet-stream"
         try:
             payload = FilePayload(str(real), offset=offset, length=length)
@@ -213,3 +233,57 @@ class FileService(ClarensService):
             raise HTTPError(400, str(exc)) from exc
         return HTTPResponse.ok(payload, content_type=content_type,
                                extra_headers={"X-Clarens-File": virtual})
+
+    def _handle_get_lfn(self, request: HTTPRequest, dn: str | None,
+                        lfn: str) -> HTTPResponse:
+        """Serve a logical file name through the replica broker."""
+
+        from repro.replica.model import ReplicaError
+        from repro.replica.storage import VFSStorageElement
+
+        broker = self.server.replica_broker
+        if broker is None:
+            raise HTTPError(404, "the replica service is not enabled on this server")
+        decision = self.server.acl.check_file(dn or "", lfn, "read")
+        if not decision.allowed:
+            raise HTTPError(403, f"read access to {lfn} denied")
+        offset, length = self._range_params(request)
+        try:
+            replica, element = broker.resolve(lfn)
+        except ReplicaError as exc:
+            raise HTTPError(404, str(exc)) from exc
+        if isinstance(element, VFSStorageElement):
+            # A local (or VFS-reachable) replica keeps the zero-copy path.
+            try:
+                real = element.vfs.resolve(replica.pfn, must_exist=True)
+                payload = FilePayload(str(real), offset=offset, length=length)
+            except Exception:
+                payload = None              # fall through to the broker read
+            if payload is not None:
+                content_type = (mimetypes.guess_type(real.name)[0]
+                                or "application/octet-stream")
+                return HTTPResponse.ok(
+                    payload, content_type=content_type,
+                    extra_headers={"X-Clarens-LFN": lfn,
+                                   "X-Clarens-Replica": element.name})
+        # Non-VFS replicas are buffered in memory, so unlike the streaming
+        # zero-copy branch this path enforces the server's read cap.
+        try:
+            size = int(broker.catalogue.entry(lfn)["size"])
+        except ReplicaError as exc:
+            raise HTTPError(404, str(exc)) from exc
+        remaining = max(0, size - offset)
+        wanted = remaining if length < 0 else min(length, remaining)
+        limit = self.server.config.max_read_bytes
+        if wanted > limit:
+            raise HTTPError(
+                413, f"a {wanted}-byte buffered read of {lfn} exceeds the "
+                     f"{limit}-byte limit; request explicit offset/length "
+                     f"ranges (or read through a server holding a local "
+                     f"replica, which streams)")
+        try:
+            data = broker.read(lfn, offset, wanted)
+        except ReplicaError as exc:
+            raise HTTPError(404, str(exc)) from exc
+        return HTTPResponse.ok(data, content_type="application/octet-stream",
+                               extra_headers={"X-Clarens-LFN": lfn})

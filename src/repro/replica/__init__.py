@@ -1,0 +1,49 @@
+"""The replica subsystem: one data fabric over many storage elements.
+
+The paper's Clarens servers each serve files from their own virtual root or
+SRM-fronted mass store; the grid deployments they participated in (the CMS
+data challenges) layered a *replica catalogue* on top so a logical file name
+(LFN) could resolve to physical copies on many storage elements.  This
+package reproduces that layer:
+
+* :mod:`repro.replica.model`     -- replicas, states, transfer requests;
+* :mod:`repro.replica.storage`   -- the storage-element abstraction (Clarens
+  VFS roots and the simulated dCache mass store);
+* :mod:`repro.replica.catalogue` -- the versioned LFN → replica mapping on
+  the :mod:`repro.database` engine;
+* :mod:`repro.replica.transfer`  -- the asynchronous, prioritised,
+  checksum-verifying transfer engine with retry/backoff and monitoring
+  publications;
+* :mod:`repro.replica.broker`    -- best-replica selection (local-first,
+  then least loaded) with mid-read failover;
+* :mod:`repro.replica.service`   -- the ``replica.*`` RPC methods.
+"""
+
+from repro.replica.broker import ReplicaBroker
+from repro.replica.catalogue import ReplicaCatalogue
+from repro.replica.model import (Replica, ReplicaConflictError, ReplicaError,
+                                 ReplicaNotFoundError, ReplicaState,
+                                 TransferRequest, TransferState)
+from repro.replica.storage import (MassStoreStorageElement, StorageElement,
+                                   StorageElementError,
+                                   StorageElementUnavailableError,
+                                   VFSStorageElement)
+from repro.replica.transfer import TransferEngine
+
+__all__ = [
+    "Replica",
+    "ReplicaBroker",
+    "ReplicaCatalogue",
+    "ReplicaConflictError",
+    "ReplicaError",
+    "ReplicaNotFoundError",
+    "ReplicaState",
+    "StorageElement",
+    "StorageElementError",
+    "StorageElementUnavailableError",
+    "MassStoreStorageElement",
+    "TransferEngine",
+    "TransferRequest",
+    "TransferState",
+    "VFSStorageElement",
+]

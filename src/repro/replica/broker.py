@@ -1,0 +1,115 @@
+"""The replica broker: best-replica selection with read failover.
+
+The broker is the consumer-side face of the catalogue, used by the file
+service and the client helpers.  Given an LFN it ranks the usable replicas —
+prefer the local storage element (no network hop), then the least-loaded
+element, with the element name as a deterministic tiebreak — and serves reads
+against that order: when a replica fails mid-flight the broker records the
+error and transparently retries the *same byte range* on the next candidate,
+so a dying storage element costs the caller latency, not a failed read.
+
+Verified reads additionally check the assembled bytes against the catalogue
+checksum; a mismatch quarantines the offending replica before failing over,
+so corrupt copies are read at most once.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Mapping
+
+from repro.replica.catalogue import ReplicaCatalogue
+from repro.replica.model import (Replica, ReplicaError, ReplicaState)
+from repro.replica.storage import StorageElement
+
+__all__ = ["ReplicaBroker"]
+
+
+class ReplicaBroker:
+    """Resolves logical file names onto the best physical replica."""
+
+    def __init__(self, catalogue: ReplicaCatalogue,
+                 elements: Mapping[str, StorageElement], *,
+                 local_se: str | None = None) -> None:
+        self.catalogue = catalogue
+        self.elements = elements
+        self.local_se = local_se
+        self.failovers = 0
+        self.reads = 0
+
+    # -- selection -----------------------------------------------------------
+    def candidates(self, lfn: str) -> list[tuple[Replica, StorageElement]]:
+        """Usable replicas of ``lfn``, best first."""
+
+        ranked: list[tuple[tuple, Replica, StorageElement]] = []
+        for replica in self.catalogue.replicas(lfn, state=ReplicaState.ACTIVE):
+            element = self.elements.get(replica.storage_element)
+            if element is None or not element.available:
+                continue
+            rank = (0 if element.name == self.local_se else 1,
+                    element.load, element.name)
+            ranked.append((rank, replica, element))
+        ranked.sort(key=lambda item: item[0])
+        return [(replica, element) for _, replica, element in ranked]
+
+    def resolve(self, lfn: str) -> tuple[Replica, StorageElement]:
+        """The best replica of ``lfn``; raises when none is usable."""
+
+        candidates = self.candidates(lfn)
+        if not candidates:
+            raise ReplicaError(f"no usable replica for {lfn}")
+        return candidates[0]
+
+    # -- reads ---------------------------------------------------------------
+    def read(self, lfn: str, offset: int = 0, length: int = -1) -> bytes:
+        """Read a byte range, failing over across replicas on errors."""
+
+        self.reads += 1
+        errors: list[str] = []
+        for replica, element in self.candidates(lfn):
+            try:
+                return element.read(replica.pfn, offset, length)
+            except ReplicaError as exc:
+                self.catalogue.note_error(lfn, replica.storage_element, str(exc))
+                errors.append(f"{replica.storage_element}: {exc}")
+                self.failovers += 1
+        raise ReplicaError(
+            f"every replica of {lfn} failed: {'; '.join(errors) or 'none usable'}")
+
+    def read_verified(self, lfn: str) -> bytes:
+        """Read the whole file and verify it against the catalogue checksum.
+
+        A replica that serves bytes with the wrong digest is quarantined and
+        the read fails over to the next candidate.
+        """
+
+        self.reads += 1
+        entry = self.catalogue.entry(lfn)
+        expected = entry["checksum"]
+        errors: list[str] = []
+        for replica, element in self.candidates(lfn):
+            try:
+                data = element.read(replica.pfn)
+            except ReplicaError as exc:
+                self.catalogue.note_error(lfn, replica.storage_element, str(exc))
+                errors.append(f"{replica.storage_element}: {exc}")
+                self.failovers += 1
+                continue
+            digest = hashlib.md5(data).hexdigest()
+            if expected and digest != expected:
+                self.catalogue.quarantine(
+                    lfn, replica.storage_element,
+                    error=f"read verification failed: {digest} != {expected}")
+                errors.append(f"{replica.storage_element}: checksum mismatch "
+                              f"(quarantined)")
+                self.failovers += 1
+                continue
+            return data
+        raise ReplicaError(
+            f"every replica of {lfn} failed verification: "
+            f"{'; '.join(errors) or 'none usable'}")
+
+    # -- introspection -------------------------------------------------------
+    def stats(self) -> dict:
+        return {"reads": self.reads, "failovers": self.failovers,
+                "local_se": self.local_se or ""}

@@ -1,0 +1,243 @@
+"""The replica catalogue: logical file name → physical replicas.
+
+One :class:`~repro.database.table.Table` row per LFN, holding the file's
+canonical size/checksum, a monotonically increasing *version*, and the set of
+replicas keyed by storage-element name.  Every mutation happens under a
+striped per-LFN lock and bumps the version, so concurrent registrations and
+deletions of the same LFN serialise cleanly while different LFNs proceed in
+parallel; callers that read an entry, decide, then write back can pass the
+version they saw (``expected_version``) and get a
+:class:`~repro.replica.model.ReplicaConflictError` instead of silently
+clobbering a concurrent change — the optimistic-concurrency contract the RLS
+catalogues exposed to grid clients.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import zlib
+from typing import Any
+
+from repro.database import Database
+from repro.replica.model import (Replica, ReplicaConflictError,
+                                 ReplicaNotFoundError, ReplicaState)
+
+__all__ = ["ReplicaCatalogue"]
+
+
+def _normalize_lfn(lfn: str) -> str:
+    cleaned = "/" + str(lfn).strip().strip("/")
+    if cleaned == "/" or ".." in cleaned.split("/"):
+        raise ReplicaNotFoundError(f"invalid logical file name {lfn!r}")
+    return cleaned
+
+
+class ReplicaCatalogue:
+    """Versioned LFN → replica mapping persisted on the database engine."""
+
+    def __init__(self, db: Database, *, table_name: str = "replica_catalogue",
+                 lock_stripes: int = 16) -> None:
+        self._table = db.table(table_name)
+        self._stripes = [threading.Lock() for _ in range(max(1, lock_stripes))]
+
+    def _lock_for(self, lfn: str) -> threading.Lock:
+        return self._stripes[zlib.crc32(lfn.encode()) % len(self._stripes)]
+
+    @staticmethod
+    def _copy_entry(record: dict[str, Any]) -> dict[str, Any]:
+        """A private copy of a catalogue row.
+
+        ``Table.get`` only copies the outer dict, so the nested replica
+        records would otherwise alias the stored state — mutating a returned
+        entry (or a mutator's working copy) must never touch the catalogue
+        until :meth:`_commit` writes it back.
+        """
+
+        entry = dict(record)
+        entry["replicas"] = {se: dict(r) for se, r in record["replicas"].items()}
+        return entry
+
+    def _load(self, lfn: str) -> dict[str, Any] | None:
+        record = self._table.get(lfn, None)
+        return None if record is None else self._copy_entry(record)
+
+    # -- reads ---------------------------------------------------------------
+    def entry(self, lfn: str) -> dict[str, Any]:
+        """The full catalogue row for ``lfn`` (a deep-enough copy)."""
+
+        lfn = _normalize_lfn(lfn)
+        record = self._load(lfn)
+        if record is None:
+            raise ReplicaNotFoundError(f"no catalogue entry for {lfn}")
+        return record
+
+    def version(self, lfn: str) -> int:
+        return int(self.entry(lfn)["version"])
+
+    def replicas(self, lfn: str, *, state: ReplicaState | None = None) -> list[Replica]:
+        """All replicas of ``lfn``, optionally filtered by state."""
+
+        entry = self.entry(lfn)
+        found = [Replica.from_record(r) for r in entry["replicas"].values()]
+        if state is not None:
+            found = [r for r in found if r.state is state]
+        return sorted(found, key=lambda r: r.storage_element)
+
+    def replica_on(self, lfn: str, se: str) -> Replica:
+        entry = self.entry(lfn)
+        record = entry["replicas"].get(se)
+        if record is None:
+            raise ReplicaNotFoundError(f"{entry['lfn']} has no replica on {se!r}")
+        return Replica.from_record(record)
+
+    def exists(self, lfn: str) -> bool:
+        try:
+            self.entry(lfn)
+            return True
+        except ReplicaNotFoundError:
+            return False
+
+    def lfns(self, prefix: str = "/") -> list[str]:
+        prefix = "/" + prefix.strip("/")
+        keys = self._table.keys()
+        if prefix == "/":
+            return sorted(keys)
+        return sorted(k for k in keys
+                      if k == prefix or k.startswith(prefix.rstrip("/") + "/"))
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    # -- mutations -----------------------------------------------------------
+    def register(self, lfn: str, se: str, pfn: str, *, size: int, checksum: str,
+                 state: ReplicaState = ReplicaState.ACTIVE,
+                 expected_version: int | None = None,
+                 if_absent: bool = False) -> dict[str, Any]:
+        """Add (or refresh) the replica of ``lfn`` on ``se``.
+
+        The first registration fixes the LFN's canonical size and checksum;
+        later registrations must match them byte-for-byte — a different
+        checksum under the same logical name is a corruption signal, not a
+        new version of the file.  With ``if_absent`` an existing replica on
+        ``se`` raises :class:`ReplicaConflictError` instead of being
+        refreshed, which is how the transfer engine claims a destination
+        slot exactly once.
+        """
+
+        lfn = _normalize_lfn(lfn)
+        if not se or not pfn:
+            raise ReplicaConflictError("storage element and pfn must be non-empty")
+        with self._lock_for(lfn):
+            entry = self._load(lfn)
+            if entry is None:
+                entry = {"lfn": lfn, "version": 0, "size": int(size),
+                         "checksum": checksum, "created": time.time(),
+                         "replicas": {}}
+            self._check_version(entry, expected_version)
+            if if_absent and se in entry["replicas"]:
+                raise ReplicaConflictError(
+                    f"{lfn} already has a replica on {se!r} "
+                    f"(state {entry['replicas'][se]['state']})")
+            if checksum and entry["checksum"] and checksum != entry["checksum"]:
+                raise ReplicaConflictError(
+                    f"checksum {checksum} for {lfn} on {se} does not match the "
+                    f"catalogue checksum {entry['checksum']}")
+            if int(size) != int(entry["size"]):
+                raise ReplicaConflictError(
+                    f"size {size} for {lfn} on {se} does not match the "
+                    f"catalogue size {entry['size']}")
+            replica = Replica(lfn=lfn, storage_element=se, pfn=pfn,
+                              size=int(size), checksum=checksum or entry["checksum"],
+                              state=state)
+            entry["replicas"][se] = replica.to_record()
+            return self._commit(entry)
+
+    def drop(self, lfn: str, se: str | None = None, *,
+             expected_version: int | None = None) -> dict[str, Any] | None:
+        """Remove one replica (or, with ``se=None``, the whole entry).
+
+        Returns the updated entry, or ``None`` when the last replica (or the
+        entry itself) was removed.  Dropping an already-absent replica raises
+        :class:`ReplicaNotFoundError`, so two racing drops cannot both claim
+        success.
+        """
+
+        lfn = _normalize_lfn(lfn)
+        with self._lock_for(lfn):
+            entry = self._load(lfn)
+            if entry is None:
+                raise ReplicaNotFoundError(f"no catalogue entry for {lfn}")
+            self._check_version(entry, expected_version)
+            if se is None:
+                self._table.delete(lfn)
+                return None
+            if se not in entry["replicas"]:
+                raise ReplicaNotFoundError(f"{lfn} has no replica on {se!r}")
+            del entry["replicas"][se]
+            if not entry["replicas"]:
+                self._table.delete(lfn)
+                return None
+            return self._commit(entry)
+
+    def set_state(self, lfn: str, se: str, state: ReplicaState, *,
+                  error: str = "") -> dict[str, Any]:
+        """Change one replica's state (quarantine, reactivate, ...)."""
+
+        lfn = _normalize_lfn(lfn)
+        with self._lock_for(lfn):
+            entry = self._load(lfn)
+            if entry is None or se not in entry["replicas"]:
+                raise ReplicaNotFoundError(f"{lfn} has no replica on {se!r}")
+            record = entry["replicas"][se]
+            record["state"] = state.value
+            record["last_error"] = error
+            return self._commit(entry)
+
+    def note_error(self, lfn: str, se: str, error: str) -> None:
+        """Record a read failure without changing the replica's state.
+
+        Best-effort: a vanished entry (concurrent drop) is not an error here.
+        """
+
+        lfn = _normalize_lfn(lfn)
+        with self._lock_for(lfn):
+            entry = self._load(lfn)
+            if entry is None or se not in entry["replicas"]:
+                return
+            entry["replicas"][se]["last_error"] = error
+            self._commit(entry)
+
+    def quarantine(self, lfn: str, se: str, *, error: str) -> dict[str, Any]:
+        return self.set_state(lfn, se, ReplicaState.QUARANTINED, error=error)
+
+    # -- helpers -------------------------------------------------------------
+    def _check_version(self, entry: dict[str, Any], expected: int | None) -> None:
+        if expected is not None and int(entry["version"]) != int(expected):
+            raise ReplicaConflictError(
+                f"{entry['lfn']} was modified concurrently "
+                f"(version {entry['version']}, expected {expected})")
+
+    def _commit(self, entry: dict[str, Any]) -> dict[str, Any]:
+        entry["version"] = int(entry["version"]) + 1
+        entry["updated"] = time.time()
+        self._table.put(entry["lfn"], entry)
+        return entry
+
+    # -- introspection -------------------------------------------------------
+    def stats(self) -> dict[str, Any]:
+        entries = self._table.all()
+        by_state: dict[str, int] = {}
+        per_se: dict[str, int] = {}
+        replica_count = 0
+        for entry in entries:
+            for se, record in entry["replicas"].items():
+                replica_count += 1
+                by_state[record["state"]] = by_state.get(record["state"], 0) + 1
+                per_se[se] = per_se.get(se, 0) + 1
+        return {
+            "lfns": len(entries),
+            "replicas": replica_count,
+            "by_state": by_state,
+            "per_storage_element": per_se,
+        }

@@ -1,0 +1,155 @@
+"""Data model of the replica subsystem.
+
+The grid data model the paper's SRM citation assumes (Shoshani et al.) is a
+two-level namespace: a *logical file name* (LFN) identifies the dataset the
+physicist asked for, and one or more *physical file names* (PFNs) identify
+byte-identical copies of it on concrete storage elements.  The POOL/RLS
+catalogues of the 2005 LHC data challenges maintained exactly this mapping;
+:mod:`repro.replica` reproduces it on the Clarens substrate.
+
+This module holds the passive records: :class:`Replica` (one physical copy),
+:class:`ReplicaState` (its health), and :class:`TransferRequest` (one queued
+or running copy operation between storage elements).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any
+
+__all__ = [
+    "ReplicaError",
+    "ReplicaNotFoundError",
+    "ReplicaConflictError",
+    "ReplicaState",
+    "Replica",
+    "TransferState",
+    "TransferRequest",
+]
+
+
+class ReplicaError(Exception):
+    """Base class for replica-layer failures."""
+
+
+class ReplicaNotFoundError(ReplicaError):
+    """The LFN (or the replica on the named storage element) does not exist."""
+
+
+class ReplicaConflictError(ReplicaError):
+    """A concurrent modification or an inconsistent registration was refused."""
+
+
+class ReplicaState(str, Enum):
+    """Health of one physical replica."""
+
+    #: Registered and believed good; eligible for reads and as a copy source.
+    ACTIVE = "active"
+    #: A transfer is writing this replica; not yet readable.
+    COPYING = "copying"
+    #: Failed checksum verification (or repeated reads); never selected until
+    #: an operator re-verifies it.
+    QUARANTINED = "quarantined"
+
+
+@dataclass
+class Replica:
+    """One physical copy of a logical file."""
+
+    lfn: str
+    storage_element: str
+    pfn: str
+    size: int
+    checksum: str
+    state: ReplicaState = ReplicaState.ACTIVE
+    registered_at: float = field(default_factory=time.time)
+    last_error: str = ""
+
+    def to_record(self) -> dict[str, Any]:
+        return {
+            "lfn": self.lfn,
+            "storage_element": self.storage_element,
+            "pfn": self.pfn,
+            "size": self.size,
+            "checksum": self.checksum,
+            "state": self.state.value,
+            "registered_at": self.registered_at,
+            "last_error": self.last_error,
+        }
+
+    @classmethod
+    def from_record(cls, record: dict[str, Any]) -> "Replica":
+        return cls(
+            lfn=record["lfn"],
+            storage_element=record["storage_element"],
+            pfn=record["pfn"],
+            size=int(record["size"]),
+            checksum=record["checksum"],
+            state=ReplicaState(record.get("state", ReplicaState.ACTIVE.value)),
+            registered_at=float(record.get("registered_at", 0.0)),
+            last_error=record.get("last_error", ""),
+        )
+
+
+class TransferState(str, Enum):
+    """Lifecycle of one transfer request."""
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    #: Failed at least once; waiting out the backoff before re-running.
+    RETRYING = "retrying"
+    DONE = "done"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+    @property
+    def terminal(self) -> bool:
+        return self in (TransferState.DONE, TransferState.FAILED,
+                        TransferState.CANCELLED)
+
+
+@dataclass
+class TransferRequest:
+    """One replicate operation moving an LFN between storage elements."""
+
+    transfer_id: int
+    lfn: str
+    dst_se: str
+    #: The source the caller pinned ("" lets the engine choose per attempt).
+    requested_src_se: str = ""
+    #: The source the engine actually read from on the last attempt.
+    src_se: str = ""
+    priority: int = 5              # lower value drains first
+    owner_dn: str = ""
+    state: TransferState = TransferState.QUEUED
+    attempts: int = 0
+    max_attempts: int = 3
+    bytes_total: int = 0
+    bytes_copied: int = 0
+    throughput_bps: float = 0.0
+    error: str = ""
+    created: float = field(default_factory=time.time)
+    started: float = 0.0
+    finished: float = 0.0
+
+    def to_record(self) -> dict[str, Any]:
+        return {
+            "transfer_id": self.transfer_id,
+            "lfn": self.lfn,
+            "src_se": self.src_se,
+            "dst_se": self.dst_se,
+            "priority": self.priority,
+            "owner_dn": self.owner_dn,
+            "state": self.state.value,
+            "attempts": self.attempts,
+            "max_attempts": self.max_attempts,
+            "bytes_total": self.bytes_total,
+            "bytes_copied": self.bytes_copied,
+            "throughput_bps": self.throughput_bps,
+            "error": self.error,
+            "created": self.created,
+            "started": self.started,
+            "finished": self.finished,
+        }

@@ -1,0 +1,284 @@
+"""The ``replica`` service: RPC access to the replica subsystem.
+
+Methods are published behind the same session + ACL machinery as every other
+Clarens module; in addition, the hierarchical *file* ACLs of section 2.3 are
+applied to logical file names (an LFN is a path, so ``/lfn/cms/...`` can be
+fenced exactly like a directory tree under the virtual file root):
+registration, replication and deletion require ``write`` on the LFN, reads
+require ``read``.
+
+The service owns the storage-element map.  Every server exposes its own
+virtual file root as the local element (``replica_local_se``), plus the mass
+store behind the SRM service when that is registered; tests and deployments
+add further elements with :meth:`ReplicaService.add_storage_element` (e.g.
+an element per remote site in a multi-server fabric).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.context import CallContext
+from repro.core.errors import AccessDeniedError, ClarensError, NotFoundError
+from repro.core.service import ClarensService, rpc_method
+from repro.fileservice.vfs import VirtualFileSystem
+from repro.replica.broker import ReplicaBroker
+from repro.replica.catalogue import ReplicaCatalogue
+from repro.replica.model import (ReplicaConflictError, ReplicaError,
+                                 ReplicaNotFoundError, ReplicaState)
+from repro.replica.storage import (MassStoreStorageElement, StorageElement,
+                                   VFSStorageElement)
+from repro.replica.transfer import TransferEngine
+
+__all__ = ["ReplicaService"]
+
+
+class ReplicaConflictFault(ClarensError):
+    """Concurrent-modification conflicts surface as a service fault."""
+
+
+def _translate(exc: ReplicaError) -> ClarensError:
+    if isinstance(exc, ReplicaNotFoundError):
+        return NotFoundError(str(exc))
+    if isinstance(exc, ReplicaConflictError):
+        return ReplicaConflictFault(str(exc))
+    return ClarensError(str(exc))
+
+
+class ReplicaService(ClarensService):
+    """Replica catalogue, transfer queue and broker behind ``replica.*``."""
+
+    service_name = "replica"
+
+    def __init__(self, server) -> None:
+        super().__init__(server)
+        config = server.config
+        self.catalogue = ReplicaCatalogue(server.db)
+        self.elements: dict[str, StorageElement] = {}
+        local_name = config.replica_local_se
+        self.add_storage_element(
+            VFSStorageElement(local_name, VirtualFileSystem(server.file_root)))
+        srm_service = server.services.get("srm")
+        if srm_service is not None:
+            self.add_storage_element(
+                MassStoreStorageElement("masstore", srm_service.store))
+        self.engine = TransferEngine(
+            self.catalogue, self.elements,
+            workers=config.replica_transfer_workers,
+            max_attempts=config.replica_max_attempts,
+            retry_delay=config.replica_retry_delay,
+            bus=getattr(server, "message_bus", None),
+            source=config.server_name)
+        self.broker = ReplicaBroker(self.catalogue, self.elements,
+                                    local_se=local_name)
+        server.replica_broker = self.broker
+
+    # -- assembly ------------------------------------------------------------
+    def add_storage_element(self, element: StorageElement) -> StorageElement:
+        if element.name in self.elements:
+            raise ValueError(f"storage element {element.name!r} already exists")
+        self.elements[element.name] = element
+        return element
+
+    def on_start(self) -> None:
+        self.engine.start()
+
+    def on_stop(self) -> None:
+        self.engine.stop()
+
+    # -- ACL helpers ---------------------------------------------------------
+    def _check(self, dn: str | None, lfn: str, operation: str) -> None:
+        decision = self.server.acl.check_file(dn or "", lfn, operation)
+        if not decision.allowed:
+            raise AccessDeniedError(
+                f"{operation} access to {lfn} denied: {decision.reason}")
+
+    def _element(self, name: str) -> StorageElement:
+        element = self.elements.get(name)
+        if element is None:
+            raise NotFoundError(f"unknown storage element {name!r}")
+        return element
+
+    # -- catalogue methods ---------------------------------------------------
+    # Published as ``replica.register``; the Python name differs so it does
+    # not shadow ClarensService.register (the framework registration hook).
+    @rpc_method("register")
+    def register_replica(self, ctx: CallContext, lfn: str, se: str, pfn: str,
+                         size: int = -1, checksum: str = "") -> dict[str, Any]:
+        """Register a physical replica of ``lfn`` on storage element ``se``.
+
+        When size/checksum are omitted they are computed from the element,
+        so registering an uploaded file is one call.  The caller needs
+        ``write`` on the LFN *and* ``read`` on the physical path — an LFN is
+        a new name for the bytes, so binding one to a file the caller cannot
+        read would bypass the file ACLs on the real path.
+        """
+
+        dn = ctx.require_dn()
+        self._check(dn, lfn, "write")
+        self._check(dn, pfn, "read")
+        element = self._element(se)
+        try:
+            if size < 0:
+                size = element.size(pfn)
+            if not checksum:
+                checksum = element.checksum(pfn)
+            return self.catalogue.register(lfn, se, pfn, size=int(size),
+                                           checksum=checksum)
+        except ReplicaError as exc:
+            raise _translate(exc) from exc
+
+    @rpc_method()
+    def locate(self, ctx: CallContext, lfn: str) -> dict[str, Any]:
+        """The catalogue entry for ``lfn``, with replicas ranked best-first."""
+
+        self._check(ctx.dn, lfn, "read")
+        try:
+            entry = self.catalogue.entry(lfn)
+            ranked = [{"storage_element": e.name, "pfn": r.pfn, "load": e.load}
+                      for r, e in self.broker.candidates(lfn)]
+        except ReplicaError as exc:
+            raise _translate(exc) from exc
+        entry["best"] = ranked
+        return entry
+
+    @rpc_method()
+    def drop(self, ctx: CallContext, lfn: str, se: str = "",
+             version: int = -1) -> bool:
+        """Drop one replica (or the whole entry when ``se`` is empty).
+
+        Passing the ``version`` observed by a prior ``locate`` makes the drop
+        conditional: a concurrent modification raises a conflict fault
+        instead of removing a replica the caller never saw.
+        """
+
+        self._check(ctx.require_dn(), lfn, "write")
+        try:
+            self.catalogue.drop(lfn, se or None,
+                                expected_version=None if version < 0 else version)
+        except ReplicaError as exc:
+            raise _translate(exc) from exc
+        return True
+
+    @rpc_method()
+    def stat(self, ctx: CallContext, lfn: str) -> dict[str, Any]:
+        """The raw catalogue entry (size, checksum, version, replicas)."""
+
+        self._check(ctx.dn, lfn, "read")
+        try:
+            return self.catalogue.entry(lfn)
+        except ReplicaError as exc:
+            raise _translate(exc) from exc
+
+    @rpc_method()
+    def ls(self, ctx: CallContext, prefix: str = "/") -> list[str]:
+        """Logical file names under a prefix."""
+
+        self._check(ctx.dn, prefix, "read")
+        return self.catalogue.lfns(prefix)
+
+    # -- transfers -----------------------------------------------------------
+    @rpc_method()
+    def replicate(self, ctx: CallContext, lfn: str, dst_se: str,
+                  src_se: str = "", priority: int = 5) -> dict[str, Any]:
+        """Queue an asynchronous replication of ``lfn`` onto ``dst_se``."""
+
+        self._check(ctx.require_dn(), lfn, "write")
+        self._element(dst_se)
+        try:
+            request = self.engine.submit(lfn, dst_se, src_se=src_se,
+                                         priority=int(priority),
+                                         owner_dn=ctx.dn or "")
+        except ReplicaError as exc:
+            raise _translate(exc) from exc
+        return request.to_record()
+
+    @rpc_method()
+    def status(self, ctx: CallContext, transfer_id: int) -> dict[str, Any]:
+        """Status of one transfer (state, bytes, throughput, attempts)."""
+
+        ctx.require_dn()
+        try:
+            return self.engine.get(int(transfer_id)).to_record()
+        except ReplicaError as exc:
+            raise _translate(exc) from exc
+
+    @rpc_method()
+    def transfers(self, ctx: CallContext) -> list[dict[str, Any]]:
+        """All transfers known to this server's engine."""
+
+        ctx.require_dn()
+        return [r.to_record() for r in self.engine.transfers()]
+
+    @rpc_method()
+    def cancel(self, ctx: CallContext, transfer_id: int) -> dict[str, Any]:
+        """Cancel a still-queued transfer."""
+
+        ctx.require_dn()
+        try:
+            return self.engine.cancel(int(transfer_id)).to_record()
+        except ReplicaError as exc:
+            raise _translate(exc) from exc
+
+    # -- replica-aware reads -------------------------------------------------
+    @rpc_method()
+    def read(self, ctx: CallContext, lfn: str, offset: int = 0,
+             nbytes: int = -1) -> bytes:
+        """Read a byte range through the broker (nearest replica, failover)."""
+
+        self._check(ctx.dn, lfn, "read")
+        limit = self.server.config.max_read_bytes
+        if nbytes < 0 or nbytes > limit:
+            nbytes = limit
+        try:
+            return self.broker.read(lfn, int(offset), int(nbytes))
+        except ReplicaError as exc:
+            raise _translate(exc) from exc
+
+    @rpc_method()
+    def verify(self, ctx: CallContext, lfn: str, se: str) -> dict[str, Any]:
+        """Re-checksum the replica on ``se``; quarantines it on mismatch."""
+
+        self._check(ctx.require_dn(), lfn, "read")
+        element = self._element(se)
+        try:
+            replica = self.catalogue.replica_on(lfn, se)
+            entry = self.catalogue.entry(lfn)
+            digest = element.checksum(replica.pfn)
+            if entry["checksum"] and digest != entry["checksum"]:
+                return self.catalogue.quarantine(
+                    lfn, se, error=f"verify found {digest}, "
+                                   f"expected {entry['checksum']}")
+            return self.catalogue.set_state(lfn, se, ReplicaState.ACTIVE)
+        except ReplicaError as exc:
+            raise _translate(exc) from exc
+
+    # -- operations ----------------------------------------------------------
+    @rpc_method()
+    def elements_info(self, ctx: CallContext) -> list[dict[str, Any]]:
+        """The storage elements this server knows (availability + load)."""
+
+        ctx.require_dn()
+        return [e.describe() for e in sorted(self.elements.values(),
+                                             key=lambda e: e.name)]
+
+    @rpc_method()
+    def set_available(self, ctx: CallContext, se: str,
+                      available: bool) -> dict[str, Any]:
+        """Enable/disable a storage element (administrators only)."""
+
+        self.server.require_admin(ctx)
+        element = self._element(se)
+        element.available = bool(available)
+        return element.describe()
+
+    @rpc_method()
+    def stats(self, ctx: CallContext) -> dict[str, Any]:
+        """Catalogue, engine and broker counters in one snapshot."""
+
+        ctx.require_dn()
+        return {
+            "catalogue": self.catalogue.stats(),
+            "engine": self.engine.stats(),
+            "broker": self.broker.stats(),
+        }

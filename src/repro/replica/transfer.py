@@ -1,0 +1,396 @@
+"""The asynchronous transfer engine.
+
+Replication requests land on a prioritised queue (lower priority value
+drains first, FIFO within a priority) and are drained by a configurable pool
+of worker threads.  Each transfer:
+
+1. claims the destination slot in the catalogue (a ``COPYING`` replica, so
+   two requests cannot write the same copy);
+2. streams the bytes from the chosen source element to the destination,
+   computing an MD5 over exactly the bytes written;
+3. verifies that digest against the catalogue checksum *end to end* — a
+   mismatch quarantines the source replica (its bytes are what failed) and
+   the retry picks a different source;
+4. retries transient failures with exponential backoff until
+   ``max_attempts`` is exhausted;
+5. publishes queued/started/progress/done/failed events (with byte counts
+   and throughput) onto the monitoring
+   :class:`~repro.monitoring.bus.MessageBus` under ``replica.transfer.*``.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+import time
+from typing import Callable, Iterator, Mapping
+
+from repro.monitoring.bus import MessageBus
+from repro.replica.catalogue import ReplicaCatalogue
+from repro.replica.model import (ReplicaConflictError, ReplicaError,
+                                 ReplicaNotFoundError, ReplicaState,
+                                 TransferRequest, TransferState)
+from repro.replica.storage import DEFAULT_CHUNK, StorageElement
+
+__all__ = ["TransferEngine"]
+
+
+class TransferEngine:
+    """A prioritised, retrying, checksum-verifying replica copier."""
+
+    def __init__(self, catalogue: ReplicaCatalogue,
+                 elements: Mapping[str, StorageElement], *,
+                 workers: int = 2, max_attempts: int = 3,
+                 retry_delay: float = 0.05, chunk_size: int = DEFAULT_CHUNK,
+                 progress_bytes: int = 4 << 20,
+                 bus: MessageBus | None = None, source: str = "",
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        if workers <= 0:
+            raise ValueError("workers must be positive")
+        if max_attempts <= 0:
+            raise ValueError("max_attempts must be positive")
+        self.catalogue = catalogue
+        self.elements = elements
+        self.workers = workers
+        self.max_attempts = max_attempts
+        self.retry_delay = retry_delay
+        self.chunk_size = chunk_size
+        self.progress_bytes = progress_bytes
+        self.bus = bus
+        self.source = source
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._cond = threading.Condition(self._lock)
+        self._queue: list[tuple[int, int, int]] = []   # (priority, seq, id)
+        self._seq = itertools.count()
+        self._ids = itertools.count(1)
+        self._requests: dict[int, TransferRequest] = {}
+        self._threads: list[threading.Thread] = []
+        self._stop = threading.Event()
+        self.transfers_completed = 0
+        self.transfers_failed = 0
+        self.bytes_transferred = 0
+
+    # -- lifecycle -----------------------------------------------------------
+    def start(self) -> None:
+        if self._threads:
+            return
+        self._stop.clear()
+        for i in range(self.workers):
+            thread = threading.Thread(target=self._worker_loop,
+                                      name=f"replica-transfer-{i}", daemon=True)
+            thread.start()
+            self._threads.append(thread)
+
+    def stop(self, *, timeout: float = 5.0) -> None:
+        self._stop.set()
+        with self._cond:
+            self._cond.notify_all()
+        for thread in self._threads:
+            thread.join(timeout=timeout)
+        self._threads.clear()
+
+    @property
+    def running(self) -> bool:
+        return bool(self._threads)
+
+    # -- submission ----------------------------------------------------------
+    def submit(self, lfn: str, dst_se: str, *, src_se: str = "",
+               priority: int = 5, owner_dn: str = "") -> TransferRequest:
+        """Queue a replication of ``lfn`` onto ``dst_se``."""
+
+        if dst_se not in self.elements:
+            raise ReplicaNotFoundError(f"unknown storage element {dst_se!r}")
+        if src_se and src_se not in self.elements:
+            raise ReplicaNotFoundError(f"unknown storage element {src_se!r}")
+        entry = self.catalogue.entry(lfn)       # raises for unknown LFNs
+        request = TransferRequest(transfer_id=next(self._ids), lfn=entry["lfn"],
+                                  dst_se=dst_se, requested_src_se=src_se,
+                                  src_se=src_se,
+                                  priority=int(priority), owner_dn=owner_dn,
+                                  max_attempts=self.max_attempts,
+                                  bytes_total=int(entry["size"]))
+        with self._lock:
+            self._requests[request.transfer_id] = request
+        # Publish before the request becomes poppable, so consumers always
+        # see "queued" strictly before "started"/"done" for a transfer.
+        self._publish("queued", request)
+        with self._cond:
+            heapq.heappush(self._queue, (request.priority, next(self._seq),
+                                         request.transfer_id))
+            self._cond.notify()
+        return request
+
+    def cancel(self, transfer_id: int) -> TransferRequest:
+        """Cancel a transfer that is not currently running.
+
+        Covers both QUEUED requests and RETRYING ones waiting out their
+        backoff — the retry path re-checks the state before re-queueing.
+        """
+
+        request = self.get(transfer_id)
+        with self._cond:
+            if request.state in (TransferState.QUEUED, TransferState.RETRYING):
+                request.state = TransferState.CANCELLED
+                request.finished = time.time()
+                self._cond.notify_all()
+        if request.state is TransferState.CANCELLED:
+            self._publish("cancelled", request)
+        return request
+
+    # -- inspection ----------------------------------------------------------
+    def get(self, transfer_id: int) -> TransferRequest:
+        with self._lock:
+            request = self._requests.get(int(transfer_id))
+        if request is None:
+            raise ReplicaNotFoundError(f"no such transfer: {transfer_id}")
+        return request
+
+    def transfers(self) -> list[TransferRequest]:
+        with self._lock:
+            return sorted(self._requests.values(), key=lambda r: r.transfer_id)
+
+    def wait(self, transfer_id: int, *, timeout: float = 30.0) -> TransferRequest:
+        """Block until the transfer reaches a terminal state."""
+
+        deadline = self._clock() + timeout
+        request = self.get(transfer_id)
+        with self._cond:
+            while not request.state.terminal:
+                remaining = deadline - self._clock()
+                if remaining <= 0:
+                    raise ReplicaError(
+                        f"transfer {transfer_id} still {request.state.value} "
+                        f"after {timeout}s")
+                self._cond.wait(timeout=remaining)
+        return request
+
+    def stats(self) -> dict:
+        with self._lock:
+            queued = sum(1 for r in self._requests.values()
+                         if r.state is TransferState.QUEUED)
+            running = sum(1 for r in self._requests.values()
+                          if r.state is TransferState.RUNNING)
+        return {
+            "workers": self.workers,
+            "queued": queued,
+            "running": running,
+            "completed": self.transfers_completed,
+            "failed": self.transfers_failed,
+            "bytes_transferred": self.bytes_transferred,
+        }
+
+    # -- the worker ----------------------------------------------------------
+    def _worker_loop(self) -> None:
+        while not self._stop.is_set():
+            with self._cond:
+                while not self._queue and not self._stop.is_set():
+                    self._cond.wait(timeout=0.5)
+                if self._stop.is_set():
+                    return
+                _, _, transfer_id = heapq.heappop(self._queue)
+                request = self._requests[transfer_id]
+                if request.state is not TransferState.QUEUED:
+                    continue                      # cancelled while queued
+                request.state = TransferState.RUNNING
+                request.attempts += 1
+                if not request.started:
+                    request.started = time.time()
+            self._run_transfer(request)
+
+    def _run_transfer(self, request: TransferRequest) -> None:
+        self._publish("started", request)
+        try:
+            self._copy_once(request)
+        except ReplicaError as exc:
+            self._handle_failure(request, str(exc))
+        except Exception as exc:  # noqa: BLE001 - worker must never die
+            self._handle_failure(request, f"{type(exc).__name__}: {exc}")
+        else:
+            with self._cond:
+                request.state = TransferState.DONE
+                request.finished = time.time()
+                self.transfers_completed += 1
+                self.bytes_transferred += request.bytes_copied
+                self._cond.notify_all()
+            self._publish("done", request)
+
+    def _copy_once(self, request: TransferRequest) -> None:
+        entry = self.catalogue.entry(request.lfn)
+        dst = self.elements[request.dst_se]
+        dst.require_available()
+        existing = entry["replicas"].get(request.dst_se)
+        if existing is not None:
+            if existing["state"] == ReplicaState.ACTIVE.value:
+                request.bytes_copied = 0
+                request.error = ""
+                return                            # already replicated: no-op
+            if existing["state"] == ReplicaState.QUARANTINED.value:
+                # Never silently overwrite evidence; an operator must drop
+                # the quarantined copy before re-replicating onto this SE.
+                raise ReplicaError(
+                    f"{request.lfn} has a quarantined replica on "
+                    f"{request.dst_se}; drop it before replicating")
+            # COPYING: another transfer holds the claim.  Retry later — it
+            # will either finish (we no-op on ACTIVE) or fail (its cleanup
+            # releases the claim and we take it).
+            raise ReplicaError(
+                f"destination busy: {request.lfn} is being copied onto "
+                f"{request.dst_se} by another transfer")
+        dst_pfn = request.lfn
+        if dst.exists(dst_pfn):
+            # The path holds bytes that are not a registered replica (e.g. a
+            # catalogue drop that left the physical copy behind, or an
+            # unrelated user file).  Adopt them when they are exactly the
+            # catalogued bytes; never overwrite or delete foreign data.
+            digest = dst.checksum(dst_pfn)
+            if entry["checksum"] and digest == entry["checksum"]:
+                try:
+                    self.catalogue.register(request.lfn, request.dst_se,
+                                            dst_pfn, size=int(entry["size"]),
+                                            checksum=digest,
+                                            state=ReplicaState.ACTIVE,
+                                            if_absent=True)
+                except ReplicaConflictError as exc:
+                    raise ReplicaError(f"destination busy: {exc}") from exc
+                request.bytes_copied = 0
+                request.error = ""
+                return                            # adopted in place: no copy
+            raise ReplicaError(
+                f"path {dst_pfn} on {request.dst_se} already holds different "
+                f"data (md5 {digest}); refusing to overwrite it")
+        src_name = self._pick_source(request, entry)
+        request.src_se = src_name
+        src = self.elements[src_name]
+        src_replica = self.catalogue.replica_on(request.lfn, src_name)
+
+        # Claim the destination slot atomically; a concurrent transfer for
+        # the same (lfn, dst) loses this race and retries into the
+        # busy/no-op logic above.  The failure cleanup below only ever
+        # removes *this* claim — it runs strictly after a successful
+        # if_absent registration.
+        try:
+            self.catalogue.register(request.lfn, request.dst_se, dst_pfn,
+                                    size=int(entry["size"]),
+                                    checksum=entry["checksum"],
+                                    state=ReplicaState.COPYING,
+                                    if_absent=True)
+        except ReplicaConflictError as exc:
+            raise ReplicaError(f"destination busy: {exc}") from exc
+
+        started = self._clock()
+        request.bytes_copied = 0
+        try:
+            with src.transfer_slot(), dst.transfer_slot():
+                chunks = self._observed(request, src.open_reader(
+                    src_replica.pfn, chunk_size=self.chunk_size))
+                written, digest = dst.write_stream(dst_pfn, chunks)
+            elapsed = max(self._clock() - started, 1e-9)
+            request.throughput_bps = written / elapsed
+            expected = entry["checksum"]
+            if written != int(entry["size"]) or (expected and digest != expected):
+                # End-to-end verification failed: the bytes the source handed
+                # over are not the catalogued bytes.  Quarantine the source so
+                # the retry (and every future read) avoids it.
+                self.catalogue.quarantine(
+                    request.lfn, src_name,
+                    error=f"checksum mismatch during transfer "
+                          f"{request.transfer_id}: got {digest} "
+                          f"({written} bytes), expected {expected} "
+                          f"({entry['size']} bytes)")
+                raise ReplicaError(
+                    f"checksum mismatch copying {request.lfn} from {src_name}: "
+                    f"{digest} != {expected}; source replica quarantined")
+            self.catalogue.set_state(request.lfn, request.dst_se,
+                                     ReplicaState.ACTIVE)
+            request.error = ""
+        except Exception:
+            # Remove the partial destination copy and its claim.
+            try:
+                dst.delete(dst_pfn)
+            except ReplicaError:
+                pass
+            try:
+                self.catalogue.drop(request.lfn, request.dst_se)
+            except ReplicaNotFoundError:
+                pass
+            raise
+
+    def _pick_source(self, request: TransferRequest, entry: dict) -> str:
+        candidates = []
+        for se_name, record in entry["replicas"].items():
+            if se_name == request.dst_se:
+                continue
+            if record["state"] != ReplicaState.ACTIVE.value:
+                continue
+            element = self.elements.get(se_name)
+            if element is None or not element.available:
+                continue
+            candidates.append(element)
+        if request.requested_src_se:
+            if any(e.name == request.requested_src_se for e in candidates):
+                return request.requested_src_se
+            raise ReplicaError(
+                f"{request.lfn} has no usable replica on requested source "
+                f"{request.requested_src_se!r}")
+        if not candidates:
+            raise ReplicaError(f"{request.lfn} has no usable source replica")
+        return min(candidates, key=lambda e: (e.load, e.name)).name
+
+    def _observed(self, request: TransferRequest,
+                  chunks: Iterator[bytes]) -> Iterator[bytes]:
+        """Pass chunks through, tracking bytes and publishing progress."""
+
+        since_publish = 0
+        for chunk in chunks:
+            request.bytes_copied += len(chunk)
+            since_publish += len(chunk)
+            if since_publish >= self.progress_bytes:
+                since_publish = 0
+                self._publish("progress", request)
+            yield chunk
+
+    def _handle_failure(self, request: TransferRequest, error: str) -> None:
+        request.error = error
+        if request.attempts < request.max_attempts and not self._stop.is_set():
+            with self._cond:
+                request.state = TransferState.RETRYING
+            self._publish("retry", request)
+            # Exponential backoff before the attempt re-enters the queue; a
+            # stop request cuts the wait short.
+            backoff = self.retry_delay * (2 ** (request.attempts - 1))
+            if backoff > 0:
+                self._stop.wait(backoff)
+            with self._cond:
+                if request.state is not TransferState.RETRYING:
+                    return                # cancelled during the backoff
+                if self._stop.is_set():
+                    request.state = TransferState.FAILED
+                    request.finished = time.time()
+                    self.transfers_failed += 1
+                    self._cond.notify_all()
+                else:
+                    request.state = TransferState.QUEUED
+                    heapq.heappush(self._queue,
+                                   (request.priority, next(self._seq),
+                                    request.transfer_id))
+                    self._cond.notify()
+            if request.state is TransferState.FAILED:
+                self._publish("failed", request)
+            return
+        with self._cond:
+            request.state = TransferState.FAILED
+            request.finished = time.time()
+            self.transfers_failed += 1
+            self._cond.notify_all()
+        self._publish("failed", request)
+
+    # -- monitoring ----------------------------------------------------------
+    def _publish(self, event: str, request: TransferRequest) -> None:
+        if self.bus is None:
+            return
+        payload = request.to_record()
+        payload["event"] = event
+        self.bus.publish(f"replica.transfer.{event}", payload,
+                         source=self.source)

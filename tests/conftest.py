@@ -44,7 +44,8 @@ def bob_credential(ca):
     return ca.issue_user("Bob Brown")
 
 
-def build_server(ca, host_credential, *, admins=(ADMIN_DN,), data_dir=None, **overrides):
+def build_server(ca, host_credential, *, admins=(ADMIN_DN,), data_dir=None,
+                 message_bus=None, **overrides):
     """Construct a ClarensServer wired to the shared test CA."""
 
     config = ServerConfig(
@@ -54,7 +55,8 @@ def build_server(ca, host_credential, *, admins=(ADMIN_DN,), data_dir=None, **ov
         host_dn=str(host_credential.certificate.subject),
         **overrides,
     )
-    return ClarensServer(config, credential=host_credential, trust_store=ca.trust_store())
+    return ClarensServer(config, credential=host_credential, trust_store=ca.trust_store(),
+                         message_bus=message_bus)
 
 
 @pytest.fixture()

@@ -187,6 +187,85 @@ class TestTTLLRUCache:
         assert not errors
 
 
+# -- sharded caches ------------------------------------------------------------
+
+class TestShardedCache:
+    def test_roundtrip_and_exact_len(self):
+        cache = TTLLRUCache("t", maxsize=1024, shards=8)
+        assert cache.shards == 8
+        for i in range(200):
+            cache.put(f"k{i}", i)
+        assert len(cache) == 200
+        assert all(cache.get(f"k{i}") == i for i in range(200))
+
+    def test_shards_capped_by_maxsize(self):
+        assert TTLLRUCache("t", maxsize=4, shards=64).shards == 4
+
+    def test_stats_are_exact_across_shards(self):
+        cache = TTLLRUCache("t", maxsize=1024, shards=8)
+        for i in range(100):
+            cache.put(f"k{i}", i)
+        for i in range(100):
+            cache.get(f"k{i}")
+        for i in range(50):
+            cache.get(f"missing{i}")
+        assert cache.stats.hits == 100
+        assert cache.stats.misses == 50
+        assert cache.stats.stores == 100
+        snap = cache.stats_snapshot()
+        assert snap["hits"] == 100 and snap["shards"] == 8
+
+    def test_tag_invalidation_spans_shards(self):
+        cache = TTLLRUCache("t", maxsize=1024, shards=8)
+        for i in range(64):
+            cache.put(f"k{i}", i, tags=(f"grp:{i % 2}",))
+        assert cache.invalidate_tag("grp:0") == 32
+        assert cache.invalidate_tag("grp") == 32
+        assert len(cache) == 0
+
+    def test_put_if_epoch_still_race_free(self):
+        cache = TTLLRUCache("t", maxsize=1024, shards=8)
+        epoch = cache.epoch
+        cache.invalidate_tag("anything")
+        assert cache.put_if_epoch("k", 1, epoch=epoch) is False
+        assert cache.put_if_epoch("k", 1, epoch=cache.epoch) is True
+
+    def test_clear_counts_all_shards(self):
+        cache = TTLLRUCache("t", maxsize=1024, shards=8)
+        for i in range(40):
+            cache.put(i, i)
+        assert cache.clear() == 40
+
+    def test_concurrent_stats_exactness(self):
+        """Parallel hits/stores are never lost to unsynchronised `+=`."""
+
+        cache = TTLLRUCache("t", maxsize=4096, shards=16)
+        n_threads, per_thread = 8, 2000
+
+        def worker(base: int) -> None:
+            for i in range(per_thread):
+                key = (base, i % 512)
+                cache.put(key, i)
+                cache.get(key)
+
+        threads = [threading.Thread(target=worker, args=(n,))
+                   for n in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        stats = cache.stats
+        assert stats.stores == n_threads * per_thread
+        assert stats.hits + stats.misses == n_threads * per_thread
+
+    def test_default_is_single_shard(self):
+        assert TTLLRUCache("t").shards == 1
+
+    def test_rejects_bad_shard_count(self):
+        with pytest.raises(ValueError):
+            TTLLRUCache("t", shards=0)
+
+
 # -- statistics ----------------------------------------------------------------
 
 class TestStats:

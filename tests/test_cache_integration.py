@@ -344,6 +344,93 @@ class TestObservability:
         assert "caches" in farm_names
 
 
+class TestCrossServerInvalidation:
+    """Two caching servers sharing one monitoring bus stay coherent."""
+
+    def _server_pair(self, ca, host_credential):
+        bus = MessageBus()
+        a = build_server(ca, host_credential, cache_enabled=True,
+                         server_name="server-a", message_bus=bus)
+        b = build_server(ca, host_credential, cache_enabled=True,
+                         server_name="server-b", message_bus=bus)
+        return bus, a, b
+
+    def test_flush_on_one_server_reaches_the_other(self, ca, host_credential):
+        bus, a, b = self._server_pair(ca, host_credential)
+        try:
+            # Warm an ACL decision on server B.
+            assert b.acl.check_method(ALICE_DN, "system.echo").allowed
+            acl_cache_b = b.caches.get("acl.decisions")
+            assert len(acl_cache_b) > 0
+            # An ACL edit on server A flushes B's decision cache via the bus.
+            a.acl.set_method_acl("system", ACL(dns_allowed=[ADMIN_DN]),
+                                 actor_dn=ADMIN_DN)
+            assert len(acl_cache_b) == 0
+            assert a.invalidation_relay.relayed_out > 0
+            assert b.invalidation_relay.applied_in > 0
+        finally:
+            a.close()
+            b.close()
+
+    def test_own_publications_do_not_echo(self, ca, host_credential):
+        bus, a, b = self._server_pair(ca, host_credential)
+        try:
+            applied_before = a.invalidation_relay.applied_in
+            out_before = b.invalidation_relay.relayed_out
+            a.invalidation.publish("acl")
+            # A's own bus message is ignored by A (no loop), applied by B.
+            assert a.invalidation_relay.applied_in == applied_before
+            assert a.invalidation_relay.ignored_own > 0
+            assert b.invalidation_relay.applied_in > 0
+            # ...and B's re-application does not bounce back to the bus.
+            assert b.invalidation_relay.relayed_out == out_before
+        finally:
+            a.close()
+            b.close()
+
+    def test_relay_disabled_in_paper_mode(self, server):
+        assert server.invalidation_relay is None
+
+    def test_relay_detaches_on_close(self, ca, host_credential):
+        bus, a, b = self._server_pair(ca, host_credential)
+        b.close()
+        try:
+            applied = b.invalidation_relay.applied_in
+            a.invalidation.publish("acl")
+            assert b.invalidation_relay.applied_in == applied
+        finally:
+            a.close()
+
+
+class TestReporterLoop:
+    def test_periodic_reporter_publishes_on_interval(self, ca, host_credential):
+        import time as _time
+
+        srv = build_server(ca, host_credential, cache_enabled=True,
+                           cache_stats_interval=0.02)
+        try:
+            seen = []
+            srv.message_bus.subscribe("cache.stats", seen.append)
+            deadline = _time.monotonic() + 5.0
+            while not seen and _time.monotonic() < deadline:
+                _time.sleep(0.01)
+            assert seen, "reporter loop never published"
+            topics = {m.topic for m in seen}
+            assert any(t.startswith("cache.stats.") for t in topics)
+            assert srv.cache_reporter.publications > 0
+        finally:
+            srv.close()
+        # The loop stops with the server.
+        count = len(seen)
+        import time as _t
+        _t.sleep(0.06)
+        assert len(seen) == count
+
+    def test_reporter_loop_off_by_default(self, server):
+        assert server._reporter_thread is None
+        assert server.config.cache_stats_interval == 0.0
+
+
 class TestPaperModePreserved:
     def test_caching_is_off_by_default(self, server):
         assert server.config.cache_enabled is False

@@ -1,0 +1,771 @@
+"""The replica subsystem: catalogue, transfer engine, broker, RPC service.
+
+The failure paths the subsystem exists for are all exercised here: checksum
+mismatches quarantine the offending replica, reads fail over mid-flight to
+the next copy, transfers retry with backoff until exhaustion, and concurrent
+register/drop operations on one LFN serialise without corruption.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+import time
+
+import pytest
+
+from repro.client.client import ClarensClient
+from repro.client.errors import ClientError
+from repro.client.files import download_lfn, download_lfn_http
+from repro.database import Database
+from repro.fileservice.vfs import VirtualFileSystem
+from repro.monitoring.bus import MessageBus
+from repro.protocols.errors import Fault
+from repro.replica.broker import ReplicaBroker
+from repro.replica.catalogue import ReplicaCatalogue
+from repro.replica.model import (ReplicaConflictError, ReplicaError,
+                                 ReplicaNotFoundError, ReplicaState,
+                                 TransferState)
+from repro.replica.storage import (StorageElementError,
+                                   StorageElementUnavailableError,
+                                   VFSStorageElement)
+from repro.replica.transfer import TransferEngine
+
+from tests.conftest import build_server
+
+
+def make_se(tmp_path, name: str, files: dict[str, bytes] | None = None) -> VFSStorageElement:
+    root = tmp_path / name
+    root.mkdir(exist_ok=True)
+    for pfn, data in (files or {}).items():
+        path = root / pfn.lstrip("/")
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_bytes(data)
+    return VFSStorageElement(name, VirtualFileSystem(root))
+
+
+def register_file(catalogue: ReplicaCatalogue, se: VFSStorageElement,
+                  lfn: str, data: bytes, pfn: str | None = None) -> dict:
+    pfn = pfn or lfn
+    se.vfs.write(pfn, data)
+    return catalogue.register(lfn, se.name, pfn, size=len(data),
+                              checksum=hashlib.md5(data).hexdigest())
+
+
+class FlakyReadSE(VFSStorageElement):
+    """Fails the first ``fail_reads`` read calls, then behaves normally."""
+
+    def __init__(self, name, vfs, *, fail_reads: int = 0) -> None:
+        super().__init__(name, vfs)
+        self.fail_reads = fail_reads
+
+    def read(self, pfn, offset=0, length=-1):
+        if self.fail_reads > 0:
+            self.fail_reads -= 1
+            raise StorageElementError(f"{self.name}: injected read failure")
+        return super().read(pfn, offset, length)
+
+
+class FlakyWriteSE(VFSStorageElement):
+    """Fails the first ``fail_writes`` write_stream calls."""
+
+    def __init__(self, name, vfs, *, fail_writes: int = 0) -> None:
+        super().__init__(name, vfs)
+        self.fail_writes = fail_writes
+
+    def write_stream(self, pfn, chunks):
+        if self.fail_writes > 0:
+            self.fail_writes -= 1
+            raise StorageElementError(f"{self.name}: injected write failure")
+        return super().write_stream(pfn, chunks)
+
+
+# -- catalogue -----------------------------------------------------------------
+
+class TestCatalogue:
+    def test_register_locate_roundtrip(self, tmp_path):
+        catalogue = ReplicaCatalogue(Database())
+        se = make_se(tmp_path, "se-a")
+        entry = register_file(catalogue, se, "/lfn/data/f1", b"payload")
+        assert entry["version"] == 1
+        replicas = catalogue.replicas("/lfn/data/f1")
+        assert [r.storage_element for r in replicas] == ["se-a"]
+        assert replicas[0].state is ReplicaState.ACTIVE
+        assert catalogue.lfns("/lfn/data") == ["/lfn/data/f1"]
+
+    def test_every_mutation_bumps_version(self, tmp_path):
+        catalogue = ReplicaCatalogue(Database())
+        se_a = make_se(tmp_path, "se-a")
+        register_file(catalogue, se_a, "/lfn/f", b"x")
+        assert catalogue.version("/lfn/f") == 1
+        catalogue.register("/lfn/f", "se-b", "/lfn/f", size=1,
+                           checksum=hashlib.md5(b"x").hexdigest())
+        assert catalogue.version("/lfn/f") == 2
+        catalogue.set_state("/lfn/f", "se-b", ReplicaState.QUARANTINED,
+                            error="test")
+        assert catalogue.version("/lfn/f") == 3
+
+    def test_checksum_and_size_must_match_catalogue(self, tmp_path):
+        catalogue = ReplicaCatalogue(Database())
+        se = make_se(tmp_path, "se-a")
+        register_file(catalogue, se, "/lfn/f", b"good bytes")
+        with pytest.raises(ReplicaConflictError):
+            catalogue.register("/lfn/f", "se-b", "/lfn/f", size=10,
+                               checksum="0" * 32)
+        with pytest.raises(ReplicaConflictError):
+            catalogue.register("/lfn/f", "se-b", "/lfn/f", size=999,
+                               checksum=hashlib.md5(b"good bytes").hexdigest())
+
+    def test_expected_version_conflict(self, tmp_path):
+        catalogue = ReplicaCatalogue(Database())
+        se = make_se(tmp_path, "se-a")
+        register_file(catalogue, se, "/lfn/f", b"x")
+        stale = catalogue.version("/lfn/f")
+        catalogue.register("/lfn/f", "se-b", "/lfn/f", size=1,
+                           checksum=hashlib.md5(b"x").hexdigest())
+        with pytest.raises(ReplicaConflictError):
+            catalogue.drop("/lfn/f", "se-a", expected_version=stale)
+        # With the current version the same drop succeeds.
+        catalogue.drop("/lfn/f", "se-a",
+                       expected_version=catalogue.version("/lfn/f"))
+
+    def test_drop_last_replica_removes_entry(self, tmp_path):
+        catalogue = ReplicaCatalogue(Database())
+        se = make_se(tmp_path, "se-a")
+        register_file(catalogue, se, "/lfn/f", b"x")
+        assert catalogue.drop("/lfn/f", "se-a") is None
+        assert not catalogue.exists("/lfn/f")
+        with pytest.raises(ReplicaNotFoundError):
+            catalogue.drop("/lfn/f", "se-a")
+
+    def test_returned_entries_do_not_alias_stored_state(self, tmp_path):
+        """Mutating an entry() result must never leak into the catalogue."""
+
+        catalogue = ReplicaCatalogue(Database())
+        se = make_se(tmp_path, "se-a")
+        register_file(catalogue, se, "/lfn/f", b"x")
+        entry = catalogue.entry("/lfn/f")
+        entry["replicas"]["evil"] = {"state": "active"}
+        entry["replicas"]["se-a"]["state"] = "quarantined"
+        fresh = catalogue.entry("/lfn/f")
+        assert set(fresh["replicas"]) == {"se-a"}
+        assert fresh["replicas"]["se-a"]["state"] == "active"
+        assert catalogue.version("/lfn/f") == 1
+
+    def test_concurrent_register_drop_race_on_one_lfn(self, tmp_path):
+        """Racing registers and drops serialise; the entry never corrupts."""
+
+        catalogue = ReplicaCatalogue(Database())
+        data = b"race payload"
+        checksum = hashlib.md5(data).hexdigest()
+        lfn = "/lfn/contended"
+        errors: list[Exception] = []
+        barrier = threading.Barrier(8)
+
+        def registrar(se_name: str) -> None:
+            barrier.wait()
+            for _ in range(50):
+                try:
+                    catalogue.register(lfn, se_name, lfn, size=len(data),
+                                       checksum=checksum)
+                except (ReplicaConflictError, ReplicaNotFoundError):
+                    pass
+                except Exception as exc:  # pragma: no cover - failure path
+                    errors.append(exc)
+
+        def dropper(se_name: str) -> None:
+            barrier.wait()
+            for _ in range(50):
+                try:
+                    catalogue.drop(lfn, se_name)
+                except (ReplicaConflictError, ReplicaNotFoundError):
+                    pass
+                except Exception as exc:  # pragma: no cover - failure path
+                    errors.append(exc)
+
+        threads = [threading.Thread(target=registrar, args=(f"se-{i}",))
+                   for i in range(4)]
+        threads += [threading.Thread(target=dropper, args=(f"se-{i}",))
+                    for i in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        # Whatever survived must be internally consistent.
+        if catalogue.exists(lfn):
+            entry = catalogue.entry(lfn)
+            assert entry["replicas"], "an entry without replicas must be deleted"
+            assert entry["version"] >= 1
+            for se_name, record in entry["replicas"].items():
+                assert record["storage_element"] == se_name
+                assert record["checksum"] == checksum
+
+
+# -- transfer engine -----------------------------------------------------------
+
+def make_engine(catalogue, elements, **kwargs):
+    kwargs.setdefault("workers", 2)
+    kwargs.setdefault("retry_delay", 0.001)
+    engine = TransferEngine(catalogue, {e.name: e for e in elements}, **kwargs)
+    engine.start()
+    return engine
+
+
+class TestTransferEngine:
+    def test_happy_path_copies_and_activates(self, tmp_path):
+        catalogue = ReplicaCatalogue(Database())
+        bus = MessageBus()
+        events: list[str] = []
+        bus.subscribe("replica.transfer", lambda m: events.append(m.topic))
+        se_a = make_se(tmp_path, "se-a")
+        se_b = make_se(tmp_path, "se-b")
+        data = b"event data " * 1000
+        register_file(catalogue, se_a, "/lfn/events", data)
+        engine = make_engine(catalogue, [se_a, se_b], bus=bus)
+        try:
+            request = engine.submit("/lfn/events", "se-b")
+            done = engine.wait(request.transfer_id, timeout=10.0)
+            assert done.state is TransferState.DONE
+            assert done.bytes_copied == len(data)
+            assert done.src_se == "se-a"
+            assert done.throughput_bps > 0
+            replica = catalogue.replica_on("/lfn/events", "se-b")
+            assert replica.state is ReplicaState.ACTIVE
+            assert se_b.read("/lfn/events") == data
+            assert "replica.transfer.queued" in events
+            assert "replica.transfer.started" in events
+            assert "replica.transfer.done" in events
+        finally:
+            engine.stop()
+
+    def test_replicating_to_existing_replica_is_a_noop(self, tmp_path):
+        catalogue = ReplicaCatalogue(Database())
+        se_a = make_se(tmp_path, "se-a")
+        se_b = make_se(tmp_path, "se-b")
+        register_file(catalogue, se_a, "/lfn/f", b"x")
+        engine = make_engine(catalogue, [se_a, se_b])
+        try:
+            first = engine.wait(engine.submit("/lfn/f", "se-b").transfer_id)
+            assert first.state is TransferState.DONE
+            again = engine.wait(engine.submit("/lfn/f", "se-b").transfer_id)
+            assert again.state is TransferState.DONE
+            assert again.bytes_copied == 0
+        finally:
+            engine.stop()
+
+    def test_checksum_mismatch_quarantines_source(self, tmp_path):
+        """Corrupt source bytes fail verification and quarantine the replica."""
+
+        catalogue = ReplicaCatalogue(Database())
+        bus = MessageBus()
+        failures: list[dict] = []
+        bus.subscribe("replica.transfer.failed",
+                      lambda m: failures.append(m.payload))
+        se_a = make_se(tmp_path, "se-a")
+        se_b = make_se(tmp_path, "se-b")
+        register_file(catalogue, se_a, "/lfn/f", b"original bytes")
+        # Bit-rot on the storage element after registration.
+        se_a.vfs.write("/lfn/f", b"corrupted bytes")
+        engine = make_engine(catalogue, [se_a, se_b], max_attempts=2, bus=bus)
+        try:
+            request = engine.submit("/lfn/f", "se-b")
+            done = engine.wait(request.transfer_id, timeout=10.0)
+            assert done.state is TransferState.FAILED
+            quarantined = catalogue.replica_on("/lfn/f", "se-a")
+            assert quarantined.state is ReplicaState.QUARANTINED
+            assert "checksum mismatch" in quarantined.last_error
+            # No half-written destination copy survives.
+            with pytest.raises(ReplicaNotFoundError):
+                catalogue.replica_on("/lfn/f", "se-b")
+            assert not se_b.exists("/lfn/f")
+            assert failures and failures[0]["lfn"] == "/lfn/f"
+        finally:
+            engine.stop()
+
+    def test_checksum_mismatch_retries_from_clean_replica(self, tmp_path):
+        """After quarantining the bad source, the retry uses the good one."""
+
+        catalogue = ReplicaCatalogue(Database())
+        data = b"the real bytes"
+        se_a = make_se(tmp_path, "se-a")
+        se_b = make_se(tmp_path, "se-b")
+        se_c = make_se(tmp_path, "se-c")
+        register_file(catalogue, se_a, "/lfn/f", data)
+        se_b.vfs.write("/lfn/f", data)
+        catalogue.register("/lfn/f", "se-b", "/lfn/f", size=len(data),
+                           checksum=hashlib.md5(data).hexdigest())
+        # se-a rots; keep it the preferred source by loading se-b.
+        se_a.vfs.write("/lfn/f", b"the fake bytes")
+        engine = make_engine(catalogue, [se_a, se_b, se_c], max_attempts=3)
+        try:
+            with se_b.transfer_slot():        # bias source choice toward se-a
+                request = engine.submit("/lfn/f", "se-c")
+                done = engine.wait(request.transfer_id, timeout=10.0)
+            assert done.state is TransferState.DONE
+            assert catalogue.replica_on("/lfn/f", "se-a").state \
+                is ReplicaState.QUARANTINED
+            assert se_c.read("/lfn/f") == data
+        finally:
+            engine.stop()
+
+    def test_retry_backoff_exhaustion(self, tmp_path):
+        catalogue = ReplicaCatalogue(Database())
+        bus = MessageBus()
+        retries: list[dict] = []
+        bus.subscribe("replica.transfer.retry",
+                      lambda m: retries.append(m.payload))
+        se_a = make_se(tmp_path, "se-a")
+        se_b = FlakyWriteSE("se-b", VirtualFileSystem(
+            (tmp_path / "se-b").mkdir() or tmp_path / "se-b"), fail_writes=99)
+        register_file(catalogue, se_a, "/lfn/f", b"x")
+        engine = make_engine(catalogue, [se_a, se_b], max_attempts=3, bus=bus)
+        try:
+            request = engine.submit("/lfn/f", "se-b")
+            done = engine.wait(request.transfer_id, timeout=10.0)
+            assert done.state is TransferState.FAILED
+            assert done.attempts == 3
+            assert "injected write failure" in done.error
+            assert len(retries) == 2          # attempts 1 and 2 retried
+        finally:
+            engine.stop()
+
+    def test_quarantined_destination_is_never_overwritten(self, tmp_path):
+        """Re-replicating onto a quarantined copy fails instead of clobbering."""
+
+        catalogue = ReplicaCatalogue(Database())
+        data = b"good"
+        se_a = make_se(tmp_path, "se-a")
+        se_b = make_se(tmp_path, "se-b", {"/lfn/f": b"evidence"})
+        register_file(catalogue, se_a, "/lfn/f", data)
+        catalogue.register("/lfn/f", "se-b", "/lfn/f", size=len(data),
+                           checksum=hashlib.md5(data).hexdigest())
+        catalogue.quarantine("/lfn/f", "se-b", error="operator flagged")
+        engine = make_engine(catalogue, [se_a, se_b], max_attempts=2)
+        try:
+            done = engine.wait(engine.submit("/lfn/f", "se-b").transfer_id,
+                               timeout=10.0)
+            assert done.state is TransferState.FAILED
+            assert "quarantined" in done.error
+            # The quarantined record and its on-disk bytes are untouched.
+            assert catalogue.replica_on("/lfn/f", "se-b").state \
+                is ReplicaState.QUARANTINED
+            assert se_b.read("/lfn/f") == b"evidence"
+        finally:
+            engine.stop()
+
+    def test_transient_failure_recovers(self, tmp_path):
+        catalogue = ReplicaCatalogue(Database())
+        se_a = make_se(tmp_path, "se-a")
+        (tmp_path / "se-b").mkdir()
+        se_b = FlakyWriteSE("se-b", VirtualFileSystem(tmp_path / "se-b"),
+                            fail_writes=1)
+        register_file(catalogue, se_a, "/lfn/f", b"recoverable")
+        engine = make_engine(catalogue, [se_a, se_b], max_attempts=3)
+        try:
+            done = engine.wait(engine.submit("/lfn/f", "se-b").transfer_id,
+                               timeout=10.0)
+            assert done.state is TransferState.DONE
+            assert done.attempts == 2
+            assert se_b.read("/lfn/f") == b"recoverable"
+        finally:
+            engine.stop()
+
+    def test_priority_orders_the_queue(self, tmp_path):
+        catalogue = ReplicaCatalogue(Database())
+        bus = MessageBus()
+        started: list[int] = []
+        bus.subscribe("replica.transfer.started",
+                      lambda m: started.append(m.payload["transfer_id"]))
+        se_a = make_se(tmp_path, "se-a")
+        se_b = make_se(tmp_path, "se-b")
+        register_file(catalogue, se_a, "/lfn/f1", b"1")
+        register_file(catalogue, se_a, "/lfn/f2", b"2")
+        # Do not start the engine until both requests are queued.
+        engine = TransferEngine(catalogue, {"se-a": se_a, "se-b": se_b},
+                                workers=1, retry_delay=0.001, bus=bus)
+        low = engine.submit("/lfn/f1", "se-b", priority=9)
+        high = engine.submit("/lfn/f2", "se-b", priority=1)
+        engine.start()
+        try:
+            engine.wait(low.transfer_id, timeout=10.0)
+            engine.wait(high.transfer_id, timeout=10.0)
+            assert started.index(high.transfer_id) < started.index(low.transfer_id)
+        finally:
+            engine.stop()
+
+    def test_foreign_bytes_at_destination_are_never_clobbered(self, tmp_path):
+        """A pre-existing unregistered file at the target path is preserved."""
+
+        catalogue = ReplicaCatalogue(Database())
+        se_a = make_se(tmp_path, "se-a")
+        se_b = make_se(tmp_path, "se-b", {"/lfn/f": b"someone else's data"})
+        register_file(catalogue, se_a, "/lfn/f", b"replica bytes")
+        engine = make_engine(catalogue, [se_a, se_b], max_attempts=2)
+        try:
+            done = engine.wait(engine.submit("/lfn/f", "se-b").transfer_id,
+                               timeout=10.0)
+            assert done.state is TransferState.FAILED
+            assert "refusing to overwrite" in done.error
+            assert se_b.read("/lfn/f") == b"someone else's data"
+        finally:
+            engine.stop()
+
+    def test_identical_bytes_at_destination_are_adopted(self, tmp_path):
+        """Matching orphaned bytes become the replica without a copy."""
+
+        catalogue = ReplicaCatalogue(Database())
+        data = b"identical bytes"
+        se_a = make_se(tmp_path, "se-a")
+        se_b = make_se(tmp_path, "se-b", {"/lfn/f": data})
+        register_file(catalogue, se_a, "/lfn/f", data)
+        engine = make_engine(catalogue, [se_a, se_b])
+        try:
+            done = engine.wait(engine.submit("/lfn/f", "se-b").transfer_id,
+                               timeout=10.0)
+            assert done.state is TransferState.DONE
+            assert done.bytes_copied == 0
+            assert catalogue.replica_on("/lfn/f", "se-b").state \
+                is ReplicaState.ACTIVE
+        finally:
+            engine.stop()
+
+    def test_cancel_during_retry_backoff_sticks(self, tmp_path):
+        catalogue = ReplicaCatalogue(Database())
+        se_a = make_se(tmp_path, "se-a")
+        (tmp_path / "se-b").mkdir()
+        se_b = FlakyWriteSE("se-b", VirtualFileSystem(tmp_path / "se-b"),
+                            fail_writes=99)
+        register_file(catalogue, se_a, "/lfn/f", b"x")
+        engine = make_engine(catalogue, [se_a, se_b], max_attempts=5,
+                             retry_delay=0.5)
+        try:
+            request = engine.submit("/lfn/f", "se-b")
+            deadline = time.monotonic() + 5.0
+            while request.state is not TransferState.RETRYING:
+                assert time.monotonic() < deadline, request.state
+                time.sleep(0.005)
+            cancelled = engine.cancel(request.transfer_id)
+            assert cancelled.state is TransferState.CANCELLED
+            # The backoff path must not resurrect it.
+            time.sleep(0.02)
+            assert engine.wait(request.transfer_id, timeout=5.0).state \
+                is TransferState.CANCELLED
+        finally:
+            engine.stop()
+
+    def test_cancel_queued_transfer(self, tmp_path):
+        catalogue = ReplicaCatalogue(Database())
+        se_a = make_se(tmp_path, "se-a")
+        se_b = make_se(tmp_path, "se-b")
+        register_file(catalogue, se_a, "/lfn/f", b"x")
+        engine = TransferEngine(catalogue, {"se-a": se_a, "se-b": se_b},
+                                workers=1, retry_delay=0.001)
+        request = engine.submit("/lfn/f", "se-b")
+        assert engine.cancel(request.transfer_id).state is TransferState.CANCELLED
+        engine.start()
+        try:
+            done = engine.wait(request.transfer_id, timeout=5.0)
+            assert done.state is TransferState.CANCELLED
+            with pytest.raises(ReplicaNotFoundError):
+                catalogue.replica_on("/lfn/f", "se-b")
+        finally:
+            engine.stop()
+
+    def test_submit_unknown_lfn_or_element_fails_fast(self, tmp_path):
+        catalogue = ReplicaCatalogue(Database())
+        se_a = make_se(tmp_path, "se-a")
+        engine = TransferEngine(catalogue, {"se-a": se_a})
+        with pytest.raises(ReplicaNotFoundError):
+            engine.submit("/lfn/nope", "se-a")
+        register_file(catalogue, se_a, "/lfn/f", b"x")
+        with pytest.raises(ReplicaNotFoundError):
+            engine.submit("/lfn/f", "se-zz")
+
+
+# -- broker --------------------------------------------------------------------
+
+class TestBroker:
+    def _two_se_setup(self, tmp_path, data=b"broker bytes"):
+        catalogue = ReplicaCatalogue(Database())
+        se_a = FlakyReadSE("se-a", VirtualFileSystem(
+            (tmp_path / "se-a").mkdir() or tmp_path / "se-a"))
+        se_b = make_se(tmp_path, "se-b")
+        checksum = hashlib.md5(data).hexdigest()
+        for se in (se_a, se_b):
+            se.vfs.write("/lfn/f", data)
+            catalogue.register("/lfn/f", se.name, "/lfn/f", size=len(data),
+                               checksum=checksum)
+        return catalogue, se_a, se_b, data
+
+    def test_prefers_local_element(self, tmp_path):
+        catalogue, se_a, se_b, data = self._two_se_setup(tmp_path)
+        broker = ReplicaBroker(catalogue, {"se-a": se_a, "se-b": se_b},
+                               local_se="se-b")
+        replica, element = broker.resolve("/lfn/f")
+        assert element.name == "se-b"
+
+    def test_least_loaded_wins_when_no_local(self, tmp_path):
+        catalogue, se_a, se_b, data = self._two_se_setup(tmp_path)
+        broker = ReplicaBroker(catalogue, {"se-a": se_a, "se-b": se_b})
+        with se_a.transfer_slot():
+            _, element = broker.resolve("/lfn/f")
+            assert element.name == "se-b"
+
+    def test_read_fails_over_on_error(self, tmp_path):
+        catalogue, se_a, se_b, data = self._two_se_setup(tmp_path)
+        se_a.fail_reads = 1
+        broker = ReplicaBroker(catalogue, {"se-a": se_a, "se-b": se_b},
+                               local_se="se-a")
+        assert broker.read("/lfn/f") == data
+        assert broker.failovers == 1
+        # The failure is recorded against the replica for operators.
+        assert "injected read failure" in \
+            catalogue.replica_on("/lfn/f", "se-a").last_error
+
+    def test_unavailable_element_is_skipped(self, tmp_path):
+        catalogue, se_a, se_b, data = self._two_se_setup(tmp_path)
+        se_a.available = False
+        broker = ReplicaBroker(catalogue, {"se-a": se_a, "se-b": se_b},
+                               local_se="se-a")
+        replica, element = broker.resolve("/lfn/f")
+        assert element.name == "se-b"
+        assert broker.read("/lfn/f") == data
+
+    def test_read_verified_quarantines_corrupt_replica(self, tmp_path):
+        catalogue, se_a, se_b, data = self._two_se_setup(tmp_path)
+        se_a.vfs.write("/lfn/f", b"rotten " + data)
+        broker = ReplicaBroker(catalogue, {"se-a": se_a, "se-b": se_b},
+                               local_se="se-a")
+        assert broker.read_verified("/lfn/f") == data
+        assert catalogue.replica_on("/lfn/f", "se-a").state \
+            is ReplicaState.QUARANTINED
+        # The corrupt copy is never consulted again.
+        assert broker.read("/lfn/f") == data
+        assert [e.name for _, e in broker.candidates("/lfn/f")] == ["se-b"]
+
+    def test_all_replicas_failing_raises(self, tmp_path):
+        catalogue, se_a, se_b, data = self._two_se_setup(tmp_path)
+        se_a.available = False
+        se_b.available = False
+        broker = ReplicaBroker(catalogue, {"se-a": se_a, "se-b": se_b})
+        with pytest.raises(ReplicaError):
+            broker.read("/lfn/f")
+
+
+# -- storage elements ----------------------------------------------------------
+
+class TestStorageElements:
+    def test_unavailable_element_refuses_io(self, tmp_path):
+        se = make_se(tmp_path, "se-a", {"/f": b"x"})
+        se.available = False
+        with pytest.raises(StorageElementUnavailableError):
+            se.read("/f")
+        with pytest.raises(StorageElementUnavailableError):
+            se.write_stream("/g", [b"y"])
+
+    def test_write_stream_digest_matches_content(self, tmp_path):
+        se = make_se(tmp_path, "se-a")
+        data = b"0123456789" * 1000
+        size, digest = se.write_stream("/f", iter([data[:5000], data[5000:]]))
+        assert size == len(data)
+        assert digest == hashlib.md5(data).hexdigest()
+        assert se.checksum("/f") == digest
+
+    def test_mid_stream_disable_aborts_reader(self, tmp_path):
+        """A transfer source dying mid-stream raises instead of truncating."""
+
+        se = make_se(tmp_path, "se-a", {"/f": b"a" * (1 << 16)})
+        reader = se.open_reader("/f", chunk_size=1024)
+        next(reader)
+        se.available = False
+        with pytest.raises(StorageElementUnavailableError):
+            list(reader)
+
+
+# -- the replica.* RPC service -------------------------------------------------
+
+@pytest.fixture()
+def replica_server(ca, host_credential, tmp_path):
+    """A server with a second VFS storage element ("se-b") attached."""
+
+    srv = build_server(ca, host_credential,
+                       replica_retry_delay=0.001)
+    service = srv.services["replica"]
+    service.add_storage_element(make_se(tmp_path, "se-b"))
+    yield srv
+    srv.close()
+
+
+@pytest.fixture()
+def replica_client(replica_server, alice_credential):
+    cl = ClarensClient.for_loopback(replica_server.loopback())
+    cl.login_with_credential(alice_credential)
+    yield cl
+    cl.close()
+
+
+@pytest.fixture()
+def replica_admin(replica_server, admin_credential):
+    cl = ClarensClient.for_loopback(replica_server.loopback())
+    cl.login_with_credential(admin_credential)
+    yield cl
+    cl.close()
+
+
+def wait_transfer(client, transfer_id, *, timeout=10.0) -> dict:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        record = client.call("replica.status", transfer_id)
+        if TransferState(record["state"]).terminal:
+            return record
+        time.sleep(0.01)
+    raise AssertionError(f"transfer {transfer_id} did not finish: {record}")
+
+
+class TestReplicaService:
+    DATA = b"detector events " * 512
+    LFN = "/lfn/cms/run1/events.dat"
+
+    def _register_on_local(self, client) -> dict:
+        client.call("file.write", "/run1/events.dat", self.DATA, False)
+        return client.call("replica.register", self.LFN, "local",
+                           "/run1/events.dat")
+
+    def test_register_computes_size_and_checksum(self, replica_client):
+        entry = self._register_on_local(replica_client)
+        assert entry["size"] == len(self.DATA)
+        assert entry["checksum"] == hashlib.md5(self.DATA).hexdigest()
+        assert set(entry["replicas"]) == {"local"}
+
+    def test_end_to_end_replicate_disable_failover(self, replica_server,
+                                                   replica_client,
+                                                   replica_admin, tmp_path):
+        """The acceptance scenario: register on A, copy to B, kill A, read."""
+
+        self._register_on_local(replica_client)
+        transfer = replica_client.call("replica.replicate", self.LFN, "se-b")
+        record = wait_transfer(replica_client, transfer["transfer_id"])
+        assert record["state"] == "done"
+        assert record["bytes_copied"] == len(self.DATA)
+
+        entry = replica_client.call("replica.locate", self.LFN)
+        assert set(entry["replicas"]) == {"local", "se-b"}
+        # The local element ranks first while it is alive...
+        assert entry["best"][0]["storage_element"] == "local"
+
+        replica_admin.call("replica.set_available", "local", False)
+        entry = replica_client.call("replica.locate", self.LFN)
+        assert [b["storage_element"] for b in entry["best"]] == ["se-b"]
+
+        # ...and the checksum-verified download now rides the se-b replica.
+        data = download_lfn(replica_client, self.LFN)
+        assert data == self.DATA
+        assert replica_server.replica_broker.stats()["reads"] > 0
+
+    def test_download_lfn_http_zero_copy_path(self, replica_client):
+        self._register_on_local(replica_client)
+        data = download_lfn_http(replica_client, self.LFN)
+        assert data == self.DATA
+
+    def test_download_lfn_http_after_local_death(self, replica_client,
+                                                 replica_admin):
+        self._register_on_local(replica_client)
+        transfer = replica_client.call("replica.replicate", self.LFN, "se-b")
+        wait_transfer(replica_client, transfer["transfer_id"])
+        replica_admin.call("replica.set_available", "local", False)
+        assert download_lfn_http(replica_client, self.LFN) == self.DATA
+
+    def test_replica_read_rpc_with_offset(self, replica_client):
+        self._register_on_local(replica_client)
+        chunk = replica_client.call("replica.read", self.LFN, 16, 15)
+        assert chunk == self.DATA[16:31]
+
+    def test_drop_with_stale_version_conflicts(self, replica_client):
+        entry = self._register_on_local(replica_client)
+        stale = entry["version"]
+        replica_client.call("replica.register", self.LFN, "local",
+                            "/run1/events.dat")      # bumps the version
+        with pytest.raises(Fault):
+            replica_client.call("replica.drop", self.LFN, "local", stale)
+        assert replica_client.call(
+            "replica.drop", self.LFN, "local",
+            replica_client.call("replica.stat", self.LFN)["version"]) is True
+
+    def test_verify_quarantines_rotten_replica(self, replica_server,
+                                               replica_client):
+        self._register_on_local(replica_client)
+        replica_client.call("file.write", "/run1/events.dat", b"rot", False)
+        entry = replica_client.call("replica.verify", self.LFN, "local")
+        assert entry["replicas"]["local"]["state"] == "quarantined"
+
+    def test_masstore_is_a_storage_element(self, replica_server,
+                                           replica_client, replica_admin):
+        """An SRM-staged mass-store file replicates onto ordinary disk."""
+
+        payload = b"tape resident bytes"
+        replica_admin.call("srm.archive", "/store/raw.dat", payload, True)
+        replica_client.call("replica.register", "/lfn/store/raw.dat",
+                            "masstore", "/store/raw.dat")
+        # Evict the disk copy so the transfer must stage from tape.
+        replica_admin.call("srm.evict", "/store/raw.dat")
+        transfer = replica_client.call("replica.replicate",
+                                       "/lfn/store/raw.dat", "se-b")
+        record = wait_transfer(replica_client, transfer["transfer_id"])
+        assert record["state"] == "done"
+        assert replica_client.call("replica.read", "/lfn/store/raw.dat",
+                                   0, -1) == payload
+
+    def test_set_available_requires_admin(self, replica_client):
+        with pytest.raises(Fault):
+            replica_client.call("replica.set_available", "local", False)
+
+    def test_register_cannot_bypass_file_acls(self, replica_server,
+                                              replica_client, replica_admin):
+        """Binding an LFN to a read-protected path is refused.
+
+        Without the pfn read check, registering /lfn/mine -> /secret/x and
+        reading the LFN would leak bytes the file ACLs deny.
+        """
+
+        from repro.acl.model import ACL, FileACL
+        from tests.conftest import ADMIN_DN
+
+        replica_admin.call("file.write", "/secret/x.dat", b"classified", False)
+        replica_server.acl.set_file_acl(
+            "/secret", FileACL(read=ACL(dns_allowed=[ADMIN_DN]),
+                               write=ACL(dns_allowed=[ADMIN_DN])))
+        with pytest.raises(Fault):
+            replica_client.call("replica.register", "/lfn/alice/steal",
+                                "local", "/secret/x.dat")
+        # The admin, who can read the path, may register it.
+        entry = replica_admin.call("replica.register", "/lfn/prod/x",
+                                   "local", "/secret/x.dat")
+        assert entry["size"] == len(b"classified")
+
+    def test_transfer_events_reach_monitoring_bus(self, replica_server,
+                                                  replica_client):
+        topics: list[str] = []
+        replica_server.message_bus.subscribe("replica.transfer",
+                                             lambda m: topics.append(m.topic))
+        self._register_on_local(replica_client)
+        transfer = replica_client.call("replica.replicate", self.LFN, "se-b")
+        wait_transfer(replica_client, transfer["transfer_id"])
+        assert "replica.transfer.queued" in topics
+        assert "replica.transfer.done" in topics
+
+    def test_stats_snapshot(self, replica_client):
+        self._register_on_local(replica_client)
+        stats = replica_client.call("replica.stats")
+        assert stats["catalogue"]["lfns"] == 1
+        assert stats["engine"]["workers"] >= 1
+
+    def test_checksum_failure_surfaces_in_download(self, replica_server,
+                                                   replica_client):
+        """With only one (corrupt) replica, the verified download fails."""
+
+        self._register_on_local(replica_client)
+        replica_client.call("file.write", "/run1/events.dat",
+                            b"silent corruption", False)
+        with pytest.raises((ClientError, Fault)):
+            download_lfn(replica_client, self.LFN)
