@@ -1,0 +1,166 @@
+"""REPLICATION — write-ahead journal overhead and auto-heal throughput.
+
+PR 3 made the transfer queue durable and self-healing; this benchmark keeps
+both additions honest:
+
+* **journal overhead** — every transfer now costs up to three journal
+  upserts plus a discharge.  Measured as transfers/s through the full
+  submit→copy→done pipeline with the journal off vs. on; the journaled run
+  must stay within ``MAX_JOURNAL_SLOWDOWN`` of the bare one, so durability
+  never silently eats the engine's throughput.
+* **heal throughput** — the policy engine's sweep schedules one heal per
+  under-replicated LFN and the worker pool drains them.  Measured as
+  heals/s bringing a catalogue of 1-copy files up to a 2-copy policy; every
+  file must end at two ``ACTIVE`` replicas (completeness is asserted, not
+  sampled).
+
+This file is auto-collected into the tier-1 suite (see
+``benchmarks/conftest.py``); default sizes are CI-cheap and ``--smoke``
+shrinks them further.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+
+from repro.bench.results import ComparisonRow, ResultTable, format_rate
+from repro.database import Database
+from repro.fileservice.vfs import VirtualFileSystem
+from repro.monitoring.bus import MessageBus
+from repro.replica.catalogue import ReplicaCatalogue
+from repro.replica.journal import TransferJournal
+from repro.replica.model import ReplicaState, TransferState
+from repro.replica.policy import ReplicaPolicyEngine
+from repro.replica.storage import VFSStorageElement
+from repro.replica.transfer import TransferEngine
+
+#: The journaled pipeline must stay within this factor of the bare one.
+#: Three in-memory table upserts + one delete per transfer should cost far
+#: less than the copy itself; 3x leaves room for noisy CI machines.
+MAX_JOURNAL_SLOWDOWN = 3.0
+
+
+def _make_se(tmp_path, name: str) -> VFSStorageElement:
+    root = tmp_path / name
+    root.mkdir(exist_ok=True)
+    return VFSStorageElement(name, VirtualFileSystem(root))
+
+
+def _populate(catalogue, se, n: int, payload: bytes) -> list[str]:
+    checksum = hashlib.md5(payload).hexdigest()
+    lfns = []
+    for i in range(n):
+        lfn = f"/lfn/bench/file{i:05d}.dat"
+        se.vfs.write(lfn, payload)
+        catalogue.register(lfn, se.name, lfn, size=len(payload),
+                           checksum=checksum)
+        lfns.append(lfn)
+    return lfns
+
+
+def _drain(engine: TransferEngine, lfns: list[str], dst: str) -> float:
+    """Submit one transfer per LFN and wait for all; returns elapsed seconds."""
+
+    start = time.perf_counter()
+    requests = [engine.submit(lfn, dst) for lfn in lfns]
+    for request in requests:
+        done = engine.wait(request.transfer_id, timeout=60.0)
+        assert done.state is TransferState.DONE, done.error
+    return time.perf_counter() - start
+
+
+def test_journal_overhead(smoke, paper_scale, capsys, tmp_path):
+    """Durability must not meaningfully slow the transfer pipeline."""
+
+    n = 30 if smoke else (400 if paper_scale else 120)
+    payload = b"j" * 2048
+
+    def run(label: str, journaled: bool) -> float:
+        db = Database()
+        catalogue = ReplicaCatalogue(db)
+        se_a = _make_se(tmp_path, f"{label}-a")
+        se_b = _make_se(tmp_path, f"{label}-b")
+        lfns = _populate(catalogue, se_a, n, payload)
+        journal = TransferJournal(db) if journaled else None
+        engine = TransferEngine(catalogue, {se_a.name: se_a, se_b.name: se_b},
+                                workers=4, retry_delay=0.001, journal=journal)
+        engine.start()
+        try:
+            elapsed = _drain(engine, lfns, se_b.name)
+        finally:
+            engine.stop()
+        if journal is not None:
+            assert len(journal) == 0, "journal must drain to empty"
+        return elapsed
+
+    bare = run("bare", journaled=False)
+    journaled = run("journaled", journaled=True)
+    slowdown = journaled / max(bare, 1e-9)
+
+    table = ResultTable(
+        f"REPLICATION — journal overhead over {n} transfers, 4 workers",
+        ["pipeline", "transfers/s", "wall s"])
+    table.add_row("journal off", format_rate(n / bare), f"{bare:.3f}")
+    table.add_row("journal on", format_rate(n / journaled), f"{journaled:.3f}")
+    comparison = ComparisonRow(
+        experiment_id="REPLICATION",
+        description="write-ahead journal overhead on the transfer pipeline",
+        paper_value="n/a (durability beyond the paper's scope)",
+        measured_value=f"{slowdown:.2f}x slowdown with journaling on",
+        shape_holds=slowdown < MAX_JOURNAL_SLOWDOWN,
+        notes=f"limit {MAX_JOURNAL_SLOWDOWN:.1f}x; journal drained to empty",
+    )
+    with capsys.disabled():
+        print("\n" + table.render())
+        print(comparison.render() + "\n")
+    assert slowdown < MAX_JOURNAL_SLOWDOWN, (
+        f"journaling slowed transfers {slowdown:.2f}x "
+        f"(limit {MAX_JOURNAL_SLOWDOWN}x)")
+
+
+def test_heal_throughput(smoke, paper_scale, capsys, tmp_path):
+    """One policy sweep heals a whole under-replicated catalogue."""
+
+    n = 15 if smoke else (200 if paper_scale else 60)
+    payload = b"h" * 1024
+    bus = MessageBus()
+    catalogue = ReplicaCatalogue(Database(), bus=bus)
+    se_a = _make_se(tmp_path, "heal-a")
+    se_b = _make_se(tmp_path, "heal-b")
+    lfns = _populate(catalogue, se_a, n, payload)
+    engine = TransferEngine(catalogue, {se_a.name: se_a, se_b.name: se_b},
+                            workers=4, retry_delay=0.001, bus=bus)
+    engine.start()
+    policy = ReplicaPolicyEngine(catalogue, engine, bus=bus)
+    policy.set_policy("/lfn/bench", 2)
+    policy.start()
+    try:
+        start = time.perf_counter()
+        checked = policy.sweep()
+        assert checked == n
+        deadline = time.monotonic() + 60.0
+        while time.monotonic() < deadline:
+            healed = sum(
+                1 for lfn in lfns
+                if len(catalogue.replicas(lfn, state=ReplicaState.ACTIVE)) >= 2)
+            if healed == n:
+                break
+            time.sleep(0.01)
+        elapsed = time.perf_counter() - start
+    finally:
+        policy.stop()
+        engine.stop()
+
+    assert healed == n, f"only {healed}/{n} files healed to 2 copies"
+    stats = policy.stats()
+    assert stats["heals_scheduled"] == n
+    table = ResultTable(
+        f"REPLICATION — auto-heal of {n} LFNs to 2 copies, 4 workers",
+        ["metric", "value"])
+    table.add_row("heals/s", format_rate(n / elapsed))
+    table.add_row("wall s", f"{elapsed:.3f}")
+    table.add_row("heals scheduled", str(stats["heals_scheduled"]))
+    table.add_row("heals completed", str(stats["heals_completed"]))
+    with capsys.disabled():
+        print("\n" + table.render() + "\n")

@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Generate ``docs/config.md`` from the ``ServerConfig`` dataclass.
+
+The reference table is derived from the single source of truth —
+``src/repro/core/config.py`` — by parsing the dataclass body: each field
+contributes its name, annotation, default expression, and the ``#:`` comment
+block immediately above it.  A tier-1 test (``tests/test_docs.py``) asserts
+the committed ``docs/config.md`` matches :func:`render` exactly, so adding a
+knob without regenerating the docs fails CI.
+
+Run from the repository root::
+
+    python scripts/gen_config_docs.py
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+CONFIG_SOURCE = REPO_ROOT / "src" / "repro" / "core" / "config.py"
+OUTPUT = REPO_ROOT / "docs" / "config.md"
+
+HEADER = """\
+# Server configuration reference
+
+Every knob accepted by `repro.core.config.ServerConfig` (and therefore by
+`[server]` sections of INI files and `ServerConfig.from_mapping` dicts).
+
+> **Generated file — do not edit.**  Regenerate with
+> `python scripts/gen_config_docs.py`; the tier-1 test
+> `tests/test_docs.py` fails when this table drifts from the dataclass.
+
+| Knob | Type | Default | Effect |
+|------|------|---------|--------|
+"""
+
+
+def _render_default(node: ast.expr) -> str:
+    """The default expression as the docs show it.
+
+    ``field(default_factory=X)`` renders as the empty instance (``[]``/``{}``)
+    rather than the factory call, matching what a constructed config holds.
+    """
+
+    if (isinstance(node, ast.Call) and isinstance(node.func, ast.Name)
+            and node.func.id == "field"):
+        for keyword in node.keywords:
+            if keyword.arg == "default_factory":
+                factory = ast.unparse(keyword.value)
+                return {"list": "[]", "dict": "{}"}.get(factory, f"{factory}()")
+    return ast.unparse(node)
+
+
+def extract_fields(source: str | None = None) -> list[dict[str, str]]:
+    """(name, type, default, doc) for every ``ServerConfig`` field, in order."""
+
+    source = source if source is not None else CONFIG_SOURCE.read_text()
+    lines = source.splitlines()
+    tree = ast.parse(source)
+    for node in tree.body:
+        if isinstance(node, ast.ClassDef) and node.name == "ServerConfig":
+            class_def = node
+            break
+    else:
+        raise RuntimeError("ServerConfig class not found in config source")
+
+    fields: list[dict[str, str]] = []
+    for statement in class_def.body:
+        if not isinstance(statement, ast.AnnAssign) or statement.value is None:
+            continue
+        if not isinstance(statement.target, ast.Name):
+            continue
+        # Collect the contiguous block of ``#:`` comment lines above the field.
+        doc_lines: list[str] = []
+        row = statement.lineno - 2            # line above, 0-indexed
+        while row >= 0 and lines[row].strip().startswith("#:"):
+            doc_lines.append(lines[row].strip()[2:].strip())
+            row -= 1
+        doc_lines.reverse()
+        fields.append({
+            "name": statement.target.id,
+            "type": ast.unparse(statement.annotation),
+            "default": _render_default(statement.value),
+            "doc": " ".join(doc_lines),
+        })
+    return fields
+
+
+def render() -> str:
+    """The full markdown document for ``docs/config.md``."""
+
+    rows = []
+    for entry in extract_fields():
+        # GFM splits cells on every unescaped pipe, code spans included.
+        type_ = entry["type"].replace("|", "\\|")
+        default = entry["default"].replace("|", "\\|")
+        doc = entry["doc"].replace("|", "\\|")
+        rows.append(f"| `{entry['name']}` | `{type_}` "
+                    f"| `{default}` | {doc} |")
+    return HEADER + "\n".join(rows) + "\n"
+
+
+def main() -> None:
+    OUTPUT.parent.mkdir(parents=True, exist_ok=True)
+    OUTPUT.write_text(render())
+    print(f"wrote {OUTPUT} ({len(extract_fields())} knobs)")
+
+
+if __name__ == "__main__":
+    main()

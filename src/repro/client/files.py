@@ -20,19 +20,28 @@ concrete path:
   one dies mid-download — and verifies the bytes against the catalogue
   checksum;
 * ``download_lfn_http`` does the same over the GET fast path
-  (``<prefix>/file/.lfn/<name>``), zero-copy when the best replica is local.
+  (``<prefix>/file/.lfn/<name>``), zero-copy when the best replica is local;
+* ``download_lfn_range`` pulls one byte range over that fast path (the
+  primitive remote storage elements are built on);
+* ``replicate_lfn`` queues a replication and (by default) polls the transfer
+  to a terminal state, raising on failure.
 """
 
 from __future__ import annotations
 
 import hashlib
+import time
 from pathlib import Path
 
 from repro.client.client import ClarensClient
 from repro.client.errors import ClientError
 
 __all__ = ["download_file", "download_file_rpc", "download_lfn",
-           "download_lfn_http", "upload_file", "DEFAULT_CHUNK"]
+           "download_lfn_http", "download_lfn_range", "replicate_lfn",
+           "upload_file", "DEFAULT_CHUNK"]
+
+#: Transfer states that end a ``replicate_lfn`` poll.
+_TERMINAL_STATES = ("done", "failed", "cancelled")
 
 DEFAULT_CHUNK = 1 << 20  # 1 MiB, matching the server's FilePayload chunking
 
@@ -147,6 +156,54 @@ def download_lfn_http(client: ClarensClient, lfn: str,
     if local_path is not None:
         Path(local_path).write_bytes(data)
     return data
+
+
+def download_lfn_range(client: ClarensClient, lfn: str, offset: int,
+                       length: int) -> bytes:
+    """Read one byte range of a logical file over the GET fast path.
+
+    The server resolves its best replica for this range alone, so successive
+    ranges of one download may be served by different replicas — the caller
+    (e.g. a remote storage element pulling a file across the fabric) gets
+    per-chunk failover for free.
+    """
+
+    response = client.http_get(".lfn/" + lfn.lstrip("/"),
+                               query=f"offset={int(offset)}&length={int(length)}")
+    if response.status != 200:
+        raise ClientError(
+            f"ranged GET .lfn{lfn} failed with HTTP {response.status}: "
+            f"{response.body_bytes()[:200]!r}")
+    return response.body_bytes()
+
+
+def replicate_lfn(client: ClarensClient, lfn: str, dst_se: str, *,
+                  src_se: str = "", priority: int = 5, wait: bool = True,
+                  timeout: float = 60.0, poll_interval: float = 0.05) -> dict:
+    """Queue a replication of ``lfn`` onto ``dst_se``; optionally wait.
+
+    With ``wait`` (the default) the transfer is polled until it reaches a
+    terminal state: the final record is returned for ``done`` and a
+    :class:`ClientError` raised for ``failed``/``cancelled``, so callers
+    can treat replication as a synchronous verb.
+    """
+
+    record = client.call("replica.replicate", lfn, dst_se, src_se, int(priority))
+    if not wait:
+        return record
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        record = client.call("replica.status", record["transfer_id"])
+        if record["state"] in _TERMINAL_STATES:
+            if record["state"] != "done":
+                raise ClientError(
+                    f"replication of {lfn} to {dst_se} {record['state']}: "
+                    f"{record.get('error', '')}")
+            return record
+        time.sleep(poll_interval)
+    raise ClientError(
+        f"replication of {lfn} to {dst_se} still {record['state']} "
+        f"after {timeout}s")
 
 
 def upload_file(client: ClarensClient, local_path: str | Path, remote_path: str, *,

@@ -63,18 +63,23 @@ class ServerConfig:
     #: default so the out-of-the-box server matches the paper's uncached
     #: measurement setup.
     cache_enabled: bool = False
-    #: Session-validation cache: max entries and entry TTL (seconds).
+    #: Session-validation cache: maximum number of entries.
     cache_session_maxsize: int = 4096
+    #: Session-validation cache: entry TTL, seconds.
     cache_session_ttl: float = 300.0
-    #: ACL decision cache, keyed by (dn, kind, name).
+    #: ACL decision cache, keyed by (dn, kind, name): maximum entries.
     cache_acl_maxsize: int = 8192
+    #: ACL decision cache: entry TTL, seconds.
     cache_acl_ttl: float = 300.0
-    #: Discovery query-result cache; the short TTL bounds how long an expired
-    #: descriptor can keep appearing in cached results.
+    #: Discovery query-result cache: maximum entries.
     cache_discovery_maxsize: int = 1024
+    #: Discovery query-result cache: entry TTL, seconds; the short default
+    #: bounds how long an expired descriptor can keep appearing in results.
     cache_discovery_ttl: float = 5.0
-    #: PKI chain-verification cache (successful verifications only).
+    #: PKI chain-verification cache (successful verifications only): maximum
+    #: entries.
     cache_pki_maxsize: int = 512
+    #: PKI chain-verification cache: entry TTL, seconds.
     cache_pki_ttl: float = 600.0
     #: Lock shards per cache.  1 keeps one mutex and exact cache-wide LRU
     #: order; higher values split the key space across independently locked
@@ -102,6 +107,20 @@ class ServerConfig:
     replica_max_attempts: int = 3
     #: Base delay for the transfer retry backoff (doubles per attempt).
     replica_retry_delay: float = 0.05
+    #: Write-ahead-journal replica transfers on the server database and
+    #: replay incomplete entries when the engine restarts, so a crash
+    #: mid-copy resumes instead of stranding the file.
+    replica_journal_enabled: bool = False
+    #: Default target number of healthy copies per logical file for the
+    #: auto-heal policy engine (0 disables healing unless a prefix policy is
+    #: installed via ``replica.set_policy``).
+    replica_policy_default_copies: int = 0
+    #: Seconds between periodic policy sweeps over the whole catalogue
+    #: (0 = heal only in reaction to quarantine/transfer events on the bus).
+    replica_heal_interval: float = 0.0
+    #: Base anti-flap backoff after a failed heal attempt; doubles per
+    #: consecutive failure on the same logical file.
+    replica_heal_backoff: float = 0.25
     #: Extra free-form settings (service-specific tuning, experiment labels).
     extra: dict[str, Any] = field(default_factory=dict)
 
@@ -129,6 +148,12 @@ class ServerConfig:
             raise ConfigError("cache_stats_interval cannot be negative")
         if self.replica_retry_delay < 0:
             raise ConfigError("replica_retry_delay cannot be negative")
+        if self.replica_policy_default_copies < 0:
+            raise ConfigError("replica_policy_default_copies cannot be negative")
+        if self.replica_heal_interval < 0:
+            raise ConfigError("replica_heal_interval cannot be negative")
+        if self.replica_heal_backoff < 0:
+            raise ConfigError("replica_heal_backoff cannot be negative")
         if not self.replica_local_se:
             raise ConfigError("replica_local_se must be non-empty")
         self.admins = [str(a) for a in self.admins]
@@ -186,7 +211,9 @@ class ServerConfig:
                     "default_allow_authenticated", "allow_anonymous_system_calls",
                     "max_read_bytes", "discovery_publish_interval",
                     "replica_local_se", "replica_transfer_workers",
-                    "replica_max_attempts", "replica_retry_delay"):
+                    "replica_max_attempts", "replica_retry_delay",
+                    "replica_journal_enabled", "replica_policy_default_copies",
+                    "replica_heal_interval", "replica_heal_backoff"):
             value = getattr(self, key)
             if value is not None:
                 parser["server"][key] = str(value)

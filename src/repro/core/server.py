@@ -141,7 +141,11 @@ class ClarensServer:
         self.shell_root = self._resolve_root(self.config.shell_root, "sandboxes")
 
         # -- services ---------------------------------------------------------
-        self.replica_broker = None        # set by ReplicaService when registered
+        # Both are set by ReplicaService when it registers: the broker serves
+        # replica-aware GET/read paths, the policy engine auto-heals governed
+        # logical files back to their target copy counts.
+        self.replica_broker = None
+        self.replica_policy = None
         self.services: dict[str, ClarensService] = {}
         if register_default_services:
             self._register_default_services()

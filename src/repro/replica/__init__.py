@@ -8,23 +8,31 @@ package reproduces that layer:
 
 * :mod:`repro.replica.model`     -- replicas, states, transfer requests;
 * :mod:`repro.replica.storage`   -- the storage-element abstraction (Clarens
-  VFS roots and the simulated dCache mass store);
+  VFS roots, the simulated dCache mass store, and peer servers reached
+  through authenticated client sessions);
 * :mod:`repro.replica.catalogue` -- the versioned LFN → replica mapping on
-  the :mod:`repro.database` engine;
+  the :mod:`repro.database` engine, publishing quarantine events;
+* :mod:`repro.replica.journal`   -- the write-ahead transfer journal that
+  makes the queue survive restarts;
 * :mod:`repro.replica.transfer`  -- the asynchronous, prioritised,
-  checksum-verifying transfer engine with retry/backoff and monitoring
-  publications;
+  checksum-verifying transfer engine with retry/backoff, monitoring
+  publications, and journal replay;
 * :mod:`repro.replica.broker`    -- best-replica selection (local-first,
   then least loaded) with mid-read failover;
+* :mod:`repro.replica.policy`    -- target-copy-count policies that auto-heal
+  governed files after quarantines;
 * :mod:`repro.replica.service`   -- the ``replica.*`` RPC methods.
 """
 
 from repro.replica.broker import ReplicaBroker
 from repro.replica.catalogue import ReplicaCatalogue
+from repro.replica.journal import TransferJournal
 from repro.replica.model import (Replica, ReplicaConflictError, ReplicaError,
                                  ReplicaNotFoundError, ReplicaState,
                                  TransferRequest, TransferState)
-from repro.replica.storage import (MassStoreStorageElement, StorageElement,
+from repro.replica.policy import ReplicaPolicy, ReplicaPolicyEngine
+from repro.replica.storage import (MassStoreStorageElement,
+                                   RemoteStorageElement, StorageElement,
                                    StorageElementError,
                                    StorageElementUnavailableError,
                                    VFSStorageElement)
@@ -37,12 +45,16 @@ __all__ = [
     "ReplicaConflictError",
     "ReplicaError",
     "ReplicaNotFoundError",
+    "ReplicaPolicy",
+    "ReplicaPolicyEngine",
     "ReplicaState",
+    "RemoteStorageElement",
     "StorageElement",
     "StorageElementError",
     "StorageElementUnavailableError",
     "MassStoreStorageElement",
     "TransferEngine",
+    "TransferJournal",
     "TransferRequest",
     "TransferState",
     "VFSStorageElement",

@@ -10,6 +10,14 @@ version they saw (``expected_version``) and get a
 :class:`~repro.replica.model.ReplicaConflictError` instead of silently
 clobbering a concurrent change — the optimistic-concurrency contract the RLS
 catalogues exposed to grid clients.
+
+With a monitoring :class:`~repro.monitoring.bus.MessageBus` attached, every
+transition *into* quarantine publishes a ``replica.quarantine`` event —
+regardless of who quarantined the copy (the transfer engine's end-to-end
+verification, the broker's verified reads, or an operator's ``replica.verify``)
+— which is what the auto-heal policy engine subscribes to.  Events are
+published strictly after the stripe lock is released, so synchronous
+subscribers may safely re-enter the catalogue.
 """
 
 from __future__ import annotations
@@ -17,11 +25,14 @@ from __future__ import annotations
 import threading
 import time
 import zlib
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 from repro.database import Database
 from repro.replica.model import (Replica, ReplicaConflictError,
                                  ReplicaNotFoundError, ReplicaState)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.monitoring.bus import MessageBus
 
 __all__ = ["ReplicaCatalogue"]
 
@@ -37,9 +48,12 @@ class ReplicaCatalogue:
     """Versioned LFN → replica mapping persisted on the database engine."""
 
     def __init__(self, db: Database, *, table_name: str = "replica_catalogue",
-                 lock_stripes: int = 16) -> None:
+                 lock_stripes: int = 16, bus: "MessageBus | None" = None,
+                 source: str = "") -> None:
         self._table = db.table(table_name)
         self._stripes = [threading.Lock() for _ in range(max(1, lock_stripes))]
+        self.bus = bus
+        self.source = source
 
     def _lock_for(self, lfn: str) -> threading.Lock:
         return self._stripes[zlib.crc32(lfn.encode()) % len(self._stripes)]
@@ -190,9 +204,22 @@ class ReplicaCatalogue:
             if entry is None or se not in entry["replicas"]:
                 raise ReplicaNotFoundError(f"{lfn} has no replica on {se!r}")
             record = entry["replicas"][se]
+            newly_quarantined = (state is ReplicaState.QUARANTINED
+                                 and record["state"] != state.value)
             record["state"] = state.value
             record["last_error"] = error
-            return self._commit(entry)
+            entry = self._commit(entry)
+        if newly_quarantined and self.bus is not None:
+            self.bus.publish("replica.quarantine", {
+                "lfn": lfn,
+                "storage_element": se,
+                "pfn": entry["replicas"][se]["pfn"],
+                "error": error,
+                "active_replicas": sum(
+                    1 for r in entry["replicas"].values()
+                    if r["state"] == ReplicaState.ACTIVE.value),
+            }, source=self.source)
+        return entry
 
     def note_error(self, lfn: str, se: str, error: str) -> None:
         """Record a read failure without changing the replica's state.

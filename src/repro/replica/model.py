@@ -140,6 +140,7 @@ class TransferRequest:
             "lfn": self.lfn,
             "src_se": self.src_se,
             "dst_se": self.dst_se,
+            "requested_src_se": self.requested_src_se,
             "priority": self.priority,
             "owner_dn": self.owner_dn,
             "state": self.state.value,
@@ -153,3 +154,27 @@ class TransferRequest:
             "started": self.started,
             "finished": self.finished,
         }
+
+    @classmethod
+    def from_record(cls, record: dict[str, Any]) -> "TransferRequest":
+        """Rebuild a request from a journalled record (the replay path)."""
+
+        return cls(
+            transfer_id=int(record["transfer_id"]),
+            lfn=record["lfn"],
+            dst_se=record["dst_se"],
+            requested_src_se=record.get("requested_src_se", ""),
+            src_se=record.get("src_se", ""),
+            priority=int(record.get("priority", 5)),
+            owner_dn=record.get("owner_dn", ""),
+            state=TransferState(record.get("state", TransferState.QUEUED.value)),
+            attempts=int(record.get("attempts", 0)),
+            max_attempts=int(record.get("max_attempts", 3)),
+            bytes_total=int(record.get("bytes_total", 0)),
+            bytes_copied=int(record.get("bytes_copied", 0)),
+            throughput_bps=float(record.get("throughput_bps", 0.0)),
+            error=record.get("error", ""),
+            created=float(record.get("created", 0.0)),
+            started=float(record.get("started", 0.0)),
+            finished=float(record.get("finished", 0.0)),
+        )

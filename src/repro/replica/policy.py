@@ -1,0 +1,364 @@
+"""Replica-count policies: keep N healthy copies of every governed file.
+
+The paper's fabric assumed operators re-replicated by hand when a copy went
+bad.  The policy engine automates that: a :class:`ReplicaPolicy` binds an LFN
+prefix to a target copy count, and the engine keeps every governed logical
+file at (or healing toward) that many ``ACTIVE`` replicas:
+
+* **event-driven** — it subscribes to ``replica.quarantine`` (published by
+  the catalogue whenever *any* path quarantines a copy) and to
+  ``replica.transfer.done``/``failed`` on the monitoring bus, re-evaluating
+  the affected LFN immediately;
+* **scan-driven** — with ``heal_interval > 0`` a background sweep re-checks
+  every governed LFN, catching files that became under-replicated without an
+  event (a dropped replica, a policy added after the fact, a heal whose
+  retry window passed).
+
+Healing is *anti-flap* by construction: in-flight heal transfers count
+toward the target (so a second quarantine event for the same LFN schedules
+nothing while the first heal runs), and consecutive heal failures back off
+exponentially per LFN before another attempt is made.  Decisions publish
+``replica.policy.*`` events (``heal_scheduled``, ``healed``, ``backoff``,
+``unsatisfiable``) so dashboards can watch the fabric repair itself.
+
+Longest-prefix match picks the governing policy, so a deploy can say
+"everything under ``/lfn/cms`` gets 2 copies, but ``/lfn/cms/raw`` gets 3".
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.monitoring.bus import Message, MessageBus
+from repro.replica.catalogue import ReplicaCatalogue
+from repro.replica.model import ReplicaError, ReplicaState, TransferState
+from repro.replica.transfer import TransferEngine
+
+__all__ = ["ReplicaPolicy", "ReplicaPolicyEngine"]
+
+#: Heals ride the normal transfer queue but behind user-requested work.
+HEAL_PRIORITY = 7
+
+#: The owner_dn stamped on heal transfers, so they are attributable.
+POLICY_OWNER = "replica-policy"
+
+
+def _normalize_prefix(prefix: str) -> str:
+    cleaned = "/" + str(prefix).strip().strip("/")
+    if ".." in cleaned.split("/"):
+        raise ValueError(f"invalid policy prefix {prefix!r}")
+    return cleaned
+
+
+def _prefix_matches(prefix: str, lfn: str) -> bool:
+    if prefix == "/":
+        return True
+    return lfn == prefix or lfn.startswith(prefix.rstrip("/") + "/")
+
+
+@dataclass
+class ReplicaPolicy:
+    """One prefix-scoped target-copy-count rule."""
+
+    prefix: str
+    copies: int
+    created: float = field(default_factory=time.time)
+
+    def to_record(self) -> dict[str, Any]:
+        return {"prefix": self.prefix, "copies": self.copies,
+                "created": self.created}
+
+
+class ReplicaPolicyEngine:
+    """Watches the bus and schedules heal transfers toward the copy target."""
+
+    def __init__(self, catalogue: ReplicaCatalogue, engine: TransferEngine, *,
+                 bus: MessageBus | None = None, source: str = "",
+                 default_copies: int = 0, heal_interval: float = 0.0,
+                 heal_backoff: float = 0.25, max_backoff: float = 30.0,
+                 heal_priority: int = HEAL_PRIORITY,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        if default_copies < 0:
+            raise ValueError("default_copies cannot be negative")
+        if heal_interval < 0:
+            raise ValueError("heal_interval cannot be negative")
+        if heal_backoff < 0:
+            raise ValueError("heal_backoff cannot be negative")
+        self.catalogue = catalogue
+        self.engine = engine
+        self.bus = bus
+        self.source = source
+        self.default_copies = int(default_copies)
+        self.heal_interval = heal_interval
+        self.heal_backoff = heal_backoff
+        self.max_backoff = max_backoff
+        self.heal_priority = int(heal_priority)
+        self._clock = clock
+        self._lock = threading.RLock()
+        self._policies: dict[str, ReplicaPolicy] = {}
+        #: lfn -> ids of in-flight heal transfers for that lfn.
+        self._healing: dict[str, set[int]] = {}
+        #: lfn -> (earliest next heal time, consecutive failures).
+        self._backoff: dict[str, tuple[float, int]] = {}
+        self._subscriptions: list[int] = []
+        self._stop = threading.Event()
+        self._scan_thread: threading.Thread | None = None
+        self.heals_scheduled = 0
+        self.heals_completed = 0
+        self.heals_failed = 0
+        self.sweeps = 0
+
+    # -- lifecycle -----------------------------------------------------------
+    def start(self) -> None:
+        """Subscribe to the bus and start the periodic sweep (when enabled)."""
+
+        if self.bus is not None and not self._subscriptions:
+            self._subscriptions = [
+                self.bus.subscribe("replica.quarantine", self._on_quarantine),
+                self.bus.subscribe("replica.transfer.done", self._on_transfer),
+                self.bus.subscribe("replica.transfer.failed", self._on_transfer),
+            ]
+        if self.heal_interval > 0 and self._scan_thread is None:
+            self._stop.clear()
+            self._scan_thread = threading.Thread(
+                target=self._scan_loop, name="replica-policy-scan", daemon=True)
+            self._scan_thread.start()
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._scan_thread is not None:
+            self._scan_thread.join(timeout=5.0)
+            self._scan_thread = None
+        if self.bus is not None:
+            for sub_id in self._subscriptions:
+                self.bus.unsubscribe(sub_id)
+            self._subscriptions = []
+
+    # -- policy table --------------------------------------------------------
+    def set_policy(self, prefix: str, copies: int) -> ReplicaPolicy:
+        """Bind an LFN prefix to a target copy count (longest prefix wins)."""
+
+        copies = int(copies)
+        if copies <= 0:
+            raise ValueError("copies must be positive (use drop_policy to remove)")
+        policy = ReplicaPolicy(prefix=_normalize_prefix(prefix), copies=copies)
+        with self._lock:
+            self._policies[policy.prefix] = policy
+        return policy
+
+    def drop_policy(self, prefix: str) -> bool:
+        with self._lock:
+            return self._policies.pop(_normalize_prefix(prefix), None) is not None
+
+    def policies(self) -> list[ReplicaPolicy]:
+        with self._lock:
+            return sorted(self._policies.values(), key=lambda p: p.prefix)
+
+    def target_for(self, lfn: str) -> int:
+        """The copy target governing ``lfn`` (0 = not governed)."""
+
+        with self._lock:
+            best: ReplicaPolicy | None = None
+            for policy in self._policies.values():
+                if not _prefix_matches(policy.prefix, lfn):
+                    continue
+                if best is None or len(policy.prefix) > len(best.prefix):
+                    best = policy
+            return best.copies if best is not None else self.default_copies
+
+    # -- the heal decision ---------------------------------------------------
+    def evaluate(self, lfn: str) -> dict[str, Any]:
+        """Re-check one LFN against its policy; schedule heals if short.
+
+        Returns a decision record (``action`` is one of ``none``,
+        ``satisfied``, ``pending``, ``deferred``, ``scheduled``,
+        ``unsatisfiable``) — also the payload of the event published.
+        """
+
+        with self._lock:
+            target = self.target_for(lfn)
+            if target <= 0:
+                # No longer governed: settle any outstanding heal accounting
+                # and forget the LFN.
+                if lfn in self._healing:
+                    self._prune_inflight(lfn)
+                    if not self._healing.get(lfn):
+                        self._healing.pop(lfn, None)
+                self._backoff.pop(lfn, None)
+                return {"lfn": lfn, "action": "none", "target": 0}
+            try:
+                entry = self.catalogue.entry(lfn)
+            except ReplicaError:
+                # Dropped from the catalogue: nothing left to govern.
+                self._healing.pop(lfn, None)
+                self._backoff.pop(lfn, None)
+                return {"lfn": lfn, "action": "none", "target": target}
+            lfn = entry["lfn"]
+            active = [se for se, r in entry["replicas"].items()
+                      if r["state"] == ReplicaState.ACTIVE.value]
+            inflight = self._prune_inflight(lfn)
+            decision: dict[str, Any] = {
+                "lfn": lfn, "target": target, "active": len(active),
+                "in_flight": len(inflight),
+            }
+            if len(active) >= target:
+                self._backoff.pop(lfn, None)
+                decision["action"] = "satisfied"
+                # The key's presence (even with an empty id set) marks an LFN
+                # the engine was healing; reaching the target closes it out.
+                if lfn in self._healing and not inflight:
+                    del self._healing[lfn]
+                    self._publish("healed", decision)
+                return decision
+            if len(active) + len(inflight) >= target:
+                decision["action"] = "pending"
+                return decision
+            now = self._clock()
+            next_allowed, strikes = self._backoff.get(lfn, (0.0, 0))
+            if now < next_allowed:
+                decision["action"] = "deferred"
+                decision["retry_in"] = round(next_allowed - now, 3)
+                decision["strikes"] = strikes
+                self._publish("backoff", decision)
+                return decision
+            needed = target - len(active) - len(inflight)
+            candidates = self._heal_candidates(entry)
+            scheduled: list[dict[str, Any]] = []
+            for element in candidates[:needed]:
+                try:
+                    request = self.engine.submit(
+                        lfn, element.name, priority=self.heal_priority,
+                        owner_dn=POLICY_OWNER)
+                except ReplicaError as exc:
+                    decision.setdefault("errors", []).append(str(exc))
+                    continue
+                self._healing.setdefault(lfn, set()).add(request.transfer_id)
+                self.heals_scheduled += 1
+                scheduled.append({"dst_se": element.name,
+                                  "transfer_id": request.transfer_id})
+            decision["scheduled"] = scheduled
+            if scheduled:
+                decision["action"] = "scheduled"
+                self._publish("heal_scheduled", decision)
+            else:
+                decision["action"] = "unsatisfiable"
+                self._publish("unsatisfiable", decision)
+            return decision
+
+    def sweep(self) -> int:
+        """Evaluate every governed LFN once; returns how many were checked."""
+
+        checked = 0
+        for lfn in self.catalogue.lfns():
+            if self._stop.is_set():
+                break
+            if self.target_for(lfn) <= 0:
+                continue
+            checked += 1
+            try:
+                self.evaluate(lfn)
+            except Exception:  # noqa: BLE001 - the sweep must never die
+                pass
+        self.sweeps += 1
+        return checked
+
+    # -- internals -----------------------------------------------------------
+    def _prune_inflight(self, lfn: str) -> set[int]:
+        """Settle terminal heal ids and return the still-live set.
+
+        Terminal heals are *accounted here*, under the policy lock, rather
+        than in the bus callback: whichever of a concurrent evaluation or the
+        ``replica.transfer.*`` callback prunes the id first records the
+        outcome, so a failed heal always bumps the anti-flap backoff exactly
+        once — there is no window where a sweep can discard a failure
+        silently and hot-loop against a broken destination.
+        """
+
+        live: set[int] = set()
+        for transfer_id in self._healing.get(lfn, set()):
+            try:
+                state = self.engine.get(transfer_id).state
+            except ReplicaError:
+                continue                       # engine forgot it: drop the id
+            if not state.terminal:
+                live.add(transfer_id)
+            elif state is TransferState.DONE:
+                self.heals_completed += 1
+            else:
+                self.heals_failed += 1
+                self._bump_backoff(lfn)
+        if lfn in self._healing:
+            self._healing[lfn] = live
+        return live
+
+    def _heal_candidates(self, entry: dict[str, Any]) -> list[Any]:
+        """Available elements with no replica of the entry, least loaded first.
+
+        Elements already holding a replica in *any* state are excluded: an
+        ACTIVE copy needs no heal, a COPYING slot is claimed, and a
+        QUARANTINED copy is evidence an operator must drop first — healing
+        happens onto fresh elements only.
+        """
+
+        occupied = set(entry["replicas"])
+        candidates = [element for name, element in self.engine.elements.items()
+                      if name not in occupied and element.available]
+        candidates.sort(key=lambda e: (e.load, e.name))
+        return candidates
+
+    def _bump_backoff(self, lfn: str) -> None:
+        _, strikes = self._backoff.get(lfn, (0.0, 0))
+        delay = min(self.heal_backoff * (2 ** strikes), self.max_backoff)
+        self._backoff[lfn] = (self._clock() + delay, strikes + 1)
+
+    # -- bus callbacks -------------------------------------------------------
+    def _on_quarantine(self, message: Message) -> None:
+        try:
+            self.evaluate(message.payload["lfn"])
+        except Exception:  # noqa: BLE001 - callbacks run inside publishers
+            pass
+
+    def _on_transfer(self, message: Message) -> None:
+        try:
+            lfn = message.payload.get("lfn", "")
+            if not lfn:
+                return
+            with self._lock:
+                governed = self.target_for(lfn) > 0 or lfn in self._healing
+            if governed:
+                # evaluate() prunes the terminal heal (accounting + backoff)
+                # and decides whether more copies are needed.
+                self.evaluate(lfn)
+        except Exception:  # noqa: BLE001 - callbacks run inside publishers
+            pass
+
+    def _scan_loop(self) -> None:
+        while not self._stop.wait(timeout=self.heal_interval):
+            try:
+                self.sweep()
+            except Exception:  # pragma: no cover - monitoring must never kill
+                pass
+
+    # -- monitoring ----------------------------------------------------------
+    def _publish(self, event: str, payload: dict[str, Any]) -> None:
+        if self.bus is None:
+            return
+        record = dict(payload)
+        record["event"] = event
+        self.bus.publish(f"replica.policy.{event}", record, source=self.source)
+
+    def stats(self) -> dict[str, Any]:
+        with self._lock:
+            return {
+                "policies": len(self._policies),
+                "default_copies": self.default_copies,
+                "heals_scheduled": self.heals_scheduled,
+                "heals_completed": self.heals_completed,
+                "heals_failed": self.heals_failed,
+                "healing_lfns": sum(1 for ids in self._healing.values() if ids),
+                "backoffs": len(self._backoff),
+                "sweeps": self.sweeps,
+            }

@@ -11,7 +11,15 @@ The service owns the storage-element map.  Every server exposes its own
 virtual file root as the local element (``replica_local_se``), plus the mass
 store behind the SRM service when that is registered; tests and deployments
 add further elements with :meth:`ReplicaService.add_storage_element` (e.g.
-an element per remote site in a multi-server fabric).
+a :class:`~repro.replica.storage.RemoteStorageElement` per peer site in a
+multi-server fabric).
+
+It also owns the durability pieces: with ``replica_journal_enabled`` the
+transfer engine write-ahead-journals onto the server database and replays
+incomplete transfers on startup (and again whenever a late storage element
+is attached), and the :class:`~repro.replica.policy.ReplicaPolicyEngine`
+behind ``replica.set_policy``/``replica.heal`` keeps governed LFNs at their
+target copy counts by reacting to quarantine events on the monitoring bus.
 """
 
 from __future__ import annotations
@@ -24,8 +32,10 @@ from repro.core.service import ClarensService, rpc_method
 from repro.fileservice.vfs import VirtualFileSystem
 from repro.replica.broker import ReplicaBroker
 from repro.replica.catalogue import ReplicaCatalogue
+from repro.replica.journal import TransferJournal
 from repro.replica.model import (ReplicaConflictError, ReplicaError,
                                  ReplicaNotFoundError, ReplicaState)
+from repro.replica.policy import ReplicaPolicyEngine
 from repro.replica.storage import (MassStoreStorageElement, StorageElement,
                                    VFSStorageElement)
 from repro.replica.transfer import TransferEngine
@@ -53,7 +63,9 @@ class ReplicaService(ClarensService):
     def __init__(self, server) -> None:
         super().__init__(server)
         config = server.config
-        self.catalogue = ReplicaCatalogue(server.db)
+        bus = getattr(server, "message_bus", None)
+        self.catalogue = ReplicaCatalogue(server.db, bus=bus,
+                                          source=config.server_name)
         self.elements: dict[str, StorageElement] = {}
         local_name = config.replica_local_se
         self.add_storage_element(
@@ -62,28 +74,44 @@ class ReplicaService(ClarensService):
         if srm_service is not None:
             self.add_storage_element(
                 MassStoreStorageElement("masstore", srm_service.store))
+        self.journal = (TransferJournal(server.db)
+                        if config.replica_journal_enabled else None)
         self.engine = TransferEngine(
             self.catalogue, self.elements,
             workers=config.replica_transfer_workers,
             max_attempts=config.replica_max_attempts,
             retry_delay=config.replica_retry_delay,
-            bus=getattr(server, "message_bus", None),
-            source=config.server_name)
+            bus=bus,
+            source=config.server_name,
+            journal=self.journal)
         self.broker = ReplicaBroker(self.catalogue, self.elements,
                                     local_se=local_name)
+        self.policy = ReplicaPolicyEngine(
+            self.catalogue, self.engine, bus=bus, source=config.server_name,
+            default_copies=config.replica_policy_default_copies,
+            heal_interval=config.replica_heal_interval,
+            heal_backoff=config.replica_heal_backoff)
         server.replica_broker = self.broker
+        server.replica_policy = self.policy
 
     # -- assembly ------------------------------------------------------------
     def add_storage_element(self, element: StorageElement) -> StorageElement:
         if element.name in self.elements:
             raise ValueError(f"storage element {element.name!r} already exists")
         self.elements[element.name] = element
+        # Journalled transfers whose destination was not attached at startup
+        # become replayable the moment their element appears.
+        engine = getattr(self, "engine", None)
+        if engine is not None and engine.journal is not None:
+            engine.recover()
         return element
 
     def on_start(self) -> None:
         self.engine.start()
+        self.policy.start()
 
     def on_stop(self) -> None:
+        self.policy.stop()
         self.engine.stop()
 
     # -- ACL helpers ---------------------------------------------------------
@@ -253,6 +281,51 @@ class ReplicaService(ClarensService):
         except ReplicaError as exc:
             raise _translate(exc) from exc
 
+    # -- replica-count policies ----------------------------------------------
+    @rpc_method()
+    def set_policy(self, ctx: CallContext, prefix: str,
+                   copies: int) -> dict[str, Any]:
+        """Keep every LFN under ``prefix`` at ``copies`` healthy replicas.
+
+        Administrators only: a policy schedules background transfers on the
+        server's behalf, so it is an operator-level control, not a per-file
+        permission.
+        """
+
+        self.server.require_admin(ctx)
+        try:
+            return self.policy.set_policy(prefix, int(copies)).to_record()
+        except ValueError as exc:
+            raise ClarensError(str(exc)) from exc
+
+    @rpc_method()
+    def drop_policy(self, ctx: CallContext, prefix: str) -> bool:
+        """Remove the policy installed on ``prefix`` (administrators only)."""
+
+        self.server.require_admin(ctx)
+        return self.policy.drop_policy(prefix)
+
+    @rpc_method()
+    def policies(self, ctx: CallContext) -> list[dict[str, Any]]:
+        """The installed replica-count policies plus the default target."""
+
+        ctx.require_dn()
+        return [p.to_record() for p in self.policy.policies()]
+
+    @rpc_method()
+    def heal(self, ctx: CallContext, lfn: str) -> dict[str, Any]:
+        """Re-evaluate one LFN against its policy right now.
+
+        Returns the decision record (action, active count, scheduled
+        transfers); requires ``write`` on the LFN since it may queue copies.
+        """
+
+        self._check(ctx.require_dn(), lfn, "write")
+        try:
+            return self.policy.evaluate(lfn)
+        except ReplicaError as exc:
+            raise _translate(exc) from exc
+
     # -- operations ----------------------------------------------------------
     @rpc_method()
     def elements_info(self, ctx: CallContext) -> list[dict[str, Any]]:
@@ -281,4 +354,6 @@ class ReplicaService(ClarensService):
             "catalogue": self.catalogue.stats(),
             "engine": self.engine.stats(),
             "broker": self.broker.stats(),
+            "policy": self.policy.stats(),
+            "journal": self.journal.stats() if self.journal is not None else None,
         }

@@ -3,14 +3,20 @@
 A :class:`StorageElement` is the uniform surface the catalogue, broker and
 transfer engine speak to — named storage with streaming reads, digesting
 writes, and a live *load* counter (concurrent transfers touching it) used by
-the broker's least-loaded selection.  Two concrete elements cover the
+the broker's least-loaded selection.  Three concrete elements cover the
 deployment shapes in the paper's world:
 
 * :class:`VFSStorageElement` — a Clarens virtual file root (section 2.3),
   i.e. ordinary disk served by the file service;
 * :class:`MassStoreStorageElement` — a dCache-style
   :class:`~repro.storage.masstore.MassStorageSystem`, where reads may imply
-  an SRM-visible staging operation from tape.
+  an SRM-visible staging operation from tape;
+* :class:`RemoteStorageElement` — a *peer Clarens server* reached through an
+  authenticated client session.  Reads ride the remote server's
+  ``GET file/.lfn/<name>`` fast path with ranged requests (its broker picks
+  its best replica per chunk); writes upload through chunked ``file.write``
+  calls and register the copy in the remote catalogue, so N servers become
+  one replication fabric.
 """
 
 from __future__ import annotations
@@ -18,11 +24,16 @@ from __future__ import annotations
 import hashlib
 import threading
 from contextlib import contextmanager
-from typing import Iterable, Iterator
+from typing import TYPE_CHECKING, Iterable, Iterator
 
+from repro.client.errors import ClientError
 from repro.fileservice.vfs import VFSError, VirtualFileSystem
+from repro.protocols.errors import Fault
 from repro.replica.model import ReplicaError
 from repro.storage.masstore import MassStorageSystem, StorageError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.client.client import ClarensClient
 
 __all__ = [
     "StorageElementError",
@@ -30,6 +41,7 @@ __all__ = [
     "StorageElement",
     "VFSStorageElement",
     "MassStoreStorageElement",
+    "RemoteStorageElement",
     "DEFAULT_CHUNK",
 ]
 
@@ -279,3 +291,183 @@ class MassStoreStorageElement(StorageElement):
             return self.store.stat(pfn)["checksum"]
         except StorageError as exc:
             raise StorageElementError(str(exc)) from exc
+
+
+class RemoteStorageElement(StorageElement):
+    """A peer Clarens server, reached through an authenticated client session.
+
+    The *pfn* of a replica on a remote element is the logical file name
+    itself: reads go through the peer's ``GET file/.lfn/<name>`` fast path
+    with ``offset``/``length`` ranged requests, so the peer's own broker
+    resolves its best local replica per chunk (zero-copy on its side, with
+    its own mid-read failover).  Writes upload via chunked ``file.write``
+    calls into the peer's virtual root at the same path and then register
+    the copy in the peer's catalogue on its ``remote_se`` element — after a
+    replication the peer can serve, verify, and re-replicate the file
+    entirely on its own, which is what makes a set of servers one fabric
+    rather than one server with remote disks.
+
+    The client session must already be authenticated; its DN needs ``read``
+    on the logical names it pulls and ``write`` on those it pushes, exactly
+    as if the operator issued the calls by hand.  Transport failures and
+    remote faults surface as :class:`StorageElementError`, so the transfer
+    engine's retry/backoff and the broker's failover treat a flaky WAN link
+    like any other failing element.
+    """
+
+    def __init__(self, name: str, client: "ClarensClient", *,
+                 remote_se: str = "local", register_remote: bool = True,
+                 chunk_size: int = DEFAULT_CHUNK) -> None:
+        super().__init__(name)
+        self.client = client
+        self.remote_se = remote_se
+        self.register_remote = register_remote
+        self.chunk_size = chunk_size
+
+    # -- RPC plumbing --------------------------------------------------------
+    def _call(self, method: str, *params):
+        try:
+            return self.client.call(method, *params)
+        except Fault as exc:
+            raise StorageElementError(
+                f"{self.name}: remote {method} failed: {exc}") from exc
+        except ClientError as exc:
+            raise StorageElementError(
+                f"{self.name}: transport to peer failed: {exc}") from exc
+
+    def _active_stat(self, pfn: str) -> dict | None:
+        """The remote catalogue entry, but only when it is actually servable.
+
+        An entry whose replicas are all quarantined/copying must not count as
+        "the bytes exist on the peer": treating it as present would let the
+        transfer engine's adoption path register a copy backed by nothing
+        readable.  Only an entry with at least one ACTIVE replica qualifies.
+        """
+
+        try:
+            entry = self.client.call("replica.stat", pfn)
+        except Fault:
+            return None
+        except ClientError as exc:
+            raise StorageElementError(
+                f"{self.name}: transport to peer failed: {exc}") from exc
+        if any(r.get("state") == "active"
+               for r in entry.get("replicas", {}).values()):
+            return entry
+        return None
+
+    # -- data plane ----------------------------------------------------------
+    def exists(self, pfn: str) -> bool:
+        self.require_available()
+        if self._active_stat(pfn) is not None:
+            return True
+        try:
+            return bool(self.client.call("file.exists", pfn))
+        except Fault:
+            return False
+        except ClientError as exc:
+            raise StorageElementError(
+                f"{self.name}: transport to peer failed: {exc}") from exc
+
+    def size(self, pfn: str) -> int:
+        self.require_available()
+        entry = self._active_stat(pfn)
+        if entry is not None:
+            return int(entry["size"])
+        return int(self._call("file.size", pfn))
+
+    def checksum(self, pfn: str) -> str:
+        """MD5 of the bytes the peer would actually serve (never trusted from
+        its catalogue — adoption and reclaim decisions hang off this digest).
+        """
+
+        self.require_available()
+        digest = hashlib.md5()
+        for chunk in self.open_reader(pfn, chunk_size=self.chunk_size):
+            digest.update(chunk)
+        return digest.hexdigest()
+
+    def read(self, pfn: str, offset: int = 0, length: int = -1) -> bytes:
+        self.require_available()
+        query = f"offset={int(offset)}&length={int(length)}"
+        try:
+            response = self.client.http_get(".lfn/" + pfn.lstrip("/"),
+                                            query=query)
+            if response.status == 404:
+                # Bytes uploaded but not (yet) catalogued on the peer — fall
+                # back to the plain file path.
+                response = self.client.http_get(pfn.lstrip("/"), query=query)
+        except ClientError as exc:
+            raise StorageElementError(
+                f"{self.name}: transport to peer failed: {exc}") from exc
+        if response.status != 200:
+            raise StorageElementError(
+                f"{self.name}: GET {pfn} failed with HTTP {response.status}")
+        return response.body_bytes()
+
+    def open_reader(self, pfn: str, *, chunk_size: int = DEFAULT_CHUNK) -> Iterator[bytes]:
+        self.require_available()
+        size = self.size(pfn)
+
+        def reader() -> Iterator[bytes]:
+            offset = 0
+            while offset < size:
+                self.require_available()
+                chunk = self.read(pfn, offset, min(chunk_size, size - offset))
+                if not chunk:
+                    raise StorageElementError(
+                        f"{self.name}: short read of {pfn} at offset {offset}")
+                offset += len(chunk)
+                yield chunk
+
+        return reader()
+
+    def write_stream(self, pfn: str, chunks: Iterable[bytes]) -> tuple[int, str]:
+        self.require_available()
+        digest = hashlib.md5()
+        written = 0
+        first = True
+        for chunk in chunks:
+            self.require_available()
+            data = bytes(chunk)
+            self._call("file.write", pfn, data, not first)
+            digest.update(data)
+            written += len(data)
+            first = False
+        if first:
+            self._call("file.write", pfn, b"", False)   # zero-byte file
+        hexdigest = digest.hexdigest()
+        if self.register_remote:
+            # Register the uploaded bytes in the peer's catalogue so its own
+            # broker/policy can serve and heal them; passing size+checksum
+            # avoids a remote re-hash.  An already-registered identical copy
+            # refreshes cleanly; a mismatch is a real conflict and fails the
+            # write (the engine's cleanup then deletes the upload).
+            self._call("replica.register", pfn, self.remote_se, pfn,
+                       written, hexdigest)
+        return written, hexdigest
+
+    def delete(self, pfn: str) -> bool:
+        deleted = False
+        try:
+            self.client.call("replica.drop", pfn, self.remote_se)
+            deleted = True
+        except Fault:
+            pass
+        except ClientError as exc:
+            raise StorageElementError(
+                f"{self.name}: transport to peer failed: {exc}") from exc
+        try:
+            deleted = bool(self.client.call("file.delete", pfn, False)) or deleted
+        except Fault:
+            pass
+        except ClientError as exc:
+            raise StorageElementError(
+                f"{self.name}: transport to peer failed: {exc}") from exc
+        return deleted
+
+    def describe(self) -> dict:
+        info = super().describe()
+        info["remote_se"] = self.remote_se
+        info["remote_dn"] = self.client.dn or ""
+        return info

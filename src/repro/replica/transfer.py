@@ -15,7 +15,18 @@ of worker threads.  Each transfer:
    ``max_attempts`` is exhausted;
 5. publishes queued/started/progress/done/failed events (with byte counts
    and throughput) onto the monitoring
-   :class:`~repro.monitoring.bus.MessageBus` under ``replica.transfer.*``.
+   :class:`~repro.monitoring.bus.MessageBus` under ``replica.transfer.*``;
+   quarantining a source additionally publishes
+   ``replica.transfer.quarantine`` carrying the attempt count, so policies
+   and dashboards can tell a first failure from exhaustion.
+
+With a :class:`~repro.replica.journal.TransferJournal` attached the engine
+write-ahead-journals every enqueue/retry and discharges rows on terminal
+states; :meth:`TransferEngine.recover` (called by :meth:`start`) replays the
+journal after a crash: stale ``COPYING`` claims left by dead workers are
+reclaimed (partial destination bytes deleted, completed-but-unactivated
+bytes adopted) and the requests re-enter the queue with their attempt
+budgets intact.
 """
 
 from __future__ import annotations
@@ -28,6 +39,7 @@ from typing import Callable, Iterator, Mapping
 
 from repro.monitoring.bus import MessageBus
 from repro.replica.catalogue import ReplicaCatalogue
+from repro.replica.journal import TransferJournal
 from repro.replica.model import (ReplicaConflictError, ReplicaError,
                                  ReplicaNotFoundError, ReplicaState,
                                  TransferRequest, TransferState)
@@ -45,16 +57,20 @@ class TransferEngine:
                  retry_delay: float = 0.05, chunk_size: int = DEFAULT_CHUNK,
                  progress_bytes: int = 4 << 20,
                  bus: MessageBus | None = None, source: str = "",
+                 journal: TransferJournal | None = None,
                  clock: Callable[[], float] = time.monotonic) -> None:
         if workers <= 0:
             raise ValueError("workers must be positive")
         if max_attempts <= 0:
             raise ValueError("max_attempts must be positive")
+        if retry_delay < 0:
+            raise ValueError("retry_delay cannot be negative")
         self.catalogue = catalogue
         self.elements = elements
         self.workers = workers
         self.max_attempts = max_attempts
         self.retry_delay = retry_delay
+        self.journal = journal
         self.chunk_size = chunk_size
         self.progress_bytes = progress_bytes
         self.bus = bus
@@ -62,6 +78,7 @@ class TransferEngine:
         self._clock = clock
         self._lock = threading.Lock()
         self._cond = threading.Condition(self._lock)
+        self._recover_lock = threading.Lock()
         self._queue: list[tuple[int, int, int]] = []   # (priority, seq, id)
         self._seq = itertools.count()
         self._ids = itertools.count(1)
@@ -70,12 +87,14 @@ class TransferEngine:
         self._stop = threading.Event()
         self.transfers_completed = 0
         self.transfers_failed = 0
+        self.transfers_recovered = 0
         self.bytes_transferred = 0
 
     # -- lifecycle -----------------------------------------------------------
     def start(self) -> None:
         if self._threads:
             return
+        self.recover()
         self._stop.clear()
         for i in range(self.workers):
             thread = threading.Thread(target=self._worker_loop,
@@ -113,6 +132,9 @@ class TransferEngine:
                                   bytes_total=int(entry["size"]))
         with self._lock:
             self._requests[request.transfer_id] = request
+        # Write-ahead: the journal row lands before the request is poppable,
+        # so a crash after this point can never lose the submission.
+        self._journal(request)
         # Publish before the request becomes poppable, so consumers always
         # see "queued" strictly before "started"/"done" for a transfer.
         self._publish("queued", request)
@@ -136,8 +158,104 @@ class TransferEngine:
                 request.finished = time.time()
                 self._cond.notify_all()
         if request.state is TransferState.CANCELLED:
+            self._journal(request)
             self._publish("cancelled", request)
         return request
+
+    # -- durability ----------------------------------------------------------
+    def _journal(self, request: TransferRequest) -> None:
+        """Journal the request's current state (discharges terminal states)."""
+
+        if self.journal is not None:
+            self.journal.record(request)
+
+    def recover(self) -> list[TransferRequest]:
+        """Replay journalled transfers left behind by a previous engine.
+
+        Idempotent and callable while running: entries whose id is already
+        known are skipped, as are entries whose destination element has not
+        been registered yet (they stay journalled so a later ``recover`` —
+        the service re-runs one whenever an element is added — can pick them
+        up).  Before a request re-enters the queue, any ``COPYING`` claim its
+        dead worker left on the destination is reclaimed: completed bytes are
+        left for the adoption path, partial bytes are deleted.
+
+        The whole replay is serialised under a dedicated mutex, so two
+        concurrent calls (e.g. elements being attached from two threads)
+        cannot double-replay a row — and therefore cannot reclaim a claim
+        that now belongs to a replayed transfer the other call just queued.
+        """
+
+        if self.journal is None:
+            return []
+        with self._recover_lock:
+            return self._recover_locked()
+
+    def _recover_locked(self) -> list[TransferRequest]:
+        entries = self.journal.pending()
+        if not entries:
+            return []
+        # Never hand out an id a journalled transfer already owns.
+        floor = self.journal.max_transfer_id()
+        with self._lock:
+            self._ids = itertools.count(max(floor + 1, next(self._ids)))
+        recovered: list[TransferRequest] = []
+        for row in entries:
+            with self._lock:
+                if int(row["transfer_id"]) in self._requests:
+                    continue
+            if row["dst_se"] not in self.elements:
+                continue                      # element not attached yet
+            request = TransferRequest.from_record(row)
+            if request.state is TransferState.RUNNING:
+                # The crashed attempt never finished; do not double-charge it.
+                request.attempts = max(0, request.attempts - 1)
+            request.state = TransferState.QUEUED
+            request.bytes_copied = 0
+            request.throughput_bps = 0.0
+            self._reclaim_destination(request)
+            with self._lock:
+                self._requests[request.transfer_id] = request
+            self._journal(request)
+            self.transfers_recovered += 1
+            recovered.append(request)
+            self._publish("recovered", request)
+            with self._cond:
+                heapq.heappush(self._queue, (request.priority, next(self._seq),
+                                             request.transfer_id))
+                self._cond.notify()
+        return recovered
+
+    def _reclaim_destination(self, request: TransferRequest) -> None:
+        """Release a stale ``COPYING`` claim a dead transfer left behind.
+
+        Only called from :meth:`recover`, before the replayed request can
+        run, so the claim being reclaimed is guaranteed to belong to the
+        journalled (dead) transfer — live transfers of this engine have not
+        started yet, and the journal only ever holds this engine's requests.
+        Fully-written bytes are kept (the retry's adoption path registers
+        them without re-copying); partial bytes are deleted.
+        """
+
+        try:
+            entry = self.catalogue.entry(request.lfn)
+        except ReplicaError:
+            return
+        record = entry["replicas"].get(request.dst_se)
+        if record is None or record["state"] != ReplicaState.COPYING.value:
+            return
+        dst = self.elements.get(request.dst_se)
+        try:
+            if dst is not None and dst.exists(record["pfn"]):
+                expected = entry["checksum"]
+                if not expected or dst.checksum(record["pfn"]) != expected:
+                    dst.delete(record["pfn"])
+        except ReplicaError:
+            pass                              # best-effort; the retry re-checks
+        try:
+            self.catalogue.drop(request.lfn, request.dst_se)
+        except ReplicaError:
+            pass
 
     # -- inspection ----------------------------------------------------------
     def get(self, transfer_id: int) -> TransferRequest:
@@ -178,6 +296,7 @@ class TransferEngine:
             "running": running,
             "completed": self.transfers_completed,
             "failed": self.transfers_failed,
+            "recovered": self.transfers_recovered,
             "bytes_transferred": self.bytes_transferred,
         }
 
@@ -197,6 +316,7 @@ class TransferEngine:
                 request.attempts += 1
                 if not request.started:
                     request.started = time.time()
+            self._journal(request)
             self._run_transfer(request)
 
     def _run_transfer(self, request: TransferRequest) -> None:
@@ -214,6 +334,7 @@ class TransferEngine:
                 self.transfers_completed += 1
                 self.bytes_transferred += request.bytes_copied
                 self._cond.notify_all()
+            self._journal(request)
             self._publish("done", request)
 
     def _copy_once(self, request: TransferRequest) -> None:
@@ -293,12 +414,17 @@ class TransferEngine:
                 # End-to-end verification failed: the bytes the source handed
                 # over are not the catalogued bytes.  Quarantine the source so
                 # the retry (and every future read) avoids it.
-                self.catalogue.quarantine(
-                    request.lfn, src_name,
-                    error=f"checksum mismatch during transfer "
-                          f"{request.transfer_id}: got {digest} "
-                          f"({written} bytes), expected {expected} "
-                          f"({entry['size']} bytes)")
+                quarantine_error = (f"checksum mismatch during transfer "
+                                    f"{request.transfer_id}: got {digest} "
+                                    f"({written} bytes), expected {expected} "
+                                    f"({entry['size']} bytes)")
+                self.catalogue.quarantine(request.lfn, src_name,
+                                          error=quarantine_error)
+                # The attempt count in the payload lets consumers distinguish
+                # a first failure (attempts=1, retry coming) from exhaustion.
+                self._publish("quarantine", request,
+                              quarantined_se=src_name,
+                              quarantine_error=quarantine_error)
                 raise ReplicaError(
                     f"checksum mismatch copying {request.lfn} from {src_name}: "
                     f"{digest} != {expected}; source replica quarantined")
@@ -356,6 +482,7 @@ class TransferEngine:
         if request.attempts < request.max_attempts and not self._stop.is_set():
             with self._cond:
                 request.state = TransferState.RETRYING
+            self._journal(request)
             self._publish("retry", request)
             # Exponential backoff before the attempt re-enters the queue; a
             # stop request cuts the wait short.
@@ -377,20 +504,27 @@ class TransferEngine:
                                     request.transfer_id))
                     self._cond.notify()
             if request.state is TransferState.FAILED:
+                # A stop mid-backoff fails the attempt for *this* process,
+                # but the journal row survives so a restart replays it.
                 self._publish("failed", request)
+            else:
+                self._journal(request)
             return
         with self._cond:
             request.state = TransferState.FAILED
             request.finished = time.time()
             self.transfers_failed += 1
             self._cond.notify_all()
+        self._journal(request)
         self._publish("failed", request)
 
     # -- monitoring ----------------------------------------------------------
-    def _publish(self, event: str, request: TransferRequest) -> None:
+    def _publish(self, event: str, request: TransferRequest,
+                 **extra: object) -> None:
         if self.bus is None:
             return
         payload = request.to_record()
         payload["event"] = event
+        payload.update(extra)
         self.bus.publish(f"replica.transfer.{event}", payload,
                          source=self.source)

@@ -22,7 +22,8 @@ ALL_EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
 def test_examples_directory_has_expected_scripts():
     names = {p.name for p in ALL_EXAMPLES}
     assert {"quickstart.py", "physics_analysis.py", "discovery_federation.py",
-            "grid_portal.py", "secure_file_sharing.py"} <= names
+            "grid_portal.py", "secure_file_sharing.py",
+            "replication_fabric.py"} <= names
 
 
 @pytest.mark.parametrize("script", ALL_EXAMPLES, ids=lambda p: p.name)
@@ -34,7 +35,8 @@ def test_example_parses_and_defines_main(script):
     assert ast.get_docstring(tree)
 
 
-@pytest.mark.parametrize("script_name", ["quickstart.py", "grid_portal.py"])
+@pytest.mark.parametrize("script_name", ["quickstart.py", "grid_portal.py",
+                                         "replication_fabric.py"])
 def test_fast_examples_run_to_completion(script_name):
     result = subprocess.run(
         [sys.executable, str(EXAMPLES_DIR / script_name)],

@@ -1,0 +1,679 @@
+"""Durable replication: transfer journal, restart replay, remote storage
+elements, and auto-heal policies.
+
+The acceptance scenarios of the durability layer live here: a transfer
+interrupted by engine shutdown completes after restart with the journal
+draining to empty; a quarantined replica under a 2-copy policy is healed
+back to 2 healthy copies — exactly once, no flapping — with
+``replica.policy.*`` events on the monitoring bus; and a peer server
+attached as a ``RemoteStorageElement`` both serves and receives replicas.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+
+import pytest
+
+from repro.client.client import ClarensClient
+from repro.client.files import download_lfn, replicate_lfn
+from repro.database import Database
+from repro.fileservice.vfs import VirtualFileSystem
+from repro.monitoring.bus import MessageBus
+from repro.protocols.errors import Fault
+from repro.replica.catalogue import ReplicaCatalogue
+from repro.replica.journal import TransferJournal
+from repro.replica.model import (ReplicaNotFoundError, ReplicaState,
+                                 TransferRequest, TransferState)
+from repro.replica.policy import POLICY_OWNER, ReplicaPolicyEngine
+from repro.replica.storage import RemoteStorageElement, VFSStorageElement
+from repro.replica.transfer import TransferEngine
+
+from tests.conftest import build_server
+from tests.test_replica import FlakyWriteSE, make_se, register_file
+
+
+def make_engine(catalogue, elements, **kwargs):
+    kwargs.setdefault("workers", 2)
+    kwargs.setdefault("retry_delay", 0.001)
+    return TransferEngine(catalogue, {e.name: e for e in elements}, **kwargs)
+
+
+# -- the journal itself --------------------------------------------------------
+
+class TestTransferJournal:
+    def _request(self, transfer_id=1, state=TransferState.QUEUED) -> TransferRequest:
+        return TransferRequest(transfer_id=transfer_id, lfn="/lfn/f",
+                               dst_se="se-b", state=state, bytes_total=4)
+
+    def test_record_and_pending_roundtrip(self):
+        journal = TransferJournal(Database())
+        request = self._request()
+        journal.record(request)
+        assert len(journal) == 1
+        [row] = journal.pending()
+        assert row["lfn"] == "/lfn/f"
+        assert row["state"] == "queued"
+        assert row["journal_version"] == 1
+
+    def test_rerecord_bumps_journal_version(self):
+        journal = TransferJournal(Database())
+        request = self._request()
+        journal.record(request)
+        request.state = TransferState.RUNNING
+        journal.record(request)
+        [row] = journal.pending()
+        assert row["state"] == "running"
+        assert row["journal_version"] == 2
+
+    def test_terminal_states_discharge_the_row(self):
+        journal = TransferJournal(Database())
+        request = self._request()
+        journal.record(request)
+        request.state = TransferState.DONE
+        journal.record(request)              # terminal record == discharge
+        assert len(journal) == 0
+        assert journal.pending() == []
+
+    def test_max_transfer_id_bounds_allocation(self):
+        journal = TransferJournal(Database())
+        assert journal.max_transfer_id() == 0
+        journal.record(self._request(transfer_id=41))
+        journal.record(self._request(transfer_id=7))
+        assert journal.max_transfer_id() == 41
+
+    def test_rows_persist_across_database_reopen(self, tmp_path):
+        db = Database(tmp_path / "db")
+        TransferJournal(db).record(self._request(transfer_id=3))
+        db.close()
+        reopened = TransferJournal(Database(tmp_path / "db"))
+        assert [r["transfer_id"] for r in reopened.pending()] == [3]
+
+
+# -- restart semantics ---------------------------------------------------------
+
+class TestRestartReplay:
+    def test_queued_transfer_completes_after_engine_restart(self, tmp_path):
+        """The acceptance path: submit, crash before running, restart, done."""
+
+        db = Database()
+        bus = MessageBus()
+        recovered_events: list[dict] = []
+        bus.subscribe("replica.transfer.recovered",
+                      lambda m: recovered_events.append(m.payload))
+        catalogue = ReplicaCatalogue(db)
+        journal = TransferJournal(db)
+        se_a = make_se(tmp_path, "se-a")
+        se_b = make_se(tmp_path, "se-b")
+        data = b"durable payload " * 64
+        register_file(catalogue, se_a, "/lfn/f", data)
+
+        crashed = make_engine(catalogue, [se_a, se_b], journal=journal)
+        request = crashed.submit("/lfn/f", "se-b")      # engine never started
+        assert len(journal) == 1
+
+        engine = make_engine(catalogue, [se_a, se_b], journal=journal, bus=bus)
+        engine.start()
+        try:
+            done = engine.wait(request.transfer_id, timeout=10.0)
+            assert done.state is TransferState.DONE
+            assert se_b.read("/lfn/f") == data
+            assert len(journal) == 0                     # the journal drains
+            assert [e["transfer_id"] for e in recovered_events] == \
+                [request.transfer_id]
+            assert engine.transfers_recovered == 1
+        finally:
+            engine.stop()
+
+    def test_mid_copy_crash_reclaims_partial_destination(self, tmp_path):
+        """A RUNNING row with a stale COPYING claim and partial bytes heals."""
+
+        db = Database()
+        catalogue = ReplicaCatalogue(db)
+        journal = TransferJournal(db)
+        se_a = make_se(tmp_path, "se-a")
+        se_b = make_se(tmp_path, "se-b")
+        data = b"the whole file content"
+        register_file(catalogue, se_a, "/lfn/f", data)
+        # Fabricate the exact crash state a dead worker leaves behind: the
+        # COPYING claim in the catalogue, partial bytes at the destination,
+        # and a RUNNING journal row for attempt 1.
+        catalogue.register("/lfn/f", "se-b", "/lfn/f", size=len(data),
+                           checksum=hashlib.md5(data).hexdigest(),
+                           state=ReplicaState.COPYING, if_absent=True)
+        se_b.vfs.write("/lfn/f", data[:7])
+        journal.record(TransferRequest(
+            transfer_id=5, lfn="/lfn/f", dst_se="se-b",
+            state=TransferState.RUNNING, attempts=1, max_attempts=3,
+            bytes_total=len(data)))
+
+        engine = make_engine(catalogue, [se_a, se_b], journal=journal)
+        engine.start()
+        try:
+            done = engine.wait(5, timeout=10.0)
+            assert done.state is TransferState.DONE
+            assert se_b.read("/lfn/f") == data
+            assert catalogue.replica_on("/lfn/f", "se-b").state \
+                is ReplicaState.ACTIVE
+            assert len(journal) == 0
+            # The crashed attempt was refunded, so the replay ran as attempt 1.
+            assert done.attempts == 1
+        finally:
+            engine.stop()
+
+    def test_completed_but_unactivated_bytes_are_adopted(self, tmp_path):
+        """Crash after the last byte but before ACTIVE: no re-copy needed."""
+
+        db = Database()
+        catalogue = ReplicaCatalogue(db)
+        journal = TransferJournal(db)
+        se_a = make_se(tmp_path, "se-a")
+        se_b = make_se(tmp_path, "se-b")
+        data = b"fully written before the crash"
+        register_file(catalogue, se_a, "/lfn/f", data)
+        catalogue.register("/lfn/f", "se-b", "/lfn/f", size=len(data),
+                           checksum=hashlib.md5(data).hexdigest(),
+                           state=ReplicaState.COPYING, if_absent=True)
+        se_b.vfs.write("/lfn/f", data)                   # complete bytes
+        journal.record(TransferRequest(
+            transfer_id=9, lfn="/lfn/f", dst_se="se-b",
+            state=TransferState.RUNNING, attempts=1, bytes_total=len(data)))
+
+        engine = make_engine(catalogue, [se_a, se_b], journal=journal)
+        engine.start()
+        try:
+            done = engine.wait(9, timeout=10.0)
+            assert done.state is TransferState.DONE
+            assert done.bytes_copied == 0                # adopted, not copied
+            assert catalogue.replica_on("/lfn/f", "se-b").state \
+                is ReplicaState.ACTIVE
+            assert len(journal) == 0
+        finally:
+            engine.stop()
+
+    def test_new_submissions_never_reuse_journalled_ids(self, tmp_path):
+        db = Database()
+        catalogue = ReplicaCatalogue(db)
+        journal = TransferJournal(db)
+        se_a = make_se(tmp_path, "se-a")
+        se_b = make_se(tmp_path, "se-b")
+        register_file(catalogue, se_a, "/lfn/f", b"x")
+        register_file(catalogue, se_a, "/lfn/g", b"y")
+        journal.record(TransferRequest(transfer_id=40, lfn="/lfn/f",
+                                       dst_se="se-b", bytes_total=1))
+        engine = make_engine(catalogue, [se_a, se_b], journal=journal)
+        recovered = engine.recover()
+        assert [r.transfer_id for r in recovered] == [40]
+        fresh = engine.submit("/lfn/g", "se-b")
+        assert fresh.transfer_id > 40
+
+    def test_unknown_destination_stays_journalled_until_element_appears(
+            self, tmp_path):
+        db = Database()
+        catalogue = ReplicaCatalogue(db)
+        journal = TransferJournal(db)
+        se_a = make_se(tmp_path, "se-a")
+        data = b"late element"
+        register_file(catalogue, se_a, "/lfn/f", data)
+        journal.record(TransferRequest(transfer_id=2, lfn="/lfn/f",
+                                       dst_se="se-late", bytes_total=len(data)))
+        elements = {"se-a": se_a}
+        engine = TransferEngine(catalogue, elements, workers=1,
+                                retry_delay=0.001, journal=journal)
+        engine.start()
+        try:
+            assert engine.recover() == []                # nowhere to go yet
+            assert len(journal) == 1
+            se_late = make_se(tmp_path, "se-late")
+            elements["se-late"] = se_late
+            [replayed] = engine.recover()
+            done = engine.wait(replayed.transfer_id, timeout=10.0)
+            assert done.state is TransferState.DONE
+            assert se_late.read("/lfn/f") == data
+            assert len(journal) == 0
+        finally:
+            engine.stop()
+
+    def test_server_level_restart_with_data_dir(self, ca, host_credential,
+                                                tmp_path):
+        """Full stack: journalled transfer survives a server stop/start."""
+
+        data_dir = tmp_path / "srv"
+        se_root = tmp_path / "se-b"
+        se_root.mkdir()
+        data = b"server restart payload"
+
+        first = build_server(ca, host_credential, data_dir=data_dir,
+                             replica_journal_enabled=True,
+                             replica_retry_delay=0.001)
+        service = first.services["replica"]
+        service.add_storage_element(
+            VFSStorageElement("se-b", VirtualFileSystem(se_root)))
+        service.catalogue.register(
+            "/lfn/f", "local", "/f", size=len(data),
+            checksum=hashlib.md5(data).hexdigest())
+        (first.file_root / "f").write_bytes(data)
+        # Stop the engine *before* the submission can run: the queued row is
+        # journalled, then the server shuts down with the copy outstanding.
+        service.engine.stop()
+        request = service.engine.submit("/lfn/f", "se-b")
+        assert service.journal is not None and len(service.journal) == 1
+        first.close()
+
+        second = build_server(ca, host_credential, data_dir=data_dir,
+                              replica_journal_enabled=True,
+                              replica_retry_delay=0.001)
+        try:
+            service2 = second.services["replica"]
+            # Attaching the destination element triggers another recover().
+            service2.add_storage_element(
+                VFSStorageElement("se-b", VirtualFileSystem(se_root)))
+            done = service2.engine.wait(request.transfer_id, timeout=10.0)
+            assert done.state is TransferState.DONE
+            assert (se_root / "lfn" / "f").read_bytes() == data
+            assert len(service2.journal) == 0
+        finally:
+            second.close()
+
+
+# -- quarantine events carry the attempt count ---------------------------------
+
+class TestQuarantineEvents:
+    def test_transfer_quarantine_event_includes_attempts(self, tmp_path):
+        catalogue = ReplicaCatalogue(Database())
+        bus = MessageBus()
+        quarantines: list[dict] = []
+        bus.subscribe("replica.transfer.quarantine",
+                      lambda m: quarantines.append(m.payload))
+        se_a = make_se(tmp_path, "se-a")
+        se_b = make_se(tmp_path, "se-b")
+        register_file(catalogue, se_a, "/lfn/f", b"original")
+        se_a.vfs.write("/lfn/f", b"bit-rot!")
+        engine = make_engine(catalogue, [se_a, se_b], max_attempts=2, bus=bus)
+        engine.start()
+        try:
+            done = engine.wait(engine.submit("/lfn/f", "se-b").transfer_id,
+                               timeout=10.0)
+            assert done.state is TransferState.FAILED
+            assert quarantines
+            payload = quarantines[0]
+            assert payload["attempts"] == 1              # first failure, not exhaustion
+            assert payload["quarantined_se"] == "se-a"
+            assert "checksum mismatch" in payload["quarantine_error"]
+        finally:
+            engine.stop()
+
+    def test_catalogue_publishes_replica_quarantine(self, tmp_path):
+        bus = MessageBus()
+        events: list[dict] = []
+        bus.subscribe("replica.quarantine", lambda m: events.append(m.payload))
+        catalogue = ReplicaCatalogue(Database(), bus=bus, source="test")
+        se_a = make_se(tmp_path, "se-a")
+        register_file(catalogue, se_a, "/lfn/f", b"x")
+        catalogue.quarantine("/lfn/f", "se-a", error="operator flagged")
+        assert events == [{
+            "lfn": "/lfn/f", "storage_element": "se-a", "pfn": "/lfn/f",
+            "error": "operator flagged", "active_replicas": 0,
+        }]
+        # Re-quarantining an already-quarantined copy publishes nothing new.
+        catalogue.quarantine("/lfn/f", "se-a", error="again")
+        assert len(events) == 1
+
+
+# -- the policy engine ---------------------------------------------------------
+
+def _wait_until(predicate, *, timeout=10.0, message="condition"):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(0.005)
+    raise AssertionError(f"timed out waiting for {message}")
+
+
+class TestPolicyEngine:
+    def _fabric(self, tmp_path, *, n_elements=3, data=b"policy bytes"):
+        bus = MessageBus()
+        catalogue = ReplicaCatalogue(Database(), bus=bus, source="test")
+        elements = [make_se(tmp_path, f"se-{i}") for i in range(n_elements)]
+        engine = make_engine(catalogue, elements, bus=bus)
+        engine.start()
+        return bus, catalogue, elements, engine, data
+
+    def test_longest_prefix_wins(self, tmp_path):
+        bus, catalogue, elements, engine, _ = self._fabric(tmp_path)
+        try:
+            policy = ReplicaPolicyEngine(catalogue, engine, bus=bus,
+                                         default_copies=1)
+            policy.set_policy("/lfn/cms", 2)
+            policy.set_policy("/lfn/cms/raw", 3)
+            assert policy.target_for("/lfn/atlas/x") == 1    # default
+            assert policy.target_for("/lfn/cms/aod/x") == 2
+            assert policy.target_for("/lfn/cms/raw/x") == 3
+        finally:
+            engine.stop()
+
+    def test_quarantine_triggers_exactly_one_heal(self, tmp_path):
+        """The no-flap acceptance test: one quarantine, one heal transfer."""
+
+        bus, catalogue, elements, engine, data = self._fabric(tmp_path)
+        policy = ReplicaPolicyEngine(catalogue, engine, bus=bus,
+                                     heal_backoff=0.001)
+        policy.set_policy("/lfn", 2)
+        policy.start()
+        try:
+            queued: list[dict] = []
+            policy_events: list[str] = []
+            bus.subscribe("replica.transfer.queued",
+                          lambda m: queued.append(m.payload))
+            bus.subscribe("replica.policy", lambda m: policy_events.append(m.topic))
+            register_file(catalogue, elements[0], "/lfn/f", data)
+            register_file(catalogue, elements[1], "/lfn/f", data)
+
+            catalogue.quarantine("/lfn/f", "se-1", error="rot detected")
+            _wait_until(lambda: len(catalogue.replicas(
+                "/lfn/f", state=ReplicaState.ACTIVE)) == 2,
+                message="heal to 2 active copies")
+            # Exactly one heal was scheduled, onto the one fresh element.
+            heals = [q for q in queued if q["owner_dn"] == POLICY_OWNER]
+            assert len(heals) == 1
+            assert heals[0]["dst_se"] == "se-2"
+            assert "replica.policy.heal_scheduled" in policy_events
+            _wait_until(lambda: "replica.policy.healed" in policy_events,
+                        message="healed event")
+
+            # Hammering evaluate never schedules more work (anti-flap).
+            for _ in range(5):
+                assert policy.evaluate("/lfn/f")["action"] == "satisfied"
+            assert len([q for q in queued
+                        if q["owner_dn"] == POLICY_OWNER]) == 1
+            assert policy.stats()["heals_completed"] == 1
+        finally:
+            policy.stop()
+            engine.stop()
+
+    def test_inflight_heal_suppresses_further_scheduling(self, tmp_path):
+        """A second quarantine-style evaluation while a heal runs is pending."""
+
+        bus, catalogue, elements, engine, data = self._fabric(tmp_path)
+        engine.stop()                       # keep the heal transfer queued
+        policy = ReplicaPolicyEngine(catalogue, engine, bus=bus)
+        policy.set_policy("/lfn", 2)
+        try:
+            register_file(catalogue, elements[0], "/lfn/f", data)
+            first = policy.evaluate("/lfn/f")
+            assert first["action"] == "scheduled"
+            assert len(first["scheduled"]) == 1
+            for _ in range(3):
+                assert policy.evaluate("/lfn/f")["action"] == "pending"
+            assert policy.stats()["heals_scheduled"] == 1
+        finally:
+            engine.stop()
+
+    def test_failed_heal_backs_off(self, tmp_path):
+        bus = MessageBus()
+        catalogue = ReplicaCatalogue(Database(), bus=bus)
+        se_a = make_se(tmp_path, "se-a")
+        (tmp_path / "se-bad").mkdir()
+        se_bad = FlakyWriteSE("se-bad", VirtualFileSystem(tmp_path / "se-bad"),
+                              fail_writes=99)
+        engine = make_engine(catalogue, [se_a, se_bad], max_attempts=2, bus=bus)
+        engine.start()
+        policy = ReplicaPolicyEngine(catalogue, engine, bus=bus,
+                                     heal_backoff=60.0)   # long: must defer
+        policy.set_policy("/lfn", 2)
+        policy.start()
+        try:
+            backoffs: list[dict] = []
+            bus.subscribe("replica.policy.backoff",
+                          lambda m: backoffs.append(m.payload))
+            register_file(catalogue, se_a, "/lfn/f", b"x")
+            decision = policy.evaluate("/lfn/f")
+            assert decision["action"] == "scheduled"
+            [scheduled] = decision["scheduled"]
+            engine.wait(scheduled["transfer_id"], timeout=10.0)
+            _wait_until(lambda: policy.stats()["heals_failed"] == 1,
+                        message="heal failure accounted")
+            deferred = policy.evaluate("/lfn/f")
+            assert deferred["action"] == "deferred"
+            assert deferred["retry_in"] > 0
+            assert backoffs
+            assert policy.stats()["heals_scheduled"] == 1
+        finally:
+            policy.stop()
+            engine.stop()
+
+    def test_no_eligible_destination_is_unsatisfiable(self, tmp_path):
+        bus, catalogue, elements, engine, data = self._fabric(tmp_path,
+                                                              n_elements=2)
+        policy = ReplicaPolicyEngine(catalogue, engine, bus=bus)
+        policy.set_policy("/lfn", 2)
+        try:
+            register_file(catalogue, elements[0], "/lfn/f", data)
+            register_file(catalogue, elements[1], "/lfn/f", data)
+            catalogue.quarantine("/lfn/f", "se-1", error="rot")
+            # The quarantined slot is never reused, so no destination exists.
+            decision = policy.evaluate("/lfn/f")
+            assert decision["action"] == "unsatisfiable"
+            assert catalogue.replica_on("/lfn/f", "se-1").state \
+                is ReplicaState.QUARANTINED
+        finally:
+            engine.stop()
+
+    def test_periodic_sweep_heals_without_events(self, tmp_path):
+        bus, catalogue, elements, engine, data = self._fabric(tmp_path)
+        register_file(catalogue, elements[0], "/lfn/f", data)   # before start
+        policy = ReplicaPolicyEngine(catalogue, engine, bus=bus,
+                                     heal_interval=0.01)
+        policy.set_policy("/lfn", 2)
+        policy.start()
+        try:
+            _wait_until(lambda: len(catalogue.replicas(
+                "/lfn/f", state=ReplicaState.ACTIVE)) == 2,
+                message="sweep-driven heal")
+            assert policy.stats()["sweeps"] >= 1
+        finally:
+            policy.stop()
+            engine.stop()
+
+
+# -- the remote storage element ------------------------------------------------
+
+@pytest.fixture()
+def peer_server(ca, host_credential, tmp_path):
+    srv = build_server(ca, host_credential, server_name="peer",
+                       replica_retry_delay=0.001)
+    yield srv
+    srv.close()
+
+
+@pytest.fixture()
+def peer_client(peer_server, alice_credential):
+    cl = ClarensClient.for_loopback(peer_server.loopback())
+    cl.login_with_credential(alice_credential)
+    yield cl
+    cl.close()
+
+
+class TestRemoteStorageElement:
+    DATA = b"cross-server bytes " * 256
+    LFN = "/lfn/fabric/data.bin"
+
+    def _register_on_peer(self, peer_client) -> None:
+        peer_client.call("file.write", self.LFN, self.DATA, False)
+        peer_client.call("replica.register", self.LFN, "local", self.LFN)
+
+    def test_reads_ride_the_lfn_fast_path(self, peer_client, tmp_path):
+        self._register_on_peer(peer_client)
+        remote = RemoteStorageElement("peer", peer_client)
+        assert remote.exists(self.LFN)
+        assert remote.size(self.LFN) == len(self.DATA)
+        assert remote.checksum(self.LFN) == hashlib.md5(self.DATA).hexdigest()
+        assert remote.read(self.LFN, 8, 16) == self.DATA[8:24]
+        assert b"".join(remote.open_reader(self.LFN, chunk_size=1024)) == self.DATA
+
+    def test_engine_pulls_from_peer(self, peer_client, tmp_path):
+        """Replicating peer → local streams through the remote element."""
+
+        self._register_on_peer(peer_client)
+        catalogue = ReplicaCatalogue(Database())
+        remote = RemoteStorageElement("peer", peer_client)
+        local = make_se(tmp_path, "se-local")
+        catalogue.register(self.LFN, "peer", self.LFN, size=len(self.DATA),
+                           checksum=hashlib.md5(self.DATA).hexdigest())
+        engine = make_engine(catalogue, [remote, local])
+        engine.start()
+        try:
+            done = engine.wait(engine.submit(self.LFN, "se-local").transfer_id,
+                               timeout=10.0)
+            assert done.state is TransferState.DONE
+            assert done.src_se == "peer"
+            assert local.read(self.LFN) == self.DATA
+        finally:
+            engine.stop()
+
+    def test_engine_pushes_to_peer_and_registers_remotely(self, peer_server,
+                                                          peer_client,
+                                                          tmp_path):
+        """Replicating local → peer lands bytes *and* a peer catalogue row."""
+
+        catalogue = ReplicaCatalogue(Database())
+        remote = RemoteStorageElement("peer", peer_client)
+        local = make_se(tmp_path, "se-local")
+        register_file(catalogue, local, self.LFN, self.DATA)
+        engine = make_engine(catalogue, [remote, local])
+        engine.start()
+        try:
+            done = engine.wait(engine.submit(self.LFN, "peer").transfer_id,
+                               timeout=10.0)
+            assert done.state is TransferState.DONE
+            # Our catalogue knows the copy on the remote element...
+            assert catalogue.replica_on(self.LFN, "peer").state \
+                is ReplicaState.ACTIVE
+            # ...and the peer can serve it entirely on its own now.
+            entry = peer_client.call("replica.stat", self.LFN)
+            assert entry["replicas"]["local"]["state"] == "active"
+            assert download_lfn(peer_client, self.LFN) == self.DATA
+        finally:
+            engine.stop()
+
+    def test_quarantined_peer_entry_is_not_phantom_bytes(self, peer_server,
+                                                         peer_client,
+                                                         tmp_path):
+        """A peer entry with no ACTIVE replica must not count as existing.
+
+        Otherwise the engine's adoption path could register a copy backed by
+        nothing readable and a heal would report satisfied with zero healthy
+        copies.
+        """
+
+        self._register_on_peer(peer_client)
+        peer_client.call("file.delete", self.LFN, False)       # bytes gone
+        peer_server.services["replica"].catalogue.quarantine(
+            self.LFN, "local", error="rotted away")
+        remote = RemoteStorageElement("peer", peer_client)
+        assert not remote.exists(self.LFN)
+
+        # A replication onto the peer copies real bytes instead of adopting
+        # the ghost entry.
+        catalogue = ReplicaCatalogue(Database())
+        local = make_se(tmp_path, "se-local")
+        register_file(catalogue, local, self.LFN, self.DATA)
+        engine = make_engine(catalogue, [remote, local])
+        engine.start()
+        try:
+            done = engine.wait(engine.submit(self.LFN, "peer").transfer_id,
+                               timeout=10.0)
+            assert done.state is TransferState.DONE
+            assert done.bytes_copied == len(self.DATA)         # really copied
+            assert download_lfn(peer_client, self.LFN) == self.DATA
+        finally:
+            engine.stop()
+
+    def test_checksum_hashes_served_bytes_not_the_peer_catalogue(
+            self, peer_server, peer_client):
+        """checksum() must re-hash what the peer serves, never trust its
+        catalogue — adoption decisions hang off this digest."""
+
+        self._register_on_peer(peer_client)
+        corrupt = b"x" * len(self.DATA)                # same length, wrong bytes
+        (peer_server.file_root / self.LFN.lstrip("/")).write_bytes(corrupt)
+        remote = RemoteStorageElement("peer", peer_client)
+        assert remote.checksum(self.LFN) == hashlib.md5(corrupt).hexdigest()
+        assert remote.checksum(self.LFN) != hashlib.md5(self.DATA).hexdigest()
+
+    def test_unavailable_peer_element_refuses_io(self, peer_client):
+        remote = RemoteStorageElement("peer", peer_client)
+        remote.available = False
+        with pytest.raises(Exception):
+            remote.read(self.LFN)
+
+
+# -- client helpers ------------------------------------------------------------
+
+class TestReplicateLfnHelper:
+    @pytest.fixture()
+    def fabric_server(self, ca, host_credential, tmp_path):
+        srv = build_server(ca, host_credential, replica_retry_delay=0.001)
+        srv.services["replica"].add_storage_element(make_se(tmp_path, "se-b"))
+        yield srv
+        srv.close()
+
+    @pytest.fixture()
+    def fabric_client(self, fabric_server, alice_credential):
+        cl = ClarensClient.for_loopback(fabric_server.loopback())
+        cl.login_with_credential(alice_credential)
+        yield cl
+        cl.close()
+
+    def test_replicate_lfn_waits_for_done(self, fabric_client):
+        data = b"sync replicate"
+        fabric_client.call("file.write", "/d.bin", data, False)
+        fabric_client.call("replica.register", "/lfn/d", "local", "/d.bin")
+        record = replicate_lfn(fabric_client, "/lfn/d", "se-b")
+        assert record["state"] == "done"
+        assert record["bytes_copied"] == len(data)
+
+    def test_policy_rpcs_are_admin_fenced(self, fabric_server, fabric_client,
+                                          admin_credential):
+        with pytest.raises(Fault):
+            fabric_client.call("replica.set_policy", "/lfn", 2)
+        admin = ClarensClient.for_loopback(fabric_server.loopback())
+        admin.login_with_credential(admin_credential)
+        try:
+            installed = admin.call("replica.set_policy", "/lfn", 2)
+            assert installed == {"prefix": "/lfn", "copies": 2,
+                                 "created": installed["created"]}
+            assert fabric_client.call("replica.policies") == [installed]
+            assert admin.call("replica.drop_policy", "/lfn") is True
+            assert fabric_client.call("replica.policies") == []
+        finally:
+            admin.close()
+
+    def test_heal_rpc_schedules_and_stats_expose_policy(self, fabric_server,
+                                                        fabric_client,
+                                                        admin_credential):
+        data = b"rpc heal"
+        fabric_client.call("file.write", "/h.bin", data, False)
+        fabric_client.call("replica.register", "/lfn/h", "local", "/h.bin")
+        admin = ClarensClient.for_loopback(fabric_server.loopback())
+        admin.login_with_credential(admin_credential)
+        try:
+            admin.call("replica.set_policy", "/lfn", 2)
+            decision = fabric_client.call("replica.heal", "/lfn/h")
+            assert decision["action"] == "scheduled"
+            [scheduled] = decision["scheduled"]
+            deadline = time.monotonic() + 10.0
+            while time.monotonic() < deadline:
+                record = fabric_client.call("replica.status",
+                                            scheduled["transfer_id"])
+                if record["state"] == "done":
+                    break
+                time.sleep(0.01)
+            assert record["state"] == "done"
+            stats = fabric_client.call("replica.stats")
+            assert stats["policy"]["heals_scheduled"] == 1
+            assert stats["journal"] is None              # journal off by default
+        finally:
+            admin.close()
