@@ -1,0 +1,51 @@
+"""MCALL — ``system.multicall`` batching vs sequential dispatch.
+
+The paper's per-request cost is dominated by fixed work: codec handling plus
+"two access control checks involving access to several databases".  Batching
+N calls into one ``system.multicall`` request pays decode, session check and
+admission once, and the method-ACL check once per *distinct* method — so a
+batch of 100 ``system.echo`` calls should complete several times faster than
+100 sequential dispatches over the same loopback transport.  The acceptance
+bar asserted here is ≥ 3x.
+"""
+
+from __future__ import annotations
+
+from repro.bench.pipelinebench import measure_multicall_speedup
+from repro.bench.results import ComparisonRow, ResultTable, format_rate
+
+N_CALLS = 100
+MIN_SPEEDUP = 3.0
+
+
+def test_multicall_batching_speedup(benchmark, smoke, capsys):
+    """One batch of 100 echoes via multicall vs 100 sequential dispatches."""
+
+    calls = 30 if smoke else N_CALLS
+    result = benchmark.pedantic(measure_multicall_speedup,
+                                kwargs={"calls": calls}, rounds=1, iterations=1)
+    benchmark.extra_info.update(result)
+
+    table = ResultTable("system.multicall batching (system.echo x "
+                        f"{result['calls']})",
+                        ["path", "seconds", "calls/s"])
+    table.add_row("sequential", round(result["sequential_s"], 4),
+                  round(result["sequential_calls_per_second"], 1))
+    table.add_row("multicall", round(result["multicall_s"], 4),
+                  round(result["multicall_calls_per_second"], 1))
+    comparison = ComparisonRow(
+        experiment_id="MCALL",
+        description="batched RPC amortizes decode + the two access checks",
+        paper_value="n/a (scenario opened by the pipeline refactor)",
+        measured_value=f"{result['speedup']:.1f}x "
+                       f"({format_rate(result['multicall_calls_per_second'])})",
+        shape_holds=result["speedup"] >= MIN_SPEEDUP,
+        notes=f"bar: batch of {result['calls']} >= {MIN_SPEEDUP:.0f}x faster",
+    )
+    with capsys.disabled():
+        print("\n" + table.render())
+        print(comparison.render() + "\n")
+
+    assert result["speedup"] >= MIN_SPEEDUP, (
+        f"multicall speedup {result['speedup']:.2f}x is below the "
+        f"{MIN_SPEEDUP:.0f}x acceptance bar")

@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Run the smoke benchmarks and append the headline numbers to a trend file.
+
+Runs the pipeline-relevant benchmarks in smoke mode —
+``benchmarks/bench_fig4_throughput.py`` (the paper's Figure 4 sweep) and
+``benchmarks/bench_multicall.py`` (batched RPC speedup) — then measures the
+headline numbers directly via :mod:`repro.bench.pipelinebench` and appends
+one dated entry to ``BENCH_pipeline.json`` at the repository root, so the
+performance trajectory accumulates run over run.
+
+Usage, from the repository root::
+
+    python scripts/bench_trend.py            # pytest gate + measure + append
+    python scripts/bench_trend.py --no-gate  # measure + append only
+
+Absolute numbers reflect the host machine; the trend file records them next
+to a host fingerprint so cross-machine points are distinguishable.
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import json
+import os
+import platform
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+TREND_FILE = REPO_ROOT / "BENCH_pipeline.json"
+SMOKE_BENCHMARKS = [
+    "benchmarks/bench_fig4_throughput.py",
+    "benchmarks/bench_multicall.py",
+]
+
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.bench.pipelinebench import (  # noqa: E402 - path set up above
+    measure_fig4_throughput, measure_multicall_speedup)
+
+
+def run_pytest_gate() -> int:
+    """Run the smoke benchmarks under pytest; returns the exit status."""
+
+    command = [sys.executable, "-m", "pytest", "-q", "--smoke",
+               "--benchmark-disable", *SMOKE_BENCHMARKS]
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + (os.pathsep + env["PYTHONPATH"]
+                               if env.get("PYTHONPATH") else "")
+    print("$", " ".join(command), flush=True)
+    return subprocess.call(command, cwd=REPO_ROOT, env=env)
+
+
+def measure() -> dict:
+    multicall = measure_multicall_speedup(calls=100)
+    fig4 = measure_fig4_throughput()
+    return {
+        "timestamp": datetime.datetime.now(datetime.timezone.utc).isoformat(),
+        "host": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+        },
+        "multicall": {
+            "calls": multicall["calls"],
+            "speedup": round(multicall["speedup"], 2),
+            "sequential_calls_per_second":
+                round(multicall["sequential_calls_per_second"], 1),
+            "multicall_calls_per_second":
+                round(multicall["multicall_calls_per_second"], 1),
+        },
+        "fig4": {
+            "mean_calls_per_second": round(fig4["mean_calls_per_second"], 1),
+            "per_client_count": {str(k): round(v, 1)
+                                 for k, v in fig4["per_client_count"].items()},
+            "errors": fig4["errors"],
+        },
+    }
+
+
+def append_trend(entry: dict) -> list[dict]:
+    runs: list[dict] = []
+    if TREND_FILE.exists():
+        try:
+            existing = json.loads(TREND_FILE.read_text())
+            runs = existing.get("runs", []) if isinstance(existing, dict) else []
+        except (ValueError, OSError):
+            print(f"warning: {TREND_FILE.name} was unreadable; starting fresh")
+    runs.append(entry)
+    TREND_FILE.write_text(json.dumps({
+        "description": "Pipeline benchmark trend; one entry per "
+                       "scripts/bench_trend.py run.",
+        "runs": runs,
+    }, indent=2) + "\n")
+    return runs
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--no-gate", action="store_true",
+                        help="skip the pytest smoke gate, only measure+append")
+    args = parser.parse_args()
+
+    if not args.no_gate:
+        status = run_pytest_gate()
+        if status != 0:
+            print("smoke benchmarks failed; not recording a trend point")
+            return status
+
+    entry = measure()
+    runs = append_trend(entry)
+    print(f"multicall speedup: {entry['multicall']['speedup']}x, "
+          f"fig4 mean: {entry['fig4']['mean_calls_per_second']} calls/s")
+    print(f"wrote {TREND_FILE} ({len(runs)} run(s))")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

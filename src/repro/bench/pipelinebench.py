@@ -1,0 +1,89 @@
+"""Pipeline benchmark measurements shared by ``benchmarks/`` and CI tooling.
+
+Both ``benchmarks/bench_multicall.py`` (the pytest benchmark) and
+``scripts/bench_trend.py`` (the trend recorder that appends to
+``BENCH_pipeline.json``) need the same numbers, so the measurement functions
+live here: the batching speedup of ``system.multicall`` over sequential
+dispatches, and a small Figure-4-shaped throughput probe.  Everything runs on
+the loopback transport — framework overhead, not kernel sockets — exactly as
+the paper measured.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any
+
+from repro.bench.workloads import make_benchmark_environment
+from repro.client.asyncclient import AsyncLoadClient
+
+__all__ = ["measure_multicall_speedup", "measure_fig4_throughput"]
+
+
+def measure_multicall_speedup(*, calls: int = 100, rounds: int = 3) -> dict[str, Any]:
+    """Time N sequential ``system.echo`` dispatches vs one multicall of N.
+
+    Both paths carry the same payloads through the same pipeline; the batch
+    pays decode/session/admission once and the ACL check once per distinct
+    method, which is where the speedup comes from.  Best-of-``rounds`` is
+    reported to damp scheduler noise.
+    """
+
+    env = make_benchmark_environment(access_checks=2, with_tls=False)
+    try:
+        client = env.client_factory()()
+        batch = [("system.echo", [i]) for i in range(calls)]
+        expected = list(range(calls))
+
+        # Warm both paths (context-signature caches, session/ACL DB pages).
+        client.call("system.echo", 0)
+        assert client.multicall(batch[:2]) == [0, 1]
+
+        sequential_s = min(_time_sequential(client, calls) for _ in range(rounds))
+        multicall_s = float("inf")
+        for _ in range(rounds):
+            start = time.perf_counter()
+            results = client.multicall(batch)
+            multicall_s = min(multicall_s, time.perf_counter() - start)
+            assert results == expected, "multicall results diverged from echo inputs"
+        return {
+            "calls": calls,
+            "sequential_s": sequential_s,
+            "multicall_s": multicall_s,
+            "sequential_calls_per_second": calls / sequential_s,
+            "multicall_calls_per_second": calls / multicall_s,
+            "speedup": sequential_s / multicall_s,
+        }
+    finally:
+        env.close()
+
+
+def _time_sequential(client, calls: int) -> float:
+    start = time.perf_counter()
+    for i in range(calls):
+        client.call("system.echo", i)
+    return time.perf_counter() - start
+
+
+def measure_fig4_throughput(*, calls_per_batch: int = 150,
+                            client_counts: tuple[int, ...] = (1, 4, 8)) -> dict[str, Any]:
+    """A reduced Figure-4 probe: mean calls/second over a small client grid."""
+
+    env = make_benchmark_environment(access_checks=2, cache_method_list=False,
+                                     with_tls=False)
+    try:
+        per_point: dict[int, float] = {}
+        errors = 0
+        for n_clients in client_counts:
+            with AsyncLoadClient(env.client_factory(), n_clients=n_clients) as load:
+                result = load.run_batch(calls_per_batch)
+            per_point[n_clients] = result.calls_per_second
+            errors += result.errors
+        return {
+            "calls_per_batch": calls_per_batch,
+            "per_client_count": per_point,
+            "mean_calls_per_second": sum(per_point.values()) / len(per_point),
+            "errors": errors,
+        }
+    finally:
+        env.close()

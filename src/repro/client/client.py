@@ -15,7 +15,7 @@ original clients carried their session cookie.
 
 from __future__ import annotations
 
-from typing import Any, Mapping
+from typing import Any, Mapping, Sequence
 
 from repro.client.errors import ClientError
 from repro.client.transport import HTTPTransport, LoopbackClientTransport, Transport
@@ -92,7 +92,10 @@ class ClarensClient:
         body = self.codec.encode_request(request)
         response = self.transport.request("POST", self.rpc_path,
                                           headers=self._headers(), body=body)
-        if response.status != 200:
+        # 429 (throttled) still carries a protocol-correct RETRY_LATER fault
+        # body, which unwrap() below re-raises as a Fault the caller can back
+        # off on; any other non-200 status is a transport-level failure.
+        if response.status not in (200, 429):
             raise ClientError(
                 f"HTTP {response.status} from server: {response.body_bytes()[:200]!r}")
         try:
@@ -108,6 +111,30 @@ class ClarensClient:
             return self.call(method, *params), None
         except Fault as fault:
             return None, fault
+
+    def multicall(self, calls: Sequence[tuple[str, Sequence[Any]]]) -> list[Any]:
+        """Batch many calls into one ``system.multicall`` request.
+
+        ``calls`` is a sequence of ``(method, params)`` pairs.  The batch is
+        encoded, sent, authenticated and admitted as a single request; the
+        server runs its ACL check once per distinct method.  Returns one slot
+        per call, in order: the call's result, or — because one bad entry
+        must not poison the batch — a :class:`Fault` instance *in place*
+        (not raised) for entries that failed.
+        """
+
+        entries = [{"methodName": method, "params": list(params)}
+                   for method, params in calls]
+        raw = self.call("system.multicall", entries)
+        results: list[Any] = []
+        for slot in raw:
+            if isinstance(slot, (list, tuple)) and len(slot) == 1:
+                results.append(slot[0])
+            elif isinstance(slot, dict) and "faultCode" in slot:
+                results.append(Fault(slot["faultCode"], slot.get("faultString", "")))
+            else:
+                raise ClientError(f"malformed multicall result slot: {slot!r}")
+        return results
 
     # -- login flows ------------------------------------------------------------------
     def login_with_credential(self, credential: Credential) -> dict[str, Any]:

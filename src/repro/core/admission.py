@@ -1,0 +1,171 @@
+"""Per-identity admission control for the request pipeline.
+
+The paper's server served every request it could parse; under the ROADMAP's
+"millions of users" target that is an invitation to collapse.  The admission
+stage sheds load *per caller* instead: every identity (a certificate DN, or
+the shared anonymous principal) owns a token bucket refilled at
+``dispatch_rate_limit`` tokens/second up to ``dispatch_burst`` tokens, plus
+an in-flight budget of ``dispatch_max_inflight`` concurrent requests.  A
+request that finds the bucket empty (or the budget exhausted) is rejected
+with :class:`~repro.core.errors.RetryLaterError` — a ``RETRY_LATER`` fault on
+the wire, HTTP 429 on the plain endpoint — and a ``dispatch.throttled`` event
+on the monitoring bus, so one hot client cannot starve the rest of the VO.
+
+Both limits are off by default (0), matching the paper's open-door setup.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import TYPE_CHECKING, Callable
+
+from repro.core.errors import RetryLaterError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.monitoring.bus import MessageBus
+
+__all__ = ["AdmissionController", "ANONYMOUS_IDENTITY"]
+
+#: The shared principal all unauthenticated callers draw tokens from.
+ANONYMOUS_IDENTITY = "<anonymous>"
+
+#: Idle buckets are pruned once the table grows past this many identities.
+_PRUNE_THRESHOLD = 4096
+
+
+class _Bucket:
+    """Token bucket plus in-flight counter for one identity."""
+
+    __slots__ = ("tokens", "last_refill", "inflight")
+
+    def __init__(self, tokens: float, now: float) -> None:
+        self.tokens = tokens
+        self.last_refill = now
+        self.inflight = 0
+
+
+class AdmissionController:
+    """Token-bucket + in-flight admission, one bucket per identity."""
+
+    def __init__(self, *, rate: float = 0.0, burst: float = 0.0,
+                 max_inflight: int = 0, bus: "MessageBus | None" = None,
+                 source: str = "",
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        if rate < 0:
+            raise ValueError("rate cannot be negative")
+        if burst < 0:
+            raise ValueError("burst cannot be negative")
+        if max_inflight < 0:
+            raise ValueError("max_inflight cannot be negative")
+        self.rate = float(rate)
+        #: Bucket capacity; with rate limiting on but no burst configured a
+        #: caller may still fire one full second of traffic at once.  Clamped
+        #: to >= 1 token: a fractional capacity could never hold the single
+        #: token a request costs, rejecting everyone forever.
+        self.burst = max(float(burst), 1.0) if burst > 0 else max(self.rate, 1.0)
+        self.max_inflight = int(max_inflight)
+        self.bus = bus
+        self.source = source
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._buckets: dict[str, _Bucket] = {}
+        self.admitted = 0
+        self.throttled = 0
+
+    # -- the admission decision ----------------------------------------------
+    def admit(self, identity: str | None, method: str) -> Callable[[], None]:
+        """Admit one request for ``identity`` or raise RetryLaterError.
+
+        Returns a release callable the caller must invoke when the request
+        finishes (it returns the in-flight slot; tokens are not refunded).
+        """
+
+        identity = identity or ANONYMOUS_IDENTITY
+        now = self._clock()
+        with self._lock:
+            bucket = self._buckets.get(identity)
+            if bucket is None:
+                if len(self._buckets) >= _PRUNE_THRESHOLD:
+                    self._prune(now)
+                bucket = self._buckets[identity] = _Bucket(self.burst, now)
+            if self.rate > 0:
+                bucket.tokens = min(self.burst,
+                                    bucket.tokens + (now - bucket.last_refill) * self.rate)
+                bucket.last_refill = now
+            if self.max_inflight and bucket.inflight >= self.max_inflight:
+                self.throttled += 1
+                reason, retry_after = "inflight", 0.0
+            elif self.rate > 0 and bucket.tokens < 1.0:
+                self.throttled += 1
+                reason, retry_after = "rate", (1.0 - bucket.tokens) / self.rate
+            else:
+                if self.rate > 0:
+                    bucket.tokens -= 1.0
+                bucket.inflight += 1
+                self.admitted += 1
+                return self._releaser(bucket)
+        # Publish outside the lock: bus subscribers may be slow or re-entrant.
+        self._publish_throttled(identity, method, reason, retry_after)
+        raise RetryLaterError(
+            f"request rate for {identity} exceeded ({reason} limit); retry later",
+            retry_after=retry_after)
+
+    def _releaser(self, bucket: _Bucket) -> Callable[[], None]:
+        released = threading.Event()
+
+        def release() -> None:
+            if released.is_set():
+                return
+            released.set()
+            with self._lock:
+                bucket.inflight -= 1
+
+        return release
+
+    def _prune(self, now: float) -> None:
+        """Drop idle buckets whose balance has refilled (lock held).
+
+        Tokens are only materialised on admit, so an idle bucket's stored
+        balance is stale; project the refill to now before judging fullness,
+        or no bucket would ever qualify while rate limiting is on.
+        """
+
+        idle = []
+        for identity, bucket in self._buckets.items():
+            if bucket.inflight or now - bucket.last_refill < 1.0:
+                continue
+            tokens = bucket.tokens
+            if self.rate > 0:
+                tokens = min(self.burst,
+                             tokens + (now - bucket.last_refill) * self.rate)
+            if tokens >= self.burst - 1e-9:
+                idle.append(identity)
+        for identity in idle:
+            del self._buckets[identity]
+
+    def _publish_throttled(self, identity: str, method: str, reason: str,
+                           retry_after: float) -> None:
+        if self.bus is None:
+            return
+        try:
+            self.bus.publish("dispatch.throttled", {
+                "identity": identity,
+                "method": method,
+                "reason": reason,
+                "retry_after": round(retry_after, 6),
+            }, source=self.source)
+        except Exception:  # noqa: BLE001 - monitoring must never kill dispatch
+            pass
+
+    # -- introspection -------------------------------------------------------
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "rate": self.rate,
+                "burst": self.burst,
+                "max_inflight": self.max_inflight,
+                "identities": len(self._buckets),
+                "admitted": self.admitted,
+                "throttled": self.throttled,
+            }

@@ -55,6 +55,22 @@ class ServerConfig:
     #: notes two: session lookup and method ACL).  The ACL-overhead ablation
     #: benchmark sweeps this value.
     access_checks_per_request: int = 2
+    #: Per-identity admission rate, requests/second per DN (anonymous callers
+    #: share one bucket).  0 disables rate limiting; excess requests receive
+    #: a RETRY_LATER fault (HTTP 429 on the plain endpoint).
+    dispatch_rate_limit: float = 0.0
+    #: Token-bucket capacity per identity (how many requests may burst above
+    #: the steady rate).  0 derives the burst from the rate.
+    dispatch_burst: float = 0.0
+    #: Maximum concurrent in-flight requests per identity (0 = unlimited).
+    dispatch_max_inflight: int = 0
+    #: Maximum entries accepted in one system.multicall batch (0 = unlimited).
+    #: A batch admits as a single request, so the cap bounds how much work
+    #: one admission token can buy.
+    dispatch_multicall_limit: int = 1000
+    #: Lock shards for the dispatch statistics, so heavily threaded servers
+    #: do not serialise the request hot path on one stats mutex.
+    dispatch_stats_shards: int = 8
     #: When True, the method-list DB lookup performed by system.list_methods is
     #: cached; the paper explicitly ran with "no caching … on the server".
     cache_method_list: bool = False
@@ -140,10 +156,14 @@ class ServerConfig:
                      "cache_acl_maxsize", "cache_acl_ttl",
                      "cache_discovery_maxsize", "cache_discovery_ttl",
                      "cache_pki_maxsize", "cache_pki_ttl",
-                     "cache_shards",
+                     "cache_shards", "dispatch_stats_shards",
                      "replica_transfer_workers", "replica_max_attempts"):
             if getattr(self, knob) <= 0:
                 raise ConfigError(f"{knob} must be positive")
+        for knob in ("dispatch_rate_limit", "dispatch_burst",
+                     "dispatch_max_inflight", "dispatch_multicall_limit"):
+            if getattr(self, knob) < 0:
+                raise ConfigError(f"{knob} cannot be negative")
         if self.cache_stats_interval < 0:
             raise ConfigError("cache_stats_interval cannot be negative")
         if self.replica_retry_delay < 0:
@@ -202,7 +222,10 @@ class ServerConfig:
         parser["server"] = {}
         for key in ("server_name", "host_dn", "data_dir", "file_root", "shell_root",
                     "user_map_path", "url_prefix", "session_lifetime",
-                    "access_checks_per_request", "cache_method_list",
+                    "access_checks_per_request", "dispatch_rate_limit",
+                    "dispatch_burst", "dispatch_max_inflight",
+                    "dispatch_multicall_limit",
+                    "dispatch_stats_shards", "cache_method_list",
                     "cache_enabled", "cache_session_maxsize", "cache_session_ttl",
                     "cache_acl_maxsize", "cache_acl_ttl",
                     "cache_discovery_maxsize", "cache_discovery_ttl",

@@ -33,6 +33,8 @@ class CallContext:
     session: Session | None = None
     request: "HTTPRequest | None" = None
     protocol: str = "xml-rpc"
+    #: Request id stamped by the pipeline's trace stage (0 = untraced entry).
+    trace_id: int = 0
 
     @property
     def authenticated(self) -> bool:

@@ -15,6 +15,7 @@ __all__ = [
     "AccessDeniedError",
     "SessionExpiredError",
     "NotFoundError",
+    "RetryLaterError",
     "to_fault",
 ]
 
@@ -47,6 +48,21 @@ class NotFoundError(ClarensError):
     """A named entity (file, job, service, group) does not exist."""
 
     fault_code = FaultCode.NOT_FOUND
+
+
+class RetryLaterError(ClarensError):
+    """The server is shedding load for this caller; retry after a backoff.
+
+    Raised by the admission-control pipeline stage when a caller exceeds its
+    per-identity rate limit or in-flight budget; maps to HTTP 429 on the
+    plain RPC endpoint.
+    """
+
+    fault_code = FaultCode.RETRY_LATER
+
+    def __init__(self, message: str, *, retry_after: float = 0.0) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
 
 
 def to_fault(exc: BaseException) -> Fault:

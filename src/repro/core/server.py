@@ -30,6 +30,7 @@ from repro.core.config import ServerConfig
 from repro.core.context import CallContext
 from repro.core.dispatch import Dispatcher
 from repro.core.errors import AccessDeniedError
+from repro.core.pipeline import build_pipeline
 from repro.core.registry import MethodRegistry
 from repro.core.service import ClarensService
 from repro.core.session import SessionManager
@@ -133,7 +134,12 @@ class ClarensServer:
             # ones.  The cache itself therefore needs no mapping of its own.
             self.authenticator.chain_cache = ChainVerificationCache(
                 pki_cache, self.trust_store, invalidation=self.invalidation)
-        self.dispatcher = Dispatcher(self)
+        # -- the request pipeline ---------------------------------------------
+        # One stage chain (trace → session → acl → admission → invoke, plus
+        # decode/encode on the HTTP path), assembled from config and shared
+        # by every transport; the Dispatcher is a thin facade over it.
+        self.pipeline = build_pipeline(self)
+        self.dispatcher = Dispatcher(self, pipeline=self.pipeline)
 
         # -- file / shell roots ----------------------------------------------
         self._owned_tempdirs: list[tempfile.TemporaryDirectory] = []

@@ -87,6 +87,19 @@ class SystemService(ClarensService):
 
         return value
 
+    @rpc_method(anonymous=True)
+    def multicall(self, ctx: CallContext, calls: list) -> list:
+        """Execute a batch of calls in one request (XML-RPC multicall).
+
+        ``calls`` is an array of ``{"methodName": str, "params": array}``
+        structs.  The batch is decoded, authenticated and admitted once;
+        the method-ACL check runs once per distinct method.  Each result
+        slot is ``[value]`` on success or a ``{"faultCode", "faultString"}``
+        struct on failure, so one bad entry never aborts the batch.
+        """
+
+        return self.server.pipeline.run_multicall(ctx, calls)
+
     # -- authentication -------------------------------------------------------------
     @rpc_method(anonymous=True)
     def get_challenge(self, dn: str) -> str:

@@ -31,6 +31,7 @@ REASON_PHRASES = {
     405: "Method Not Allowed",
     411: "Length Required",
     413: "Payload Too Large",
+    429: "Too Many Requests",
     500: "Internal Server Error",
     501: "Not Implemented",
     503: "Service Unavailable",

@@ -56,6 +56,13 @@ def _read_request(rfile) -> HTTPRequest | None:
         key, _, value = text.partition(":")
         headers.add(key.strip(), value.strip())
 
+    transfer_encoding = headers.get("Transfer-Encoding")
+    if transfer_encoding is not None and "chunked" in transfer_encoding.lower():
+        # Chunked bodies are not implemented; say so explicitly instead of
+        # falling into the misleading 411/"Content-Length required" path.
+        raise HTTPError(501, "Transfer-Encoding: chunked is not supported; "
+                             "send a Content-Length body")
+
     body = b""
     length_header = headers.get("Content-Length")
     if length_header is not None:

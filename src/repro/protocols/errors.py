@@ -26,6 +26,7 @@ class FaultCode:
     AUTHENTICATION_REQUIRED = 401
     ACCESS_DENIED = 403
     NOT_FOUND = 404
+    RETRY_LATER = 429
     SESSION_EXPIRED = 440
     SERVICE_ERROR = 500
 

@@ -12,7 +12,13 @@ file at (or healing toward) that many ``ACTIVE`` replicas:
 * **scan-driven** — with ``heal_interval > 0`` a background sweep re-checks
   every governed LFN, catching files that became under-replicated without an
   event (a dropped replica, a policy added after the fact, a heal whose
-  retry window passed).
+  retry window passed);
+* **deadline-driven** — whenever a heal decision is pushed into the future
+  by the anti-flap backoff, a per-LFN timer re-evaluates that file the
+  moment its backoff window expires, so failed heals retry on schedule even
+  when ``heal_interval`` is 0 (previously they waited for the next bus
+  event or sweep).  At most one deadline is pending per LFN, so the timers
+  cannot amplify flapping.
 
 Healing is *anti-flap* by construction: in-flight heal transfers count
 toward the target (so a second quarantine event for the same LFN schedules
@@ -106,23 +112,29 @@ class ReplicaPolicyEngine:
         self._subscriptions: list[int] = []
         self._stop = threading.Event()
         self._scan_thread: threading.Thread | None = None
+        #: lfn -> pending deadline timer (at most one per LFN).
+        self._deadlines: dict[str, threading.Timer] = {}
         self.heals_scheduled = 0
         self.heals_completed = 0
         self.heals_failed = 0
+        self.deadline_reevals = 0
         self.sweeps = 0
 
     # -- lifecycle -----------------------------------------------------------
     def start(self) -> None:
         """Subscribe to the bus and start the periodic sweep (when enabled)."""
 
+        # Unconditionally: a stop()/start() cycle with heal_interval == 0
+        # must re-enable the deadline timers, not leave them dead.
+        self._stop.clear()
         if self.bus is not None and not self._subscriptions:
             self._subscriptions = [
                 self.bus.subscribe("replica.quarantine", self._on_quarantine),
+                self.bus.subscribe("replica.dropped", self._on_quarantine),
                 self.bus.subscribe("replica.transfer.done", self._on_transfer),
                 self.bus.subscribe("replica.transfer.failed", self._on_transfer),
             ]
         if self.heal_interval > 0 and self._scan_thread is None:
-            self._stop.clear()
             self._scan_thread = threading.Thread(
                 target=self._scan_loop, name="replica-policy-scan", daemon=True)
             self._scan_thread.start()
@@ -136,6 +148,11 @@ class ReplicaPolicyEngine:
             for sub_id in self._subscriptions:
                 self.bus.unsubscribe(sub_id)
             self._subscriptions = []
+        with self._lock:
+            timers = list(self._deadlines.values())
+            self._deadlines.clear()
+        for timer in timers:
+            timer.cancel()
 
     # -- policy table --------------------------------------------------------
     def set_policy(self, prefix: str, copies: int) -> ReplicaPolicy:
@@ -222,6 +239,7 @@ class ReplicaPolicyEngine:
                 decision["action"] = "deferred"
                 decision["retry_in"] = round(next_allowed - now, 3)
                 decision["strikes"] = strikes
+                self._schedule_deadline(lfn, next_allowed - now)
                 self._publish("backoff", decision)
                 return decision
             needed = target - len(active) - len(inflight)
@@ -313,6 +331,35 @@ class ReplicaPolicyEngine:
         _, strikes = self._backoff.get(lfn, (0.0, 0))
         delay = min(self.heal_backoff * (2 ** strikes), self.max_backoff)
         self._backoff[lfn] = (self._clock() + delay, strikes + 1)
+        self._schedule_deadline(lfn, delay)
+
+    # -- deadline re-evaluation ----------------------------------------------
+    def _schedule_deadline(self, lfn: str, delay: float) -> None:
+        """Arm a one-shot re-evaluation of ``lfn`` once its backoff expires.
+
+        Called with the policy lock held.  At most one deadline is pending
+        per LFN (re-arming while one is armed is a no-op), so a burst of
+        failures produces a single scheduled retry, not a timer storm.
+        """
+
+        if self._stop.is_set() or lfn in self._deadlines:
+            return
+        timer = threading.Timer(max(delay, 0.0) + 0.01, self._deadline_fire,
+                                args=(lfn,))
+        timer.daemon = True
+        self._deadlines[lfn] = timer
+        timer.start()
+
+    def _deadline_fire(self, lfn: str) -> None:
+        with self._lock:
+            self._deadlines.pop(lfn, None)
+        if self._stop.is_set():
+            return
+        self.deadline_reevals += 1
+        try:
+            self.evaluate(lfn)
+        except Exception:  # noqa: BLE001 - timers must never die loudly
+            pass
 
     # -- bus callbacks -------------------------------------------------------
     def _on_quarantine(self, message: Message) -> None:
@@ -360,5 +407,7 @@ class ReplicaPolicyEngine:
                 "heals_failed": self.heals_failed,
                 "healing_lfns": sum(1 for ids in self._healing.values() if ids),
                 "backoffs": len(self._backoff),
+                "pending_deadlines": len(self._deadlines),
+                "deadline_reevals": self.deadline_reevals,
                 "sweeps": self.sweeps,
             }

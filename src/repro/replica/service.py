@@ -328,6 +328,49 @@ class ReplicaService(ClarensService):
 
     # -- operations ----------------------------------------------------------
     @rpc_method()
+    def drop_replica(self, ctx: CallContext, lfn: str, se: str) -> dict[str, Any]:
+        """Remove a *quarantined* copy so its element can host a fresh heal.
+
+        Administrators only: the policy engine never heals onto an element
+        that still holds a quarantined replica (the corrupt copy is evidence),
+        so this is the operator flow that reclaims the slot.  Publishes
+        ``replica.dropped`` on the monitoring bus — the policy engine
+        subscribes and immediately re-evaluates the LFN, reusing the freed
+        element as a heal target.  Non-quarantined replicas are refused; use
+        ``replica.drop`` (a normal write-ACL operation) for those.
+        """
+
+        self.server.require_admin(ctx)
+        try:
+            entry = self.catalogue.entry(lfn)
+            record = entry["replicas"].get(se)
+            if record is None:
+                raise NotFoundError(f"{entry['lfn']} has no replica on {se!r}")
+            if record["state"] != ReplicaState.QUARANTINED.value:
+                raise ClarensError(
+                    f"replica of {lfn} on {se!r} is {record['state']}, not "
+                    f"quarantined; use replica.drop for healthy copies")
+            # CAS on the version read above: a concurrent re-verify that
+            # reactivated the copy raises a conflict instead of silently
+            # dropping a now-healthy replica.
+            updated = self.catalogue.drop(lfn, se,
+                                          expected_version=entry["version"])
+        except ReplicaError as exc:
+            raise _translate(exc) from exc
+        remaining = len(updated["replicas"]) if updated is not None else 0
+        bus = getattr(self.server, "message_bus", None)
+        if bus is not None:
+            bus.publish("replica.dropped", {
+                "lfn": entry["lfn"],
+                "storage_element": se,
+                "pfn": record["pfn"],
+                "remaining_replicas": remaining,
+                "dropped_by": ctx.dn or "",
+            }, source=self.server.config.server_name)
+        return {"lfn": entry["lfn"], "storage_element": se,
+                "remaining_replicas": remaining}
+
+    @rpc_method()
     def elements_info(self, ctx: CallContext) -> list[dict[str, Any]]:
         """The storage elements this server knows (availability + load)."""
 

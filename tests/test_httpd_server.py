@@ -113,6 +113,35 @@ class TestSocketHTTPServer:
             data = sock.recv(4096)
         assert b"411" in data.split(b"\r\n", 1)[0]
 
+    def test_chunked_request_rejected_with_501(self, running_server):
+        """Chunked uploads get an explicit 501, not the misleading 411."""
+
+        host, port = running_server.address
+        import socket
+
+        with socket.create_connection((host, port), timeout=5) as sock:
+            sock.sendall(b"POST /rpc HTTP/1.1\r\nHost: x\r\n"
+                         b"Transfer-Encoding: chunked\r\n\r\n"
+                         b"5\r\nhello\r\n0\r\n\r\n")
+            data = b""
+            while True:         # drain: the body may arrive in a later segment
+                part = sock.recv(4096)
+                if not part:
+                    break
+                data += part
+        assert b"501" in data.split(b"\r\n", 1)[0]
+        assert b"chunked" in data.lower()
+
+    def test_chunked_rejection_is_case_insensitive(self, running_server):
+        host, port = running_server.address
+        import socket
+
+        with socket.create_connection((host, port), timeout=5) as sock:
+            sock.sendall(b"POST /rpc HTTP/1.1\r\nHost: x\r\n"
+                         b"transfer-encoding: Chunked\r\n\r\n")
+            data = sock.recv(4096)
+        assert b"501" in data.split(b"\r\n", 1)[0]
+
     def test_malformed_request_line_gets_400(self, running_server):
         host, port = running_server.address
         import socket

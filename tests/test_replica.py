@@ -20,7 +20,7 @@ from repro.client.files import download_lfn, download_lfn_http
 from repro.database import Database
 from repro.fileservice.vfs import VirtualFileSystem
 from repro.monitoring.bus import MessageBus
-from repro.protocols.errors import Fault
+from repro.protocols.errors import Fault, FaultCode
 from repro.replica.broker import ReplicaBroker
 from repro.replica.catalogue import ReplicaCatalogue
 from repro.replica.model import (ReplicaConflictError, ReplicaError,
@@ -769,3 +769,77 @@ class TestReplicaService:
                             b"silent corruption", False)
         with pytest.raises((ClientError, Fault)):
             download_lfn(replica_client, self.LFN)
+
+
+class TestDropReplicaRPC:
+    """The operator flow that reclaims a quarantined element slot."""
+
+    DATA = b"governed bytes " * 256
+    LFN = "/lfn/cms/gov/events.dat"
+
+    def _two_copies(self, client) -> None:
+        client.call("file.write", "/gov/events.dat", self.DATA, False)
+        client.call("replica.register", self.LFN, "local", "/gov/events.dat")
+        transfer = client.call("replica.replicate", self.LFN, "se-b")
+        wait_transfer(client, transfer["transfer_id"])
+
+    def test_drop_replica_requires_admin(self, replica_client):
+        self._two_copies(replica_client)
+        with pytest.raises(Fault) as excinfo:
+            replica_client.call("replica.drop_replica", self.LFN, "se-b")
+        assert excinfo.value.code == FaultCode.ACCESS_DENIED
+
+    def test_drop_replica_refuses_healthy_copies(self, replica_client,
+                                                 replica_admin):
+        self._two_copies(replica_client)
+        with pytest.raises(Fault) as excinfo:
+            replica_admin.call("replica.drop_replica", self.LFN, "se-b")
+        assert "not quarantined" in excinfo.value.message
+        # Nothing was removed.
+        entry = replica_client.call("replica.stat", self.LFN)
+        assert set(entry["replicas"]) == {"local", "se-b"}
+
+    def test_drop_replica_publishes_and_frees_the_slot(self, replica_server,
+                                                       replica_client,
+                                                       replica_admin):
+        """Dropping the quarantined copy lets the policy engine heal onto
+        the freed element again (satellite acceptance)."""
+
+        self._two_copies(replica_client)
+        # Take the mass store out of play so the freed se-b slot is the only
+        # possible heal destination.
+        replica_admin.call("replica.set_available", "masstore", False)
+        replica_admin.call("replica.set_policy", "/lfn/cms/gov", 2)
+        dropped: list[dict] = []
+        replica_server.message_bus.subscribe(
+            "replica.dropped", lambda m: dropped.append(m.payload))
+
+        service = replica_server.services["replica"]
+        service.catalogue.quarantine(self.LFN, "se-b", error="rot detected")
+        # Quarantined slot on se-b blocks healing: local is the only healthy
+        # copy and no fresh element exists.
+        decision = replica_server.replica_policy.evaluate(self.LFN)
+        assert decision["action"] == "unsatisfiable"
+
+        result = replica_admin.call("replica.drop_replica", self.LFN, "se-b")
+        assert result["remaining_replicas"] == 1
+        assert dropped and dropped[0]["storage_element"] == "se-b"
+        assert dropped[0]["dropped_by"]
+
+        # The replica.dropped event re-evaluates the LFN; the freed element
+        # is a heal target again and the file returns to 2 healthy copies.
+        deadline = time.monotonic() + 10.0
+        while time.monotonic() < deadline:
+            states = {se: r["state"] for se, r in
+                      replica_client.call("replica.stat",
+                                          self.LFN)["replicas"].items()}
+            if states == {"local": "active", "se-b": "active"}:
+                break
+            time.sleep(0.01)
+        else:
+            raise AssertionError(f"heal onto freed slot never landed: {states}")
+
+    def test_drop_replica_unknown_replica_is_not_found(self, replica_admin):
+        with pytest.raises(Fault) as excinfo:
+            replica_admin.call("replica.drop_replica", "/lfn/none", "se-b")
+        assert excinfo.value.code == FaultCode.NOT_FOUND

@@ -461,6 +461,94 @@ class TestPolicyEngine:
         finally:
             engine.stop()
 
+    def test_failed_heal_retries_on_deadline_without_events(self, tmp_path):
+        """The per-LFN deadline timer retries a backed-off heal on schedule.
+
+        ``heal_interval`` is 0 and no further bus events arrive after the
+        injected failure, so only the deadline armed from the backoff state
+        can drive the retry.
+        """
+
+        bus = MessageBus()
+        catalogue = ReplicaCatalogue(Database(), bus=bus)
+        se_a = make_se(tmp_path, "se-a")
+        (tmp_path / "se-flaky").mkdir()
+        se_flaky = FlakyWriteSE("se-flaky",
+                                VirtualFileSystem(tmp_path / "se-flaky"),
+                                fail_writes=1)
+        engine = make_engine(catalogue, [se_a, se_flaky], max_attempts=1,
+                             bus=bus)
+        engine.start()
+        policy = ReplicaPolicyEngine(catalogue, engine, bus=bus,
+                                     heal_backoff=0.05)
+        policy.set_policy("/lfn", 2)
+        policy.start()
+        try:
+            register_file(catalogue, se_a, "/lfn/f", b"x")
+            assert policy.evaluate("/lfn/f")["action"] == "scheduled"
+            _wait_until(lambda: policy.stats()["heals_failed"] == 1,
+                        message="first heal failure accounted")
+            _wait_until(lambda: len(catalogue.replicas(
+                "/lfn/f", state=ReplicaState.ACTIVE)) == 2,
+                message="deadline-driven heal retry")
+            stats = policy.stats()
+            assert stats["deadline_reevals"] >= 1
+            assert stats["heals_completed"] == 1
+            # The retry settled everything: no deadline left pending.
+            _wait_until(lambda: policy.stats()["pending_deadlines"] == 0,
+                        message="deadline table drained")
+        finally:
+            policy.stop()
+            engine.stop()
+
+    def test_restart_reenables_deadline_timers(self, tmp_path):
+        """stop()/start() with heal_interval=0 must re-arm deadline support."""
+
+        bus = MessageBus()
+        catalogue = ReplicaCatalogue(Database(), bus=bus)
+        engine = make_engine(catalogue, [make_se(tmp_path, "se-a")])
+        policy = ReplicaPolicyEngine(catalogue, engine, bus=bus)
+        policy.start()
+        policy.stop()
+        policy.start()
+        try:
+            with policy._lock:
+                policy._schedule_deadline("/lfn/f", 60.0)
+            assert policy.stats()["pending_deadlines"] == 1
+        finally:
+            policy.stop()
+            engine.stop()
+        assert policy.stats()["pending_deadlines"] == 0
+
+    def test_deadline_is_armed_at_most_once_per_lfn(self, tmp_path):
+        """Hammering a deferred LFN keeps a single pending deadline (no storm)."""
+
+        bus = MessageBus()
+        catalogue = ReplicaCatalogue(Database(), bus=bus)
+        se_a = make_se(tmp_path, "se-a")
+        (tmp_path / "se-bad").mkdir()
+        se_bad = FlakyWriteSE("se-bad", VirtualFileSystem(tmp_path / "se-bad"),
+                              fail_writes=99)
+        engine = make_engine(catalogue, [se_a, se_bad], max_attempts=1,
+                             bus=bus)
+        engine.start()
+        policy = ReplicaPolicyEngine(catalogue, engine, bus=bus,
+                                     heal_backoff=60.0)   # long: stays deferred
+        policy.set_policy("/lfn", 2)
+        policy.start()
+        try:
+            register_file(catalogue, se_a, "/lfn/f", b"x")
+            [scheduled] = policy.evaluate("/lfn/f")["scheduled"]
+            engine.wait(scheduled["transfer_id"], timeout=10.0)
+            _wait_until(lambda: policy.stats()["heals_failed"] == 1,
+                        message="heal failure accounted")
+            for _ in range(5):
+                assert policy.evaluate("/lfn/f")["action"] == "deferred"
+            assert policy.stats()["pending_deadlines"] == 1
+        finally:
+            policy.stop()
+            engine.stop()
+
     def test_periodic_sweep_heals_without_events(self, tmp_path):
         bus, catalogue, elements, engine, data = self._fabric(tmp_path)
         register_file(catalogue, elements[0], "/lfn/f", data)   # before start
