@@ -1,0 +1,70 @@
+"""FABRIC — gossip relay and catalogue anti-entropy overhead.
+
+The ``repro.fabric`` substrate must be cheap enough to run continuously: a
+sync round over N logical files is a digest call plus one batched fetch, and
+a gossip flush is one ``fabric.publish`` per peer regardless of how many
+messages are queued.  This benchmark builds a real two-site fabric (separate
+monitoring buses, authenticated peer channels) and measures both paths, plus
+the steady-state no-op round that runs when nothing changed.
+
+Acceptance bars (smoke-safe ratios, not absolute numbers): every LFN lands
+in one round, the no-op round fetches nothing, and both throughputs clear a
+floor generous enough for any CI host.
+"""
+
+from __future__ import annotations
+
+from repro.bench.pipelinebench import measure_fabric_overhead
+from repro.bench.results import ComparisonRow, ResultTable, format_rate
+
+N_LFNS = 150
+N_MESSAGES = 300
+MIN_SYNC_LFNS_PER_S = 50.0
+MIN_GOSSIP_MSGS_PER_S = 200.0
+
+
+def test_fabric_sync_and_gossip_overhead(benchmark, smoke, capsys):
+    """One anti-entropy round over N LFNs plus an N-message gossip flush."""
+
+    lfns = 40 if smoke else N_LFNS
+    messages = 80 if smoke else N_MESSAGES
+    result = benchmark.pedantic(
+        measure_fabric_overhead,
+        kwargs={"lfns": lfns, "gossip_messages": messages},
+        rounds=1, iterations=1)
+    benchmark.extra_info.update(result)
+
+    table = ResultTable(f"fabric overhead ({result['lfns']} LFNs, "
+                        f"{result['gossip_messages']} gossip messages)",
+                        ["path", "seconds", "rate"])
+    table.add_row("first sync round", round(result["first_round_s"], 4),
+                  f"{result['sync_lfns_per_second']:.0f} lfns/s")
+    table.add_row("no-op sync round", round(result["noop_round_s"], 4),
+                  "version-vector hit")
+    table.add_row("gossip relay", round(result["gossip_s"], 4),
+                  f"{result['gossip_messages_per_second']:.0f} msgs/s")
+    comparison = ComparisonRow(
+        experiment_id="FABRIC",
+        description="peering substrate: anti-entropy + gossip overhead",
+        paper_value="n/a (scenario opened by the fabric refactor)",
+        measured_value=f"{result['sync_lfns_per_second']:.0f} lfns/s sync, "
+                       f"{format_rate(result['gossip_messages_per_second'])} "
+                       f"gossip",
+        shape_holds=(result["imported"] == result["lfns"]
+                     and result["noop_changed"] == 0),
+        notes=f"bars: one-round convergence, no-op rounds fetch nothing, "
+              f">= {MIN_SYNC_LFNS_PER_S:.0f} lfns/s, "
+              f">= {MIN_GOSSIP_MSGS_PER_S:.0f} msgs/s",
+    )
+    with capsys.disabled():
+        print("\n" + table.render())
+        print(comparison.render() + "\n")
+
+    assert result["imported"] == result["lfns"], (
+        "anti-entropy did not converge in one round")
+    assert result["gossip_relayed"] == result["gossip_messages"], (
+        "gossip dropped messages on a healthy link")
+    assert result["noop_changed"] == 0, (
+        "version vector failed to suppress refetching unchanged entries")
+    assert result["sync_lfns_per_second"] >= MIN_SYNC_LFNS_PER_S
+    assert result["gossip_messages_per_second"] >= MIN_GOSSIP_MSGS_PER_S

@@ -1,0 +1,188 @@
+#!/usr/bin/env python3
+"""A three-server federation on the ``repro.fabric`` peering substrate.
+
+Three Clarens servers — each with its *own* monitoring bus, so nothing is
+shared in-process — peer with each other over authenticated channels.  The
+fabric then does three jobs at once, all on its background loops:
+
+* **catalogue anti-entropy**: a dataset registered only on site-1 appears in
+  site-2's and site-3's catalogues within a sync round and is readable
+  through them, with no transfer having been scheduled;
+* **fabric-wide admission**: a hot client throttled on site-1 is
+  pre-throttled on the other sites within a gossip interval;
+* **failure handling**: site-2 is killed (its network link severed); the
+  survivors mark the peer down, and a dataset registered afterwards still
+  converges between site-1 and site-3.
+
+Run with::
+
+    python examples/federation_fabric.py
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.client.client import ClarensClient
+from repro.client.errors import ClientError
+from repro.client.files import download_lfn
+from repro.core.config import ServerConfig
+from repro.core.server import ClarensServer
+from repro.pki.authority import CertificateAuthority
+from repro.protocols.errors import Fault, FaultCode
+
+ADMIN_DN = "/O=fabric.example/OU=People/CN=Fabric Operations"
+SITES = ("site-1", "site-2", "site-3")
+LFN = "/lfn/cms/run9/muon-candidates.dat"
+LFN_LATE = "/lfn/cms/run9/late-arrivals.dat"
+DATA = b"di-muon candidate events " * 1024
+DATA_LATE = b"events recorded after the outage " * 512
+
+
+def wait_for(predicate, *, timeout: float = 30.0, what: str = "condition"):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(0.02)
+    raise RuntimeError(f"timed out waiting for {what}")
+
+
+def main() -> None:
+    ca = CertificateAuthority("/O=fabric.example/CN=Fabric CA", key_bits=512)
+    peering = ca.issue_user("Fabric Peering Service")
+    peering_dn = str(peering.certificate.subject)
+    analyst = ca.issue_user("Nadia Analyst")
+    hot = ca.issue_user("Hot Client")
+
+    events: list[str] = []
+    servers: dict[str, ClarensServer] = {}
+    for site in SITES:
+        host = ca.issue_host(f"clarens.{site}.example")
+        config = ServerConfig(
+            server_name=site,
+            admins=[ADMIN_DN],
+            host_dn=str(host.certificate.subject),
+            dispatch_rate_limit=0.001,        # ~none per second: demo-tight
+            dispatch_burst=8,
+            fabric_gossip_interval=0.05,      # background flusher
+            fabric_catalogue_sync=0.1,        # background anti-entropy
+        )
+        servers[site] = ClarensServer(config, credential=host,
+                                      trust_store=ca.trust_store())
+        for prefix in ("fabric.peer", "fabric.sync", "fabric.admission"):
+            servers[site].message_bus.subscribe(
+                prefix, lambda m, s=site: events.append(f"{s}:{m.topic}"))
+
+    # ------------------------------------------------- the full-mesh network
+    # Every link goes through this table, so "killing" a site later means
+    # flipping its entry — exactly what a dead host looks like to its peers.
+    alive = {site: True for site in SITES}
+
+    def link(target_site: str):
+        def factory() -> ClarensClient:
+            if not alive[target_site]:
+                raise ClientError(f"{target_site} is unreachable")
+            # The peering credential identifies the channel via its TLS DN:
+            # no login round-trips, and registered peer DNs are exempt from
+            # admission (fabric traffic is paced by the fabric intervals).
+            return ClarensClient.for_loopback(
+                servers[target_site].loopback(), credential=peering)
+        return factory
+
+    for site in SITES:
+        for other in SITES:
+            if other != site:
+                servers[site].fabric.add_peer(other, factory=link(other),
+                                              dn=peering_dn)
+    print("federation up: 3 sites, full mesh, gossip + anti-entropy running")
+
+    # ------------------------------------------ catalogue convergence (1->*)
+    nadia_1 = ClarensClient.for_loopback(servers["site-1"].loopback(),
+                                         credential=analyst)
+    nadia_1.call("file.write", LFN, DATA, False)
+    nadia_1.call("replica.register", LFN, "local", LFN)
+    print(f"site-1: registered {LFN} ({len(DATA)} bytes)")
+
+    readers = {}
+    for site in ("site-2", "site-3"):
+        readers[site] = ClarensClient.for_loopback(servers[site].loopback(),
+                                                   credential=analyst)
+    for site in ("site-2", "site-3"):
+        wait_for(lambda s=site: servers[s].services["replica"]
+                 .catalogue.exists(LFN),
+                 what=f"catalogue convergence on {site}")
+        assert download_lfn(readers[site], LFN) == DATA
+        print(f"{site}: catalogue converged; read the dataset through the "
+              f"fabric (no transfer was scheduled)")
+
+    # ------------------------------------------------ fabric-wide admission
+    hot_1 = ClarensClient.for_loopback(servers["site-1"].loopback(),
+                                       credential=hot)
+    throttled = False
+    for _ in range(16):                      # drain the burst, then trip
+        try:
+            hot_1.call("system.ping")
+        except Fault as fault:
+            assert fault.code == FaultCode.RETRY_LATER
+            throttled = True
+            break
+    assert throttled, "site-1 should have shed the hot client"
+    print("site-1: hot client throttled (RETRY_LATER)")
+    for site in ("site-2", "site-3"):
+        wait_for(lambda s=site: servers[s].pipeline.admission
+                 .stats()["sheds_applied"] >= 1,
+                 what=f"shed advert applied on {site}")
+        hot_n = ClarensClient.for_loopback(servers[site].loopback(),
+                                           credential=hot)
+        try:
+            hot_n.call("system.ping")
+            raise RuntimeError(f"{site} admitted the pre-shed hot client")
+        except Fault as fault:
+            assert fault.code == FaultCode.RETRY_LATER
+        hot_n.close()
+        print(f"{site}: hot client pre-throttled before ever being served")
+
+    # --------------------------------------------------------- kill site-2
+    alive["site-2"] = False
+    servers["site-2"].close()
+    for site in ("site-1", "site-3"):
+        servers[site].fabric.channels["site-2"].close()   # sever live links
+    print("\nsite-2 killed (host down, links severed)")
+    for site in ("site-1", "site-3"):
+        wait_for(lambda s=site: servers[s].fabric.registry
+                 .get("site-2").state == "down",
+                 what=f"{site} noticing the dead peer")
+        print(f"{site}: marked site-2 down "
+              f"(fabric.peer.down published)")
+
+    # The survivors keep converging without the dead member.
+    nadia_1.call("file.write", LFN_LATE, DATA_LATE, False)
+    nadia_1.call("replica.register", LFN_LATE, "local", LFN_LATE)
+    wait_for(lambda: servers["site-3"].services["replica"]
+             .catalogue.exists(LFN_LATE),
+             what="post-outage convergence on site-3")
+    assert download_lfn(readers["site-3"], LFN_LATE) == DATA_LATE
+    print("site-3: post-outage dataset converged and is readable — the "
+          "fabric degraded, it did not stop")
+
+    assert any(e.endswith("fabric.peer.down") for e in events)
+    assert any(":fabric.sync.round" in e for e in events)
+    assert any(":fabric.admission.shed" in e for e in events)
+    status = servers["site-1"].fabric.sync.stats()
+    print(f"\nsite-1 sync stats: {status['rounds']} rounds, "
+          f"{status['replicas_imported']} replicas imported, "
+          f"{status['errors']} peer errors survived")
+
+    nadia_1.close()
+    hot_1.close()
+    for client in readers.values():
+        client.close()
+    for site in ("site-1", "site-3"):
+        servers[site].close()
+
+    print("\nfederation fabric demo complete")
+
+
+if __name__ == "__main__":
+    main()

@@ -2,11 +2,12 @@
 """Run the smoke benchmarks and append the headline numbers to a trend file.
 
 Runs the pipeline-relevant benchmarks in smoke mode —
-``benchmarks/bench_fig4_throughput.py`` (the paper's Figure 4 sweep) and
-``benchmarks/bench_multicall.py`` (batched RPC speedup) — then measures the
-headline numbers directly via :mod:`repro.bench.pipelinebench` and appends
-one dated entry to ``BENCH_pipeline.json`` at the repository root, so the
-performance trajectory accumulates run over run.
+``benchmarks/bench_fig4_throughput.py`` (the paper's Figure 4 sweep),
+``benchmarks/bench_multicall.py`` (batched RPC speedup) and
+``benchmarks/bench_fabric.py`` (gossip + catalogue-sync overhead) — then
+measures the headline numbers directly via :mod:`repro.bench.pipelinebench`
+and appends one dated entry to ``BENCH_pipeline.json`` at the repository
+root, so the performance trajectory accumulates run over run.
 
 Usage, from the repository root::
 
@@ -33,12 +34,14 @@ TREND_FILE = REPO_ROOT / "BENCH_pipeline.json"
 SMOKE_BENCHMARKS = [
     "benchmarks/bench_fig4_throughput.py",
     "benchmarks/bench_multicall.py",
+    "benchmarks/bench_fabric.py",
 ]
 
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.bench.pipelinebench import (  # noqa: E402 - path set up above
-    measure_fig4_throughput, measure_multicall_speedup)
+    measure_fabric_overhead, measure_fig4_throughput,
+    measure_multicall_speedup)
 
 
 def run_pytest_gate() -> int:
@@ -57,6 +60,7 @@ def run_pytest_gate() -> int:
 def measure() -> dict:
     multicall = measure_multicall_speedup(calls=100)
     fig4 = measure_fig4_throughput()
+    fabric = measure_fabric_overhead()
     return {
         "timestamp": datetime.datetime.now(datetime.timezone.utc).isoformat(),
         "host": {
@@ -76,6 +80,13 @@ def measure() -> dict:
             "per_client_count": {str(k): round(v, 1)
                                  for k, v in fig4["per_client_count"].items()},
             "errors": fig4["errors"],
+        },
+        "fabric": {
+            "lfns": fabric["lfns"],
+            "sync_lfns_per_second": round(fabric["sync_lfns_per_second"], 1),
+            "noop_round_ms": round(fabric["noop_round_s"] * 1000.0, 3),
+            "gossip_messages_per_second":
+                round(fabric["gossip_messages_per_second"], 1),
         },
     }
 
@@ -112,7 +123,8 @@ def main() -> int:
     entry = measure()
     runs = append_trend(entry)
     print(f"multicall speedup: {entry['multicall']['speedup']}x, "
-          f"fig4 mean: {entry['fig4']['mean_calls_per_second']} calls/s")
+          f"fig4 mean: {entry['fig4']['mean_calls_per_second']} calls/s, "
+          f"fabric sync: {entry['fabric']['sync_lfns_per_second']} lfns/s")
     print(f"wrote {TREND_FILE} ({len(runs)} run(s))")
     return 0
 

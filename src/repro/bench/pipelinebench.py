@@ -1,12 +1,13 @@
 """Pipeline benchmark measurements shared by ``benchmarks/`` and CI tooling.
 
-Both ``benchmarks/bench_multicall.py`` (the pytest benchmark) and
-``scripts/bench_trend.py`` (the trend recorder that appends to
-``BENCH_pipeline.json``) need the same numbers, so the measurement functions
-live here: the batching speedup of ``system.multicall`` over sequential
-dispatches, and a small Figure-4-shaped throughput probe.  Everything runs on
-the loopback transport — framework overhead, not kernel sockets — exactly as
-the paper measured.
+Both the pytest benchmarks (``benchmarks/bench_multicall.py``,
+``benchmarks/bench_fabric.py``) and ``scripts/bench_trend.py`` (the trend
+recorder that appends to ``BENCH_pipeline.json``) need the same numbers, so
+the measurement functions live here: the batching speedup of
+``system.multicall`` over sequential dispatches, a small Figure-4-shaped
+throughput probe, and the fabric's gossip/anti-entropy overhead.  Everything
+runs on the loopback transport — framework overhead, not kernel sockets —
+exactly as the paper measured.
 """
 
 from __future__ import annotations
@@ -17,7 +18,8 @@ from typing import Any
 from repro.bench.workloads import make_benchmark_environment
 from repro.client.asyncclient import AsyncLoadClient
 
-__all__ = ["measure_multicall_speedup", "measure_fig4_throughput"]
+__all__ = ["measure_multicall_speedup", "measure_fig4_throughput",
+           "measure_fabric_overhead"]
 
 
 def measure_multicall_speedup(*, calls: int = 100, rounds: int = 3) -> dict[str, Any]:
@@ -63,6 +65,106 @@ def _time_sequential(client, calls: int) -> float:
     for i in range(calls):
         client.call("system.echo", i)
     return time.perf_counter() - start
+
+
+def measure_fabric_overhead(*, lfns: int = 100,
+                            gossip_messages: int = 200) -> dict[str, Any]:
+    """Gossip relay and catalogue anti-entropy throughput on two servers.
+
+    Builds a two-site fabric (separate monitoring buses, peered channels),
+    registers ``lfns`` logical files on site A, then measures:
+
+    * the first anti-entropy round on site B (digest + fetch + merge of
+      every entry) — reported as LFNs reconciled per second;
+    * a follow-up no-op round (version-vector hit, nothing fetched) — the
+      steady-state cost of staying converged;
+    * flushing ``gossip_messages`` cache-invalidation messages across the
+      fabric — messages relayed per second, end to end (queue, one
+      ``fabric.publish`` batch per flush, republish, local apply).
+    """
+
+    from repro.client.client import ClarensClient
+    from repro.core.config import ServerConfig
+    from repro.core.server import ClarensServer
+    from repro.pki.authority import CertificateAuthority
+
+    ca = CertificateAuthority("/O=bench.fabric/CN=Bench CA", key_bits=512)
+    peering = ca.issue_user("Bench Peering Service")
+    peering_dn = str(peering.certificate.subject)
+    user = ca.issue_user("Bench User")
+
+    servers = {}
+    for site in ("bench-a", "bench-b"):
+        host = ca.issue_host(f"{site}.bench.fabric")
+        config = ServerConfig(server_name=site,
+                              host_dn=str(host.certificate.subject))
+        servers[site] = ClarensServer(config, credential=host,
+                                      trust_store=ca.trust_store())
+    site_a, site_b = servers["bench-a"], servers["bench-b"]
+
+    def factory(target):
+        def build():
+            return ClarensClient.for_loopback(target.loopback(),
+                                              credential=peering)
+        return build
+
+    client = None
+    try:
+        site_a.fabric.add_peer("bench-b", factory=factory(site_b),
+                               dn=peering_dn)
+        site_b.fabric.add_peer("bench-a", factory=factory(site_a),
+                               dn=peering_dn)
+
+        client = ClarensClient.for_loopback(site_a.loopback(),
+                                            credential=user)
+        payload = b"x" * 256
+        for i in range(lfns):
+            lfn = f"/lfn/bench/file-{i:05d}.dat"
+            client.call("file.write", lfn, payload, False)
+            client.call("replica.register", lfn, "local", lfn)
+
+        start = time.perf_counter()
+        outcome = site_b.fabric.sync.sync_once()
+        first_round_s = time.perf_counter() - start
+        imported = outcome["bench-a"]["entries"]
+
+        start = time.perf_counter()
+        noop = site_b.fabric.sync.sync_once()
+        noop_round_s = time.perf_counter() - start
+
+        applied_before = site_b.fabric.gossip.applied
+        start = time.perf_counter()
+        flushed = 0
+        for i in range(gossip_messages):
+            site_a.message_bus.publish("cache.invalidate.bench",
+                                       {"tag": f"bench:{i}"},
+                                       source="bench-a")
+            if (i + 1) % 64 == 0 or i + 1 == gossip_messages:
+                site_a.fabric.gossip.flush()
+                flushed += 1
+        gossip_s = time.perf_counter() - start
+        relayed = site_b.fabric.gossip.applied - applied_before
+
+        return {
+            "lfns": lfns,
+            "imported": imported,
+            "first_round_s": first_round_s,
+            "sync_lfns_per_second": imported / first_round_s
+                                    if first_round_s else 0.0,
+            "noop_round_s": noop_round_s,
+            "noop_changed": noop["bench-a"]["changed"],
+            "gossip_messages": gossip_messages,
+            "gossip_relayed": relayed,
+            "gossip_flushes": flushed,
+            "gossip_s": gossip_s,
+            "gossip_messages_per_second": relayed / gossip_s
+                                          if gossip_s else 0.0,
+        }
+    finally:
+        if client is not None:
+            client.close()
+        for server in servers.values():
+            server.close()
 
 
 def measure_fig4_throughput(*, calls_per_batch: int = 150,

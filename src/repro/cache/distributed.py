@@ -1,4 +1,4 @@
-"""Cross-process cache invalidation over the monitoring message bus.
+"""Cross-server cache invalidation over the monitoring message bus.
 
 A single server keeps its caches coherent through its local
 :class:`~repro.cache.invalidation.InvalidationBus`; a multi-server
@@ -7,13 +7,22 @@ an ACL, destroys a session, or changes a VO group.  The
 :class:`CacheInvalidationRelay` bridges the two substrates:
 
 * every tag published on the local invalidation bus is republished onto the
-  shared monitoring :class:`~repro.monitoring.bus.MessageBus` under
+  monitoring :class:`~repro.monitoring.bus.MessageBus` under
   ``cache.invalidate.<tag family>`` (the full colon tag rides in the
   payload, since bus topics are dot-separated);
 * every ``cache.invalidate.*`` message from a *different* server is applied
   to the local invalidation bus, flushing the matching cache entries.
 
-Messages carry the originating server's name as the bus ``source`` and are
+The relay owns no transport of its own: it only speaks to the local bus.
+Across real server boundaries the ``cache.invalidate`` topic rides the
+fabric's :class:`~repro.fabric.gossip.GossipBus` (a standard gossiped
+topic), which forwards each flush to every peer over the authenticated
+``fabric.publish`` RPC and republishes inbound flushes — original source
+preserved — onto the receiving server's local bus, where this relay applies
+them.  Tests that wire several servers to one shared bus object exercise
+the identical relay logic with the gossip hop short-circuited.
+
+Messages carry the originating relay's id as the bus ``source`` and are
 ignored when it matches our own, so a flush never echoes back; a
 thread-local re-entrancy guard additionally stops a remotely applied flush
 from being republished (bus delivery is synchronous, so a relay loop would

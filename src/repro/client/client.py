@@ -116,8 +116,9 @@ class ClarensClient:
         """Batch many calls into one ``system.multicall`` request.
 
         ``calls`` is a sequence of ``(method, params)`` pairs.  The batch is
-        encoded, sent, authenticated and admitted as a single request; the
-        server runs its ACL check once per distinct method.  Returns one slot
+        encoded, sent and authenticated as a single request (the server's
+        admission control still charges one token per entry); the server
+        runs its ACL check once per distinct method.  Returns one slot
         per call, in order: the call's result, or — because one bad entry
         must not poison the batch — a :class:`Fault` instance *in place*
         (not raised) for entries that failed.

@@ -12,6 +12,14 @@ the wire, HTTP 429 on the plain endpoint — and a ``dispatch.throttled`` event
 on the monitoring bus, so one hot client cannot starve the rest of the VO.
 
 Both limits are off by default (0), matching the paper's open-door setup.
+
+Two extensions ride on the same buckets: :meth:`AdmissionController.charge`
+bills ``system.multicall`` batches one token per entry (the batch admits
+once, then the pipeline charges the rest — batching amortizes parsing, not
+the rate limit), and :meth:`AdmissionController.apply_shed` lets the fabric
+layer (:mod:`repro.fabric.admission`) pre-throttle an identity that a *peer*
+server just shed, so one hot client cannot fire a fresh burst at every
+server in turn.
 """
 
 from __future__ import annotations
@@ -34,15 +42,23 @@ ANONYMOUS_IDENTITY = "<anonymous>"
 _PRUNE_THRESHOLD = 4096
 
 
-class _Bucket:
-    """Token bucket plus in-flight counter for one identity."""
+def _NOOP_RELEASE() -> None:
+    """The release returned for exempt identities (nothing was reserved)."""
 
-    __slots__ = ("tokens", "last_refill", "inflight")
+
+class _Bucket:
+    """Token bucket plus in-flight and per-identity counters for one identity."""
+
+    __slots__ = ("tokens", "last_refill", "inflight", "admitted", "throttled",
+                 "shed")
 
     def __init__(self, tokens: float, now: float) -> None:
         self.tokens = tokens
         self.last_refill = now
         self.inflight = 0
+        self.admitted = 0
+        self.throttled = 0
+        self.shed = 0
 
 
 class AdmissionController:
@@ -70,8 +86,17 @@ class AdmissionController:
         self._clock = clock
         self._lock = threading.Lock()
         self._buckets: dict[str, _Bucket] = {}
+        #: Predicates exempting infrastructure identities (fabric peer DNs)
+        #: from every limit; see :meth:`add_exemption`.
+        self._exemptions: list[Callable[[str], bool]] = []
         self.admitted = 0
         self.throttled = 0
+        self.exempted = 0
+        self.charged_tokens = 0
+        self.sheds_applied = 0
+        #: Shed adverts applied, counted per advertising server — answers
+        #: "which peer is driving the fabric-wide shedding here".
+        self.shed_sources: dict[str, int] = {}
 
     # -- the admission decision ----------------------------------------------
     def admit(self, identity: str | None, method: str) -> Callable[[], None]:
@@ -82,34 +107,140 @@ class AdmissionController:
         """
 
         identity = identity or ANONYMOUS_IDENTITY
+        if self._is_exempt(identity):
+            with self._lock:
+                self.exempted += 1
+            return _NOOP_RELEASE
         now = self._clock()
         with self._lock:
-            bucket = self._buckets.get(identity)
-            if bucket is None:
-                if len(self._buckets) >= _PRUNE_THRESHOLD:
-                    self._prune(now)
-                bucket = self._buckets[identity] = _Bucket(self.burst, now)
-            if self.rate > 0:
-                bucket.tokens = min(self.burst,
-                                    bucket.tokens + (now - bucket.last_refill) * self.rate)
-                bucket.last_refill = now
+            bucket = self._refilled_bucket(identity, now)
             if self.max_inflight and bucket.inflight >= self.max_inflight:
                 self.throttled += 1
+                bucket.throttled += 1
                 reason, retry_after = "inflight", 0.0
             elif self.rate > 0 and bucket.tokens < 1.0:
                 self.throttled += 1
+                bucket.throttled += 1
                 reason, retry_after = "rate", (1.0 - bucket.tokens) / self.rate
             else:
                 if self.rate > 0:
                     bucket.tokens -= 1.0
                 bucket.inflight += 1
                 self.admitted += 1
+                bucket.admitted += 1
                 return self._releaser(bucket)
         # Publish outside the lock: bus subscribers may be slow or re-entrant.
         self._publish_throttled(identity, method, reason, retry_after)
         raise RetryLaterError(
             f"request rate for {identity} exceeded ({reason} limit); retry later",
             retry_after=retry_after)
+
+    def charge(self, identity: str | None, tokens: int, method: str = "", *,
+               retry_cost: float | None = None) -> None:
+        """Deduct ``tokens`` extra tokens for work already admitted.
+
+        ``system.multicall`` admits as one request (one decode, one session
+        check) but must pay one token *per entry* so batching cannot bypass
+        ``dispatch_rate_limit``; the pipeline charges the N-1 remaining
+        entries here.  A bucket too empty for the whole charge rejects it
+        outright (nothing is deducted) with RetryLaterError, exactly like a
+        throttled admit.
+
+        ``retry_cost`` is the *total* tokens a retried attempt will need —
+        for a multicall that is N, not N-1, because the retry pays the
+        admission-stage token again.  The advertised ``retry_after`` waits
+        for that total, so a client honoring it does not land back on an
+        empty-by-one bucket forever.
+        """
+
+        if self.rate <= 0 or tokens <= 0:
+            return
+        identity = identity or ANONYMOUS_IDENTITY
+        if self._is_exempt(identity):
+            return
+        need = float(tokens if retry_cost is None else retry_cost)
+        now = self._clock()
+        with self._lock:
+            bucket = self._refilled_bucket(identity, now)
+            if bucket.tokens < tokens:
+                self.throttled += 1
+                bucket.throttled += 1
+                retry_after = max(0.0, need - bucket.tokens) / self.rate
+            else:
+                bucket.tokens -= tokens
+                self.charged_tokens += tokens
+                return
+        self._publish_throttled(identity, method, "rate", retry_after)
+        raise RetryLaterError(
+            f"batch of {tokens + 1} entries exceeds the token balance for "
+            f"{identity}; retry later", retry_after=retry_after)
+
+    def apply_shed(self, identity: str | None, share: float = 0.0, *,
+                   source: str = "") -> bool:
+        """Pre-throttle ``identity`` on a peer's shed advert (fabric-wide).
+
+        Clamps the identity's bucket down to ``share`` of the burst capacity
+        so the next local request pays the refill wait the shedding server
+        already imposed.  A no-op (returns False) without rate limiting —
+        a shed advert must never install a limit the operator did not
+        configure locally.
+        """
+
+        if self.rate <= 0:
+            return False
+        identity = identity or ANONYMOUS_IDENTITY
+        if self._is_exempt(identity):
+            return False
+        now = self._clock()
+        with self._lock:
+            bucket = self._refilled_bucket(identity, now)
+            bucket.tokens = min(bucket.tokens, max(0.0, share) * self.burst)
+            bucket.last_refill = now
+            bucket.shed += 1
+            self.sheds_applied += 1
+            if source:
+                self.shed_sources[source] = \
+                    self.shed_sources.get(source, 0) + 1
+        return True
+
+    def add_exemption(self, predicate: Callable[[str], bool]) -> None:
+        """Exempt identities matching ``predicate`` from every limit.
+
+        Used for infrastructure traffic whose volume is bounded elsewhere —
+        the fabric registers its trusted peer DNs here, since gossip and
+        catalogue-sync call rates are set by the fabric intervals, and a
+        throttled fabric would mark healthy peers down.
+        """
+
+        self._exemptions.append(predicate)
+
+    def is_exempt(self, identity: str) -> bool:
+        """Whether ``identity`` bypasses every limit (see add_exemption)."""
+
+        return self._is_exempt(identity)
+
+    def _is_exempt(self, identity: str) -> bool:
+        for predicate in self._exemptions:
+            try:
+                if predicate(identity):
+                    return True
+            except Exception:  # noqa: BLE001 - a broken predicate never blocks
+                continue
+        return False
+
+    def _refilled_bucket(self, identity: str, now: float) -> _Bucket:
+        """The identity's bucket, refilled to ``now`` (lock held)."""
+
+        bucket = self._buckets.get(identity)
+        if bucket is None:
+            if len(self._buckets) >= _PRUNE_THRESHOLD:
+                self._prune(now)
+            bucket = self._buckets[identity] = _Bucket(self.burst, now)
+        if self.rate > 0:
+            bucket.tokens = min(self.burst,
+                                bucket.tokens + (now - bucket.last_refill) * self.rate)
+            bucket.last_refill = now
+        return bucket
 
     def _releaser(self, bucket: _Bucket) -> Callable[[], None]:
         released = threading.Event()
@@ -159,8 +290,25 @@ class AdmissionController:
             pass
 
     # -- introspection -------------------------------------------------------
-    def stats(self) -> dict:
+    def stats(self, *, top_k: int = 10) -> dict:
+        """Counters plus the top-K identities by throttle pressure.
+
+        Per-identity counters cover *live* buckets (pruned idle identities
+        drop their history); they answer the operator question "who is the
+        fabric shedding right now", not long-term accounting.
+        """
+
         with self._lock:
+            ranked = sorted(self._buckets.items(),
+                            key=lambda item: (-item[1].throttled,
+                                              -item[1].admitted, item[0]))
+            per_identity = [{
+                "identity": identity,
+                "admitted": bucket.admitted,
+                "throttled": bucket.throttled,
+                "shed": bucket.shed,
+                "inflight": bucket.inflight,
+            } for identity, bucket in ranked[:max(0, int(top_k))]]
             return {
                 "rate": self.rate,
                 "burst": self.burst,
@@ -168,4 +316,9 @@ class AdmissionController:
                 "identities": len(self._buckets),
                 "admitted": self.admitted,
                 "throttled": self.throttled,
+                "exempted": self.exempted,
+                "charged_tokens": self.charged_tokens,
+                "sheds_applied": self.sheds_applied,
+                "shed_sources": dict(self.shed_sources),
+                "per_identity": per_identity,
             }

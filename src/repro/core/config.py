@@ -137,6 +137,31 @@ class ServerConfig:
     #: Base anti-flap backoff after a failed heal attempt; doubles per
     #: consecutive failure on the same logical file.
     replica_heal_backoff: float = 0.25
+    #: Static fabric peers, one ``name=url|dn`` entry per peer (or a single
+    #: semicolon-separated string — DNs legally contain commas, so ``;``
+    #: separates entries; ``|dn`` is optional but required for the peer to
+    #: pass the inbound fabric fence — it is the DN that peer's channel
+    #: authenticates with, typically its host certificate subject, and DNs
+    #: contain ``=`` so ``|`` separates it from the URL).  Each entry
+    #: becomes a PeerRegistry row with a pooled PeerChannel dialing the URL
+    #: (authenticated with this server's host credential when present),
+    #: wired into gossip, catalogue sync and the replica storage-element map
+    #: at startup; tests and examples attach peers programmatically via
+    #: ``server.fabric.add_peer`` instead.
+    fabric_peers: list[str] = field(default_factory=list)
+    #: Seconds between gossip flushes to the peers (cache invalidations,
+    #: admission shed adverts, any topic added to the GossipBus).  0 disables
+    #: the background flusher; ``server.fabric.gossip.flush()`` still works.
+    fabric_gossip_interval: float = 0.0
+    #: Seconds between catalogue anti-entropy rounds against each peer
+    #: (per-LFN version-vector exchange; quarantine states win).  0 disables
+    #: the loop; ``fabric.sync_now`` / ``sync_once()`` still work on demand.
+    fabric_catalogue_sync: float = 0.0
+    #: Fraction of the admission burst an identity keeps after a *peer*
+    #: advertises shedding it (0 = drained to empty, so the next request
+    #: pays a full refill wait).  Applies only when dispatch rate limiting
+    #: is configured locally.
+    fabric_admission_share: float = 0.0
     #: Extra free-form settings (service-specific tuning, experiment labels).
     extra: dict[str, Any] = field(default_factory=dict)
 
@@ -176,6 +201,24 @@ class ServerConfig:
             raise ConfigError("replica_heal_backoff cannot be negative")
         if not self.replica_local_se:
             raise ConfigError("replica_local_se must be non-empty")
+        for knob in ("fabric_gossip_interval", "fabric_catalogue_sync"):
+            if getattr(self, knob) < 0:
+                raise ConfigError(f"{knob} cannot be negative")
+        if not (0.0 <= self.fabric_admission_share <= 1.0):
+            raise ConfigError("fabric_admission_share must be within [0, 1]")
+        if isinstance(self.fabric_peers, str):
+            self.fabric_peers = [p.strip() for p in self.fabric_peers.split(";")
+                                 if p.strip()]
+        self.fabric_peers = [str(p) for p in self.fabric_peers]
+        for spec in self.fabric_peers:
+            # Fail at config time, not mid-server-assembly: on_start runs
+            # inside ClarensServer.__init__, after worker threads exist.
+            name, sep, rest = spec.partition("=")
+            url = rest.partition("|")[0]
+            if not sep or not name.strip() or not url.strip():
+                raise ConfigError(
+                    f"fabric_peers entry {spec!r} is not of the form "
+                    f"name=url or name=url|dn")
         self.admins = [str(a) for a in self.admins]
 
     # -- constructors --------------------------------------------------------
@@ -236,10 +279,14 @@ class ServerConfig:
                     "replica_local_se", "replica_transfer_workers",
                     "replica_max_attempts", "replica_retry_delay",
                     "replica_journal_enabled", "replica_policy_default_copies",
-                    "replica_heal_interval", "replica_heal_backoff"):
+                    "replica_heal_interval", "replica_heal_backoff",
+                    "fabric_gossip_interval", "fabric_catalogue_sync",
+                    "fabric_admission_share"):
             value = getattr(self, key)
             if value is not None:
                 parser["server"][key] = str(value)
+        if self.fabric_peers:
+            parser["server"]["fabric_peers"] = ";".join(self.fabric_peers)
         parser["admins"] = {f"admin{i}": dn for i, dn in enumerate(self.admins)}
         if self.extra:
             parser["extra"] = {k: str(v) for k, v in self.extra.items()}

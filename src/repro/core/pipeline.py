@@ -24,8 +24,9 @@ Cross-cutting concerns plug in without touching the core: a deployment calls
 ``docs/architecture.md`` for a worked example).  Two such concerns ship here:
 
 * **batched RPC** — ``system.multicall`` enters the pipeline once (one
-  decode, one session check, one admission token), then
-  :meth:`RequestPipeline.run_multicall` amortizes the method-ACL check per
+  decode, one session check), then :meth:`RequestPipeline.run_multicall`
+  charges the admission bucket one token per entry (batching amortizes
+  parsing, never the rate limit), amortizes the method-ACL check per
   *distinct* method and invokes every entry, with fault-per-entry semantics;
 * **admission control** — the ``admission`` stage sheds load per identity
   via :class:`~repro.core.admission.AdmissionController`.
@@ -355,6 +356,10 @@ class RequestPipeline:
         self.server = server
         self.stages: list[PipelineStage] = list(stages)
         self.stats = ShardedDispatchStats(stats_shards)
+        #: The admission controller the admission stage runs (None when both
+        #: limits are off).  Exposed so multicall token charging, the fabric
+        #: admission extension and ``system.stats`` reach the same buckets.
+        self.admission: AdmissionController | None = None
 
     # -- composition ---------------------------------------------------------
     def stage_names(self) -> list[str]:
@@ -475,9 +480,10 @@ class RequestPipeline:
     def run_multicall(self, ctx: CallContext, calls: Sequence[Any]) -> list[Any]:
         """Execute a ``system.multicall`` batch with fault-per-entry semantics.
 
-        The batch already paid decode, trace, session and admission once; this
-        method amortizes the method-ACL check per *distinct* method name and
-        invokes each entry.  Following the XML-RPC multicall convention, each
+        The batch already paid decode, trace, session and one admission token
+        once; this method charges the remaining N-1 tokens (N entries cost N
+        tokens under ``dispatch_rate_limit``), amortizes the method-ACL check
+        per *distinct* method name and invokes each entry.  Following the XML-RPC multicall convention, each
         result slot is a one-element array ``[value]`` on success or a struct
         ``{"faultCode", "faultString"}`` on failure — one bad entry never
         poisons its neighbours.
@@ -492,6 +498,27 @@ class RequestPipeline:
             raise Fault(FaultCode.INVALID_PARAMS,
                         f"multicall batch of {len(calls)} entries exceeds the "
                         f"server limit of {limit}")
+        identity = ctx.dn or ANONYMOUS_IDENTITY
+        if (self.admission is not None and len(calls) > 1
+                and not self.admission.is_exempt(identity)):
+            # The batch paid one token at the admission stage; charge the
+            # other N-1 so a multicall of N entries costs exactly N tokens
+            # and batching cannot buy unmetered work.  An insufficient
+            # balance rejects the whole batch with RETRY_LATER (HTTP 429) —
+            # but a batch larger than the bucket can *ever* hold is refused
+            # permanently, or a polite client would 429-loop forever on a
+            # condition no amount of waiting can satisfy.  Exempt identities
+            # (fabric peers) skip both, matching their exemption everywhere
+            # else.
+            if self.admission.rate > 0 and len(calls) > self.admission.burst:
+                raise Fault(FaultCode.INVALID_PARAMS,
+                            f"multicall batch of {len(calls)} entries can "
+                            f"never fit the admission burst capacity of "
+                            f"{self.admission.burst:.0f} tokens; split the "
+                            f"batch")
+            self.admission.charge(identity, len(calls) - 1,
+                                  "system.multicall",
+                                  retry_cost=len(calls))
         verdicts: dict[str, Fault | None] = {}
         results: list[Any] = []
         counts: dict[str, int] = {}
@@ -580,7 +607,10 @@ def build_pipeline(server: "ClarensServer") -> RequestPipeline:
             source=config.server_name)
     stages = [TraceStage(), SessionStage(), MethodACLStage(),
               AdmissionStage(controller), InvokeStage()]
-    return RequestPipeline(server, stages, stats_shards=config.dispatch_stats_shards)
+    pipeline = RequestPipeline(server, stages,
+                               stats_shards=config.dispatch_stats_shards)
+    pipeline.admission = controller
+    return pipeline
 
 
 # ---------------------------------------------------------------------------

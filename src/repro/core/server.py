@@ -66,10 +66,11 @@ class ClarensServer:
         self.credential = credential
         self.trust_store = trust_store or TrustStore()
         self.monitor = monitor
-        #: The monitoring message bus.  Pass one shared instance to several
-        #: servers (standing in for the UDP/JINI transport between real
-        #: hosts) and they exchange cache invalidations and see each other's
-        #: transfer/cache metrics; by default each server gets its own.
+        #: The monitoring message bus.  Each server gets its own by default;
+        #: across real server boundaries the fabric's GossipBus forwards
+        #: allow-listed topics (cache invalidations, admission shed adverts)
+        #: to the configured peers.  Tests may still hand several servers one
+        #: shared instance — an in-process stand-in for that transport.
         self.message_bus = message_bus or MessageBus()
         self.started_at = time.time()
 
@@ -93,8 +94,9 @@ class ClarensServer:
         self.invalidation = InvalidationBus()
         cfg = self.config
         # Multi-server coherence: relay local invalidation tags onto the
-        # monitoring bus (cache.invalidate.*) and apply flushes published by
-        # other servers sharing that bus.
+        # monitoring bus (cache.invalidate.*) and apply flushes arriving
+        # there from other servers — delivered by the fabric gossip bus in a
+        # real deployment, or directly when tests share one bus object.
         self.invalidation_relay = None
         if cfg.cache_enabled:
             self.invalidation_relay = CacheInvalidationRelay(
@@ -152,6 +154,9 @@ class ClarensServer:
         # logical files back to their target copy counts.
         self.replica_broker = None
         self.replica_policy = None
+        #: Set by FabricService when it registers: the peering substrate
+        #: (registry, channels, gossip, catalogue sync, fabric admission).
+        self.fabric = None
         self.services: dict[str, ClarensService] = {}
         if register_default_services:
             self._register_default_services()
@@ -209,6 +214,7 @@ class ClarensServer:
         # Imported here to keep the core package importable on its own and to
         # avoid import cycles (each service module imports repro.core.service).
         from repro.discovery.service import DiscoveryService
+        from repro.fabric.service import FabricService
         from repro.fileservice.service import FileService
         from repro.jobs.service import JobService
         from repro.messaging.service import MessagingService
@@ -220,10 +226,13 @@ class ClarensServer:
         from repro.vo.service import VOService
 
         # ReplicaService comes after SRMService so the mass store behind the
-        # SRM frontend is available as a replica storage element.
+        # SRM frontend is available as a replica storage element, and
+        # FabricService comes last so the peering substrate can wire into the
+        # replica catalogue and element map.
         for service_cls in (SystemService, VOService, ACLService, FileService,
                             DiscoveryService, ShellService, ProxyService, JobService,
-                            MessagingService, SRMService, ReplicaService):
+                            MessagingService, SRMService, ReplicaService,
+                            FabricService):
             self.add_service(service_cls(self))
 
     def add_service(self, service: ClarensService) -> ClarensService:

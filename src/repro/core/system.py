@@ -92,10 +92,12 @@ class SystemService(ClarensService):
         """Execute a batch of calls in one request (XML-RPC multicall).
 
         ``calls`` is an array of ``{"methodName": str, "params": array}``
-        structs.  The batch is decoded, authenticated and admitted once;
-        the method-ACL check runs once per distinct method.  Each result
-        slot is ``[value]`` on success or a ``{"faultCode", "faultString"}``
-        struct on failure, so one bad entry never aborts the batch.
+        structs.  The batch is decoded and authenticated once, and the
+        method-ACL check runs once per distinct method; under admission
+        control a batch of N entries is charged N tokens, so batching
+        amortizes parsing but never the rate limit.  Each result slot is
+        ``[value]`` on success or a ``{"faultCode", "faultString"}`` struct
+        on failure, so one bad entry never aborts the batch.
         """
 
         return self.server.pipeline.run_multicall(ctx, calls)
@@ -188,10 +190,20 @@ class SystemService(ClarensService):
 
     @rpc_method()
     def stats(self, ctx: CallContext) -> dict[str, Any]:
-        """Dispatcher statistics (request counts, fault counts, latency)."""
+        """Dispatcher statistics (request counts, fault counts, latency).
+
+        Under admission control the snapshot additionally carries an
+        ``admission`` block with per-identity counters (admitted/throttled/
+        fabric-shed per DN, top-K by throttle pressure) so operators can see
+        exactly who fabric-wide shedding is targeting.
+        """
 
         self.server.require_admin(ctx)
-        return self.server.dispatcher.stats_snapshot()
+        snapshot = self.server.dispatcher.stats_snapshot()
+        controller = getattr(self.server.pipeline, "admission", None)
+        snapshot["admission"] = (controller.stats()
+                                 if controller is not None else None)
+        return snapshot
 
     @rpc_method()
     def cache_stats(self, ctx: CallContext) -> dict[str, Any]:

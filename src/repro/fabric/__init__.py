@@ -1,0 +1,46 @@
+"""``repro.fabric`` — the authenticated peering substrate.
+
+The source paper's deployment is N Clarens servers cooperating as one grid
+fabric; this package gives the reproduction a first-class notion of *peer*
+that every cross-server feature shares instead of growing private plumbing:
+
+* :class:`~repro.fabric.registry.PeerRegistry` — peer identity, endpoint and
+  health, with ``fabric.peer.up``/``fabric.peer.down`` bus events;
+* :class:`~repro.fabric.channel.PeerChannel` — pooled authenticated client
+  sessions with reconnect/backoff (what
+  :class:`~repro.replica.storage.RemoteStorageElement` now rides);
+* :class:`~repro.fabric.gossip.GossipBus` — allow-listed local MessageBus
+  topics fanned out to peers over the ``fabric.publish`` RPC (cache
+  invalidations and admission shed adverts cross real server boundaries);
+* :class:`~repro.fabric.sync.CatalogueSync` — anti-entropy reconciliation of
+  the replica catalogue via per-LFN version vectors (quarantine wins);
+* :class:`~repro.fabric.admission.FabricAdmission` — per-identity shed rates
+  advertised fabric-wide, so a client throttled on one server is
+  pre-throttled everywhere within a gossip interval.
+
+The RPC-facing assembly (``fabric.*`` methods, peer wiring into the replica
+element map) lives in :class:`repro.fabric.service.FabricService`, imported
+lazily by the server like every other service module.
+"""
+
+from repro.fabric.admission import SHED_TOPIC, FabricAdmission
+from repro.fabric.channel import PeerChannel, PeerChannelError
+from repro.fabric.gossip import GOSSIP_RPC, GossipBus
+from repro.fabric.registry import (PEER_STATE_DOWN, PEER_STATE_UNKNOWN,
+                                   PEER_STATE_UP, PeerInfo, PeerRegistry)
+from repro.fabric.sync import CatalogueSync
+
+__all__ = [
+    "PeerInfo",
+    "PeerRegistry",
+    "PEER_STATE_UNKNOWN",
+    "PEER_STATE_UP",
+    "PEER_STATE_DOWN",
+    "PeerChannel",
+    "PeerChannelError",
+    "GossipBus",
+    "GOSSIP_RPC",
+    "CatalogueSync",
+    "FabricAdmission",
+    "SHED_TOPIC",
+]

@@ -1,0 +1,112 @@
+"""Fabric-wide admission: shed rates advertised on the gossip bus.
+
+Per-identity admission control (PR 4) is strictly per-server: a hot client
+throttled on server A could still fire a full burst at servers B..N before
+each of them independently noticed.  :class:`FabricAdmission` closes that
+window.  It watches the local ``dispatch.throttled`` events the
+:class:`~repro.core.admission.AdmissionController` publishes, and — damped
+to at most one advert per identity per ``min_advert_interval`` — republishes
+them as ``fabric.admission.shed`` adverts.  That topic rides the
+:class:`~repro.fabric.gossip.GossipBus`, so within one gossip interval every
+peer receives the advert and *pre-throttles* the identity: its token bucket
+is clamped down to ``share`` × burst tokens (``fabric_admission_share``,
+0 by default = drained to empty), making the very next request pay the same
+refill wait it would have paid on the server that shed it.
+
+The advert carries observed facts (identity, reason, retry_after), not
+commands; each receiver applies its *own* configured share against its *own*
+bucket, so a misconfigured or hostile peer can at worst slow one identity
+down to the local refill rate — never lock it out outright.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import TYPE_CHECKING, Any, Callable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.admission import AdmissionController
+    from repro.monitoring.bus import Message, MessageBus
+
+__all__ = ["FabricAdmission", "SHED_TOPIC"]
+
+#: The gossiped topic carrying per-identity shed adverts.
+SHED_TOPIC = "fabric.admission.shed"
+
+
+class FabricAdmission:
+    """Bridges local throttle decisions and fabric-wide pre-throttling."""
+
+    def __init__(self, controller: "AdmissionController", bus: "MessageBus", *,
+                 source: str, share: float = 0.0,
+                 min_advert_interval: float = 0.25,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        if not (0.0 <= share <= 1.0):
+            raise ValueError("share must be within [0, 1]")
+        if min_advert_interval < 0:
+            raise ValueError("min_advert_interval cannot be negative")
+        self.controller = controller
+        self.bus = bus
+        self.source = source
+        self.share = float(share)
+        self.min_advert_interval = float(min_advert_interval)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._last_advert: dict[str, float] = {}
+        self.adverts_sent = 0
+        self.sheds_applied = 0
+        self._subscriptions = [
+            bus.subscribe("dispatch.throttled", self._on_throttled),
+            bus.subscribe(SHED_TOPIC, self._on_shed),
+        ]
+
+    # -- outbound: local throttle -> shed advert ------------------------------
+    def _on_throttled(self, message: "Message") -> None:
+        if message.source != self.source:
+            return                      # only advertise our own decisions
+        identity = message.payload.get("identity")
+        if not isinstance(identity, str) or not identity:
+            return
+        now = self._clock()
+        with self._lock:
+            last = self._last_advert.get(identity)
+            if last is not None and now - last < self.min_advert_interval:
+                return
+            self._last_advert[identity] = now
+            if len(self._last_advert) > 4096:
+                cutoff = now - max(self.min_advert_interval, 1.0)
+                self._last_advert = {i: t for i, t in
+                                     self._last_advert.items() if t >= cutoff}
+            self.adverts_sent += 1
+        self.bus.publish(SHED_TOPIC, {
+            "identity": identity,
+            "reason": message.payload.get("reason", ""),
+            "retry_after": message.payload.get("retry_after", 0.0),
+        }, source=self.source)
+
+    # -- inbound: peer advert -> local pre-throttle ---------------------------
+    def _on_shed(self, message: "Message") -> None:
+        if message.source == self.source:
+            return                      # our own advert, delivered locally
+        identity = message.payload.get("identity")
+        if not isinstance(identity, str) or not identity:
+            return
+        if self.controller.apply_shed(identity, self.share,
+                                      source=message.source):
+            with self._lock:
+                self.sheds_applied += 1
+
+    # -- lifecycle / introspection -------------------------------------------
+    def close(self) -> None:
+        for sub_id in self._subscriptions:
+            self.bus.unsubscribe(sub_id)
+        self._subscriptions.clear()
+
+    def stats(self) -> dict[str, Any]:
+        with self._lock:
+            return {
+                "share": self.share,
+                "adverts_sent": self.adverts_sent,
+                "sheds_applied": self.sheds_applied,
+            }

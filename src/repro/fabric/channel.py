@@ -1,0 +1,236 @@
+"""Pooled, authenticated RPC sessions to one fabric peer.
+
+Before this module every cross-server component owned a bare
+:class:`~repro.client.client.ClarensClient` and re-implemented (or skipped)
+failure handling.  A :class:`PeerChannel` centralises that plumbing:
+
+* **pooling** — concurrent callers each check a client session out of a
+  small pool instead of serialising on one connection (the transfer engine's
+  worker threads all read through the same peer);
+* **reconnect with backoff** — a transport failure discards the broken
+  session and retries on a freshly built one (the ``factory`` re-dials and
+  re-authenticates), with exponential backoff between attempts;
+* **fault transparency** — remote *faults* are semantic answers, not
+  transport problems: they propagate immediately and are never retried;
+* **health reporting** — successes and exhausted retries feed the
+  :class:`~repro.fabric.registry.PeerRegistry`, which publishes
+  ``fabric.peer.up``/``fabric.peer.down`` transitions.
+
+Non-idempotent calls (chunked ``file.write`` appends, for example) must pass
+``retry=False``: the channel then surfaces the first transport failure to the
+caller, whose own recovery (the transfer engine re-runs the whole copy)
+provides exactly-once semantics the channel cannot.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import TYPE_CHECKING, Any, Callable
+
+from repro.client.errors import ClientError
+from repro.protocols.errors import Fault
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.client.client import ClarensClient
+    from repro.fabric.registry import PeerRegistry
+    from repro.httpd.message import HTTPResponse
+
+__all__ = ["PeerChannel", "PeerChannelError"]
+
+
+class PeerChannelError(ClientError):
+    """Transport to the peer failed (after the channel's retries, if any)."""
+
+
+class PeerChannel:
+    """A pool of authenticated client sessions to one peer, with retry."""
+
+    def __init__(self, name: str, factory: "Callable[[], ClarensClient]", *,
+                 registry: "PeerRegistry | None" = None,
+                 max_attempts: int = 3, backoff: float = 0.05,
+                 pool_size: int = 2, owns_clients: bool = True,
+                 sleep: Callable[[float], None] = time.sleep) -> None:
+        if not name:
+            raise ValueError("peer channel name must be non-empty")
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be positive")
+        if backoff < 0:
+            raise ValueError("backoff cannot be negative")
+        self.name = name
+        self.factory = factory
+        self.registry = registry
+        self.max_attempts = int(max_attempts)
+        self.backoff = float(backoff)
+        self.pool_size = max(1, int(pool_size))
+        self.owns_clients = owns_clients
+        self._sleep = sleep
+        self._lock = threading.Lock()
+        self._pool: list["ClarensClient"] = []
+        self._dn = ""
+        self.calls = 0
+        self.faults = 0
+        self.transport_errors = 0
+        self.reconnects = 0
+        self._closed = False
+
+    @classmethod
+    def for_client(cls, client: "ClarensClient", *, name: str = "peer",
+                   **kwargs: Any) -> "PeerChannel":
+        """Wrap one existing (already authenticated) client session.
+
+        The channel does not own the client: transport failures are retried
+        on the *same* session (its transport may recover on re-dial) and
+        :meth:`close` leaves it open for the caller.
+        """
+
+        kwargs.setdefault("owns_clients", False)
+        kwargs.setdefault("pool_size", 1)
+        channel = cls(name, lambda: client, **kwargs)
+        return channel
+
+    # -- session pool --------------------------------------------------------
+    def _acquire(self) -> "ClarensClient":
+        with self._lock:
+            if self._pool:
+                return self._pool.pop()
+        client = self.factory()
+        with self._lock:
+            self.reconnects += 1
+            self._dn = getattr(client, "dn", None) or self._dn
+        return client
+
+    def _release(self, client: "ClarensClient") -> None:
+        with self._lock:
+            if not self._closed and len(self._pool) < self.pool_size:
+                self._pool.append(client)
+                return
+        self._dispose(client)
+
+    def _discard(self, client: "ClarensClient") -> None:
+        """Drop a session whose transport just failed."""
+
+        if self.owns_clients:
+            self._dispose(client)
+        else:
+            # A borrowed client cannot be rebuilt; keep it for the retry.
+            self._release(client)
+
+    def _dispose(self, client: "ClarensClient") -> None:
+        if not self.owns_clients:
+            return
+        try:
+            client.close()
+        except Exception:  # noqa: BLE001 - best-effort cleanup
+            pass
+
+    # -- health plumbing -----------------------------------------------------
+    def _note_success(self) -> None:
+        if self.registry is not None:
+            self.registry.mark_up(self.name)
+
+    def _note_down(self, error: str) -> None:
+        if self.registry is not None:
+            self.registry.mark_down(self.name, error)
+
+    # -- the RPC surface -----------------------------------------------------
+    def call(self, method: str, *params: Any, retry: bool = True) -> Any:
+        """Invoke ``method`` on the peer; reconnect/backoff on transport loss.
+
+        Remote faults raise :class:`~repro.protocols.errors.Fault`
+        immediately (the peer answered — retrying cannot change its mind);
+        transport failures raise :class:`PeerChannelError` once the retry
+        budget (1 with ``retry=False``) is exhausted.
+        """
+
+        return self._attempt(lambda client: client.call(method, *params),
+                             what=method, retry=retry, count_call=True)
+
+    def http_get(self, path: str, *, query: str = "",
+                 retry: bool = True) -> "HTTPResponse":
+        """Raw GET against the peer's file endpoint (ranged reads etc.)."""
+
+        return self._attempt(lambda client: client.http_get(path, query=query),
+                             what=f"GET {path}", retry=retry, count_call=False)
+
+    def probe(self) -> bool:
+        """Liveness check (``system.ping``); never raises."""
+
+        try:
+            return self.call("system.ping") == "pong"
+        except (Fault, ClientError):
+            return False
+
+    def _attempt(self, operation, *, what: str, retry: bool,
+                 count_call: bool) -> Any:
+        attempts = self.max_attempts if retry else 1
+        last: BaseException | None = None
+        for attempt in range(attempts):
+            if attempt and self.backoff:
+                self._sleep(self.backoff * (2 ** (attempt - 1)))
+            try:
+                client = self._acquire()
+            except Exception as exc:  # noqa: BLE001 - factory = dialing the peer
+                with self._lock:
+                    self.transport_errors += 1
+                last = exc
+                continue
+            try:
+                result = operation(client)
+            except Fault:
+                # The peer answered: the session is healthy, the call is not.
+                self._release(client)
+                with self._lock:
+                    self.faults += 1
+                self._note_success()
+                raise
+            except Exception as exc:  # noqa: BLE001 - transport-shaped
+                # Exception, not BaseException: KeyboardInterrupt/SystemExit
+                # must propagate, not burn retries and mark the peer down.
+                self._discard(client)
+                with self._lock:
+                    self.transport_errors += 1
+                last = exc
+                continue
+            self._release(client)
+            if count_call:
+                with self._lock:
+                    self.calls += 1
+            self._note_success()
+            return result
+        error = f"{self.name}: {what} failed after {attempts} attempt(s): {last}"
+        self._note_down(str(last))
+        raise PeerChannelError(error) from last
+
+    # -- introspection / lifecycle -------------------------------------------
+    @property
+    def dn(self) -> str:
+        """The DN the pooled sessions authenticate with (best known)."""
+
+        with self._lock:
+            if self._dn:
+                return self._dn
+            for client in self._pool:
+                found = getattr(client, "dn", None)
+                if found:
+                    self._dn = found
+                    return found
+        return ""
+
+    def stats(self) -> dict[str, Any]:
+        with self._lock:
+            return {
+                "peer": self.name,
+                "calls": self.calls,
+                "faults": self.faults,
+                "transport_errors": self.transport_errors,
+                "reconnects": self.reconnects,
+                "pooled_sessions": len(self._pool),
+            }
+
+    def close(self) -> None:
+        with self._lock:
+            self._closed = True
+            pool, self._pool = self._pool, []
+        for client in pool:
+            self._dispose(client)

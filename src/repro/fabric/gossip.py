@@ -1,0 +1,260 @@
+"""The gossip bus: selected MessageBus topics, fanned out to peers.
+
+A single server's monitoring :class:`~repro.monitoring.bus.MessageBus` is
+in-process; historically "multi-server" features cheated by handing several
+servers one shared bus object.  The :class:`GossipBus` removes the cheat: it
+subscribes to an explicit allow-list of local topic prefixes, queues every
+matching local publication into an outbox, and flushes the outbox to each
+peer over the authenticated ``fabric.publish`` RPC (one batched call per
+peer per flush).  The receiving side republishes each message onto *its*
+local bus with the original source, so existing subscribers — the cache
+invalidation relay, the fabric admission extension, monitoring consumers —
+work across real server boundaries without knowing the transport changed.
+
+Loop prevention is two-layered: a thread-local guard stops a message applied
+from a peer from being re-queued by our own subscription (bus delivery is
+synchronous), and the receiver drops messages whose source is itself —
+gossip is TTL-1 on a full mesh, which is the topology
+:class:`~repro.fabric.service.FabricService` builds from ``fabric_peers``.
+The topic allow-list is enforced on *receive* as well, so a peer can only
+inject topics this server chose to gossip.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import TYPE_CHECKING, Any
+
+from repro.client.errors import ClientError
+from repro.protocols.errors import Fault
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.fabric.channel import PeerChannel
+    from repro.fabric.registry import PeerRegistry
+    from repro.monitoring.bus import Message, MessageBus
+
+__all__ = ["GossipBus", "GOSSIP_RPC"]
+
+#: The RPC the flusher invokes on each peer.
+GOSSIP_RPC = "fabric.publish"
+
+#: Outbox entries beyond this are dropped oldest-first (gossip is telemetry,
+#: not a durable queue; a wedged peer must not grow memory without bound).
+DEFAULT_MAX_OUTBOX = 4096
+
+
+class GossipBus:
+    """Bridges allow-listed local bus topics to every attached peer."""
+
+    def __init__(self, bus: "MessageBus", *, source: str,
+                 interval: float = 0.0,
+                 registry: "PeerRegistry | None" = None,
+                 max_batch: int = 256,
+                 max_outbox: int = DEFAULT_MAX_OUTBOX) -> None:
+        if not source:
+            raise ValueError("gossip source (server name) must be non-empty")
+        if interval < 0:
+            raise ValueError("interval cannot be negative")
+        self.bus = bus
+        self.source = source
+        self.interval = float(interval)
+        self.registry = registry
+        self.max_batch = max(1, int(max_batch))
+        self.max_outbox = max(self.max_batch, int(max_outbox))
+        self._topics: list[str] = []
+        self._subscriptions: list[int] = []
+        self._channels: dict[str, PeerChannel] = {}
+        self._outbox: list[dict[str, Any]] = []
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self.queued = 0
+        self.dropped = 0
+        self.sent = 0
+        self.send_failures = 0
+        self.received = 0
+        self.applied = 0
+        self.rejected = 0
+
+    # -- topology ------------------------------------------------------------
+    def add_topic(self, prefix: str) -> None:
+        """Gossip every local publication under ``prefix`` to the peers."""
+
+        if not prefix:
+            raise ValueError("topic prefix must be non-empty")
+        with self._lock:
+            if prefix in self._topics:
+                return
+            self._topics.append(prefix)
+        self._subscriptions.append(self.bus.subscribe(prefix, self._on_local))
+
+    def topics(self) -> list[str]:
+        with self._lock:
+            return list(self._topics)
+
+    def accepts(self, topic: str) -> bool:
+        with self._lock:
+            prefixes = list(self._topics)
+        return any(topic == p or topic.startswith(p + ".") for p in prefixes)
+
+    def attach(self, name: str, channel: "PeerChannel") -> None:
+        with self._lock:
+            self._channels[name] = channel
+
+    def detach(self, name: str) -> None:
+        with self._lock:
+            self._channels.pop(name, None)
+
+    # -- outbound: local bus -> outbox -> peers ------------------------------
+    def _on_local(self, message: "Message") -> None:
+        if getattr(self._local, "applying", False):
+            return                      # this message *came from* a peer
+        if not self._channels:
+            # No peers attached (the default single-server case): queuing
+            # would only retain payloads nobody will ever flush.  Config
+            # peers attach during on_start, before client traffic, so this
+            # drops nothing a real fabric would have delivered.
+            return
+        entry = {
+            "topic": message.topic,
+            "payload": dict(message.payload),
+            "source": message.source or self.source,
+            "timestamp": message.timestamp,
+        }
+        with self._lock:
+            self._outbox.append(entry)
+            self.queued += 1
+            overflow = len(self._outbox) - self.max_outbox
+            if overflow > 0:
+                del self._outbox[:overflow]
+                self.dropped += overflow
+
+    def flush(self) -> dict[str, int]:
+        """Drain the whole outbox to every peer; returns per-peer counts.
+
+        Messages are sent in ``max_batch``-sized ``fabric.publish`` calls
+        until the queue is empty, so one explicit ``flush()`` delivers
+        everything queued so far (the deterministic-drive mode tests use).
+        A peer that cannot be reached scores ``-1`` (and its channel marks
+        it down in the registry); its share of the batch is *not* requeued —
+        gossip is best-effort, and anti-entropy (catalogue sync) repairs
+        anything that must eventually converge.
+        """
+
+        delivered: dict[str, int] = {}
+        # Bounded pass count: local publishes racing the drain can extend
+        # the queue, but never force an unbounded loop here.
+        for _ in range(self.max_outbox // self.max_batch + 2):
+            with self._lock:
+                channels = dict(self._channels)
+                if not channels:
+                    # Leave the queue intact (bounded by max_outbox) so
+                    # messages survive until a peer attaches instead of
+                    # vanishing uncounted.
+                    return delivered
+                batch, self._outbox = (self._outbox[:self.max_batch],
+                                       self._outbox[self.max_batch:])
+            if not batch:
+                return delivered
+            for name, channel in channels.items():
+                try:
+                    accepted = channel.call(GOSSIP_RPC, batch, retry=False)
+                    # The peer's return value is peer-supplied data too: a
+                    # malformed reply counts as a failed send, never an
+                    # exception that would strand the rest of the batch.
+                    delivered[name] = (max(delivered.get(name, 0), 0)
+                                       + int(accepted))
+                    with self._lock:
+                        self.sent += len(batch)
+                except (Fault, ClientError, TypeError, ValueError):
+                    with self._lock:
+                        self.send_failures += 1
+                    delivered.setdefault(name, -1)
+        return delivered
+
+    # -- inbound: fabric.publish -> local bus --------------------------------
+    def receive(self, messages: list[Any], *, from_peer: str = "") -> int:
+        """Apply a gossip batch from a peer onto the local bus.
+
+        Only topics on the local allow-list are accepted; anything else is
+        counted in ``rejected`` and ignored, so a compromised or confused
+        peer cannot inject arbitrary monitoring traffic.
+        """
+
+        applied = 0
+        rejected = 0
+        if not isinstance(messages, (list, tuple)):
+            return 0
+        for item in messages:
+            if not isinstance(item, dict):
+                rejected += 1
+                continue
+            topic = item.get("topic")
+            payload = item.get("payload")
+            if (not isinstance(topic, str) or not isinstance(payload, dict)
+                    or not self.accepts(topic)):
+                rejected += 1
+                continue
+            source = item.get("source") or from_peer
+            if (source == self.source
+                    or str(source).startswith(self.source + "#")):
+                # Our own message reflected back — either published under
+                # the server name directly, or under a per-instance
+                # "<server>#<pid>-<n>" source as the cache relay does.
+                continue
+            self._local.applying = True
+            try:
+                self.bus.publish(topic, payload, source=str(source))
+            finally:
+                self._local.applying = False
+            applied += 1
+        with self._lock:  # concurrent peers deliver on separate threads
+            self.received += len(messages)
+            self.rejected += rejected
+            self.applied += applied
+        return applied
+
+    # -- lifecycle -----------------------------------------------------------
+    def start(self) -> None:
+        """Start the periodic flusher (no-op when ``interval`` is 0)."""
+
+        if self.interval <= 0 or self._thread is not None:
+            return
+        self._stop.clear()
+        self._thread = threading.Thread(target=self._flush_loop,
+                                        name=f"gossip-{self.source}",
+                                        daemon=True)
+        self._thread.start()
+
+    def _flush_loop(self) -> None:
+        while not self._stop.wait(timeout=self.interval):
+            try:
+                self.flush()
+            except Exception:  # pragma: no cover - flusher must never die
+                pass
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        for sub_id in self._subscriptions:
+            self.bus.unsubscribe(sub_id)
+        self._subscriptions.clear()
+
+    # -- introspection -------------------------------------------------------
+    def stats(self) -> dict[str, Any]:
+        with self._lock:
+            return {
+                "topics": list(self._topics),
+                "peers": sorted(self._channels),
+                "outbox": len(self._outbox),
+                "queued": self.queued,
+                "dropped": self.dropped,
+                "sent": self.sent,
+                "send_failures": self.send_failures,
+                "received": self.received,
+                "applied": self.applied,
+                "rejected": self.rejected,
+            }

@@ -1,0 +1,170 @@
+"""Peer identity and health: the roster of a Clarens fabric.
+
+The paper's deployment story is N Clarens servers cooperating as one grid;
+before :mod:`repro.fabric` every cross-server feature kept its own ad-hoc
+notion of "the other server" (a private client here, a shared in-process bus
+there).  The :class:`PeerRegistry` makes *peer* a first-class object: one
+:class:`PeerInfo` row per remote server, holding its name (which doubles as
+the storage-element name the replica layer uses for it), its endpoint URL,
+the DN its channel authenticates with (the identity ``fabric.publish`` and
+the catalogue-sync RPCs trust), and a live health state maintained by the
+:class:`~repro.fabric.channel.PeerChannel` that talks to it.
+
+Health transitions publish ``fabric.peer.up`` / ``fabric.peer.down`` events
+on the monitoring bus — exactly once per transition, so operators can alert
+on them without debouncing.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.monitoring.bus import MessageBus
+
+__all__ = ["PeerInfo", "PeerRegistry", "PEER_STATE_UNKNOWN", "PEER_STATE_UP",
+           "PEER_STATE_DOWN"]
+
+PEER_STATE_UNKNOWN = "unknown"
+PEER_STATE_UP = "up"
+PEER_STATE_DOWN = "down"
+
+
+@dataclass
+class PeerInfo:
+    """One remote Clarens server in the fabric."""
+
+    name: str
+    url: str = ""
+    #: The DN the peer's channel logs in with; ``fabric.publish`` and the
+    #: catalogue-sync RPCs accept calls from registered peer DNs (or admins).
+    dn: str = ""
+    state: str = PEER_STATE_UNKNOWN
+    failures: int = 0
+    successes: int = 0
+    last_seen: float = 0.0
+    last_error: str = ""
+    added: float = field(default_factory=time.time)
+
+    def describe(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "url": self.url,
+            "dn": self.dn,
+            "state": self.state,
+            "failures": self.failures,
+            "successes": self.successes,
+            "last_seen": self.last_seen,
+            "last_error": self.last_error,
+            "added": self.added,
+        }
+
+
+class PeerRegistry:
+    """The named peers of one server, with health tracked per peer."""
+
+    def __init__(self, *, bus: "MessageBus | None" = None, source: str = "") -> None:
+        self.bus = bus
+        self.source = source
+        self._lock = threading.Lock()
+        self._peers: dict[str, PeerInfo] = {}
+        #: Cached, immutable trusted-DN set.  ``trusted_dns`` sits on the
+        #: request hot path (the admission exemption checks it per request),
+        #: so it must not take the lock or allocate; the cache is rebuilt on
+        #: membership changes only.
+        self._trusted: frozenset[str] = frozenset()
+
+    # -- membership ----------------------------------------------------------
+    def add(self, name: str, *, url: str = "", dn: str = "") -> PeerInfo:
+        if not name:
+            raise ValueError("peer name must be non-empty")
+        if name == self.source:
+            raise ValueError(f"a server cannot peer with itself ({name!r})")
+        with self._lock:
+            if name in self._peers:
+                raise ValueError(f"peer {name!r} is already registered")
+            peer = self._peers[name] = PeerInfo(name=name, url=url, dn=dn)
+            self._rebuild_trusted()
+        return peer
+
+    def remove(self, name: str) -> bool:
+        with self._lock:
+            removed = self._peers.pop(name, None) is not None
+            if removed:
+                self._rebuild_trusted()
+            return removed
+
+    def _rebuild_trusted(self) -> None:
+        """Refresh the cached DN set (lock held)."""
+
+        self._trusted = frozenset(p.dn for p in self._peers.values() if p.dn)
+
+    def get(self, name: str) -> PeerInfo | None:
+        with self._lock:
+            return self._peers.get(name)
+
+    def names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._peers)
+
+    def peers(self) -> list[PeerInfo]:
+        with self._lock:
+            return [self._peers[name] for name in sorted(self._peers)]
+
+    def trusted_dns(self) -> frozenset[str]:
+        """The DNs registered peers authenticate with (empty DNs excluded).
+
+        Lock-free and allocation-free: returns the cached immutable set, so
+        per-request callers (the admission exemption) pay one attribute read.
+        """
+
+        return self._trusted
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._peers)
+
+    # -- health --------------------------------------------------------------
+    def mark_up(self, name: str) -> None:
+        self._transition(name, PEER_STATE_UP, "")
+
+    def mark_down(self, name: str, error: str = "") -> None:
+        self._transition(name, PEER_STATE_DOWN, error)
+
+    def _transition(self, name: str, state: str, error: str) -> None:
+        with self._lock:
+            peer = self._peers.get(name)
+            if peer is None:
+                return
+            changed = peer.state != state
+            peer.state = state
+            if state == PEER_STATE_UP:
+                peer.successes += 1
+                peer.last_seen = time.time()
+                peer.last_error = ""
+            else:
+                peer.failures += 1
+                peer.last_error = error
+        # Publish outside the lock: bus subscribers may re-enter the registry.
+        if changed and self.bus is not None:
+            try:
+                self.bus.publish(f"fabric.peer.{state}", {
+                    "peer": name,
+                    "error": error,
+                }, source=self.source)
+            except Exception:  # noqa: BLE001 - monitoring must never kill us
+                pass
+
+    # -- introspection -------------------------------------------------------
+    def describe(self) -> list[dict[str, Any]]:
+        return [peer.describe() for peer in self.peers()]
+
+    def stats(self) -> dict[str, Any]:
+        with self._lock:
+            states: dict[str, int] = {}
+            for peer in self._peers.values():
+                states[peer.state] = states.get(peer.state, 0) + 1
+            return {"peers": len(self._peers), "by_state": states}

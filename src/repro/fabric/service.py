@@ -1,0 +1,337 @@
+"""The ``fabric`` service: one authenticated peering substrate.
+
+:class:`FabricService` assembles the fabric primitives for one server — the
+:class:`~repro.fabric.registry.PeerRegistry`, one
+:class:`~repro.fabric.channel.PeerChannel` per peer, the
+:class:`~repro.fabric.gossip.GossipBus`, the
+:class:`~repro.fabric.sync.CatalogueSync` anti-entropy loop and the
+:class:`~repro.fabric.admission.FabricAdmission` extension — and publishes
+the ``fabric.*`` RPC surface peers talk to:
+
+* ``fabric.peers`` / ``fabric.status`` — introspection (authenticated);
+* ``fabric.publish`` — a peer delivers a gossip batch (peer/admin only);
+* ``fabric.catalogue_digest`` / ``fabric.catalogue_entries`` — the
+  anti-entropy exchange (peer/admin only).
+
+The peer-only fence accepts a caller whose DN is either a server admin or a
+DN some registered peer authenticates with (``PeerRegistry.trusted_dns``),
+*in addition to* the standard session + method-ACL checks every RPC pays —
+a regular authenticated user cannot inject gossip or walk the catalogue
+wholesale.
+
+Adding a peer (programmatically via :meth:`FabricService.add_peer`, or from
+the ``fabric_peers`` config list at startup) does three things: registers it,
+wires its channel into gossip + catalogue sync, and attaches a
+:class:`~repro.replica.storage.RemoteStorageElement` named after the peer to
+the replica service — which is why a catalogue entry imported by sync (whose
+replicas the serving peer exported under its own server name) is immediately
+readable through the local broker.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable
+
+from repro.cache.distributed import INVALIDATION_TOPIC
+from repro.core.context import CallContext
+from repro.core.errors import AccessDeniedError, ClarensError, NotFoundError
+from repro.core.service import ClarensService, rpc_method
+from repro.fabric.admission import SHED_TOPIC, FabricAdmission
+from repro.fabric.channel import PeerChannel
+from repro.fabric.gossip import GossipBus
+from repro.fabric.registry import PeerInfo, PeerRegistry
+from repro.fabric.sync import MAX_ENTRIES_PER_CALL, CatalogueSync
+from repro.replica.model import ReplicaNotFoundError
+from repro.replica.storage import RemoteStorageElement
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.client.client import ClarensClient
+
+__all__ = ["FabricService"]
+
+
+class FabricService(ClarensService):
+    """Peer registry, gossip, catalogue sync and fabric RPCs for one server."""
+
+    service_name = "fabric"
+
+    def __init__(self, server) -> None:
+        super().__init__(server)
+        config = server.config
+        bus = server.message_bus
+        self.registry = PeerRegistry(bus=bus, source=config.server_name)
+        self.channels: dict[str, PeerChannel] = {}
+        self.gossip = GossipBus(bus, source=config.server_name,
+                                interval=config.fabric_gossip_interval,
+                                registry=self.registry)
+        # The standard gossiped topics: cache invalidations cross real server
+        # boundaries, and shed adverts make admission fabric-wide.  Deployments
+        # may add more via server.fabric.gossip.add_topic(...).
+        self.gossip.add_topic(INVALIDATION_TOPIC)
+        self.gossip.add_topic(SHED_TOPIC)
+        replica = server.services.get("replica")
+        self.sync = None
+        if replica is not None:
+            self.sync = CatalogueSync(replica.catalogue,
+                                      local_se=config.replica_local_se,
+                                      source=config.server_name, bus=bus,
+                                      interval=config.fabric_catalogue_sync)
+        controller = getattr(server.pipeline, "admission", None)
+        self.fabric_admission = None
+        if controller is not None:
+            self.fabric_admission = FabricAdmission(
+                controller, bus, source=config.server_name,
+                share=config.fabric_admission_share)
+            # Fabric traffic is infrastructure: its volume is set by the
+            # gossip/sync intervals, not by a client's behaviour, and a
+            # throttled channel would mark a healthy peer down.  Registered
+            # peer DNs therefore bypass the local admission limits.
+            controller.add_exemption(
+                lambda identity: identity in self.registry.trusted_dns())
+        server.fabric = self
+
+    # -- lifecycle -----------------------------------------------------------
+    def on_start(self) -> None:
+        for spec in self.server.config.fabric_peers:
+            # ``name=url|dn`` — the DN rides behind ``|`` because DNs are
+            # full of ``=``; it is the identity the peer calls us with, and
+            # without it the peer fence only admits that peer's traffic if
+            # its DN is a server admin.
+            name, _, rest = str(spec).partition("=")
+            url, _, dn = rest.partition("|")
+            name, url, dn = name.strip(), url.strip(), dn.strip()
+            if name and name not in self.channels:
+                self.add_peer(name, url=url, dn=dn)
+        self.gossip.start()
+        if self.sync is not None:
+            self.sync.start()
+
+    def on_stop(self) -> None:
+        if self.sync is not None:
+            self.sync.stop()
+        self.gossip.stop()
+        if self.fabric_admission is not None:
+            self.fabric_admission.close()
+        for channel in self.channels.values():
+            channel.close()
+        self.channels.clear()
+
+    # -- topology ------------------------------------------------------------
+    def add_peer(self, name: str, *, channel: PeerChannel | None = None,
+                 factory: "Callable[[], ClarensClient] | None" = None,
+                 url: str = "", dn: str = "",
+                 attach_storage: bool = True) -> PeerInfo:
+        """Register a peer and wire it into gossip, sync and the replica map.
+
+        Exactly one of ``channel``, ``factory`` or ``url`` provides the
+        transport: an existing channel, a callable building authenticated
+        clients (tests and examples pass loopback factories), or a plain
+        HTTP URL (the ``fabric_peers`` config path; such channels dial
+        anonymously unless a deployment swaps in a credentialed factory).
+
+        ``dn`` is the identity the peer *calls us* with — the DN its own
+        outbound channel authenticates as — which is what the peer fence on
+        ``fabric.publish``/``fabric.catalogue_*`` trusts.  It is not
+        derivable from our outbound channel (that is *our* credential), so
+        leave it empty only when the peer will authenticate as a server
+        admin instead.
+        """
+
+        if channel is None:
+            if factory is None:
+                if not url:
+                    raise ValueError(
+                        f"peer {name!r} needs a channel, factory or url")
+                factory = self._url_factory(url)
+            channel = PeerChannel(name, factory, registry=self.registry)
+        else:
+            channel.registry = channel.registry or self.registry
+        peer = self.registry.add(name, url=url, dn=dn)
+        self.channels[name] = channel
+        self.gossip.attach(name, channel)
+        if self.sync is not None:
+            self.sync.attach(name, channel)
+        if attach_storage:
+            replica = self.server.services.get("replica")
+            if replica is not None:
+                element = replica.elements.get(name)
+                if element is None or isinstance(element, RemoteStorageElement):
+                    # First attach, or a peer removed earlier left its
+                    # element behind (disabled, bound to a closed channel):
+                    # (re)bind a fresh element so re-adding revives it.  A
+                    # non-remote element colliding with the peer name is
+                    # left alone.
+                    replica.add_storage_element(
+                        RemoteStorageElement(name, channel),
+                        replace=element is not None)
+        return peer
+
+    def _url_factory(self, url: str) -> "Callable[[], ClarensClient]":
+        from repro.client.client import ClarensClient
+
+        prefix = self.server.config.url_prefix
+        credential = self.server.credential
+
+        def factory() -> "ClarensClient":
+            client = ClarensClient.for_url(url, url_prefix=prefix)
+            if credential is not None:
+                # Config-driven peers authenticate with this server's host
+                # credential — the natural machine identity; register its DN
+                # as the trusted peer DN on the other side.  Without a
+                # credential the channel dials anonymously and only
+                # anonymous methods will succeed.
+                client.login_with_credential(credential)
+            return client
+
+        return factory
+
+    def remove_peer(self, name: str) -> bool:
+        """Detach a peer from gossip/sync and close its channel.
+
+        The peer's storage element (if any) is marked unavailable rather
+        than deleted — in-flight transfers fail over exactly as they would
+        for a dead disk, and re-adding the peer revives it.
+        """
+
+        channel = self.channels.pop(name, None)
+        self.gossip.detach(name)
+        if self.sync is not None:
+            self.sync.detach(name)
+        removed = self.registry.remove(name)
+        if channel is not None:
+            channel.close()
+        replica = self.server.services.get("replica")
+        if replica is not None:
+            element = replica.elements.get(name)
+            if isinstance(element, RemoteStorageElement):
+                element.available = False
+        return removed or channel is not None
+
+    # -- the peer fence ------------------------------------------------------
+    def _require_peer(self, ctx: CallContext) -> str:
+        """The caller must be a server admin or a registered peer identity."""
+
+        dn = ctx.require_dn()
+        if self.server.vo.is_admin(dn) or dn in self.registry.trusted_dns():
+            return dn
+        raise AccessDeniedError(
+            f"{dn} is neither a server administrator nor a registered "
+            f"fabric peer")
+
+    # -- RPC surface ---------------------------------------------------------
+    @rpc_method()
+    def peers(self, ctx: CallContext) -> list[dict[str, Any]]:
+        """The peer roster: identity, endpoint, health, channel counters."""
+
+        ctx.require_dn()
+        described = []
+        for info in self.registry.describe():
+            channel = self.channels.get(info["name"])
+            info["channel"] = channel.stats() if channel is not None else None
+            described.append(info)
+        return described
+
+    @rpc_method()
+    def status(self, ctx: CallContext) -> dict[str, Any]:
+        """One snapshot of every fabric component's counters."""
+
+        ctx.require_dn()
+        return {
+            "registry": self.registry.stats(),
+            "gossip": self.gossip.stats(),
+            "catalogue_sync": (self.sync.stats()
+                               if self.sync is not None else None),
+            "admission": (self.fabric_admission.stats()
+                          if self.fabric_admission is not None else None),
+        }
+
+    @rpc_method()
+    def publish(self, ctx: CallContext, messages: list) -> int:
+        """Accept a gossip batch from a peer; returns how many were applied.
+
+        Only topics this server gossips itself are accepted (allow-list
+        enforced per message), and only peers/admins may deliver.
+        """
+
+        self._require_peer(ctx)
+        if not isinstance(messages, (list, tuple)):
+            raise ClarensError("fabric.publish expects an array of messages")
+        return self.gossip.receive(list(messages), from_peer=ctx.dn or "")
+
+    @rpc_method()
+    def catalogue_digest(self, ctx: CallContext) -> dict[str, int]:
+        """LFN → version for this server's whole catalogue (peers/admins)."""
+
+        self._require_peer(ctx)
+        replica = self._replica()
+        return replica.catalogue.digest()
+
+    @rpc_method()
+    def catalogue_entries(self, ctx: CallContext,
+                          lfns: list) -> list[dict[str, Any]]:
+        """Exported catalogue rows for up to 512 LFNs (peers/admins).
+
+        Rows are *fabric-normalised*: this server's local element is renamed
+        to its server name (with the LFN as the pfn — that is the path a
+        peer's RemoteStorageElement for us can actually read), replicas on
+        known peer elements pass through untouched, and purely local
+        elements (the mass store) are omitted.  Entries with nothing
+        fabric-visible are omitted entirely.
+        """
+
+        self._require_peer(ctx)
+        if not isinstance(lfns, (list, tuple)):
+            raise ClarensError(
+                "fabric.catalogue_entries expects an array of LFNs")
+        replica = self._replica()
+        peer_names = set(self.registry.names())   # once per RPC, not per row
+        exported: list[dict[str, Any]] = []
+        for lfn in list(lfns)[:MAX_ENTRIES_PER_CALL]:
+            try:
+                entry = replica.catalogue.entry(str(lfn))
+            except ReplicaNotFoundError:
+                continue
+            normalised = self._export_entry(entry, peer_names)
+            if normalised is not None:
+                exported.append(normalised)
+        return exported
+
+    def _replica(self):
+        replica = self.server.services.get("replica")
+        if replica is None:
+            raise NotFoundError("the replica service is not enabled here")
+        return replica
+
+    def _export_entry(self, entry: dict[str, Any],
+                      peer_names: set[str]) -> dict[str, Any] | None:
+        local_se = self.server.config.replica_local_se
+        own_name = self.server.config.server_name
+        replicas: dict[str, Any] = {}
+        for se, record in entry["replicas"].items():
+            if se == local_se:
+                out = dict(record)
+                out["storage_element"] = own_name
+                out["pfn"] = entry["lfn"]
+                replicas[own_name] = out
+            elif se in peer_names:
+                replicas[se] = dict(record)
+            # Anything else (mass store, deployment-private elements) means
+            # nothing to a peer and is not exported.
+        if not replicas:
+            return None
+        return {
+            "lfn": entry["lfn"],
+            "version": int(entry["version"]),
+            "size": int(entry["size"]),
+            "checksum": entry["checksum"],
+            "replicas": replicas,
+        }
+
+    @rpc_method()
+    def sync_now(self, ctx: CallContext) -> dict[str, Any]:
+        """Run one catalogue anti-entropy round immediately (admins only)."""
+
+        self.server.require_admin(ctx)
+        if self.sync is None:
+            raise NotFoundError("catalogue sync is not enabled here")
+        return self.sync.sync_once()

@@ -1,0 +1,323 @@
+"""Catalogue anti-entropy: per-LFN version vectors exchanged with peers.
+
+Before the fabric, a server's :class:`~repro.replica.catalogue.ReplicaCatalogue`
+learned about a peer's files only when a
+:class:`~repro.replica.storage.RemoteStorageElement` *wrote* through it.  The
+:class:`CatalogueSync` loop closes that gap: each round it pulls every peer's
+catalogue digest (``fabric.catalogue_digest`` — one version number per LFN),
+compares it against the version vector it remembers for that peer, fetches
+only the changed entries (``fabric.catalogue_entries``), and reconciles them
+into the local catalogue.
+
+Reconciliation rules (the serving peer normalises element names first — its
+own local element is exported under its *server name*, which is exactly the
+name this server's :class:`RemoteStorageElement` for that peer carries, so an
+imported replica is immediately readable through the local broker):
+
+* a remote replica on an element we do not know locally is **registered**
+  (CAS via ``expected_version`` against the local row — a concurrent local
+  mutation turns the import into a conflict that retries next round);
+* **quarantine wins**: a replica quarantined remotely but active locally is
+  quarantined here too, and the reverse direction never reactivates a local
+  quarantine (the peer will import ours on its own pull);
+* records naming *our* local element are never created from gossip — we are
+  authoritative for our own disk; only the quarantine-wins rule applies;
+* canonical size/checksum mismatches are surfaced as ``fabric.sync.conflict``
+  events and skipped — a different digest under the same LFN is corruption
+  evidence, not something anti-entropy may paper over.
+
+Deletions do not propagate (an absent remote replica means nothing — the
+peer may simply not have it yet); explicit drops travel as operations, not
+state.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import TYPE_CHECKING, Any
+
+from repro.client.errors import ClientError
+from repro.protocols.errors import Fault
+from repro.replica.model import (ReplicaConflictError, ReplicaError,
+                                 ReplicaNotFoundError, ReplicaState)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.fabric.channel import PeerChannel
+    from repro.monitoring.bus import MessageBus
+    from repro.replica.catalogue import ReplicaCatalogue
+
+__all__ = ["CatalogueSync", "MAX_ENTRIES_PER_CALL"]
+
+DIGEST_RPC = "fabric.catalogue_digest"
+ENTRIES_RPC = "fabric.catalogue_entries"
+
+#: Protocol cap on one ``fabric.catalogue_entries`` response.  Lives here
+#: (with the RPC names) because *both* sides must agree on it: the server
+#: truncates to it, and the sync loop clamps its fetch batches to it — a
+#: request larger than the cap would make silently truncated entries
+#: indistinguishable from entries with nothing fabric-visible on them.
+MAX_ENTRIES_PER_CALL = 512
+
+
+class CatalogueSync:
+    """Anti-entropy reconciliation of the replica catalogue with the peers."""
+
+    def __init__(self, catalogue: "ReplicaCatalogue", *, local_se: str,
+                 source: str, bus: "MessageBus | None" = None,
+                 interval: float = 0.0, fetch_batch: int = 128) -> None:
+        if interval < 0:
+            raise ValueError("interval cannot be negative")
+        self.catalogue = catalogue
+        self.local_se = local_se
+        self.source = source
+        self.bus = bus
+        self.interval = float(interval)
+        self.fetch_batch = min(max(1, int(fetch_batch)), MAX_ENTRIES_PER_CALL)
+        self._channels: dict[str, PeerChannel] = {}
+        #: Per-peer version vector: the last peer-side version merged per LFN.
+        self._seen: dict[str, dict[str, int]] = {}
+        self._lock = threading.Lock()
+        #: Serialises whole rounds: ``fabric.sync_now`` racing the interval
+        #: loop must not interleave merges and version-vector writes for the
+        #: same peer (spurious CAS conflicts, lost vector updates).
+        self._round_lock = threading.Lock()
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self.rounds = 0
+        self.entries_imported = 0
+        self.replicas_imported = 0
+        self.quarantines_applied = 0
+        self.conflicts = 0
+        self.errors = 0
+        self.malformed = 0
+
+    # -- topology ------------------------------------------------------------
+    def attach(self, name: str, channel: "PeerChannel") -> None:
+        with self._lock:
+            self._channels[name] = channel
+
+    def detach(self, name: str) -> None:
+        with self._lock:
+            self._channels.pop(name, None)
+            self._seen.pop(name, None)
+
+    # -- one round -----------------------------------------------------------
+    def sync_once(self) -> dict[str, Any]:
+        """Reconcile against every peer once; returns per-peer outcomes.
+
+        Rounds are serialised: an operator's ``fabric.sync_now`` issued
+        while the background loop is mid-round simply runs after it.
+        """
+
+        with self._round_lock:
+            with self._lock:
+                channels = dict(self._channels)
+            outcome: dict[str, Any] = {}
+            for name, channel in channels.items():
+                try:
+                    outcome[name] = self._sync_peer(name, channel)
+                except (Fault, ClientError) as exc:
+                    self.errors += 1
+                    outcome[name] = {"error": str(exc)}
+            self.rounds += 1
+            return outcome
+
+    def _sync_peer(self, peer: str, channel: "PeerChannel") -> dict[str, Any]:
+        raw_digest = channel.call(DIGEST_RPC)
+        if not isinstance(raw_digest, dict):
+            raise ClientError(f"peer {peer} returned a malformed digest")
+        # Validate every peer-supplied shape before touching the catalogue:
+        # a version-skewed or confused peer must cost this round some
+        # `malformed` counts, never abort the loop or poison local state.
+        digest: dict[str, int] = {}
+        for lfn, version in raw_digest.items():
+            if isinstance(lfn, str) and isinstance(version, int):
+                digest[lfn] = version
+            else:
+                self.malformed += 1
+        with self._lock:
+            # The outer _seen dict is shared with stats()/detach(); the
+            # per-peer inner dict is only ever written by this loop.
+            seen = self._seen.setdefault(peer, {})
+        # Forget LFNs the peer no longer lists so the vector cannot grow
+        # without bound across drops.
+        for lfn in list(seen):
+            if lfn not in digest:
+                del seen[lfn]
+        changed = [lfn for lfn, version in digest.items()
+                   if seen.get(lfn) != version]
+        stats = {"changed": len(changed), "entries": 0, "replicas": 0,
+                 "quarantined": 0, "conflicts": 0}
+        for start in range(0, len(changed), self.fetch_batch):
+            chunk = changed[start:start + self.fetch_batch]
+            entries = channel.call(ENTRIES_RPC, chunk)
+            if not isinstance(entries, (list, tuple)):
+                raise ClientError(f"peer {peer} returned malformed entries")
+            returned = set()
+            for entry in entries:
+                if not isinstance(entry, dict):
+                    self.malformed += 1
+                    continue
+                lfn = entry.get("lfn")
+                if not isinstance(lfn, str) or lfn not in digest:
+                    self.malformed += 1
+                    continue
+                returned.add(lfn)
+                if self._merge(peer, entry, stats):
+                    version = entry.get("version")
+                    seen[lfn] = (version if isinstance(version, int)
+                                 else digest[lfn])
+            # LFNs the peer chose not to export (nothing fabric-visible on
+            # them) still count as seen, or they would be refetched forever.
+            for lfn in chunk:
+                if lfn not in returned:
+                    seen[lfn] = digest[lfn]
+        if self.bus is not None and (stats["entries"] or stats["quarantined"]
+                                     or stats["conflicts"]):
+            try:
+                self.bus.publish("fabric.sync.round",
+                                 {"peer": peer, **stats}, source=self.source)
+            except Exception:  # noqa: BLE001 - monitoring must never kill sync
+                pass
+        return stats
+
+    # -- reconciliation ------------------------------------------------------
+    def _merge(self, peer: str, remote: dict[str, Any],
+               stats: dict[str, int]) -> bool:
+        """Fold one exported peer entry into the local catalogue.
+
+        Returns True when the entry is fully applied (so its peer version may
+        be recorded as seen); False leaves it marked dirty for the next round.
+        """
+
+        lfn = remote["lfn"]
+        replicas = remote.get("replicas", {})
+        if not isinstance(replicas, dict):
+            self.malformed += 1
+            return True                # nothing usable; don't refetch forever
+        try:
+            size = int(remote.get("size", -1))
+        except (TypeError, ValueError):
+            self.malformed += 1
+            return True
+        checksum = str(remote.get("checksum", ""))
+        valid_states = {s.value for s in ReplicaState}
+        complete = True
+        merged_any = False
+        for se, record in sorted(replicas.items()):
+            if not isinstance(se, str) or not isinstance(record, dict):
+                self.malformed += 1
+                continue
+            state = str(record.get("state", ""))
+            if state == ReplicaState.COPYING.value:
+                continue               # transient; the next digest settles it
+            if state not in valid_states:
+                self.malformed += 1    # unknown state from a newer/odd peer
+                continue
+            try:
+                applied = self._merge_replica(peer, lfn, se, record, size,
+                                              checksum, state, stats)
+            except ReplicaConflictError as exc:
+                stats["conflicts"] += 1
+                self.conflicts += 1
+                complete = False
+                self._publish_conflict(peer, lfn, se, str(exc))
+            except (ReplicaError, ValueError, TypeError):
+                self.errors += 1
+                complete = False
+            else:
+                merged_any = merged_any or applied
+        if merged_any:
+            stats["entries"] += 1
+            self.entries_imported += 1
+        return complete
+
+    def _merge_replica(self, peer: str, lfn: str, se: str,
+                       record: dict[str, Any], size: int, checksum: str,
+                       state: str, stats: dict[str, int]) -> bool:
+        own_element = se == self.source
+        local_se = self.local_se if own_element else se
+        try:
+            entry = self.catalogue.entry(lfn)
+        except ReplicaNotFoundError:
+            entry = None
+        local_record = None if entry is None else entry["replicas"].get(local_se)
+
+        if local_record is None:
+            if own_element:
+                # Gossip never creates replicas on our own disk: we are the
+                # authority for what this server actually stores.
+                return False
+            self.catalogue.register(
+                lfn, local_se, str(record.get("pfn") or lfn),
+                size=size, checksum=checksum,
+                state=ReplicaState(state) if state else ReplicaState.ACTIVE,
+                expected_version=None if entry is None else entry["version"])
+            stats["replicas"] += 1
+            self.replicas_imported += 1
+            return True
+
+        if (state == ReplicaState.QUARANTINED.value
+                and local_record["state"] == ReplicaState.ACTIVE.value):
+            # Quarantine wins: a peer that saw corruption poisons the copy
+            # everywhere; reactivation is an explicit operator verify.
+            self.catalogue.set_state(
+                lfn, local_se, ReplicaState.QUARANTINED,
+                error=f"fabric sync: quarantined on {peer}: "
+                      f"{record.get('last_error', '')}")
+            stats["quarantined"] += 1
+            self.quarantines_applied += 1
+            return True
+        return False
+
+    def _publish_conflict(self, peer: str, lfn: str, se: str,
+                          error: str) -> None:
+        if self.bus is None:
+            return
+        try:
+            self.bus.publish("fabric.sync.conflict", {
+                "peer": peer, "lfn": lfn, "storage_element": se,
+                "error": error,
+            }, source=self.source)
+        except Exception:  # noqa: BLE001
+            pass
+
+    # -- lifecycle -----------------------------------------------------------
+    def start(self) -> None:
+        if self.interval <= 0 or self._thread is not None:
+            return
+        self._stop.clear()
+        self._thread = threading.Thread(target=self._loop,
+                                        name=f"catalogue-sync-{self.source}",
+                                        daemon=True)
+        self._thread.start()
+
+    def _loop(self) -> None:
+        while not self._stop.wait(timeout=self.interval):
+            try:
+                self.sync_once()
+            except Exception:  # pragma: no cover - the loop must never die
+                pass
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    # -- introspection -------------------------------------------------------
+    def stats(self) -> dict[str, Any]:
+        with self._lock:
+            peers = sorted(self._channels)
+            vector_size = sum(len(v) for v in self._seen.values())
+        return {
+            "peers": peers,
+            "rounds": self.rounds,
+            "entries_imported": self.entries_imported,
+            "replicas_imported": self.replicas_imported,
+            "quarantines_applied": self.quarantines_applied,
+            "conflicts": self.conflicts,
+            "errors": self.errors,
+            "malformed": self.malformed,
+            "version_vector_size": vector_size,
+        }

@@ -116,6 +116,15 @@ class DN:
             if not comp.strip():
                 raise DNParseError(f"empty component in DN: {text!r}")
             if "=" not in comp:
+                if rdns:
+                    # An unescaped slash inside the previous value — the
+                    # Globus host/service convention (``CN=host/fqdn``)
+                    # writes these routinely, and the canonical string form
+                    # does not escape them, so round-tripping str(DN) back
+                    # through parse() must reassemble the value.
+                    key, value = rdns[-1]
+                    rdns[-1] = (key, f"{value}/{comp}")
+                    continue
                 raise DNParseError(f"component {comp!r} is not of the form key=value")
             key, _, value = comp.partition("=")
             rdns.append((key, value))

@@ -123,6 +123,17 @@ class ReplicaCatalogue:
     def __len__(self) -> int:
         return len(self._table)
 
+    def digest(self) -> dict[str, int]:
+        """LFN → version for every entry (the anti-entropy exchange unit).
+
+        One integer per LFN is all a fabric peer needs to decide which
+        entries changed since its last sync round; full rows are fetched
+        only for those.
+        """
+
+        return {entry["lfn"]: int(entry["version"])
+                for entry in self._table.all()}
+
     # -- mutations -----------------------------------------------------------
     def register(self, lfn: str, se: str, pfn: str, *, size: int, checksum: str,
                  state: ReplicaState = ReplicaState.ACTIVE,

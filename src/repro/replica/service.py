@@ -95,8 +95,16 @@ class ReplicaService(ClarensService):
         server.replica_policy = self.policy
 
     # -- assembly ------------------------------------------------------------
-    def add_storage_element(self, element: StorageElement) -> StorageElement:
-        if element.name in self.elements:
+    def add_storage_element(self, element: StorageElement, *,
+                            replace: bool = False) -> StorageElement:
+        """Attach an element; ``replace=True`` rebinds an existing name.
+
+        Replacement is how a re-added fabric peer swaps its disabled element
+        for one bound to a fresh channel — everything downstream (journal
+        replay for late elements, broker/engine lookup) runs the same path.
+        """
+
+        if element.name in self.elements and not replace:
             raise ValueError(f"storage element {element.name!r} already exists")
         self.elements[element.name] = element
         # Journalled transfers whose destination was not attached at startup

@@ -11,8 +11,9 @@ deployment shapes in the paper's world:
 * :class:`MassStoreStorageElement` — a dCache-style
   :class:`~repro.storage.masstore.MassStorageSystem`, where reads may imply
   an SRM-visible staging operation from tape;
-* :class:`RemoteStorageElement` — a *peer Clarens server* reached through an
-  authenticated client session.  Reads ride the remote server's
+* :class:`RemoteStorageElement` — a *peer Clarens server* reached through a
+  :class:`~repro.fabric.channel.PeerChannel` (pooled authenticated sessions
+  with reconnect/backoff).  Reads ride the remote server's
   ``GET file/.lfn/<name>`` fast path with ranged requests (its broker picks
   its best replica per chunk); writes upload through chunked ``file.write``
   calls and register the copy in the remote catalogue, so N servers become
@@ -27,6 +28,7 @@ from contextlib import contextmanager
 from typing import TYPE_CHECKING, Iterable, Iterator
 
 from repro.client.errors import ClientError
+from repro.fabric.channel import PeerChannel
 from repro.fileservice.vfs import VFSError, VirtualFileSystem
 from repro.protocols.errors import Fault
 from repro.replica.model import ReplicaError
@@ -307,27 +309,42 @@ class RemoteStorageElement(StorageElement):
     entirely on its own, which is what makes a set of servers one fabric
     rather than one server with remote disks.
 
-    The client session must already be authenticated; its DN needs ``read``
-    on the logical names it pulls and ``write`` on those it pushes, exactly
-    as if the operator issued the calls by hand.  Transport failures and
-    remote faults surface as :class:`StorageElementError`, so the transfer
-    engine's retry/backoff and the broker's failover treat a flaky WAN link
-    like any other failing element.
+    The element no longer owns any transport plumbing: it speaks through a
+    :class:`~repro.fabric.channel.PeerChannel`, which pools authenticated
+    sessions and transparently reconnects with backoff when the link to the
+    peer drops mid-transfer.  Idempotent operations (ranged reads, stat,
+    registration) retry through the reconnect; chunked ``file.write``
+    appends do not (a replayed append would corrupt the upload), so a write
+    that loses its link surfaces the failure and the transfer engine's own
+    retry re-runs the copy from scratch.  A bare authenticated
+    :class:`~repro.client.client.ClarensClient` is still accepted and is
+    wrapped via :meth:`PeerChannel.for_client`.
+
+    The channel's sessions must already be authenticated; their DN needs
+    ``read`` on the logical names it pulls and ``write`` on those it pushes,
+    exactly as if the operator issued the calls by hand.  Transport failures
+    (after the channel's retries) and remote faults surface as
+    :class:`StorageElementError`, so the transfer engine's retry/backoff and
+    the broker's failover treat a flaky WAN link like any other failing
+    element.
     """
 
-    def __init__(self, name: str, client: "ClarensClient", *,
+    def __init__(self, name: str, peer: "PeerChannel | ClarensClient", *,
                  remote_se: str = "local", register_remote: bool = True,
                  chunk_size: int = DEFAULT_CHUNK) -> None:
         super().__init__(name)
-        self.client = client
+        if isinstance(peer, PeerChannel):
+            self.channel = peer
+        else:
+            self.channel = PeerChannel.for_client(peer, name=name)
         self.remote_se = remote_se
         self.register_remote = register_remote
         self.chunk_size = chunk_size
 
     # -- RPC plumbing --------------------------------------------------------
-    def _call(self, method: str, *params):
+    def _call(self, method: str, *params, retry: bool = True):
         try:
-            return self.client.call(method, *params)
+            return self.channel.call(method, *params, retry=retry)
         except Fault as exc:
             raise StorageElementError(
                 f"{self.name}: remote {method} failed: {exc}") from exc
@@ -345,7 +362,7 @@ class RemoteStorageElement(StorageElement):
         """
 
         try:
-            entry = self.client.call("replica.stat", pfn)
+            entry = self.channel.call("replica.stat", pfn)
         except Fault:
             return None
         except ClientError as exc:
@@ -362,7 +379,7 @@ class RemoteStorageElement(StorageElement):
         if self._active_stat(pfn) is not None:
             return True
         try:
-            return bool(self.client.call("file.exists", pfn))
+            return bool(self.channel.call("file.exists", pfn))
         except Fault:
             return False
         except ClientError as exc:
@@ -391,12 +408,12 @@ class RemoteStorageElement(StorageElement):
         self.require_available()
         query = f"offset={int(offset)}&length={int(length)}"
         try:
-            response = self.client.http_get(".lfn/" + pfn.lstrip("/"),
-                                            query=query)
+            response = self.channel.http_get(".lfn/" + pfn.lstrip("/"),
+                                             query=query)
             if response.status == 404:
                 # Bytes uploaded but not (yet) catalogued on the peer — fall
                 # back to the plain file path.
-                response = self.client.http_get(pfn.lstrip("/"), query=query)
+                response = self.channel.http_get(pfn.lstrip("/"), query=query)
         except ClientError as exc:
             raise StorageElementError(
                 f"{self.name}: transport to peer failed: {exc}") from exc
@@ -430,12 +447,14 @@ class RemoteStorageElement(StorageElement):
         for chunk in chunks:
             self.require_available()
             data = bytes(chunk)
-            self._call("file.write", pfn, data, not first)
+            # Appends are not idempotent: never retried through a reconnect
+            # (the transfer engine re-runs the whole copy instead).
+            self._call("file.write", pfn, data, not first, retry=False)
             digest.update(data)
             written += len(data)
             first = False
         if first:
-            self._call("file.write", pfn, b"", False)   # zero-byte file
+            self._call("file.write", pfn, b"", False, retry=False)  # empty file
         hexdigest = digest.hexdigest()
         if self.register_remote:
             # Register the uploaded bytes in the peer's catalogue so its own
@@ -450,7 +469,7 @@ class RemoteStorageElement(StorageElement):
     def delete(self, pfn: str) -> bool:
         deleted = False
         try:
-            self.client.call("replica.drop", pfn, self.remote_se)
+            self.channel.call("replica.drop", pfn, self.remote_se)
             deleted = True
         except Fault:
             pass
@@ -458,7 +477,7 @@ class RemoteStorageElement(StorageElement):
             raise StorageElementError(
                 f"{self.name}: transport to peer failed: {exc}") from exc
         try:
-            deleted = bool(self.client.call("file.delete", pfn, False)) or deleted
+            deleted = bool(self.channel.call("file.delete", pfn, False)) or deleted
         except Fault:
             pass
         except ClientError as exc:
@@ -469,5 +488,6 @@ class RemoteStorageElement(StorageElement):
     def describe(self) -> dict:
         info = super().describe()
         info["remote_se"] = self.remote_se
-        info["remote_dn"] = self.client.dn or ""
+        info["remote_dn"] = self.channel.dn
+        info["channel"] = self.channel.stats()
         return info

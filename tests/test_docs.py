@@ -67,7 +67,8 @@ class TestConfigReference:
 
 class TestDocsTree:
     @pytest.mark.parametrize("page", ["architecture.md", "replication.md",
-                                      "operations.md", "config.md"])
+                                      "operations.md", "config.md",
+                                      "federation.md"])
     def test_page_exists_and_has_a_title(self, page):
         path = DOCS_DIR / page
         assert path.is_file()
@@ -80,5 +81,8 @@ class TestDocsTree:
 
         arch = (DOCS_DIR / "architecture.md").read_text()
         assert "replication.md" in arch and "config.md" in arch
+        assert "federation.md" in arch
         repl = (DOCS_DIR / "replication.md").read_text()
         assert "architecture.md" in repl and "operations.md" in repl
+        fed = (DOCS_DIR / "federation.md").read_text()
+        assert "architecture.md" in fed and "config.md" in fed

@@ -1,0 +1,835 @@
+"""The ``repro.fabric`` peering substrate.
+
+Covers the refactored seams end to end: peer registry health events, pooled
+channels that drop and reconnect mid-transfer under a RemoteStorageElement,
+gossip bridging (cache invalidations across servers with *separate* buses),
+two-server catalogue anti-entropy (register on A, readable via B, quarantine
+wins in both directions), fabric-wide admission shedding, multicall token
+charging, and the ACL fence on the ``fabric.*`` RPC surface.
+"""
+
+from __future__ import annotations
+
+import itertools
+import socket
+
+import pytest
+
+from repro.client.client import ClarensClient
+from repro.client.errors import ClientError
+from repro.client.files import download_lfn
+from repro.core.config import ServerConfig
+from repro.core.server import ClarensServer
+from repro.fabric.channel import PeerChannel, PeerChannelError
+from repro.fabric.registry import PeerRegistry
+from repro.monitoring.bus import MessageBus
+from repro.pki.authority import CertificateAuthority
+from repro.protocols.errors import Fault, FaultCode
+from repro.replica.model import ReplicaState
+from repro.replica.storage import RemoteStorageElement, StorageElementError
+
+OPS_DN = "/O=clarens.test/OU=People/CN=Ada Admin"
+PEER_USER = "Fabric Peer Service"
+
+
+@pytest.fixture(scope="module")
+def fabric_ca():
+    return CertificateAuthority("/O=clarens.test/CN=Fabric CA", key_bits=512)
+
+
+@pytest.fixture(scope="module")
+def peer_credential(fabric_ca):
+    return fabric_ca.issue_user(PEER_USER)
+
+
+@pytest.fixture(scope="module")
+def user_credential(fabric_ca):
+    return fabric_ca.issue_user("Norma User")
+
+
+@pytest.fixture(scope="module")
+def admin_credential(fabric_ca):
+    return fabric_ca.issue_user("Ada Admin")
+
+
+def build_site(ca, name, **overrides):
+    host = ca.issue_host(f"{name}.clarens.test")
+    config = ServerConfig(server_name=name, admins=[OPS_DN],
+                          host_dn=str(host.certificate.subject), **overrides)
+    return ClarensServer(config, credential=host, trust_store=ca.trust_store())
+
+
+def login_factory(server, credential):
+    def factory():
+        client = ClarensClient.for_loopback(server.loopback())
+        client.login_with_credential(credential)
+        return client
+    return factory
+
+
+def mesh(site_a, site_b, credential):
+    """Peer two servers with each other (full mesh of two)."""
+
+    dn = str(credential.certificate.subject)
+    site_a.fabric.add_peer(site_b.config.server_name,
+                           factory=login_factory(site_b, credential), dn=dn)
+    site_b.fabric.add_peer(site_a.config.server_name,
+                           factory=login_factory(site_a, credential), dn=dn)
+
+
+@pytest.fixture()
+def two_sites(fabric_ca, peer_credential):
+    a = build_site(fabric_ca, "site-a")
+    b = build_site(fabric_ca, "site-b")
+    mesh(a, b, peer_credential)
+    yield a, b
+    a.close()
+    b.close()
+
+
+# ---------------------------------------------------------------------------
+# PeerRegistry
+# ---------------------------------------------------------------------------
+
+class TestPeerRegistry:
+    def test_add_get_remove(self):
+        registry = PeerRegistry(source="me")
+        peer = registry.add("site-b", url="http://b:8080", dn="/CN=b")
+        assert registry.get("site-b") is peer
+        assert registry.names() == ["site-b"]
+        assert registry.trusted_dns() == {"/CN=b"}
+        assert registry.remove("site-b")
+        assert not registry.remove("site-b")
+        assert len(registry) == 0
+
+    def test_duplicate_and_self_peering_refused(self):
+        registry = PeerRegistry(source="me")
+        registry.add("site-b")
+        with pytest.raises(ValueError):
+            registry.add("site-b")
+        with pytest.raises(ValueError):
+            registry.add("me")
+
+    def test_health_transitions_publish_once(self):
+        bus = MessageBus()
+        events = []
+        bus.subscribe("fabric.peer", lambda m: events.append(m.topic))
+        registry = PeerRegistry(bus=bus, source="me")
+        registry.add("site-b")
+        registry.mark_down("site-b", "dial failed")
+        registry.mark_down("site-b", "still down")   # no second event
+        registry.mark_up("site-b")
+        assert events == ["fabric.peer.down", "fabric.peer.up"]
+        peer = registry.get("site-b")
+        assert peer.failures == 2 and peer.successes == 1
+        assert peer.last_error == ""
+
+
+# ---------------------------------------------------------------------------
+# PeerChannel
+# ---------------------------------------------------------------------------
+
+class _FlakyTransport:
+    """Wraps a client transport; fails with ClientError on scheduled calls."""
+
+    def __init__(self, inner, fail_on: set[int]) -> None:
+        self.inner = inner
+        self.fail_on = fail_on
+        self.counter = itertools.count(1)
+
+    def request(self, *args, **kwargs):
+        if next(self.counter) in self.fail_on:
+            raise ClientError("simulated link drop")
+        return self.inner.request(*args, **kwargs)
+
+    def close(self):
+        self.inner.close()
+
+
+def flaky_factory(server, credential, fail_on):
+    """Clients whose transports drop on globally scheduled request numbers."""
+
+    schedule = itertools.count(1)
+    plan = set(fail_on)
+
+    def factory():
+        client = ClarensClient.for_loopback(server.loopback())
+        client.login_with_credential(credential)
+        inner = client.transport
+
+        class _Planned:
+            def request(self, *args, **kwargs):
+                if next(schedule) in plan:
+                    raise ClientError("simulated link drop")
+                return inner.request(*args, **kwargs)
+
+            def close(self):
+                inner.close()
+
+        client.transport = _Planned()
+        return client
+    return factory
+
+
+class TestPeerChannel:
+    def test_pooled_sessions_are_reused(self, fabric_ca, peer_credential):
+        server = build_site(fabric_ca, "pool-site")
+        try:
+            built = []
+            base = login_factory(server, peer_credential)
+
+            def counting_factory():
+                client = base()
+                built.append(client)
+                return client
+
+            channel = PeerChannel("pool-site", counting_factory)
+            assert channel.call("system.ping") == "pong"
+            assert channel.call("system.ping") == "pong"
+            assert len(built) == 1          # second call reused the session
+            assert channel.dn == str(peer_credential.certificate.subject)
+            channel.close()
+        finally:
+            server.close()
+
+    def test_fault_passes_through_without_retry(self, fabric_ca,
+                                                peer_credential):
+        server = build_site(fabric_ca, "fault-site")
+        try:
+            channel = PeerChannel("fault-site",
+                                  login_factory(server, peer_credential))
+            with pytest.raises(Fault):
+                channel.call("system.no_such_method")
+            assert channel.faults == 1
+            assert channel.transport_errors == 0
+            channel.close()
+        finally:
+            server.close()
+
+    def test_transport_drop_reconnects_and_retries(self, fabric_ca,
+                                                   peer_credential):
+        server = build_site(fabric_ca, "flaky-site")
+        try:
+            registry = PeerRegistry(source="me")
+            registry.add("flaky-site")
+            # The first post-login request drops; the rebuilt session's
+            # retry succeeds.
+            factory = flaky_factory(server, peer_credential, fail_on={1})
+            channel = PeerChannel("flaky-site", factory, registry=registry,
+                                  backoff=0.0)
+            assert channel.call("system.ping") == "pong"
+            assert channel.transport_errors == 1
+            assert channel.reconnects == 2
+            assert registry.get("flaky-site").state == "up"
+            channel.close()
+        finally:
+            server.close()
+
+    def test_retries_exhausted_marks_peer_down(self, fabric_ca,
+                                               peer_credential):
+        server = build_site(fabric_ca, "dead-site")
+        try:
+            registry = PeerRegistry(source="me")
+            registry.add("dead-site")
+
+            def dead_factory():
+                raise ClientError("connection refused")
+
+            channel = PeerChannel("dead-site", dead_factory, registry=registry,
+                                  max_attempts=2, backoff=0.0)
+            with pytest.raises(PeerChannelError):
+                channel.call("system.ping")
+            assert registry.get("dead-site").state == "down"
+            assert not channel.probe()
+            channel.close()
+        finally:
+            server.close()
+
+    def test_retry_false_surfaces_first_transport_error(self, fabric_ca,
+                                                        peer_credential):
+        server = build_site(fabric_ca, "oneshot-site")
+        try:
+            factory = flaky_factory(server, peer_credential, fail_on={1})
+            channel = PeerChannel("oneshot-site", factory, backoff=0.0)
+            with pytest.raises(PeerChannelError):
+                channel.call("system.ping", retry=False)
+            channel.close()
+        finally:
+            server.close()
+
+
+# ---------------------------------------------------------------------------
+# RemoteStorageElement over a dropping/reconnecting channel
+# ---------------------------------------------------------------------------
+
+class TestRemoteStorageElementOverChannel:
+    LFN = "/lfn/fabric/payload.bin"
+    DATA = b"fabric payload bytes " * 613          # several 4 KiB chunks
+
+    def _seed(self, server, credential):
+        client = ClarensClient.for_loopback(server.loopback())
+        client.login_with_credential(credential)
+        client.call("file.write", self.LFN, self.DATA, False)
+        client.call("replica.register", self.LFN, "local", self.LFN)
+        client.close()
+
+    def test_read_survives_mid_transfer_link_drops(self, fabric_ca,
+                                                   peer_credential):
+        remote_server = build_site(fabric_ca, "store-site")
+        try:
+            self._seed(remote_server, peer_credential)
+            # Drop the link twice in the middle of the chunk stream (request
+            # 1 is the stat, 2+ are the ranged reads); the channel rebuilds a
+            # session each time and the reads resume where they left off.
+            factory = flaky_factory(remote_server, peer_credential,
+                                    fail_on={3, 5})
+            channel = PeerChannel("store-site", factory, backoff=0.0)
+            element = RemoteStorageElement("store-site", channel)
+            assembled = b"".join(element.open_reader(self.LFN, chunk_size=4096))
+            assert assembled == self.DATA
+            assert channel.transport_errors == 2
+            assert element.checksum(self.LFN) == \
+                remote_server.services["replica"].catalogue.entry(
+                    self.LFN)["checksum"]
+            channel.close()
+        finally:
+            remote_server.close()
+
+    def test_transfer_through_reconnecting_channel(self, fabric_ca,
+                                                   peer_credential):
+        """A full engine transfer pulls through a flaky peer channel."""
+
+        remote_server = build_site(fabric_ca, "src-site")
+        local_server = build_site(fabric_ca, "dst-site")
+        try:
+            self._seed(remote_server, peer_credential)
+            factory = flaky_factory(remote_server, peer_credential,
+                                    fail_on={7})
+            channel = PeerChannel("src-site", factory, backoff=0.0)
+            replica = local_server.services["replica"]
+            replica.add_storage_element(
+                RemoteStorageElement("src-site", channel))
+            replica.catalogue.register(
+                self.LFN, "src-site", self.LFN,
+                size=len(self.DATA),
+                checksum=remote_server.services["replica"].catalogue.entry(
+                    self.LFN)["checksum"])
+            request = replica.engine.submit(self.LFN, "local")
+            replica.engine.wait(request.transfer_id, timeout=30.0)
+            done = replica.engine.get(request.transfer_id)
+            assert done.state.value == "done", done.error
+            local = replica.catalogue.replica_on(self.LFN, "local")
+            assert local.state is ReplicaState.ACTIVE
+        finally:
+            local_server.close()
+            remote_server.close()
+
+    def test_write_does_not_retry_through_drops(self, fabric_ca,
+                                                peer_credential):
+        """Chunked uploads surface transport loss instead of replaying."""
+
+        remote_server = build_site(fabric_ca, "upsite")
+        try:
+            factory = flaky_factory(remote_server, peer_credential,
+                                    fail_on={1})
+            element = RemoteStorageElement(
+                "upsite", PeerChannel("upsite", factory, backoff=0.0))
+            with pytest.raises(StorageElementError):
+                element.write_stream("/lfn/up/x.bin", [b"abc", b"def"])
+        finally:
+            remote_server.close()
+
+    def test_bare_client_still_accepted(self, fabric_ca, peer_credential):
+        server = build_site(fabric_ca, "compat-site")
+        try:
+            self._seed(server, peer_credential)
+            client = ClarensClient.for_loopback(server.loopback())
+            client.login_with_credential(peer_credential)
+            element = RemoteStorageElement("compat-site", client)
+            assert element.exists(self.LFN)
+            assert element.read(self.LFN, 0, 10) == self.DATA[:10]
+            info = element.describe()
+            assert info["remote_dn"] == str(
+                peer_credential.certificate.subject)
+            client.close()
+        finally:
+            server.close()
+
+
+# ---------------------------------------------------------------------------
+# GossipBus
+# ---------------------------------------------------------------------------
+
+class TestGossipBus:
+    def test_topics_cross_server_boundaries(self, two_sites):
+        site_a, site_b = two_sites
+        seen = []
+        site_b.message_bus.subscribe("cache.invalidate",
+                                     lambda m: seen.append(m.payload))
+        site_a.message_bus.publish("cache.invalidate.acl", {"tag": "acl"},
+                                   source="site-a-origin")
+        delivered = site_a.fabric.gossip.flush()
+        assert delivered == {"site-b": 1}
+        assert seen == [{"tag": "acl"}]
+        # The applied message is not re-gossiped by B (TTL-1).
+        assert site_b.fabric.gossip.stats()["outbox"] == 0
+
+    def test_flush_drains_beyond_max_batch(self, two_sites):
+        """One explicit flush delivers everything queued, in paged calls."""
+
+        site_a, site_b = two_sites
+        site_a.fabric.gossip.max_batch = 8
+        seen = []
+        site_b.message_bus.subscribe("cache.invalidate",
+                                     lambda m: seen.append(m.payload["tag"]))
+        for i in range(20):
+            site_a.message_bus.publish("cache.invalidate.t",
+                                       {"tag": f"t:{i}"}, source="origin")
+        assert site_a.fabric.gossip.flush() == {"site-b": 20}
+        assert seen == [f"t:{i}" for i in range(20)]
+        assert site_a.fabric.gossip.stats()["outbox"] == 0
+
+    def test_unlisted_topics_rejected_on_receive(self, two_sites):
+        site_a, site_b = two_sites
+        seen = []
+        site_b.message_bus.subscribe("replica.quarantine",
+                                     lambda m: seen.append(m.topic))
+        applied = site_b.fabric.gossip.receive(
+            [{"topic": "replica.quarantine", "payload": {"lfn": "/x"}},
+             {"topic": "cache.invalidate.acl", "payload": {"tag": "acl"}},
+             "not-a-struct"],
+            from_peer="site-a")
+        assert applied == 1                      # only the allow-listed topic
+        assert seen == []
+        assert site_b.fabric.gossip.rejected == 2
+
+    def test_cache_invalidations_flush_remote_caches(self, fabric_ca,
+                                                     peer_credential):
+        """Separate buses + gossip == the old shared-bus relay behaviour."""
+
+        a = build_site(fabric_ca, "cache-a", cache_enabled=True)
+        b = build_site(fabric_ca, "cache-b", cache_enabled=True)
+        try:
+            mesh(a, b, peer_credential)
+            tags = []
+            b.invalidation.add_listener(tags.append)
+            a.invalidation.publish("acl")
+            a.fabric.gossip.flush()
+            assert "acl" in tags
+            assert b.invalidation_relay.applied_in >= 1
+            # The applied flush is never queued for re-gossip on B (TTL-1),
+            # so it cannot echo back to A.
+            assert all(m["payload"].get("tag") != "acl"
+                       for m in b.fabric.gossip._outbox)
+        finally:
+            a.close()
+            b.close()
+
+
+# ---------------------------------------------------------------------------
+# Catalogue anti-entropy
+# ---------------------------------------------------------------------------
+
+class TestCatalogueSync:
+    LFN = "/lfn/sync/dataset.root"
+    DATA = b"event data " * 512
+
+    def _register_on(self, server, credential, data=None):
+        client = ClarensClient.for_loopback(server.loopback())
+        client.login_with_credential(credential)
+        client.call("file.write", self.LFN, data or self.DATA, False)
+        client.call("replica.register", self.LFN, "local", self.LFN)
+        return client
+
+    def test_two_server_convergence_and_quarantine_wins(self, two_sites,
+                                                        peer_credential):
+        site_a, site_b = two_sites
+        client_a = self._register_on(site_a, peer_credential)
+
+        # One sync round: the LFN registered only on A appears in B's
+        # catalogue, with its replica on B's peer element for A.
+        outcome = site_b.fabric.sync.sync_once()
+        assert outcome["site-a"]["entries"] == 1
+        client_b = ClarensClient.for_loopback(site_b.loopback())
+        client_b.login_with_credential(peer_credential)
+        entry = client_b.call("replica.stat", self.LFN)
+        assert entry["replicas"]["site-a"]["state"] == "active"
+        # ... and it is readable through B's broker with no
+        # RemoteStorageElement write having ever happened.
+        assert download_lfn(client_b, self.LFN) == self.DATA
+
+        # B quarantines its view of the copy; the next A-side round pulls
+        # the quarantine home (quarantine wins over A's active state).
+        site_b.services["replica"].catalogue.quarantine(
+            self.LFN, "site-a", error="checksum mismatch seen from B")
+        outcome = site_a.fabric.sync.sync_once()
+        assert outcome["site-b"]["quarantined"] == 1
+        local = site_a.services["replica"].catalogue.replica_on(
+            self.LFN, "local")
+        assert local.state is ReplicaState.QUARANTINED
+        assert "site-b" in local.last_error
+
+        # Quarantine wins in the other direction too: another B round must
+        # not reactivate anything.
+        site_b.fabric.sync.sync_once()
+        assert site_b.services["replica"].catalogue.replica_on(
+            self.LFN, "site-a").state is ReplicaState.QUARANTINED
+        client_a.close()
+        client_b.close()
+
+    def test_unchanged_entries_are_not_refetched(self, two_sites,
+                                                 peer_credential):
+        site_a, site_b = two_sites
+        self._register_on(site_a, peer_credential).close()
+        assert site_b.fabric.sync.sync_once()["site-a"]["changed"] == 1
+        # Version vector remembers the peer version: a second round moves
+        # nothing.
+        assert site_b.fabric.sync.sync_once()["site-a"]["changed"] == 0
+
+    def test_checksum_conflicts_surface_not_clobber(self, two_sites,
+                                                    peer_credential):
+        site_a, site_b = two_sites
+        conflicts = []
+        site_b.message_bus.subscribe("fabric.sync.conflict",
+                                     lambda m: conflicts.append(m.payload))
+        self._register_on(site_a, peer_credential).close()
+        self._register_on(site_b, peer_credential,
+                          data=b"different bytes entirely").close()
+        outcome = site_b.fabric.sync.sync_once()
+        assert outcome["site-a"]["conflicts"] == 1
+        assert conflicts and conflicts[0]["lfn"] == self.LFN
+        # B's own canonical checksum is untouched.
+        entry = site_b.services["replica"].catalogue.entry(self.LFN)
+        assert "site-a" not in entry["replicas"]
+
+    def test_sync_now_rpc_is_admin_only(self, two_sites, admin_credential,
+                                        user_credential):
+        _, site_b = two_sites
+        user = ClarensClient.for_loopback(site_b.loopback())
+        user.login_with_credential(user_credential)
+        with pytest.raises(Fault):
+            user.call("fabric.sync_now")
+        admin = ClarensClient.for_loopback(site_b.loopback())
+        admin.login_with_credential(admin_credential)
+        assert "site-a" in admin.call("fabric.sync_now")
+        user.close()
+        admin.close()
+
+
+# ---------------------------------------------------------------------------
+# Fabric-wide admission
+# ---------------------------------------------------------------------------
+
+class TestFabricAdmission:
+    @pytest.fixture()
+    def limited_sites(self, fabric_ca, peer_credential):
+        a = build_site(fabric_ca, "adm-a", dispatch_rate_limit=0.001,
+                       dispatch_burst=2)
+        b = build_site(fabric_ca, "adm-b", dispatch_rate_limit=0.001,
+                       dispatch_burst=2)
+        mesh(a, b, peer_credential)
+        yield a, b
+        a.close()
+        b.close()
+
+    def test_throttle_on_a_sheds_on_b_within_one_flush(self, limited_sites,
+                                                       fabric_ca):
+        site_a, site_b = limited_sites
+        hot = fabric_ca.issue_user("Hot Client")
+        client_a = ClarensClient.for_loopback(site_a.loopback(),
+                                              credential=hot)
+        client_a.call("system.ping")
+        client_a.call("system.ping")
+        with pytest.raises(Fault) as excinfo:
+            client_a.call("system.ping")
+        assert excinfo.value.code == FaultCode.RETRY_LATER
+
+        assert site_a.fabric.gossip.flush()["adm-b"] >= 1
+        client_b = ClarensClient.for_loopback(site_b.loopback(),
+                                              credential=hot)
+        with pytest.raises(Fault) as excinfo:
+            client_b.call("system.ping")          # never served B before
+        assert excinfo.value.code == FaultCode.RETRY_LATER
+        assert site_b.pipeline.admission.stats()["sheds_applied"] == 1
+        assert site_b.fabric.fabric_admission.stats()["sheds_applied"] == 1
+        client_a.close()
+        client_b.close()
+
+    def test_other_identities_unaffected_by_shed(self, limited_sites,
+                                                 fabric_ca):
+        site_a, site_b = limited_sites
+        hot = fabric_ca.issue_user("Hot Two")
+        calm = fabric_ca.issue_user("Calm Client")
+        client_a = ClarensClient.for_loopback(site_a.loopback(),
+                                              credential=hot)
+        for _ in range(2):
+            client_a.call("system.ping")
+        with pytest.raises(Fault):
+            client_a.call("system.ping")
+        site_a.fabric.gossip.flush()
+        calm_b = ClarensClient.for_loopback(site_b.loopback(),
+                                            credential=calm)
+        assert calm_b.call("system.ping") == "pong"
+        client_a.close()
+        calm_b.close()
+
+    def test_stats_expose_per_identity_counters(self, limited_sites,
+                                                fabric_ca, admin_credential):
+        site_a, _ = limited_sites
+        hot = fabric_ca.issue_user("Hot Three")
+        hot_dn = str(hot.certificate.subject)
+        client = ClarensClient.for_loopback(site_a.loopback(), credential=hot)
+        for _ in range(2):
+            client.call("system.ping")
+        with pytest.raises(Fault):
+            client.call("system.ping")
+        admin = ClarensClient.for_loopback(site_a.loopback(),
+                                           credential=admin_credential)
+        snapshot = admin.call("system.stats")
+        per_identity = {row["identity"]: row
+                        for row in snapshot["admission"]["per_identity"]}
+        assert per_identity[hot_dn]["admitted"] == 2
+        assert per_identity[hot_dn]["throttled"] == 1
+        client.close()
+        admin.close()
+
+
+# ---------------------------------------------------------------------------
+# Multicall token charging
+# ---------------------------------------------------------------------------
+
+class TestMulticallTokenCharge:
+    @pytest.fixture()
+    def limited_server(self, fabric_ca):
+        server = build_site(fabric_ca, "mc-site", dispatch_rate_limit=0.001,
+                            dispatch_burst=5)
+        yield server
+        server.close()
+
+    def test_batch_of_n_costs_n_tokens(self, limited_server, fabric_ca):
+        user = fabric_ca.issue_user("Batch User")
+        client = ClarensClient.for_loopback(limited_server.loopback(),
+                                            credential=user)
+        # Burst 5: one batch of 5 entries drains the bucket entirely ...
+        assert client.multicall([("system.ping", [])] * 5) == ["pong"] * 5
+        stats = limited_server.pipeline.admission.stats()
+        assert stats["charged_tokens"] == 4      # 1 admit + 4 charged
+        # ... so the very next single call is throttled.
+        with pytest.raises(Fault) as excinfo:
+            client.call("system.ping")
+        assert excinfo.value.code == FaultCode.RETRY_LATER
+        client.close()
+
+    def test_batch_beyond_burst_capacity_refused_permanently(
+            self, limited_server, fabric_ca):
+        """A batch no amount of waiting can afford must not say RETRY."""
+
+        user = fabric_ca.issue_user("Greedy User")
+        client = ClarensClient.for_loopback(limited_server.loopback(),
+                                            credential=user)
+        with pytest.raises(Fault) as excinfo:
+            client.multicall([("system.ping", [])] * 6)   # > burst of 5
+        assert excinfo.value.code == FaultCode.INVALID_PARAMS
+        # Only the refused batch's admit token was spent (balance 4 of 5):
+        # an affordable batch still runs.
+        assert client.multicall([("system.ping", [])] * 4) == ["pong"] * 4
+        client.close()
+
+    def test_temporarily_unaffordable_batch_gets_retry_later(
+            self, limited_server, fabric_ca):
+        user = fabric_ca.issue_user("Bursty User")
+        client = ClarensClient.for_loopback(limited_server.loopback(),
+                                            credential=user)
+        client.call("system.ping")
+        client.call("system.ping")                 # balance now 3 of burst 5
+        with pytest.raises(Fault) as excinfo:
+            client.multicall([("system.ping", [])] * 5)   # fits burst, not balance
+        assert excinfo.value.code == FaultCode.RETRY_LATER
+        # The rejected charge deducted nothing beyond the admit token, so an
+        # affordable batch still runs (balance 2 after the failed attempt).
+        assert client.multicall([("system.ping", [])] * 2) == ["pong"] * 2
+        client.close()
+
+    def test_exempt_identity_batches_freely(self, limited_server, fabric_ca):
+        """An admission-exempt DN (a fabric peer) is never batch-refused."""
+
+        svc = fabric_ca.issue_user("Exempt Service")
+        dn = str(svc.certificate.subject)
+        limited_server.pipeline.admission.add_exemption(lambda i: i == dn)
+        client = ClarensClient.for_loopback(limited_server.loopback(),
+                                            credential=svc)
+        # 20 entries dwarf the burst of 5: neither the permanent burst guard
+        # nor the token charge applies to an exempt identity.
+        assert client.multicall([("system.ping", [])] * 20) == ["pong"] * 20
+        client.close()
+
+    def test_uncharged_without_rate_limit(self, fabric_ca, peer_credential):
+        server = build_site(fabric_ca, "open-site")
+        try:
+            client = ClarensClient.for_loopback(server.loopback())
+            client.login_with_credential(peer_credential)
+            assert client.multicall([("system.ping", [])] * 50) == \
+                ["pong"] * 50
+            client.close()
+        finally:
+            server.close()
+
+
+# ---------------------------------------------------------------------------
+# The fabric.* RPC surface
+# ---------------------------------------------------------------------------
+
+class TestFabricRPCs:
+    def test_peers_and_status_require_authentication(self, two_sites,
+                                                     user_credential):
+        site_a, _ = two_sites
+        anon = ClarensClient.for_loopback(site_a.loopback())
+        with pytest.raises(Fault):
+            anon.call("fabric.peers")
+        user = ClarensClient.for_loopback(site_a.loopback())
+        user.login_with_credential(user_credential)
+        peers = user.call("fabric.peers")
+        assert [p["name"] for p in peers] == ["site-b"]
+        status = user.call("fabric.status")
+        assert "cache.invalidate" in status["gossip"]["topics"]
+        assert status["catalogue_sync"]["peers"] == ["site-b"]
+        anon.close()
+        user.close()
+
+    def test_publish_and_catalogue_fenced_to_peers(self, two_sites,
+                                                   user_credential,
+                                                   peer_credential):
+        site_a, _ = two_sites
+        user = ClarensClient.for_loopback(site_a.loopback())
+        user.login_with_credential(user_credential)
+        for method, params in (("fabric.publish", ([],)),
+                               ("fabric.catalogue_digest", ()),
+                               ("fabric.catalogue_entries", (["/lfn/x"],))):
+            with pytest.raises(Fault) as excinfo:
+                user.call(method, *params)
+            assert "peer" in str(excinfo.value).lower()
+        peer = ClarensClient.for_loopback(site_a.loopback())
+        peer.login_with_credential(peer_credential)
+        assert peer.call("fabric.publish", []) == 0
+        assert peer.call("fabric.catalogue_digest") == {}
+        user.close()
+        peer.close()
+
+    def test_catalogue_entries_are_fabric_normalised(self, two_sites,
+                                                     peer_credential):
+        site_a, _ = two_sites
+        client = ClarensClient.for_loopback(site_a.loopback())
+        client.login_with_credential(peer_credential)
+        client.call("file.write", "/lfn/norm/f.bin", b"payload", False)
+        client.call("replica.register", "/lfn/norm/f.bin", "local",
+                    "/lfn/norm/f.bin")
+        entries = client.call("fabric.catalogue_entries", ["/lfn/norm/f.bin"])
+        assert len(entries) == 1
+        replicas = entries[0]["replicas"]
+        # The local element is exported under the server's own name with the
+        # LFN as the pfn; "local" itself never leaves the server.
+        assert set(replicas) == {"site-a"}
+        assert replicas["site-a"]["pfn"] == "/lfn/norm/f.bin"
+        client.close()
+
+    def test_add_peer_attaches_storage_element(self, two_sites):
+        site_a, _ = two_sites
+        element = site_a.services["replica"].elements["site-b"]
+        assert isinstance(element, RemoteStorageElement)
+
+    def test_remove_peer_detaches_and_disables(self, two_sites):
+        site_a, _ = two_sites
+        assert site_a.fabric.remove_peer("site-b")
+        assert site_a.fabric.registry.get("site-b") is None
+        assert site_a.fabric.gossip.stats()["peers"] == []
+        assert not site_a.services["replica"].elements["site-b"].available
+
+    def test_readding_peer_revives_storage_element(self, two_sites,
+                                                   peer_credential):
+        site_a, site_b = two_sites
+        site_a.fabric.remove_peer("site-b")
+        assert not site_a.services["replica"].elements["site-b"].available
+        site_a.fabric.add_peer(
+            "site-b", factory=login_factory(site_b, peer_credential),
+            dn=str(peer_credential.certificate.subject))
+        element = site_a.services["replica"].elements["site-b"]
+        assert isinstance(element, RemoteStorageElement)
+        assert element.available
+        assert element.channel.probe()       # bound to the fresh channel
+
+    def test_config_peers_are_added_on_start(self, fabric_ca):
+        """``name=url|dn`` entries register the peer's inbound identity."""
+
+        peer_dn = "/O=clarens.test/OU=Services/CN=host/x.clarens.test"
+        server = build_site(
+            fabric_ca, "cfg-site",
+            fabric_peers=[f"site-x=http://127.0.0.1:1/|{peer_dn}",
+                          "site-y=http://127.0.0.1:2/"])
+        try:
+            assert server.fabric.registry.names() == ["site-x", "site-y"]
+            assert server.fabric.registry.get("site-x").url == \
+                "http://127.0.0.1:1/"
+            # The DN behind ``|`` is what the peer fence trusts; without it
+            # a config peer could never deliver gossip or serve sync.
+            assert server.fabric.registry.get("site-x").dn == peer_dn
+            assert peer_dn in server.fabric.registry.trusted_dns()
+        finally:
+            server.close()
+
+    def test_malformed_config_peer_fails_at_config_time(self):
+        from repro.core.config import ConfigError
+        for bad in ("site-b", "=http://x/", "site-b=", "site-b=|/CN=x"):
+            with pytest.raises(ConfigError):
+                ServerConfig(fabric_peers=[bad])
+        # The string form splits on ';' (DNs may contain commas).
+        config = ServerConfig(fabric_peers="a=http://1/|/O=Acme, Inc./CN=a"
+                                           ";b=http://2/")
+        assert config.fabric_peers == ["a=http://1/|/O=Acme, Inc./CN=a",
+                                       "b=http://2/"]
+
+    def test_config_peer_fabric_end_to_end(self, fabric_ca):
+        """Two servers wired purely via ``fabric_peers`` strings converge.
+
+        Channels dial the configured URLs over real sockets, authenticate
+        with each server's host credential, and pass the peer fence via the
+        host DN carried behind ``|`` — the full static-INI deployment path.
+        """
+
+        def reserve_port() -> int:
+            with socket.socket() as probe:
+                probe.bind(("127.0.0.1", 0))
+                return probe.getsockname()[1]
+
+        ports = {"cfg-a": reserve_port(), "cfg-b": reserve_port()}
+        hosts = {site: fabric_ca.issue_host(f"{site}.clarens.test")
+                 for site in ports}
+        dns = {site: str(hosts[site].certificate.subject) for site in ports}
+        servers, socks = {}, {}
+        try:
+            for site, other in (("cfg-a", "cfg-b"), ("cfg-b", "cfg-a")):
+                config = ServerConfig(
+                    server_name=site, admins=[OPS_DN],
+                    host_dn=dns[site],
+                    fabric_peers=[f"{other}=http://127.0.0.1:"
+                                  f"{ports[other]}/|{dns[other]}"])
+                servers[site] = ClarensServer(config, credential=hosts[site],
+                                              trust_store=fabric_ca.trust_store())
+                socks[site] = servers[site].socket_server(port=ports[site])
+                socks[site].__enter__()
+            lfn = "/lfn/cfg/data.bin"
+            catalogue_a = servers["cfg-a"].services["replica"].catalogue
+            catalogue_a.register(lfn, "local", lfn, size=3, checksum="")
+            (servers["cfg-a"].file_root / lfn.lstrip("/")).parent.mkdir(
+                parents=True, exist_ok=True)
+            (servers["cfg-a"].file_root / lfn.lstrip("/")).write_bytes(b"abc")
+            outcome = servers["cfg-b"].fabric.sync.sync_once()
+            assert outcome["cfg-a"]["entries"] == 1, outcome
+            replica_b = servers["cfg-b"].services["replica"]
+            assert replica_b.catalogue.replica_on(lfn, "cfg-a").state \
+                is ReplicaState.ACTIVE
+            assert replica_b.broker.read(lfn) == b"abc"
+        finally:
+            for sock in socks.values():
+                sock.__exit__(None, None, None)
+            for server in servers.values():
+                server.close()
