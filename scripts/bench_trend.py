@@ -3,8 +3,9 @@
 
 Runs the pipeline-relevant benchmarks in smoke mode —
 ``benchmarks/bench_fig4_throughput.py`` (the paper's Figure 4 sweep),
-``benchmarks/bench_multicall.py`` (batched RPC speedup) and
-``benchmarks/bench_fabric.py`` (gossip + catalogue-sync overhead) — then
+``benchmarks/bench_multicall.py`` (batched RPC speedup),
+``benchmarks/bench_fabric.py`` (gossip + catalogue-sync overhead) and
+``benchmarks/bench_telemetry.py`` (tracing + metrics cost) — then
 measures the headline numbers directly via :mod:`repro.bench.pipelinebench`
 and appends one dated entry to ``BENCH_pipeline.json`` at the repository
 root, so the performance trajectory accumulates run over run.
@@ -35,13 +36,14 @@ SMOKE_BENCHMARKS = [
     "benchmarks/bench_fig4_throughput.py",
     "benchmarks/bench_multicall.py",
     "benchmarks/bench_fabric.py",
+    "benchmarks/bench_telemetry.py",
 ]
 
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.bench.pipelinebench import (  # noqa: E402 - path set up above
     measure_fabric_overhead, measure_fig4_throughput,
-    measure_multicall_speedup)
+    measure_multicall_speedup, measure_telemetry_overhead)
 
 
 def run_pytest_gate() -> int:
@@ -61,6 +63,7 @@ def measure() -> dict:
     multicall = measure_multicall_speedup(calls=100)
     fig4 = measure_fig4_throughput()
     fabric = measure_fabric_overhead()
+    telemetry = measure_telemetry_overhead()
     return {
         "timestamp": datetime.datetime.now(datetime.timezone.utc).isoformat(),
         "host": {
@@ -88,6 +91,14 @@ def measure() -> dict:
             "gossip_messages_per_second":
                 round(fabric["gossip_messages_per_second"], 1),
         },
+        "telemetry": {
+            "baseline_calls_per_second":
+                round(telemetry["baseline_calls_per_second"], 1),
+            "telemetry_calls_per_second":
+                round(telemetry["telemetry_calls_per_second"], 1),
+            "overhead_pct": round(telemetry["overhead_pct"], 2),
+            "spans_recorded": telemetry["spans_recorded"],
+        },
     }
 
 
@@ -96,9 +107,18 @@ def append_trend(entry: dict) -> list[dict]:
     if TREND_FILE.exists():
         try:
             existing = json.loads(TREND_FILE.read_text())
-            runs = existing.get("runs", []) if isinstance(existing, dict) else []
         except (ValueError, OSError):
             print(f"warning: {TREND_FILE.name} was unreadable; starting fresh")
+        else:
+            # Tolerate a hand-edited or partial file: "runs" may be missing,
+            # null, or not a list — any of those starts the history fresh
+            # rather than crashing the recorder.
+            found = existing.get("runs") if isinstance(existing, dict) else None
+            if isinstance(found, list):
+                runs = found
+            else:
+                print(f"warning: {TREND_FILE.name} had no usable runs list; "
+                      "starting fresh")
     runs.append(entry)
     TREND_FILE.write_text(json.dumps({
         "description": "Pipeline benchmark trend; one entry per "
@@ -124,7 +144,8 @@ def main() -> int:
     runs = append_trend(entry)
     print(f"multicall speedup: {entry['multicall']['speedup']}x, "
           f"fig4 mean: {entry['fig4']['mean_calls_per_second']} calls/s, "
-          f"fabric sync: {entry['fabric']['sync_lfns_per_second']} lfns/s")
+          f"fabric sync: {entry['fabric']['sync_lfns_per_second']} lfns/s, "
+          f"telemetry overhead: {entry['telemetry']['overhead_pct']}%")
     print(f"wrote {TREND_FILE} ({len(runs)} run(s))")
     return 0
 

@@ -19,7 +19,7 @@ from repro.bench.workloads import make_benchmark_environment
 from repro.client.asyncclient import AsyncLoadClient
 
 __all__ = ["measure_multicall_speedup", "measure_fig4_throughput",
-           "measure_fabric_overhead"]
+           "measure_fabric_overhead", "measure_telemetry_overhead"]
 
 
 def measure_multicall_speedup(*, calls: int = 100, rounds: int = 3) -> dict[str, Any]:
@@ -165,6 +165,62 @@ def measure_fabric_overhead(*, lfns: int = 100,
             client.close()
         for server in servers.values():
             server.close()
+
+
+def measure_telemetry_overhead(*, calls_per_batch: int = 150, n_clients: int = 4,
+                               rounds: int = 3) -> dict[str, Any]:
+    """Cost of tracing + metrics on the paper's Figure-4 hot path.
+
+    Runs the same concurrent ``system.echo`` load against two otherwise
+    identical loopback servers — one paper-mode, one with
+    ``telemetry_enabled=True`` (every request minting a trace context,
+    recording a span into the ring buffer and feeding the request
+    counter/latency histogram).  Rounds are interleaved so thermal or
+    scheduler drift hits both servers equally; best-of-``rounds`` throughput
+    per mode damps the remaining noise.  The headline number is
+    ``overhead_pct`` — how much throughput telemetry costs, which the issue
+    budget caps at 5% on a quiet host.
+    """
+
+    envs = {
+        "baseline": make_benchmark_environment(access_checks=2, with_tls=False),
+        "telemetry": make_benchmark_environment(
+            access_checks=2, with_tls=False,
+            config_overrides={"telemetry_enabled": True}),
+    }
+    try:
+        best: dict[str, float] = {name: 0.0 for name in envs}
+        errors = 0
+        for _ in range(rounds):
+            for name, env in envs.items():
+                with AsyncLoadClient(env.client_factory(),
+                                     n_clients=n_clients) as load:
+                    result = load.run_batch(calls_per_batch)
+                best[name] = max(best[name], result.calls_per_second)
+                errors += result.errors
+
+        telemetry = envs["telemetry"].server.telemetry
+        assert telemetry is not None
+        spans = telemetry.recorder.stats()["recorded"]
+        # One scrape, so the exposition path ran too (and stays valid).
+        exposition_bytes = len(telemetry.registry.render().encode("utf-8"))
+
+        overhead_pct = 100.0 * (1.0 - best["telemetry"] / best["baseline"]) \
+            if best["baseline"] else 0.0
+        return {
+            "calls_per_batch": calls_per_batch,
+            "n_clients": n_clients,
+            "rounds": rounds,
+            "baseline_calls_per_second": best["baseline"],
+            "telemetry_calls_per_second": best["telemetry"],
+            "overhead_pct": overhead_pct,
+            "spans_recorded": spans,
+            "exposition_bytes": exposition_bytes,
+            "errors": errors,
+        }
+    finally:
+        for env in envs.values():
+            env.close()
 
 
 def measure_fig4_throughput(*, calls_per_batch: int = 150,

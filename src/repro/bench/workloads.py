@@ -15,7 +15,7 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Callable
+from typing import Any, Callable
 
 from repro.client.client import ClarensClient
 from repro.core.config import ServerConfig
@@ -81,18 +81,23 @@ class BenchmarkEnvironment:
 def make_benchmark_environment(*, access_checks: int = 2, cache_method_list: bool = False,
                                cache_enabled: bool = False,
                                with_tls: bool = True,
-                               key_bits: int = 512) -> BenchmarkEnvironment:
+                               key_bits: int = 512,
+                               config_overrides: dict[str, Any] | None = None,
+                               ) -> BenchmarkEnvironment:
     """Build the paper's measurement setup over the loopback transport.
 
     ``cache_enabled=False`` (the default) is the paper's configuration —
     every request hits the session and ACL databases.  ``cache_enabled=True``
     turns on the :mod:`repro.cache` subsystem for warm/cold comparisons.
+    ``config_overrides`` sets additional :class:`ServerConfig` fields (e.g.
+    ``{"telemetry_enabled": True}`` for the telemetry-overhead A/B run) and
+    wins over this function's own defaults.
     """
 
     ca = CertificateAuthority("/O=clarens.bench/CN=Benchmark CA", key_bits=key_bits)
     host = ca.issue_host("bench.clarens.local")
     user = ca.issue_user("Benchmark User 0001")
-    config = ServerConfig(
+    settings: dict[str, Any] = dict(
         server_name="bench",
         admins=["/O=clarens.bench/OU=People/CN=Benchmark Admin"],
         access_checks_per_request=access_checks,
@@ -100,6 +105,9 @@ def make_benchmark_environment(*, access_checks: int = 2, cache_method_list: boo
         cache_enabled=cache_enabled,
         host_dn=str(host.certificate.subject),
     )
+    if config_overrides:
+        settings.update(config_overrides)
+    config = ServerConfig(**settings)
     server = ClarensServer(config, credential=host, trust_store=ca.trust_store())
     loopback = server.loopback()
     tls_loopback = server.loopback(tls=True) if with_tls else None

@@ -28,6 +28,7 @@ from repro.pki.proxy import ProxyCertificate
 from repro.protocols import default_codec
 from repro.protocols.errors import Fault, ProtocolError
 from repro.protocols.types import RPCRequest
+from repro.telemetry.trace import TRACE_HEADER, current_trace
 
 __all__ = ["ClarensClient"]
 
@@ -76,6 +77,14 @@ class ClarensClient:
         headers = {"Content-Type": self.codec.content_type}
         if self.session_id:
             headers[SESSION_HEADER] = self.session_id
+        # Distributed tracing: when the calling thread runs under an ambient
+        # trace (a telemetry-enabled server invoking a peer, a traced
+        # transfer worker), carry it to the callee.  Headers are rebuilt per
+        # request, so pooled/re-used clients pick up whatever trace is
+        # active at call time; servers without telemetry ignore the header.
+        trace = current_trace()
+        if trace is not None:
+            headers[TRACE_HEADER] = trace.to_header()
         if extra:
             headers.update(extra)
         return headers

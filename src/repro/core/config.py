@@ -162,6 +162,21 @@ class ServerConfig:
     #: pays a full refill wait).  Applies only when dispatch rate limiting
     #: is configured locally.
     fabric_admission_share: float = 0.0
+    #: Master switch for the :mod:`repro.telemetry` subsystem: trace-context
+    #: propagation and span recording, the unified metrics registry with its
+    #: ``GET /metrics`` exposition, and the slow-request log.  Off by default
+    #: so the out-of-the-box server matches the paper's uninstrumented
+    #: measurements (trace headers from peers are then ignored entirely).
+    telemetry_enabled: bool = False
+    #: Capacity of the per-server span ring buffer queried by ``system.trace``
+    #: (oldest spans are discarded first).
+    telemetry_trace_buffer: int = 2048
+    #: Slow-request budget in milliseconds: any request slower than this emits
+    #: one structured log line with per-stage latency attribution and its
+    #: trace id (0 disables the slow log).
+    telemetry_slow_ms: float = 0.0
+    #: How many slow-request records the in-memory ring retains.
+    telemetry_slow_log_size: int = 256
     #: Extra free-form settings (service-specific tuning, experiment labels).
     extra: dict[str, Any] = field(default_factory=dict)
 
@@ -182,7 +197,8 @@ class ServerConfig:
                      "cache_discovery_maxsize", "cache_discovery_ttl",
                      "cache_pki_maxsize", "cache_pki_ttl",
                      "cache_shards", "dispatch_stats_shards",
-                     "replica_transfer_workers", "replica_max_attempts"):
+                     "replica_transfer_workers", "replica_max_attempts",
+                     "telemetry_trace_buffer", "telemetry_slow_log_size"):
             if getattr(self, knob) <= 0:
                 raise ConfigError(f"{knob} must be positive")
         for knob in ("dispatch_rate_limit", "dispatch_burst",
@@ -191,6 +207,8 @@ class ServerConfig:
                 raise ConfigError(f"{knob} cannot be negative")
         if self.cache_stats_interval < 0:
             raise ConfigError("cache_stats_interval cannot be negative")
+        if self.telemetry_slow_ms < 0:
+            raise ConfigError("telemetry_slow_ms cannot be negative")
         if self.replica_retry_delay < 0:
             raise ConfigError("replica_retry_delay cannot be negative")
         if self.replica_policy_default_copies < 0:
@@ -281,7 +299,9 @@ class ServerConfig:
                     "replica_journal_enabled", "replica_policy_default_copies",
                     "replica_heal_interval", "replica_heal_backoff",
                     "fabric_gossip_interval", "fabric_catalogue_sync",
-                    "fabric_admission_share"):
+                    "fabric_admission_share", "telemetry_enabled",
+                    "telemetry_trace_buffer", "telemetry_slow_ms",
+                    "telemetry_slow_log_size"):
             value = getattr(self, key)
             if value is not None:
                 parser["server"][key] = str(value)

@@ -17,6 +17,7 @@ from repro.core.session import Session
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
     from repro.core.server import ClarensServer
     from repro.httpd.message import HTTPRequest
+    from repro.telemetry.trace import TraceContext
 
 __all__ = ["CallContext"]
 
@@ -35,6 +36,10 @@ class CallContext:
     protocol: str = "xml-rpc"
     #: Request id stamped by the pipeline's trace stage (0 = untraced entry).
     trace_id: int = 0
+    #: The distributed trace context on telemetry-enabled servers (None in
+    #: paper mode).  Also installed as the ambient trace around the method
+    #: invocation, so outbound clients pick it up automatically.
+    trace: "TraceContext | None" = None
 
     @property
     def authenticated(self) -> bool:

@@ -55,10 +55,12 @@ from repro.httpd.message import Headers, HTTPRequest, HTTPResponse
 from repro.protocols import detect_codec
 from repro.protocols.errors import Fault, FaultCode, ProtocolError
 from repro.protocols.types import RPCRequest, RPCResponse, validate_value
+from repro.telemetry.trace import TRACE_HEADER, Span, TraceContext, use_trace
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.registry import RegisteredMethod
     from repro.core.server import ClarensServer
+    from repro.telemetry.runtime import ServerTelemetry
 
 __all__ = [
     "RequestState",
@@ -66,6 +68,8 @@ __all__ = [
     "RequestPipeline",
     "ShardedDispatchStats",
     "build_pipeline",
+    "allow_anonymous",
+    "check_method_acl",
     "SESSION_HEADER",
 ]
 
@@ -87,6 +91,9 @@ class RequestState:
     protocol: str = "xml-rpc"
     #: Monotonically increasing id stamped by the trace stage.
     trace_id: int = 0
+    #: The distributed trace context (telemetry-enabled servers only):
+    #: accepted from the request's trace header or freshly minted.
+    trace: TraceContext | None = None
     #: Resolved by the session stage (it needs the anonymous flag).
     method: "RegisteredMethod | None" = None
     session: Session | None = None
@@ -129,15 +136,60 @@ class PipelineStage:
 
 
 class TraceStage(PipelineStage):
-    """Stamps a request id so log lines and events correlate across stages."""
+    """Stamps a request id so log lines and events correlate across stages.
+
+    With telemetry enabled it additionally establishes the *distributed*
+    trace context: accepted from the request's ``X-Clarens-Trace`` header
+    (the server mints its own span id, parented on the caller's) or freshly
+    minted for untraced requests.  Paper-mode servers never parse the
+    header — the negotiation is simply that only telemetry-enabled servers
+    look, so old clients and old servers interoperate unchanged.
+    """
 
     name = "trace"
 
-    def __init__(self) -> None:
+    def __init__(self, telemetry: "ServerTelemetry | None" = None) -> None:
         self._ids = itertools.count(1)
+        self.telemetry = telemetry
 
     def __call__(self, state: RequestState) -> None:
         state.trace_id = next(self._ids)
+        if self.telemetry is None:
+            return
+        ctx = None
+        if state.http_request is not None:
+            ctx = TraceContext.from_header(
+                state.http_request.headers.get(TRACE_HEADER, ""))
+        state.trace = ctx or TraceContext.new()
+
+
+def allow_anonymous(server: "ClarensServer", method: "RegisteredMethod") -> bool:
+    """The anonymous-caller gate, shared by the session stage and multicall.
+
+    A caller with no identity may proceed only when the method is marked
+    anonymous *and* the server permits anonymous system calls.
+    """
+
+    return method.anonymous and server.config.allow_anonymous_system_calls
+
+
+def check_method_acl(server: "ClarensServer", dn: str | None, name: str,
+                     method: "RegisteredMethod | None") -> None:
+    """The paper's check 2 (method ACL), shared by the acl stage and multicall.
+
+    Honors the ``access_checks_per_request`` ablation knob and skips the
+    evaluation for anonymous callers on anonymous methods (their gate is
+    check 1's concern).  Raises :class:`AccessDeniedError` on a denial.
+    """
+
+    if server.config.access_checks_per_request < 2:
+        return
+    if dn is None and method is not None and method.anonymous:
+        return
+    decision = server.acl.check_method(dn or "", name)
+    if not decision.allowed:
+        raise AccessDeniedError(
+            f"access to {name} denied: {decision.reason}")
 
 
 class SessionStage(PipelineStage):
@@ -166,7 +218,7 @@ class SessionStage(PipelineStage):
             # TLS-authenticated connection without an explicit session: the
             # verified certificate DN identifies the caller directly.
             state.dn = http_request.client_dn
-        elif state.method.anonymous and server.config.allow_anonymous_system_calls:
+        elif allow_anonymous(server, state.method):
             state.dn = None
             state.anonymous = True
         else:
@@ -180,15 +232,8 @@ class MethodACLStage(PipelineStage):
     name = "acl"
 
     def __call__(self, state: RequestState) -> None:
-        server = state.server
-        if server.config.access_checks_per_request < 2:
-            return
-        if state.dn is None and state.method is not None and state.method.anonymous:
-            return
-        decision = server.acl.check_method(state.dn or "", state.rpc_request.method)
-        if not decision.allowed:
-            raise AccessDeniedError(
-                f"access to {state.rpc_request.method} denied: {decision.reason}")
+        check_method_acl(state.server, state.dn, state.rpc_request.method,
+                         state.method)
 
 
 class AdmissionStage(PipelineStage):
@@ -218,8 +263,16 @@ class InvokeStage(PipelineStage):
         ctx = CallContext(server=state.server, method=rpc_request.method,
                           dn=state.dn, session=state.session,
                           request=state.http_request, protocol=state.protocol,
-                          trace_id=state.trace_id)
-        result = _call_with_context(state.method.func, ctx, rpc_request.params)
+                          trace_id=state.trace_id, trace=state.trace)
+        if state.trace is not None:
+            # Ambient activation: anything the method does on this thread —
+            # publish bus events, call a peer, submit a transfer — inherits
+            # the trace without plumbing it through every layer.
+            with use_trace(state.trace):
+                result = _call_with_context(state.method.func, ctx,
+                                            rpc_request.params)
+        else:
+            result = _call_with_context(state.method.func, ctx, rpc_request.params)
         state.response = RPCResponse.from_result(result, call_id=rpc_request.call_id)
 
 
@@ -360,6 +413,9 @@ class RequestPipeline:
         #: limits are off).  Exposed so multicall token charging, the fabric
         #: admission extension and ``system.stats`` reach the same buckets.
         self.admission: AdmissionController | None = None
+        #: The server's telemetry assembly (None in paper mode): finished
+        #: requests report spans, metrics and slow-log entries through it.
+        self.telemetry: "ServerTelemetry | None" = None
 
     # -- composition ---------------------------------------------------------
     def stage_names(self) -> list[str]:
@@ -422,6 +478,21 @@ class RequestPipeline:
             fault=fault is not None, anonymous=state.anonymous,
             throttled=fault is not None and fault.code == FaultCode.RETRY_LATER,
             stage_seconds=state.stage_seconds)
+        if self.telemetry is not None and state.trace is not None:
+            self.telemetry.on_request(Span(
+                trace_id=state.trace.trace_id,
+                span_id=state.trace.span_id,
+                parent_id=state.trace.parent_id,
+                server=self.server.config.server_name,
+                method=rpc_request.method,
+                identity=state.identity,
+                protocol=state.protocol,
+                status="fault" if fault is not None else "ok",
+                fault_code=int(fault.code) if fault is not None else 0,
+                fault_string=fault.message if fault is not None else "",
+                started=time.time() - duration,
+                duration_s=duration,
+                stage_seconds=dict(state.stage_seconds)))
         return state
 
     def run(self, rpc_request: RPCRequest, *,
@@ -523,6 +594,10 @@ class RequestPipeline:
         results: list[Any] = []
         counts: dict[str, int] = {}
         for entry in calls:
+            name = ""
+            child: TraceContext | None = None
+            entry_start = time.perf_counter()
+            fault: Fault | None = None
             try:
                 name, params = _parse_multicall_entry(entry)
                 counts[name] = counts.get(name, 0) + 1
@@ -532,16 +607,39 @@ class RequestPipeline:
                 if verdict is not None:
                     raise verdict
                 method = server.registry.lookup(name)
+                # Each entry is its own span within the batch's trace, so a
+                # fan-out through multicall stays reconstructable per entry.
+                if ctx.trace is not None:
+                    child = ctx.trace.child()
                 sub_ctx = CallContext(server=server, method=name, dn=ctx.dn,
                                       session=ctx.session, request=ctx.request,
-                                      protocol=ctx.protocol, trace_id=ctx.trace_id)
-                result = _call_with_context(method.func, sub_ctx, tuple(params))
+                                      protocol=ctx.protocol, trace_id=ctx.trace_id,
+                                      trace=child)
+                if child is not None:
+                    with use_trace(child):
+                        result = _call_with_context(method.func, sub_ctx,
+                                                    tuple(params))
+                else:
+                    result = _call_with_context(method.func, sub_ctx, tuple(params))
                 validate_value(result)
                 results.append([result])
             except BaseException as exc:  # noqa: BLE001 - fault-per-entry
                 fault = to_fault(exc)
                 results.append({"faultCode": fault.code,
                                 "faultString": fault.message})
+            if self.telemetry is not None and child is not None:
+                duration = time.perf_counter() - entry_start
+                self.telemetry.on_request(Span(
+                    trace_id=child.trace_id, span_id=child.span_id,
+                    parent_id=child.parent_id,
+                    server=server.config.server_name,
+                    method=name, identity=ctx.dn or ANONYMOUS_IDENTITY,
+                    protocol=ctx.protocol,
+                    status="fault" if fault is not None else "ok",
+                    fault_code=int(fault.code) if fault is not None else 0,
+                    fault_string=fault.message if fault is not None else "",
+                    started=time.time() - duration,
+                    duration_s=duration))
         if counts:
             self.stats.record_submethods(counts)
         return results
@@ -551,24 +649,21 @@ class RequestPipeline:
 
         The session (check 1) was validated when the batch entered the
         pipeline; what remains per method is the anonymous-caller gate and
-        the ACL evaluation (check 2), both honoring the ablation knob.
+        the ACL evaluation (check 2) — the same :func:`allow_anonymous` and
+        :func:`check_method_acl` rules the session/acl stages apply, so the
+        two paths cannot drift.
         """
 
         server = self.server
-        checks = server.config.access_checks_per_request
         try:
             if name == "system.multicall":
                 raise AccessDeniedError("system.multicall may not be nested")
             method = server.registry.lookup(name)
-            if ctx.dn is None and checks >= 1:
-                if not (method.anonymous and server.config.allow_anonymous_system_calls):
-                    raise AuthenticationError(
-                        f"method {name} requires an authenticated session")
-            if checks >= 2 and not (ctx.dn is None and method.anonymous):
-                decision = server.acl.check_method(ctx.dn or "", name)
-                if not decision.allowed:
-                    raise AccessDeniedError(
-                        f"access to {name} denied: {decision.reason}")
+            if (ctx.dn is None and server.config.access_checks_per_request >= 1
+                    and not allow_anonymous(server, method)):
+                raise AuthenticationError(
+                    f"method {name} requires an authenticated session")
+            check_method_acl(server, ctx.dn, name, method)
         except BaseException as exc:  # noqa: BLE001
             return to_fault(exc)
         return None
@@ -605,11 +700,13 @@ def build_pipeline(server: "ClarensServer") -> RequestPipeline:
             max_inflight=config.dispatch_max_inflight,
             bus=server.message_bus,
             source=config.server_name)
-    stages = [TraceStage(), SessionStage(), MethodACLStage(),
+    telemetry = getattr(server, "telemetry", None)
+    stages = [TraceStage(telemetry=telemetry), SessionStage(), MethodACLStage(),
               AdmissionStage(controller), InvokeStage()]
     pipeline = RequestPipeline(server, stages,
                                stats_shards=config.dispatch_stats_shards)
     pipeline.admission = controller
+    pipeline.telemetry = telemetry
     return pipeline
 
 

@@ -47,6 +47,7 @@ from repro.monitoring.cachemetrics import CacheStatsReporter
 from repro.pki.certificate import TrustStore
 from repro.pki.credentials import Credential
 from repro.pki.proxy import ChainVerificationCache
+from repro.telemetry.runtime import ServerTelemetry
 from repro.vo.model import VOManager
 
 __all__ = ["ClarensServer"]
@@ -136,6 +137,15 @@ class ClarensServer:
             # ones.  The cache itself therefore needs no mapping of its own.
             self.authenticator.chain_cache = ChainVerificationCache(
                 pki_cache, self.trust_store, invalidation=self.invalidation)
+        # -- telemetry (repro.telemetry) ---------------------------------------
+        # Tracing, metrics and the slow-request log; None in paper mode so
+        # every call site (pipeline, transports, clients) stays on the
+        # uninstrumented path.  Built before the pipeline, which hooks its
+        # trace stage and span reporting into it.
+        self.telemetry: ServerTelemetry | None = None
+        if cfg.telemetry_enabled:
+            self.telemetry = ServerTelemetry(cfg)
+
         # -- the request pipeline ---------------------------------------------
         # One stage chain (trace → session → acl → admission → invoke, plus
         # decode/encode on the HTTP path), assembled from config and shared
@@ -167,10 +177,20 @@ class ClarensServer:
                         methods=("POST",))
         self.router.add(self.config.file_path(), self._handle_file_get,
                         methods=("GET",))
+        if self.telemetry is not None:
+            # The Prometheus scrape endpoint.  Mounted at the server root
+            # (not under url_prefix) because that is where scrapers look.
+            self.router.add("/metrics", self.telemetry.handle_metrics_get,
+                            methods=("GET",))
         self.router.set_default(self._handle_unrouted)
 
         for service in self.services.values():
             service.on_start()
+
+        # Wire the event bridge and stats collectors only after the services
+        # exist, so the collectors can see replica engine / fabric surfaces.
+        if self.telemetry is not None:
+            self.telemetry.attach(self)
 
         # -- periodic cache-statistics reporter --------------------------------
         self.cache_reporter = CacheStatsReporter(self.caches,
@@ -268,6 +288,13 @@ class ClarensServer:
 
         start = time.perf_counter()
         response = self.router.dispatch(request)
+        if (self.telemetry is not None
+                and request.url_path != self.config.rpc_path()):
+            # RPCs record their spans inside the pipeline; traced *non-RPC*
+            # requests (a peer's ranged LFN GET, file downloads) are spanned
+            # here so remote reads link into the originating trace.
+            self.telemetry.record_http(request, response.status,
+                                       time.perf_counter() - start)
         self.access_log.log(
             remote_addr=request.remote_addr,
             client_dn=request.client_dn,
@@ -339,6 +366,8 @@ class ClarensServer:
         if self._reporter_thread is not None:
             self._reporter_thread.join(timeout=5.0)
             self._reporter_thread = None
+        if self.telemetry is not None:
+            self.telemetry.close()
         if self.invalidation_relay is not None:
             self.invalidation_relay.close()
         for service in self.services.values():

@@ -206,6 +206,45 @@ class SystemService(ClarensService):
         return snapshot
 
     @rpc_method()
+    def trace(self, ctx: CallContext, trace_id: str = "",
+              limit: int = 100) -> dict[str, Any]:
+        """Spans recorded by this server's telemetry ring (admins only).
+
+        With ``trace_id`` set, returns every retained span of that trace;
+        otherwise the ``limit`` most recent spans.  Reconstructing a
+        federation-wide request means calling ``system.trace`` with the same
+        trace id on each involved server and merging the results.  Faults
+        with NotFound when telemetry is disabled on this server.
+        """
+
+        self.server.require_admin(ctx)
+        telemetry = self.server.telemetry
+        if telemetry is None:
+            raise NotFoundError("telemetry is not enabled on this server")
+        return {
+            "server": self.server.config.server_name,
+            "spans": telemetry.trace_records(trace_id=str(trace_id or ""),
+                                             limit=int(limit)),
+            "slow_requests": telemetry.slow_log.entries(),
+            "stats": telemetry.stats(),
+        }
+
+    @rpc_method()
+    def metrics(self, ctx: CallContext) -> dict[str, Any]:
+        """The metrics registry, as a structured snapshot plus the text
+        exposition also served at ``GET /metrics`` (admins only).
+
+        Faults with NotFound when telemetry is disabled on this server.
+        """
+
+        self.server.require_admin(ctx)
+        telemetry = self.server.telemetry
+        if telemetry is None:
+            raise NotFoundError("telemetry is not enabled on this server")
+        return {"metrics": telemetry.registry.collect(),
+                "exposition": telemetry.registry.render()}
+
+    @rpc_method()
     def cache_stats(self, ctx: CallContext) -> dict[str, Any]:
         """Hot-path cache statistics per named cache (admins only)."""
 

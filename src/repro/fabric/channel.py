@@ -20,6 +20,13 @@ Non-idempotent calls (chunked ``file.write`` appends, for example) must pass
 ``retry=False``: the channel then surfaces the first transport failure to the
 caller, whose own recovery (the transfer engine re-runs the whole copy)
 provides exactly-once semantics the channel cannot.
+
+Distributed tracing needs no plumbing here: pooled clients rebuild their
+headers per request, so whatever ambient trace context is active on the
+*calling* thread (see :mod:`repro.telemetry.trace`) rides every pooled
+session's ``X-Clarens-Trace`` header automatically.  The channel only adds
+accounting — cumulative :attr:`call_seconds` per peer, exported as the
+``clarens_fabric_channel_seconds_total`` metric.
 """
 
 from __future__ import annotations
@@ -72,6 +79,9 @@ class PeerChannel:
         self.faults = 0
         self.transport_errors = 0
         self.reconnects = 0
+        #: Cumulative wall-clock seconds spent in peer operations (including
+        #: retries and faults) — the per-peer latency series for telemetry.
+        self.call_seconds = 0.0
         self._closed = False
 
     @classmethod
@@ -163,6 +173,17 @@ class PeerChannel:
 
     def _attempt(self, operation, *, what: str, retry: bool,
                  count_call: bool) -> Any:
+        started = time.perf_counter()
+        try:
+            return self._attempt_inner(operation, what=what, retry=retry,
+                                       count_call=count_call)
+        finally:
+            elapsed = time.perf_counter() - started
+            with self._lock:
+                self.call_seconds += elapsed
+
+    def _attempt_inner(self, operation, *, what: str, retry: bool,
+                       count_call: bool) -> Any:
         attempts = self.max_attempts if retry else 1
         last: BaseException | None = None
         for attempt in range(attempts):
@@ -225,6 +246,7 @@ class PeerChannel:
                 "faults": self.faults,
                 "transport_errors": self.transport_errors,
                 "reconnects": self.reconnects,
+                "call_seconds": self.call_seconds,
                 "pooled_sessions": len(self._pool),
             }
 

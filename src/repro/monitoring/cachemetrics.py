@@ -10,7 +10,16 @@ and republishes each cache's counters:
   ``cache.stats.<cache name>`` (plus ``cache.stats.totals``), or
 * into a :class:`~repro.monitoring.station.StationServer` as per-node metric
   samples, so cache behaviour shows up in the GLUE site view alongside CPU
-  and network numbers.
+  and network numbers, or
+* into a :class:`~repro.telemetry.metrics.MetricsRegistry`
+  (:meth:`CacheStatsReporter.publish_to_registry`) for deployments that
+  scrape ``GET /metrics`` instead of running a reporter loop.
+
+On a ``telemetry_enabled`` server the bus/station plumbing here is
+superseded by the registry's scrape-time collectors (see
+:func:`repro.telemetry.bridge.register_server_collectors`), which sample
+the same :meth:`~repro.cache.core.CacheRegistry.stats_snapshot` lazily; the
+reporter remains for paper-mode deployments and the station integration.
 """
 
 from __future__ import annotations
@@ -68,5 +77,27 @@ class CacheStatsReporter:
                 if key in stats and stats[key] is not None:
                     station.receive_metric(farm, name, f"cache_{key}",
                                            float(stats[key]), reliable=True)
+                    samples += 1
+        return samples
+
+    def publish_to_registry(self, registry) -> int:
+        """Set the current counters as gauges on a telemetry metrics registry.
+
+        A one-shot push for tools that hold a
+        :class:`~repro.telemetry.metrics.MetricsRegistry` without a full
+        server around it; returns how many series were written.  (Servers
+        with telemetry enabled export the same numbers continuously via
+        scrape-time collectors instead.)
+        """
+
+        snapshot = self.snapshot()
+        gauge = registry.gauge("clarens_cache_stat",
+                               "Cache counters pushed by CacheStatsReporter.",
+                               labels=("cache", "stat"))
+        samples = 0
+        for name, stats in snapshot["caches"].items():
+            for key in _METRIC_KEYS:
+                if key in stats and stats[key] is not None:
+                    gauge.set(float(stats[key]), cache=name, stat=key)
                     samples += 1
         return samples

@@ -130,6 +130,11 @@ class TransferRequest:
     bytes_copied: int = 0
     throughput_bps: float = 0.0
     error: str = ""
+    #: The serialised trace context (``trace_id;span_id``) of the operation
+    #: that submitted this transfer; "" when the submitter was untraced.
+    #: Worker threads re-activate it per attempt so a replication chain
+    #: (including policy heals triggered by its events) stays one trace.
+    trace: str = ""
     created: float = field(default_factory=time.time)
     started: float = 0.0
     finished: float = 0.0
@@ -150,6 +155,7 @@ class TransferRequest:
             "bytes_copied": self.bytes_copied,
             "throughput_bps": self.throughput_bps,
             "error": self.error,
+            "trace": self.trace,
             "created": self.created,
             "started": self.started,
             "finished": self.finished,
@@ -174,6 +180,7 @@ class TransferRequest:
             bytes_copied=int(record.get("bytes_copied", 0)),
             throughput_bps=float(record.get("throughput_bps", 0.0)),
             error=record.get("error", ""),
+            trace=record.get("trace", ""),
             created=float(record.get("created", 0.0)),
             started=float(record.get("started", 0.0)),
             finished=float(record.get("finished", 0.0)),

@@ -44,6 +44,7 @@ from repro.replica.model import (ReplicaConflictError, ReplicaError,
                                  ReplicaNotFoundError, ReplicaState,
                                  TransferRequest, TransferState)
 from repro.replica.storage import DEFAULT_CHUNK, StorageElement
+from repro.telemetry.trace import TraceContext, current_trace, use_trace
 
 __all__ = ["TransferEngine"]
 
@@ -124,12 +125,17 @@ class TransferEngine:
         if src_se and src_se not in self.elements:
             raise ReplicaNotFoundError(f"unknown storage element {src_se!r}")
         entry = self.catalogue.entry(lfn)       # raises for unknown LFNs
+        # Capture the submitter's ambient trace (a traced RPC, or the worker
+        # whose events triggered a policy heal) so the asynchronous copy —
+        # and everything it causes — stays part of the same trace.
+        ambient = current_trace()
         request = TransferRequest(transfer_id=next(self._ids), lfn=entry["lfn"],
                                   dst_se=dst_se, requested_src_se=src_se,
                                   src_se=src_se,
                                   priority=int(priority), owner_dn=owner_dn,
                                   max_attempts=self.max_attempts,
-                                  bytes_total=int(entry["size"]))
+                                  bytes_total=int(entry["size"]),
+                                  trace=ambient.to_header() if ambient else "")
         with self._lock:
             self._requests[request.transfer_id] = request
         # Write-ahead: the journal row lands before the request is poppable,
@@ -320,6 +326,18 @@ class TransferEngine:
             self._run_transfer(request)
 
     def _run_transfer(self, request: TransferRequest) -> None:
+        # Context vars do not cross thread boundaries: re-activate the
+        # submitter's trace for this attempt, so remote reads (which attach
+        # the trace header), bus events and any heal they trigger link back
+        # to the operation that queued the transfer.
+        trace = TraceContext.from_header(request.trace)
+        if trace is None:
+            self._run_attempt(request)
+        else:
+            with use_trace(trace):
+                self._run_attempt(request)
+
+    def _run_attempt(self, request: TransferRequest) -> None:
         self._publish("started", request)
         try:
             self._copy_once(request)

@@ -1,0 +1,50 @@
+"""Fabric-wide observability: tracing, metrics, and export surfaces.
+
+The paper's deployment model is a many-server analysis grid monitored by
+MonALISA-style farm stations: measure everything cheaply, ship the numbers
+to one place.  :mod:`repro.telemetry` reproduces that posture on the grown
+codebase:
+
+* :mod:`repro.telemetry.trace` — a trace context (``trace_id``/``span_id``/
+  parent) minted or accepted per request, carried across servers in an HTTP
+  header, propagated through multicall entries, fabric channels, and
+  transfer jobs, and recorded as bounded per-server span logs.
+* :mod:`repro.telemetry.metrics` — a registry of sharded counters, gauges,
+  and log-bucketed histograms with Prometheus-style text exposition.
+* :mod:`repro.telemetry.bridge` — turns the existing ``MessageBus`` event
+  streams and cache/dispatch/admission statistics into named metrics.
+* :mod:`repro.telemetry.slowlog` — one structured log line per over-budget
+  request, with per-stage latency attribution and the trace id.
+* :mod:`repro.telemetry.runtime` — :class:`ServerTelemetry`, the per-server
+  assembly the server wires in when ``telemetry_enabled`` is set.
+
+Everything is off by default so the out-of-the-box server still matches the
+paper's uninstrumented measurements.
+"""
+
+from repro.telemetry.trace import (
+    TRACE_HEADER,
+    Span,
+    SpanRecorder,
+    TraceContext,
+    current_trace,
+    use_trace,
+)
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.slowlog import SlowRequestLog
+from repro.telemetry.bridge import EventBridge, register_server_collectors
+from repro.telemetry.runtime import ServerTelemetry
+
+__all__ = [
+    "TRACE_HEADER",
+    "TraceContext",
+    "Span",
+    "SpanRecorder",
+    "current_trace",
+    "use_trace",
+    "MetricsRegistry",
+    "SlowRequestLog",
+    "EventBridge",
+    "register_server_collectors",
+    "ServerTelemetry",
+]

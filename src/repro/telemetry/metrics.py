@@ -1,0 +1,367 @@
+"""A unified metrics registry with Prometheus-style text exposition.
+
+Three instrument kinds cover everything the server measures:
+
+* **counters** — monotonically increasing totals (requests served, events
+  published).  Hot-path counters are *sharded*: each cell stripes its value
+  across ``shards`` independently-locked slots assigned round-robin per
+  thread (the same idiom as ``ShardedDispatchStats`` — glibc thread idents
+  are 64-byte aligned, so hashing the ident would collapse onto one shard),
+  and reads sum the stripes.
+* **gauges** — point-in-time values (queue depth, session count).
+* **histograms** — log-bucketed (powers of two) latency/size distributions
+  with cumulative buckets, ``_sum`` and ``_count``, Prometheus-compatible.
+
+Besides directly-written instruments the registry accepts *collect-time
+callbacks*: a function returning ``[(labels, value), ...]`` sampled lazily
+on every scrape, which is how existing statistics surfaces (dispatch stats,
+cache registry, admission, transfer engine, fabric) are exported without
+double bookkeeping.
+
+:meth:`MetricsRegistry.render` emits the text exposition format
+(``text/plain; version=0.0.4``) that Prometheus and its ecosystem scrape.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from typing import Any, Callable, Iterable, Sequence
+
+__all__ = ["MetricsRegistry", "Counter", "Gauge", "Histogram"]
+
+#: Default histogram boundaries: powers of two from 2^-14 (~61 µs) up to
+#: 2^6 (64 s) — wide enough for both RPC latencies and transfer durations.
+DEFAULT_BUCKETS = tuple(2.0 ** exp for exp in range(-14, 7))
+
+
+def _escape_label(value: str) -> str:
+    return (str(value).replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
+def _format_value(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    as_float = float(value)
+    if as_float.is_integer() and abs(as_float) < 2 ** 53:
+        return str(int(as_float))
+    return repr(as_float)
+
+
+def _format_series(name: str, labels: dict[str, Any], value: float) -> str:
+    if labels:
+        body = ",".join(f'{k}="{_escape_label(v)}"'
+                        for k, v in sorted(labels.items()))
+        return f"{name}{{{body}}} {_format_value(value)}"
+    return f"{name} {_format_value(value)}"
+
+
+class _ShardPicker:
+    """Round-robin thread→shard assignment shared by all sharded cells."""
+
+    def __init__(self, shards: int) -> None:
+        self.shards = max(1, int(shards))
+        self._local = threading.local()
+        self._assign = itertools.count()
+
+    def index(self) -> int:
+        idx = getattr(self._local, "idx", None)
+        if idx is None:
+            idx = next(self._assign) % self.shards
+            self._local.idx = idx
+        return idx
+
+
+class _CounterCell:
+    """One labelled counter series, striped across shard locks."""
+
+    __slots__ = ("_picker", "_locks", "_values")
+
+    def __init__(self, picker: _ShardPicker) -> None:
+        self._picker = picker
+        self._locks = [threading.Lock() for _ in range(picker.shards)]
+        self._values = [0.0] * picker.shards
+
+    def inc(self, amount: float = 1.0) -> None:
+        idx = self._picker.index()
+        with self._locks[idx]:
+            self._values[idx] += amount
+
+    def value(self) -> float:
+        total = 0.0
+        for idx, lock in enumerate(self._locks):
+            with lock:
+                total += self._values[idx]
+        return total
+
+
+class _GaugeCell:
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class _HistogramCell:
+    """One labelled histogram series, striped across shard locks."""
+
+    __slots__ = ("_picker", "_bounds", "_locks", "_buckets", "_sums",
+                 "_counts")
+
+    def __init__(self, picker: _ShardPicker,
+                 bounds: Sequence[float]) -> None:
+        self._picker = picker
+        self._bounds = tuple(bounds)
+        self._locks = [threading.Lock() for _ in range(picker.shards)]
+        self._buckets = [[0] * len(self._bounds)
+                         for _ in range(picker.shards)]
+        self._sums = [0.0] * picker.shards
+        self._counts = [0] * picker.shards
+
+    def observe(self, value: float) -> None:
+        # Linear scan is fine: ~21 default buckets, and latencies land in
+        # the first few.  A bisect would cost more in call overhead.
+        slot = len(self._bounds)
+        for i, bound in enumerate(self._bounds):
+            if value <= bound:
+                slot = i
+                break
+        idx = self._picker.index()
+        with self._locks[idx]:
+            if slot < len(self._bounds):
+                self._buckets[idx][slot] += 1
+            self._sums[idx] += value
+            self._counts[idx] += 1
+
+    def snapshot(self) -> tuple[list[int], float, int]:
+        """Merged per-bucket counts (non-cumulative), sum, and count."""
+
+        merged = [0] * len(self._bounds)
+        total_sum = 0.0
+        total_count = 0
+        for idx, lock in enumerate(self._locks):
+            with lock:
+                for i, n in enumerate(self._buckets[idx]):
+                    merged[i] += n
+                total_sum += self._sums[idx]
+                total_count += self._counts[idx]
+        return merged, total_sum, total_count
+
+    @property
+    def bounds(self) -> tuple[float, ...]:
+        return self._bounds
+
+
+class _Family:
+    """A named metric with a fixed label-name set and per-labels cells."""
+
+    def __init__(self, name: str, help_text: str, kind: str,
+                 label_names: tuple[str, ...],
+                 make_cell: Callable[[], Any]) -> None:
+        self.name = name
+        self.help = help_text
+        self.kind = kind
+        self.label_names = label_names
+        self._make_cell = make_cell
+        self._lock = threading.Lock()
+        self._cells: dict[tuple[str, ...], Any] = {}
+
+    def labels(self, **labels: Any) -> Any:
+        if set(labels) != set(self.label_names):
+            raise ValueError(
+                f"metric {self.name} takes labels {self.label_names}, "
+                f"got {tuple(sorted(labels))}")
+        key = tuple(str(labels[name]) for name in self.label_names)
+        cell = self._cells.get(key)
+        if cell is None:
+            with self._lock:
+                cell = self._cells.get(key)
+                if cell is None:
+                    cell = self._make_cell()
+                    self._cells[key] = cell
+        return cell
+
+    def cells(self) -> list[tuple[dict[str, str], Any]]:
+        with self._lock:
+            items = list(self._cells.items())
+        return [(dict(zip(self.label_names, key)), cell)
+                for key, cell in items]
+
+
+class Counter(_Family):
+    def inc(self, amount: float = 1.0, **labels: Any) -> None:
+        self.labels(**labels).inc(amount)
+
+
+class Gauge(_Family):
+    def set(self, value: float, **labels: Any) -> None:
+        self.labels(**labels).set(value)
+
+    def inc(self, amount: float = 1.0, **labels: Any) -> None:
+        self.labels(**labels).inc(amount)
+
+
+class Histogram(_Family):
+    def observe(self, value: float, **labels: Any) -> None:
+        self.labels(**labels).observe(value)
+
+
+class MetricsRegistry:
+    """All instruments of one server, renderable as text exposition."""
+
+    def __init__(self, shards: int = 4) -> None:
+        self._picker = _ShardPicker(shards)
+        self._lock = threading.Lock()
+        self._families: dict[str, _Family] = {}
+        self._callbacks: list[tuple[str, str, str,
+                                    Callable[[], Iterable[tuple[dict, float]]]]] = []
+
+    # -- instrument factories ------------------------------------------
+
+    def _family(self, name: str, help_text: str, kind: str,
+                label_names: Sequence[str],
+                factory: Callable[..., _Family],
+                make_cell: Callable[[], Any]) -> _Family:
+        with self._lock:
+            family = self._families.get(name)
+            if family is None:
+                family = factory(name, help_text, kind, tuple(label_names),
+                                 make_cell)
+                self._families[name] = family
+            elif family.kind != kind or family.label_names != tuple(label_names):
+                raise ValueError(
+                    f"metric {name} re-registered with a different "
+                    f"kind/labels ({family.kind}{family.label_names} vs "
+                    f"{kind}{tuple(label_names)})")
+            return family
+
+    def counter(self, name: str, help_text: str = "",
+                labels: Sequence[str] = ()) -> Counter:
+        return self._family(name, help_text, "counter", labels, Counter,
+                            lambda: _CounterCell(self._picker))
+
+    def gauge(self, name: str, help_text: str = "",
+              labels: Sequence[str] = ()) -> Gauge:
+        return self._family(name, help_text, "gauge", labels, Gauge,
+                            lambda: _GaugeCell())
+
+    def histogram(self, name: str, help_text: str = "",
+                  labels: Sequence[str] = (),
+                  buckets: Sequence[float] = DEFAULT_BUCKETS) -> Histogram:
+        bounds = tuple(sorted(float(b) for b in buckets))
+        return self._family(name, help_text, "histogram", labels, Histogram,
+                            lambda: _HistogramCell(self._picker, bounds))
+
+    def register_callback(self, name: str, help_text: str, kind: str,
+                          sample: Callable[[], Iterable[tuple[dict, float]]],
+                          ) -> None:
+        """Export a lazily-sampled metric: ``sample()`` runs per scrape.
+
+        ``kind`` is ``"gauge"`` or ``"counter"``; ``sample`` returns an
+        iterable of ``(labels_dict, value)`` pairs.
+        """
+
+        if kind not in ("gauge", "counter"):
+            raise ValueError(f"callback metrics must be gauge or counter, "
+                             f"not {kind!r}")
+        with self._lock:
+            if name in self._families or any(c[0] == name
+                                             for c in self._callbacks):
+                raise ValueError(f"metric {name} already registered")
+            self._callbacks.append((name, help_text, kind, sample))
+
+    # -- exposition ----------------------------------------------------
+
+    def collect(self) -> dict[str, Any]:
+        """A structured snapshot (the ``system.metrics`` RPC payload)."""
+
+        out: dict[str, Any] = {}
+        with self._lock:
+            families = list(self._families.values())
+            callbacks = list(self._callbacks)
+        for family in families:
+            series = []
+            for labels, cell in family.cells():
+                if family.kind == "histogram":
+                    buckets, total_sum, count = cell.snapshot()
+                    series.append({"labels": labels, "sum": total_sum,
+                                   "count": count})
+                else:
+                    series.append({"labels": labels, "value": cell.value()})
+            out[family.name] = {"type": family.kind, "series": series}
+        for name, _help, kind, sample in callbacks:
+            try:
+                samples = list(sample())
+            except Exception:
+                continue
+            out[name] = {"type": kind,
+                         "series": [{"labels": dict(labels), "value": value}
+                                    for labels, value in samples]}
+        return out
+
+    def render(self) -> str:
+        """The Prometheus text exposition of every registered metric."""
+
+        lines: list[str] = []
+        with self._lock:
+            families = sorted(self._families.values(),
+                              key=lambda f: f.name)
+            callbacks = sorted(self._callbacks, key=lambda c: c[0])
+        for family in families:
+            cells = family.cells()
+            if not cells:
+                continue
+            if family.help:
+                lines.append(f"# HELP {family.name} {family.help}")
+            lines.append(f"# TYPE {family.name} {family.kind}")
+            for labels, cell in cells:
+                if family.kind == "histogram":
+                    buckets, total_sum, count = cell.snapshot()
+                    cumulative = 0
+                    for bound, n in zip(cell.bounds, buckets):
+                        cumulative += n
+                        lines.append(_format_series(
+                            f"{family.name}_bucket",
+                            {**labels, "le": _format_value(bound)},
+                            cumulative))
+                    lines.append(_format_series(
+                        f"{family.name}_bucket", {**labels, "le": "+Inf"},
+                        count))
+                    lines.append(_format_series(f"{family.name}_sum",
+                                                labels, total_sum))
+                    lines.append(_format_series(f"{family.name}_count",
+                                                labels, count))
+                else:
+                    lines.append(_format_series(family.name, labels,
+                                                cell.value()))
+        for name, help_text, kind, sample in callbacks:
+            try:
+                samples = list(sample())
+            except Exception:
+                continue
+            if help_text:
+                lines.append(f"# HELP {name} {help_text}")
+            lines.append(f"# TYPE {name} {kind}")
+            if not samples:
+                # A registered surface with no series yet still advertises
+                # itself so scrapers see the family exists.
+                continue
+            for labels, value in samples:
+                lines.append(_format_series(name, dict(labels), value))
+        return "\n".join(lines) + "\n" if lines else ""

@@ -1,0 +1,122 @@
+"""Per-server telemetry assembly.
+
+:class:`ServerTelemetry` owns the four pieces — span recorder, metrics
+registry, slow-request log, event bridge — and presents the few entry
+points the rest of the codebase calls:
+
+* the pipeline reports every finished request through :meth:`on_request`;
+* the HTTP front door reports traced non-RPC requests (ranged LFN GETs,
+  file downloads) through :meth:`record_http`;
+* the server mounts :meth:`handle_metrics_get` at ``GET /metrics``.
+
+Constructed only when ``telemetry_enabled`` is set; with the knob off the
+server carries ``telemetry = None`` and every call site stays on the
+paper-mode path.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from repro.httpd.message import HTTPRequest, HTTPResponse
+from repro.telemetry.bridge import EventBridge, register_server_collectors
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.slowlog import SlowRequestLog
+from repro.telemetry.trace import TRACE_HEADER, Span, SpanRecorder, TraceContext
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.config import ServerConfig
+    from repro.core.server import ClarensServer
+
+__all__ = ["ServerTelemetry", "EXPOSITION_CONTENT_TYPE"]
+
+#: The content type Prometheus expects from a text-format scrape target.
+EXPOSITION_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+class ServerTelemetry:
+    """Tracing + metrics + slow log for one server."""
+
+    def __init__(self, config: "ServerConfig") -> None:
+        self.server_name = config.server_name
+        self.recorder = SpanRecorder(capacity=config.telemetry_trace_buffer)
+        self.registry = MetricsRegistry(shards=config.dispatch_stats_shards)
+        self.slow_log = SlowRequestLog(config.telemetry_slow_ms,
+                                       capacity=config.telemetry_slow_log_size)
+        self.bridge: EventBridge | None = None
+        # The two hot-path instruments written per request; everything else
+        # is sampled at scrape time by the collectors.
+        self._requests = self.registry.counter(
+            "clarens_requests_total", "RPC requests served, by outcome.",
+            labels=("status",))
+        self._latency = self.registry.histogram(
+            "clarens_request_seconds", "End-to-end RPC latency.")
+
+    # -- wiring ------------------------------------------------------------
+    def attach(self, server: "ClarensServer") -> None:
+        """Subscribe the event bridge and export the server's stats."""
+
+        self.bridge = EventBridge(server.message_bus, self.registry)
+        register_server_collectors(server, self.registry)
+
+    def close(self) -> None:
+        if self.bridge is not None:
+            self.bridge.close()
+            self.bridge = None
+
+    # -- request accounting ------------------------------------------------
+    def on_request(self, span: Span) -> None:
+        """Account one finished pipeline request (RPC or multicall entry)."""
+
+        self.recorder.record(span)
+        self._requests.inc(status=span.status)
+        self._latency.observe(span.duration_s)
+        self.slow_log.observe(span)
+
+    def record_http(self, request: HTTPRequest, status: int,
+                    duration_s: float) -> None:
+        """Record a span for a traced non-RPC HTTP request.
+
+        Only requests carrying a trace header produce spans here — plain
+        browser/file traffic stays out of the ring.  This is what links a
+        peer's ranged ``GET file/.lfn/<name>`` reads into the trace of the
+        transfer that issued them.
+        """
+
+        ctx = TraceContext.from_header(request.headers.get(TRACE_HEADER, ""))
+        if ctx is None:
+            return
+        span = Span(
+            trace_id=ctx.trace_id,
+            span_id=ctx.span_id,
+            parent_id=ctx.parent_id,
+            server=self.server_name,
+            method=f"{request.method} {request.url_path}",
+            protocol="http",
+            status="ok" if status < 400 else "fault",
+            duration_s=duration_s,
+        )
+        self.recorder.record(span)
+        self.slow_log.observe(span)
+
+    # -- export surfaces ---------------------------------------------------
+    def handle_metrics_get(self, request: HTTPRequest,
+                           remainder: str) -> HTTPResponse:
+        """``GET /metrics``: the Prometheus text exposition."""
+
+        body = self.registry.render().encode("utf-8")
+        return HTTPResponse.ok(body, content_type=EXPOSITION_CONTENT_TYPE)
+
+    def trace_records(self, trace_id: str = "",
+                      limit: int = 100) -> list[dict[str, Any]]:
+        """Span records for ``system.trace`` (one trace, or the most recent)."""
+
+        if trace_id:
+            spans = self.recorder.by_trace(str(trace_id))
+        else:
+            spans = self.recorder.recent(limit)
+        return [span.to_record() for span in spans]
+
+    def stats(self) -> dict[str, Any]:
+        return {"spans": self.recorder.stats(),
+                "slow_requests": self.slow_log.stats()}

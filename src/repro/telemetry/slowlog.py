@@ -1,0 +1,75 @@
+"""The slow-request log: one structured line per over-budget request.
+
+ROADMAP direction 2 asks for per-stage latency *budgets* enforced via the
+stats breakdown; the slow log is the observable half of that.  When a
+request's total duration exceeds ``telemetry_slow_ms`` the completed span —
+which already carries the per-stage timing attribution — is appended to a
+bounded ring and emitted as one parseable ``key=value`` log line, so an
+operator can answer "what was slow, where did the time go, and what trace
+was it part of" from the server log alone.
+"""
+
+from __future__ import annotations
+
+import logging
+import threading
+from collections import deque
+from typing import Any
+
+from repro.telemetry.trace import Span
+
+__all__ = ["SlowRequestLog"]
+
+log = logging.getLogger("repro.telemetry.slow")
+
+
+class SlowRequestLog:
+    """Retains and logs requests slower than ``threshold_ms``."""
+
+    def __init__(self, threshold_ms: float, capacity: int = 256,
+                 logger: logging.Logger | None = None) -> None:
+        self.threshold_ms = float(threshold_ms)
+        self._log = logger or log
+        self._lock = threading.Lock()
+        self._entries: deque[dict[str, Any]] = deque(
+            maxlen=max(1, int(capacity)))
+        self._observed = 0
+
+    @property
+    def enabled(self) -> bool:
+        return self.threshold_ms > 0
+
+    def observe(self, span: Span) -> bool:
+        """Record ``span`` if it blew the budget; returns True if it did."""
+
+        if not self.enabled:
+            return False
+        total_ms = span.duration_s * 1000.0
+        if total_ms < self.threshold_ms:
+            return False
+        entry = span.to_record()
+        entry["total_ms"] = total_ms
+        with self._lock:
+            self._entries.append(entry)
+            self._observed += 1
+        stages = " ".join(
+            f"stage.{name}={seconds * 1000.0:.3f}ms"
+            for name, seconds in sorted(span.stage_seconds.items()))
+        self._log.warning(
+            "slow-request trace=%s span=%s method=%s identity=%s status=%s "
+            "total=%.3fms budget=%.1fms %s",
+            span.trace_id or "-", span.span_id or "-", span.method,
+            span.identity, span.status, total_ms, self.threshold_ms, stages)
+        return True
+
+    def entries(self) -> list[dict[str, Any]]:
+        """Retained slow-request records, oldest first."""
+
+        with self._lock:
+            return [dict(e) for e in self._entries]
+
+    def stats(self) -> dict[str, Any]:
+        with self._lock:
+            return {"observed": self._observed,
+                    "retained": len(self._entries),
+                    "threshold_ms": self.threshold_ms}

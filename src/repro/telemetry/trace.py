@@ -1,0 +1,197 @@
+"""Trace context propagation and per-server span recording.
+
+A *trace* is one logical operation — a client RPC, a multicall fan-out, a
+replication chain — identified by a ``trace_id`` shared by every server it
+touches.  Each unit of work inside it is a *span* (``span_id``) pointing at
+the span that caused it (``parent_id``), so the request's path across a
+federation reconstructs from the union of the per-server span logs.
+
+The context rides the request envelope in one HTTP header
+(``X-Clarens-Trace: <trace_id>;<span_id>``) attached by
+:class:`repro.client.client.ClarensClient` whenever an ambient trace is
+active, and is only *parsed* by servers that enabled telemetry — paper-mode
+deployments ignore it entirely, so old clients and old servers interoperate
+unchanged.
+
+Within a process the active context is ambient (a :class:`contextvars
+.ContextVar`): the pipeline activates it around the service method, which
+means anything the method does on the same thread — publish a bus event,
+call a peer through a pooled :class:`~repro.fabric.channel.PeerChannel`,
+submit a transfer — inherits it without plumbing arguments through every
+layer.  Worker threads do not inherit context vars; the transfer engine
+therefore carries the serialised context inside the
+:class:`~repro.replica.model.TransferRequest` record and re-activates it
+per attempt.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from contextvars import ContextVar
+from typing import Any, Iterator
+
+__all__ = [
+    "TRACE_HEADER",
+    "TraceContext",
+    "Span",
+    "SpanRecorder",
+    "current_trace",
+    "use_trace",
+]
+
+#: HTTP header carrying ``<trace_id>;<span_id>`` between servers.
+TRACE_HEADER = "X-Clarens-Trace"
+
+
+def _new_id() -> str:
+    """A 16-hex-digit random identifier (64 bits, like W3C span ids)."""
+
+    return os.urandom(8).hex()
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """The immutable identity of the current unit of work."""
+
+    trace_id: str
+    span_id: str
+    parent_id: str = ""
+
+    @classmethod
+    def new(cls) -> "TraceContext":
+        """Mint a fresh root context (no parent)."""
+
+        return cls(trace_id=_new_id(), span_id=_new_id())
+
+    def child(self) -> "TraceContext":
+        """A new span within the same trace, parented on this one."""
+
+        return TraceContext(trace_id=self.trace_id, span_id=_new_id(),
+                            parent_id=self.span_id)
+
+    def to_header(self) -> str:
+        return f"{self.trace_id};{self.span_id}"
+
+    @classmethod
+    def from_header(cls, value: str) -> "TraceContext | None":
+        """Parse a ``trace_id;span_id`` header into a *child* context.
+
+        The received span becomes the parent: the server mints its own span
+        id for the work it is about to do.  Malformed or empty values yield
+        ``None`` — a garbage header degrades to an untraced request, never
+        a fault.
+        """
+
+        if not value:
+            return None
+        trace_id, _, span_id = value.partition(";")
+        trace_id = trace_id.strip()
+        span_id = span_id.strip()
+        if not trace_id or not span_id:
+            return None
+        if len(trace_id) > 64 or len(span_id) > 64:
+            return None
+        if not all(c in "0123456789abcdefABCDEF" for c in trace_id + span_id):
+            return None
+        return cls(trace_id=trace_id.lower(), span_id=_new_id(),
+                   parent_id=span_id.lower())
+
+
+_current: ContextVar[TraceContext | None] = ContextVar(
+    "repro_trace_context", default=None)
+
+
+def current_trace() -> TraceContext | None:
+    """The ambient trace context of the calling thread/task, if any."""
+
+    return _current.get()
+
+
+@contextlib.contextmanager
+def use_trace(ctx: TraceContext | None) -> Iterator[TraceContext | None]:
+    """Activate ``ctx`` as the ambient trace for the dynamic extent."""
+
+    token = _current.set(ctx)
+    try:
+        yield ctx
+    finally:
+        _current.reset(token)
+
+
+@dataclass
+class Span:
+    """One recorded unit of work on one server."""
+
+    trace_id: str
+    span_id: str
+    parent_id: str = ""
+    server: str = ""
+    method: str = ""
+    identity: str = ""
+    protocol: str = ""
+    status: str = "ok"            # "ok" | "fault"
+    fault_code: int = 0
+    fault_string: str = ""
+    started: float = field(default_factory=time.time)
+    duration_s: float = 0.0
+    stage_seconds: dict[str, float] = field(default_factory=dict)
+
+    def to_record(self) -> dict[str, Any]:
+        return {
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "server": self.server,
+            "method": self.method,
+            "identity": self.identity,
+            "protocol": self.protocol,
+            "status": self.status,
+            "fault_code": self.fault_code,
+            "fault_string": self.fault_string,
+            "started": self.started,
+            "duration_s": self.duration_s,
+            "stage_seconds": dict(self.stage_seconds),
+        }
+
+
+class SpanRecorder:
+    """A bounded in-memory ring of the most recent spans on this server.
+
+    The buffer is deliberately small and lossy — it answers "what did this
+    trace do here recently", not "give me every request since boot".  A
+    deque with ``maxlen`` gives O(1) appends; queries copy under the lock.
+    """
+
+    def __init__(self, capacity: int = 2048) -> None:
+        self._lock = threading.Lock()
+        self._spans: deque[Span] = deque(maxlen=max(1, int(capacity)))
+        self._recorded = 0
+
+    def record(self, span: Span) -> None:
+        with self._lock:
+            self._spans.append(span)
+            self._recorded += 1
+
+    def by_trace(self, trace_id: str) -> list[Span]:
+        """All retained spans of one trace, oldest first."""
+
+        with self._lock:
+            return [s for s in self._spans if s.trace_id == trace_id]
+
+    def recent(self, limit: int = 100) -> list[Span]:
+        """The most recent ``limit`` spans, oldest first."""
+
+        limit = max(0, int(limit))
+        with self._lock:
+            spans = list(self._spans)
+        return spans[-limit:] if limit else []
+
+    def stats(self) -> dict[str, Any]:
+        with self._lock:
+            return {"recorded": self._recorded, "retained": len(self._spans),
+                    "capacity": self._spans.maxlen}

@@ -68,7 +68,7 @@ class TestConfigReference:
 class TestDocsTree:
     @pytest.mark.parametrize("page", ["architecture.md", "replication.md",
                                       "operations.md", "config.md",
-                                      "federation.md"])
+                                      "federation.md", "observability.md"])
     def test_page_exists_and_has_a_title(self, page):
         path = DOCS_DIR / page
         assert path.is_file()
@@ -86,3 +86,5 @@ class TestDocsTree:
         assert "architecture.md" in repl and "operations.md" in repl
         fed = (DOCS_DIR / "federation.md").read_text()
         assert "architecture.md" in fed and "config.md" in fed
+        obs = (DOCS_DIR / "observability.md").read_text()
+        assert "architecture.md" in obs and "config.md" in obs

@@ -1,0 +1,575 @@
+"""The ``repro.telemetry`` layer: tracing, metrics, and export surfaces.
+
+Unit-level coverage of the trace context wire format, the metrics registry
+and its Prometheus text exposition, and the slow-request log; server-level
+coverage of span recording, the ``system.trace``/``system.metrics`` RPCs
+and the ``GET /metrics`` scrape over a real socket; and federation-level
+coverage that one trace id links spans across two socket-connected servers
+— for a multicall entry pulling a remote LFN, for a broker read through a
+``RemoteStorageElement``, and for a quarantine→heal chain.
+"""
+
+from __future__ import annotations
+
+import http.client
+import re
+import socket
+import time
+
+import pytest
+
+from repro.client.client import ClarensClient
+from repro.core.config import ConfigError, ServerConfig
+from repro.core.server import ClarensServer
+from repro.pki.authority import CertificateAuthority
+from repro.protocols.errors import Fault, FaultCode
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.slowlog import SlowRequestLog
+from repro.telemetry.trace import (TRACE_HEADER, Span, SpanRecorder,
+                                   TraceContext, current_trace, use_trace)
+
+OPS_DN = "/O=clarens.test/OU=People/CN=Ada Admin"
+
+HEX_ID = re.compile(r"^[0-9a-f]{16}$")
+#: One exposition sample line: name, optional {labels}, numeric value.
+SAMPLE_LINE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? (?:[0-9.e+-]+|\+Inf|NaN)$")
+
+
+@pytest.fixture(scope="module")
+def telemetry_ca():
+    return CertificateAuthority("/O=clarens.test/CN=Telemetry CA",
+                                key_bits=512)
+
+
+@pytest.fixture(scope="module")
+def admin_credential(telemetry_ca):
+    return telemetry_ca.issue_user("Ada Admin")
+
+
+@pytest.fixture(scope="module")
+def user_credential(telemetry_ca):
+    return telemetry_ca.issue_user("Norma User")
+
+
+def build_site(ca, name, **overrides):
+    host = ca.issue_host(f"{name}.clarens.test")
+    overrides.setdefault("telemetry_enabled", True)
+    config = ServerConfig(server_name=name, admins=[OPS_DN],
+                          host_dn=str(host.certificate.subject), **overrides)
+    return ClarensServer(config, credential=host, trust_store=ca.trust_store())
+
+
+def login(server, credential):
+    client = ClarensClient.for_loopback(server.loopback())
+    client.login_with_credential(credential)
+    return client
+
+
+# ---------------------------------------------------------------------------
+# TraceContext and the wire format
+# ---------------------------------------------------------------------------
+
+class TestTraceContext:
+    def test_new_mints_root_ids(self):
+        ctx = TraceContext.new()
+        assert HEX_ID.match(ctx.trace_id)
+        assert HEX_ID.match(ctx.span_id)
+        assert ctx.parent_id == ""
+
+    def test_child_stays_in_trace_and_parents_on_self(self):
+        root = TraceContext.new()
+        child = root.child()
+        assert child.trace_id == root.trace_id
+        assert child.span_id != root.span_id
+        assert child.parent_id == root.span_id
+
+    def test_header_round_trip_parents_on_sender(self):
+        sender = TraceContext.new()
+        received = TraceContext.from_header(sender.to_header())
+        assert received is not None
+        assert received.trace_id == sender.trace_id
+        # The receiver does its own work under its own span id; the span it
+        # heard about becomes the parent.
+        assert received.parent_id == sender.span_id
+        assert received.span_id != sender.span_id
+
+    def test_upper_case_hex_normalised(self):
+        received = TraceContext.from_header("ABCDEF0123456789;FEDCBA9876543210")
+        assert received is not None
+        assert received.trace_id == "abcdef0123456789"
+        assert received.parent_id == "fedcba9876543210"
+
+    @pytest.mark.parametrize("garbage", [
+        "", ";", "abc", "abc;", ";def", "xyz;123", "abc;de fg",
+        "a" * 65 + ";bb", "<script>;123",
+    ])
+    def test_garbage_headers_degrade_to_untraced(self, garbage):
+        assert TraceContext.from_header(garbage) is None
+
+    def test_ambient_context_nests_and_restores(self):
+        assert current_trace() is None
+        outer = TraceContext.new()
+        inner = outer.child()
+        with use_trace(outer):
+            assert current_trace() is outer
+            with use_trace(inner):
+                assert current_trace() is inner
+            assert current_trace() is outer
+        assert current_trace() is None
+
+
+class TestSpanRecorder:
+    def _span(self, trace_id="t" * 16, **kwargs):
+        return Span(trace_id=trace_id, span_id="s" * 16, **kwargs)
+
+    def test_ring_is_bounded(self):
+        recorder = SpanRecorder(capacity=4)
+        for i in range(10):
+            recorder.record(self._span(method=f"m{i}"))
+        stats = recorder.stats()
+        assert stats == {"recorded": 10, "retained": 4, "capacity": 4}
+        assert [s.method for s in recorder.recent()] == \
+            ["m6", "m7", "m8", "m9"]
+
+    def test_by_trace_filters(self):
+        recorder = SpanRecorder()
+        recorder.record(self._span(trace_id="a" * 16))
+        recorder.record(self._span(trace_id="b" * 16))
+        recorder.record(self._span(trace_id="a" * 16))
+        assert len(recorder.by_trace("a" * 16)) == 2
+        assert recorder.by_trace("c" * 16) == []
+
+
+# ---------------------------------------------------------------------------
+# MetricsRegistry
+# ---------------------------------------------------------------------------
+
+class TestMetricsRegistry:
+    def test_counter_and_gauge_render(self):
+        registry = MetricsRegistry()
+        requests = registry.counter("demo_requests_total", "Requests.",
+                                    labels=("status",))
+        requests.inc(status="ok")
+        requests.inc(2, status="fault")
+        registry.gauge("demo_queue_depth", "Depth.").set(7)
+        text = registry.render()
+        assert "# HELP demo_requests_total Requests." in text
+        assert "# TYPE demo_requests_total counter" in text
+        assert 'demo_requests_total{status="ok"} 1' in text
+        assert 'demo_requests_total{status="fault"} 2' in text
+        assert "# TYPE demo_queue_depth gauge" in text
+        assert "demo_queue_depth 7" in text
+
+    def test_histogram_renders_cumulative_buckets(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("demo_seconds", "Latency.",
+                                  buckets=(0.1, 1.0, 10.0))
+        for value in (0.05, 0.5, 0.5, 5.0, 50.0):
+            hist.observe(value)
+        text = registry.render()
+        assert 'demo_seconds_bucket{le="0.1"} 1' in text
+        assert 'demo_seconds_bucket{le="1"} 3' in text
+        assert 'demo_seconds_bucket{le="10"} 4' in text
+        assert 'demo_seconds_bucket{le="+Inf"} 5' in text
+        assert "demo_seconds_count 5" in text
+        assert "demo_seconds_sum 56.05" in text
+
+    def test_label_values_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("demo_total", labels=("who",)).inc(
+            who='DN with "quotes" and \\slashes\\')
+        line = [l for l in registry.render().splitlines()
+                if l.startswith("demo_total")][0]
+        assert line == ('demo_total{who="DN with \\"quotes\\" '
+                        'and \\\\slashes\\\\"} 1')
+
+    def test_re_registration_must_match(self):
+        registry = MetricsRegistry()
+        first = registry.counter("demo_total", labels=("a",))
+        assert registry.counter("demo_total", labels=("a",)) is first
+        with pytest.raises(ValueError):
+            registry.gauge("demo_total", labels=("a",))
+        with pytest.raises(ValueError):
+            registry.counter("demo_total", labels=("b",))
+
+    def test_label_name_mismatch_rejected(self):
+        counter = MetricsRegistry().counter("demo_total", labels=("a",))
+        with pytest.raises(ValueError):
+            counter.inc(b="nope")
+
+    def test_callbacks_sampled_per_scrape(self):
+        registry = MetricsRegistry()
+        depth = {"value": 1.0}
+        registry.register_callback(
+            "demo_depth", "Sampled.", "gauge",
+            lambda: [({"pool": "main"}, depth["value"])])
+        assert 'demo_depth{pool="main"} 1' in registry.render()
+        depth["value"] = 9.0
+        assert 'demo_depth{pool="main"} 9' in registry.render()
+        with pytest.raises(ValueError):
+            registry.register_callback("demo_depth", "", "gauge", lambda: [])
+
+    def test_failing_callback_does_not_break_the_scrape(self):
+        registry = MetricsRegistry()
+        registry.counter("demo_ok_total").inc()
+
+        def boom():
+            raise RuntimeError("stats surface went away")
+
+        registry.register_callback("demo_bad", "", "gauge", boom)
+        text = registry.render()
+        assert "demo_ok_total 1" in text
+        assert "demo_bad" not in text
+        assert "demo_bad" not in registry.collect()
+
+    def test_every_rendered_line_is_valid_exposition(self):
+        registry = MetricsRegistry()
+        registry.counter("demo_total", "T.", labels=("x",)).inc(x="y")
+        registry.histogram("demo_seconds", "S.").observe(0.25)
+        for line in registry.render().splitlines():
+            if line.startswith("#"):
+                assert line.startswith(("# HELP ", "# TYPE "))
+            else:
+                assert SAMPLE_LINE.match(line), line
+
+
+# ---------------------------------------------------------------------------
+# SlowRequestLog
+# ---------------------------------------------------------------------------
+
+class TestSlowRequestLog:
+    def _span(self, seconds, **kwargs):
+        return Span(trace_id="t" * 16, span_id="s" * 16,
+                    duration_s=seconds, **kwargs)
+
+    def test_disabled_at_zero_threshold(self):
+        slow = SlowRequestLog(0.0)
+        assert not slow.enabled
+        assert not slow.observe(self._span(10.0))
+        assert slow.entries() == []
+
+    def test_only_over_budget_requests_retained(self):
+        slow = SlowRequestLog(threshold_ms=50.0)
+        assert not slow.observe(self._span(0.01))
+        assert slow.observe(self._span(0.2, method="replica.replicate",
+                                       stage_seconds={"invoke": 0.19}))
+        entries = slow.entries()
+        assert len(entries) == 1
+        assert entries[0]["method"] == "replica.replicate"
+        assert entries[0]["total_ms"] == pytest.approx(200.0)
+        assert slow.stats()["observed"] == 1
+
+
+# ---------------------------------------------------------------------------
+# One telemetry-enabled server (loopback)
+# ---------------------------------------------------------------------------
+
+class TestServerTelemetry:
+    @pytest.fixture()
+    def site(self, telemetry_ca):
+        server = build_site(telemetry_ca, "tele-solo")
+        yield server
+        server.close()
+
+    def test_every_rpc_records_a_span(self, site, admin_credential):
+        admin = login(site, admin_credential)
+        assert admin.call("system.ping") == "pong"
+        result = admin.call("system.trace")
+        assert result["server"] == "tele-solo"
+        methods = [s["method"] for s in result["spans"]]
+        assert "system.ping" in methods
+        ping = [s for s in result["spans"] if s["method"] == "system.ping"][0]
+        assert HEX_ID.match(ping["trace_id"])
+        assert ping["status"] == "ok"
+        assert ping["identity"] == OPS_DN
+        assert ping["stage_seconds"]        # per-stage attribution rode along
+        assert result["stats"]["spans"]["recorded"] >= 2
+        admin.close()
+
+    def test_client_supplied_trace_header_is_honoured(self, site,
+                                                      admin_credential):
+        admin = login(site, admin_credential)
+        mine = TraceContext.new()
+        with use_trace(mine):
+            admin.call("system.ping")
+        spans = admin.call("system.trace", mine.trace_id)["spans"]
+        assert len(spans) == 1
+        assert spans[0]["trace_id"] == mine.trace_id
+        assert spans[0]["parent_id"] == mine.span_id
+        admin.close()
+
+    def test_faulting_request_is_a_fault_span(self, site, admin_credential):
+        admin = login(site, admin_credential)
+        with pytest.raises(Fault) as excinfo:
+            admin.call("system.no_such_method")
+        spans = admin.call("system.trace")["spans"]
+        bad = [s for s in spans if s["method"] == "system.no_such_method"][0]
+        assert bad["status"] == "fault"
+        # The span records the same code the client saw on the wire.
+        assert bad["fault_code"] == excinfo.value.code
+        assert bad["fault_string"]
+        admin.close()
+
+    def test_trace_rpc_is_admin_only(self, site, user_credential):
+        user = login(site, user_credential)
+        for method in ("system.trace", "system.metrics"):
+            with pytest.raises(Fault) as excinfo:
+                user.call(method)
+            assert excinfo.value.code == FaultCode.ACCESS_DENIED
+        user.close()
+
+    def test_metrics_rpc_returns_snapshot_and_exposition(self, site,
+                                                         admin_credential):
+        admin = login(site, admin_credential)
+        admin.call("system.ping")
+        result = admin.call("system.metrics")
+        series = result["metrics"]["clarens_requests_total"]["series"]
+        ok = [s for s in series if s["labels"] == {"status": "ok"}][0]
+        assert ok["value"] >= 1
+        assert "# TYPE clarens_requests_total counter" in result["exposition"]
+        admin.close()
+
+    def test_slow_log_feeds_system_trace(self, telemetry_ca, admin_credential):
+        server = build_site(telemetry_ca, "tele-slow",
+                            telemetry_slow_ms=0.0001)
+        try:
+            admin = login(server, admin_credential)
+            admin.call("system.ping")
+            slow = admin.call("system.trace")["slow_requests"]
+            assert any(e["method"] == "system.ping" for e in slow)
+            assert all(e["total_ms"] >= 0.0001 for e in slow)
+            admin.close()
+        finally:
+            server.close()
+
+    def test_disabled_server_has_no_telemetry_surface(self, telemetry_ca,
+                                                      admin_credential):
+        from repro.httpd.message import HTTPRequest
+        server = build_site(telemetry_ca, "tele-off", telemetry_enabled=False)
+        try:
+            assert server.telemetry is None
+            admin = login(server, admin_credential)
+            for method in ("system.trace", "system.metrics"):
+                with pytest.raises(Fault) as excinfo:
+                    admin.call(method)
+                assert excinfo.value.code == FaultCode.NOT_FOUND
+            response = server.handle_request(
+                HTTPRequest(method="GET", path="/metrics"))
+            assert response.status == 404
+            admin.close()
+        finally:
+            server.close()
+
+    def test_negative_knobs_rejected_at_config_time(self):
+        with pytest.raises(ConfigError):
+            ServerConfig(telemetry_slow_ms=-1.0)
+        with pytest.raises(ConfigError):
+            ServerConfig(telemetry_trace_buffer=0)
+
+
+# ---------------------------------------------------------------------------
+# Federation: two socket servers, one trace
+# ---------------------------------------------------------------------------
+
+def reserve_port() -> int:
+    with socket.socket() as probe:
+        probe.bind(("127.0.0.1", 0))
+        return probe.getsockname()[1]
+
+
+@pytest.fixture()
+def traced_mesh(telemetry_ca):
+    """Two telemetry-enabled servers peered via ``fabric_peers`` strings.
+
+    The fabric channels dial real sockets and authenticate with each
+    server's host credential — the deployment shape the issue's acceptance
+    criterion names.  Yields ``(site_a, site_b, port_a)``.
+    """
+
+    ports = {"tele-a": reserve_port(), "tele-b": reserve_port()}
+    hosts = {site: telemetry_ca.issue_host(f"{site}.clarens.test")
+             for site in ports}
+    dns = {site: str(hosts[site].certificate.subject) for site in ports}
+    servers, socks = {}, {}
+    try:
+        for site, other in (("tele-a", "tele-b"), ("tele-b", "tele-a")):
+            config = ServerConfig(
+                server_name=site, admins=[OPS_DN], host_dn=dns[site],
+                telemetry_enabled=True, cache_enabled=True,
+                fabric_peers=[f"{other}=http://127.0.0.1:"
+                              f"{ports[other]}/|{dns[other]}"])
+            servers[site] = ClarensServer(config, credential=hosts[site],
+                                          trust_store=telemetry_ca.trust_store())
+            socks[site] = servers[site].socket_server(port=ports[site])
+            socks[site].__enter__()
+        yield servers["tele-a"], servers["tele-b"], ports["tele-a"]
+    finally:
+        for sock in socks.values():
+            sock.__exit__(None, None, None)
+        for server in servers.values():
+            server.close()
+
+
+DATA = b"telemetry payload bytes " * 512
+
+
+def seed_remote_lfn(site_a, site_b, admin_b, lfn):
+    """Write ``lfn`` on B and register it in A's catalogue on the peer SE."""
+
+    admin_b.call("file.write", lfn, DATA, False)
+    admin_b.call("replica.register", lfn, "local", lfn)
+    checksum = site_b.services["replica"].catalogue.entry(lfn)["checksum"]
+    site_a.services["replica"].catalogue.register(
+        lfn, "tele-b", lfn, size=len(DATA), checksum=checksum)
+    return checksum
+
+
+class TestFederationTracing:
+    def test_multicall_replication_links_spans_across_servers(
+            self, traced_mesh, admin_credential):
+        site_a, site_b, _ = traced_mesh
+        admin_a = login(site_a, admin_credential)
+        admin_b = login(site_b, admin_credential)
+        lfn = "/lfn/tele/multicall.dat"
+        seed_remote_lfn(site_a, site_b, admin_b, lfn)
+
+        ping, submitted = admin_a.multicall(
+            [("system.ping", []),
+             ("replica.replicate", [lfn, "local"])])
+        assert ping == "pong"
+        engine = site_a.services["replica"].engine
+        engine.wait(submitted["transfer_id"], timeout=30.0)
+        done = engine.get(submitted["transfer_id"])
+        assert done.state.value == "done", done.error
+
+        spans_a = admin_a.call("system.trace")["spans"]
+        batch = [s for s in spans_a if s["method"] == "system.multicall"][-1]
+        trace_id = batch["trace_id"]
+        # Each batch entry ran as a child span of the multicall request.
+        entries = [s for s in spans_a if s["parent_id"] == batch["span_id"]]
+        assert sorted(s["method"] for s in entries) == \
+            ["replica.replicate", "system.ping"]
+        assert all(s["trace_id"] == trace_id for s in entries)
+
+        # The pull from B (stat RPCs + ranged file GETs by the transfer
+        # worker) carried the same trace id across the socket.
+        spans_b = admin_b.call("system.trace", trace_id)["spans"]
+        assert spans_b, "no spans of this trace reached tele-b"
+        assert all(s["trace_id"] == trace_id for s in spans_b)
+        assert all(s["server"] == "tele-b" for s in spans_b)
+        assert any(s["protocol"] == "http" for s in spans_b)   # ranged GETs
+        admin_a.close()
+        admin_b.close()
+
+    def test_remote_broker_read_links_spans(self, traced_mesh,
+                                            admin_credential):
+        site_a, site_b, _ = traced_mesh
+        admin_a = login(site_a, admin_credential)
+        admin_b = login(site_b, admin_credential)
+        lfn = "/lfn/tele/read.dat"
+        seed_remote_lfn(site_a, site_b, admin_b, lfn)
+
+        # The only replica lives on the peer: A's broker reads through the
+        # RemoteStorageElement, inside the RPC's ambient trace.
+        assert bytes(admin_a.call("replica.read", lfn, 0, -1)) == DATA
+        spans_a = admin_a.call("system.trace")["spans"]
+        read = [s for s in spans_a if s["method"] == "replica.read"][-1]
+        spans_b = admin_b.call("system.trace", read["trace_id"])["spans"]
+        assert spans_b, "remote read produced no spans on tele-b"
+        assert all(s["trace_id"] == read["trace_id"] for s in spans_b)
+        admin_a.close()
+        admin_b.close()
+
+    def test_quarantine_heal_chain_is_one_trace(self, traced_mesh,
+                                                admin_credential):
+        """verify → quarantine → policy heal → peer pull: one trace id."""
+
+        site_a, site_b, _ = traced_mesh
+        admin_a = login(site_a, admin_credential)
+        admin_b = login(site_b, admin_credential)
+        lfn = "/lfn/tele/gov/heal.dat"
+        seed_remote_lfn(site_a, site_b, admin_b, lfn)
+        # A local copy, then a 2-copy policy governing the LFN on A.
+        admin_a.call("file.write", lfn, DATA, False)
+        admin_a.call("replica.register", lfn, "local", lfn)
+        admin_a.call("replica.set_policy", "/lfn/tele/gov", 2)
+
+        # Corrupt the local bytes: the traced verify RPC quarantines the
+        # copy, the quarantine event (published synchronously under the
+        # verify's ambient trace) schedules a heal, and the heal transfer
+        # carries the trace to the pull from B.
+        admin_a.call("file.write", lfn, b"bit rot", False)
+        entry = admin_a.call("replica.verify", lfn, "local")
+        assert entry["replicas"]["local"]["state"] == "quarantined"
+
+        deadline = time.monotonic() + 15.0
+        while time.monotonic() < deadline:
+            states = {se: r["state"] for se, r in
+                      admin_a.call("replica.stat", lfn)["replicas"].items()}
+            healthy = sum(1 for s in states.values() if s == "active")
+            if healthy >= 2:
+                break
+            time.sleep(0.02)
+        else:
+            raise AssertionError(f"heal never restored 2 copies: {states}")
+
+        spans_a = admin_a.call("system.trace")["spans"]
+        verify = [s for s in spans_a if s["method"] == "replica.verify"][-1]
+        spans_b = admin_b.call("system.trace", verify["trace_id"])["spans"]
+        assert spans_b, "heal chain produced no spans on tele-b"
+        assert all(s["trace_id"] == verify["trace_id"] for s in spans_b)
+        admin_a.close()
+        admin_b.close()
+
+
+# ---------------------------------------------------------------------------
+# GET /metrics over a live socket (the tier-1 scrape smoke)
+# ---------------------------------------------------------------------------
+
+class TestMetricsScrape:
+    def test_live_socket_scrape_is_valid_exposition(self, traced_mesh,
+                                                    admin_credential):
+        site_a, site_b, port_a = traced_mesh
+        admin_a = login(site_a, admin_credential)
+        admin_b = login(site_b, admin_credential)
+        lfn = "/lfn/tele/scrape.dat"
+        seed_remote_lfn(site_a, site_b, admin_b, lfn)
+        # Touch the dispatch, cache, replica and fabric paths so their
+        # series carry samples.
+        admin_a.call("system.ping")
+        submitted = admin_a.call("replica.replicate", lfn, "local")
+        site_a.services["replica"].engine.wait(submitted["transfer_id"],
+                                               timeout=30.0)
+
+        conn = http.client.HTTPConnection("127.0.0.1", port_a, timeout=10)
+        try:
+            conn.request("GET", "/metrics")
+            response = conn.getresponse()
+            assert response.status == 200
+            assert response.getheader("Content-Type").startswith(
+                "text/plain; version=0.0.4")
+            body = response.read().decode("utf-8")
+        finally:
+            conn.close()
+
+        families = set()
+        for line in body.splitlines():
+            if not line:
+                continue
+            if line.startswith("#"):
+                assert line.startswith(("# HELP ", "# TYPE ")), line
+                continue
+            assert SAMPLE_LINE.match(line), f"invalid exposition line: {line}"
+            families.add(line.split("{", 1)[0].split(" ", 1)[0])
+        # The issue's acceptance list: dispatch, cache, replica and fabric
+        # series all present in one scrape.
+        for expected in ("clarens_requests_total", "clarens_request_seconds_bucket",
+                         "clarens_dispatch_total", "clarens_cache_operations_total",
+                         "clarens_sessions_active", "clarens_bus_events_total",
+                         "clarens_replica_transfers_total", "clarens_fabric_peers",
+                         "clarens_fabric_channel_total"):
+            assert any(f.startswith(expected) for f in families), \
+                f"{expected} missing from scrape ({sorted(families)})"
+        admin_a.close()
+        admin_b.close()
