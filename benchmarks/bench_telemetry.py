@@ -15,7 +15,8 @@ number into ``BENCH_pipeline.json`` where the trend is judged.
 
 from __future__ import annotations
 
-from repro.bench.pipelinebench import measure_telemetry_overhead
+from repro.bench.pipelinebench import (measure_federation_scrape,
+                                       measure_telemetry_overhead)
 from repro.bench.results import ComparisonRow, ResultTable, format_rate
 
 CALLS_PER_BATCH = 150
@@ -59,3 +60,43 @@ def test_telemetry_overhead(benchmark, smoke, capsys):
     assert result["overhead_pct"] <= MAX_OVERHEAD_PCT, (
         f"telemetry overhead {result['overhead_pct']:.1f}% exceeds the "
         f"{MAX_OVERHEAD_PCT:.0f}% CI bar")
+
+
+def test_federation_scrape(benchmark, smoke, capsys):
+    """Fabric-wide metrics scrape: fan-out cost and cache effectiveness."""
+
+    kwargs = {"warm_requests": 40 if smoke else 200,
+              "rounds": 2 if smoke else 5}
+    result = benchmark.pedantic(measure_federation_scrape, kwargs=kwargs,
+                                rounds=1, iterations=1)
+    benchmark.extra_info.update(result)
+
+    table = ResultTable(f"federated metrics scrape "
+                        f"({result['servers']}-site loopback fabric)",
+                        ["path", "ms"])
+    table.add_row("local /metrics", round(result["local_scrape_ms"], 3))
+    table.add_row("federated (cold fan-out)",
+                  round(result["cold_federated_ms"], 3))
+    table.add_row("federated (cached)",
+                  round(result["cached_federated_ms"], 3))
+    comparison = ComparisonRow(
+        experiment_id="TELEM-FED",
+        description="one-scrape fabric-wide metrics federation",
+        paper_value="n/a (observability layer added by this repro)",
+        measured_value=f"{result['cold_federated_ms']:.2f}ms cold, "
+                       f"{result['cached_federated_ms']:.3f}ms cached",
+        shape_holds=result["cached_over_local"] < result["cold_over_local"]
+                    or result["cold_over_local"] <= 1.0,
+        notes=f"cold is {result['cold_over_local']:.1f}x a local scrape; "
+              f"{result['federated_exposition_bytes']} exposition bytes",
+    )
+    with capsys.disabled():
+        print("\n" + table.render())
+        print(comparison.render() + "\n")
+
+    assert result["federated_exposition_bytes"] > \
+        result["local_exposition_bytes"], \
+        "federated exposition is not larger than the local one"
+    # The cache must shortcut the fan-out: a cached render may never be
+    # slower than the cold one it memoised.
+    assert result["cached_federated_ms"] <= result["cold_federated_ms"]

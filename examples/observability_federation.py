@@ -1,0 +1,220 @@
+#!/usr/bin/env python3
+"""One observability plane over a three-site Clarens fabric.
+
+Three telemetry-enabled Clarens servers peer into a full mesh.  Site B holds
+the only good copy of a dataset; site A's local replica bit-rots, gets
+quarantined by verification, and the policy engine heals it back across the
+fabric.  The point of the demo is not the heal — it is that the whole chain
+is *observable from anywhere*:
+
+* the verify → quarantine → heal → cross-server pull is retrieved as ONE
+  assembled span tree (``system.trace_tree``) whose nodes carry the name of
+  the server that executed them;
+* one ``GET /metrics/federation`` scrape on site C returns every site's
+  series, re-labelled ``server="..."``;
+* a declarative alert rule on site A fires once, gossips fabric-wide, and
+  shows up in site C's fleet health — then resolves the same way.
+
+Run with::
+
+    python examples/observability_federation.py
+"""
+
+from __future__ import annotations
+
+import json
+import tempfile
+import time
+
+from repro.client.client import ClarensClient
+from repro.core.config import ServerConfig
+from repro.core.server import ClarensServer
+from repro.httpd.message import HTTPRequest
+from repro.pki.authority import CertificateAuthority
+
+ADMIN_DN = "/O=fabric.example/OU=People/CN=Fabric Operations"
+SITES = ("site-a", "site-b", "site-c")
+LFN = "/lfn/cms/run11/tau-candidates.dat"
+DATA = b"hadronic tau candidate events " * 1024
+
+
+def wait_for(predicate, *, timeout: float = 30.0, what: str = "condition"):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        value = predicate()
+        if value:
+            return value
+        time.sleep(0.02)
+    raise RuntimeError(f"timed out waiting for {what}")
+
+
+def print_tree(nodes, depth=0):
+    for node in nodes:
+        orphan = "  [parent span evicted]" if node.get("missing_parent") \
+            else ""
+        print(f"    {'  ' * depth}{node['server']:<8} "
+              f"{node['method'] or '(http)':<24} "
+              f"{node['duration_s'] * 1000:7.2f}ms{orphan}")
+        print_tree(node["children"], depth + 1)
+
+
+def main() -> None:
+    ca = CertificateAuthority("/O=fabric.example/CN=Fabric CA", key_bits=512)
+    peering = ca.issue_user("Fabric Peering Service")
+    peering_dn = str(peering.certificate.subject)
+    operator = ca.issue_user("Fabric Operations")
+    analyst = ca.issue_user("Nadia Analyst")
+
+    with tempfile.TemporaryDirectory(prefix="clarens-obs-") as workdir:
+        servers: dict[str, ClarensServer] = {}
+        for site in SITES:
+            host = ca.issue_host(f"clarens.{site}.example")
+            config = ServerConfig(
+                server_name=site,
+                admins=[ADMIN_DN],
+                data_dir=f"{workdir}/{site}",
+                host_dn=str(host.certificate.subject),
+                telemetry_enabled=True,
+                replica_retry_delay=0.01,
+                replica_heal_backoff=0.05,
+                fabric_gossip_interval=0.05,
+                fabric_catalogue_sync=0.1,
+                # One line of operator intent: more than two live sessions
+                # on this box is unusual enough to tell the whole fleet.
+                telemetry_alert_rules=[
+                    "busy: gauge(clarens_sessions_active) >= 3 "
+                    "severity=warning"] if site == "site-a" else [],
+            )
+            servers[site] = ClarensServer(config, credential=host,
+                                          trust_store=ca.trust_store())
+
+        def link(target):
+            def factory():
+                return ClarensClient.for_loopback(
+                    servers[target].loopback(), credential=peering)
+            return factory
+
+        for site in SITES:
+            for other in SITES:
+                if other != site:
+                    servers[site].fabric.add_peer(other, factory=link(other),
+                                                  dn=peering_dn)
+        print("fabric up: 3 telemetry-enabled sites, full mesh\n")
+
+        # ---------------------------------------------- data lands at site B
+        nadia_b = ClarensClient.for_loopback(servers["site-b"].loopback(),
+                                             credential=analyst)
+        nadia_b.call("file.write", LFN, DATA, False)
+        nadia_b.call("replica.register", LFN, "local", LFN)
+        wait_for(lambda: servers["site-a"].services["replica"]
+                 .catalogue.exists(LFN),
+                 what="catalogue convergence on site-a")
+        print(f"site-b: registered {LFN}; site-a's catalogue converged")
+
+        # --------------------- site A mirrors it, then the local copy rots
+        ops_a = ClarensClient.for_loopback(servers["site-a"].loopback(),
+                                           credential=operator)
+        ops_a.call("file.write", LFN, DATA, False)
+        ops_a.call("replica.register", LFN, "local", LFN)
+        ops_a.call("replica.set_policy", "/lfn/cms", 2)
+        ops_a.call("file.write", LFN, b"cosmic ray went through", False)
+        verdict = ops_a.call("replica.verify", LFN, "local")
+        state = verdict["replicas"]["local"]["state"]
+        print(f"site-a: local copy corrupted; replica.verify -> {state}")
+        wait_for(lambda: sum(
+                 1 for r in ops_a.call("replica.stat", LFN)
+                 ["replicas"].values() if r["state"] == "active") >= 2,
+                 what="auto-heal back to 2 copies")
+        print("site-a: policy engine healed back to 2 active copies over "
+              "the fabric\n")
+
+        # ----------------- the whole chain, as ONE cross-server span tree
+        spans = ops_a.call("system.trace")["spans"]
+        trace_id = [s for s in spans
+                    if s["method"] == "replica.verify"][-1]["trace_id"]
+        # Ask site C — which executed nothing — for the assembled tree: the
+        # collector fans out to every peer and stitches the answers.
+        ops_c = ClarensClient.for_loopback(servers["site-c"].loopback(),
+                                           credential=operator)
+        tree = ops_c.fetch_trace(trace_id)
+        print(f"trace {trace_id} assembled on site-c: "
+              f"{tree['span_count']} spans from {sorted(tree['servers'])}, "
+              f"partial={tree['partial']}")
+        print_tree(tree["tree"])
+        assert {s["server"] for s in tree["spans"]} >= {"site-a", "site-b"}
+        assert tree["partial"] is False
+
+        # ------------------------- one scrape, every site's series, labelled
+        response = servers["site-c"].handle_request(
+            HTTPRequest(method="GET", path="/metrics/federation"))
+        assert response.status == 200
+        text = bytes(response.body).decode()
+        print(f"\nsite-c GET /metrics/federation -> {response.status}, "
+              f"{len(text)} bytes")
+        print("    " + text.splitlines()[0])
+        for site in SITES:
+            assert f'server="{site}"' in text
+            series = sum(1 for line in text.splitlines()
+                         if f'server="{site}"' in line)
+            print(f"    {series} series labelled server=\"{site}\"")
+
+        # --------------------- an alert fires once and the fleet learns it
+        alerts_on_c: list[dict] = []
+        servers["site-c"].message_bus.subscribe(
+            "telemetry.alert.fired",
+            lambda m: alerts_on_c.append(dict(m.payload)))
+        extra = []
+        for _ in range(3):                   # three live sessions on site-a
+            client = ClarensClient.for_loopback(servers["site-a"].loopback())
+            client.login_with_credential(analyst)
+            extra.append(client)
+        servers["site-a"].telemetry.beat()
+        wait_for(lambda: alerts_on_c, what="alert gossip reaching site-c")
+        assert len(alerts_on_c) == 1         # fired exactly once fleet-wide
+        fired = alerts_on_c[0]
+        print(f"\nsite-a alert '{fired['rule']}' fired "
+              f"(value {fired['value']:.0f} {fired['op']} "
+              f"{fired['threshold']:.0f}, severity {fired['severity']}) "
+              f"and reached site-c via gossip")
+
+        health_a = servers["site-a"].handle_request(
+            HTTPRequest(method="GET", path="/healthz"))
+        body = json.loads(bytes(health_a.body))
+        print(f"site-a GET /healthz -> {health_a.status} "
+              f"(status {body['status']!r}: warning degrades, it does not "
+              f"take the node out)")
+        fleet = wait_for(
+            lambda: [a for a in servers["site-c"].telemetry.health
+                     .evaluate()["alerts"]["fleet"]],
+            what="site-c folding the firing into fleet health")
+        print(f"site-c fleet health now carries: "
+              f"{[(a['server'], a['rule']) for a in fleet]}")
+
+        # Logging the extra sessions out clears the condition; the next beat
+        # resolves the alert and gossip clears it fleet-wide too.
+        for client in extra:
+            client.logout()
+            client.close()
+        servers["site-a"].telemetry.beat()
+        wait_for(lambda: not servers["site-c"].telemetry.health
+                 .evaluate()["alerts"]["fleet"],
+                 what="fleet-wide resolve")
+        print("sessions closed: alert resolved, fleet health clean again")
+
+        # --------------------------------------------------- fleet overview
+        overview = ops_c.call("system.health")
+        fleet_names = sorted(k.split("#", 1)[0]
+                             for k in overview["fleet"])
+        print(f"\nsite-c system.health: local status "
+              f"{overview['status']!r}, fleet summaries from {fleet_names}")
+
+        for client in (nadia_b, ops_a, ops_c):
+            client.close()
+        for server in servers.values():
+            server.close()
+
+    print("\nobservability federation demo complete")
+
+
+if __name__ == "__main__":
+    main()

@@ -42,8 +42,9 @@ SMOKE_BENCHMARKS = [
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.bench.pipelinebench import (  # noqa: E402 - path set up above
-    measure_fabric_overhead, measure_fig4_throughput,
-    measure_multicall_speedup, measure_telemetry_overhead)
+    measure_fabric_overhead, measure_federation_scrape,
+    measure_fig4_throughput, measure_multicall_speedup,
+    measure_telemetry_overhead)
 
 
 def run_pytest_gate() -> int:
@@ -64,6 +65,7 @@ def measure() -> dict:
     fig4 = measure_fig4_throughput()
     fabric = measure_fabric_overhead()
     telemetry = measure_telemetry_overhead()
+    federation = measure_federation_scrape()
     return {
         "timestamp": datetime.datetime.now(datetime.timezone.utc).isoformat(),
         "host": {
@@ -98,6 +100,16 @@ def measure() -> dict:
                 round(telemetry["telemetry_calls_per_second"], 1),
             "overhead_pct": round(telemetry["overhead_pct"], 2),
             "spans_recorded": telemetry["spans_recorded"],
+        },
+        "federation": {
+            "servers": federation["servers"],
+            "local_scrape_ms": round(federation["local_scrape_ms"], 3),
+            "cold_federated_ms": round(federation["cold_federated_ms"], 3),
+            "cached_federated_ms":
+                round(federation["cached_federated_ms"], 3),
+            "cold_over_local": round(federation["cold_over_local"], 2),
+            "federated_exposition_bytes":
+                federation["federated_exposition_bytes"],
         },
     }
 
@@ -145,7 +157,8 @@ def main() -> int:
     print(f"multicall speedup: {entry['multicall']['speedup']}x, "
           f"fig4 mean: {entry['fig4']['mean_calls_per_second']} calls/s, "
           f"fabric sync: {entry['fabric']['sync_lfns_per_second']} lfns/s, "
-          f"telemetry overhead: {entry['telemetry']['overhead_pct']}%")
+          f"telemetry overhead: {entry['telemetry']['overhead_pct']}%, "
+          f"federated scrape: {entry['federation']['cold_federated_ms']}ms")
     print(f"wrote {TREND_FILE} ({len(runs)} run(s))")
     return 0
 

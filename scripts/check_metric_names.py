@@ -1,0 +1,142 @@
+#!/usr/bin/env python3
+"""Lint the metric names a fully-assembled server registers.
+
+Prometheus naming is a contract with every dashboard and alert rule ever
+written against the exposition, so drift is expensive.  This script builds a
+telemetry-enabled server with the full service stack (fabric peered, caches
+on, admission configured — so every conditional collector registers), walks
+the registry's instrument families and scrape-time callbacks, and enforces:
+
+* every name is ``snake_case`` and carries the ``clarens_`` namespace;
+* counters end in ``_total``; gauges and histograms do not;
+* no non-base units in names (``_ms``/``_kb``/... — seconds and bytes only);
+* no duplicate family names across instruments and callbacks;
+* label names are ``snake_case`` and never shadow the reserved labels the
+  exposition machinery owns (``le`` for histogram buckets, ``server`` for
+  federation re-labelling, plus Prometheus's ``quantile``/``job``/
+  ``instance`` and the ``__``-prefixed internal space).
+
+Run from the repository root (the test suite wires it in via
+``tests/test_metric_names.py``)::
+
+    python scripts/check_metric_names.py
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+#: Valid family/label identifier: lower snake_case, starts with a letter.
+SNAKE_RE = re.compile(r"^[a-z][a-z0-9_]*$")
+
+#: Label names the exposition/federation machinery injects itself.
+RESERVED_LABELS = {"le", "server", "quantile", "job", "instance"}
+
+#: Non-base unit suffixes; Prometheus convention is seconds and bytes.
+BANNED_UNIT_SUFFIXES = ("_ms", "_millis", "_milliseconds", "_us", "_micros",
+                       "_ns", "_kb", "_mb", "_gb", "_kib", "_mib",
+                       "_minutes", "_hours", "_percent")
+
+NAMESPACE = "clarens_"
+
+
+def build_registry():
+    """A server assembled with everything on, so every collector registers."""
+
+    from repro.core.config import ServerConfig
+    from repro.core.server import ClarensServer
+
+    config = ServerConfig(
+        server_name="lint", telemetry_enabled=True, cache_enabled=True,
+        dispatch_rate_limit=100.0,
+        telemetry_alert_rules=[
+            "lint: counter(clarens_requests_total) > 1e12"],
+    )
+    server, _ca = ClarensServer.with_test_pki(config)
+    # A registered peer makes the fabric channel/peer collectors non-trivial.
+    server.fabric.add_peer("lint-peer", url="http://127.0.0.1:1/",
+                           attach_storage=False)
+    return server
+
+
+def collect_metrics(server) -> list[tuple[str, str, tuple[str, ...]]]:
+    """Every registered family as ``(name, kind, label names)``.
+
+    Instruments expose their declared label set; callbacks are sampled once
+    so their per-series label names can be checked too.
+    """
+
+    registry = server.telemetry.registry
+    out: list[tuple[str, str, tuple[str, ...]]] = []
+    for name, family in sorted(registry._families.items()):
+        out.append((name, family.kind, tuple(family.label_names)))
+    for name, _help, kind, sample in sorted(registry._callbacks,
+                                            key=lambda c: c[0]):
+        label_names: set[str] = set()
+        try:
+            for labels, _value in sample():
+                label_names.update(str(k) for k in labels)
+        except Exception as exc:  # pragma: no cover - collector bug
+            print(f"warning: sampling {name} raised {type(exc).__name__}: "
+                  f"{exc}")
+        out.append((name, kind, tuple(sorted(label_names))))
+    return out
+
+
+def lint(metrics: list[tuple[str, str, tuple[str, ...]]]) -> list[str]:
+    problems: list[str] = []
+    seen: dict[str, str] = {}
+    for name, kind, labels in metrics:
+        if name in seen:
+            problems.append(f"{name}: registered twice ({seen[name]} and "
+                            f"{kind})")
+        seen[name] = kind
+        if not SNAKE_RE.match(name):
+            problems.append(f"{name}: not lower snake_case")
+        if not name.startswith(NAMESPACE):
+            problems.append(f"{name}: missing the {NAMESPACE!r} namespace")
+        if kind == "counter" and not name.endswith("_total"):
+            problems.append(f"{name}: counters must end in _total")
+        if kind != "counter" and name.endswith("_total"):
+            problems.append(f"{name}: only counters may end in _total "
+                            f"(is a {kind})")
+        for suffix in BANNED_UNIT_SUFFIXES:
+            stem = name[:-len("_total")] if name.endswith("_total") else name
+            if stem.endswith(suffix):
+                problems.append(f"{name}: non-base unit {suffix!r} "
+                                "(use seconds/bytes)")
+        for label in labels:
+            if not SNAKE_RE.match(label):
+                problems.append(f"{name}: label {label!r} not snake_case")
+            if label in RESERVED_LABELS or label.startswith("__"):
+                problems.append(f"{name}: label {label!r} is reserved")
+    return problems
+
+
+def main() -> int:
+    server = build_registry()
+    try:
+        metrics = collect_metrics(server)
+    finally:
+        server.close()
+    if not metrics:
+        print("no metrics registered — assembly is broken")
+        return 1
+    problems = lint(metrics)
+    if problems:
+        for problem in problems:
+            print(f"FAIL {problem}")
+        print(f"{len(problems)} naming problem(s) in "
+              f"{len(metrics)} metric families")
+        return 1
+    print(f"ok: {len(metrics)} metric families pass the naming rules")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

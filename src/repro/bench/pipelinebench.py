@@ -19,7 +19,8 @@ from repro.bench.workloads import make_benchmark_environment
 from repro.client.asyncclient import AsyncLoadClient
 
 __all__ = ["measure_multicall_speedup", "measure_fig4_throughput",
-           "measure_fabric_overhead", "measure_telemetry_overhead"]
+           "measure_fabric_overhead", "measure_telemetry_overhead",
+           "measure_federation_scrape"]
 
 
 def measure_multicall_speedup(*, calls: int = 100, rounds: int = 3) -> dict[str, Any]:
@@ -221,6 +222,99 @@ def measure_telemetry_overhead(*, calls_per_batch: int = 150, n_clients: int = 4
     finally:
         for env in envs.values():
             env.close()
+
+
+def measure_federation_scrape(*, warm_requests: int = 200,
+                              rounds: int = 5) -> dict[str, Any]:
+    """Cost of the fabric-wide ``/metrics/federation`` scrape.
+
+    Builds a two-site loopback fabric with telemetry enabled on both sides,
+    warms the registries with ``warm_requests`` echo calls per site, then
+    times three things (best-of-``rounds`` each):
+
+    * a local ``/metrics`` render — the per-node baseline;
+    * a cold federated render (``render(force=True)``) — baseline plus one
+      parallel ``fabric.metrics`` fan-out and the merge/re-label pass;
+    * a cached federated render — what a scraper inside the TTL pays.
+
+    The headline ratio ``cold_over_local`` says how much the fan-out
+    multiplies a scrape; ``cached_over_local`` should stay near 1.
+    """
+
+    from repro.client.client import ClarensClient
+    from repro.core.config import ServerConfig
+    from repro.core.server import ClarensServer
+    from repro.pki.authority import CertificateAuthority
+
+    ca = CertificateAuthority("/O=bench.federation/CN=Bench CA", key_bits=512)
+    peering = ca.issue_user("Bench Peering Service")
+    peering_dn = str(peering.certificate.subject)
+    user = ca.issue_user("Bench User")
+
+    servers = {}
+    for site in ("fed-a", "fed-b"):
+        host = ca.issue_host(f"{site}.bench.federation")
+        config = ServerConfig(server_name=site,
+                              host_dn=str(host.certificate.subject),
+                              telemetry_enabled=True)
+        servers[site] = ClarensServer(config, credential=host,
+                                      trust_store=ca.trust_store())
+    site_a, site_b = servers["fed-a"], servers["fed-b"]
+
+    def factory(target):
+        def build():
+            return ClarensClient.for_loopback(target.loopback(),
+                                              credential=peering)
+        return build
+
+    clients = []
+    try:
+        site_a.fabric.add_peer("fed-b", factory=factory(site_b),
+                               dn=peering_dn)
+        site_b.fabric.add_peer("fed-a", factory=factory(site_a),
+                               dn=peering_dn)
+
+        for server in (site_a, site_b):
+            client = ClarensClient.for_loopback(server.loopback(),
+                                                credential=user)
+            clients.append(client)
+            for i in range(warm_requests):
+                client.call("system.echo", i)
+
+        federation = site_a.telemetry.federation
+        local_s = cold_s = cached_s = float("inf")
+        for _ in range(rounds):
+            start = time.perf_counter()
+            exposition = site_a.telemetry.registry.render()
+            local_s = min(local_s, time.perf_counter() - start)
+
+            start = time.perf_counter()
+            body, meta = federation.render(force=True)
+            cold_s = min(cold_s, time.perf_counter() - start)
+            assert not meta["partial"], f"fan-out degraded: {meta}"
+
+            start = time.perf_counter()
+            cached_body, _ = federation.render()
+            cached_s = min(cached_s, time.perf_counter() - start)
+            assert cached_body == body
+
+        return {
+            "warm_requests": warm_requests,
+            "rounds": rounds,
+            "servers": len(servers),
+            "local_scrape_ms": local_s * 1000.0,
+            "cold_federated_ms": cold_s * 1000.0,
+            "cached_federated_ms": cached_s * 1000.0,
+            "cold_over_local": cold_s / local_s if local_s else 0.0,
+            "cached_over_local": cached_s / local_s if local_s else 0.0,
+            "local_exposition_bytes": len(exposition.encode("utf-8")),
+            "federated_exposition_bytes": len(body.encode("utf-8")),
+        }
+    finally:
+        for client in clients:
+            client.close()
+        for server in servers.values():
+            server.close()
 
 
 def measure_fig4_throughput(*, calls_per_batch: int = 150,

@@ -210,6 +210,16 @@ class ClarensClient:
     def whoami(self) -> dict[str, Any]:
         return dict(self.call("system.whoami"))
 
+    def fetch_trace(self, trace_id: str, *, timeout: float = 0.0) -> dict[str, Any]:
+        """The assembled fabric-wide span tree for ``trace_id``.
+
+        Wraps ``system.trace_tree`` (administrators only): the queried
+        server fans out to its registered peers and returns one merged
+        parent/child tree, flagged ``partial`` when a peer was unreachable.
+        """
+
+        return dict(self.call("system.trace_tree", str(trace_id), float(timeout)))
+
     def http_get(self, path: str, *, query: str = "") -> HTTPResponse:
         """Issue a raw GET (used for file downloads through the sendfile path)."""
 

@@ -177,6 +177,25 @@ class ServerConfig:
     telemetry_slow_ms: float = 0.0
     #: How many slow-request records the in-memory ring retains.
     telemetry_slow_log_size: int = 256
+    #: Declarative alert rules, one per entry (or a single ``;``-separated
+    #: string), of the form ``name: kind(metric{label=value}) > N for Ds
+    #: [severity=warning|critical]`` where kind is ``gauge``, ``counter`` or
+    #: ``counter_rate`` (per-second increase between evaluations).  Evaluated
+    #: by the background alert loop; firing/resolving publishes deduplicated
+    #: ``telemetry.alert.*`` bus events that gossip fabric-wide.
+    telemetry_alert_rules: list[str] = field(default_factory=list)
+    #: Seconds between alert-rule evaluations and gossiped node-health
+    #: summaries (0 disables the background beat; ``system.health`` and
+    #: explicit engine calls still evaluate on demand).
+    telemetry_alert_interval: float = 0.0
+    #: Seconds a built ``GET /metrics/federation`` response is cached, so a
+    #: burst of scrapes costs the fabric one fan-out, not one per scrape
+    #: (0 rebuilds on every request).
+    telemetry_federation_ttl: float = 5.0
+    #: Shared deadline, in seconds, for per-peer fan-outs (trace collection
+    #: via ``system.trace_tree``, the federated metrics scrape): peers that
+    #: have not answered by then degrade the result to partial.
+    telemetry_peer_timeout: float = 5.0
     #: Extra free-form settings (service-specific tuning, experiment labels).
     extra: dict[str, Any] = field(default_factory=dict)
 
@@ -209,6 +228,26 @@ class ServerConfig:
             raise ConfigError("cache_stats_interval cannot be negative")
         if self.telemetry_slow_ms < 0:
             raise ConfigError("telemetry_slow_ms cannot be negative")
+        for knob in ("telemetry_alert_interval", "telemetry_federation_ttl"):
+            if getattr(self, knob) < 0:
+                raise ConfigError(f"{knob} cannot be negative")
+        if self.telemetry_peer_timeout <= 0:
+            raise ConfigError("telemetry_peer_timeout must be positive")
+        if isinstance(self.telemetry_alert_rules, str):
+            self.telemetry_alert_rules = [
+                r.strip() for r in self.telemetry_alert_rules.split(";")
+                if r.strip()]
+        self.telemetry_alert_rules = [str(r)
+                                      for r in self.telemetry_alert_rules]
+        if self.telemetry_alert_rules:
+            # Fail at config time, not on the first beat of the background
+            # alert loop; AlertRuleError is a ValueError with the rule text.
+            from repro.telemetry.alerts import AlertRule, AlertRuleError
+        for spec in self.telemetry_alert_rules:
+            try:
+                AlertRule.parse(spec)
+            except AlertRuleError as exc:
+                raise ConfigError(str(exc)) from exc
         if self.replica_retry_delay < 0:
             raise ConfigError("replica_retry_delay cannot be negative")
         if self.replica_policy_default_copies < 0:
@@ -301,12 +340,16 @@ class ServerConfig:
                     "fabric_gossip_interval", "fabric_catalogue_sync",
                     "fabric_admission_share", "telemetry_enabled",
                     "telemetry_trace_buffer", "telemetry_slow_ms",
-                    "telemetry_slow_log_size"):
+                    "telemetry_slow_log_size", "telemetry_alert_interval",
+                    "telemetry_federation_ttl", "telemetry_peer_timeout"):
             value = getattr(self, key)
             if value is not None:
                 parser["server"][key] = str(value)
         if self.fabric_peers:
             parser["server"]["fabric_peers"] = ";".join(self.fabric_peers)
+        if self.telemetry_alert_rules:
+            parser["server"]["telemetry_alert_rules"] = \
+                ";".join(self.telemetry_alert_rules)
         parser["admins"] = {f"admin{i}": dn for i, dn in enumerate(self.admins)}
         if self.extra:
             parser["extra"] = {k: str(v) for k, v in self.extra.items()}

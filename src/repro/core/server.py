@@ -178,9 +178,16 @@ class ClarensServer:
         self.router.add(self.config.file_path(), self._handle_file_get,
                         methods=("GET",))
         if self.telemetry is not None:
-            # The Prometheus scrape endpoint.  Mounted at the server root
-            # (not under url_prefix) because that is where scrapers look.
+            # The Prometheus scrape endpoints.  Mounted at the server root
+            # (not under url_prefix) because that is where scrapers look;
+            # /metrics/federation wins over /metrics by longest-prefix match.
             self.router.add("/metrics", self.telemetry.handle_metrics_get,
+                            methods=("GET",))
+            self.router.add("/metrics/federation",
+                            self.telemetry.handle_federation_get,
+                            methods=("GET",))
+            # Unauthenticated liveness/health probe for load balancers.
+            self.router.add("/healthz", self.telemetry.handle_healthz_get,
                             methods=("GET",))
         self.router.set_default(self._handle_unrouted)
 
@@ -281,6 +288,22 @@ class ClarensServer:
         if not self.vo.is_admin(dn):
             raise AccessDeniedError(f"{dn} is not a server administrator")
         return dn
+
+    def require_admin_or_peer(self, ctx: CallContext) -> str:
+        """Raise AccessDeniedError unless the caller is an admin or a peer.
+
+        Registered fabric peers authenticate with host credentials whose DNs
+        sit in the peer registry's trust list; methods fenced this way (e.g.
+        ``system.trace``) serve both operators and fabric-internal fan-outs.
+        """
+
+        dn = ctx.require_dn()
+        if self.vo.is_admin(dn):
+            return dn
+        if self.fabric is not None and dn in self.fabric.registry.trusted_dns():
+            return dn
+        raise AccessDeniedError(
+            f"{dn} is neither a server administrator nor a registered peer")
 
     # -- HTTP handling ------------------------------------------------------------
     def handle_request(self, request: HTTPRequest) -> HTTPResponse:

@@ -208,16 +208,17 @@ class SystemService(ClarensService):
     @rpc_method()
     def trace(self, ctx: CallContext, trace_id: str = "",
               limit: int = 100) -> dict[str, Any]:
-        """Spans recorded by this server's telemetry ring (admins only).
+        """Spans recorded by this server's telemetry ring.
 
         With ``trace_id`` set, returns every retained span of that trace;
-        otherwise the ``limit`` most recent spans.  Reconstructing a
-        federation-wide request means calling ``system.trace`` with the same
-        trace id on each involved server and merging the results.  Faults
-        with NotFound when telemetry is disabled on this server.
+        otherwise the ``limit`` most recent spans.  Open to administrators
+        and to registered fabric peers — peers call this during
+        ``system.trace_tree`` fan-outs to contribute their half of a
+        federation-wide trace.  Faults with NotFound when telemetry is
+        disabled on this server.
         """
 
-        self.server.require_admin(ctx)
+        self.server.require_admin_or_peer(ctx)
         telemetry = self.server.telemetry
         if telemetry is None:
             raise NotFoundError("telemetry is not enabled on this server")
@@ -228,6 +229,42 @@ class SystemService(ClarensService):
             "slow_requests": telemetry.slow_log.entries(),
             "stats": telemetry.stats(),
         }
+
+    @rpc_method()
+    def trace_tree(self, ctx: CallContext, trace_id: str,
+                   timeout: float = 0.0) -> dict[str, Any]:
+        """The assembled fabric-wide span tree for ``trace_id`` (admins only).
+
+        Fans out ``system.trace`` to every registered peer in parallel,
+        merges the spans with this server's own and returns one parent/child
+        tree.  Unreachable peers mark the result ``partial`` (with a reason
+        per peer) instead of failing the call.  ``timeout`` overrides the
+        configured per-peer budget when positive.  Faults with NotFound when
+        telemetry is disabled on this server.
+        """
+
+        self.server.require_admin(ctx)
+        telemetry = self.server.telemetry
+        if telemetry is None or telemetry.collector is None:
+            raise NotFoundError("telemetry is not enabled on this server")
+        budget = float(timeout) if float(timeout) > 0 else None
+        return telemetry.collector.collect(str(trace_id), timeout=budget)
+
+    @rpc_method()
+    def health(self, ctx: CallContext) -> dict[str, Any]:
+        """The composed health model: local probes, alerts, and fleet view.
+
+        Any authenticated identity may ask — health is operational, not
+        secret.  Faults with NotFound when telemetry is disabled on this
+        server; the unauthenticated ``GET /healthz`` endpoint serves the
+        local summary only.
+        """
+
+        ctx.require_dn()
+        telemetry = self.server.telemetry
+        if telemetry is None or telemetry.health is None:
+            raise NotFoundError("telemetry is not enabled on this server")
+        return telemetry.health.evaluate()
 
     @rpc_method()
     def metrics(self, ctx: CallContext) -> dict[str, Any]:

@@ -69,6 +69,14 @@ class FabricService(ClarensService):
         # may add more via server.fabric.gossip.add_topic(...).
         self.gossip.add_topic(INVALIDATION_TOPIC)
         self.gossip.add_topic(SHED_TOPIC)
+        if server.telemetry is not None:
+            # The observability plane rides the same substrate: alert
+            # firings/resolutions and node-health summaries gossip to every
+            # peer, giving each node the fleet view without extra RPCs.
+            from repro.telemetry.alerts import ALERT_TOPIC
+            from repro.telemetry.health import HEALTH_TOPIC
+            self.gossip.add_topic(ALERT_TOPIC)
+            self.gossip.add_topic(HEALTH_TOPIC)
         replica = server.services.get("replica")
         self.sync = None
         if replica is not None:
@@ -326,6 +334,22 @@ class FabricService(ClarensService):
             "checksum": entry["checksum"],
             "replicas": replicas,
         }
+
+    @rpc_method()
+    def metrics(self, ctx: CallContext) -> dict[str, Any]:
+        """This server's own metrics exposition, for federation (peers/admins).
+
+        Returns the *local* registry only — never a recursive federated
+        scrape, so a cycle of peers federating each other terminates.
+        Faults with NotFound when telemetry is disabled on this server.
+        """
+
+        self._require_peer(ctx)
+        telemetry = self.server.telemetry
+        if telemetry is None:
+            raise NotFoundError("telemetry is not enabled on this server")
+        return {"server": self.server.config.server_name,
+                "exposition": telemetry.registry.render()}
 
     @rpc_method()
     def sync_now(self, ctx: CallContext) -> dict[str, Any]:

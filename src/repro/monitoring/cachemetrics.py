@@ -80,24 +80,22 @@ class CacheStatsReporter:
                     samples += 1
         return samples
 
-    def publish_to_registry(self, registry) -> int:
-        """Set the current counters as gauges on a telemetry metrics registry.
+    def publish_to_registry(self, registry) -> bool:
+        """Wire this reporter's cache registry into a telemetry registry.
 
-        A one-shot push for tools that hold a
-        :class:`~repro.telemetry.metrics.MetricsRegistry` without a full
-        server around it; returns how many series were written.  (Servers
-        with telemetry enabled export the same numbers continuously via
-        scrape-time collectors instead.)
+        Registers the same scrape-time collectors a telemetry-enabled server
+        uses (``clarens_cache_operations_total`` / ``clarens_cache_size``),
+        so tools holding a bare
+        :class:`~repro.telemetry.metrics.MetricsRegistry` see live counters
+        on every scrape rather than a one-shot push.  Idempotent: returns
+        whether this call did the wiring (False when the families already
+        exist — e.g. on a server whose telemetry attached first).
+
+        .. deprecated:: the old behaviour wrote a ``clarens_cache_stat``
+           push gauge; that family is gone — scrape-time sampling replaces
+           it everywhere.
         """
 
-        snapshot = self.snapshot()
-        gauge = registry.gauge("clarens_cache_stat",
-                               "Cache counters pushed by CacheStatsReporter.",
-                               labels=("cache", "stat"))
-        samples = 0
-        for name, stats in snapshot["caches"].items():
-            for key in _METRIC_KEYS:
-                if key in stats and stats[key] is not None:
-                    gauge.set(float(stats[key]), cache=name, stat=key)
-                    samples += 1
-        return samples
+        from repro.telemetry.bridge import register_cache_collectors
+
+        return register_cache_collectors(self.registry, registry)

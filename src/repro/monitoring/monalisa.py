@@ -89,6 +89,38 @@ class MonALISARepository:
                 "generated_at": time.time(),
             }
 
+    # -- telemetry export --------------------------------------------------------------
+    def export_to_registry(self, registry) -> bool:
+        """Expose this repository's aggregate view on a telemetry registry.
+
+        Registers scrape-time callbacks (``clarens_monalisa_*``) sampling
+        :meth:`snapshot` and the per-site node counts, so the aggregator's
+        health shows up on ``GET /metrics`` beside the server's own series.
+        Idempotent: returns whether this call registered the families.
+        """
+
+        def totals():
+            snap = self.snapshot()
+            return [({"kind": "sites"}, snap["sites"]),
+                    ({"kind": "nodes"}, snap["nodes"]),
+                    ({"kind": "services"}, snap["services"])]
+
+        def updates():
+            return [({}, self.snapshot()["metric_updates"])]
+
+        try:
+            registry.register_callback(
+                "clarens_monalisa_entities",
+                "Aggregated GLUE entities and service descriptors by kind.",
+                "gauge", totals)
+        except ValueError:
+            return False
+        registry.register_callback(
+            "clarens_monalisa_metric_updates_total",
+            "Metric samples ingested from the monitoring bus.",
+            "counter", updates)
+        return True
+
     # -- lifecycle -------------------------------------------------------------------------
     def close(self) -> None:
         self.bus.unsubscribe(self._subscription)

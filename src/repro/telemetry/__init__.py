@@ -15,6 +15,14 @@ codebase:
   streams and cache/dispatch/admission statistics into named metrics.
 * :mod:`repro.telemetry.slowlog` — one structured log line per over-budget
   request, with per-stage latency attribution and the trace id.
+* :mod:`repro.telemetry.collector` — cross-server trace assembly: fan out
+  ``system.trace`` over the fabric, merge, and build one span tree.
+* :mod:`repro.telemetry.federation` — the cached ``/metrics/federation``
+  exposition carrying every fabric member's series, ``server``-labelled.
+* :mod:`repro.telemetry.health` — subsystem probes composed into ``ok`` /
+  ``degraded`` / ``critical``, ``GET /healthz``, and the gossiped fleet view.
+* :mod:`repro.telemetry.alerts` — declarative threshold rules evaluated on a
+  background beat, firing deduplicated ``telemetry.alert.*`` bus events.
 * :mod:`repro.telemetry.runtime` — :class:`ServerTelemetry`, the per-server
   assembly the server wires in when ``telemetry_enabled`` is set.
 
@@ -32,7 +40,21 @@ from repro.telemetry.trace import (
 )
 from repro.telemetry.metrics import MetricsRegistry
 from repro.telemetry.slowlog import SlowRequestLog
-from repro.telemetry.bridge import EventBridge, register_server_collectors
+from repro.telemetry.bridge import (
+    EventBridge,
+    register_cache_collectors,
+    register_server_collectors,
+)
+from repro.telemetry.alerts import ALERT_TOPIC, AlertEngine, AlertRule, AlertRuleError
+from repro.telemetry.collector import TraceCollector, assemble_tree, fanout_peers
+from repro.telemetry.federation import MetricsFederation, merge_expositions
+from repro.telemetry.health import (
+    HEALTH_TOPIC,
+    STATUS_CRITICAL,
+    STATUS_DEGRADED,
+    STATUS_OK,
+    HealthModel,
+)
 from repro.telemetry.runtime import ServerTelemetry
 
 __all__ = [
@@ -45,6 +67,21 @@ __all__ = [
     "MetricsRegistry",
     "SlowRequestLog",
     "EventBridge",
+    "register_cache_collectors",
     "register_server_collectors",
+    "ALERT_TOPIC",
+    "AlertEngine",
+    "AlertRule",
+    "AlertRuleError",
+    "TraceCollector",
+    "assemble_tree",
+    "fanout_peers",
+    "MetricsFederation",
+    "merge_expositions",
+    "HEALTH_TOPIC",
+    "STATUS_OK",
+    "STATUS_DEGRADED",
+    "STATUS_CRITICAL",
+    "HealthModel",
     "ServerTelemetry",
 ]

@@ -1,0 +1,240 @@
+"""Declarative threshold alerting over the metrics registry.
+
+An :class:`AlertRule` is one line of operator intent, parsed from the
+``telemetry_alert_rules`` config knob::
+
+    peers-down: gauge(clarens_fabric_peers{state=down}) > 0 for 2s
+    fault-storm: counter_rate(clarens_requests_total{status=fault}) > 5 for 10s severity=warning
+
+The grammar is ``name: kind(metric{label=value,...}) op threshold
+[for Ns] [severity=warning|critical]`` where ``kind`` selects how the
+matching series are read:
+
+* ``gauge`` / ``counter`` — the instantaneous sum of every series of
+  ``metric`` whose labels include the given pairs;
+* ``counter_rate`` — the per-second increase of that sum between two
+  consecutive evaluations (the first evaluation never fires: there is no
+  window yet).
+
+The :class:`AlertEngine` evaluates every rule against one
+``MetricsRegistry.collect()`` snapshot per beat and runs a small state
+machine per rule: *ok* → *pending* (condition holds, duration not yet met)
+→ *firing*.  Transitions — and only transitions — publish
+``telemetry.alert.fired`` / ``telemetry.alert.resolved`` bus events, which
+is the deduplication the fabric relies on: the origin server publishes each
+firing exactly once, the gossip bus forwards it to every peer exactly once,
+and receivers record it without republishing.
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.telemetry.trace import current_trace
+
+__all__ = ["ALERT_TOPIC", "AlertRule", "AlertEngine", "AlertRuleError"]
+
+#: Topic prefix of every alert event; gossiped fabric-wide on telemetry-
+#: enabled deployments (see FabricService) so one firing is fleet knowledge.
+ALERT_TOPIC = "telemetry.alert"
+
+_RULE_RE = re.compile(
+    r"""^\s*(?P<name>[A-Za-z0-9][A-Za-z0-9_.-]*)\s*:\s*
+        (?P<kind>counter_rate|counter|gauge)\s*\(\s*
+        (?P<metric>[a-zA-Z_:][a-zA-Z0-9_:]*)\s*
+        (?:\{(?P<labels>[^}]*)\})?\s*\)\s*
+        (?P<op>>=|<=|>|<)\s*
+        (?P<threshold>-?[0-9]+(?:\.[0-9]+)?(?:[eE][+-]?[0-9]+)?)\s*
+        (?:for\s+(?P<duration>[0-9]+(?:\.[0-9]+)?)\s*s?)?\s*
+        (?:severity\s*=\s*(?P<severity>warning|critical))?\s*$""",
+    re.VERBOSE)
+
+_OPS: dict[str, Callable[[float, float], bool]] = {
+    ">": lambda v, t: v > t,
+    ">=": lambda v, t: v >= t,
+    "<": lambda v, t: v < t,
+    "<=": lambda v, t: v <= t,
+}
+
+
+class AlertRuleError(ValueError):
+    """Raised when an alert-rule specification does not parse."""
+
+
+@dataclass(frozen=True)
+class AlertRule:
+    """One parsed threshold rule."""
+
+    name: str
+    kind: str                      # "gauge" | "counter" | "counter_rate"
+    metric: str
+    labels: dict[str, str] = field(default_factory=dict)
+    op: str = ">"
+    threshold: float = 0.0
+    for_seconds: float = 0.0
+    severity: str = "critical"
+
+    @classmethod
+    def parse(cls, spec: str) -> "AlertRule":
+        match = _RULE_RE.match(str(spec))
+        if match is None:
+            raise AlertRuleError(
+                f"alert rule {spec!r} is not of the form "
+                f"'name: kind(metric{{label=value}}) > N for Ds'")
+        labels: dict[str, str] = {}
+        for pair in (match.group("labels") or "").split(","):
+            pair = pair.strip()
+            if not pair:
+                continue
+            key, sep, value = pair.partition("=")
+            if not sep or not key.strip():
+                raise AlertRuleError(
+                    f"alert rule {spec!r}: bad label filter {pair!r}")
+            labels[key.strip()] = value.strip().strip('"')
+        return cls(name=match.group("name"), kind=match.group("kind"),
+                   metric=match.group("metric"), labels=labels,
+                   op=match.group("op"),
+                   threshold=float(match.group("threshold")),
+                   for_seconds=float(match.group("duration") or 0.0),
+                   severity=match.group("severity") or "critical")
+
+    def value_from(self, snapshot: dict[str, Any]) -> float:
+        """Sum of every matching series in one ``collect()`` snapshot.
+
+        Histogram families expose ``sum``/``count`` rather than ``value``;
+        rules target their ``count`` (observations) — the natural thing to
+        rate.  A missing metric reads as 0.0, so a rule on a family that
+        only appears under load never fires spuriously at startup.
+        """
+
+        family = snapshot.get(self.metric)
+        if not family:
+            return 0.0
+        total = 0.0
+        for series in family.get("series", ()):
+            series_labels = series.get("labels") or {}
+            if any(series_labels.get(k) != v for k, v in self.labels.items()):
+                continue
+            if "value" in series:
+                total += float(series["value"])
+            elif "count" in series:
+                total += float(series["count"])
+        return total
+
+    def breached(self, value: float) -> bool:
+        return _OPS[self.op](value, self.threshold)
+
+    def to_record(self) -> dict[str, Any]:
+        return {"name": self.name, "kind": self.kind, "metric": self.metric,
+                "labels": dict(self.labels), "op": self.op,
+                "threshold": self.threshold,
+                "for_seconds": self.for_seconds, "severity": self.severity}
+
+
+class _RuleState:
+    __slots__ = ("since", "firing", "value", "fired", "last_sample")
+
+    def __init__(self) -> None:
+        self.since: float | None = None       # when the breach started
+        self.firing = False
+        self.value = 0.0
+        self.fired = 0
+        self.last_sample: tuple[float, float] | None = None  # counter_rate
+
+
+class AlertEngine:
+    """Evaluates alert rules and publishes deduplicated transitions."""
+
+    def __init__(self, registry, bus, *, source: str = "",
+                 rules: "list[AlertRule] | None" = None,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        self.registry = registry
+        self.bus = bus
+        self.source = source
+        self.rules: list[AlertRule] = list(rules or [])
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._states = {rule.name: _RuleState() for rule in self.rules}
+        self.evaluations = 0
+        self.fired_total = 0
+        self.resolved_total = 0
+
+    def evaluate(self, now: float | None = None) -> list[dict[str, Any]]:
+        """Run every rule once; returns the transitions this pass produced."""
+
+        if now is None:
+            now = self._clock()
+        snapshot = self.registry.collect()
+        transitions: list[tuple[str, AlertRule, float]] = []
+        with self._lock:
+            self.evaluations += 1
+            for rule in self.rules:
+                state = self._states[rule.name]
+                value = rule.value_from(snapshot)
+                if rule.kind == "counter_rate":
+                    previous = state.last_sample
+                    state.last_sample = (now, value)
+                    if previous is None or now <= previous[0]:
+                        state.value = 0.0
+                        continue
+                    value = (value - previous[1]) / (now - previous[0])
+                state.value = value
+                if rule.breached(value):
+                    if state.since is None:
+                        state.since = now
+                    if (not state.firing
+                            and now - state.since >= rule.for_seconds):
+                        state.firing = True
+                        state.fired += 1
+                        self.fired_total += 1
+                        transitions.append(("fired", rule, value))
+                else:
+                    state.since = None
+                    if state.firing:
+                        state.firing = False
+                        self.resolved_total += 1
+                        transitions.append(("resolved", rule, value))
+        # Publish outside the lock: bus callbacks run synchronously and may
+        # themselves inspect the engine (the health model does).
+        events = []
+        for event, rule, value in transitions:
+            payload: dict[str, Any] = {
+                "rule": rule.name, "metric": rule.metric,
+                "value": value, "threshold": rule.threshold,
+                "op": rule.op, "severity": rule.severity,
+                "server": self.source, "time": time.time(),
+            }
+            trace = current_trace()
+            if trace is not None:
+                # A rule evaluated inside a traced request (a forced
+                # system.health beat, an admin poke) links the firing back
+                # into system.trace_tree.
+                payload["trace_id"] = trace.trace_id
+            self.bus.publish(f"{ALERT_TOPIC}.{event}", payload,
+                             source=self.source)
+            events.append(dict(payload, event=event))
+        return events
+
+    def firing(self) -> list[dict[str, Any]]:
+        """The locally-firing alerts, as records."""
+
+        with self._lock:
+            return [dict(rule.to_record(), value=state.value,
+                         server=self.source)
+                    for rule in self.rules
+                    for state in (self._states[rule.name],)
+                    if state.firing]
+
+    def stats(self) -> dict[str, Any]:
+        with self._lock:
+            return {
+                "rules": len(self.rules),
+                "evaluations": self.evaluations,
+                "fired": self.fired_total,
+                "resolved": self.resolved_total,
+                "firing": sum(1 for s in self._states.values() if s.firing),
+            }

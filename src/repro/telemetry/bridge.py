@@ -26,9 +26,11 @@ from repro.monitoring.bus import Message, MessageBus
 from repro.telemetry.metrics import MetricsRegistry
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cache.registry import CacheRegistry
     from repro.core.server import ClarensServer
 
-__all__ = ["EventBridge", "register_server_collectors"]
+__all__ = ["EventBridge", "register_cache_collectors",
+           "register_server_collectors"]
 
 
 def _event_label(topic: str) -> str:
@@ -65,6 +67,43 @@ class EventBridge:
 
     def close(self) -> None:
         self._bus.unsubscribe(self._sub_id)
+
+
+def register_cache_collectors(caches: "CacheRegistry",
+                              registry: MetricsRegistry) -> bool:
+    """Export the cache registry's stats as scrape-time metrics.
+
+    Shared between :func:`register_server_collectors` and
+    :class:`~repro.monitoring.cachemetrics.CacheStatsReporter` — idempotent,
+    so whichever wires up first wins and the other is a no-op.  Returns
+    whether this call registered the families.
+    """
+
+    def cache_counters():
+        snap = caches.stats_snapshot()
+        out = []
+        for name, stats in snap["caches"].items():
+            for kind in ("hits", "misses", "evictions", "expirations",
+                         "invalidations"):
+                out.append(({"cache": name, "kind": kind}, stats[kind]))
+        return out
+
+    def cache_sizes():
+        snap = caches.stats_snapshot()
+        return [({"cache": name}, stats["size"])
+                for name, stats in snap["caches"].items()]
+
+    try:
+        registry.register_callback(
+            "clarens_cache_operations_total",
+            "Cache lookups and maintenance by cache and kind.", "counter",
+            cache_counters)
+    except ValueError:
+        return False
+    registry.register_callback(
+        "clarens_cache_size", "Live entries per cache.", "gauge",
+        cache_sizes)
+    return True
 
 
 def register_server_collectors(server: "ClarensServer",
@@ -109,28 +148,7 @@ def register_server_collectors(server: "ClarensServer",
         "Pipeline stage executions.", "counter", stage_calls)
 
     # -- caches ------------------------------------------------------------
-    def cache_counters():
-        snap = server.caches.stats_snapshot()
-        out = []
-        for name, stats in snap["caches"].items():
-            for kind in ("hits", "misses", "evictions", "expirations",
-                         "invalidations"):
-                out.append(({"cache": name, "kind": kind}, stats[kind]))
-        return out
-
-    registry.register_callback(
-        "clarens_cache_operations_total",
-        "Cache lookups and maintenance by cache and kind.", "counter",
-        cache_counters)
-
-    def cache_sizes():
-        snap = server.caches.stats_snapshot()
-        return [({"cache": name}, stats["size"])
-                for name, stats in snap["caches"].items()]
-
-    registry.register_callback(
-        "clarens_cache_size", "Live entries per cache.", "gauge",
-        cache_sizes)
+    register_cache_collectors(server.caches, registry)
 
     # -- sessions ----------------------------------------------------------
     registry.register_callback(

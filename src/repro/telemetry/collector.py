@@ -1,0 +1,179 @@
+"""Cross-server trace assembly.
+
+PR 6 left federation-wide traces as a manual merge: call ``system.trace``
+with the same trace id on every involved server, concatenate, sort.  The
+:class:`TraceCollector` automates exactly that — it fans out over the
+fabric's pooled :class:`~repro.fabric.channel.PeerChannel` objects in
+parallel (one thread per peer, a shared deadline, no retries so a dead peer
+costs one connect attempt, not three), tolerates partial results, and
+assembles everything it got into one parent/child span tree.
+
+The fan-out authenticates as whatever identity each channel carries —
+typically this server's host credential — which the queried peer's
+``system.trace`` accepts because registered fabric peers pass the
+admin-or-peer fence.  The *assembled* tree stays admin-only
+(``system.trace_tree``).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import TYPE_CHECKING, Any, Callable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.server import ClarensServer
+    from repro.fabric.channel import PeerChannel
+
+__all__ = ["TraceCollector", "assemble_tree", "fanout_peers"]
+
+#: Ceiling on spans accepted from one server per collection, mirroring the
+#: recorder ring so a confused peer cannot balloon the response.
+MAX_SPANS_PER_SERVER = 4096
+
+
+def fanout_peers(channels: "dict[str, PeerChannel]",
+                 call: "Callable[[PeerChannel], Any]", *,
+                 timeout: float) -> dict[str, tuple[bool, Any]]:
+    """Run ``call(channel)`` against every peer concurrently.
+
+    Returns ``{peer: (True, result) | (False, error string)}``.  ``timeout``
+    is a shared deadline: peers that have not answered when it expires are
+    reported as timed out (their worker threads are daemons and are simply
+    abandoned — PeerChannel pools tolerate that).
+    """
+
+    results: dict[str, tuple[bool, Any]] = {}
+    lock = threading.Lock()
+
+    def work(name: str, channel: "PeerChannel") -> None:
+        try:
+            value = call(channel)
+        except Exception as exc:  # noqa: BLE001 - partial results by design
+            outcome = (False, f"{type(exc).__name__}: {exc}")
+        else:
+            outcome = (True, value)
+        with lock:
+            results[name] = outcome
+
+    threads = []
+    for name, channel in channels.items():
+        thread = threading.Thread(target=work, args=(name, channel),
+                                  name=f"telemetry-fanout-{name}", daemon=True)
+        thread.start()
+        threads.append(thread)
+    deadline = time.monotonic() + max(0.0, timeout)
+    for thread in threads:
+        thread.join(timeout=max(0.0, deadline - time.monotonic()))
+    with lock:
+        out = dict(results)
+    for name in channels:
+        if name not in out:
+            out[name] = (False, f"timed out after {timeout:.1f}s")
+    return out
+
+
+def assemble_tree(records: list[dict[str, Any]]) -> list[dict[str, Any]]:
+    """Merge span records into a forest of parent/child nodes.
+
+    Spans are keyed by ``span_id`` (unique within a trace; duplicates from
+    overlapping collections are dropped), children are attached under their
+    ``parent_id`` and everything is ordered by start time.  A span whose
+    parent was not retained anywhere — evicted from a ring, or recorded on
+    an unreachable server — becomes a root flagged ``missing_parent`` so a
+    partial tree is visibly partial rather than silently re-rooted.
+    """
+
+    nodes: dict[str, dict[str, Any]] = {}
+    ordered: list[dict[str, Any]] = []
+    for record in sorted(records, key=lambda r: float(r.get("started") or 0.0)):
+        span_id = str(record.get("span_id") or "")
+        if span_id and span_id in nodes:
+            continue
+        node = dict(record)
+        node["children"] = []
+        if span_id:
+            nodes[span_id] = node
+        ordered.append(node)
+    roots: list[dict[str, Any]] = []
+    for node in ordered:
+        parent = nodes.get(str(node.get("parent_id") or ""))
+        if parent is not None and parent is not node:
+            parent["children"].append(node)
+        else:
+            node["missing_parent"] = bool(node.get("parent_id"))
+            roots.append(node)
+    return roots
+
+
+class TraceCollector:
+    """Gathers one trace's spans from the whole fabric and builds the tree."""
+
+    def __init__(self, server: "ClarensServer", *,
+                 timeout: float = 5.0) -> None:
+        self.server = server
+        self.timeout = float(timeout)
+        self.collections = 0
+        self.peer_errors = 0
+
+    def collect(self, trace_id: str, *,
+                timeout: float | None = None) -> dict[str, Any]:
+        """Fan out, merge, and assemble the span tree for ``trace_id``.
+
+        Unreachable peers make the result *partial*, never an error: the
+        ``unreachable`` map says who is missing and why, and ``partial``
+        flags the tree as potentially incomplete.
+        """
+
+        trace_id = str(trace_id)
+        telemetry = self.server.telemetry
+        if telemetry is None:  # pragma: no cover - guarded by callers
+            raise RuntimeError("telemetry is not enabled on this server")
+        budget = self.timeout if timeout is None else float(timeout)
+        own_name = self.server.config.server_name
+        spans = [dict(record, server=record.get("server") or own_name)
+                 for record in telemetry.trace_records(trace_id=trace_id)]
+        servers = {own_name}
+        unreachable: dict[str, str] = {}
+
+        fabric = self.server.fabric
+        channels = dict(fabric.channels) if fabric is not None else {}
+        if channels:
+            outcomes = fanout_peers(
+                channels,
+                lambda channel: channel.call("system.trace", trace_id,
+                                             retry=False),
+                timeout=budget)
+            seen = {(s.get("server"), s.get("span_id")) for s in spans}
+            for name, (ok, value) in sorted(outcomes.items()):
+                if not ok:
+                    unreachable[name] = str(value)
+                    self.peer_errors += 1
+                    continue
+                peer_name = str((value or {}).get("server") or name)
+                servers.add(peer_name)
+                for record in list((value or {}).get("spans")
+                                   or [])[:MAX_SPANS_PER_SERVER]:
+                    record = dict(record,
+                                  server=record.get("server") or peer_name)
+                    key = (record.get("server"), record.get("span_id"))
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                    spans.append(record)
+        self.collections += 1
+        spans.sort(key=lambda s: float(s.get("started") or 0.0))
+        return {
+            "trace_id": trace_id,
+            "span_count": len(spans),
+            "spans": spans,
+            "tree": assemble_tree(spans),
+            "servers": sorted(servers),
+            "unreachable": unreachable,
+            "partial": bool(unreachable),
+        }
+
+    def stats(self) -> dict[str, Any]:
+        return {"collections": self.collections,
+                "peer_errors": self.peer_errors,
+                "timeout": self.timeout}

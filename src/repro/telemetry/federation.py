@@ -1,0 +1,193 @@
+"""Federated metrics: one scrape for the whole fabric.
+
+``GET /metrics`` describes one node.  :class:`MetricsFederation` serves
+``GET /metrics/federation``: the local exposition plus every live peer's
+(fetched through the authenticated ``fabric.metrics`` RPC in parallel),
+each sample re-labelled with ``server="<name>"`` and the families merged so
+the output is one valid Prometheus text document — every family's metadata
+appears once and its samples stay grouped, as the format requires.
+
+Two properties keep this safe to point a scraper at:
+
+* responses are cached for ``telemetry_federation_ttl`` seconds, and the
+  rebuild runs under the cache lock, so N concurrent scrapes cost the
+  fabric one fan-out, never N (a scrape cannot stampede the fabric);
+* a dead peer degrades the output to *partial* — its absence is recorded in
+  a leading ``# federation:`` comment and the remaining servers' series are
+  served normally.
+"""
+
+from __future__ import annotations
+
+import re
+import time
+from threading import Lock
+from typing import TYPE_CHECKING, Any
+
+from repro.httpd.message import HTTPRequest, HTTPResponse
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.server import ClarensServer
+
+__all__ = ["MetricsFederation", "merge_expositions",
+           "EXPOSITION_CONTENT_TYPE"]
+
+#: The content type Prometheus expects from a text-format scrape target.
+EXPOSITION_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+#: ``name{labels} value`` — the label block is greedy, which is correct
+#: because the value part never contains ``}``.
+_SAMPLE_RE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{.*\})?\s+(\S.*)$")
+
+
+def _escape(value: str) -> str:
+    return (str(value).replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
+def merge_expositions(sections: list[tuple[str, str]]) -> str:
+    """Merge per-server expositions into one, adding ``server`` labels.
+
+    ``sections`` is ``[(server name, exposition text), ...]``.  Families are
+    keyed by the name their ``# TYPE`` line declares (histogram samples like
+    ``_bucket``/``_sum``/``_count`` stay with their family), HELP/TYPE are
+    taken from the first server that declared them, and every sample line
+    gains a leading ``server="<name>"`` label.
+    """
+
+    families: dict[str, dict[str, Any]] = {}
+    order: list[str] = []
+
+    def family(name: str) -> dict[str, Any]:
+        entry = families.get(name)
+        if entry is None:
+            entry = {"help": "", "type": "", "samples": []}
+            families[name] = entry
+            order.append(name)
+        return entry
+
+    for server, text in sections:
+        current: dict[str, Any] | None = None
+        current_name = ""
+        for line in text.splitlines():
+            if line.startswith("# HELP "):
+                parts = line.split(" ", 3)
+                if len(parts) >= 3:
+                    entry = family(parts[2])
+                    entry["help"] = entry["help"] or \
+                        (parts[3] if len(parts) > 3 else "")
+                continue
+            if line.startswith("# TYPE "):
+                parts = line.split(" ", 3)
+                if len(parts) >= 4:
+                    current_name = parts[2]
+                    current = family(current_name)
+                    current["type"] = current["type"] or parts[3]
+                continue
+            if not line.strip() or line.startswith("#"):
+                continue
+            match = _SAMPLE_RE.match(line)
+            if match is None:
+                continue
+            name, labels, value = match.groups()
+            if current is None or not name.startswith(current_name):
+                current_name = name
+                current = family(name)
+            inner = labels[1:-1] if labels else ""
+            merged = f'server="{_escape(server)}"' + \
+                (f",{inner}" if inner else "")
+            current["samples"].append(f"{name}{{{merged}}} {value}")
+
+    lines: list[str] = []
+    for name in order:
+        entry = families[name]
+        if entry["help"]:
+            lines.append(f"# HELP {name} {entry['help']}")
+        if entry["type"]:
+            lines.append(f"# TYPE {name} {entry['type']}")
+        lines.extend(entry["samples"])
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+class MetricsFederation:
+    """The cached, fanned-out ``/metrics/federation`` exposition."""
+
+    def __init__(self, server: "ClarensServer", *, ttl: float = 5.0,
+                 timeout: float = 5.0) -> None:
+        self.server = server
+        self.ttl = float(ttl)
+        self.timeout = float(timeout)
+        self._lock = Lock()
+        self._cached: tuple[float, str, dict[str, Any]] | None = None
+        self.scrapes = 0
+        self.cache_hits = 0
+        self.peer_errors = 0
+
+    def render(self, *, force: bool = False) -> tuple[str, dict[str, Any]]:
+        """The federated exposition and its metadata, from cache if fresh.
+
+        The rebuild runs under the lock on purpose: concurrent scrapes
+        serialise on one fan-out instead of each dialling every peer.
+        """
+
+        with self._lock:
+            self.scrapes += 1
+            now = time.monotonic()
+            if (not force and self._cached is not None
+                    and now < self._cached[0]):
+                self.cache_hits += 1
+                return self._cached[1], dict(self._cached[2])
+            body, meta = self._build()
+            self._cached = (time.monotonic() + self.ttl, body, meta)
+            return body, dict(meta)
+
+    def _build(self) -> tuple[str, dict[str, Any]]:
+        from repro.telemetry.collector import fanout_peers
+
+        telemetry = self.server.telemetry
+        own_name = self.server.config.server_name
+        sections: list[tuple[str, str]] = [(own_name,
+                                            telemetry.registry.render())]
+        unreachable: dict[str, str] = {}
+        fabric = self.server.fabric
+        channels = dict(fabric.channels) if fabric is not None else {}
+        if channels:
+            outcomes = fanout_peers(
+                channels,
+                lambda channel: channel.call("fabric.metrics", retry=False),
+                timeout=self.timeout)
+            for name, (ok, value) in sorted(outcomes.items()):
+                if not ok:
+                    unreachable[name] = str(value)
+                    self.peer_errors += 1
+                    continue
+                peer_name = str((value or {}).get("server") or name)
+                sections.append((peer_name,
+                                 str((value or {}).get("exposition") or "")))
+        header = [f"# federation: servers={len(sections)} "
+                  f"unreachable={len(unreachable)} origin={own_name}"]
+        for name, error in sorted(unreachable.items()):
+            header.append(f"# federation: peer {name} unreachable: "
+                          + error.replace("\n", " "))
+        body = "\n".join(header) + "\n" + merge_expositions(sections)
+        meta = {
+            "servers": [name for name, _ in sections],
+            "unreachable": unreachable,
+            "partial": bool(unreachable),
+            "rendered_at": time.time(),
+        }
+        return body, meta
+
+    def handle_get(self, request: HTTPRequest,
+                   remainder: str) -> HTTPResponse:
+        """``GET /metrics/federation``: the fabric-wide text exposition."""
+
+        body, _meta = self.render()
+        return HTTPResponse.ok(body.encode("utf-8"),
+                               content_type=EXPOSITION_CONTENT_TYPE)
+
+    def stats(self) -> dict[str, Any]:
+        with self._lock:
+            return {"scrapes": self.scrapes, "cache_hits": self.cache_hits,
+                    "peer_errors": self.peer_errors, "ttl": self.ttl}

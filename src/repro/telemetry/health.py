@@ -1,0 +1,290 @@
+"""The composed health model: subsystem probes, fleet view, ``/healthz``.
+
+One :class:`HealthModel` per telemetry-enabled server turns the statistics
+surfaces the codebase already maintains into a judgement — ``ok`` /
+``degraded`` / ``critical`` — per subsystem and overall:
+
+* **transfer-queue** — transfers queued+running against depth thresholds;
+* **journal** — write-ahead journal entries still in a non-terminal state
+  (lag between intent and completion);
+* **peers** — fabric peers down: any down degrades, all down is critical;
+* **admission** — the throttled fraction of admission decisions
+  (saturation, not volume);
+* **caches** — the aggregate hit rate against a floor, once enough lookups
+  exist to judge.
+
+Locally-firing alert rules fold in on top: a firing ``critical`` rule makes
+the node critical (and hence ``GET /healthz`` → 503), a ``warning`` rule
+degrades it.  The unauthenticated ``/healthz`` endpoint reports *this*
+node; the authenticated ``system.health`` RPC adds the fleet view — health
+summaries and alert events gossiped by every telemetry-enabled peer.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from typing import TYPE_CHECKING, Any
+
+from repro.httpd.message import HTTPRequest, HTTPResponse
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.server import ClarensServer
+    from repro.monitoring.bus import Message, MessageBus
+
+__all__ = ["HEALTH_TOPIC", "HealthModel",
+           "STATUS_OK", "STATUS_DEGRADED", "STATUS_CRITICAL"]
+
+#: Topic prefix for gossiped node-health summaries.
+HEALTH_TOPIC = "telemetry.health"
+
+STATUS_OK = "ok"
+STATUS_DEGRADED = "degraded"
+STATUS_CRITICAL = "critical"
+_RANK = {STATUS_OK: 0, STATUS_DEGRADED: 1, STATUS_CRITICAL: 2}
+
+
+def _worst(*statuses: str) -> str:
+    return max(statuses, key=lambda s: _RANK.get(s, 0), default=STATUS_OK)
+
+
+def _grade(value: float, degraded_at: float, critical_at: float) -> str:
+    if value >= critical_at:
+        return STATUS_CRITICAL
+    if value >= degraded_at:
+        return STATUS_DEGRADED
+    return STATUS_OK
+
+
+class HealthModel:
+    """Composes subsystem probes and the fleet view for one server."""
+
+    #: Queued+running transfers above these depths degrade / criticalise.
+    transfer_queue_degraded = 64
+    transfer_queue_critical = 512
+    #: Non-terminal journal entries (queued/running) above these lag counts.
+    journal_lag_degraded = 64
+    journal_lag_critical = 512
+    #: Fraction of admission decisions throttled before saturation degrades.
+    admission_throttled_degraded = 0.25
+    admission_throttled_critical = 0.75
+    #: Aggregate cache hit-rate floor, judged only past this many lookups.
+    cache_hit_floor = 0.10
+    cache_min_lookups = 1024
+    #: Gossiped summaries older than this are reported as stale.
+    fleet_stale_after = 60.0
+
+    def __init__(self, server: "ClarensServer") -> None:
+        self.server = server
+        self._lock = threading.Lock()
+        #: peer server name -> last gossiped summary (never our own).
+        self._fleet: dict[str, dict[str, Any]] = {}
+        #: (origin server, rule name) -> last fired alert payload; local and
+        #: gossiped firings alike, cleared by the matching resolved event.
+        self._fleet_alerts: dict[tuple[str, str], dict[str, Any]] = {}
+        self._subscriptions: list[int] = []
+        self._bus: "MessageBus | None" = None
+        self.summaries_published = 0
+
+    # -- wiring ------------------------------------------------------------
+    def attach(self, bus: "MessageBus") -> None:
+        """Subscribe to health summaries and alert events (local + gossiped)."""
+
+        self._bus = bus
+        from repro.telemetry.alerts import ALERT_TOPIC
+        self._subscriptions = [
+            bus.subscribe(HEALTH_TOPIC, self._on_health),
+            bus.subscribe(ALERT_TOPIC, self._on_alert),
+        ]
+
+    def close(self) -> None:
+        if self._bus is not None:
+            for sub_id in self._subscriptions:
+                self._bus.unsubscribe(sub_id)
+        self._subscriptions = []
+        self._bus = None
+
+    def _on_health(self, message: "Message") -> None:
+        summary = message.payload or {}
+        origin = str(summary.get("server") or message.source or "")
+        own = self.server.config.server_name
+        # Gossip sources may arrive as "name#pid"; compare the base name.
+        if not origin or origin == own or origin.split("#", 1)[0] == own:
+            return
+        with self._lock:
+            self._fleet[origin] = dict(summary, received=time.time())
+
+    def _on_alert(self, message: "Message") -> None:
+        payload = message.payload or {}
+        key = (str(payload.get("server", "")), str(payload.get("rule", "")))
+        with self._lock:
+            if message.topic.endswith(".fired"):
+                self._fleet_alerts[key] = dict(payload)
+            elif message.topic.endswith(".resolved"):
+                self._fleet_alerts.pop(key, None)
+
+    # -- probes ------------------------------------------------------------
+    def probes(self) -> list[dict[str, Any]]:
+        """Evaluate every applicable subsystem probe right now."""
+
+        results: list[dict[str, Any]] = []
+        server = self.server
+
+        replica = server.services.get("replica")
+        engine = getattr(replica, "engine", None)
+        if engine is not None:
+            snap = engine.stats()
+            depth = int(snap["queued"]) + int(snap["running"])
+            results.append({
+                "probe": "transfer-queue", "value": depth,
+                "status": _grade(depth, self.transfer_queue_degraded,
+                                 self.transfer_queue_critical),
+                "detail": f"{snap['queued']} queued, "
+                          f"{snap['running']} running",
+            })
+        journal = getattr(replica, "journal", None)
+        if journal is not None:
+            snap = journal.stats()
+            lag = sum(count for state, count in snap["by_state"].items()
+                      if state not in ("done", "failed"))
+            results.append({
+                "probe": "journal", "value": lag,
+                "status": _grade(lag, self.journal_lag_degraded,
+                                 self.journal_lag_critical),
+                "detail": f"{lag} of {snap['entries']} entries in flight",
+            })
+
+        fabric = server.fabric
+        if fabric is not None and fabric.registry.names():
+            by_state = fabric.registry.stats()["by_state"]
+            down = int(by_state.get("down", 0))
+            reachable = sum(count for state, count in by_state.items()
+                            if state != "down")
+            if down == 0:
+                status = STATUS_OK
+            elif reachable > 0:
+                status = STATUS_DEGRADED
+            else:
+                status = STATUS_CRITICAL
+            results.append({
+                "probe": "peers", "value": down, "status": status,
+                "detail": f"{down} down / {down + reachable} registered",
+            })
+
+        controller = getattr(server.pipeline, "admission", None)
+        if controller is not None:
+            snap = controller.stats(top_k=0)
+            decisions = int(snap["admitted"]) + int(snap["throttled"])
+            fraction = (snap["throttled"] / decisions) if decisions else 0.0
+            results.append({
+                "probe": "admission", "value": round(fraction, 4),
+                "status": _grade(fraction, self.admission_throttled_degraded,
+                                 self.admission_throttled_critical),
+                "detail": f"{snap['throttled']} of {decisions} throttled",
+            })
+
+        if server.config.cache_enabled:
+            totals = server.caches.stats_snapshot()["totals"]
+            lookups = int(totals["hits"]) + int(totals["misses"])
+            hit_rate = float(totals["hit_rate"])
+            status = STATUS_OK
+            if lookups >= self.cache_min_lookups \
+                    and hit_rate < self.cache_hit_floor:
+                status = STATUS_DEGRADED
+            results.append({
+                "probe": "caches", "value": round(hit_rate, 4),
+                "status": status,
+                "detail": f"hit rate {hit_rate:.1%} over {lookups} lookups",
+            })
+        return results
+
+    # -- judgements --------------------------------------------------------
+    def _local_alerts(self) -> list[dict[str, Any]]:
+        telemetry = self.server.telemetry
+        engine = getattr(telemetry, "alerts", None)
+        return engine.firing() if engine is not None else []
+
+    def local_status(self) -> tuple[str, list[dict[str, Any]],
+                                    list[dict[str, Any]]]:
+        """(status, probes, firing alerts) for this node only."""
+
+        probes = self.probes()
+        alerts = self._local_alerts()
+        status = _worst(*(p["status"] for p in probes)) if probes else STATUS_OK
+        for alert in alerts:
+            status = _worst(status,
+                            STATUS_CRITICAL if alert.get("severity")
+                            != "warning" else STATUS_DEGRADED)
+        return status, probes, alerts
+
+    def summary(self) -> dict[str, Any]:
+        """The compact per-node record gossiped to the fleet."""
+
+        status, probes, alerts = self.local_status()
+        return {
+            "server": self.server.config.server_name,
+            "status": status,
+            "probes": {p["probe"]: p["status"] for p in probes},
+            "alerts_firing": len(alerts),
+            "time": time.time(),
+        }
+
+    def publish_summary(self) -> dict[str, Any]:
+        """Publish this node's summary onto the bus (gossiped fabric-wide)."""
+
+        summary = self.summary()
+        if self._bus is not None:
+            self._bus.publish(f"{HEALTH_TOPIC}.summary", summary,
+                              source=self.server.config.server_name)
+            self.summaries_published += 1
+        return summary
+
+    def evaluate(self) -> dict[str, Any]:
+        """The full ``system.health`` payload: this node plus the fleet."""
+
+        status, probes, alerts = self.local_status()
+        now = time.time()
+        with self._lock:
+            fleet = {name: dict(summary) for name, summary
+                     in self._fleet.items()}
+            fleet_alerts = [dict(payload) for payload
+                            in self._fleet_alerts.values()]
+        for summary in fleet.values():
+            summary["stale"] = (now - float(summary.get("received", now))
+                                > self.fleet_stale_after)
+        return {
+            "server": self.server.config.server_name,
+            "status": status,
+            "probes": probes,
+            "alerts": {"local": alerts, "fleet": fleet_alerts},
+            "fleet": fleet,
+            "time": now,
+        }
+
+    # -- the unauthenticated endpoint --------------------------------------
+    def handle_get(self, request: HTTPRequest, remainder: str) -> HTTPResponse:
+        """``GET /healthz``: 200 while serviceable, 503 when critical.
+
+        Degraded still answers 200 — load balancers should not evict a node
+        that is merely slow — but the body says so, and a firing critical
+        alert or critical probe flips the status code.
+        """
+
+        status, probes, alerts = self.local_status()
+        body = json.dumps({
+            "server": self.server.config.server_name,
+            "status": status,
+            "probes": {p["probe"]: p["status"] for p in probes},
+            "alerts_firing": len(alerts),
+        }, sort_keys=True).encode("utf-8")
+        http_status = 503 if status == STATUS_CRITICAL else 200
+        return HTTPResponse(status=http_status,
+                            headers={"Content-Type": "application/json"},
+                            body=body)
+
+    def stats(self) -> dict[str, Any]:
+        with self._lock:
+            return {"fleet_members": len(self._fleet),
+                    "fleet_alerts": len(self._fleet_alerts),
+                    "summaries_published": self.summaries_published}

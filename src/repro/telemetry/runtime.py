@@ -1,13 +1,19 @@
 """Per-server telemetry assembly.
 
-:class:`ServerTelemetry` owns the four pieces — span recorder, metrics
-registry, slow-request log, event bridge — and presents the few entry
-points the rest of the codebase calls:
+:class:`ServerTelemetry` owns the per-node pieces — span recorder, metrics
+registry, slow-request log, event bridge — plus the fabric-wide
+observability plane: the cross-server :class:`~repro.telemetry.collector
+.TraceCollector`, the :class:`~repro.telemetry.federation
+.MetricsFederation` scrape, the :class:`~repro.telemetry.health
+.HealthModel` and the :class:`~repro.telemetry.alerts.AlertEngine`.  It
+presents the few entry points the rest of the codebase calls:
 
 * the pipeline reports every finished request through :meth:`on_request`;
 * the HTTP front door reports traced non-RPC requests (ranged LFN GETs,
   file downloads) through :meth:`record_http`;
-* the server mounts :meth:`handle_metrics_get` at ``GET /metrics``.
+* the server mounts :meth:`handle_metrics_get` at ``GET /metrics``,
+  :meth:`handle_federation_get` at ``GET /metrics/federation`` and
+  :meth:`handle_healthz_get` at ``GET /healthz``.
 
 Constructed only when ``telemetry_enabled`` is set; with the knob off the
 server carries ``telemetry = None`` and every call site stays on the
@@ -16,10 +22,16 @@ paper-mode path.
 
 from __future__ import annotations
 
+import threading
 from typing import TYPE_CHECKING, Any
 
 from repro.httpd.message import HTTPRequest, HTTPResponse
+from repro.telemetry.alerts import AlertEngine, AlertRule
 from repro.telemetry.bridge import EventBridge, register_server_collectors
+from repro.telemetry.collector import TraceCollector
+from repro.telemetry.federation import (EXPOSITION_CONTENT_TYPE,
+                                        MetricsFederation)
+from repro.telemetry.health import HealthModel
 from repro.telemetry.metrics import MetricsRegistry
 from repro.telemetry.slowlog import SlowRequestLog
 from repro.telemetry.trace import TRACE_HEADER, Span, SpanRecorder, TraceContext
@@ -30,12 +42,9 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 __all__ = ["ServerTelemetry", "EXPOSITION_CONTENT_TYPE"]
 
-#: The content type Prometheus expects from a text-format scrape target.
-EXPOSITION_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
-
 
 class ServerTelemetry:
-    """Tracing + metrics + slow log for one server."""
+    """Tracing + metrics + slow log + fleet observability for one server."""
 
     def __init__(self, config: "ServerConfig") -> None:
         self.server_name = config.server_name
@@ -44,6 +53,16 @@ class ServerTelemetry:
         self.slow_log = SlowRequestLog(config.telemetry_slow_ms,
                                        capacity=config.telemetry_slow_log_size)
         self.bridge: EventBridge | None = None
+        # The fleet-facing pieces need the assembled server (fabric channels,
+        # message bus, stats surfaces) and are built in :meth:`attach`.
+        self.collector: TraceCollector | None = None
+        self.federation: MetricsFederation | None = None
+        self.health: HealthModel | None = None
+        self.alerts: AlertEngine | None = None
+        self._config = config
+        self._bus = None
+        self._beat_stop = threading.Event()
+        self._beat_thread: threading.Thread | None = None
         # The two hot-path instruments written per request; everything else
         # is sampled at scrape time by the collectors.
         self._requests = self.registry.counter(
@@ -54,12 +73,59 @@ class ServerTelemetry:
 
     # -- wiring ------------------------------------------------------------
     def attach(self, server: "ClarensServer") -> None:
-        """Subscribe the event bridge and export the server's stats."""
+        """Subscribe the event bridge, export stats, build the fleet plane."""
 
+        config = self._config
+        self._bus = server.message_bus
         self.bridge = EventBridge(server.message_bus, self.registry)
         register_server_collectors(server, self.registry)
+        self.collector = TraceCollector(
+            server, timeout=config.telemetry_peer_timeout)
+        self.federation = MetricsFederation(
+            server, ttl=config.telemetry_federation_ttl,
+            timeout=config.telemetry_peer_timeout)
+        self.alerts = AlertEngine(
+            self.registry, server.message_bus, source=self.server_name,
+            rules=[AlertRule.parse(spec)
+                   for spec in config.telemetry_alert_rules])
+        self.health = HealthModel(server)
+        self.health.attach(server.message_bus)
+        if config.telemetry_alert_interval > 0:
+            self._beat_thread = threading.Thread(
+                target=self._beat_loop, name="telemetry-beat", daemon=True)
+            self._beat_thread.start()
+
+    def _beat_loop(self) -> None:
+        """Evaluate alert rules and gossip the health summary periodically."""
+
+        interval = self._config.telemetry_alert_interval
+        while not self._beat_stop.wait(timeout=interval):
+            try:
+                self.beat()
+            except Exception:  # pragma: no cover - telemetry must never kill
+                pass
+
+    def beat(self) -> None:
+        """One observability beat: alert evaluation + health summary gossip.
+
+        The background loop calls this every ``telemetry_alert_interval``
+        seconds; tests and deployments with the loop disabled call it
+        directly.
+        """
+
+        if self.alerts is not None:
+            self.alerts.evaluate()
+        if self.health is not None:
+            self.health.publish_summary()
 
     def close(self) -> None:
+        self._beat_stop.set()
+        if self._beat_thread is not None:
+            self._beat_thread.join(timeout=5.0)
+            self._beat_thread = None
+        if self.health is not None:
+            self.health.close()
+            self.health = None
         if self.bridge is not None:
             self.bridge.close()
             self.bridge = None
@@ -71,7 +137,15 @@ class ServerTelemetry:
         self.recorder.record(span)
         self._requests.inc(status=span.status)
         self._latency.observe(span.duration_s)
-        self.slow_log.observe(span)
+        if self.slow_log.observe(span) and self._bus is not None:
+            # One bus event per slow request: countable by alert rules via
+            # clarens_bus_events_total and carrying the trace id, so a slow
+            # request links straight into system.trace_tree.
+            self._bus.publish("telemetry.slow_request", {
+                "server": self.server_name, "method": span.method,
+                "total_ms": span.duration_s * 1000.0,
+                "trace_id": span.trace_id, "span_id": span.span_id,
+            }, source=self.server_name)
 
     def record_http(self, request: HTTPRequest, status: int,
                     duration_s: float) -> None:
@@ -107,6 +181,22 @@ class ServerTelemetry:
         body = self.registry.render().encode("utf-8")
         return HTTPResponse.ok(body, content_type=EXPOSITION_CONTENT_TYPE)
 
+    def handle_federation_get(self, request: HTTPRequest,
+                              remainder: str) -> HTTPResponse:
+        """``GET /metrics/federation``: every fabric member's series."""
+
+        if self.federation is None:  # pragma: no cover - attach not yet run
+            return HTTPResponse.error(503, "federation is not ready")
+        return self.federation.handle_get(request, remainder)
+
+    def handle_healthz_get(self, request: HTTPRequest,
+                           remainder: str) -> HTTPResponse:
+        """``GET /healthz``: unauthenticated liveness/health probe."""
+
+        if self.health is None:  # pragma: no cover - attach not yet run
+            return HTTPResponse.error(503, "health model is not ready")
+        return self.health.handle_get(request, remainder)
+
     def trace_records(self, trace_id: str = "",
                       limit: int = 100) -> list[dict[str, Any]]:
         """Span records for ``system.trace`` (one trace, or the most recent)."""
@@ -118,5 +208,10 @@ class ServerTelemetry:
         return [span.to_record() for span in spans]
 
     def stats(self) -> dict[str, Any]:
-        return {"spans": self.recorder.stats(),
-                "slow_requests": self.slow_log.stats()}
+        out = {"spans": self.recorder.stats(),
+               "slow_requests": self.slow_log.stats()}
+        for name in ("collector", "federation", "health", "alerts"):
+            component = getattr(self, name)
+            if component is not None:
+                out[name] = component.stats()
+        return out

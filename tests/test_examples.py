@@ -23,7 +23,8 @@ def test_examples_directory_has_expected_scripts():
     names = {p.name for p in ALL_EXAMPLES}
     assert {"quickstart.py", "physics_analysis.py", "discovery_federation.py",
             "grid_portal.py", "secure_file_sharing.py",
-            "replication_fabric.py", "federation_fabric.py"} <= names
+            "replication_fabric.py", "federation_fabric.py",
+            "observability_federation.py"} <= names
 
 
 @pytest.mark.parametrize("script", ALL_EXAMPLES, ids=lambda p: p.name)
@@ -37,7 +38,8 @@ def test_example_parses_and_defines_main(script):
 
 @pytest.mark.parametrize("script_name", ["quickstart.py", "grid_portal.py",
                                          "replication_fabric.py",
-                                         "federation_fabric.py"])
+                                         "federation_fabric.py",
+                                         "observability_federation.py"])
 def test_fast_examples_run_to_completion(script_name):
     result = subprocess.run(
         [sys.executable, str(EXAMPLES_DIR / script_name)],

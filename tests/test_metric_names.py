@@ -1,0 +1,53 @@
+"""The Prometheus-naming lint, wired into the suite.
+
+``scripts/check_metric_names.py`` assembles a full server and checks every
+registered metric family against the naming rules (namespace, snake_case,
+``_total`` on counters, base units, reserved labels).  Running it here makes
+a naming regression a test failure, not a dashboard surprise later.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SCRIPT = REPO_ROOT / "scripts" / "check_metric_names.py"
+
+
+def _load_checker():
+    spec = importlib.util.spec_from_file_location("check_metric_names", SCRIPT)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_registered_metric_names_pass_the_lint():
+    checker = _load_checker()
+    server = checker.build_registry()
+    try:
+        metrics = checker.collect_metrics(server)
+    finally:
+        server.close()
+    assert metrics, "the assembled server registered no metrics"
+    problems = checker.lint(metrics)
+    assert not problems, "\n".join(problems)
+
+
+def test_lint_catches_bad_names():
+    checker = _load_checker()
+    bad = [
+        ("requests_total", "counter", ()),            # no namespace
+        ("clarens_latency_ms", "gauge", ()),          # non-base unit
+        ("clarens_hits", "counter", ()),              # counter without _total
+        ("clarens_queue_total", "gauge", ()),         # _total on a gauge
+        ("clarens_ok_total", "counter", ("le",)),     # reserved label
+        ("clarens_Bad_name", "gauge", ()),            # not snake_case
+    ]
+    problems = checker.lint(bad)
+    assert len(problems) == len(bad)
+    # And a duplicate across instrument/callback space is caught too.
+    dup = [("clarens_x_total", "counter", ()), ("clarens_x_total", "counter", ())]
+    assert any("twice" in p for p in checker.lint(dup))

@@ -1,0 +1,835 @@
+"""The fabric-wide observability plane (alerts, health, collector, federation).
+
+Unit coverage of the alert-rule grammar and engine state machine, the span
+tree assembler, and the exposition merger; server-level coverage of the
+health probes and the ``/healthz`` flip; and mesh-level coverage over real
+sockets of the issue's acceptance criteria — one assembled trace tree for a
+quarantine→heal chain retrievable from either server, a ``server``-labelled
+federated scrape degrading to partial on a dead peer, an alert firing
+exactly once fabric-wide, and torn-free concurrent ``/metrics`` scrapes
+under hot dispatch.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.client.client import ClarensClient
+from repro.core.config import ConfigError, ServerConfig
+from repro.core.server import ClarensServer
+from repro.httpd.message import HTTPRequest
+from repro.monitoring.bus import MessageBus
+from repro.pki.authority import CertificateAuthority
+from repro.protocols.errors import Fault
+from repro.telemetry.alerts import AlertEngine, AlertRule, AlertRuleError
+from repro.telemetry.collector import assemble_tree, fanout_peers
+from repro.telemetry.federation import merge_expositions
+from repro.telemetry.health import STATUS_CRITICAL, STATUS_DEGRADED, STATUS_OK
+from repro.telemetry.metrics import MetricsRegistry
+
+OPS_DN = "/O=clarens.test/OU=People/CN=Ada Admin"
+
+
+@pytest.fixture(scope="module")
+def plane_ca():
+    return CertificateAuthority("/O=clarens.test/CN=Observability CA",
+                                key_bits=512)
+
+
+@pytest.fixture(scope="module")
+def admin_credential(plane_ca):
+    return plane_ca.issue_user("Ada Admin")
+
+
+@pytest.fixture(scope="module")
+def user_credential(plane_ca):
+    return plane_ca.issue_user("Norma User")
+
+
+def build_site(ca, name, **overrides):
+    host = ca.issue_host(f"{name}.clarens.test")
+    overrides.setdefault("telemetry_enabled", True)
+    config = ServerConfig(server_name=name, admins=[OPS_DN],
+                          host_dn=str(host.certificate.subject), **overrides)
+    return ClarensServer(config, credential=host, trust_store=ca.trust_store())
+
+
+def login(server, credential):
+    client = ClarensClient.for_loopback(server.loopback())
+    client.login_with_credential(credential)
+    return client
+
+
+# ---------------------------------------------------------------------------
+# Alert rules: grammar and engine state machine
+# ---------------------------------------------------------------------------
+
+class TestAlertRuleGrammar:
+    def test_full_spec_parses(self):
+        rule = AlertRule.parse(
+            'fault-storm: counter_rate(clarens_requests_total'
+            '{status=fault, proto="xml"}) >= 5.5 for 10s severity=warning')
+        assert rule.name == "fault-storm"
+        assert rule.kind == "counter_rate"
+        assert rule.metric == "clarens_requests_total"
+        assert rule.labels == {"status": "fault", "proto": "xml"}
+        assert rule.op == ">=" and rule.threshold == 5.5
+        assert rule.for_seconds == 10.0 and rule.severity == "warning"
+
+    def test_minimal_spec_defaults(self):
+        rule = AlertRule.parse("deep: gauge(clarens_queue) > 100")
+        assert rule.labels == {} and rule.for_seconds == 0.0
+        assert rule.severity == "critical"
+
+    def test_scientific_threshold(self):
+        assert AlertRule.parse("big: counter(clarens_x_total) > 1e12"
+                               ).threshold == 1e12
+
+    @pytest.mark.parametrize("spec", [
+        "",
+        "no-colon gauge(clarens_x) > 1",
+        "bad-kind: histogram(clarens_x) > 1",
+        "bad-op: gauge(clarens_x) == 1",
+        "no-threshold: gauge(clarens_x) >",
+        "bad-severity: gauge(clarens_x) > 1 severity=panic",
+        "bad-label: gauge(clarens_x{nokey}) > 1",
+    ])
+    def test_bad_specs_raise(self, spec):
+        with pytest.raises(AlertRuleError):
+            AlertRule.parse(spec)
+
+    def test_bad_rule_rejected_at_config_time(self):
+        with pytest.raises(ConfigError):
+            ServerConfig(telemetry_alert_rules=["nonsense"])
+
+    def test_rules_survive_ini_round_trip(self, tmp_path):
+        spec = "deep: gauge(clarens_replica_transfer_queue) > 64 for 5s"
+        config = ServerConfig(telemetry_alert_rules=[spec],
+                              telemetry_alert_interval=2.5)
+        path = tmp_path / "server.ini"
+        config.to_ini(path)
+        loaded = ServerConfig.from_ini(path)
+        assert loaded.telemetry_alert_rules == [spec]
+        assert loaded.telemetry_alert_interval == 2.5
+
+
+class TestAlertEngine:
+    def make_engine(self, rules, registry=None):
+        bus = MessageBus()
+        events = []
+        bus.subscribe("telemetry.alert", lambda m: events.append(
+            (m.topic, dict(m.payload))))
+        clock = {"now": 100.0}
+        engine = AlertEngine(registry or MetricsRegistry(), bus,
+                             source="unit",
+                             rules=[AlertRule.parse(r) for r in rules],
+                             clock=lambda: clock["now"])
+        return engine, events, clock
+
+    def test_gauge_rule_fires_once_and_resolves(self):
+        registry = MetricsRegistry()
+        depth = registry.gauge("clarens_depth", labels=("q",))
+        engine, events, clock = self.make_engine(
+            ["deep: gauge(clarens_depth) > 10 for 5s"], registry)
+
+        depth.set(50.0, q="a")
+        engine.evaluate()                    # breach starts: pending
+        assert events == []
+        clock["now"] += 4.0
+        engine.evaluate()                    # still pending
+        assert events == []
+        clock["now"] += 2.0
+        engine.evaluate()                    # 6s > 5s: fires
+        clock["now"] += 1.0
+        engine.evaluate()                    # still firing: no re-publish
+        assert [t for t, _ in events] == ["telemetry.alert.fired"]
+        assert events[0][1]["rule"] == "deep"
+        assert events[0][1]["server"] == "unit"
+        assert engine.firing()[0]["name"] == "deep"
+
+        depth.set(0.0, q="a")
+        engine.evaluate()
+        assert [t for t, _ in events] == ["telemetry.alert.fired",
+                                          "telemetry.alert.resolved"]
+        assert engine.firing() == []
+
+    def test_pending_breach_resets_when_condition_clears(self):
+        registry = MetricsRegistry()
+        depth = registry.gauge("clarens_depth")
+        engine, events, clock = self.make_engine(
+            ["deep: gauge(clarens_depth) > 10 for 5s"], registry)
+        depth.set(50.0)
+        engine.evaluate()
+        clock["now"] += 3.0
+        depth.set(0.0)
+        engine.evaluate()                    # breach cleared before 5s
+        clock["now"] += 3.0
+        depth.set(50.0)
+        engine.evaluate()                    # new breach, window restarts
+        clock["now"] += 4.0
+        engine.evaluate()
+        assert events == []                  # 4s < 5s: never fired
+
+    def test_counter_rate_first_sample_never_fires(self):
+        registry = MetricsRegistry()
+        hits = registry.counter("clarens_hits_total")
+        engine, events, clock = self.make_engine(
+            ["storm: counter_rate(clarens_hits_total) > 5"], registry)
+        hits.inc(1000.0)
+        engine.evaluate()                    # no window yet
+        assert events == []
+        clock["now"] += 10.0
+        hits.inc(1000.0)                     # 100/s over the window
+        engine.evaluate()
+        assert [t for t, _ in events] == ["telemetry.alert.fired"]
+        clock["now"] += 10.0                 # flat: rate 0, resolves
+        engine.evaluate()
+        assert events[-1][0] == "telemetry.alert.resolved"
+
+    def test_label_filter_sums_only_matching_series(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("clarens_req_total", labels=("status",))
+        counter.inc(100.0, status="ok")
+        counter.inc(3.0, status="fault")
+        rule = AlertRule.parse(
+            "faults: counter(clarens_req_total{status=fault}) > 2")
+        assert rule.value_from(registry.collect()) == 3.0
+        assert AlertRule.parse("all: counter(clarens_req_total) > 0"
+                               ).value_from(registry.collect()) == 103.0
+
+    def test_missing_metric_reads_zero(self):
+        rule = AlertRule.parse("ghost: gauge(clarens_nope) > 0")
+        assert rule.value_from({}) == 0.0
+        assert not rule.breached(0.0)
+
+
+# ---------------------------------------------------------------------------
+# Span-tree assembly and exposition merging
+# ---------------------------------------------------------------------------
+
+def span(span_id, parent_id="", started=0.0, **extra):
+    return dict({"trace_id": "t1", "span_id": span_id,
+                 "parent_id": parent_id, "started": started}, **extra)
+
+
+class TestAssembleTree:
+    def test_parent_child_forest_time_ordered(self):
+        records = [span("c2", "root", 3.0), span("root", "", 1.0),
+                   span("c1", "root", 2.0), span("g1", "c1", 2.5)]
+        roots = assemble_tree(records)
+        assert [r["span_id"] for r in roots] == ["root"]
+        children = roots[0]["children"]
+        assert [c["span_id"] for c in children] == ["c1", "c2"]
+        assert [g["span_id"] for g in children[0]["children"]] == ["g1"]
+        assert roots[0]["missing_parent"] is False
+
+    def test_orphan_is_flagged_not_rerooted(self):
+        roots = assemble_tree([span("a", "", 1.0),
+                               span("lost", "evicted", 2.0)])
+        by_id = {r["span_id"]: r for r in roots}
+        assert by_id["lost"]["missing_parent"] is True
+        assert by_id["a"]["missing_parent"] is False
+
+    def test_duplicates_from_overlapping_collections_drop(self):
+        roots = assemble_tree([span("a", "", 1.0), span("a", "", 1.0),
+                               span("b", "a", 2.0), span("b", "a", 2.0)])
+        assert len(roots) == 1
+        assert len(roots[0]["children"]) == 1
+
+
+class TestMergeExpositions:
+    A = ("# HELP clarens_up Server liveness.\n"
+         "# TYPE clarens_up gauge\n"
+         "clarens_up 1\n"
+         "# TYPE clarens_lat histogram\n"
+         'clarens_lat_bucket{le="1"} 3\n'
+         'clarens_lat_bucket{le="+Inf"} 4\n'
+         "clarens_lat_sum 2.5\n"
+         "clarens_lat_count 4\n")
+    B = ("# TYPE clarens_up gauge\n"
+         "clarens_up 0\n")
+
+    def test_server_label_added_and_families_merged(self):
+        merged = merge_expositions([("a", self.A), ("b", self.B)])
+        assert 'clarens_up{server="a"} 1' in merged
+        assert 'clarens_up{server="b"} 0' in merged
+        # One TYPE declaration per family, samples grouped under it.
+        assert merged.count("# TYPE clarens_up gauge") == 1
+        up_block = merged.split("# TYPE clarens_up gauge")[1]
+        assert up_block.splitlines()[1:3] == [
+            'clarens_up{server="a"} 1', 'clarens_up{server="b"} 0']
+
+    def test_histogram_suffixes_stay_with_their_family(self):
+        merged = merge_expositions([("a", self.A)])
+        lat = merged.split("# TYPE clarens_lat histogram")[1]
+        assert 'clarens_lat_bucket{server="a",le="1"} 3' in lat
+        assert 'clarens_lat_sum{server="a"} 2.5' in lat
+        assert 'clarens_lat_count{server="a"} 4' in lat
+
+    def test_existing_labels_keep_their_order_after_server(self):
+        text = '# TYPE clarens_x gauge\nclarens_x{k="v"} 7\n'
+        merged = merge_expositions([("s1", text)])
+        assert 'clarens_x{server="s1",k="v"} 7' in merged
+
+
+class TestFanout:
+    def test_partial_results_and_timeouts(self):
+        class Channel:
+            def __init__(self, behaviour):
+                self.behaviour = behaviour
+
+            def call(self, *a, **k):
+                if self.behaviour == "ok":
+                    return {"v": 1}
+                if self.behaviour == "boom":
+                    raise RuntimeError("dead peer")
+                time.sleep(5.0)
+
+        outcomes = fanout_peers(
+            {"good": Channel("ok"), "bad": Channel("boom"),
+             "slow": Channel("hang")},
+            lambda ch: ch.call(), timeout=0.3)
+        assert outcomes["good"] == (True, {"v": 1})
+        assert outcomes["bad"][0] is False
+        assert "RuntimeError" in outcomes["bad"][1]
+        assert outcomes["slow"][0] is False
+        assert "timed out" in outcomes["slow"][1]
+
+
+# ---------------------------------------------------------------------------
+# Health model on one server
+# ---------------------------------------------------------------------------
+
+class TestHealthModel:
+    def test_probes_and_healthz_ok(self, plane_ca):
+        server = build_site(plane_ca, "health-1", cache_enabled=True)
+        try:
+            health = server.telemetry.health
+            probes = {p["probe"]: p for p in health.probes()}
+            assert probes["transfer-queue"]["status"] == STATUS_OK
+            assert probes["caches"]["status"] == STATUS_OK
+            response = server.handle_request(
+                HTTPRequest(method="GET", path="/healthz"))
+            assert response.status == 200
+            body = json.loads(bytes(response.body))
+            assert body["server"] == "health-1"
+            assert body["status"] == STATUS_OK
+        finally:
+            server.close()
+
+    def test_threshold_grades_degraded_and_critical(self, plane_ca):
+        server = build_site(plane_ca, "health-2")
+        try:
+            health = server.telemetry.health
+            engine = server.services["replica"].engine
+            real_stats = engine.stats()
+
+            def fake_stats(queued):
+                return dict(real_stats, queued=queued, running=0)
+
+            engine.stats = lambda: fake_stats(100)
+            probes = {p["probe"]: p for p in health.probes()}
+            assert probes["transfer-queue"]["status"] == STATUS_DEGRADED
+            engine.stats = lambda: fake_stats(1000)
+            probes = {p["probe"]: p for p in health.probes()}
+            assert probes["transfer-queue"]["status"] == STATUS_CRITICAL
+            assert health.local_status()[0] == STATUS_CRITICAL
+            response = server.handle_request(
+                HTTPRequest(method="GET", path="/healthz"))
+            assert response.status == 503
+        finally:
+            server.close()
+
+    def test_forced_alert_flips_healthz_to_503(self, plane_ca):
+        # A rule that is always true fires on the first beat; its critical
+        # severity makes the node critical even though every probe is ok.
+        server = build_site(
+            plane_ca, "health-3",
+            telemetry_alert_rules=[
+                "forced: gauge(clarens_sessions_active) >= 0"])
+        try:
+            assert server.handle_request(
+                HTTPRequest(method="GET", path="/healthz")).status == 200
+            server.telemetry.beat()
+            response = server.handle_request(
+                HTTPRequest(method="GET", path="/healthz"))
+            assert response.status == 503
+            body = json.loads(bytes(response.body))
+            assert body["status"] == STATUS_CRITICAL
+            assert body["alerts_firing"] == 1
+        finally:
+            server.close()
+
+    def test_warning_alert_only_degrades(self, plane_ca):
+        server = build_site(
+            plane_ca, "health-4",
+            telemetry_alert_rules=["soft: gauge(clarens_sessions_active) "
+                                   ">= 0 severity=warning"])
+        try:
+            server.telemetry.beat()
+            response = server.handle_request(
+                HTTPRequest(method="GET", path="/healthz"))
+            assert response.status == 200
+            assert json.loads(bytes(response.body))["status"] == \
+                STATUS_DEGRADED
+        finally:
+            server.close()
+
+    def test_system_health_requires_identity(self, plane_ca,
+                                             admin_credential,
+                                             user_credential):
+        server = build_site(plane_ca, "health-5")
+        try:
+            anonymous = ClarensClient.for_loopback(server.loopback())
+            with pytest.raises(Fault):
+                anonymous.call("system.health")
+            anonymous.close()
+            user = login(server, user_credential)
+            payload = user.call("system.health")
+            assert payload["server"] == "health-5"
+            assert payload["status"] == STATUS_OK
+            assert payload["alerts"] == {"local": [], "fleet": []}
+            user.close()
+        finally:
+            server.close()
+
+
+# ---------------------------------------------------------------------------
+# The socket mesh (two telemetry-enabled servers, real fabric channels)
+# ---------------------------------------------------------------------------
+
+def reserve_port() -> int:
+    with socket.socket() as probe:
+        probe.bind(("127.0.0.1", 0))
+        return probe.getsockname()[1]
+
+
+@pytest.fixture()
+def plane_mesh(plane_ca):
+    """Two telemetry-enabled socket servers peered both ways.
+
+    Site A additionally carries an alert rule that holds whenever a session
+    is live there (used by the fabric-wide firing test; critical severity,
+    so a firing takes A's ``/healthz`` to 503).  Yields
+    ``(site_a, site_b, ports)``.
+    """
+
+    ports = {"obs-a": reserve_port(), "obs-b": reserve_port()}
+    hosts = {site: plane_ca.issue_host(f"{site}.clarens.test")
+             for site in ports}
+    dns = {site: str(hosts[site].certificate.subject) for site in ports}
+    servers, socks = {}, {}
+    rules = {"obs-a": ["forced: gauge(clarens_sessions_active) "
+                       ">= 1 severity=critical"],
+             "obs-b": []}
+    try:
+        for site, other in (("obs-a", "obs-b"), ("obs-b", "obs-a")):
+            config = ServerConfig(
+                server_name=site, admins=[OPS_DN], host_dn=dns[site],
+                telemetry_enabled=True, cache_enabled=True,
+                telemetry_alert_rules=rules[site],
+                fabric_peers=[f"{other}=http://127.0.0.1:"
+                              f"{ports[other]}/|{dns[other]}"])
+            servers[site] = ClarensServer(config, credential=hosts[site],
+                                          trust_store=plane_ca.trust_store())
+            socks[site] = servers[site].socket_server(port=ports[site])
+            socks[site].__enter__()
+        yield servers["obs-a"], servers["obs-b"], ports
+    finally:
+        for sock in socks.values():
+            sock.__exit__(None, None, None)
+        for server in servers.values():
+            server.close()
+
+
+DATA = b"observability payload bytes " * 512
+
+
+def seed_remote_lfn(site_a, site_b, admin_b, lfn):
+    """Write ``lfn`` on B and register it in A's catalogue on the peer SE."""
+
+    admin_b.call("file.write", lfn, DATA, False)
+    admin_b.call("replica.register", lfn, "local", lfn)
+    checksum = site_b.services["replica"].catalogue.entry(lfn)["checksum"]
+    site_a.services["replica"].catalogue.register(
+        lfn, "obs-b", lfn, size=len(DATA), checksum=checksum)
+    return checksum
+
+
+def http_get(port, path):
+    import http.client
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=10)
+    try:
+        conn.request("GET", path)
+        response = conn.getresponse()
+        return response.status, response.read()
+    finally:
+        conn.close()
+
+
+class TestTraceTreeAssembly:
+    def test_quarantine_heal_is_one_tree_from_either_server(
+            self, plane_mesh, admin_credential):
+        """The issue's acceptance criterion: verify → quarantine → heal →
+        peer pull spanning two socket servers, retrievable as ONE assembled
+        span tree via ``system.trace_tree`` from either server."""
+
+        site_a, site_b, _ = plane_mesh
+        admin_a = login(site_a, admin_credential)
+        admin_b = login(site_b, admin_credential)
+        lfn = "/lfn/obs/gov/heal.dat"
+        seed_remote_lfn(site_a, site_b, admin_b, lfn)
+        admin_a.call("file.write", lfn, DATA, False)
+        admin_a.call("replica.register", lfn, "local", lfn)
+        admin_a.call("replica.set_policy", "/lfn/obs/gov", 2)
+
+        admin_a.call("file.write", lfn, b"bit rot", False)
+        entry = admin_a.call("replica.verify", lfn, "local")
+        assert entry["replicas"]["local"]["state"] == "quarantined"
+        deadline = time.monotonic() + 15.0
+        while time.monotonic() < deadline:
+            states = {se: r["state"] for se, r in
+                      admin_a.call("replica.stat", lfn)["replicas"].items()}
+            if sum(1 for s in states.values() if s == "active") >= 2:
+                break
+            time.sleep(0.02)
+        else:
+            raise AssertionError(f"heal never restored 2 copies: {states}")
+
+        spans_a = admin_a.call("system.trace")["spans"]
+        verify = [s for s in spans_a if s["method"] == "replica.verify"][-1]
+        trace_id = verify["trace_id"]
+
+        for admin, querying in ((admin_a, "obs-a"), (admin_b, "obs-b")):
+            tree = admin.fetch_trace(trace_id)
+            assert tree["trace_id"] == trace_id
+            assert tree["partial"] is False, tree["unreachable"]
+            assert sorted(tree["servers"]) == ["obs-a", "obs-b"]
+            spans = tree["spans"]
+            assert {s["server"] for s in spans} == {"obs-a", "obs-b"}
+            assert all(s["trace_id"] == trace_id for s in spans)
+            assert tree["span_count"] == len(spans)
+            # The verify RPC roots the tree; the cross-server reads (the
+            # heal worker's stat/ranged GETs on B) appear as descendants
+            # or as flagged partial orphans — never silently re-rooted.
+            roots = tree["tree"]
+            assert any(r["method"] == "replica.verify" for r in roots)
+
+            def walk(nodes):
+                for node in nodes:
+                    yield node
+                    yield from walk(node["children"])
+
+            walked = list(walk(roots))
+            assert len(walked) == len(spans)
+            remote = [n for n in walked if n["server"] == "obs-b"]
+            assert remote, f"no obs-b spans in the tree from {querying}"
+            for orphan in (n for n in walked if n.get("missing_parent")):
+                assert orphan["parent_id"], "rooted span flagged as orphan"
+        admin_a.close()
+        admin_b.close()
+
+    def test_dead_peer_makes_tree_partial_not_error(self, plane_mesh,
+                                                    admin_credential):
+        site_a, _, _ = plane_mesh
+        site_a.fabric.add_peer("ghost", url="http://127.0.0.1:1/",
+                               attach_storage=False)
+        admin_a = login(site_a, admin_credential)
+        admin_a.call("system.ping")
+        spans = admin_a.call("system.trace")["spans"]
+        trace_id = spans[-1]["trace_id"]
+
+        tree = admin_a.fetch_trace(trace_id)
+        assert tree["partial"] is True
+        assert "ghost" in tree["unreachable"]
+        assert "obs-b" not in tree["unreachable"]
+        assert tree["spans"], "local spans lost because a peer was dead"
+        admin_a.close()
+
+    def test_trace_tree_is_admin_only_but_trace_accepts_peers(
+            self, plane_mesh, admin_credential, user_credential):
+        site_a, site_b, _ = plane_mesh
+        user_a = login(site_a, user_credential)
+        with pytest.raises(Fault):
+            user_a.call("system.trace_tree", "0" * 16)
+        with pytest.raises(Fault):
+            user_a.call("system.trace")
+        user_a.close()
+        # B's channel to A authenticates with B's host credential, which is
+        # in A's trusted peer DNs: the fan-out call is accepted.
+        result = site_b.fabric.channels["obs-a"].call("system.trace",
+                                                      retry=False)
+        assert result["server"] == "obs-a"
+
+
+class TestMetricsFederation:
+    def test_scrape_carries_all_servers_and_degrades_partial(
+            self, plane_mesh, admin_credential):
+        site_a, site_b, ports = plane_mesh
+        admin_a = login(site_a, admin_credential)
+        admin_b = login(site_b, admin_credential)
+        admin_a.call("system.ping")
+        admin_b.call("system.ping")
+
+        status, body = http_get(ports["obs-a"], "/metrics/federation")
+        assert status == 200
+        text = body.decode()
+        assert "# federation: servers=2 unreachable=0" in text
+        for site in ("obs-a", "obs-b"):
+            assert f'clarens_requests_total{{server="{site}"' in text
+        # One TYPE line per family even though two servers declared it.
+        assert text.count("# TYPE clarens_requests_total counter") == 1
+
+        # A dead peer degrades the scrape to partial; it must not fail.
+        site_a.fabric.add_peer("ghost", url="http://127.0.0.1:1/",
+                               attach_storage=False)
+        body2, meta = site_a.telemetry.federation.render(force=True)
+        assert meta["partial"] is True
+        assert "ghost" in meta["unreachable"]
+        assert "obs-b" not in meta["unreachable"]
+        assert 'clarens_requests_total{server="obs-a"' in body2
+        assert 'clarens_requests_total{server="obs-b"' in body2
+        assert "# federation: peer ghost unreachable:" in body2
+        admin_a.close()
+        admin_b.close()
+
+    def test_cache_prevents_fanout_stampede(self, plane_mesh,
+                                            admin_credential):
+        site_a, _, ports = plane_mesh
+        federation = site_a.telemetry.federation
+        first, _ = federation.render(force=True)
+        calls_before = site_a.fabric.channels["obs-b"].stats()["calls"]
+        bodies = []
+        threads = [threading.Thread(
+            target=lambda: bodies.append(federation.render()[0]))
+            for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert all(b == first for b in bodies)
+        assert site_a.fabric.channels["obs-b"].stats()["calls"] == \
+            calls_before
+
+    def test_fabric_metrics_rpc_is_peer_fenced(self, plane_mesh,
+                                               user_credential):
+        site_a, site_b, _ = plane_mesh
+        user_a = login(site_a, user_credential)
+        with pytest.raises(Fault):
+            user_a.call("fabric.metrics")
+        user_a.close()
+        result = site_b.fabric.channels["obs-a"].call("fabric.metrics",
+                                                      retry=False)
+        assert result["server"] == "obs-a"
+        assert "clarens_requests_total" in result["exposition"]
+
+
+class TestFleetAlerting:
+    def test_alert_fires_exactly_once_fabric_wide_and_flips_healthz(
+            self, plane_mesh, admin_credential):
+        site_a, site_b, ports = plane_mesh
+        fired_on_b = []
+        site_b.message_bus.subscribe(
+            "telemetry.alert.fired",
+            lambda m: fired_on_b.append(dict(m.payload)))
+
+        # No session yet: the rule (sessions >= 1) holds nowhere.
+        assert http_get(ports["obs-a"], "/healthz")[0] == 200
+        admin_a = login(site_a, admin_credential)
+
+        # Several beats, several gossip flushes: the transition publishes
+        # once at the origin, crosses the fabric once, and is not re-fired
+        # by subsequent beats.
+        for _ in range(3):
+            site_a.telemetry.beat()
+            site_a.fabric.gossip.flush()
+        deadline = time.monotonic() + 5.0
+        while time.monotonic() < deadline and not fired_on_b:
+            time.sleep(0.02)
+        assert len(fired_on_b) == 1, fired_on_b
+        assert fired_on_b[0]["rule"] == "forced"
+        assert fired_on_b[0]["server"] == "obs-a"
+
+        # B's health model recorded the foreign firing; B's own health is
+        # untouched (the rule lives on A), so B keeps serving 200.
+        payload = site_b.telemetry.health.evaluate()
+        fleet_rules = [(a["server"], a["rule"])
+                       for a in payload["alerts"]["fleet"]]
+        assert fleet_rules == [("obs-a", "forced")]
+        assert payload["alerts"]["local"] == []
+        assert http_get(ports["obs-b"], "/healthz")[0] == 200
+
+        # The critical firing takes A's /healthz to 503.
+        status, body = http_get(ports["obs-a"], "/healthz")
+        assert status == 503
+        assert json.loads(body)["status"] == STATUS_CRITICAL
+
+        # Gossiped health summaries give A's status to B's fleet view.
+        site_a.telemetry.beat()
+        site_a.fabric.gossip.flush()
+        deadline = time.monotonic() + 5.0
+        while time.monotonic() < deadline:
+            fleet = site_b.telemetry.health.evaluate()["fleet"]
+            if any(name.split("#", 1)[0] == "obs-a" for name in fleet):
+                break
+            time.sleep(0.02)
+        summary = next(v for k, v in fleet.items()
+                       if k.split("#", 1)[0] == "obs-a")
+        assert summary["status"] == STATUS_CRITICAL
+        assert summary["alerts_firing"] == 1
+        assert summary["stale"] is False
+
+        # Recovery: once the session closes, /healthz on A returns to 200.
+
+        # Logout clears the condition: the next beat resolves it fleet-wide.
+        admin_a.logout()
+        site_a.telemetry.beat()
+        site_a.fabric.gossip.flush()
+        deadline = time.monotonic() + 5.0
+        while time.monotonic() < deadline:
+            if not site_b.telemetry.health.evaluate()["alerts"]["fleet"]:
+                break
+            time.sleep(0.02)
+        assert site_b.telemetry.health.evaluate()["alerts"]["fleet"] == []
+        assert http_get(ports["obs-a"], "/healthz")[0] == 200
+        admin_a.close()
+
+
+class TestConcurrentScrapes:
+    def test_metrics_scrapes_stay_whole_under_hot_dispatch(self, plane_ca,
+                                                           user_credential):
+        """Concurrent ``/metrics`` scrapes during a dispatch storm must
+        never tear: every line parses, every family declares its TYPE
+        before its samples, and the family set is stable between scrapes."""
+
+        server = build_site(plane_ca, "hot-1", cache_enabled=True)
+        try:
+            client = login(server, user_credential)
+            client.call("system.ping")   # prime every hot-path family
+            stop = threading.Event()
+            errors = []
+
+            def hammer():
+                c = login(server, user_credential)
+                while not stop.is_set():
+                    try:
+                        c.call("system.echo", "x")
+                    except Exception as exc:  # pragma: no cover
+                        errors.append(exc)
+                        return
+                c.close()
+
+            workers = [threading.Thread(target=hammer) for _ in range(4)]
+            for w in workers:
+                w.start()
+            try:
+                expositions = []
+                for _ in range(20):
+                    response = server.handle_request(
+                        HTTPRequest(method="GET", path="/metrics"))
+                    assert response.status == 200
+                    expositions.append(bytes(response.body).decode())
+            finally:
+                stop.set()
+                for w in workers:
+                    w.join()
+            assert not errors
+
+            import re
+            sample_re = re.compile(
+                r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? "
+                r"(?:[0-9.e+-]+|\+Inf|NaN)$")
+            family_sets = []
+            for text in expositions:
+                declared = set()
+                for line in text.splitlines():
+                    if line.startswith("# TYPE "):
+                        declared.add(line.split(" ")[2])
+                        continue
+                    if not line or line.startswith("#"):
+                        continue
+                    assert sample_re.match(line), f"torn line: {line!r}"
+                    name = line.split("{", 1)[0].split(" ", 1)[0]
+                    assert any(name == d or name.startswith(d + "_")
+                               for d in declared), \
+                        f"sample {name} before its TYPE declaration"
+                family_sets.append(frozenset(declared))
+            assert len(set(family_sets)) == 1, "series set was not stable"
+            client.close()
+        finally:
+            server.close()
+
+
+class TestSlowRequestEvents:
+    def test_slow_request_event_carries_trace_id(self, plane_ca,
+                                                 user_credential):
+        server = build_site(plane_ca, "slow-1", telemetry_slow_ms=0.0001)
+        try:
+            events = []
+            server.message_bus.subscribe(
+                "telemetry.slow_request",
+                lambda m: events.append(dict(m.payload)))
+            client = login(server, user_credential)
+            client.call("system.ping")
+            assert events, "a ~0ms budget must flag every request slow"
+            event = events[-1]
+            assert event["method"] == "system.ping"
+            assert event["trace_id"]
+            spans = server.telemetry.recorder.by_trace(event["trace_id"])
+            assert any(s.span_id == event["span_id"] for s in spans)
+            # The slow-log entry itself carries the same trace id.
+            entries = server.telemetry.slow_log.entries()
+            assert any(e["trace_id"] == event["trace_id"] for e in entries)
+            client.close()
+        finally:
+            server.close()
+
+
+# ---------------------------------------------------------------------------
+# The monitoring glue rides the registry path now
+# ---------------------------------------------------------------------------
+
+class TestRegistryGlue:
+    def test_cache_reporter_registers_scrape_collectors(self):
+        from repro.cache.core import CacheRegistry
+        from repro.monitoring.cachemetrics import CacheStatsReporter
+
+        caches = CacheRegistry()
+        cache = caches.create("unit.cache", maxsize=8, ttl=None)
+        cache.put("k", "v")
+        cache.get("k")
+        cache.get("missing")
+        registry = MetricsRegistry()
+        reporter = CacheStatsReporter(caches)
+        assert reporter.publish_to_registry(registry) is True
+        # Idempotent: a second wiring (or a server that attached first) is
+        # a no-op, not a crash.
+        assert reporter.publish_to_registry(registry) is False
+        text = registry.render()
+        assert ('clarens_cache_operations_total'
+                '{cache="unit.cache",kind="hits"} 1') in text
+        assert 'clarens_cache_size{cache="unit.cache"} 1' in text
+        cache.get("k")   # scrape-time sampling: no re-publish needed
+        assert ('clarens_cache_operations_total'
+                '{cache="unit.cache",kind="hits"} 2') in registry.render()
+
+    def test_monalisa_exports_to_registry(self):
+        from repro.monitoring.monalisa import MonALISARepository
+
+        bus = MessageBus()
+        repo = MonALISARepository(bus)
+        bus.publish("monalisa.cms.metric",
+                    {"site": "cern", "farm": "f1", "node": "n1",
+                     "key": "cpu", "value": 0.5}, source="station")
+        registry = MetricsRegistry()
+        assert repo.export_to_registry(registry) is True
+        assert repo.export_to_registry(registry) is False
+        text = registry.render()
+        assert 'clarens_monalisa_entities{kind="sites"} 1' in text
+        assert "clarens_monalisa_metric_updates_total 1" in text
+        repo.close()
