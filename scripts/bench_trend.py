@@ -114,13 +114,14 @@ def measure() -> dict:
     }
 
 
-def append_trend(entry: dict) -> list[dict]:
+def append_trend(entry: dict, *, path: Path | None = None) -> list[dict]:
+    trend_file = Path(path) if path is not None else TREND_FILE
     runs: list[dict] = []
-    if TREND_FILE.exists():
+    if trend_file.exists():
         try:
-            existing = json.loads(TREND_FILE.read_text())
+            existing = json.loads(trend_file.read_text())
         except (ValueError, OSError):
-            print(f"warning: {TREND_FILE.name} was unreadable; starting fresh")
+            print(f"warning: {trend_file.name} was unreadable; starting fresh")
         else:
             # Tolerate a hand-edited or partial file: "runs" may be missing,
             # null, or not a list — any of those starts the history fresh
@@ -129,10 +130,10 @@ def append_trend(entry: dict) -> list[dict]:
             if isinstance(found, list):
                 runs = found
             else:
-                print(f"warning: {TREND_FILE.name} had no usable runs list; "
+                print(f"warning: {trend_file.name} had no usable runs list; "
                       "starting fresh")
     runs.append(entry)
-    TREND_FILE.write_text(json.dumps({
+    trend_file.write_text(json.dumps({
         "description": "Pipeline benchmark trend; one entry per "
                        "scripts/bench_trend.py run.",
         "runs": runs,

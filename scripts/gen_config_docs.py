@@ -20,6 +20,7 @@ from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 CONFIG_SOURCE = REPO_ROOT / "src" / "repro" / "core" / "config.py"
+CHAOS_SOURCE = REPO_ROOT / "src" / "repro" / "chaos" / "config.py"
 OUTPUT = REPO_ROOT / "docs" / "config.md"
 
 HEADER = """\
@@ -31,6 +32,18 @@ Every knob accepted by `repro.core.config.ServerConfig` (and therefore by
 > **Generated file — do not edit.**  Regenerate with
 > `python scripts/gen_config_docs.py`; the tier-1 test
 > `tests/test_docs.py` fails when this table drifts from the dataclass.
+
+| Knob | Type | Default | Effect |
+|------|------|---------|--------|
+"""
+
+CHAOS_HEADER = """\
+
+## Soak & chaos harness (`repro.chaos.config.SoakConfig`)
+
+Knobs for the `repro.chaos` soak-and-chaos harness, settable as
+`SoakConfig(...)` overrides or through the `scripts/run_soak.py` CLI
+flags.  See `docs/operations.md` for running soaks and reading reports.
 
 | Knob | Type | Default | Effect |
 |------|------|---------|--------|
@@ -53,18 +66,19 @@ def _render_default(node: ast.expr) -> str:
     return ast.unparse(node)
 
 
-def extract_fields(source: str | None = None) -> list[dict[str, str]]:
-    """(name, type, default, doc) for every ``ServerConfig`` field, in order."""
+def extract_fields(source: str | None = None,
+                   class_name: str = "ServerConfig") -> list[dict[str, str]]:
+    """(name, type, default, doc) for every ``class_name`` field, in order."""
 
     source = source if source is not None else CONFIG_SOURCE.read_text()
     lines = source.splitlines()
     tree = ast.parse(source)
     for node in tree.body:
-        if isinstance(node, ast.ClassDef) and node.name == "ServerConfig":
+        if isinstance(node, ast.ClassDef) and node.name == class_name:
             class_def = node
             break
     else:
-        raise RuntimeError("ServerConfig class not found in config source")
+        raise RuntimeError(f"{class_name} class not found in config source")
 
     fields: list[dict[str, str]] = []
     for statement in class_def.body:
@@ -88,24 +102,33 @@ def extract_fields(source: str | None = None) -> list[dict[str, str]]:
     return fields
 
 
-def render() -> str:
-    """The full markdown document for ``docs/config.md``."""
-
+def _table_rows(fields: list[dict[str, str]]) -> str:
     rows = []
-    for entry in extract_fields():
+    for entry in fields:
         # GFM splits cells on every unescaped pipe, code spans included.
         type_ = entry["type"].replace("|", "\\|")
         default = entry["default"].replace("|", "\\|")
         doc = entry["doc"].replace("|", "\\|")
         rows.append(f"| `{entry['name']}` | `{type_}` "
                     f"| `{default}` | {doc} |")
-    return HEADER + "\n".join(rows) + "\n"
+    return "\n".join(rows) + "\n"
+
+
+def render() -> str:
+    """The full markdown document for ``docs/config.md``."""
+
+    server = _table_rows(extract_fields())
+    chaos = _table_rows(extract_fields(CHAOS_SOURCE.read_text(),
+                                       "SoakConfig"))
+    return HEADER + server + CHAOS_HEADER + chaos
 
 
 def main() -> None:
     OUTPUT.parent.mkdir(parents=True, exist_ok=True)
     OUTPUT.write_text(render())
-    print(f"wrote {OUTPUT} ({len(extract_fields())} knobs)")
+    knobs = (len(extract_fields())
+             + len(extract_fields(CHAOS_SOURCE.read_text(), "SoakConfig")))
+    print(f"wrote {OUTPUT} ({knobs} knobs)")
 
 
 if __name__ == "__main__":

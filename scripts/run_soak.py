@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Run the soak-and-chaos harness against a local socket federation.
+
+Usage, from the repository root::
+
+    python scripts/run_soak.py --smoke           # 3 servers, seconds-scale
+    python scripts/run_soak.py --servers 5 --duration 60
+    python scripts/run_soak.py --check --smoke   # release gate: non-zero
+                                                 # exit on any violation
+    REPRO_TEST_SEED=12345 python scripts/run_soak.py --smoke   # replay
+
+The run appends a structured report (ops/s, fault counts, invariant
+verdicts, convergence latency) to ``BENCH_pipeline.json``; a failing run
+prints the seed and the exact ``REPRO_TEST_SEED=<seed>`` replay line.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.chaos import (  # noqa: E402 - path set up above
+    SMOKE_OVERRIDES, SoakConfig, SoakHarness, render_report)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--servers", type=int, default=None,
+                        help="federation size (default 3)")
+    parser.add_argument("--duration", type=float, default=None,
+                        help="seconds of sustained workload (default 6)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="run seed (0 = draw one; REPRO_TEST_SEED wins "
+                             "over a draw)")
+    parser.add_argument("--threads", type=int, default=None,
+                        help="workload driver threads (default 3)")
+    parser.add_argument("--mix", default=None,
+                        help="workload mix, e.g. 'read=5,write=3'")
+    parser.add_argument("--faults", default=None,
+                        help="fault kinds to enable, e.g. 'kill,link_drop'")
+    parser.add_argument("--report", default=None,
+                        help="trend file to append the report to")
+    parser.add_argument("--smoke", action="store_true",
+                        help="seconds-scale 3-server run (the tier-1 shape)")
+    parser.add_argument("--check", action="store_true",
+                        help="release gate: exit non-zero on any invariant "
+                             "violation")
+    args = parser.parse_args()
+
+    knobs: dict = {}
+    if args.smoke:
+        knobs.update(SMOKE_OVERRIDES)
+    if args.servers is not None:
+        knobs["chaos_servers"] = args.servers
+    if args.duration is not None:
+        knobs["chaos_duration"] = args.duration
+    if args.threads is not None:
+        knobs["chaos_workload_threads"] = args.threads
+    if args.mix is not None:
+        knobs["chaos_workload_mix"] = args.mix
+    if args.faults is not None:
+        knobs["chaos_fault_kinds"] = args.faults
+    if args.report is not None:
+        knobs["chaos_report_path"] = args.report
+    knobs["chaos_seed"] = args.seed
+
+    config = SoakConfig(**knobs)
+    harness = SoakHarness(config)
+    print(f"soak: {config.chaos_servers} servers for "
+          f"{config.chaos_duration}s, seed {harness.seed}", flush=True)
+    entry, ok = harness.run()
+    print(render_report(entry))
+    if not ok:
+        for line in entry["soak"].get("diagnostics", []):
+            print(f"  diag: {line}", file=sys.stderr)
+        print(f"\nSOAK FAILED — replay this exact run with:\n"
+              f"  REPRO_TEST_SEED={harness.seed} "
+              f"python scripts/run_soak.py"
+              + (" --smoke" if args.smoke else ""), file=sys.stderr)
+    if args.check:
+        return 0 if ok else 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

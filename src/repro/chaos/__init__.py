@@ -1,0 +1,23 @@
+"""Deterministic soak-and-chaos harness for the Clarens federation.
+
+``repro.chaos`` boots a real N-server socket federation, drives sustained
+mixed traffic, lands scheduled faults through the :mod:`repro.core.faults`
+seams, and grades invariants continuously plus at quiescence — all from one
+seed, so any failure replays with ``REPRO_TEST_SEED=<seed>``.  The CLI
+entry point is ``scripts/run_soak.py``; the tier-1 smoke lives in
+``tests/test_chaos_soak.py``.
+"""
+
+from repro.chaos.config import SMOKE_OVERRIDES, SoakConfig
+from repro.chaos.harness import SoakHarness, SoakServer
+from repro.chaos.injector import FaultEvent, FaultInjector, build_schedule
+from repro.chaos.report import append_report, build_report, render_report
+from repro.chaos.watchdog import Watchdog
+from repro.chaos.workload import WorkloadDriver, WorkloadStats
+
+__all__ = [
+    "SMOKE_OVERRIDES", "SoakConfig", "SoakHarness", "SoakServer",
+    "FaultEvent", "FaultInjector", "build_schedule",
+    "append_report", "build_report", "render_report",
+    "Watchdog", "WorkloadDriver", "WorkloadStats",
+]

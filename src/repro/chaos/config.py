@@ -1,0 +1,141 @@
+"""Soak-run configuration: fleet shape, workload mix, fault schedule knobs.
+
+:class:`SoakConfig` mirrors the :class:`~repro.core.config.ServerConfig`
+idiom — a flat dataclass of ``chaos_*`` knobs with ``#:`` doc comments, so
+``scripts/gen_config_docs.py`` renders the same reference table for it and
+``tests/test_docs.py`` keeps ``docs/config.md`` honest.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+from dataclasses import dataclass
+
+from repro.core.config import ConfigError
+
+__all__ = ["SoakConfig", "SMOKE_OVERRIDES"]
+
+#: Overrides applied by ``scripts/run_soak.py --smoke`` and the tier-1 test:
+#: the same harness, shrunk to a seconds-scale three-server run.
+SMOKE_OVERRIDES = {
+    "chaos_duration": 6.0,
+    "chaos_servers": 3,
+    "chaos_workload_threads": 3,
+    "chaos_lfns_per_server": 3,
+    "chaos_payload_bytes": 2048,
+}
+
+
+@dataclass
+class SoakConfig:
+    """Configuration for one soak-and-chaos run."""
+
+    #: Number of federated servers to boot (full mesh over real sockets).
+    chaos_servers: int = 3
+    #: Seconds of sustained workload before quiet-down and convergence
+    #: checks begin.
+    chaos_duration: float = 6.0
+    #: Seed for every random choice the run makes (workload interleaving,
+    #: fault placement).  0 draws a fresh seed; the chosen value is printed
+    #: and accepted back via ``REPRO_TEST_SEED`` for replay.
+    chaos_seed: int = 0
+    #: Concurrent workload driver threads per run (each owns a client
+    #: session per server).
+    chaos_workload_threads: int = 3
+    #: Relative workload mix as ``kind=weight`` pairs; kinds are
+    #: ``session`` (login/ping/logout), ``multicall`` (batched echoes),
+    #: ``read`` (verified LFN download), ``write`` (fresh LFN upload) and
+    #: ``replicate`` (cross-server transfer churn).
+    chaos_workload_mix: str = "session=2,multicall=2,read=5,write=3,replicate=1"
+    #: Fault kinds the injector may schedule, comma-separated; subset of
+    #: ``kill,link_drop,corrupt,journal_truncate,clock_skew``.
+    chaos_fault_kinds: str = "kill,link_drop,corrupt,journal_truncate,clock_skew"
+    #: Seconds a killed server stays down before the injector restarts it.
+    chaos_kill_hold: float = 1.0
+    #: Seconds the final convergence check may wait for the fleet to settle
+    #: (journals drained, catalogues converged) before declaring failure.
+    chaos_quiesce_timeout: float = 20.0
+    #: Protected LFNs per server: seeded with exactly local + one peer copy
+    #: and a two-copy policy, so corruption forces a visible heal.
+    chaos_protected_lfns: int = 1
+    #: Pool LFNs seeded per server for the read workload.
+    chaos_lfns_per_server: int = 3
+    #: Payload size in bytes for seeded and workload-written LFNs.
+    chaos_payload_bytes: int = 2048
+    #: Per-identity admission rate for the soak servers (requests/second);
+    #: kept finite so shed-fairness is actually exercised.
+    chaos_rate_limit: float = 200.0
+    #: Admission burst allowance for the soak servers.
+    chaos_rate_burst: int = 400
+    #: Trend file the soak report is appended to, relative to the repo root
+    #: unless absolute.
+    chaos_report_path: str = "BENCH_pipeline.json"
+
+    def __post_init__(self) -> None:
+        if self.chaos_servers < 2:
+            raise ConfigError("chaos_servers must be >= 2 (need peers)")
+        if self.chaos_duration <= 0:
+            raise ConfigError("chaos_duration must be positive")
+        if self.chaos_workload_threads < 1:
+            raise ConfigError("chaos_workload_threads must be >= 1")
+        if self.chaos_quiesce_timeout <= 0:
+            raise ConfigError("chaos_quiesce_timeout must be positive")
+        if self.chaos_payload_bytes < 16:
+            raise ConfigError("chaos_payload_bytes must be >= 16")
+        if self.chaos_lfns_per_server < 1 or self.chaos_protected_lfns < 1:
+            raise ConfigError("need at least one pool and one protected LFN "
+                              "per server")
+        if self.chaos_rate_limit < 0 or self.chaos_rate_burst < 0:
+            raise ConfigError("rate limit knobs cannot be negative")
+        self.mix()                            # validate eagerly
+        self.fault_kinds()
+
+    # -- parsed views --------------------------------------------------------
+    def mix(self) -> dict[str, int]:
+        """The workload mix as ``{kind: weight}`` with zero weights dropped."""
+
+        known = {"session", "multicall", "read", "write", "replicate"}
+        parsed: dict[str, int] = {}
+        for part in self.chaos_workload_mix.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            kind, _, weight = part.partition("=")
+            kind = kind.strip()
+            if kind not in known:
+                raise ConfigError(f"unknown workload kind: {kind!r}")
+            try:
+                value = int(weight.strip() or "1")
+            except ValueError as exc:
+                raise ConfigError(f"bad weight for {kind!r}: {weight!r}") from exc
+            if value < 0:
+                raise ConfigError(f"negative weight for {kind!r}")
+            if value:
+                parsed[kind] = value
+        if not parsed:
+            raise ConfigError("chaos_workload_mix selects no work")
+        return parsed
+
+    def fault_kinds(self) -> list[str]:
+        """The enabled fault kinds, validated, in declaration order."""
+
+        known = ["kill", "link_drop", "corrupt", "journal_truncate",
+                 "clock_skew"]
+        wanted = [part.strip() for part in self.chaos_fault_kinds.split(",")
+                  if part.strip()]
+        for kind in wanted:
+            if kind not in known:
+                raise ConfigError(f"unknown fault kind: {kind!r}")
+        return [kind for kind in known if kind in wanted]
+
+    def resolve_seed(self) -> int:
+        """The effective seed: explicit knob, then ``REPRO_TEST_SEED``, then
+        a freshly drawn value."""
+
+        if self.chaos_seed:
+            return int(self.chaos_seed)
+        env = os.environ.get("REPRO_TEST_SEED", "").strip()
+        if env:
+            return int(env)
+        return random.SystemRandom().randrange(1, 2**31)

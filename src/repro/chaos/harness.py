@@ -1,0 +1,329 @@
+"""Boot an N-server federation and soak it: workload + faults + watchdog.
+
+The harness owns the full run lifecycle: a private CA and credential cast,
+one :class:`SoakServer` per federation member (stable port, on-disk state so
+kill/restart exercises journal replay), seeded pool and protected LFNs,
+then the three concurrent actors — :class:`~repro.chaos.workload
+.WorkloadDriver`, :class:`~repro.chaos.injector.FaultInjector`,
+:class:`~repro.chaos.watchdog.Watchdog` — for ``chaos_duration`` seconds,
+a quiesce-and-grade pass, and a structured report appended to the trend
+file.  Everything random descends from one seed; a failed run is replayed
+with ``REPRO_TEST_SEED=<seed>``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import shutil
+import socket
+import tempfile
+import time
+from pathlib import Path
+from typing import Any
+
+from repro.chaos.config import SoakConfig
+from repro.chaos.injector import FaultInjector
+from repro.chaos.report import append_report, build_report
+from repro.chaos.watchdog import Watchdog
+from repro.chaos.workload import WorkloadDriver
+from repro.core.config import ServerConfig
+from repro.core.faults import FAULTS
+from repro.core.server import ClarensServer
+from repro.pki.authority import CertificateAuthority
+
+__all__ = ["SoakServer", "SoakHarness", "reserve_port"]
+
+ADMIN_DN = "/O=soak.clarens.test/OU=People/CN=Soak Admin"
+
+
+def reserve_port() -> int:
+    with socket.socket() as probe:
+        probe.bind(("127.0.0.1", 0))
+        return probe.getsockname()[1]
+
+
+class SoakServer:
+    """One federation member: stable identity, port and on-disk state.
+
+    ``kill()`` tears the live instance down; ``restart()`` boots a fresh one
+    against the same database and file root on the same port, replaying the
+    transfer journal and re-applying copy-count policies (which live in
+    memory by design).  ``generation`` increments per boot so clients know
+    their sessions died with the old instance.
+    """
+
+    def __init__(self, name: str, port: int, *, credential, trust_store,
+                 base_dir: Path, peer_specs: list[str],
+                 overrides: dict[str, Any]) -> None:
+        self.name = name
+        self.port = port
+        self.credential = credential
+        self.trust_store = trust_store
+        self.dn = str(credential.certificate.subject)
+        self.data_dir = base_dir / name / "db"
+        self.file_root = base_dir / name / "files"
+        self.peer_specs = peer_specs          # filled in before first boot
+        self.overrides = overrides
+        self.local_se = overrides.get("replica_local_se", "local")
+        self.server: ClarensServer | None = None
+        self._sock = None
+        self.alive = False
+        self.generation = 0
+        #: (prefix, copies) pairs re-applied on every boot.
+        self.policies: list[tuple[str, int]] = []
+        self.protected_lfns: list[str] = []
+
+    @property
+    def url(self) -> str:
+        return f"http://127.0.0.1:{self.port}/"
+
+    # -- lifecycle -----------------------------------------------------------
+    def boot(self) -> None:
+        if self.alive:
+            return
+        self.data_dir.mkdir(parents=True, exist_ok=True)
+        self.file_root.mkdir(parents=True, exist_ok=True)
+        config = ServerConfig(
+            server_name=self.name, admins=[ADMIN_DN], host_dn=self.dn,
+            data_dir=str(self.data_dir), file_root=str(self.file_root),
+            fabric_peers=list(self.peer_specs), **self.overrides)
+        self.server = ClarensServer(config, credential=self.credential,
+                                    trust_store=self.trust_store)
+        self._sock = self.server.socket_server(port=self.port)
+        self._sock.__enter__()
+        for prefix, copies in self.policies:
+            self.server.replica_policy.set_policy(prefix, copies)
+        self.generation += 1
+        self.alive = True
+
+    def kill(self) -> None:
+        if not self.alive:
+            return
+        self.alive = False                    # workload checks this first
+        sock, server = self._sock, self.server
+        self._sock = self.server = None
+        if sock is not None:
+            sock.__exit__(None, None, None)
+        if server is not None:
+            server.close()
+
+    restart = boot
+
+    def close(self) -> None:
+        self.kill()
+
+    # -- policy / seeding helpers -------------------------------------------
+    def set_policy(self, prefix: str, copies: int) -> None:
+        self.policies.append((prefix, copies))
+        assert self.server is not None
+        self.server.replica_policy.set_policy(prefix, copies)
+
+    def seed_lfn(self, lfn: str, pfn: str, data: bytes) -> None:
+        """Write ``data`` at ``pfn`` on the local element and register it."""
+
+        assert self.server is not None
+        path = self.file_root / pfn.lstrip("/")
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_bytes(data)
+        replica = self.server.services["replica"]
+        replica.catalogue.register(lfn, self.local_se, pfn, size=len(data),
+                                   checksum=hashlib.md5(data).hexdigest())
+
+    def corrupt_local_replica(self, lfn: str) -> None:
+        """Flip the local bytes of ``lfn``, then force a verified read so
+        the broker notices and quarantines the replica."""
+
+        assert self.server is not None
+        replica = self.server.services["replica"]
+        record = replica.catalogue.replica_on(lfn, self.local_se)
+        path = self.file_root / record.pfn.lstrip("/")
+        original = path.read_bytes()
+        path.write_bytes(b"\x00" * max(8, len(original) // 2))
+        try:
+            replica.broker.read_verified(lfn)
+        except Exception:  # noqa: BLE001 - no healthy replica left is fine
+            pass
+
+
+class SoakHarness:
+    """Run one soak: boot, seed, fire, grade, report."""
+
+    def __init__(self, config: SoakConfig | None = None) -> None:
+        self.config = config or SoakConfig()
+        self.seed = self.config.resolve_seed()
+        self.servers: list[SoakServer] = []
+        self._tmp: Path | None = None
+
+    # -- setup ---------------------------------------------------------------
+    def _server_overrides(self) -> dict[str, Any]:
+        config = self.config
+        return {
+            "dispatch_rate_limit": config.chaos_rate_limit,
+            "dispatch_burst": config.chaos_rate_burst,
+            "replica_journal_enabled": True,
+            "replica_transfer_workers": 2,
+            "replica_max_attempts": 3,
+            "replica_retry_delay": 0.05,
+            "replica_heal_interval": 0.2,
+            "replica_heal_backoff": 0.05,
+            "fabric_gossip_interval": 0.2,
+            "fabric_catalogue_sync": 0.5,
+            "telemetry_enabled": True,
+        }
+
+    def setup(self) -> None:
+        self._tmp = Path(tempfile.mkdtemp(prefix="repro-soak-"))
+        ca = CertificateAuthority("/O=soak.clarens.test/CN=Soak CA",
+                                  key_bits=512)
+        self.workload_credential = ca.issue_user("Wanda Workload")
+        self.calm_credential = ca.issue_user("Calm Carol")
+        names = [f"soak-{i}" for i in range(self.config.chaos_servers)]
+        ports = {name: reserve_port() for name in names}
+        hosts = {name: ca.issue_host(f"{name}.soak.clarens.test")
+                 for name in names}
+        trust = ca.trust_store()
+        overrides = self._server_overrides()
+        for name in names:
+            peer_specs = [
+                f"{other}=http://127.0.0.1:{ports[other]}/"
+                f"|{hosts[other].certificate.subject}"
+                for other in names if other != name]
+            self.servers.append(SoakServer(
+                name, ports[name], credential=hosts[name], trust_store=trust,
+                base_dir=self._tmp, peer_specs=peer_specs,
+                overrides=dict(overrides)))
+        for server in self.servers:
+            server.boot()
+        self._seed_data()
+
+    def _seed_data(self) -> None:
+        config = self.config
+        payload = config.chaos_payload_bytes
+        self.pool_lfns: list[str] = []
+        pending: list[tuple[SoakServer, int]] = []
+        for index, server in enumerate(self.servers):
+            for n in range(config.chaos_lfns_per_server):
+                lfn = f"/lfn/soak/pool/{server.name}/{n}.bin"
+                server.seed_lfn(lfn, f"/soak/pool/{server.name}/{n}.bin",
+                                _payload(lfn, payload))
+                self.pool_lfns.append(lfn)
+            # Protected LFNs start at exactly local + one remote copy, so a
+            # corrupted local replica forces a *visible* heal to a third
+            # server.  The remote copy deliberately skips the kill victim.
+            partner = self.servers[(index + 2) % len(self.servers)]
+            for n in range(config.chaos_protected_lfns):
+                lfn = f"/lfn/soak/protected/{server.name}/{n}.bin"
+                server.seed_lfn(lfn, f"/soak/protected/{server.name}/{n}.bin",
+                                _payload(lfn, payload))
+                server.protected_lfns.append(lfn)
+                assert server.server is not None
+                request = server.server.services["replica"].engine.submit(
+                    lfn, partner.name, owner_dn=ADMIN_DN)
+                pending.append((server, request.transfer_id))
+            server.set_policy(f"/lfn/soak/protected/{server.name}/", 2)
+        deadline = time.monotonic() + 15.0
+        for server, transfer_id in pending:
+            assert server.server is not None
+            engine = server.server.services["replica"].engine
+            while time.monotonic() < deadline:
+                state = engine.get(transfer_id).state
+                if state.terminal:
+                    if state.value != "done":
+                        raise RuntimeError(
+                            f"seed replication {transfer_id} on "
+                            f"{server.name} ended {state.value}")
+                    break
+                time.sleep(0.05)
+            else:
+                raise RuntimeError(f"seed replication {transfer_id} on "
+                                   f"{server.name} never finished")
+
+    # -- run -----------------------------------------------------------------
+    def run(self) -> tuple[dict[str, Any], bool]:
+        """Execute the soak; returns ``(report_entry, all_invariants_ok)``."""
+
+        config = self.config
+        try:
+            self.setup()
+            injector = FaultInjector(self.servers, config, self.seed)
+            watchdog = Watchdog(self.servers, injector,
+                                calm_credential=self.calm_credential,
+                                quiesce_timeout=config.chaos_quiesce_timeout)
+            driver = WorkloadDriver(
+                self.servers, credential=self.workload_credential,
+                mix=config.mix(), seed=self.seed,
+                threads=config.chaos_workload_threads,
+                pool_lfns=self.pool_lfns,
+                payload_bytes=config.chaos_payload_bytes,
+                expect_unavailable=lambda: any(
+                    injector.down_window(s.name, time.monotonic())
+                    for s in self.servers))
+            started = time.monotonic()
+            watchdog.start()
+            driver.start()
+            injector.start(config.chaos_duration)
+            time.sleep(config.chaos_duration)
+            driver.stop()
+            injector.stop()
+            elapsed = time.monotonic() - started
+            invariants, latency = watchdog.final_checks(driver.stats)
+            watchdog.stop()
+            snapshot = driver.stats.snapshot()
+            entry = build_report(
+                seed=self.seed, servers=len(self.servers), duration=elapsed,
+                ops=snapshot, faults=injector.fault_counts(),
+                invariants=invariants, convergence_latency_s=latency)
+            ok = all(v["ok"] for v in invariants.values())
+            if not ok:
+                entry["soak"]["diagnostics"] = self._failure_diagnostics(
+                    watchdog)
+            append_report(entry, path=config.chaos_report_path)
+            return entry, ok
+        finally:
+            FAULTS.clear()
+            self.teardown()
+
+    def _failure_diagnostics(self, watchdog: Watchdog) -> list[str]:
+        """Per-server state of every disputed LFN, for the failure report."""
+
+        lines: list[str] = []
+        for lfn in watchdog.disputed_lfns:
+            for server in self.servers:
+                if not server.alive or server.server is None:
+                    lines.append(f"{lfn} @ {server.name}: server down")
+                    continue
+                replica = server.server.services["replica"]
+                try:
+                    entry = replica.catalogue.entry(lfn)
+                    replicas = {se: rec["state"]
+                                for se, rec in entry["replicas"].items()}
+                    lines.append(f"{lfn} @ {server.name}: "
+                                 f"v{entry['version']} {replicas}")
+                except Exception as exc:  # noqa: BLE001 - diagnostics
+                    lines.append(f"{lfn} @ {server.name}: no entry ({exc})")
+                for request in replica.engine.transfers():
+                    if request.lfn == lfn:
+                        lines.append(
+                            f"{lfn} @ {server.name}: transfer "
+                            f"{request.transfer_id} -> {request.dst_se} "
+                            f"{request.state.value} attempts="
+                            f"{request.attempts} error={request.error!r}")
+        return lines
+
+    def teardown(self) -> None:
+        for server in self.servers:
+            try:
+                server.close()
+            except Exception:  # noqa: BLE001 - teardown must finish
+                pass
+        self.servers = []
+        if self._tmp is not None:
+            shutil.rmtree(self._tmp, ignore_errors=True)
+            self._tmp = None
+
+
+def _payload(lfn: str, size: int) -> bytes:
+    """Deterministic, lfn-unique content (seed-stable across runs)."""
+
+    block = hashlib.sha256(lfn.encode()).digest()
+    return (block * (size // len(block) + 1))[:size]

@@ -1,0 +1,243 @@
+"""Scheduled fault injection for a soak run.
+
+The schedule is built *up front* from the run seed, so the same seed always
+lands the same faults on the same servers at the same relative times — the
+replay contract the harness advertises.  A deterministic skeleton guarantees
+that every enabled fault kind actually occurs at least once per run (pure
+sampling could roll a run that never kills anything); seeded extras add
+link-drop noise on top.
+
+Fault kinds and their mechanisms:
+
+* ``kill`` — close a server's listening socket and the server itself, then
+  boot a fresh instance on the same port after ``chaos_kill_hold`` seconds
+  (``allow_reuse_address`` makes the rebind safe).  Exercises journal
+  replay, channel reconnect and peer health transitions.
+* ``link_drop`` — arm a ``fabric.channel.call`` fault rule against one peer
+  name: the next few pooled calls toward that peer fail transport-style and
+  the channel's discard/retry path must absorb them.
+* ``corrupt`` — overwrite a protected LFN's local bytes on disk, then force
+  a verified read so the broker quarantines the replica; the copy-count
+  policy must heal it to another server while the run continues.
+* ``journal_truncate`` — wipe a server's transfer journal mid-run; the
+  in-memory engine must still drive every accepted transfer to a terminal
+  state (the invariant the watchdog checks at quiesce).
+* ``clock_skew`` — for a window, rewrite the timestamps of one server's
+  outbound gossip an hour into the future; anti-entropy is pull-based and
+  must converge regardless.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from repro.chaos.config import SoakConfig
+from repro.client.errors import ClientError
+from repro.core.faults import FAULTS
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.chaos.harness import SoakServer
+
+__all__ = ["FaultEvent", "FaultInjector", "LINK_DROP_MARKER",
+           "build_schedule"]
+
+#: Message carried by injected channel-drop errors.  The workload driver
+#: recognises it when a read fails with "every replica ... failed": a
+#: stacked drop schedule can legitimately exhaust a channel's whole retry
+#: budget, and that is the fault landing, not an integrity violation.
+LINK_DROP_MARKER = "injected link drop"
+
+
+@dataclass
+class FaultEvent:
+    """One scheduled fault: when (fraction of the run), what, on whom."""
+
+    at: float                 # fraction of chaos_duration in [0, 1)
+    kind: str
+    server: int               # index into the harness server list
+    params: dict[str, Any] = field(default_factory=dict)
+
+
+def build_schedule(config: SoakConfig, seed: int,
+                   n_servers: int) -> list[FaultEvent]:
+    """The full, deterministic fault schedule for one run."""
+
+    rng = random.Random(seed ^ 0x5EEDFA17)
+    enabled = set(config.fault_kinds())
+    events: list[FaultEvent] = []
+    # Deterministic skeleton: each enabled kind fires once, spread out and
+    # placed so faults compose instead of masking each other (the corruption
+    # target is never the killed server; the truncated journal belongs to a
+    # server that stays up, so nothing is legitimately lost).
+    if "link_drop" in enabled:
+        events.append(FaultEvent(0.15, "link_drop",
+                                 rng.randrange(n_servers), {"times": 2}))
+    if "kill" in enabled:
+        victim = 1 % n_servers
+        events.append(FaultEvent(0.25, "kill", victim))
+        events.append(FaultEvent(0.25, "restart", victim,
+                                 {"delay": config.chaos_kill_hold}))
+    if "corrupt" in enabled:
+        events.append(FaultEvent(0.35, "corrupt", 0))
+    if "journal_truncate" in enabled:
+        events.append(FaultEvent(0.40, "journal_truncate",
+                                 2 % n_servers))
+    if "clock_skew" in enabled:
+        events.append(FaultEvent(0.50, "clock_skew_on", 0,
+                                 {"skew": 3600.0}))
+        events.append(FaultEvent(0.65, "clock_skew_off", 0))
+    # Seeded extras: more link drops, anywhere, any time in the middle band.
+    if "link_drop" in enabled:
+        for _ in range(rng.randrange(1, 4)):
+            events.append(FaultEvent(0.10 + rng.random() * 0.70, "link_drop",
+                                     rng.randrange(n_servers),
+                                     {"times": 1 + rng.randrange(2)}))
+    events.sort(key=lambda e: e.at)
+    return events
+
+
+class FaultInjector:
+    """Execute a :func:`build_schedule` against live servers, keeping a
+    ledger of what landed when (the watchdog grades health endpoints against
+    that ledger, and the report counts faults from it)."""
+
+    #: Seconds a server may legitimately look unhealthy after a fault ends
+    #: (channel retries, health probe caching, restart warm-up).
+    GRACE = 2.0
+
+    def __init__(self, servers: list["SoakServer"], config: SoakConfig,
+                 seed: int) -> None:
+        self.servers = servers
+        self.config = config
+        self.schedule = build_schedule(config, seed, len(servers))
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self._lock = threading.Lock()
+        #: executed faults: {kind, server, at, until}
+        self.ledger: list[dict[str, Any]] = []
+        self.errors: list[str] = []
+        self._skew_rule = None
+        self.corrupt_target: tuple[str, str] | None = None   # (server, lfn)
+
+    # -- lifecycle -----------------------------------------------------------
+    def start(self, duration: float) -> None:
+        self._thread = threading.Thread(target=self._run, args=(duration,),
+                                        name="soak-injector", daemon=True)
+        self._thread.start()
+
+    def stop(self, timeout: float = 15.0) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout)
+        if self._skew_rule is not None:
+            self._skew_rule.cancel()
+            self._skew_rule = None
+
+    def fault_counts(self) -> dict[str, int]:
+        with self._lock:
+            counts: dict[str, int] = {}
+            for entry in self.ledger:
+                counts[entry["kind"]] = counts.get(entry["kind"], 0) + 1
+            return counts
+
+    def down_window(self, server_name: str, now: float) -> bool:
+        """Is ``server_name`` inside a kill window (plus grace) at ``now``?"""
+
+        with self._lock:
+            for entry in self.ledger:
+                if entry["kind"] != "kill":
+                    continue
+                if self.servers[entry["server"]].name != server_name:
+                    continue
+                until = entry.get("until") or now + 1.0   # restart pending
+                if entry["at"] - 0.1 <= now <= until + self.GRACE:
+                    return True
+        return False
+
+    # -- execution -----------------------------------------------------------
+    def _run(self, duration: float) -> None:
+        start = time.monotonic()
+        for event in self.schedule:
+            deadline = start + event.at * duration
+            while not self._stop.is_set():
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                self._stop.wait(min(remaining, 0.1))
+            if self._stop.is_set():
+                return
+            try:
+                self._execute(event)
+            except Exception as exc:  # noqa: BLE001 - injector must not die
+                with self._lock:
+                    self.errors.append(f"{event.kind}@{event.server}: "
+                                       f"{type(exc).__name__}: {exc}")
+
+    def _execute(self, event: FaultEvent) -> None:
+        target = self.servers[event.server]
+        now = time.monotonic()
+        if event.kind == "link_drop":
+            FAULTS.inject(
+                "fabric.channel.call", match={"peer": target.name},
+                times=int(event.params.get("times", 2)),
+                exc=ClientError(f"{LINK_DROP_MARKER} toward {target.name}"))
+            self._record("link_drop", event.server, now, until=now)
+        elif event.kind == "kill":
+            target.kill()
+            self._record("kill", event.server, now, until=None)
+        elif event.kind == "restart":
+            self._stop.wait(float(event.params.get("delay", 1.0)))
+            if self._stop.is_set():
+                # Leave no dead server behind: the teardown path closes
+                # booted servers only.
+                target.restart()
+                return
+            target.restart()
+            with self._lock:
+                for entry in reversed(self.ledger):
+                    if entry["kind"] == "kill" and entry["server"] == event.server:
+                        entry["until"] = time.monotonic()
+                        break
+            self._record("restart", event.server, time.monotonic(),
+                         until=time.monotonic())
+        elif event.kind == "corrupt":
+            lfn = target.protected_lfns[0]
+            target.corrupt_local_replica(lfn)
+            self.corrupt_target = (target.name, lfn)
+            self._record("corrupt", event.server, now, until=now)
+        elif event.kind == "journal_truncate":
+            journal = target.server.services["replica"].journal
+            if journal is not None:
+                journal.clear()
+            self._record("journal_truncate", event.server, now, until=now)
+        elif event.kind == "clock_skew_on":
+            skew = float(event.params.get("skew", 3600.0))
+
+            def _skew_entry(ctx: dict[str, Any]) -> None:
+                ctx["entry"]["timestamp"] = ctx["entry"]["timestamp"] + skew
+
+            self._skew_rule = FAULTS.inject(
+                "fabric.gossip.entry", match={"source": target.name},
+                times=None, call=_skew_entry)
+            self._record("clock_skew", event.server, now, until=None)
+        elif event.kind == "clock_skew_off":
+            if self._skew_rule is not None:
+                self._skew_rule.cancel()
+                self._skew_rule = None
+            with self._lock:
+                for entry in reversed(self.ledger):
+                    if entry["kind"] == "clock_skew":
+                        entry["until"] = time.monotonic()
+                        break
+        else:  # pragma: no cover - schedule is built here
+            raise ValueError(f"unknown fault kind {event.kind!r}")
+
+    def _record(self, kind: str, server: int, at: float,
+                until: float | None) -> None:
+        with self._lock:
+            self.ledger.append({"kind": kind, "server": server,
+                                "at": at, "until": until})

@@ -1,0 +1,108 @@
+"""Structured soak report: build the trend entry, append it, render it.
+
+The report rides the same trend file as the pipeline benchmarks
+(``BENCH_pipeline.json``), through the same tolerant appender in
+``scripts/bench_trend.py``, so one file accumulates the repo's performance
+*and* robustness trajectory.  Soak entries are distinguished by their
+``"kind": "soak"`` marker.
+"""
+
+from __future__ import annotations
+
+import datetime
+import importlib.util
+import json
+import platform
+import sys
+from pathlib import Path
+from typing import Any
+
+__all__ = ["REPO_ROOT", "build_report", "append_report", "render_report"]
+
+REPO_ROOT = Path(__file__).resolve().parents[3]
+
+
+def _load_bench_trend():
+    """Import ``scripts/bench_trend.py`` (not a package) by file path."""
+
+    name = "repro_scripts_bench_trend"
+    cached = sys.modules.get(name)
+    if cached is not None:
+        return cached
+    path = REPO_ROOT / "scripts" / "bench_trend.py"
+    spec = importlib.util.spec_from_file_location(name, path)
+    if spec is None or spec.loader is None:  # pragma: no cover - repo damage
+        raise RuntimeError(f"cannot load {path}")
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+def build_report(*, seed: int, servers: int, duration: float,
+                 ops: dict[str, Any], faults: dict[str, int],
+                 invariants: dict[str, Any],
+                 convergence_latency_s: float | None) -> dict[str, Any]:
+    """One trend entry for a finished soak run."""
+
+    total = int(ops.get("total", 0))
+    return {
+        "kind": "soak",
+        "timestamp": datetime.datetime.now(datetime.timezone.utc).isoformat(),
+        "host": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+        },
+        "soak": {
+            "seed": seed,
+            "servers": servers,
+            "duration_s": round(float(duration), 3),
+            "ops": {
+                "total": total,
+                "errors": int(ops.get("errors", 0)),
+                "by_kind": {k: int(v)
+                            for k, v in sorted(ops.get("by_kind", {}).items())},
+                "ops_per_second": round(total / duration, 1) if duration else 0.0,
+            },
+            "faults": {k: int(v) for k, v in sorted(faults.items())},
+            "invariants": invariants,
+            "convergence_latency_s": (round(convergence_latency_s, 3)
+                                      if convergence_latency_s is not None
+                                      else None),
+        },
+    }
+
+
+def append_report(entry: dict[str, Any], *,
+                  path: str | Path | None = None) -> Path:
+    """Append ``entry`` to the trend file; returns the file written."""
+
+    trend = _load_bench_trend()
+    target = Path(path) if path is not None else Path(trend.TREND_FILE)
+    if not target.is_absolute():
+        target = REPO_ROOT / target
+    trend.append_trend(entry, path=target)
+    return target
+
+
+def render_report(entry: dict[str, Any]) -> str:
+    """Human-readable summary of one soak entry, for the CLI."""
+
+    soak = entry["soak"]
+    ops = soak["ops"]
+    lines = [
+        f"soak: {soak['servers']} servers, {soak['duration_s']}s, "
+        f"seed {soak['seed']}",
+        f"ops: {ops['total']} total ({ops['ops_per_second']}/s), "
+        f"{ops['errors']} errors, mix {json.dumps(ops['by_kind'])}",
+        f"faults: {json.dumps(soak['faults'])}",
+    ]
+    if soak["convergence_latency_s"] is not None:
+        lines.append(f"convergence: {soak['convergence_latency_s']}s "
+                     "after quiet-down")
+    for name, verdict in sorted(soak["invariants"].items()):
+        status = "ok" if verdict.get("ok") else "VIOLATED"
+        detail = verdict.get("detail", "")
+        lines.append(f"invariant {name}: {status}"
+                     + (f" — {detail}" if detail else ""))
+    return "\n".join(lines)

@@ -1,0 +1,345 @@
+"""Continuous and final invariant checks for a soak run.
+
+The watchdog runs *while the faults land*, not after: a quarantined replica
+must never be served even transiently, a calm identity must never be shed
+no matter how greedy the workload identity is, and ``/healthz`` must track
+injected reality (unreachable only inside a kill window, 200 otherwise).
+After the workload stops it drives the fleet to quiescence — anti-entropy
+rounds until every catalogue agrees — and grades the convergence claims.
+
+Invariant catalogue (names as they appear in the report):
+
+* ``shed_fairness`` — the calm probe identity (its own admission bucket)
+  never receives ``RETRY_LATER``.
+* ``quarantine_never_served`` — no quarantined replica ever appears among
+  a broker's read candidates.
+* ``healthz_consistent`` — every live server answers ``/healthz`` with
+  HTTP 200; unreachability is tolerated only inside a kill window + grace.
+* ``no_lost_transfers`` — at quiesce every engine is drained (no queued /
+  running / retrying work) and every journal is empty.
+* ``catalogue_convergence`` — after anti-entropy rounds, every server's
+  normalized view of every soak LFN (replica set + states, with ``local``
+  aliased to the owner's name) is identical.
+* ``corruption_handled`` — the corrupted replica ended quarantined on its
+  owner and the LFN healed back to >= its policy's copy count.
+* ``workload_integrity`` — no checksum mismatch or short read ever reached
+  a workload client, and no unexplained errors occurred.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from typing import TYPE_CHECKING, Any
+
+from repro.client.client import ClarensClient
+from repro.protocols.errors import Fault, FaultCode
+from repro.replica.model import ReplicaState, TransferState
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.chaos.harness import SoakServer
+    from repro.chaos.injector import FaultInjector
+    from repro.chaos.workload import WorkloadStats
+
+__all__ = ["Watchdog"]
+
+SOAK_PREFIX = "/lfn/soak/"
+
+
+class Watchdog:
+    """Background invariant checks plus the final convergence grade."""
+
+    def __init__(self, servers: list["SoakServer"], injector: "FaultInjector",
+                 *, calm_credential, interval: float = 0.3,
+                 quiesce_timeout: float = 20.0) -> None:
+        self.servers = servers
+        self.injector = injector
+        self.calm_credential = calm_credential
+        self.interval = float(interval)
+        self.quiesce_timeout = float(quiesce_timeout)
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self._lock = threading.Lock()
+        self.violations: list[str] = []
+        self.calm_pings = 0
+        self.healthz_checks = 0
+        self._calm_clients: dict[str, ClarensClient] = {}
+        #: LFNs the last failed quiesce round disagreed on — the harness
+        #: dumps their full per-server state in the failure diagnostics.
+        self.disputed_lfns: list[str] = []
+
+    # -- lifecycle -----------------------------------------------------------
+    def start(self) -> None:
+        self._thread = threading.Thread(target=self._run,
+                                        name="soak-watchdog", daemon=True)
+        self._thread.start()
+
+    def stop(self, timeout: float = 10.0) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout)
+        for client in self._calm_clients.values():
+            try:
+                client.close()
+            except Exception:  # noqa: BLE001 - teardown
+                pass
+
+    def _violate(self, message: str) -> None:
+        with self._lock:
+            if len(self.violations) < 50:
+                self.violations.append(message)
+
+    # -- periodic loop -------------------------------------------------------
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval):
+            for server in self.servers:
+                if self._stop.is_set():
+                    return
+                self._check_one(server)
+
+    def _check_one(self, server: "SoakServer") -> None:
+        now = time.monotonic()
+        in_down_window = self.injector.down_window(server.name, now)
+        if server.alive:
+            self._probe_calm(server, tolerate_down=in_down_window)
+            self._probe_healthz(server, tolerate_down=in_down_window)
+        if server.alive:
+            self._scan_quarantine(server)
+
+    def _probe_calm(self, server: "SoakServer", *,
+                    tolerate_down: bool) -> None:
+        try:
+            client = self._calm_clients.get(server.name)
+            if client is None or server.generation != getattr(
+                    client, "_soak_generation", None):
+                client = ClarensClient.for_url(server.url)
+                client.login_with_credential(self.calm_credential)
+                client._soak_generation = server.generation
+                self._calm_clients[server.name] = client
+            if client.call("system.ping") != "pong":
+                self._violate(f"calm ping on {server.name} did not pong")
+            with self._lock:
+                self.calm_pings += 1
+        except Fault as exc:
+            if exc.code == FaultCode.RETRY_LATER:
+                # The whole point: a quiet identity must never pay for a
+                # greedy one under per-identity admission.
+                self._violate(f"shed_fairness: calm identity shed on "
+                              f"{server.name}: {exc}")
+            else:
+                self._violate(f"calm probe fault on {server.name}: {exc}")
+        except Exception as exc:  # noqa: BLE001 - graded, not raised
+            self._calm_clients.pop(server.name, None)
+            if not tolerate_down and server.alive:
+                self._violate(f"calm probe failed on healthy {server.name}: "
+                              f"{type(exc).__name__}: {exc}")
+
+    def _probe_healthz(self, server: "SoakServer", *,
+                       tolerate_down: bool) -> None:
+        try:
+            client = ClarensClient.for_url(server.url)
+            try:
+                response = client.http_get("/healthz")
+            finally:
+                client.close()
+            with self._lock:
+                self.healthz_checks += 1
+            if response.status == 503:
+                # 503 means *critical* — every peer down.  One killed peer
+                # out of N-1 only degrades; critical outside a kill window
+                # on some peer is a lie.
+                if not any(self.injector.down_window(other.name,
+                                                     time.monotonic())
+                           for other in self.servers if other is not server):
+                    self._violate(f"healthz_consistent: {server.name} "
+                                  "critical with no peer inside a kill window")
+            elif response.status != 200:
+                self._violate(f"healthz_consistent: {server.name} answered "
+                              f"HTTP {response.status}")
+            else:
+                body = json.loads(response.body_bytes())
+                if body.get("server") != server.name:
+                    self._violate(f"healthz_consistent: {server.name} "
+                                  f"reported itself as {body.get('server')!r}")
+        except Exception as exc:  # noqa: BLE001 - graded, not raised
+            if not tolerate_down and server.alive:
+                self._violate(f"healthz_consistent: {server.name} unreachable "
+                              f"outside any kill window: {exc}")
+
+    def _scan_quarantine(self, server: "SoakServer") -> None:
+        try:
+            replica = server.server.services["replica"]
+            catalogue, broker = replica.catalogue, replica.broker
+            for lfn in catalogue.lfns(SOAK_PREFIX):
+                entry = catalogue.entry(lfn)
+                quarantined = {se for se, rec in entry["replicas"].items()
+                               if rec["state"] == ReplicaState.QUARANTINED.value}
+                if not quarantined:
+                    continue
+                served = {element.name
+                          for _, element in broker.candidates(lfn)}
+                leaked = quarantined & served
+                if leaked:
+                    self._violate(f"quarantine_never_served: {server.name} "
+                                  f"offers quarantined replica(s) {leaked} "
+                                  f"of {lfn}")
+        except Exception:  # noqa: BLE001 - server may be mid-kill
+            if server.alive and not self.injector.down_window(
+                    server.name, time.monotonic()):
+                raise
+
+    # -- final grading -------------------------------------------------------
+    def final_checks(self, stats: "WorkloadStats") -> tuple[
+            dict[str, dict[str, Any]], float | None]:
+        """Drive quiescence, then grade every invariant.
+
+        Returns ``(invariants, convergence_latency_s)`` where each invariant
+        is ``{"ok": bool, "detail": str}``.
+        """
+
+        started = time.monotonic()
+        latency: float | None = None
+        deadline = started + self.quiesce_timeout
+        last_reason = "never attempted"
+        while time.monotonic() < deadline:
+            reason = self._quiesce_round()
+            if reason is None:
+                latency = time.monotonic() - started
+                break
+            last_reason = reason
+            time.sleep(0.15)
+
+        invariants: dict[str, dict[str, Any]] = {}
+
+        def grade(name: str, ok: bool, detail: str = "") -> None:
+            invariants[name] = {"ok": bool(ok), "detail": detail}
+
+        snapshot = stats.snapshot()
+        with self._lock:
+            periodic = list(self.violations)
+        for name in ("shed_fairness", "quarantine_never_served",
+                     "healthz_consistent"):
+            hits = [v for v in periodic if v.startswith(name)]
+            grade(name, not hits, "; ".join(hits[:3]))
+        other = [v for v in periodic
+                 if not v.split(":")[0] in ("shed_fairness",
+                                            "quarantine_never_served",
+                                            "healthz_consistent")]
+        grade("watchdog_probes", not other, "; ".join(other[:3]))
+
+        sync_stats = "; ".join(
+            f"{s.name}: {s.server.fabric.sync.stats()}"
+            for s in self.servers if s.alive and s.server is not None)
+        grade("catalogue_convergence", latency is not None,
+              "" if latency is not None
+              else f"not converged after {self.quiesce_timeout}s: "
+                   f"{last_reason} [{sync_stats}]")
+        grade("no_lost_transfers", *self._grade_transfers())
+        grade("corruption_handled", *self._grade_corruption())
+        grade("workload_integrity",
+              snapshot["integrity_mismatches"] == 0
+              and snapshot["errors"] == 0,
+              f"{snapshot['integrity_mismatches']} mismatches, "
+              f"{snapshot['errors']} errors: "
+              + "; ".join(snapshot["error_samples"][:3]))
+        injector_clean = not self.injector.errors
+        grade("injector_clean", injector_clean,
+              "; ".join(self.injector.errors[:3]))
+        return invariants, latency
+
+    def _quiesce_round(self) -> str | None:
+        """One anti-entropy + drain check; None when fully quiesced."""
+
+        for server in self.servers:
+            if not server.alive:
+                return f"{server.name} still down"
+            try:
+                server.server.fabric.sync.sync_once()
+            except Exception as exc:  # noqa: BLE001 - retried next round
+                return f"sync_once on {server.name}: {exc}"
+        views: dict[str, dict[str, dict[str, str]]] = {}
+        for server in self.servers:
+            replica = server.server.services["replica"]
+            for request in replica.engine.transfers():
+                if not request.state.terminal:
+                    return (f"transfer {request.transfer_id} on "
+                            f"{server.name} still {request.state.value}")
+            journal = replica.journal
+            if journal is not None and journal.pending():
+                return f"journal on {server.name} not empty"
+            # Compare only the fabric-visible view: the local element is
+            # aliased to the server's fabric name, and purely local elements
+            # (the mass store) are excluded — exactly the normalisation
+            # fabric.catalogue_entries applies on export, since peers can
+            # never learn about replicas that are not exported.
+            fabric_names = {s.name for s in self.servers}
+            view: dict[str, dict[str, str]] = {}
+            for lfn in replica.catalogue.lfns(SOAK_PREFIX):
+                entry = replica.catalogue.entry(lfn)
+                view[lfn] = {
+                    (server.name if se == server.local_se else se):
+                        rec["state"]
+                    for se, rec in entry["replicas"].items()
+                    if se == server.local_se or se in fabric_names}
+            views[server.name] = view
+        baseline_name = self.servers[0].name
+        baseline = views[baseline_name]
+        for name, view in views.items():
+            if view != baseline:
+                only_base = sorted(set(baseline) - set(view))
+                only_view = sorted(set(view) - set(baseline))
+                if only_base or only_view:
+                    self.disputed_lfns = only_base[:5] + only_view[:5]
+                    sample = (only_base or only_view)[0]
+                    holder = baseline if only_base else view
+                    return (f"{name} and {baseline_name} disagree on LFN "
+                            f"set: only on {baseline_name}: {only_base[:3]}; "
+                            f"only on {name}: {only_view[:3]}; "
+                            f"e.g. {sample} = {holder[sample]}")
+                for lfn in baseline:
+                    if view[lfn] != baseline[lfn]:
+                        self.disputed_lfns = [lfn]
+                        return (f"{name} sees {lfn} as {view[lfn]}, "
+                                f"{baseline_name} as {baseline[lfn]}")
+        return None
+
+    def _grade_transfers(self) -> tuple[bool, str]:
+        problems = []
+        for server in self.servers:
+            if not server.alive:
+                problems.append(f"{server.name} down at grading")
+                continue
+            replica = server.server.services["replica"]
+            stuck = [r.transfer_id for r in replica.engine.transfers()
+                     if not r.state.terminal]
+            if stuck:
+                problems.append(f"{server.name} transfers stuck: {stuck}")
+            journal = replica.journal
+            if journal is not None and len(journal):
+                problems.append(f"{server.name} journal still has "
+                                f"{len(journal)} row(s)")
+        return not problems, "; ".join(problems)
+
+    def _grade_corruption(self) -> tuple[bool, str]:
+        target = self.injector.corrupt_target
+        if target is None:
+            return False, "corruption fault never executed"
+        server_name, lfn = target
+        owner = next(s for s in self.servers if s.name == server_name)
+        replica = owner.server.services["replica"]
+        try:
+            entry = replica.catalogue.entry(lfn)
+        except Exception as exc:  # noqa: BLE001 - graded
+            return False, f"stat of corrupted {lfn} failed: {exc}"
+        local = entry["replicas"].get(owner.local_se)
+        if local is None:
+            return False, f"{lfn} lost its local replica record"
+        if local["state"] != ReplicaState.QUARANTINED.value:
+            return False, (f"corrupted replica of {lfn} is "
+                           f"{local['state']}, expected quarantined")
+        active = [se for se, rec in entry["replicas"].items()
+                  if rec["state"] == ReplicaState.ACTIVE.value]
+        if len(active) < 2:
+            return False, (f"{lfn} not healed: active replicas {active}")
+        return True, f"quarantined on {owner.local_se}, active on {active}"

@@ -1,0 +1,277 @@
+"""Sustained mixed traffic against a soak federation, over real sockets.
+
+Each driver thread owns its own :class:`random.Random` (seeded from the run
+seed plus the thread index, so interleaving is reproducible per thread) and
+its own authenticated client per server.  Five operation kinds cover the
+surfaces the fabric makes claims about:
+
+* ``session`` — login / ping / logout churn through the PKI handshake;
+* ``multicall`` — batched ``system.echo`` calls (admission charges N tokens);
+* ``read`` — checksum-verified LFN download through the replica broker;
+* ``write`` — upload a fresh LFN via chunked ``file.write`` + register;
+* ``replicate`` — queue a cross-server transfer of an existing LFN.
+
+Outcome accounting is deliberate: ``RETRY_LATER`` faults are *shed* (the
+admission layer doing its job), transport errors against a server the
+injector currently holds down are *expected*, checksum mismatches are
+*integrity violations* (an invariant, never tolerated), and anything else
+is an *error* the watchdog will fail the run over.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+import threading
+import time
+from typing import TYPE_CHECKING, Any
+
+from repro.chaos.injector import LINK_DROP_MARKER
+from repro.client.client import ClarensClient
+from repro.client.errors import ClientError
+from repro.client.files import download_lfn
+from repro.protocols.errors import Fault, FaultCode
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.chaos.harness import SoakServer
+
+__all__ = ["WorkloadDriver", "WorkloadStats"]
+
+
+class WorkloadStats:
+    """Thread-safe operation counters shared by all driver threads."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.by_kind: dict[str, int] = {}
+        self.errors = 0
+        self.shed = 0
+        self.expected_down = 0
+        self.integrity_mismatches = 0
+        self.error_samples: list[str] = []
+        #: (server name, transfer_id) of every replicate the drivers queued.
+        self.transfers: list[tuple[str, int]] = []
+
+    def ok(self, kind: str) -> None:
+        with self._lock:
+            self.by_kind[kind] = self.by_kind.get(kind, 0) + 1
+
+    def record_error(self, kind: str, exc: BaseException) -> None:
+        with self._lock:
+            self.errors += 1
+            if len(self.error_samples) < 10:
+                self.error_samples.append(f"{kind}: {type(exc).__name__}: {exc}")
+
+    def snapshot(self) -> dict[str, Any]:
+        with self._lock:
+            total = sum(self.by_kind.values())
+            return {
+                "total": total,
+                "by_kind": dict(self.by_kind),
+                "errors": self.errors,
+                "shed": self.shed,
+                "expected_down": self.expected_down,
+                "integrity_mismatches": self.integrity_mismatches,
+                "error_samples": list(self.error_samples),
+            }
+
+
+class WorkloadDriver:
+    """Run ``threads`` mixed-traffic workers until :meth:`stop` is called."""
+
+    def __init__(self, servers: list["SoakServer"], *, credential,
+                 mix: dict[str, int], seed: int, threads: int,
+                 pool_lfns: list[str], payload_bytes: int,
+                 expect_unavailable=None) -> None:
+        self.servers = servers
+        self.credential = credential
+        #: Callable answering "is some server inside a fault window right
+        #: now?" — a read whose only replica lives on a killed server fails
+        #: legitimately; the same failure with the whole fleet healthy is an
+        #: error.  Defaults to "is any server down".
+        self.expect_unavailable = (
+            expect_unavailable
+            or (lambda: any(not s.alive for s in servers)))
+        self.mix = dict(mix)
+        self.seed = int(seed)
+        self.threads = int(threads)
+        self.pool_lfns = list(pool_lfns)
+        self.payload_bytes = int(payload_bytes)
+        self.stats = WorkloadStats()
+        self._stop = threading.Event()
+        self._workers: list[threading.Thread] = []
+        # The challenge store keeps one outstanding nonce per DN, so two
+        # concurrent logins under the shared workload identity would race
+        # (the second challenge invalidates the first signature).  Real
+        # deployments use distinct identities; the drivers share one, so
+        # serialise the handshake.
+        self._login_lock = threading.Lock()
+
+    # -- lifecycle -----------------------------------------------------------
+    def start(self) -> None:
+        for index in range(self.threads):
+            worker = threading.Thread(target=self._run, args=(index,),
+                                      name=f"soak-workload-{index}",
+                                      daemon=True)
+            self._workers.append(worker)
+            worker.start()
+
+    def stop(self, timeout: float = 10.0) -> None:
+        self._stop.set()
+        for worker in self._workers:
+            worker.join(timeout)
+
+    # -- one worker ----------------------------------------------------------
+    def _run(self, index: int) -> None:
+        rng = random.Random(self.seed * 1000003 + index)
+        clients: dict[str, ClarensClient] = {}
+        kinds = sorted(self.mix)
+        weights = [self.mix[kind] for kind in kinds]
+        written: list[str] = []          # this worker's completed uploads
+        requested: set[tuple[str, str]] = set()   # (lfn, dst) already queued
+        sequence = 0
+        while not self._stop.is_set():
+            target = rng.choice(self.servers)
+            kind = rng.choices(kinds, weights=weights)[0]
+            if not target.alive:
+                time.sleep(0.02)
+                continue
+            try:
+                sequence += 1
+                self._one_op(kind, target, rng, clients, written,
+                             requested, f"{index}-{sequence}")
+            except Fault as exc:
+                if exc.code == FaultCode.RETRY_LATER:
+                    with self.stats._lock:
+                        self.stats.shed += 1
+                    time.sleep(0.01 + rng.random() * 0.03)
+                else:
+                    self.stats.record_error(kind, exc)
+            except (ClientError, OSError) as exc:
+                # A connection-shaped failure against a server the injector
+                # just killed (or is restarting) is the chaos working as
+                # intended; the same failure against a healthy server is not.
+                clients.pop(target.name, None)
+                if not target.alive:
+                    with self.stats._lock:
+                        self.stats.expected_down += 1
+                elif _is_integrity(exc):
+                    with self.stats._lock:
+                        self.stats.integrity_mismatches += 1
+                        self.stats.error_samples.append(
+                            f"integrity {kind}: {exc}")
+                else:
+                    self.stats.record_error(kind, exc)
+            except Exception as exc:  # noqa: BLE001 - accounted, not raised
+                self.stats.record_error(kind, exc)
+        for client in clients.values():
+            try:
+                client.close()
+            except Exception:  # noqa: BLE001 - teardown
+                pass
+
+    def _client(self, target: "SoakServer",
+                clients: dict[str, ClarensClient]) -> ClarensClient:
+        client = clients.get(target.name)
+        if client is None or target.generation != getattr(
+                client, "_soak_generation", None):
+            client = ClarensClient.for_url(target.url)
+            with self._login_lock:
+                client.login_with_credential(self.credential)
+            client._soak_generation = target.generation
+            clients[target.name] = client
+        return client
+
+    def _one_op(self, kind: str, target: "SoakServer", rng: random.Random,
+                clients: dict[str, ClarensClient], written: list[str],
+                requested: set[tuple[str, str]], tag: str) -> None:
+        if kind == "session":
+            fresh = ClarensClient.for_url(target.url)
+            try:
+                with self._login_lock:
+                    fresh.login_with_credential(self.credential)
+                if fresh.call("system.ping") != "pong":
+                    raise ClientError("ping did not answer pong")
+                fresh.logout()
+            finally:
+                fresh.close()
+        elif kind == "multicall":
+            client = self._client(target, clients)
+            calls = [("system.echo", [f"{tag}-{i}"]) for i in range(4)]
+            results = client.multicall(calls)
+            for i, slot in enumerate(results):
+                if isinstance(slot, Fault):
+                    raise slot
+                if slot != f"{tag}-{i}":
+                    raise ClientError(f"multicall slot {i} corrupted: {slot!r}")
+        elif kind == "read":
+            candidates = self.pool_lfns + written
+            lfn = rng.choice(candidates)
+            client = self._client(target, clients)
+            try:
+                download_lfn(client, lfn)  # raises ClientError on checksum drift
+            except Fault as exc:
+                # Anti-entropy is eventually consistent: a server that has
+                # not pulled this LFN yet answers NOT_FOUND, which is lag,
+                # not loss (the quiesce convergence check proves it).
+                if exc.code == FaultCode.NOT_FOUND:
+                    self.stats.ok("read_miss")
+                    return
+                # A file whose every replica sits on a server the injector
+                # currently holds down — or behind a link it is dropping
+                # (a stacked drop plan may exhaust the channel's whole
+                # retry budget) — is legitimately unreadable; the same
+                # failure with the fleet healthy is a real error.
+                if "every replica" in str(exc) and (
+                        self.expect_unavailable()
+                        or LINK_DROP_MARKER in str(exc)):
+                    self.stats.ok("read_unavailable")
+                    return
+                raise
+        elif kind == "write":
+            client = self._client(target, clients)
+            lfn = f"/lfn/soak/scratch/{target.name}/{tag}.bin"
+            pfn = f"/soak/scratch/{target.name}/{tag}.bin"
+            data = rng.randbytes(self.payload_bytes)
+            client.call("file.write", pfn, data, False)
+            client.call("replica.register", lfn, target.local_se, pfn,
+                        len(data), hashlib.md5(data).hexdigest())
+            written.append(lfn)
+        elif kind == "replicate":
+            # Replicate only this worker's own uploads: two engines racing
+            # the same (lfn, destination) pair can legitimately end with one
+            # engine's failure-cleanup deleting the other's completed copy —
+            # and deletions do not propagate through anti-entropy, which is
+            # the documented divergence satellite-3 covers, not a soak bug.
+            if not written:
+                self.stats.ok("replicate_skip")
+                return
+            lfn = rng.choice(written)
+            client = self._client(target, clients)
+            peers = [s for s in self.servers if s is not target and s.alive
+                     and (lfn, s.name) not in requested]
+            if not peers:
+                self.stats.ok("replicate_skip")
+                return
+            dst = rng.choice(peers)
+            requested.add((lfn, dst.name))
+            try:
+                record = client.call("replica.replicate", lfn, dst.name)
+            except Fault as exc:
+                # Already replicated there (or racing another worker): the
+                # churn goal is met either way.
+                if exc.code == FaultCode.RETRY_LATER:
+                    raise
+                self.stats.ok(kind)
+                return
+            with self.stats._lock:
+                self.stats.transfers.append((target.name,
+                                             int(record["transfer_id"])))
+        else:  # pragma: no cover - mix() validates kinds
+            raise ValueError(f"unknown workload kind {kind!r}")
+        self.stats.ok(kind)
+
+
+def _is_integrity(exc: BaseException) -> bool:
+    text = str(exc)
+    return "checksum mismatch" in text or "short read" in text

@@ -1,0 +1,50 @@
+"""A controllable clock for tests: no real sleeping, explicit advancement.
+
+``TransferEngine`` accepts ``clock=`` and ``PeerChannel`` accepts
+``sleep=``; handing both to one :class:`FakeClock` lets backoff and TTL
+tests assert the *schedule* (which delays were requested, in what order)
+instead of sleeping real wall time.
+"""
+
+from __future__ import annotations
+
+import threading
+
+__all__ = ["FakeClock"]
+
+
+class FakeClock:
+    """Manual monotonic clock.
+
+    Calling the instance (or ``.monotonic()`` / ``.time()``) returns the
+    current fake time.  ``sleep(s)`` records the requested delay in
+    :attr:`sleeps` and advances the clock by it immediately — callers
+    never block.  ``advance(s)`` moves time forward without recording a
+    sleep, for TTL/deadline expiry.
+    """
+
+    def __init__(self, start: float = 1000.0) -> None:
+        self._lock = threading.Lock()
+        self._now = float(start)
+        #: every delay passed to :meth:`sleep`, in call order
+        self.sleeps: list[float] = []
+
+    def __call__(self) -> float:
+        return self.monotonic()
+
+    def monotonic(self) -> float:
+        with self._lock:
+            return self._now
+
+    time = monotonic
+
+    def sleep(self, seconds: float) -> None:
+        with self._lock:
+            self.sleeps.append(seconds)
+            self._now += max(0.0, float(seconds))
+
+    def advance(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError("cannot advance a monotonic clock backwards")
+        with self._lock:
+            self._now += float(seconds)

@@ -1,0 +1,181 @@
+"""Fault-point registry: named injection seams for tests and chaos runs.
+
+Production code calls :func:`FaultRegistry.fire` at a handful of named
+points (``"fabric.channel.call"``, ``"replica.storage.write"``, ...).
+With no rules armed the call is a single attribute check and a return —
+cheap enough to leave in hot paths.  Tests and the soak harness arm rules
+with :func:`FaultRegistry.inject`: a rule matches a point name plus an
+optional context subset, skips the first ``after`` matching fires, then
+triggers ``times`` times (raising an exception, running a callback, or
+both).
+
+This replaces ad-hoc monkeypatching: the seam is part of the module's
+contract, the rule says *where* and *when* declaratively, and the global
+:data:`FAULTS` registry is cleared between tests by an autouse fixture.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable
+
+__all__ = ["FaultRule", "FaultRegistry", "FAULTS"]
+
+
+class FaultRule:
+    """One armed fault: where it matches, when it triggers, what it does."""
+
+    def __init__(self, registry: "FaultRegistry", point: str, *,
+                 exc: BaseException | type[BaseException] | None = None,
+                 call: Callable[[dict[str, Any]], None] | None = None,
+                 times: int | None = 1, after: int = 0,
+                 match: dict[str, Any] | None = None) -> None:
+        self._registry = registry
+        self.point = point
+        self.exc = exc
+        self.call = call
+        self.times = times
+        self.after = after
+        self.match = dict(match) if match else {}
+        #: matching fires seen so far (including the ``after`` skips)
+        self.matched = 0
+        #: fires that actually triggered the rule
+        self.fired = 0
+
+    def matches(self, point: str, ctx: dict[str, Any]) -> bool:
+        if point != self.point:
+            return False
+        return all(ctx.get(key) == value for key, value in self.match.items())
+
+    @property
+    def exhausted(self) -> bool:
+        return self.times is not None and self.fired >= self.times
+
+    def cancel(self) -> None:
+        """Disarm this rule; firing stops immediately."""
+
+        self._registry._remove(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"FaultRule({self.point!r}, match={self.match!r}, "
+                f"after={self.after}, times={self.times}, "
+                f"fired={self.fired})")
+
+
+class FaultRegistry:
+    """Registry of armed :class:`FaultRule` instances.
+
+    Thread-safe: rule selection and bookkeeping happen under a lock, the
+    rule's side effects (callback, raise) run outside it so a callback may
+    itself arm or cancel rules without deadlocking.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._rules: list[FaultRule] = []
+        self._counts: dict[str, int] = {}
+
+    # -- arming --------------------------------------------------------------
+    def inject(self, point: str, *,
+               exc: BaseException | type[BaseException] | None = None,
+               call: Callable[[dict[str, Any]], None] | None = None,
+               times: int | None = 1, after: int = 0,
+               match: dict[str, Any] | None = None) -> FaultRule:
+        """Arm a rule at ``point`` and return it.
+
+        ``exc`` may be an exception instance (raised as-is every trigger)
+        or a class (instantiated with a descriptive message).  ``call``
+        receives the fire's context dict and may mutate it — that is how
+        the clock-skew fault rewrites gossip timestamps.  ``times=None``
+        triggers on every matching fire; ``after=N`` skips the first N
+        matching fires before the rule starts triggering.  ``match``
+        restricts the rule to fires whose context contains the given
+        key/value subset.
+        """
+
+        if exc is None and call is None:
+            raise ValueError("fault rule needs an exc and/or a call")
+        if after < 0:
+            raise ValueError("after must be >= 0")
+        if times is not None and times < 1:
+            raise ValueError("times must be >= 1 (or None for unlimited)")
+        rule = FaultRule(self, point, exc=exc, call=call, times=times,
+                         after=after, match=match)
+        with self._lock:
+            self._rules.append(rule)
+        return rule
+
+    def _remove(self, rule: FaultRule) -> None:
+        with self._lock:
+            try:
+                self._rules.remove(rule)
+            except ValueError:
+                pass
+
+    def clear(self) -> None:
+        """Disarm every rule and reset fire counters."""
+
+        with self._lock:
+            self._rules.clear()
+            self._counts.clear()
+
+    # -- firing --------------------------------------------------------------
+    def fire(self, point: str, **ctx: Any) -> None:
+        """Hit the named fault point; trigger at most one matching rule.
+
+        A no-op when nothing is armed (the common production case).  The
+        first armed rule that matches and is past its ``after`` skip count
+        triggers: its callback runs, then its exception (if any) is
+        raised.  Exhausted rules are removed.
+        """
+
+        if not self._rules:
+            return
+        triggered: FaultRule | None = None
+        with self._lock:
+            for rule in self._rules:
+                if rule.exhausted or not rule.matches(point, ctx):
+                    continue
+                rule.matched += 1
+                if rule.matched <= rule.after:
+                    continue
+                rule.fired += 1
+                self._counts[point] = self._counts.get(point, 0) + 1
+                if rule.exhausted:
+                    self._rules.remove(rule)
+                triggered = rule
+                break
+        if triggered is None:
+            return
+        if triggered.call is not None:
+            triggered.call(ctx)
+        if triggered.exc is not None:
+            if isinstance(triggered.exc, BaseException):
+                raise triggered.exc
+            raise triggered.exc(f"injected fault at {point}")
+
+    # -- introspection -------------------------------------------------------
+    def fired(self, point: str | None = None) -> int:
+        """Total triggered fires, for one point or across all points."""
+
+        with self._lock:
+            if point is not None:
+                return self._counts.get(point, 0)
+            return sum(self._counts.values())
+
+    def counts(self) -> dict[str, int]:
+        """Snapshot of triggered fire counts per point."""
+
+        with self._lock:
+            return dict(self._counts)
+
+    def active(self) -> list[FaultRule]:
+        """Snapshot of currently armed rules."""
+
+        with self._lock:
+            return list(self._rules)
+
+
+#: Process-wide registry used by the built-in seams.  Tests arm rules on
+#: it directly; an autouse fixture clears it between tests.
+FAULTS = FaultRegistry()

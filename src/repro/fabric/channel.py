@@ -36,6 +36,7 @@ import time
 from typing import TYPE_CHECKING, Any, Callable
 
 from repro.client.errors import ClientError
+from repro.core.faults import FAULTS
 from repro.protocols.errors import Fault
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -197,6 +198,8 @@ class PeerChannel:
                 last = exc
                 continue
             try:
+                FAULTS.fire("fabric.channel.call", peer=self.name, what=what,
+                            attempt=attempt)
                 result = operation(client)
             except Fault:
                 # The peer answered: the session is healthy, the call is not.

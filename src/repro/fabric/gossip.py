@@ -26,6 +26,7 @@ import threading
 from typing import TYPE_CHECKING, Any
 
 from repro.client.errors import ClientError
+from repro.core.faults import FAULTS
 from repro.protocols.errors import Fault
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -122,6 +123,7 @@ class GossipBus:
             "source": message.source or self.source,
             "timestamp": message.timestamp,
         }
+        FAULTS.fire("fabric.gossip.entry", source=self.source, entry=entry)
         with self._lock:
             self._outbox.append(entry)
             self.queued += 1

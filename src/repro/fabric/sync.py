@@ -201,6 +201,25 @@ class CatalogueSync:
             self.malformed += 1
             return True
         checksum = str(remote.get("checksum", ""))
+        try:
+            local_entry = self.catalogue.entry(lfn)
+        except ReplicaNotFoundError:
+            local_entry = None
+        if (local_entry is not None and checksum and local_entry["checksum"]
+                and checksum != local_entry["checksum"]):
+            # A different canonical digest under the same LFN: corruption
+            # evidence, or a tombstone-less delete-and-recreate behind a
+            # partition.  Merging either way would clobber somebody's truth,
+            # so surface the divergence (once per remote version change —
+            # returning True records the peer version as seen) and leave
+            # both catalogues alone.
+            stats["conflicts"] += 1
+            self.conflicts += 1
+            self._publish_conflict(
+                peer, lfn, "",
+                f"canonical checksum {checksum} does not match local "
+                f"{local_entry['checksum']}")
+            return True
         valid_states = {s.value for s in ReplicaState}
         complete = True
         merged_any = False

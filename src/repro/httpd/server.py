@@ -146,6 +146,42 @@ class _TCPServer(socketserver.ThreadingMixIn, socketserver.TCPServer):
     daemon_threads = True
     allow_reuse_address = True
 
+    def __init__(self, *args: object, **kwargs: object) -> None:
+        super().__init__(*args, **kwargs)  # type: ignore[arg-type]
+        self._connections: set[socket.socket] = set()
+        self._connections_lock = threading.Lock()
+
+    def get_request(self):  # noqa: D102 - socketserver API
+        request, client_address = super().get_request()
+        with self._connections_lock:
+            self._connections.add(request)
+        return request, client_address
+
+    def shutdown_request(self, request) -> None:  # noqa: D102
+        with self._connections_lock:
+            self._connections.discard(request)
+        super().shutdown_request(request)
+
+    def close_all_connections(self) -> None:
+        """Sever every established connection (half-close both directions).
+
+        ``shutdown()`` only stops the accept loop; daemon handler threads
+        blocked in a keep-alive read would otherwise keep serving requests
+        against a stopped server indefinitely — a restarted instance on the
+        same port then splits the world between clients holding old
+        connections (frozen state) and clients that reconnect.  Shutting the
+        sockets down (not closing them — the handler thread still owns the
+        fd) makes those reads fail so the connection loops exit.
+        """
+
+        with self._connections_lock:
+            connections = list(self._connections)
+        for conn in connections:
+            try:
+                conn.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+
 
 class SocketHTTPServer:
     """A threaded HTTP server bound to a host/port."""
@@ -183,6 +219,7 @@ class SocketHTTPServer:
         if self._thread is None:
             return
         self._server.shutdown()
+        self._server.close_all_connections()
         self._server.server_close()
         self._thread.join(timeout=5)
         self._thread = None

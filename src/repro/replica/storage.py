@@ -28,6 +28,7 @@ from contextlib import contextmanager
 from typing import TYPE_CHECKING, Iterable, Iterator
 
 from repro.client.errors import ClientError
+from repro.core.faults import FAULTS
 from repro.fabric.channel import PeerChannel
 from repro.fileservice.vfs import VFSError, VirtualFileSystem
 from repro.protocols.errors import Fault
@@ -120,6 +121,19 @@ class StorageElement:
     def delete(self, pfn: str) -> bool:
         raise NotImplementedError
 
+    def adopt(self, pfn: str, *, size: int, checksum: str) -> None:
+        """Claim pre-existing verified bytes at ``pfn`` as a replica.
+
+        Called by the transfer engine's adoption path instead of
+        :meth:`write_stream` when the destination already holds exactly the
+        catalogued bytes (a crashed transfer that finished its copy, a
+        catalogue drop that left the physical file behind).  Local elements
+        need no side effects; a :class:`RemoteStorageElement` must register
+        the copy in the *peer's* catalogue — the write path does that inside
+        ``write_stream``, and skipping it on adoption would leave the peer
+        serving-blind to bytes it physically holds.
+        """
+
     def checksum(self, pfn: str) -> str:
         """MD5 hexdigest of the stored bytes (re-read from the medium)."""
 
@@ -157,6 +171,7 @@ class VFSStorageElement(StorageElement):
 
     def read(self, pfn: str, offset: int = 0, length: int = -1) -> bytes:
         self.require_available()
+        FAULTS.fire("replica.storage.read", se=self.name, pfn=pfn, op="read")
         try:
             return self.vfs.read(pfn, offset, length)
         except VFSError as exc:
@@ -164,6 +179,8 @@ class VFSStorageElement(StorageElement):
 
     def open_reader(self, pfn: str, *, chunk_size: int = DEFAULT_CHUNK) -> Iterator[bytes]:
         self.require_available()
+        FAULTS.fire("replica.storage.read", se=self.name, pfn=pfn,
+                    op="open_reader")
         try:
             real = self.vfs.resolve(pfn, must_exist=True)
         except VFSError as exc:
@@ -184,6 +201,7 @@ class VFSStorageElement(StorageElement):
 
     def write_stream(self, pfn: str, chunks: Iterable[bytes]) -> tuple[int, str]:
         self.require_available()
+        FAULTS.fire("replica.storage.write", se=self.name, pfn=pfn)
         try:
             real = self.vfs.resolve(pfn)
         except VFSError as exc:
@@ -465,6 +483,20 @@ class RemoteStorageElement(StorageElement):
             self._call("replica.register", pfn, self.remote_se, pfn,
                        written, hexdigest)
         return written, hexdigest
+
+    def adopt(self, pfn: str, *, size: int, checksum: str) -> None:
+        """Make sure the peer's own catalogue lists the adopted bytes.
+
+        Registration is idempotent (an identical existing row refreshes
+        cleanly), so adopting bytes the peer already catalogued is a no-op;
+        adopting bytes a crashed transfer uploaded but never registered
+        closes exactly the gap that would otherwise leave this server
+        claiming a replica the peer cannot serve or heal from.
+        """
+
+        if self.register_remote:
+            self._call("replica.register", pfn, self.remote_se, pfn,
+                       int(size), checksum)
 
     def delete(self, pfn: str) -> bool:
         deleted = False

@@ -37,6 +37,7 @@ import threading
 import time
 from typing import Callable, Iterator, Mapping
 
+from repro.core.faults import FAULTS
 from repro.monitoring.bus import MessageBus
 from repro.replica.catalogue import ReplicaCatalogue
 from repro.replica.journal import TransferJournal
@@ -207,6 +208,9 @@ class TransferEngine:
             self._ids = itertools.count(max(floor + 1, next(self._ids)))
         recovered: list[TransferRequest] = []
         for row in entries:
+            FAULTS.fire("replica.transfer.recover_row",
+                        transfer_id=int(row["transfer_id"]), lfn=row["lfn"],
+                        dst_se=row["dst_se"], source=self.source)
             with self._lock:
                 if int(row["transfer_id"]) in self._requests:
                     continue
@@ -250,6 +254,9 @@ class TransferEngine:
         record = entry["replicas"].get(request.dst_se)
         if record is None or record["state"] != ReplicaState.COPYING.value:
             return
+        FAULTS.fire("replica.transfer.reclaim", stage="begin",
+                    transfer_id=request.transfer_id, lfn=request.lfn,
+                    dst_se=request.dst_se)
         dst = self.elements.get(request.dst_se)
         try:
             if dst is not None and dst.exists(record["pfn"]):
@@ -258,6 +265,9 @@ class TransferEngine:
                     dst.delete(record["pfn"])
         except ReplicaError:
             pass                              # best-effort; the retry re-checks
+        FAULTS.fire("replica.transfer.reclaim", stage="drop",
+                    transfer_id=request.transfer_id, lfn=request.lfn,
+                    dst_se=request.dst_se)
         try:
             self.catalogue.drop(request.lfn, request.dst_se)
         except ReplicaError:
@@ -385,6 +395,13 @@ class TransferEngine:
             # catalogued bytes; never overwrite or delete foreign data.
             digest = dst.checksum(dst_pfn)
             if entry["checksum"] and digest == entry["checksum"]:
+                # Destination-side bookkeeping first: for a remote element
+                # this registers the bytes in the *peer's* catalogue (a
+                # crashed transfer may have uploaded them without ever
+                # registering), and it is idempotent — so a failure here
+                # retries the whole adoption instead of leaving this server
+                # claiming a replica the peer does not know it holds.
+                dst.adopt(dst_pfn, size=int(entry["size"]), checksum=digest)
                 try:
                     self.catalogue.register(request.lfn, request.dst_se,
                                             dst_pfn, size=int(entry["size"]),

@@ -7,14 +7,77 @@ trust roots build them explicitly.
 
 from __future__ import annotations
 
+import os
+import random
+
 import pytest
 
+from repro.core.clock import FakeClock
 from repro.core.config import ServerConfig
+from repro.core.faults import FAULTS
 from repro.core.server import ClarensServer
 from repro.client.client import ClarensClient
 from repro.pki.authority import CertificateAuthority
 
 ADMIN_DN = "/O=clarens.test/OU=People/CN=Ada Admin"
+
+
+def pytest_addoption(parser):
+    parser.addoption("--run-soak", action="store_true", default=False,
+                     help="run tests marked soak/slow (long chaos runs)")
+
+
+def pytest_collection_modifyitems(config, items):
+    if config.getoption("--run-soak"):
+        return
+    skip = pytest.mark.skip(reason="soak/slow test; opt in with --run-soak")
+    for item in items:
+        if "soak" in item.keywords or "slow" in item.keywords:
+            item.add_marker(skip)
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_makereport(item, call):
+    """Print the replay line for any seeded test that fails."""
+
+    outcome = yield
+    report = outcome.get_result()
+    seed = getattr(item, "_repro_seed", None)
+    if seed is not None and report.when == "call" and report.failed:
+        report.sections.append(
+            ("seed replay",
+             f"replay this exact run with: REPRO_TEST_SEED={seed}"))
+
+
+@pytest.fixture(autouse=True)
+def _clear_faults():
+    """No fault rule armed in one test may leak into the next."""
+
+    FAULTS.clear()
+    yield
+    FAULTS.clear()
+
+
+@pytest.fixture()
+def fake_clock():
+    """A controllable monotonic clock (no real sleeping)."""
+
+    return FakeClock()
+
+
+@pytest.fixture()
+def test_seed(request):
+    """Per-test randomness seed, honouring ``REPRO_TEST_SEED`` for replay.
+
+    A failing test that used this fixture reprints its seed in a
+    ``seed replay`` report section; exporting that value reruns the same
+    schedule.
+    """
+
+    env = os.environ.get("REPRO_TEST_SEED", "").strip()
+    seed = int(env) if env else random.SystemRandom().randrange(1, 2**31)
+    request.node._repro_seed = seed
+    return seed
 
 
 @pytest.fixture(scope="session")

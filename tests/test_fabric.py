@@ -10,6 +10,7 @@ charging, and the ACL fence on the ``fabric.*`` RPC surface.
 
 from __future__ import annotations
 
+import hashlib
 import itertools
 import socket
 
@@ -19,6 +20,7 @@ from repro.client.client import ClarensClient
 from repro.client.errors import ClientError
 from repro.client.files import download_lfn
 from repro.core.config import ServerConfig
+from repro.core.faults import FAULTS
 from repro.core.server import ClarensServer
 from repro.fabric.channel import PeerChannel, PeerChannelError
 from repro.fabric.registry import PeerRegistry
@@ -129,46 +131,25 @@ class TestPeerRegistry:
 # PeerChannel
 # ---------------------------------------------------------------------------
 
-class _FlakyTransport:
-    """Wraps a client transport; fails with ClientError on scheduled calls."""
+def drop_attempts(peer, *numbers):
+    """Arm a link-drop plan on the ``fabric.channel.call`` fault seam.
 
-    def __init__(self, inner, fail_on: set[int]) -> None:
-        self.inner = inner
-        self.fail_on = fail_on
-        self.counter = itertools.count(1)
-
-    def request(self, *args, **kwargs):
-        if next(self.counter) in self.fail_on:
-            raise ClientError("simulated link drop")
-        return self.inner.request(*args, **kwargs)
-
-    def close(self):
-        self.inner.close()
-
-
-def flaky_factory(server, credential, fail_on):
-    """Clients whose transports drop on globally scheduled request numbers."""
+    The Nth seam fire for ``peer`` (counting every attempt, retries
+    included — session login happens outside the seam) raises
+    :class:`ClientError`, exactly the schedule the old transport-wrapping
+    flake produced.  The rule is disarmed by the autouse ``FAULTS.clear()``
+    fixture; tests that finish their plan early may also ``cancel()`` it.
+    """
 
     schedule = itertools.count(1)
-    plan = set(fail_on)
+    plan = set(numbers)
 
-    def factory():
-        client = ClarensClient.for_loopback(server.loopback())
-        client.login_with_credential(credential)
-        inner = client.transport
+    def maybe_drop(ctx):
+        if next(schedule) in plan:
+            raise ClientError("injected link drop")
 
-        class _Planned:
-            def request(self, *args, **kwargs):
-                if next(schedule) in plan:
-                    raise ClientError("simulated link drop")
-                return inner.request(*args, **kwargs)
-
-            def close(self):
-                inner.close()
-
-        client.transport = _Planned()
-        return client
-    return factory
+    return FAULTS.inject("fabric.channel.call", call=maybe_drop,
+                         times=None, match={"peer": peer})
 
 
 class TestPeerChannel:
@@ -212,11 +193,12 @@ class TestPeerChannel:
         try:
             registry = PeerRegistry(source="me")
             registry.add("flaky-site")
-            # The first post-login request drops; the rebuilt session's
+            # The first post-login attempt drops; the rebuilt session's
             # retry succeeds.
-            factory = flaky_factory(server, peer_credential, fail_on={1})
-            channel = PeerChannel("flaky-site", factory, registry=registry,
-                                  backoff=0.0)
+            drop_attempts("flaky-site", 1)
+            channel = PeerChannel("flaky-site",
+                                  login_factory(server, peer_credential),
+                                  registry=registry, backoff=0.0)
             assert channel.call("system.ping") == "pong"
             assert channel.transport_errors == 1
             assert channel.reconnects == 2
@@ -249,10 +231,30 @@ class TestPeerChannel:
                                                         peer_credential):
         server = build_site(fabric_ca, "oneshot-site")
         try:
-            factory = flaky_factory(server, peer_credential, fail_on={1})
-            channel = PeerChannel("oneshot-site", factory, backoff=0.0)
+            drop_attempts("oneshot-site", 1)
+            channel = PeerChannel("oneshot-site",
+                                  login_factory(server, peer_credential),
+                                  backoff=0.0)
             with pytest.raises(PeerChannelError):
                 channel.call("system.ping", retry=False)
+            channel.close()
+        finally:
+            server.close()
+
+    def test_backoff_schedule_on_fake_clock(self, fabric_ca, peer_credential,
+                                            fake_clock):
+        """Retries wait exponentially — asserted as a schedule, not wall time."""
+
+        server = build_site(fabric_ca, "slow-site")
+        try:
+            drop_attempts("slow-site", 1, 2, 3)
+            channel = PeerChannel("slow-site",
+                                  login_factory(server, peer_credential),
+                                  max_attempts=4, backoff=0.1,
+                                  sleep=fake_clock.sleep)
+            assert channel.call("system.ping") == "pong"
+            assert fake_clock.sleeps == [0.1, 0.2, 0.4]
+            assert channel.transport_errors == 3
             channel.close()
         finally:
             server.close()
@@ -278,12 +280,13 @@ class TestRemoteStorageElementOverChannel:
         remote_server = build_site(fabric_ca, "store-site")
         try:
             self._seed(remote_server, peer_credential)
-            # Drop the link twice in the middle of the chunk stream (request
+            # Drop the link twice in the middle of the chunk stream (attempt
             # 1 is the stat, 2+ are the ranged reads); the channel rebuilds a
             # session each time and the reads resume where they left off.
-            factory = flaky_factory(remote_server, peer_credential,
-                                    fail_on={3, 5})
-            channel = PeerChannel("store-site", factory, backoff=0.0)
+            drop_attempts("store-site", 3, 5)
+            channel = PeerChannel("store-site",
+                                  login_factory(remote_server, peer_credential),
+                                  backoff=0.0)
             element = RemoteStorageElement("store-site", channel)
             assembled = b"".join(element.open_reader(self.LFN, chunk_size=4096))
             assert assembled == self.DATA
@@ -303,9 +306,10 @@ class TestRemoteStorageElementOverChannel:
         local_server = build_site(fabric_ca, "dst-site")
         try:
             self._seed(remote_server, peer_credential)
-            factory = flaky_factory(remote_server, peer_credential,
-                                    fail_on={7})
-            channel = PeerChannel("src-site", factory, backoff=0.0)
+            drop_attempts("src-site", 7)
+            channel = PeerChannel("src-site",
+                                  login_factory(remote_server, peer_credential),
+                                  backoff=0.0)
             replica = local_server.services["replica"]
             replica.add_storage_element(
                 RemoteStorageElement("src-site", channel))
@@ -330,10 +334,12 @@ class TestRemoteStorageElementOverChannel:
 
         remote_server = build_site(fabric_ca, "upsite")
         try:
-            factory = flaky_factory(remote_server, peer_credential,
-                                    fail_on={1})
+            drop_attempts("upsite", 1)
             element = RemoteStorageElement(
-                "upsite", PeerChannel("upsite", factory, backoff=0.0))
+                "upsite", PeerChannel("upsite",
+                                      login_factory(remote_server,
+                                                    peer_credential),
+                                      backoff=0.0))
             with pytest.raises(StorageElementError):
                 element.write_stream("/lfn/up/x.bin", [b"abc", b"def"])
         finally:
@@ -501,6 +507,64 @@ class TestCatalogueSync:
         # B's own canonical checksum is untouched.
         entry = site_b.services["replica"].catalogue.entry(self.LFN)
         assert "site-a" not in entry["replicas"]
+
+    def test_partition_heals_and_tombstoneless_delete_conflicts(
+            self, two_sites, peer_credential):
+        """Anti-entropy across a partition: convergence, not silent drift.
+
+        While B is partitioned from A, A registers a fresh LFN *and*
+        delete-and-recreates an already-gossiped one with different bytes
+        (no tombstone — the entry version restarts).  After the heal the
+        fresh LFN converges, and the recreated one surfaces as a
+        ``fabric.sync.conflict`` instead of silently clobbering (or
+        silently keeping) B's stale view.  Note the recreate is only
+        visible because B last saw the entry at version 2: a recreate that
+        lands on the exact version the vector remembers is invisible to
+        digests — the inherent blind spot of tombstone-less deletes.
+        """
+
+        site_a, site_b = two_sites
+        conflicts = []
+        site_b.message_bus.subscribe("fabric.sync.conflict",
+                                     lambda m: conflicts.append(m.payload))
+        catalogue_a = site_a.services["replica"].catalogue
+        catalogue_b = site_b.services["replica"].catalogue
+
+        self._register_on(site_a, peer_credential).close()
+        catalogue_a.note_error(self.LFN, "local", "touched")   # version 2
+        assert site_b.fabric.sync.sync_once()["site-a"]["entries"] == 1
+
+        # Partition: every B->A channel attempt drops at the fault seam.
+        partition = FAULTS.inject("fabric.channel.call",
+                                  match={"peer": "site-a"}, times=None,
+                                  exc=ClientError("injected partition"))
+        assert "error" in site_b.fabric.sync.sync_once()["site-a"]
+
+        # Behind the partition: one brand-new LFN ...
+        fresh_lfn = "/lfn/sync/fresh.root"
+        client_a = ClarensClient.for_loopback(site_a.loopback())
+        client_a.login_with_credential(peer_credential)
+        client_a.call("file.write", fresh_lfn, b"made during partition", False)
+        client_a.call("replica.register", fresh_lfn, "local", fresh_lfn)
+        client_a.close()
+        # ... and a tombstone-less delete + recreate of the gossiped one.
+        catalogue_a.drop(self.LFN)
+        self._register_on(site_a, peer_credential,
+                          data=b"recreated with different bytes").close()
+
+        partition.cancel()
+        outcome = site_b.fabric.sync.sync_once()["site-a"]
+        assert outcome["entries"] == 1            # fresh LFN converged
+        assert outcome["conflicts"] == 1          # recreate surfaced
+        assert [c["lfn"] for c in conflicts] == [self.LFN]
+        assert catalogue_b.replica_on(fresh_lfn, "site-a").state \
+            is ReplicaState.ACTIVE
+        # B's canonical truth for the recreated LFN is untouched ...
+        assert catalogue_b.entry(self.LFN)["checksum"] == \
+            hashlib.md5(self.DATA).hexdigest()
+        # ... and the conflict does not storm: the next round moves nothing.
+        assert site_b.fabric.sync.sync_once()["site-a"]["changed"] == 0
+        assert len(conflicts) == 1
 
     def test_sync_now_rpc_is_admin_only(self, two_sites, admin_credential,
                                         user_credential):

@@ -196,3 +196,25 @@ class TestSocketHTTPServer:
             conn.getresponse().read()
             conn.close()
         assert seen["session"] == "abc123"
+
+    def test_stop_severs_established_keepalive_connections(self):
+        """stop() must kill live keep-alive connections, not just the
+        acceptor.
+
+        Without severing, a daemon handler thread blocked in a keep-alive
+        read keeps serving the stopped instance's (frozen) state — after a
+        same-port restart, clients holding old connections silently talk to
+        the dead server while new connections reach the live one.
+        """
+
+        server = SocketHTTPServer(echo_handler).start()
+        host, port = server.address
+        conn = http.client.HTTPConnection(host, port, timeout=5)
+        conn.request("GET", "/before")
+        assert conn.getresponse().read() == b"GET /before 0"
+        server.stop()
+        with pytest.raises((ConnectionError, http.client.HTTPException,
+                            OSError)):
+            conn.request("GET", "/after")
+            conn.getresponse().read()
+        conn.close()

@@ -27,11 +27,13 @@ from repro.replica.journal import TransferJournal
 from repro.replica.model import (ReplicaNotFoundError, ReplicaState,
                                  TransferRequest, TransferState)
 from repro.replica.policy import POLICY_OWNER, ReplicaPolicyEngine
-from repro.replica.storage import RemoteStorageElement, VFSStorageElement
+from repro.core.faults import FAULTS
+from repro.replica.storage import (RemoteStorageElement, StorageElementError,
+                                   VFSStorageElement)
 from repro.replica.transfer import TransferEngine
 
 from tests.conftest import build_server
-from tests.test_replica import FlakyWriteSE, make_se, register_file
+from tests.test_replica import make_se, register_file
 
 
 def make_engine(catalogue, elements, **kwargs):
@@ -189,6 +191,93 @@ class TestRestartReplay:
             assert catalogue.replica_on("/lfn/f", "se-b").state \
                 is ReplicaState.ACTIVE
             assert len(journal) == 0
+        finally:
+            engine.stop()
+
+    def test_crash_mid_reclaim_is_replayable(self, tmp_path):
+        """Recovery dying between partial-byte cleanup and claim drop heals.
+
+        The journal row is only rewritten after reclaim finishes, so a
+        second recovery replays the same row: the reclaim re-runs, drops
+        the still-COPYING claim, and the transfer completes exactly once.
+        """
+
+        db = Database()
+        catalogue = ReplicaCatalogue(db)
+        journal = TransferJournal(db)
+        se_a = make_se(tmp_path, "se-a")
+        se_b = make_se(tmp_path, "se-b")
+        data = b"reclaimed exactly once"
+        register_file(catalogue, se_a, "/lfn/f", data)
+        catalogue.register("/lfn/f", "se-b", "/lfn/f", size=len(data),
+                           checksum=hashlib.md5(data).hexdigest(),
+                           state=ReplicaState.COPYING, if_absent=True)
+        se_b.vfs.write("/lfn/f", data[:5])
+        journal.record(TransferRequest(
+            transfer_id=5, lfn="/lfn/f", dst_se="se-b",
+            state=TransferState.RUNNING, attempts=1, bytes_total=len(data)))
+
+        FAULTS.inject("replica.transfer.reclaim", match={"stage": "drop"},
+                      exc=RuntimeError("injected crash mid-reclaim"))
+        crashed = make_engine(catalogue, [se_a, se_b], journal=journal)
+        with pytest.raises(RuntimeError):
+            crashed.recover()
+        # The interrupted recovery deleted the partial bytes but left the
+        # COPYING claim and the journal row behind.
+        assert not se_b.exists("/lfn/f")
+        assert catalogue.replica_on("/lfn/f", "se-b").state \
+            is ReplicaState.COPYING
+        assert len(journal) == 1
+
+        engine = make_engine(catalogue, [se_a, se_b], journal=journal)
+        engine.start()
+        try:
+            done = engine.wait(5, timeout=10.0)
+            assert done.state is TransferState.DONE
+            assert engine.transfers_recovered == 1
+            assert se_b.read("/lfn/f") == data
+            assert catalogue.replica_on("/lfn/f", "se-b").state \
+                is ReplicaState.ACTIVE
+            assert len(journal) == 0
+        finally:
+            engine.stop()
+
+    def test_crash_between_recovered_rows_loses_nothing(self, tmp_path):
+        """Replay dying between two rows neither loses nor doubles them."""
+
+        db = Database()
+        catalogue = ReplicaCatalogue(db)
+        journal = TransferJournal(db)
+        se_a = make_se(tmp_path, "se-a")
+        se_b = make_se(tmp_path, "se-b")
+        first, second = b"first payload", b"second payload"
+        register_file(catalogue, se_a, "/lfn/f", first)
+        register_file(catalogue, se_a, "/lfn/g", second)
+        journal.record(TransferRequest(transfer_id=1, lfn="/lfn/f",
+                                       dst_se="se-b", bytes_total=len(first)))
+        journal.record(TransferRequest(transfer_id=2, lfn="/lfn/g",
+                                       dst_se="se-b", bytes_total=len(second)))
+
+        FAULTS.inject("replica.transfer.recover_row", after=1,
+                      exc=RuntimeError("injected crash mid-replay"))
+        crashed = make_engine(catalogue, [se_a, se_b], journal=journal)
+        with pytest.raises(RuntimeError):
+            crashed.recover()
+        assert len(journal) == 2                  # nothing discharged
+
+        engine = make_engine(catalogue, [se_a, se_b], journal=journal)
+        engine.start()
+        try:
+            for transfer_id in (1, 2):
+                assert engine.wait(transfer_id, timeout=10.0).state \
+                    is TransferState.DONE
+            assert engine.transfers_recovered == 2
+            assert se_b.read("/lfn/f") == first
+            assert se_b.read("/lfn/g") == second
+            assert len(journal) == 0
+            for lfn in ("/lfn/f", "/lfn/g"):
+                assert [r.storage_element for r in catalogue.replicas(lfn)] \
+                    == ["se-a", "se-b"]
         finally:
             engine.stop()
 
@@ -415,9 +504,10 @@ class TestPolicyEngine:
         bus = MessageBus()
         catalogue = ReplicaCatalogue(Database(), bus=bus)
         se_a = make_se(tmp_path, "se-a")
-        (tmp_path / "se-bad").mkdir()
-        se_bad = FlakyWriteSE("se-bad", VirtualFileSystem(tmp_path / "se-bad"),
-                              fail_writes=99)
+        se_bad = make_se(tmp_path, "se-bad")
+        FAULTS.inject("replica.storage.write", match={"se": "se-bad"},
+                      exc=StorageElementError("injected write failure"),
+                      times=None)                        # every write fails
         engine = make_engine(catalogue, [se_a, se_bad], max_attempts=2, bus=bus)
         engine.start()
         policy = ReplicaPolicyEngine(catalogue, engine, bus=bus,
@@ -472,10 +562,9 @@ class TestPolicyEngine:
         bus = MessageBus()
         catalogue = ReplicaCatalogue(Database(), bus=bus)
         se_a = make_se(tmp_path, "se-a")
-        (tmp_path / "se-flaky").mkdir()
-        se_flaky = FlakyWriteSE("se-flaky",
-                                VirtualFileSystem(tmp_path / "se-flaky"),
-                                fail_writes=1)
+        se_flaky = make_se(tmp_path, "se-flaky")
+        FAULTS.inject("replica.storage.write", match={"se": "se-flaky"},
+                      exc=StorageElementError("injected write failure"))
         engine = make_engine(catalogue, [se_a, se_flaky], max_attempts=1,
                              bus=bus)
         engine.start()
@@ -526,9 +615,10 @@ class TestPolicyEngine:
         bus = MessageBus()
         catalogue = ReplicaCatalogue(Database(), bus=bus)
         se_a = make_se(tmp_path, "se-a")
-        (tmp_path / "se-bad").mkdir()
-        se_bad = FlakyWriteSE("se-bad", VirtualFileSystem(tmp_path / "se-bad"),
-                              fail_writes=99)
+        se_bad = make_se(tmp_path, "se-bad")
+        FAULTS.inject("replica.storage.write", match={"se": "se-bad"},
+                      exc=StorageElementError("injected write failure"),
+                      times=None)                        # every write fails
         engine = make_engine(catalogue, [se_a, se_bad], max_attempts=1,
                              bus=bus)
         engine.start()
