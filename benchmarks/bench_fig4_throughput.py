@@ -19,7 +19,9 @@ import pytest
 
 from repro.bench.results import ComparisonRow, ResultTable, format_rate
 from repro.bench.sweep import summarize_sweep, sweep_client_counts
-from repro.client.asyncclient import AsyncLoadClient
+from repro.client.asyncclient import AsyncLoadClient, PipelinedLoadClient
+from repro.core.config import ServerConfig
+from repro.core.server import ClarensServer
 
 #: Sub-sampled client grid (full 1..79 with --paper-scale).
 CLIENT_GRID = (1, 2, 4, 8, 16, 32, 64, 79)
@@ -70,6 +72,46 @@ def test_fig4_full_sweep_summary(benchmark, bench_env, paper_scale, capsys):
 
     assert summary["total_errors"] == 0
     assert _shape_holds(summary["per_client_count"])
+
+
+@pytest.mark.parametrize("transport", ["threaded", "async"])
+def test_fig4_socket_transport(benchmark, paper_scale, transport):
+    """The Figure-4 workload over real sockets, one run per frontend.
+
+    Both frontends are driven by the same event-loop pipelined client, so
+    the A/B isolates the server transport.  The no-collapse shape assertion
+    applies to the async frontend only: the threaded frontend's collapse
+    under many concurrent connections is exactly what this A/B documents.
+    """
+
+    calls = 2000 if paper_scale else 400
+    grid = (1, 8, 64) if paper_scale else (1, 8)
+    server, _ca = ClarensServer.with_test_pki(
+        ServerConfig(server_transport=transport))
+    frontend = server.frontend()
+    per_point: dict[int, float] = {}
+    errors = 0
+    try:
+        with frontend:
+            def sweep():
+                nonlocal errors
+                for n_clients in grid:
+                    load = PipelinedLoadClient(
+                        frontend.url, server.config.rpc_path(),
+                        n_clients=n_clients)
+                    load.run_batch(100)  # warm-up
+                    result = load.run_batch(calls)
+                    per_point[n_clients] = result.calls_per_second
+                    errors += result.errors
+
+            benchmark.pedantic(sweep, rounds=1, iterations=1)
+    finally:
+        server.close()
+    benchmark.extra_info["per_client_count"] = {
+        str(k): round(v, 1) for k, v in per_point.items()}
+    assert errors == 0
+    if transport == "async":
+        assert _shape_holds(per_point)
 
 
 def _shape_holds(per_point: dict[int, float]) -> bool:

@@ -43,8 +43,8 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.bench.pipelinebench import (  # noqa: E402 - path set up above
     measure_fabric_overhead, measure_federation_scrape,
-    measure_fig4_throughput, measure_multicall_speedup,
-    measure_telemetry_overhead)
+    measure_fig4_socket_ab, measure_fig4_throughput,
+    measure_multicall_speedup, measure_telemetry_overhead)
 
 
 def run_pytest_gate() -> int:
@@ -63,6 +63,7 @@ def run_pytest_gate() -> int:
 def measure() -> dict:
     multicall = measure_multicall_speedup(calls=100)
     fig4 = measure_fig4_throughput()
+    socket_ab = measure_fig4_socket_ab()
     fabric = measure_fabric_overhead()
     telemetry = measure_telemetry_overhead()
     federation = measure_federation_scrape()
@@ -85,6 +86,19 @@ def measure() -> dict:
             "per_client_count": {str(k): round(v, 1)
                                  for k, v in fig4["per_client_count"].items()},
             "errors": fig4["errors"],
+        },
+        # Socket-level A/B of the two frontends, same pipelined client.
+        "fig4_threaded": {
+            "per_client_count": {str(k): round(v, 1)
+                                 for k, v in socket_ab["threaded"].items()},
+        },
+        "fig4_async": {
+            "per_client_count": {str(k): round(v, 1)
+                                 for k, v in socket_ab["async"].items()},
+            "speedup_vs_threaded": {
+                str(k): round(v, 2)
+                for k, v in socket_ab["async_over_threaded"].items()},
+            "errors": socket_ab["errors"],
         },
         "fabric": {
             "lfns": fabric["lfns"],
@@ -155,8 +169,11 @@ def main() -> int:
 
     entry = measure()
     runs = append_trend(entry)
+    ab = entry["fig4_async"]["speedup_vs_threaded"]
     print(f"multicall speedup: {entry['multicall']['speedup']}x, "
           f"fig4 mean: {entry['fig4']['mean_calls_per_second']} calls/s, "
+          f"async/threaded: "
+          + "/".join(f"{v}x@{k}" for k, v in ab.items()) + ", "
           f"fabric sync: {entry['fabric']['sync_lfns_per_second']} lfns/s, "
           f"telemetry overhead: {entry['telemetry']['overhead_pct']}%, "
           f"federated scrape: {entry['federation']['cold_federated_ms']}ms")

@@ -44,6 +44,10 @@ def main() -> int:
                         help="fault kinds to enable, e.g. 'kill,link_drop'")
     parser.add_argument("--report", default=None,
                         help="trend file to append the report to")
+    parser.add_argument("--transport", choices=("threaded", "async"),
+                        default=None,
+                        help="socket frontend the federation boots on "
+                             "(default threaded)")
     parser.add_argument("--smoke", action="store_true",
                         help="seconds-scale 3-server run (the tier-1 shape)")
     parser.add_argument("--check", action="store_true",
@@ -66,6 +70,8 @@ def main() -> int:
         knobs["chaos_fault_kinds"] = args.faults
     if args.report is not None:
         knobs["chaos_report_path"] = args.report
+    if args.transport is not None:
+        knobs["chaos_transport"] = args.transport
     knobs["chaos_seed"] = args.seed
 
     config = SoakConfig(**knobs)

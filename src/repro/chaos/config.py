@@ -71,6 +71,10 @@ class SoakConfig:
     #: Trend file the soak report is appended to, relative to the repo root
     #: unless absolute.
     chaos_report_path: str = "BENCH_pipeline.json"
+    #: Socket frontend the federation boots on: ``threaded`` (the paper's
+    #: thread-per-connection server) or ``async`` (the event-loop frontend).
+    #: Maps straight onto the servers' ``server_transport`` knob.
+    chaos_transport: str = "threaded"
 
     def __post_init__(self) -> None:
         if self.chaos_servers < 2:
@@ -88,6 +92,9 @@ class SoakConfig:
                               "per server")
         if self.chaos_rate_limit < 0 or self.chaos_rate_burst < 0:
             raise ConfigError("rate limit knobs cannot be negative")
+        if self.chaos_transport not in ("threaded", "async"):
+            raise ConfigError("chaos_transport must be 'threaded' or 'async', "
+                              f"not {self.chaos_transport!r}")
         self.mix()                            # validate eagerly
         self.fault_kinds()
 

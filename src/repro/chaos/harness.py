@@ -89,7 +89,7 @@ class SoakServer:
             fabric_peers=list(self.peer_specs), **self.overrides)
         self.server = ClarensServer(config, credential=self.credential,
                                     trust_store=self.trust_store)
-        self._sock = self.server.socket_server(port=self.port)
+        self._sock = self.server.frontend(port=self.port)
         self._sock.__enter__()
         for prefix, copies in self.policies:
             self.server.replica_policy.set_policy(prefix, copies)
@@ -158,6 +158,7 @@ class SoakHarness:
     def _server_overrides(self) -> dict[str, Any]:
         config = self.config
         return {
+            "server_transport": config.chaos_transport,
             "dispatch_rate_limit": config.chaos_rate_limit,
             "dispatch_burst": config.chaos_rate_burst,
             "replica_journal_enabled": True,

@@ -83,26 +83,52 @@ class HTTPTransport:
 
     def request(self, method: str, path: str, *, headers: Mapping[str, str] | None = None,
                 body: bytes = b"") -> HTTPResponse:
-        conn = self._connect()
-        try:
-            conn.request(method, path, body=body or None, headers=dict(headers or {}))
-            raw = conn.getresponse()
-            payload = raw.read()
-        except (OSError, http.client.HTTPException) as exc:
-            # One reconnect attempt: the server may have closed an idle
-            # keep-alive connection between requests.
-            self.close()
+        """Issue one request, reconnecting once when that is provably safe.
+
+        A server may close an idle keep-alive connection between requests,
+        so one reconnect attempt is allowed — but only when the retry cannot
+        silently replay a call the server might already have executed:
+
+        * idempotent bodyless methods (GET/HEAD) always get the retry;
+        * anything carrying a body is resent only when the first attempt
+          failed *before any body bytes were written*.  With Content-Length
+          framing the server cannot execute a request whose body never
+          started, so that resend is safe.  Once body bytes are on the wire
+          (or the failure came while reading the response) the server may
+          have received and executed the call, and the error is surfaced to
+          the caller instead of replaying a possibly non-idempotent RPC.
+        """
+
+        header_map = dict(headers or {})
+        for attempt in (0, 1):
             conn = self._connect()
+            body_bytes_written = False
             try:
-                conn.request(method, path, body=body or None, headers=dict(headers or {}))
+                conn.putrequest(method, path)
+                for key, value in header_map.items():
+                    conn.putheader(key, value)
+                if body and not any(k.lower() == "content-length"
+                                    for k in header_map):
+                    conn.putheader("Content-Length", str(len(body)))
+                conn.endheaders()
+                if body:
+                    body_bytes_written = True
+                    conn.send(body)
                 raw = conn.getresponse()
                 payload = raw.read()
-            except (OSError, http.client.HTTPException) as exc2:
-                raise TransportError(f"HTTP request failed: {exc2}") from exc
-        response_headers = Headers()
-        for key, value in raw.getheaders():
-            response_headers.add(key, value)
-        return HTTPResponse(status=raw.status, headers=response_headers, body=payload)
+            except (OSError, http.client.HTTPException) as exc:
+                self.close()
+                retry_safe = (method in ("GET", "HEAD")
+                              or not body_bytes_written)
+                if attempt == 0 and retry_safe:
+                    continue
+                raise TransportError(f"HTTP request failed: {exc}") from exc
+            response_headers = Headers()
+            for key, value in raw.getheaders():
+                response_headers.add(key, value)
+            return HTTPResponse(status=raw.status, headers=response_headers,
+                                body=payload)
+        raise TransportError("unreachable")  # pragma: no cover
 
     def close(self) -> None:
         if self._conn is not None:

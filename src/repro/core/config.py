@@ -71,6 +71,24 @@ class ServerConfig:
     #: Lock shards for the dispatch statistics, so heavily threaded servers
     #: do not serialise the request hot path on one stats mutex.
     dispatch_stats_shards: int = 8
+    #: Which socket frontend ``ClarensServer.frontend()`` builds: ``threaded``
+    #: (one pooled thread per connection, the paper's Apache-like model) or
+    #: ``async`` (one event loop for every connection, with pipelined parsing
+    #: and a bounded executor for the blocking handler stack).
+    server_transport: str = "threaded"
+    #: Worker threads the async frontend offloads request handling to (the
+    #: session/ACL/database stack is synchronous by design).  0 runs handlers
+    #: inline on the event loop — only sensible for sub-millisecond methods.
+    async_executor_workers: int = 8
+    #: Maximum connections the async frontend holds open at once; a surplus
+    #: connection is answered 429 and closed instead of queueing unboundedly
+    #: (0 = unlimited).
+    async_max_connections: int = 0
+    #: Maximum requests admitted into the async frontend concurrently
+    #: (parsed but not yet answered).  Overflow surfaces as 429/RETRY_LATER
+    #: through the admission machinery rather than an unbounded executor
+    #: queue (0 = unlimited).
+    async_max_inflight: int = 0
     #: When True, the method-list DB lookup performed by system.list_methods is
     #: cached; the paper explicitly ran with "no caching … on the server".
     cache_method_list: bool = False
@@ -221,9 +239,15 @@ class ServerConfig:
             if getattr(self, knob) <= 0:
                 raise ConfigError(f"{knob} must be positive")
         for knob in ("dispatch_rate_limit", "dispatch_burst",
-                     "dispatch_max_inflight", "dispatch_multicall_limit"):
+                     "dispatch_max_inflight", "dispatch_multicall_limit",
+                     "async_executor_workers", "async_max_connections",
+                     "async_max_inflight"):
             if getattr(self, knob) < 0:
                 raise ConfigError(f"{knob} cannot be negative")
+        if self.server_transport not in ("threaded", "async"):
+            raise ConfigError(
+                f"server_transport must be 'threaded' or 'async', "
+                f"not {self.server_transport!r}")
         if self.cache_stats_interval < 0:
             raise ConfigError("cache_stats_interval cannot be negative")
         if self.telemetry_slow_ms < 0:
@@ -325,7 +349,9 @@ class ServerConfig:
                     "access_checks_per_request", "dispatch_rate_limit",
                     "dispatch_burst", "dispatch_max_inflight",
                     "dispatch_multicall_limit",
-                    "dispatch_stats_shards", "cache_method_list",
+                    "dispatch_stats_shards", "server_transport",
+                    "async_executor_workers", "async_max_connections",
+                    "async_max_inflight", "cache_method_list",
                     "cache_enabled", "cache_session_maxsize", "cache_session_ttl",
                     "cache_acl_maxsize", "cache_acl_ttl",
                     "cache_discovery_maxsize", "cache_discovery_ttl",

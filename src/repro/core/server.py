@@ -1,13 +1,16 @@
 """The Clarens server assembly.
 
 :class:`ClarensServer` wires together the substrates (database, PKI trust,
-HTTP routing) and the standard services.  It exposes two frontends:
+HTTP routing) and the standard services.  It exposes three frontends:
 
 * :meth:`ClarensServer.loopback` — an in-process transport used by tests and
   by the Figure 4 benchmark (framework overhead only, as in the paper);
-* :meth:`ClarensServer.socket_server` — a real threaded HTTP server.
+* :meth:`ClarensServer.socket_server` — a real threaded HTTP server;
+* :meth:`ClarensServer.async_server` — the event-loop HTTP frontend
+  (:meth:`ClarensServer.frontend` picks between the two socket servers from
+  the ``server_transport`` knob).
 
-Both route through the same :class:`~repro.httpd.router.Router`, so URL
+All route through the same :class:`~repro.httpd.router.Router`, so URL
 handling ("Apache invokes PClarens based on the form of the URL") and request
 processing are identical regardless of transport.
 """
@@ -36,9 +39,11 @@ from repro.core.service import ClarensService
 from repro.core.session import SessionManager
 from repro.core.system import SystemService
 from repro.database import Database
+from repro.core.admission import AdmissionController
 from repro.httpd.accesslog import AccessLog
+from repro.httpd.aio import AsyncHTTPServer
 from repro.httpd.loopback import LoopbackTransport
-from repro.httpd.message import HTTPError, HTTPRequest, HTTPResponse
+from repro.httpd.message import Headers, HTTPError, HTTPRequest, HTTPResponse
 from repro.httpd.router import Router
 from repro.httpd.server import SocketHTTPServer
 from repro.httpd.tls import TLSContext
@@ -362,6 +367,73 @@ class ClarensServer:
 
         return SocketHTTPServer(self.handle_request, host=host, port=port,
                                 keep_alive=keep_alive, access_log=self.access_log)
+
+    def async_server(self, *, host: str = "127.0.0.1", port: int = 0,
+                     keep_alive: bool = True) -> AsyncHTTPServer:
+        """The event-loop HTTP frontend bound to this Clarens instance.
+
+        The transport-level in-flight budget (``async_max_inflight``) runs
+        through its own :class:`AdmissionController` — one shared bucket for
+        the whole loop — so overload surfaces exactly like per-identity
+        shedding does: a ``RetryLaterError`` encoded as a protocol-correct
+        ``RETRY_LATER`` fault (HTTP 429) plus a ``dispatch.throttled`` event
+        on the monitoring bus.
+        """
+
+        cfg = self.config
+        gate = None
+        if cfg.async_max_inflight > 0:
+            admission = AdmissionController(
+                max_inflight=cfg.async_max_inflight,
+                bus=self.message_bus, source=cfg.server_name)
+            gate = lambda request: admission.admit(  # noqa: E731
+                "<async-transport>", request.url_path)
+        return AsyncHTTPServer(
+            self.handle_request, host=host, port=port, keep_alive=keep_alive,
+            executor_workers=cfg.async_executor_workers,
+            max_connections=cfg.async_max_connections,
+            gate=gate, overload_handler=self._overload_response,
+            access_log=self.access_log)
+
+    def frontend(self, *, host: str = "127.0.0.1", port: int = 0,
+                 keep_alive: bool = True) -> SocketHTTPServer | AsyncHTTPServer:
+        """The socket frontend selected by the ``server_transport`` knob."""
+
+        if self.config.server_transport == "async":
+            return self.async_server(host=host, port=port, keep_alive=keep_alive)
+        return self.socket_server(host=host, port=port, keep_alive=keep_alive)
+
+    def _overload_response(self, request: HTTPRequest | None,
+                           exc: BaseException | None) -> HTTPResponse:
+        """A 429 for a request (or connection) the transport refused.
+
+        RPC POSTs get a protocol-correct ``RETRY_LATER`` fault body in the
+        codec the request was written in, so a Clarens client sees transport
+        backpressure and pipeline throttling identically; everything else
+        (file GETs, refused connections) gets a plain-text 429.
+        """
+
+        from repro.protocols import (Fault, ProtocolError, RPCResponse,
+                                     default_codec, detect_codec)
+        from repro.protocols.errors import FaultCode
+
+        message = str(exc) if exc else "server is at capacity; retry later"
+        retry_after = getattr(exc, "retry_after", 0.0) or 0.0
+        if request is None or request.method != "POST" or not request.body:
+            response = HTTPResponse.error(429, message)
+        else:
+            try:
+                codec = detect_codec(request.body, request.content_type)
+            except ProtocolError:
+                codec = default_codec()
+            body = codec.encode_response(RPCResponse.from_fault(
+                Fault(FaultCode.RETRY_LATER, message)))
+            response = HTTPResponse(
+                status=429, headers=Headers({"Content-Type": codec.content_type}),
+                body=body)
+        if retry_after > 0:
+            response.headers.set("Retry-After", f"{retry_after:.3f}")
+        return response
 
     # -- discovery helpers ---------------------------------------------------------
     def service_descriptor(self, url: str | None = None) -> dict:

@@ -248,8 +248,15 @@ class FileService(ClarensService):
         if not decision.allowed:
             raise HTTPError(403, f"read access to {lfn} denied")
         offset, length = self._range_params(request)
+        # A ``hop`` marker means a peer server is already proxying this read
+        # on a caller's behalf: serve it from directly-reachable elements only.
+        # Without the guard, servers with stale catalogue views can proxy a
+        # read around the fleet in a cycle, and on bounded request executors
+        # that circular wait deadlocks every server until client timeouts
+        # unwind it (observed as a fleet-wide outage in the async soak).
+        proxy = "hop" not in request.query
         try:
-            replica, element = broker.resolve(lfn)
+            replica, element = broker.resolve(lfn, proxy=proxy)
         except ReplicaError as exc:
             raise HTTPError(404, str(exc)) from exc
         if isinstance(element, VFSStorageElement):
@@ -282,7 +289,7 @@ class FileService(ClarensService):
                      f"ranges (or read through a server holding a local "
                      f"replica, which streams)")
         try:
-            data = broker.read(lfn, offset, wanted)
+            data = broker.read(lfn, offset, wanted, proxy=proxy)
         except ReplicaError as exc:
             raise HTTPError(404, str(exc)) from exc
         return HTTPResponse.ok(data, content_type="application/octet-stream",

@@ -13,14 +13,18 @@ path.  This package reproduces that substrate:
 * :mod:`repro.httpd.loopback`  -- an in-process transport used by tests and by
   the Figure 4 benchmark (measures framework overhead, not kernel sockets).
 * :mod:`repro.httpd.server`    -- a real threaded socket HTTP server.
+* :mod:`repro.httpd.aio`       -- the event-loop HTTP frontend (one asyncio
+  loop for every connection, shared parser, bounded-executor offload).
 * :mod:`repro.httpd.workers`   -- the Apache-like worker pool model.
 * :mod:`repro.httpd.accesslog` -- common-log-format access logging.
 """
 
 from __future__ import annotations
 
+from repro.httpd.aio import AsyncHTTPServer
 from repro.httpd.loopback import LoopbackConnection, LoopbackTransport
-from repro.httpd.message import HTTPError, HTTPRequest, HTTPResponse
+from repro.httpd.message import (HTTPError, HTTPRequest, HTTPRequestParser,
+                                 HTTPResponse)
 from repro.httpd.router import Route, Router
 from repro.httpd.sendfile import FilePayload
 from repro.httpd.server import SocketHTTPServer
@@ -36,6 +40,8 @@ __all__ = [
     "LoopbackTransport",
     "LoopbackConnection",
     "SocketHTTPServer",
+    "AsyncHTTPServer",
+    "HTTPRequestParser",
     "TLSContext",
     "TLSChannel",
     "TLSError",

@@ -1,0 +1,412 @@
+"""An event-loop HTTP frontend.
+
+The threaded :class:`~repro.httpd.server.SocketHTTPServer` burns one pooled
+thread per connection and parks it on a blocking keep-alive read — fine for
+the paper's 79 clients, hostile to the ROADMAP's "thousands of concurrent
+clients per server".  :class:`AsyncHTTPServer` is the drop-in alternative:
+one asyncio event loop owns every connection, parses requests incrementally
+with the same :class:`~repro.httpd.message.HTTPRequestParser` the threaded
+server uses (the wire rules cannot drift between frontends), and dispatches
+into the same handler callable.
+
+Three properties matter:
+
+* **Pipelining amortisation** — all complete requests buffered on a
+  connection are parsed as one batch, dispatched with a *single* executor
+  hop, and answered with a single write + drain, so a pipelining client
+  pays one syscall round-trip per batch instead of one per call.
+* **The offload seam** — the Clarens handler stack (session lookups, ACL
+  checks, the database) is synchronous by design; batches run on a bounded
+  :class:`~concurrent.futures.ThreadPoolExecutor` so a slow method never
+  stalls the accept/parse loop.  ``executor_workers=0`` runs handlers
+  inline on the loop (benchmark mode for sub-millisecond handlers).
+* **Backpressure, not queues** — a ``max_connections`` budget rejects
+  surplus connections at accept, and an optional admission ``gate`` is
+  consulted per request *before* it is queued for the executor; a gate
+  refusal is answered through ``overload_handler`` (429/RETRY_LATER when
+  wired by :meth:`ClarensServer.async_server`) instead of growing an
+  unbounded backlog.
+
+:class:`FilePayload` bodies are streamed chunk-by-chunk with the blocking
+file reads offloaded to the executor, so a large ``GET file/.lfn/<name>``
+never holds the loop.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable
+
+from repro.httpd.accesslog import AccessLog
+from repro.httpd.message import (HTTPError, HTTPRequest, HTTPRequestParser,
+                                 HTTPResponse)
+from repro.httpd.sendfile import FilePayload
+
+__all__ = ["AsyncHTTPServer"]
+
+Handler = Callable[[HTTPRequest], HTTPResponse]
+#: Admits one request or raises; returns an optional release callable the
+#: server invokes once the request finishes (AdmissionController.admit shape).
+Gate = Callable[[HTTPRequest], Callable[[], None] | None]
+#: Builds the response for a refused request (or refused connection, when the
+#: request argument is None).  The exception is the gate's refusal, if any.
+OverloadHandler = Callable[[HTTPRequest | None, BaseException | None],
+                           HTTPResponse]
+
+_READ_CHUNK = 1 << 16
+
+
+def _default_overload(request: HTTPRequest | None,
+                      exc: BaseException | None) -> HTTPResponse:
+    message = str(exc) if exc else "server is at capacity; retry later"
+    return HTTPResponse.error(429, message)
+
+
+class AsyncHTTPServer:
+    """An asyncio HTTP/1.1 server sharing the threaded server's interface.
+
+    ``start()``/``stop()``/``address``/``url`` and the context-manager
+    protocol mirror :class:`~repro.httpd.server.SocketHTTPServer`, so every
+    call site (``ClarensServer``, the chaos harness, tests) can swap
+    frontends without caring which one it holds.
+    """
+
+    def __init__(self, handler: Handler, *, host: str = "127.0.0.1", port: int = 0,
+                 keep_alive: bool = True, request_timeout: float = 30.0,
+                 executor_workers: int = 8, max_connections: int = 0,
+                 gate: Gate | None = None,
+                 overload_handler: OverloadHandler | None = None,
+                 access_log: AccessLog | None = None) -> None:
+        if executor_workers < 0:
+            raise ValueError("executor_workers cannot be negative")
+        if max_connections < 0:
+            raise ValueError("max_connections cannot be negative")
+        self.handler = handler
+        self.keep_alive = keep_alive
+        self.request_timeout = request_timeout
+        self.executor_workers = executor_workers
+        self.max_connections = max_connections
+        self.gate = gate
+        self.overload_handler = overload_handler or _default_overload
+        self.access_log = access_log or AccessLog()
+        # Bind eagerly, like the threaded server, so ``address`` is valid
+        # (and port collisions surface) before the loop thread exists.
+        self._sock = socket.create_server((host, port), backlog=128)
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._stop_event: asyncio.Event | None = None
+        self._thread: threading.Thread | None = None
+        self._executor: ThreadPoolExecutor | None = None
+        self._ready = threading.Event()
+        self._startup_error: BaseException | None = None
+        self._connections: set[asyncio.StreamWriter] = set()
+        self._stopping = False
+        # -- counters (introspection for tests and benchmarks) --------------
+        self.connections_accepted = 0
+        self.connections_rejected = 0
+        self.requests_served = 0
+        self.requests_rejected = 0
+        self.batches_served = 0
+
+    # -- lifecycle -----------------------------------------------------------
+    @property
+    def address(self) -> tuple[str, int]:
+        return self._sock.getsockname()
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def start(self) -> "AsyncHTTPServer":
+        if self._thread is not None:
+            return self
+        if self.executor_workers > 0 and self._executor is None:
+            self._executor = ThreadPoolExecutor(
+                max_workers=self.executor_workers,
+                thread_name_prefix="clarens-aio-worker")
+        self._ready.clear()
+        self._startup_error = None
+        self._stopping = False
+        self._thread = threading.Thread(target=self._thread_main,
+                                        name="clarens-aio-httpd", daemon=True)
+        self._thread.start()
+        self._ready.wait(timeout=10)
+        if self._startup_error is not None:
+            error, self._startup_error = self._startup_error, None
+            self._thread.join(timeout=5)
+            self._thread = None
+            raise error
+        return self
+
+    def stop(self) -> None:
+        if self._thread is None:
+            return
+        loop = self._loop
+        if loop is not None and self._stop_event is not None:
+            try:
+                loop.call_soon_threadsafe(self._stop_event.set)
+            except RuntimeError:
+                pass  # loop already closed
+        self._thread.join(timeout=5)
+        self._thread = None
+        if self._executor is not None:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+            self._executor = None
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "AsyncHTTPServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    # -- the event loop ------------------------------------------------------
+    def _thread_main(self) -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        self._loop = loop
+        try:
+            loop.run_until_complete(self._main())
+        except BaseException as exc:  # noqa: BLE001 - surfaced by start()
+            if not self._ready.is_set():
+                self._startup_error = exc
+                self._ready.set()
+        finally:
+            try:
+                loop.run_until_complete(loop.shutdown_asyncgens())
+            finally:
+                asyncio.set_event_loop(None)
+                loop.close()
+                self._loop = None
+
+    async def _main(self) -> None:
+        self._stop_event = asyncio.Event()
+        server = await asyncio.start_server(self._serve_connection,
+                                            sock=self._sock)
+        self._ready.set()
+        await self._stop_event.wait()
+        self._stopping = True
+        server.close()
+        # Sever in-flight connections: a stopped server must not keep
+        # serving clients parked on old keep-alive sockets (the same
+        # split-world hazard SocketHTTPServer.close_all_connections fixes).
+        for writer in list(self._connections):
+            transport = writer.transport
+            if transport is not None:
+                transport.abort()
+        await server.wait_closed()
+        current = asyncio.current_task()
+        tasks = [t for t in asyncio.all_tasks() if t is not current]
+        for task in tasks:
+            task.cancel()
+        if tasks:
+            await asyncio.gather(*tasks, return_exceptions=True)
+
+    # -- connections ---------------------------------------------------------
+    async def _serve_connection(self, reader: asyncio.StreamReader,
+                                writer: asyncio.StreamWriter) -> None:
+        if self._stopping:
+            writer.transport.abort()
+            return
+        if self.max_connections and len(self._connections) >= self.max_connections:
+            self.connections_rejected += 1
+            await self._write_refusal(writer, None, None)
+            return
+        self._connections.add(writer)
+        self.connections_accepted += 1
+        try:
+            await self._connection_loop(reader, writer)
+        except (ConnectionError, asyncio.CancelledError, OSError):
+            pass
+        finally:
+            self._connections.discard(writer)
+            try:
+                writer.close()
+            except Exception:  # noqa: BLE001 - transport may already be gone
+                pass
+
+    async def _connection_loop(self, reader: asyncio.StreamReader,
+                               writer: asyncio.StreamWriter) -> None:
+        parser = HTTPRequestParser()
+        peername = writer.get_extra_info("peername")
+        remote_addr = peername[0] if isinstance(peername, tuple) else "127.0.0.1"
+        while True:
+            batch: list[HTTPRequest] = []
+            try:
+                while True:
+                    request = parser.next_request()
+                    if request is None:
+                        break
+                    request.remote_addr = remote_addr
+                    batch.append(request)
+            except HTTPError as exc:
+                await self._write_error(writer, exc, remote_addr)
+                return
+            if not batch:
+                # ``request_timeout`` covers idle keep-alive waits and
+                # slow-loris dribbles alike, exactly like the threaded
+                # server's socket timeout.
+                try:
+                    data = await asyncio.wait_for(reader.read(_READ_CHUNK),
+                                                  timeout=self.request_timeout)
+                except (asyncio.TimeoutError, TimeoutError):
+                    return
+                if not data:
+                    return  # EOF: idle close, or a request truncated mid-wire
+                try:
+                    parser.feed(data)
+                except HTTPError as exc:
+                    await self._write_error(writer, exc, remote_addr)
+                    return
+                continue
+            if not await self._respond_batch(batch, writer, remote_addr):
+                return
+
+    async def _respond_batch(self, batch: list[HTTPRequest],
+                             writer: asyncio.StreamWriter,
+                             remote_addr: str) -> bool:
+        """Dispatch one pipelined batch and write every response.
+
+        Returns False when the connection must close (a request asked for
+        ``Connection: close`` — any pipelined requests behind it are
+        dropped, the client disowned them).
+        """
+
+        start = time.perf_counter()
+        keep_alive = True
+        for index, request in enumerate(batch):
+            if not (request.wants_keepalive() and self.keep_alive):
+                keep_alive = False
+                batch = batch[:index + 1]
+                break
+
+        responses: list[HTTPResponse | None] = [None] * len(batch)
+        jobs: list[tuple[int, HTTPRequest, Callable[[], None] | None]] = []
+        for index, request in enumerate(batch):
+            release: Callable[[], None] | None = None
+            if self.gate is not None:
+                try:
+                    release = self.gate(request)
+                except Exception as exc:  # noqa: BLE001 - refusal, not failure
+                    self.requests_rejected += 1
+                    responses[index] = self.overload_handler(request, exc)
+                    continue
+            jobs.append((index, request, release))
+        if jobs:
+            if self._executor is None:
+                results = self._run_jobs(jobs)
+            else:
+                loop = asyncio.get_running_loop()
+                results = await loop.run_in_executor(
+                    self._executor, self._run_jobs, jobs)
+            for (index, _, _), response in zip(jobs, results):
+                responses[index] = response
+        self.batches_served += 1
+
+        buffer = bytearray()
+        last = len(batch) - 1
+        for index, (request, response) in enumerate(zip(batch, responses)):
+            assert response is not None
+            connection_alive = keep_alive or index < last
+            response.headers.set("Connection",
+                                 "keep-alive" if connection_alive else "close")
+            buffer += _render_head(response)
+            body = response.body
+            if isinstance(body, FilePayload):
+                writer.write(bytes(buffer))
+                buffer.clear()
+                await writer.drain()
+                await self._stream_file(writer, body)
+            elif body:
+                buffer += body
+            self.requests_served += 1
+            self.access_log.log(
+                remote_addr=remote_addr,
+                client_dn=request.client_dn,
+                method=request.method,
+                path=request.path,
+                status=response.status,
+                response_bytes=response.content_length(),
+                duration_s=time.perf_counter() - start,
+            )
+        if buffer:
+            writer.write(bytes(buffer))
+        await writer.drain()
+        return keep_alive
+
+    def _run_jobs(self, jobs) -> list[HTTPResponse]:
+        """Run one batch's admitted requests on an executor thread."""
+
+        results: list[HTTPResponse] = []
+        for _, request, release in jobs:
+            try:
+                results.append(self.handler(request))
+            except Exception as exc:  # noqa: BLE001 - never kill the loop
+                results.append(
+                    HTTPResponse.error(500, f"internal server error: {exc}"))
+            finally:
+                if release is not None:
+                    release()
+        return results
+
+    async def _stream_file(self, writer: asyncio.StreamWriter,
+                           payload: FilePayload) -> None:
+        chunks = payload.chunks()
+        loop = asyncio.get_running_loop()
+        while True:
+            if self._executor is None:
+                chunk = next(chunks, b"")
+            else:
+                chunk = await loop.run_in_executor(self._executor,
+                                                   next, chunks, b"")
+            if not chunk:
+                return
+            writer.write(chunk)
+            await writer.drain()
+
+    # -- error/refusal writes ------------------------------------------------
+    async def _write_error(self, writer: asyncio.StreamWriter, exc: HTTPError,
+                           remote_addr: str) -> None:
+        response = HTTPResponse.error(exc.status, exc.message)
+        response.headers.set("Connection", "close")
+        try:
+            writer.write(_render_head(response) + response.body_bytes())
+            await writer.drain()
+        except (ConnectionError, OSError):
+            pass
+        self.access_log.log(remote_addr=remote_addr, client_dn=None,
+                            method="GET", path="-", status=response.status,
+                            response_bytes=response.content_length(),
+                            duration_s=0.0)
+
+    async def _write_refusal(self, writer: asyncio.StreamWriter,
+                             request: HTTPRequest | None,
+                             exc: BaseException | None) -> None:
+        response = self.overload_handler(request, exc)
+        response.headers.set("Connection", "close")
+        try:
+            writer.write(_render_head(response) + response.body_bytes())
+            await writer.drain()
+        except (ConnectionError, OSError):
+            pass
+        finally:
+            try:
+                writer.close()
+            except Exception:  # noqa: BLE001
+                pass
+
+
+def _render_head(response: HTTPResponse) -> bytes:
+    headers = response.headers
+    headers.set("Content-Length", str(response.content_length()))
+    headers.set("Server", "Clarens-repro/1.0")
+    lines = [f"HTTP/1.1 {response.status} {response.reason}"]
+    lines.extend(f"{k}: {v}" for k, v in headers.items())
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")

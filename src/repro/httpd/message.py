@@ -14,7 +14,14 @@ from typing import Any, Mapping
 
 from repro.httpd.sendfile import FilePayload
 
-__all__ = ["HTTPRequest", "HTTPResponse", "HTTPError", "Headers", "REASON_PHRASES"]
+__all__ = ["HTTPRequest", "HTTPResponse", "HTTPError", "Headers", "REASON_PHRASES",
+           "HTTPRequestParser", "MAX_HEADER_BYTES", "MAX_BODY_BYTES"]
+
+#: Wire limits shared by every socket frontend (threaded and async): the
+#: header section of one request may not exceed MAX_HEADER_BYTES and a
+#: declared Content-Length may not exceed MAX_BODY_BYTES.
+MAX_HEADER_BYTES = 64 * 1024
+MAX_BODY_BYTES = 256 * 1024 * 1024
 
 REASON_PHRASES = {
     200: "OK",
@@ -258,6 +265,165 @@ class HTTPResponse:
 
 def _xml_escape(text: str) -> str:
     return text.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+
+
+# ---------------------------------------------------------------------------
+# Incremental request parsing (shared by both socket frontends)
+# ---------------------------------------------------------------------------
+
+class HTTPRequestParser:
+    """An incremental HTTP/1.1 request parser over a byte stream.
+
+    Both socket frontends — the threaded :class:`~repro.httpd.server
+    .SocketHTTPServer` and the event-loop :class:`~repro.httpd.aio
+    .AsyncHTTPServer` — feed raw socket bytes in with :meth:`feed` and pull
+    complete :class:`HTTPRequest` objects out with :meth:`next_request`, so
+    the wire rules live in exactly one place:
+
+    * the header section is bounded by ``max_header_bytes`` (413, enforced
+      *while buffering* so a slow-loris header stream is rejected as soon as
+      it crosses the limit, not once it completes);
+    * a malformed request line or header line is a 400;
+    * ``Transfer-Encoding: chunked`` is an explicit 501 (not a misleading
+      411);
+    * ``Content-Length`` must be a non-negative integer no larger than
+      ``max_body_bytes`` (400 / 413), and POST/PUT without one is a 411.
+
+    Keep-alive connections carrying pipelined requests just keep feeding:
+    any bytes after one request's body start the next request's head.
+    """
+
+    def __init__(self, *, max_header_bytes: int = MAX_HEADER_BYTES,
+                 max_body_bytes: int = MAX_BODY_BYTES) -> None:
+        self.max_header_bytes = max_header_bytes
+        self.max_body_bytes = max_body_bytes
+        self._buffer = bytearray()
+        #: Parsed head awaiting its body (method, path, version, headers,
+        #: content length), or None while reading a head.
+        self._pending: tuple[str, str, str, Headers, int] | None = None
+
+    # -- feeding -------------------------------------------------------------
+    def feed(self, data: bytes) -> None:
+        """Buffer ``data``; raises :class:`HTTPError` 413 when an incomplete
+        header section has already outgrown the limit."""
+
+        self._buffer.extend(data)
+        if (self._pending is None
+                and len(self._buffer) > self.max_header_bytes
+                and b"\r\n\r\n" not in self._buffer
+                and b"\n\n" not in self._buffer):
+            raise HTTPError(413, "header section too large")
+
+    @property
+    def buffered(self) -> int:
+        """Bytes buffered but not yet returned as a request."""
+
+        return len(self._buffer)
+
+    @property
+    def mid_request(self) -> bool:
+        """True when a request head or body is partially buffered (an EOF
+        now would truncate a request rather than end an idle connection)."""
+
+        return self._pending is not None or bool(self._buffer)
+
+    def body_bytes_needed(self) -> int:
+        """How many body bytes the pending request still waits for (0 when
+        no head is parsed yet or the body is already complete)."""
+
+        if self._pending is None:
+            return 0
+        return max(0, self._pending[4] - len(self._buffer))
+
+    # -- pulling -------------------------------------------------------------
+    def next_request(self) -> HTTPRequest | None:
+        """The next complete request, or None until more bytes arrive.
+
+        Raises :class:`HTTPError` on protocol violations; the connection
+        should answer with the error status and close.
+        """
+
+        if self._pending is None and not self._parse_head():
+            return None
+        assert self._pending is not None
+        method, path, version, headers, length = self._pending
+        if len(self._buffer) < length:
+            return None
+        body = bytes(self._buffer[:length])
+        del self._buffer[:length]
+        self._pending = None
+        return HTTPRequest(method=method, path=path, headers=headers,
+                           body=body, http_version=version)
+
+    def _parse_head(self) -> bool:
+        head, separator = _split_head(self._buffer)
+        if head is None:
+            if len(self._buffer) > self.max_header_bytes:
+                raise HTTPError(413, "header section too large")
+            return False
+        if len(head) + len(separator) > self.max_header_bytes:
+            raise HTTPError(413, "header section too large")
+        del self._buffer[:len(head) + len(separator)]
+
+        lines = head.decode("latin-1").splitlines()
+        # Be liberal about leading blank lines between pipelined requests
+        # (RFC 9112 §2.2 allows a CRLF before the request line).
+        while lines and not lines[0].strip():
+            lines.pop(0)
+        if not lines:
+            raise HTTPError(400, "empty request")
+        parts = lines[0].split()
+        if len(parts) != 3:
+            raise HTTPError(400, f"malformed request line: {lines[0]!r}")
+        method, path, version = parts
+
+        headers = Headers()
+        for line in lines[1:]:
+            if not line.strip():
+                continue
+            if ":" not in line:
+                raise HTTPError(400, f"malformed header: {line!r}")
+            key, _, value = line.partition(":")
+            headers.add(key.strip(), value.strip())
+
+        self._pending = (method, path, version, headers,
+                         _body_length(method, headers, self.max_body_bytes))
+        return True
+
+
+def _split_head(buffer: bytearray) -> tuple[bytes | None, bytes]:
+    """The raw header section and its terminator, or ``(None, b"")``."""
+
+    index = buffer.find(b"\r\n\r\n")
+    if index >= 0:
+        return bytes(buffer[:index]), b"\r\n\r\n"
+    index = buffer.find(b"\n\n")
+    if index >= 0:
+        return bytes(buffer[:index]), b"\n\n"
+    return None, b""
+
+
+def _body_length(method: str, headers: Headers, max_body_bytes: int) -> int:
+    """The declared body length, enforcing the shared framing rules."""
+
+    transfer_encoding = headers.get("Transfer-Encoding")
+    if transfer_encoding is not None and "chunked" in transfer_encoding.lower():
+        # Chunked bodies are not implemented; say so explicitly instead of
+        # falling into the misleading 411/"Content-Length required" path.
+        raise HTTPError(501, "Transfer-Encoding: chunked is not supported; "
+                             "send a Content-Length body")
+    length_header = headers.get("Content-Length")
+    if length_header is not None:
+        try:
+            length = int(length_header)
+        except ValueError as exc:
+            raise HTTPError(400, "invalid Content-Length") from exc
+        if length < 0 or length > max_body_bytes:
+            raise HTTPError(413, "request body too large")
+        return length
+    if method.upper() in ("POST", "PUT"):
+        raise HTTPError(411, "Content-Length required")
+    return 0
 
 
 def _unused(*args: Any) -> None:  # pragma: no cover

@@ -18,72 +18,49 @@ import time
 from typing import Callable
 
 from repro.httpd.accesslog import AccessLog
-from repro.httpd.message import Headers, HTTPError, HTTPRequest, HTTPResponse
+from repro.httpd.message import (HTTPError, HTTPRequest, HTTPRequestParser,
+                                 HTTPResponse)
 from repro.httpd.sendfile import FilePayload
 
 __all__ = ["SocketHTTPServer"]
 
 Handler = Callable[[HTTPRequest], HTTPResponse]
 
-_MAX_HEADER_BYTES = 64 * 1024
-_MAX_BODY_BYTES = 256 * 1024 * 1024
-
 
 def _read_request(rfile) -> HTTPRequest | None:
-    """Read one HTTP request from a buffered socket file, or None at EOF."""
+    """Read one HTTP request from a buffered socket file, or None at EOF.
 
-    request_line = rfile.readline(_MAX_HEADER_BYTES)
-    if not request_line:
-        return None
-    line = request_line.decode("latin-1").rstrip("\r\n")
-    parts = line.split()
-    if len(parts) != 3:
-        raise HTTPError(400, f"malformed request line: {line!r}")
-    method, path, version = parts
+    Framing and limits live in the shared :class:`HTTPRequestParser` (the
+    async frontend feeds the same parser), so the two servers cannot drift
+    on what constitutes a well-formed request.  This blocking wrapper reads
+    header lines one at a time and the body in one exact-length read.
+    """
 
-    headers = Headers()
-    total = 0
+    parser = HTTPRequestParser()
     while True:
-        header_line = rfile.readline(_MAX_HEADER_BYTES)
-        total += len(header_line)
-        if total > _MAX_HEADER_BYTES:
-            raise HTTPError(413, "header section too large")
-        if header_line in (b"\r\n", b"\n", b""):
-            break
-        text = header_line.decode("latin-1").rstrip("\r\n")
-        if ":" not in text:
-            raise HTTPError(400, f"malformed header: {text!r}")
-        key, _, value = text.partition(":")
-        headers.add(key.strip(), value.strip())
-
-    transfer_encoding = headers.get("Transfer-Encoding")
-    if transfer_encoding is not None and "chunked" in transfer_encoding.lower():
-        # Chunked bodies are not implemented; say so explicitly instead of
-        # falling into the misleading 411/"Content-Length required" path.
-        raise HTTPError(501, "Transfer-Encoding: chunked is not supported; "
-                             "send a Content-Length body")
-
-    body = b""
-    length_header = headers.get("Content-Length")
-    if length_header is not None:
-        try:
-            length = int(length_header)
-        except ValueError as exc:
-            raise HTTPError(400, "invalid Content-Length") from exc
-        if length < 0 or length > _MAX_BODY_BYTES:
-            raise HTTPError(413, "request body too large")
-        body = rfile.read(length)
-        if len(body) != length:
-            raise HTTPError(400, "request body truncated")
-    elif method in ("POST", "PUT"):
-        raise HTTPError(411, "Content-Length required")
-
-    return HTTPRequest(method=method, path=path, headers=headers, body=body,
-                       http_version=version)
+        request = parser.next_request()
+        if request is not None:
+            return request
+        needed = parser.body_bytes_needed()
+        if needed:
+            data = rfile.read(needed)
+        else:
+            data = rfile.readline(parser.max_header_bytes + 2)
+        if not data:
+            if parser.mid_request:
+                raise HTTPError(400, "request truncated")
+            return None
+        parser.feed(data)
 
 
 class _ConnectionHandler(socketserver.StreamRequestHandler):
     """Handles one TCP connection, possibly carrying multiple requests."""
+
+    # Keep-alive RPC means a stream of small request/response pairs; with
+    # Nagle on, a response head flushed separately from its body can stall
+    # ~40ms against the client's delayed ACK.  (asyncio disables Nagle on
+    # every TCP transport; the threaded frontend must match.)
+    disable_nagle_algorithm = True
 
     def handle(self) -> None:  # noqa: D102 - socketserver API
         owner: SocketHTTPServer = self.server.owner  # type: ignore[attr-defined]

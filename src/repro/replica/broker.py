@@ -38,13 +38,27 @@ class ReplicaBroker:
         self.reads = 0
 
     # -- selection -----------------------------------------------------------
-    def candidates(self, lfn: str) -> list[tuple[Replica, StorageElement]]:
-        """Usable replicas of ``lfn``, best first."""
+    def candidates(self, lfn: str, *,
+                   proxy: bool = True) -> list[tuple[Replica, StorageElement]]:
+        """Usable replicas of ``lfn``, best first.
+
+        ``proxy=False`` restricts the ranking to elements whose bytes this
+        server reaches directly (never through a peer server).  Reads that
+        arrive *from* a peer's remote element must resolve this way: each
+        server in a proxy chain consulting its own possibly-stale catalogue
+        can otherwise bounce a read around the fabric — and, on a bounded
+        request executor, a cycle of servers proxying to each other deadlocks
+        the whole fleet until client timeouts unwind it.  Proxying is a
+        single hop by construction: the peer either serves bytes it can
+        reach itself or fails fast so the first broker's failover moves on.
+        """
 
         ranked: list[tuple[tuple, Replica, StorageElement]] = []
         for replica in self.catalogue.replicas(lfn, state=ReplicaState.ACTIVE):
             element = self.elements.get(replica.storage_element)
             if element is None or not element.available:
+                continue
+            if not proxy and element.is_remote:
                 continue
             rank = (0 if element.name == self.local_se else 1,
                     element.load, element.name)
@@ -52,21 +66,23 @@ class ReplicaBroker:
         ranked.sort(key=lambda item: item[0])
         return [(replica, element) for _, replica, element in ranked]
 
-    def resolve(self, lfn: str) -> tuple[Replica, StorageElement]:
+    def resolve(self, lfn: str, *,
+                proxy: bool = True) -> tuple[Replica, StorageElement]:
         """The best replica of ``lfn``; raises when none is usable."""
 
-        candidates = self.candidates(lfn)
+        candidates = self.candidates(lfn, proxy=proxy)
         if not candidates:
             raise ReplicaError(f"no usable replica for {lfn}")
         return candidates[0]
 
     # -- reads ---------------------------------------------------------------
-    def read(self, lfn: str, offset: int = 0, length: int = -1) -> bytes:
+    def read(self, lfn: str, offset: int = 0, length: int = -1, *,
+             proxy: bool = True) -> bytes:
         """Read a byte range, failing over across replicas on errors."""
 
         self.reads += 1
         errors: list[str] = []
-        for replica, element in self.candidates(lfn):
+        for replica, element in self.candidates(lfn, proxy=proxy):
             try:
                 return element.read(replica.pfn, offset, length)
             except ReplicaError as exc:

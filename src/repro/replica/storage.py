@@ -62,6 +62,11 @@ class StorageElementUnavailableError(StorageElementError):
 class StorageElement:
     """Base class: naming, availability, and transfer-load accounting."""
 
+    #: True when reads reach the bytes through another Clarens server (so a
+    #: read proxied on behalf of a peer must never select this element —
+    #: see :meth:`ReplicaBroker.candidates`).
+    is_remote = False
+
     def __init__(self, name: str) -> None:
         if not name:
             raise ValueError("storage element name must be non-empty")
@@ -347,6 +352,8 @@ class RemoteStorageElement(StorageElement):
     element.
     """
 
+    is_remote = True
+
     def __init__(self, name: str, peer: "PeerChannel | ClarensClient", *,
                  remote_se: str = "local", register_remote: bool = True,
                  chunk_size: int = DEFAULT_CHUNK) -> None:
@@ -426,8 +433,12 @@ class RemoteStorageElement(StorageElement):
         self.require_available()
         query = f"offset={int(offset)}&length={int(length)}"
         try:
+            # ``hop=1`` tells the peer this read is already proxied once: it
+            # must serve from its directly-reachable elements, never proxy
+            # onward to a third server (single-hop proxying — see
+            # ReplicaBroker.candidates).
             response = self.channel.http_get(".lfn/" + pfn.lstrip("/"),
-                                             query=query)
+                                             query=query + "&hop=1")
             if response.status == 404:
                 # Bytes uploaded but not (yet) catalogued on the peer — fall
                 # back to the plain file path.

@@ -177,12 +177,16 @@ class TestSoakReport:
 # -- the acceptance soak -------------------------------------------------------
 
 class TestSmokeSoak:
-    def test_smoke_soak_holds_every_invariant(self, tmp_path, test_seed):
+    @pytest.mark.parametrize("transport", ["threaded", "async"])
+    def test_smoke_soak_holds_every_invariant(self, tmp_path, test_seed,
+                                              transport):
         """Tier-1 acceptance: a 3-server federation soaked under every
-        fault kind converges with all watchdog invariants green."""
+        fault kind converges with all watchdog invariants green — on both
+        socket frontends."""
 
         config = SoakConfig(chaos_seed=test_seed,
                             chaos_report_path=str(tmp_path / "trend.json"),
+                            chaos_transport=transport,
                             **SMOKE_OVERRIDES)
         harness = SoakHarness(config)
         entry, ok = harness.run()

@@ -3,10 +3,13 @@
 from __future__ import annotations
 
 import hashlib
+import socket
+import threading
 
 import pytest
 
-from repro.client.asyncclient import AsyncLoadClient, _split
+from repro.client.asyncclient import (AsyncLoadClient, PipelinedLoadClient,
+                                      _split)
 from repro.client.client import ClarensClient
 from repro.client.errors import ClientError, TransportError
 from repro.client.files import download_file, download_file_rpc, upload_file
@@ -84,6 +87,137 @@ class TestClientBasics:
             assert client.call("system.ping") == "pong"
             assert len(client.list_methods()) > 30
             client.close()
+
+
+class _ScriptedHTTP:
+    """A raw-socket HTTP stub whose per-connection behaviour is scripted.
+
+    Scripts, one per accepted connection:
+
+    * ``"close"``      — close immediately, without reading (stale socket);
+    * ``"read_close"`` — read one full request, record it, close without
+      responding (the server died *after* consuming the request);
+    * ``"serve"``      — read requests, record each, answer 200 until EOF.
+    """
+
+    _OK = b"HTTP/1.1 200 OK\r\nContent-Length: 2\r\n\r\nok"
+
+    def __init__(self, *scripts: str) -> None:
+        self.scripts = scripts
+        self.requests: list[bytes] = []
+        self.listener = socket.create_server(("127.0.0.1", 0))
+        self.listener.settimeout(5)
+        self.thread = threading.Thread(target=self._serve, daemon=True)
+        self.thread.start()
+
+    @property
+    def url(self) -> str:
+        host, port = self.listener.getsockname()
+        return f"http://{host}:{port}"
+
+    def close(self) -> None:
+        self.listener.close()
+        self.thread.join(timeout=5)
+
+    def _serve(self) -> None:
+        for script in self.scripts:
+            try:
+                conn, _ = self.listener.accept()
+            except OSError:
+                return
+            with conn:
+                conn.settimeout(5)
+                if script == "close":
+                    continue
+                while True:
+                    request = self._read_request(conn)
+                    if request is None:
+                        break
+                    self.requests.append(request)
+                    if script == "read_close":
+                        break
+                    conn.sendall(self._OK)
+
+    def _read_request(self, conn: socket.socket) -> bytes | None:
+        data = b""
+        while b"\r\n\r\n" not in data:
+            try:
+                part = conn.recv(4096)
+            except OSError:
+                return None
+            if not part:
+                return None
+            data += part
+        head, body = data.split(b"\r\n\r\n", 1)
+        length = 0
+        for line in head.split(b"\r\n")[1:]:
+            name, _, value = line.partition(b":")
+            if name.strip().lower() == b"content-length":
+                length = int(value.strip())
+        while len(body) < length:
+            part = conn.recv(4096)
+            if not part:
+                break
+            body += part
+        return head + b"\r\n\r\n" + body
+
+
+class TestHTTPTransportRetrySafety:
+    """The keep-alive reconnect rule: retry only when a replay is provably
+    safe (idempotent method, or no body bytes ever hit the wire)."""
+
+    def test_get_survives_server_closing_first_connection(self):
+        stub = _ScriptedHTTP("close", "serve")
+        transport = HTTPTransport(stub.url)
+        try:
+            assert transport.request("GET", "/retry-me").status == 200
+            assert len(stub.requests) == 1      # one delivered copy
+        finally:
+            transport.close()
+            stub.close()
+
+    def test_bodyless_post_retried_before_body_bytes(self):
+        stub = _ScriptedHTTP("close", "serve")
+        transport = HTTPTransport(stub.url)
+        try:
+            assert transport.request("POST", "/no-body").status == 200
+            assert len(stub.requests) == 1
+        finally:
+            transport.close()
+            stub.close()
+
+    def test_post_with_delivered_body_is_never_replayed(self):
+        """The regression: a POST the server consumed (and may have
+        executed) before dying must surface an error, not be silently
+        resent on a fresh connection."""
+
+        stub = _ScriptedHTTP("read_close", "serve")
+        transport = HTTPTransport(stub.url)
+        try:
+            with pytest.raises(TransportError):
+                transport.request("POST", "/rpc", body=b"debit-account-once")
+            copies = [r for r in stub.requests if b"debit-account-once" in r]
+            assert len(copies) == 1             # exactly one copy on the wire
+        finally:
+            transport.close()
+            stub.close()
+
+
+class TestPipelinedLoadClient:
+    def test_batch_over_async_frontend(self, server):
+        with server.async_server() as frontend:
+            load = PipelinedLoadClient(frontend.url, server.config.rpc_path(),
+                                       n_clients=2, pipeline_depth=4)
+            result = load.run_batch(40)
+        assert result.calls == 40
+        assert result.errors == 0
+        assert result.calls_per_second > 0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            PipelinedLoadClient("http://127.0.0.1:1", n_clients=0)
+        with pytest.raises(ValueError):
+            PipelinedLoadClient("http://127.0.0.1:1", pipeline_depth=0)
 
 
 class TestFileHelpers:

@@ -345,6 +345,44 @@ class TestRemoteStorageElementOverChannel:
         finally:
             remote_server.close()
 
+    def test_hop_marked_read_is_never_proxied_onward(self, fabric_ca,
+                                                     peer_credential):
+        """The ``hop=1`` marker stops proxy chains after a single hop.
+
+        An edge server whose only replica lives on a peer proxies a plain
+        ``GET file/.lfn/<name>`` read exactly once; the same read arriving
+        already hop-marked (as a peer's RemoteStorageElement sends it) is
+        answered from directly-reachable elements only — here, 404 — instead
+        of proxying onward.  Unbounded proxy chains across stale catalogue
+        views are how the fleet used to deadlock its request executors.
+        """
+
+        deep = build_site(fabric_ca, "deep-site")
+        edge = build_site(fabric_ca, "edge-site")
+        try:
+            self._seed(deep, peer_credential)
+            replica = edge.services["replica"]
+            replica.add_storage_element(RemoteStorageElement(
+                "deep-site", PeerChannel(
+                    "deep-site", login_factory(deep, peer_credential),
+                    backoff=0.0)))
+            replica.catalogue.register(
+                self.LFN, "deep-site", self.LFN, size=len(self.DATA),
+                checksum=deep.services["replica"].catalogue.entry(
+                    self.LFN)["checksum"])
+            client = ClarensClient.for_loopback(edge.loopback())
+            client.login_with_credential(peer_credential)
+            path = ".lfn" + self.LFN
+            proxied = client.http_get(path, query="offset=0&length=-1")
+            assert proxied.status == 200
+            assert proxied.body_bytes() == self.DATA
+            hopped = client.http_get(path, query="offset=0&length=-1&hop=1")
+            assert hopped.status == 404
+            client.close()
+        finally:
+            edge.close()
+            deep.close()
+
     def test_bare_client_still_accepted(self, fabric_ca, peer_credential):
         server = build_site(fabric_ca, "compat-site")
         try:

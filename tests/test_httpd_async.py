@@ -1,0 +1,338 @@
+"""The event-loop HTTP frontend.
+
+Wire-level parity with the threaded server (both run the shared
+:class:`HTTPRequestParser`, so the 400/411/413/501 rules must match),
+plus the behaviours only the async frontend promises: pipelined batch
+dispatch, slow-loris timeouts on a non-blocking read, connection and
+admission backpressure, and ``stop()`` severing in-flight keep-alive
+connections.
+"""
+
+from __future__ import annotations
+
+import http.client
+import socket
+import time
+
+import pytest
+
+from repro.core.config import ConfigError, ServerConfig
+from repro.core.errors import RetryLaterError
+from repro.core.server import ClarensServer
+from repro.httpd.aio import AsyncHTTPServer
+from repro.httpd.message import MAX_HEADER_BYTES, HTTPRequest, HTTPResponse
+from repro.httpd.sendfile import FilePayload
+from repro.httpd.server import SocketHTTPServer
+from repro.protocols import RPCRequest, XMLRPCCodec
+from repro.protocols.errors import FaultCode
+
+
+def echo_handler(request: HTTPRequest) -> HTTPResponse:
+    body = f"{request.method} {request.url_path} {len(request.body)}".encode()
+    return HTTPResponse.ok(body, content_type="text/plain")
+
+
+class _ResponseReader:
+    """Read HTTP responses off a raw socket, keeping pipelined leftovers."""
+
+    def __init__(self, sock: socket.socket) -> None:
+        self.sock = sock
+        self.buffer = b""
+
+    def read_response(self) -> tuple[int, bytes]:
+        while b"\r\n\r\n" not in self.buffer:
+            part = self.sock.recv(4096)
+            if not part:
+                raise ConnectionError("EOF before response head")
+            self.buffer += part
+        head, rest = self.buffer.split(b"\r\n\r\n", 1)
+        status = int(head.split(b" ", 2)[1])
+        length = 0
+        for line in head.split(b"\r\n")[1:]:
+            name, _, value = line.partition(b":")
+            if name.strip().lower() == b"content-length":
+                length = int(value.strip())
+        while len(rest) < length:
+            part = self.sock.recv(4096)
+            if not part:
+                break
+            rest += part
+        self.buffer = rest[length:]
+        return status, rest[:length]
+
+
+def _read_response(sock: socket.socket) -> tuple[int, bytes]:
+    """Read one full HTTP response off a raw socket."""
+
+    return _ResponseReader(sock).read_response()
+
+
+@pytest.fixture()
+def running_server():
+    server = AsyncHTTPServer(echo_handler).start()
+    yield server
+    server.stop()
+
+
+class TestAsyncHTTPServer:
+    def test_simple_get(self, running_server):
+        host, port = running_server.address
+        conn = http.client.HTTPConnection(host, port, timeout=5)
+        conn.request("GET", "/hello/world")
+        response = conn.getresponse()
+        assert response.status == 200
+        assert response.read() == b"GET /hello/world 0"
+        conn.close()
+
+    def test_post_with_body(self, running_server):
+        host, port = running_server.address
+        conn = http.client.HTTPConnection(host, port, timeout=5)
+        conn.request("POST", "/rpc", body=b"x" * 100)
+        assert conn.getresponse().read() == b"POST /rpc 100"
+        conn.close()
+
+    def test_keepalive_reuses_connection(self, running_server):
+        host, port = running_server.address
+        conn = http.client.HTTPConnection(host, port, timeout=5)
+        for i in range(5):
+            conn.request("GET", f"/req/{i}")
+            assert conn.getresponse().read().endswith(f"/req/{i} 0".encode())
+        conn.close()
+        assert running_server.connections_accepted == 1
+        assert running_server.requests_served == 5
+
+    def test_pipelined_requests_answered_in_order(self, running_server):
+        host, port = running_server.address
+        wire = b"".join(f"GET /p/{i} HTTP/1.1\r\nHost: x\r\n\r\n".encode()
+                        for i in range(3))
+        with socket.create_connection((host, port), timeout=5) as sock:
+            sock.sendall(wire)
+            reader = _ResponseReader(sock)
+            for i in range(3):
+                status, body = reader.read_response()
+                assert status == 200
+                assert body == f"GET /p/{i} 0".encode()
+        assert running_server.requests_served == 3
+        # The point of batching: fewer dispatch round-trips than requests.
+        assert running_server.batches_served <= 3
+
+    def test_connection_close_drops_pipelined_tail(self, running_server):
+        """A pipelined request behind ``Connection: close`` is disowned."""
+
+        host, port = running_server.address
+        wire = (b"GET /a HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n"
+                b"GET /b HTTP/1.1\r\nHost: x\r\n\r\n")
+        with socket.create_connection((host, port), timeout=5) as sock:
+            sock.sendall(wire)
+            status, body = _read_response(sock)
+            assert status == 200
+            assert body == b"GET /a 0"
+            assert sock.recv(4096) == b""       # closed, /b never answered
+        assert running_server.requests_served == 1
+
+    def test_slow_loris_honours_request_timeout(self):
+        """A client dribbling a partial head is cut off, not parked forever."""
+
+        with AsyncHTTPServer(echo_handler, request_timeout=0.4) as server:
+            host, port = server.address
+            start = time.monotonic()
+            with socket.create_connection((host, port), timeout=5) as sock:
+                sock.sendall(b"GET /slow HTTP/1.1\r\nX-Dribble: a")
+                assert sock.recv(4096) == b""   # server closed on timeout
+            assert time.monotonic() - start < 5.0
+
+    def test_oversized_headers_rejected_with_413(self, running_server):
+        host, port = running_server.address
+        with socket.create_connection((host, port), timeout=5) as sock:
+            sock.sendall(b"GET / HTTP/1.1\r\nX-Big: " +
+                         b"a" * (MAX_HEADER_BYTES + 1024))
+            status, _ = _read_response(sock)
+        assert status == 413
+
+    def test_post_without_content_length_rejected(self, running_server):
+        host, port = running_server.address
+        with socket.create_connection((host, port), timeout=5) as sock:
+            sock.sendall(b"POST /rpc HTTP/1.1\r\nHost: x\r\n\r\n")
+            status, _ = _read_response(sock)
+        assert status == 411
+
+    def test_malformed_request_line_gets_400(self, running_server):
+        host, port = running_server.address
+        with socket.create_connection((host, port), timeout=5) as sock:
+            sock.sendall(b"TOTALLY BROKEN\r\n\r\n")
+            status, _ = _read_response(sock)
+        assert status == 400
+
+    def test_mid_body_disconnect_leaves_server_healthy(self, running_server):
+        host, port = running_server.address
+        with socket.create_connection((host, port), timeout=5) as sock:
+            sock.sendall(b"POST /rpc HTTP/1.1\r\nHost: x\r\n"
+                         b"Content-Length: 100\r\n\r\nonly-ten-b")
+        # The truncated request must not take the loop down with it.
+        conn = http.client.HTTPConnection(host, port, timeout=5)
+        conn.request("GET", "/after")
+        assert conn.getresponse().read() == b"GET /after 0"
+        conn.close()
+
+    def test_handler_exception_becomes_500(self):
+        def broken(request: HTTPRequest) -> HTTPResponse:
+            raise RuntimeError("kaboom")
+
+        with AsyncHTTPServer(broken) as server:
+            host, port = server.address
+            conn = http.client.HTTPConnection(host, port, timeout=5)
+            conn.request("GET", "/x")
+            assert conn.getresponse().status == 500
+            conn.close()
+
+    def test_file_payload_streamed(self, tmp_path):
+        data = b"event-data" * 10_000
+        path = tmp_path / "events.dat"
+        path.write_bytes(data)
+
+        def handler(request: HTTPRequest) -> HTTPResponse:
+            return HTTPResponse.ok(FilePayload(str(path)),
+                                   content_type="application/octet-stream")
+
+        with AsyncHTTPServer(handler) as server:
+            host, port = server.address
+            conn = http.client.HTTPConnection(host, port, timeout=5)
+            conn.request("GET", "/events.dat")
+            response = conn.getresponse()
+            assert response.status == 200
+            assert response.read() == data
+            conn.close()
+
+    def test_stop_severs_established_keepalive_connections(self):
+        """Same split-world guarantee the threaded server makes: a stopped
+        frontend must not keep serving clients parked on old keep-alive
+        sockets after a same-port restart."""
+
+        server = AsyncHTTPServer(echo_handler).start()
+        host, port = server.address
+        conn = http.client.HTTPConnection(host, port, timeout=5)
+        conn.request("GET", "/before")
+        assert conn.getresponse().read() == b"GET /before 0"
+        server.stop()
+        with pytest.raises((ConnectionError, http.client.HTTPException,
+                            OSError)):
+            conn.request("GET", "/after")
+            conn.getresponse().read()
+        conn.close()
+
+    def test_inline_dispatch_without_executor(self):
+        """``executor_workers=0`` runs handlers on the loop thread."""
+
+        with AsyncHTTPServer(echo_handler, executor_workers=0) as server:
+            host, port = server.address
+            conn = http.client.HTTPConnection(host, port, timeout=5)
+            conn.request("GET", "/inline")
+            assert conn.getresponse().read() == b"GET /inline 0"
+            conn.close()
+            assert server._executor is None
+
+
+class TestAsyncBackpressure:
+    def test_surplus_connection_refused_with_429(self):
+        with AsyncHTTPServer(echo_handler, max_connections=1) as server:
+            host, port = server.address
+            with socket.create_connection((host, port), timeout=5) as first:
+                # One served request guarantees the connection is registered
+                # before the second one races the accept loop.
+                first.sendall(b"GET /held HTTP/1.1\r\nHost: x\r\n\r\n")
+                status, _ = _read_response(first)
+                assert status == 200
+                with socket.create_connection((host, port), timeout=5) as second:
+                    second.sendall(b"GET /surplus HTTP/1.1\r\nHost: x\r\n\r\n")
+                    status, _ = _read_response(second)
+                    assert status == 429
+            assert server.connections_rejected == 1
+
+    def test_gate_refusal_uses_overload_handler(self):
+        released = []
+
+        def gate(request: HTTPRequest):
+            if request.url_path == "/shed":
+                raise RetryLaterError("loop is saturated", retry_after=0.25)
+            return lambda: released.append(request.url_path)
+
+        with AsyncHTTPServer(echo_handler, gate=gate) as server:
+            host, port = server.address
+            conn = http.client.HTTPConnection(host, port, timeout=5)
+            conn.request("GET", "/ok")
+            assert conn.getresponse().read() == b"GET /ok 0"
+            conn.request("GET", "/shed")
+            response = conn.getresponse()
+            body = response.read()
+            assert response.status == 429
+            assert b"saturated" in body
+            conn.close()
+            assert released == ["/ok"]          # admitted request released
+            assert server.requests_rejected == 1
+            assert server.requests_served == 2  # the 429 is still a response
+
+
+class TestFrontendSelection:
+    def test_unknown_transport_fails_eagerly(self):
+        with pytest.raises(ConfigError):
+            ServerConfig(server_transport="carrier-pigeon")
+
+    def test_frontend_follows_the_knob(self):
+        server, _ca = ClarensServer.with_test_pki(
+            ServerConfig(server_transport="async"))
+        try:
+            assert isinstance(server.frontend(), AsyncHTTPServer)
+        finally:
+            server.close()
+        server, _ca = ClarensServer.with_test_pki()
+        try:
+            assert isinstance(server.frontend(), SocketHTTPServer)
+        finally:
+            server.close()
+
+    def test_overload_response_is_a_retry_later_fault(self):
+        """Transport backpressure surfaces to RPC clients exactly like
+        pipeline-level shedding: a protocol fault in the request's codec."""
+
+        server, _ca = ClarensServer.with_test_pki(
+            ServerConfig(server_transport="async", async_max_inflight=4))
+        try:
+            codec = XMLRPCCodec()
+            request = HTTPRequest(
+                method="POST", path=server.config.rpc_path(),
+                body=codec.encode_request(RPCRequest("system.ping")))
+            request.headers.set("Content-Type", codec.content_type)
+            response = server._overload_response(
+                request, RetryLaterError("too many in flight",
+                                         retry_after=1.5))
+            assert response.status == 429
+            assert response.headers.get("Retry-After") == "1.500"
+            decoded = codec.decode_response(response.body_bytes())
+            assert decoded.is_fault
+            assert decoded.fault.code == FaultCode.RETRY_LATER
+            assert "too many in flight" in decoded.fault.message
+        finally:
+            server.close()
+
+    def test_async_frontend_serves_a_real_rpc(self):
+        """End to end through ``frontend()``: an XML-RPC call over a real
+        socket against the event-loop transport."""
+
+        server, _ca = ClarensServer.with_test_pki(
+            ServerConfig(server_transport="async"))
+        try:
+            with server.frontend() as frontend:
+                codec = XMLRPCCodec()
+                body = codec.encode_request(RPCRequest("system.list_methods"))
+                host, port = frontend.address
+                conn = http.client.HTTPConnection(host, port, timeout=5)
+                conn.request("POST", server.config.rpc_path(), body=body,
+                             headers={"Content-Type": codec.content_type})
+                response = conn.getresponse()
+                assert response.status == 200
+                decoded = codec.decode_response(response.read())
+                assert not decoded.is_fault
+                assert "system.list_methods" in decoded.result
+                conn.close()
+        finally:
+            server.close()

@@ -544,6 +544,22 @@ class TestBroker:
         assert broker.read("/lfn/f") == data
         assert [e.name for _, e in broker.candidates("/lfn/f")] == ["se-b"]
 
+    def test_no_proxy_restricts_to_directly_reachable(self, tmp_path):
+        """``proxy=False`` never selects remote elements (single-hop guard)."""
+
+        catalogue, se_a, se_b, data = self._two_se_setup(tmp_path)
+        se_a.is_remote = True      # stand-in for a RemoteStorageElement
+        broker = ReplicaBroker(catalogue, {"se-a": se_a, "se-b": se_b},
+                               local_se="se-a")
+        assert [e.name for _, e in
+                broker.candidates("/lfn/f", proxy=False)] == ["se-b"]
+        assert broker.read("/lfn/f", proxy=False) == data
+        # Default behaviour still proxies (the local remote ranks first).
+        assert broker.resolve("/lfn/f")[1].name == "se-a"
+        se_b.available = False
+        with pytest.raises(ReplicaError):
+            broker.resolve("/lfn/f", proxy=False)
+
     def test_all_replicas_failing_raises(self, tmp_path):
         catalogue, se_a, se_b, data = self._two_se_setup(tmp_path)
         se_a.available = False
