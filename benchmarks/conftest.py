@@ -18,7 +18,8 @@ from repro.bench.workloads import make_benchmark_environment
 #: picked up by plain ``pytest``, so CI exercises the code path (the replica
 #: transfer engine) on every run.  Their default sizes are seconds-scale;
 #: ``--smoke`` shrinks them further.
-TIER1_BENCHMARKS = {"bench_replica.py", "bench_replication.py"}
+TIER1_BENCHMARKS = {"bench_replica.py", "bench_replication.py",
+                    "bench_protocols.py"}
 
 
 def pytest_collect_file(file_path, parent):

@@ -48,6 +48,11 @@ def main() -> int:
                         default=None,
                         help="socket frontend the federation boots on "
                              "(default threaded)")
+    parser.add_argument("--protocol", choices=("xmlrpc", "binary"),
+                        default=None,
+                        help="wire protocol the workload clients speak "
+                             "(default xmlrpc; binary negotiates the compact "
+                             "codec and re-negotiates across restarts)")
     parser.add_argument("--smoke", action="store_true",
                         help="seconds-scale 3-server run (the tier-1 shape)")
     parser.add_argument("--check", action="store_true",
@@ -72,6 +77,8 @@ def main() -> int:
         knobs["chaos_report_path"] = args.report
     if args.transport is not None:
         knobs["chaos_transport"] = args.transport
+    if args.protocol is not None:
+        knobs["chaos_protocol"] = args.protocol
     knobs["chaos_seed"] = args.seed
 
     config = SoakConfig(**knobs)

@@ -75,6 +75,10 @@ class SoakConfig:
     #: thread-per-connection server) or ``async`` (the event-loop frontend).
     #: Maps straight onto the servers' ``server_transport`` knob.
     chaos_transport: str = "threaded"
+    #: Wire protocol the workload clients speak: ``xmlrpc`` (the paper's
+    #: default) or ``binary`` (clients negotiate the compact binary codec and
+    #: must survive restarts downgrading them mid-session).
+    chaos_protocol: str = "xmlrpc"
 
     def __post_init__(self) -> None:
         if self.chaos_servers < 2:
@@ -95,6 +99,9 @@ class SoakConfig:
         if self.chaos_transport not in ("threaded", "async"):
             raise ConfigError("chaos_transport must be 'threaded' or 'async', "
                               f"not {self.chaos_transport!r}")
+        if self.chaos_protocol not in ("xmlrpc", "binary"):
+            raise ConfigError("chaos_protocol must be 'xmlrpc' or 'binary', "
+                              f"not {self.chaos_protocol!r}")
         self.mix()                            # validate eagerly
         self.fault_kinds()
 

@@ -256,6 +256,7 @@ class SoakHarness:
                 threads=config.chaos_workload_threads,
                 pool_lfns=self.pool_lfns,
                 payload_bytes=config.chaos_payload_bytes,
+                protocol=config.chaos_protocol,
                 expect_unavailable=lambda: any(
                     injector.down_window(s.name, time.monotonic())
                     for s in self.servers))

@@ -82,9 +82,13 @@ class WorkloadDriver:
     def __init__(self, servers: list["SoakServer"], *, credential,
                  mix: dict[str, int], seed: int, threads: int,
                  pool_lfns: list[str], payload_bytes: int,
-                 expect_unavailable=None) -> None:
+                 expect_unavailable=None, protocol: str = "xmlrpc") -> None:
         self.servers = servers
         self.credential = credential
+        #: ``binary`` makes every workload client negotiate the compact
+        #: binary codec — which a server restart forgets, so the soak also
+        #: proves the downgrade-and-renegotiate path under fire.
+        self.negotiate = protocol == "binary"
         #: Callable answering "is some server inside a fault window right
         #: now?" — a read whose only replica lives on a killed server fails
         #: legitimately; the same failure with the whole fleet healthy is an
@@ -175,7 +179,8 @@ class WorkloadDriver:
         client = clients.get(target.name)
         if client is None or target.generation != getattr(
                 client, "_soak_generation", None):
-            client = ClarensClient.for_url(target.url)
+            client = ClarensClient.for_url(target.url,
+                                           negotiate=self.negotiate)
             with self._login_lock:
                 client.login_with_credential(self.credential)
             client._soak_generation = target.generation
@@ -186,7 +191,8 @@ class WorkloadDriver:
                 clients: dict[str, ClarensClient], written: list[str],
                 requested: set[tuple[str, str]], tag: str) -> None:
         if kind == "session":
-            fresh = ClarensClient.for_url(target.url)
+            fresh = ClarensClient.for_url(target.url,
+                                          negotiate=self.negotiate)
             try:
                 with self._login_lock:
                     fresh.login_with_credential(self.credential)

@@ -160,7 +160,7 @@ class PipelinedLoadClient:
 
     def __init__(self, base_url: str, rpc_path: str = "/clarens/rpc", *,
                  n_clients: int = 1, pipeline_depth: int = 16,
-                 timeout: float = 30.0) -> None:
+                 timeout: float = 30.0, codec=None) -> None:
         if n_clients < 1:
             raise ValueError("at least one client connection is required")
         if pipeline_depth < 1:
@@ -174,12 +174,15 @@ class PipelinedLoadClient:
         self.n_clients = n_clients
         self.pipeline_depth = pipeline_depth
         self.timeout = timeout
+        #: The wire codec requests are pre-encoded with (default XML-RPC);
+        #: pass ``BinaryCodec()`` for the fast-wire-path A/B.
+        self.codec = codec
 
     # -- request encoding ----------------------------------------------------
     def _encode_request(self, method: str, params: Sequence[Any]) -> bytes:
         from repro.protocols import RPCRequest, XMLRPCCodec
 
-        codec = XMLRPCCodec()
+        codec = self.codec or XMLRPCCodec()
         body = codec.encode_request(RPCRequest(method=method, params=list(params)))
         head = (f"POST {self.rpc_path} HTTP/1.1\r\n"
                 f"Host: {self.host}:{self.port}\r\n"
@@ -198,6 +201,13 @@ class PipelinedLoadClient:
         done = [0] * self.n_clients
         errors = [0] * self.n_clients
 
+        async def read_window(index: int, reader, window: int) -> None:
+            for _ in range(window):
+                status = await _read_response_status(reader)
+                if status != 200:
+                    errors[index] += 1
+                done[index] += 1
+
         async def connection(index: int) -> None:
             reader, writer = await asyncio.open_connection(self.host, self.port)
             try:
@@ -206,12 +216,12 @@ class PipelinedLoadClient:
                     window = min(self.pipeline_depth, remaining)
                     writer.write(wire_request * window)
                     await writer.drain()
-                    for _ in range(window):
-                        status = await asyncio.wait_for(
-                            _read_response_status(reader), timeout=self.timeout)
-                        if status != 200:
-                            errors[index] += 1
-                        done[index] += 1
+                    # One timeout (and one task) per pipelined window, not
+                    # per response: wait_for wraps its awaitable in a fresh
+                    # Task plus a timer handle, which at depth 16 costs more
+                    # loop bookkeeping than the reads themselves.
+                    await asyncio.wait_for(read_window(index, reader, window),
+                                           timeout=self.timeout)
                     remaining -= window
             except (OSError, asyncio.IncompleteReadError, asyncio.TimeoutError):
                 errors[index] += shares[index] - done[index]
@@ -242,12 +252,16 @@ async def _read_response_status(reader: asyncio.StreamReader) -> int:
     """Read one HTTP response, discard its body, and return the status."""
 
     head = await reader.readuntil(b"\r\n\r\n")
-    lines = head.decode("latin-1").split("\r\n")
-    status = int(lines[0].split(" ", 2)[1])
-    length = 0
-    for line in lines[1:]:
-        if line.lower().startswith("content-length:"):
-            length = int(line.partition(":")[2].strip())
+    # Byte-level framing: the status sits at a fixed offset of the status
+    # line ("HTTP/1.1 NNN ...") and only Content-Length matters for
+    # discarding the body — no need to decode and split the whole head.
+    status = int(head[9:12])
+    marker = head.lower().find(b"content-length:")
+    if marker >= 0:
+        end = head.index(b"\r\n", marker)
+        length = int(head[marker + 15:end])
+    else:
+        length = 0
     if length:
         await reader.readexactly(length)
     return status

@@ -26,8 +26,11 @@ from repro.httpd.tls import TLSContext
 from repro.pki.credentials import Credential
 from repro.pki.proxy import ProxyCertificate
 from repro.protocols import default_codec
-from repro.protocols.errors import Fault, ProtocolError
-from repro.protocols.types import RPCRequest
+from repro.protocols.errors import Fault, FaultCode, ProtocolError
+from repro.protocols.negotiate import (
+    ACCEPT_HEADER, PROTOCOL_HEADER, codec_by_name, detect_codec,
+    parse_protocol_list)
+from repro.protocols.types import RPCRequest, RPCResponse
 from repro.telemetry.trace import TRACE_HEADER, current_trace
 
 __all__ = ["ClarensClient"]
@@ -36,12 +39,23 @@ __all__ = ["ClarensClient"]
 class ClarensClient:
     """A synchronous RPC client for one Clarens server."""
 
+    #: The codec a negotiating client upgrades to when the server offers it.
+    UPGRADE_PROTOCOL = "binary"
+
     def __init__(self, transport: Transport, *, rpc_path: str = "/clarens/rpc",
-                 file_path: str = "/clarens/file", codec=None) -> None:
+                 file_path: str = "/clarens/file", codec=None,
+                 negotiate: bool = False) -> None:
         self.transport = transport
         self.rpc_path = rpc_path
         self.file_path = file_path
         self.codec = codec or default_codec()
+        #: When True the client offers to upgrade to the binary codec
+        #: (``X-Clarens-Accept-Protocol``) and switches once the server
+        #: advertises support; off by default so paper-mode traffic is
+        #: byte-for-byte what the original clients sent.
+        self.negotiate = negotiate
+        self._base_codec = self.codec
+        self._negotiated = False
         self.session_id: str | None = None
         self.dn: str | None = None
         self._call_counter = 0
@@ -50,7 +64,8 @@ class ClarensClient:
     @classmethod
     def for_loopback(cls, loopback: LoopbackTransport, *,
                      credential: Credential | None = None,
-                     url_prefix: str = "/clarens", codec=None) -> "ClarensClient":
+                     url_prefix: str = "/clarens", codec=None,
+                     negotiate: bool = False) -> "ClarensClient":
         """Build a client over an in-process loopback transport.
 
         When ``credential`` is given and the loopback has TLS enabled, the
@@ -62,19 +77,26 @@ class ClarensClient:
             client_tls = TLSContext(credential=credential)
         transport = LoopbackClientTransport(loopback, client_tls=client_tls)
         return cls(transport, rpc_path=f"{url_prefix}/rpc",
-                   file_path=f"{url_prefix}/file", codec=codec)
+                   file_path=f"{url_prefix}/file", codec=codec,
+                   negotiate=negotiate)
 
     @classmethod
-    def for_url(cls, base_url: str, *, url_prefix: str = "/clarens", codec=None) -> "ClarensClient":
+    def for_url(cls, base_url: str, *, url_prefix: str = "/clarens",
+                codec=None, negotiate: bool = False) -> "ClarensClient":
         """Build a client speaking real HTTP to ``base_url``."""
 
         transport = HTTPTransport(base_url)
         return cls(transport, rpc_path=f"{url_prefix}/rpc",
-                   file_path=f"{url_prefix}/file", codec=codec)
+                   file_path=f"{url_prefix}/file", codec=codec,
+                   negotiate=negotiate)
 
     # -- core call -------------------------------------------------------------------
     def _headers(self, extra: Mapping[str, str] | None = None) -> dict[str, str]:
         headers = {"Content-Type": self.codec.content_type}
+        if self.negotiate:
+            # Sent on every request (not just the first) so a server restart
+            # mid-session re-learns that this client can upgrade.
+            headers[ACCEPT_HEADER] = self.UPGRADE_PROTOCOL
         if self.session_id:
             headers[SESSION_HEADER] = self.session_id
         # Distributed tracing: when the calling thread runs under an ambient
@@ -98,20 +120,85 @@ class ClarensClient:
 
         self._call_counter += 1
         request = RPCRequest(method=method, params=params, call_id=self._call_counter)
-        body = self.codec.encode_request(request)
+        return self._invoke(request).unwrap()
+
+    def _invoke(self, request: RPCRequest, *, encode=None,
+                _retried: bool = False) -> RPCResponse:
+        """Encode, POST and decode one request, handling codec negotiation.
+
+        ``encode`` overrides the request encoding (the multicall fast path);
+        it is a callable over the codec so a negotiation fallback re-encodes
+        in whatever protocol the retry uses.
+        """
+
+        codec = self.codec
+        body = encode(codec) if encode is not None else codec.encode_request(request)
         response = self.transport.request("POST", self.rpc_path,
                                           headers=self._headers(), body=body)
         # 429 (throttled) still carries a protocol-correct RETRY_LATER fault
-        # body, which unwrap() below re-raises as a Fault the caller can back
+        # body, which unwrap() by the caller re-raises as a Fault to back
         # off on; any other non-200 status is a transport-level failure.
         if response.status not in (200, 429):
             raise ClientError(
                 f"HTTP {response.status} from server: {response.body_bytes()[:200]!r}")
+        raw = response.body_bytes()
+        if self.negotiate:
+            self._observe_advert(response)
         try:
-            rpc_response = self.codec.decode_response(response.body_bytes())
+            rpc_response = codec.decode_response(raw)
         except ProtocolError as exc:
-            raise ClientError(f"malformed response: {exc}") from exc
-        return rpc_response.unwrap()
+            rpc_response = self._decode_foreign(raw, response, codec)
+            if rpc_response is None:
+                raise ClientError(f"malformed response: {exc}") from exc
+        if (self.negotiate and not _retried and codec is not self._base_codec
+                and rpc_response.is_fault
+                and rpc_response.fault.code == FaultCode.PARSE_ERROR):
+            # The server could not parse our upgraded request (it restarted
+            # into a build or config without the codec).  A parse fault
+            # proves the method never executed, so resending in the base
+            # protocol is safe — and the accept header on the retry lets a
+            # capable server re-advertise, re-upgrading later calls.
+            self._negotiated = False
+            self.codec = self._base_codec
+            return self._invoke(request, encode=encode, _retried=True)
+        return rpc_response
+
+    def _decode_foreign(self, raw: bytes, response: HTTPResponse,
+                        request_codec) -> RPCResponse | None:
+        """Decode a response written in a codec other than the request's.
+
+        Happens when a negotiated server restarted mid-session: the parse
+        fault for our binary request arrives in the default protocol.
+        ``request_codec`` is the codec the request was encoded with — not
+        ``self.codec``, which :meth:`_observe_advert` may already have
+        downgraded while this response was in flight.
+        """
+
+        try:
+            other = detect_codec(raw, response.headers.get("Content-Type"))
+            if other.name == request_codec.name:
+                return None
+            return other.decode_response(raw)
+        except ProtocolError:
+            return None
+
+    def _observe_advert(self, response: HTTPResponse) -> None:
+        """React to the server's codec advert (upgrade or drop back)."""
+
+        advert = response.headers.get(PROTOCOL_HEADER)
+        if not advert:
+            return
+        try:
+            offered = parse_protocol_list(advert)
+        except ProtocolError:
+            return
+        if self.UPGRADE_PROTOCOL in offered:
+            if self.codec.name != self.UPGRADE_PROTOCOL:
+                self.codec = codec_by_name(self.UPGRADE_PROTOCOL)
+                self._negotiated = True
+        elif self._negotiated:
+            self.codec = self._base_codec
+            self._negotiated = False
 
     def try_call(self, method: str, *params: Any) -> tuple[Any, Fault | None]:
         """Like :meth:`call` but returns ``(result, fault)`` instead of raising."""
@@ -133,9 +220,24 @@ class ClarensClient:
         (not raised) for entries that failed.
         """
 
-        entries = [{"methodName": method, "params": list(params)}
-                   for method, params in calls]
-        raw = self.call("system.multicall", entries)
+        normalised = [(method, list(params)) for method, params in calls]
+        self._call_counter += 1
+        call_id = self._call_counter
+
+        def encode(codec):
+            # Codecs with a batch fast path serialise the entries straight
+            # into one buffer; others pay the generic entry-dict encoding.
+            fast = getattr(codec, "encode_multicall", None)
+            if fast is not None:
+                return fast(normalised, call_id=call_id)
+            entries = [{"methodName": method, "params": params}
+                       for method, params in normalised]
+            return codec.encode_request(RPCRequest(
+                method="system.multicall", params=(entries,), call_id=call_id))
+
+        request = RPCRequest(method="system.multicall", params=(),
+                             call_id=call_id)
+        raw = self._invoke(request, encode=encode).unwrap()
         results: list[Any] = []
         for slot in raw:
             if isinstance(slot, (list, tuple)) and len(slot) == 1:

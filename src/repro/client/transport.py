@@ -75,10 +75,14 @@ class HTTPTransport:
         self.port = parsed.port or 80
         self.timeout = timeout
         self._conn: http.client.HTTPConnection | None = None
+        #: Requests completed on the *current* connection; a positive count
+        #: marks it as a reused keep-alive socket the server may close idle.
+        self._completed = 0
 
     def _connect(self) -> http.client.HTTPConnection:
         if self._conn is None:
             self._conn = http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
+            self._completed = 0
         return self._conn
 
     def request(self, method: str, path: str, *, headers: Mapping[str, str] | None = None,
@@ -94,14 +98,24 @@ class HTTPTransport:
           failed *before any body bytes were written*.  With Content-Length
           framing the server cannot execute a request whose body never
           started, so that resend is safe.  Once body bytes are on the wire
-          (or the failure came while reading the response) the server may
-          have received and executed the call, and the error is surfaced to
-          the caller instead of replaying a possibly non-idempotent RPC.
+          the retry is additionally allowed when the failure is the
+          *stale keep-alive* signature — the connection had already
+          completed at least one request and the server dropped it without
+          sending any response bytes (``RemoteDisconnected``, or the
+          connection reset underneath the write).  That close races our
+          request against the server's idle timeout or restart; the server
+          abandoned the connection without answering, so the call did not
+          complete and a fresh-connection resend (with the same headers —
+          they are rebuilt per request, so a negotiated Content-Type
+          travels on the retry too) is safe.  Any other mid-exchange
+          failure surfaces to the caller instead of replaying a possibly
+          non-idempotent RPC.
         """
 
         header_map = dict(headers or {})
         for attempt in (0, 1):
             conn = self._connect()
+            reused = self._completed > 0
             body_bytes_written = False
             try:
                 conn.putrequest(method, path)
@@ -118,11 +132,16 @@ class HTTPTransport:
                 payload = raw.read()
             except (OSError, http.client.HTTPException) as exc:
                 self.close()
+                stale_keepalive = reused and isinstance(
+                    exc, (http.client.RemoteDisconnected,
+                          ConnectionResetError, BrokenPipeError))
                 retry_safe = (method in ("GET", "HEAD")
-                              or not body_bytes_written)
+                              or not body_bytes_written
+                              or stale_keepalive)
                 if attempt == 0 and retry_safe:
                     continue
                 raise TransportError(f"HTTP request failed: {exc}") from exc
+            self._completed += 1
             response_headers = Headers()
             for key, value in raw.getheaders():
                 response_headers.add(key, value)

@@ -71,6 +71,18 @@ class ServerConfig:
     #: Lock shards for the dispatch statistics, so heavily threaded servers
     #: do not serialise the request hot path on one stats mutex.
     dispatch_stats_shards: int = 8
+    #: Comma-separated, ordered list of the RPC codecs this server accepts
+    #: and advertises to negotiating clients (``xml-rpc``, ``soap``,
+    #: ``json-rpc``, ``binary``).  Requests in a protocol missing from the
+    #: list are rejected with a clean parse fault; trimming the list to
+    #: ``xml-rpc,soap,json-rpc`` yields a paper-mode server that refuses the
+    #: binary fast path entirely.
+    protocol_preference: str = "xml-rpc,soap,json-rpc,binary"
+    #: Serve ``FilePayload`` bodies through ``os.sendfile`` (threaded
+    #: frontend) / ``loop.sendfile`` (async frontend) so file GETs move
+    #: kernel-to-kernel.  Off falls back to chunked userspace copies, which
+    #: is also the automatic fallback where sendfile is unavailable.
+    sendfile_enabled: bool = True
     #: Which socket frontend ``ClarensServer.frontend()`` builds: ``threaded``
     #: (one pooled thread per connection, the paper's Apache-like model) or
     #: ``async`` (one event loop for every connection, with pipelined parsing
@@ -248,6 +260,14 @@ class ServerConfig:
             raise ConfigError(
                 f"server_transport must be 'threaded' or 'async', "
                 f"not {self.server_transport!r}")
+        from repro.protocols.errors import ProtocolError
+        from repro.protocols.negotiate import parse_protocol_list
+        try:
+            parsed = parse_protocol_list(str(self.protocol_preference))
+        except ProtocolError as exc:
+            raise ConfigError(f"protocol_preference: {exc}") from exc
+        self.protocol_preference = ",".join(parsed)
+        self.sendfile_enabled = bool(self.sendfile_enabled)
         if self.cache_stats_interval < 0:
             raise ConfigError("cache_stats_interval cannot be negative")
         if self.telemetry_slow_ms < 0:
@@ -349,7 +369,8 @@ class ServerConfig:
                     "access_checks_per_request", "dispatch_rate_limit",
                     "dispatch_burst", "dispatch_max_inflight",
                     "dispatch_multicall_limit",
-                    "dispatch_stats_shards", "server_transport",
+                    "dispatch_stats_shards", "protocol_preference",
+                    "sendfile_enabled", "server_transport",
                     "async_executor_workers", "async_max_connections",
                     "async_max_inflight", "cache_method_list",
                     "cache_enabled", "cache_session_maxsize", "cache_session_ttl",
@@ -385,6 +406,11 @@ class ServerConfig:
         return path
 
     # -- helpers -------------------------------------------------------------
+    def protocols(self) -> tuple[str, ...]:
+        """``protocol_preference`` parsed into an ordered name tuple."""
+
+        return tuple(part for part in self.protocol_preference.split(",") if part)
+
     def rpc_path(self) -> str:
         return f"{self.url_prefix}/rpc"
 

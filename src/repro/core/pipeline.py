@@ -52,8 +52,9 @@ from repro.core.context import CallContext
 from repro.core.errors import AccessDeniedError, AuthenticationError, to_fault
 from repro.core.session import Session
 from repro.httpd.message import Headers, HTTPRequest, HTTPResponse
-from repro.protocols import detect_codec
+from repro.protocols import default_codec, detect_codec
 from repro.protocols.errors import Fault, FaultCode, ProtocolError
+from repro.protocols.negotiate import ACCEPT_HEADER, PROTOCOL_HEADER
 from repro.protocols.types import RPCRequest, RPCResponse, validate_value
 from repro.telemetry.trace import TRACE_HEADER, Span, TraceContext, use_trace
 
@@ -70,11 +71,107 @@ __all__ = [
     "build_pipeline",
     "allow_anonymous",
     "check_method_acl",
+    "encode_fault_cached",
     "SESSION_HEADER",
 ]
 
 #: HTTP header carrying the session id (the original used cookie-like headers).
 SESSION_HEADER = "X-Clarens-Session"
+
+
+# ---------------------------------------------------------------------------
+# Pre-encoded fault bodies
+# ---------------------------------------------------------------------------
+
+_FAULT_CACHE: dict[tuple[str, int, str], bytes] = {}
+_FAULT_CACHE_LOCK = threading.Lock()
+#: Cache bound; distinct fault texts past this flush the table (an overload
+#: burst repeats a handful of messages, so the flush is effectively never hit
+#: on the hot path it exists for).
+_FAULT_CACHE_LIMIT = 256
+
+
+def encode_fault_cached(codec, fault: Fault) -> bytes:
+    """Encode a fault response body, memoised per ``(codec, code, message)``.
+
+    Overloaded servers re-encode the same RETRY_LATER (and parse-error)
+    bodies thousands of times a second; the bytes depend only on the codec
+    and the fault, so they are encoded once.  Only call-id-less responses
+    may use this — JSON-RPC and binary embed the call id in the body, so a
+    response correlated to a client id must be encoded fresh.
+    """
+
+    key = (codec.name, int(fault.code), fault.message)
+    body = _FAULT_CACHE.get(key)
+    if body is None:
+        body = codec.encode_response(RPCResponse.from_fault(fault))
+        with _FAULT_CACHE_LOCK:
+            if len(_FAULT_CACHE) >= _FAULT_CACHE_LIMIT:
+                _FAULT_CACHE.clear()
+            _FAULT_CACHE[key] = body
+    return body
+
+
+# ---------------------------------------------------------------------------
+# Hot-response fragment memo (spliceable codecs)
+# ---------------------------------------------------------------------------
+
+#: Distinct hot methods the per-pipeline result-fragment memo holds before
+#: flushing; catalogue-style servers repeat a handful of methods, so the
+#: flush is effectively never hit on the path it accelerates.
+_RESULT_MEMO_LIMIT = 64
+
+
+#: Exact-bytes request-decode memo bound (spliceable codecs only).  Hot RPC
+#: traffic repeats a handful of wire-identical frames (``system.
+#: list_methods`` with no params), so the bound exists only as a backstop
+#: against pathological key churn.
+_REQUEST_MEMO_LIMIT = 256
+#: Only small frames are worth keying a memo by their whole body.
+_REQUEST_MEMO_MAX_BYTES = 1024
+
+#: Param types a memoised (and therefore shared) request may carry: all
+#: immutable, so no service can mutate what a later request will see.
+_IMMUTABLE_PARAMS = (str, int, float, bool, bytes, type(None))
+
+
+_UNSTABLE = object()
+
+
+def _stable_copy(value: Any) -> Any:
+    """Defensively copy ``value`` when equality implies identical bytes.
+
+    The fragment memo serves cached bytes whenever a method's fresh result
+    compares equal to the memoised one, so it may only hold values for which
+    Python equality cannot cross encoding boundaries.  Strings, ``None`` and
+    ``bytes`` only ever equal values that encode identically; numerics and
+    bools do not (``1 == True == 1.0`` but their frames differ), and
+    tz-aware datetimes can equal ones with a different ISO rendering — any
+    value containing those returns :data:`_UNSTABLE` and is encoded fresh
+    every call.  Containers are rebuilt so a service mutating its returned
+    object cannot alias the memo's comparison baseline.
+    """
+
+    kind = type(value)
+    if kind is str or value is None or kind is bytes:
+        return value
+    if kind is list or kind is tuple:
+        out = []
+        for item in value:
+            copied = _stable_copy(item)
+            if copied is _UNSTABLE:
+                return _UNSTABLE
+            out.append(copied)
+        return out if kind is list else tuple(out)
+    if kind is dict:
+        record = {}
+        for key, item in value.items():
+            copied = _stable_copy(item)
+            if copied is _UNSTABLE:
+                return _UNSTABLE
+            record[key] = copied
+        return record
+    return _UNSTABLE
 
 
 # ---------------------------------------------------------------------------
@@ -102,6 +199,10 @@ class RequestState:
     anonymous: bool = False
     #: Set by the invoke stage (or by a custom stage that short-circuits).
     response: RPCResponse | None = None
+    #: False when the serving codec validates during encoding (spliceable
+    #: codecs), so the invoke stage skips the redundant ``validate_value``
+    #: walk over the result.
+    validate_result: bool = True
     #: Wall-clock seconds spent in each stage, keyed by stage name.
     stage_seconds: dict[str, float] = field(default_factory=dict)
     #: Callables run (in reverse order) once the request finishes, success or
@@ -273,7 +374,8 @@ class InvokeStage(PipelineStage):
                                             rpc_request.params)
         else:
             result = _call_with_context(state.method.func, ctx, rpc_request.params)
-        state.response = RPCResponse.from_result(result, call_id=rpc_request.call_id)
+        state.response = RPCResponse.from_result(result, call_id=rpc_request.call_id,
+                                                 validate=state.validate_result)
 
 
 # ---------------------------------------------------------------------------
@@ -416,6 +518,24 @@ class RequestPipeline:
         #: The server's telemetry assembly (None in paper mode): finished
         #: requests report spans, metrics and slow-log entries through it.
         self.telemetry: "ServerTelemetry | None" = None
+        #: The codec names this server accepts (``protocol_preference``), and
+        #: the advert string sent back to clients that ask to negotiate.
+        config = getattr(server, "config", None)
+        protocols = getattr(config, "protocols", None)
+        self.enabled_protocols: tuple[str, ...] | None = (
+            protocols() if callable(protocols) else None)
+        self.protocol_advert: str | None = (
+            ",".join(self.enabled_protocols) if self.enabled_protocols else None)
+        #: Per-method (result, fragment) pairs for spliceable codecs: when a
+        #: method keeps returning an equal result, its encoded value bytes
+        #: are reused instead of re-walked (see :meth:`_encode_spliced`).
+        self._result_memo: dict[str, tuple[Any, bytes]] = {}
+        #: Exact-bytes decoded-request memo for spliceable codecs: hot RPC
+        #: traffic repeats wire-identical frames, and a binary frame is a
+        #: canonical encoding, so equal bytes always decode to the same
+        #: request.  Only requests with immutable params are stored (the
+        #: decoded object is shared across calls).
+        self._request_memo: dict[Any, RPCRequest] = {}
 
     # -- composition ---------------------------------------------------------
     def stage_names(self) -> list[str]:
@@ -445,11 +565,13 @@ class RequestPipeline:
     def execute(self, rpc_request: RPCRequest, *,
                 http_request: HTTPRequest | None = None,
                 protocol: str = "xml-rpc",
-                pre_stage_seconds: dict[str, float] | None = None) -> RequestState:
+                pre_stage_seconds: dict[str, float] | None = None,
+                validate_result: bool = True) -> RequestState:
         """Run the stage chain for one decoded request; never raises."""
 
         state = RequestState(server=self.server, rpc_request=rpc_request,
-                             http_request=http_request, protocol=protocol)
+                             http_request=http_request, protocol=protocol,
+                             validate_result=validate_result)
         if pre_stage_seconds:
             state.stage_seconds.update(pre_stage_seconds)
         start = time.perf_counter()
@@ -504,38 +626,105 @@ class RequestPipeline:
                             protocol=protocol).response
 
     # -- HTTP entry point ----------------------------------------------------
+    def _http_response(self, status: int, codec, body: bytes,
+                       advert: str | None) -> HTTPResponse:
+        headers = Headers({"Content-Type": codec.content_type})
+        if advert is not None:
+            headers.set(PROTOCOL_HEADER, advert)
+        return HTTPResponse(status=status, headers=headers, body=body)
+
+    def _encode_spliced(self, codec, method: str, response: RPCResponse) -> bytes:
+        """Encode a success response, reusing the result bytes when possible.
+
+        Catalogue-style methods (``system.list_methods`` — the Figure 4
+        workload) return an equal result on every call, yet the generic path
+        re-walks the whole value tree per response.  For spliceable codecs
+        the ``value(result)`` fragment is memoised per method and revalidated
+        with a single C-level ``==`` against the memoised result — safe
+        because only :func:`_stable_copy`-able values (whose equality implies
+        byte-identical encoding) are ever stored, and the stored copy is
+        rebuilt so a service mutating its returned object cannot alias the
+        baseline.  Changed results simply miss and re-encode; the memo never
+        serves bytes for a value that is not equal to the one it encoded.
+        """
+
+        memo = self._result_memo
+        result = response.result
+        cached = memo.get(method)
+        if cached is not None and cached[0] == result:
+            return codec.encode_response_from_fragment(response.call_id, cached[1])
+        fragment = codec.encode_result_fragment(result)
+        copied = _stable_copy(result)
+        if copied is not _UNSTABLE:
+            if len(memo) >= _RESULT_MEMO_LIMIT:
+                memo.clear()
+            memo[method] = (copied, fragment)
+        return codec.encode_response_from_fragment(response.call_id, fragment)
+
     def handle_http(self, request: HTTPRequest) -> HTTPResponse:
         """Handle a POST to the RPC endpoint: decode, run the chain, encode."""
 
+        # Advertise the enabled codecs only to clients that asked: paper-mode
+        # traffic (no accept header) stays byte-for-byte unchanged.
+        advert = None
+        if request.headers.get(ACCEPT_HEADER):
+            advert = self.protocol_advert
+
         decode_start = time.perf_counter()
         try:
-            codec = detect_codec(request.body, request.content_type)
+            codec = detect_codec(request.body, request.content_type,
+                                 enabled=self.enabled_protocols)
         except ProtocolError as exc:
             # Without a codec we cannot produce a protocol-correct fault body;
             # fall back to the default (XML-RPC), as the original server did.
-            from repro.protocols import default_codec
-
             codec = default_codec()
-            fault = Fault(FaultCode.PARSE_ERROR, str(exc))
-            body = codec.encode_response(RPCResponse.from_fault(fault))
-            return HTTPResponse.ok(body, content_type=codec.content_type)
+            body = encode_fault_cached(codec, Fault(FaultCode.PARSE_ERROR, str(exc)))
+            return self._http_response(200, codec, body, advert)
 
-        try:
-            rpc_request = codec.decode_request(request.body)
-        except ProtocolError as exc:
-            fault = Fault(FaultCode.PARSE_ERROR, str(exc))
-            body = codec.encode_response(RPCResponse.from_fault(fault))
-            return HTTPResponse.ok(body, content_type=codec.content_type)
+        # Spliceable codecs validate while encoding, so the invoke stage's
+        # separate validation walk over the result is redundant for them.
+        spliceable = getattr(codec, "spliceable", False)
+        rpc_request = (self._request_memo.get(request.body)
+                       if spliceable else None)
+        if rpc_request is None:
+            try:
+                rpc_request = codec.decode_request(request.body)
+            except ProtocolError as exc:
+                body = encode_fault_cached(codec, Fault(FaultCode.PARSE_ERROR, str(exc)))
+                return self._http_response(200, codec, body, advert)
+            if (spliceable and len(request.body) <= _REQUEST_MEMO_MAX_BYTES
+                    and all(isinstance(param, _IMMUTABLE_PARAMS)
+                            for param in rpc_request.params)):
+                if len(self._request_memo) >= _REQUEST_MEMO_LIMIT:
+                    self._request_memo.clear()
+                self._request_memo[request.body] = rpc_request
         decode_seconds = time.perf_counter() - decode_start
 
         state = self.execute(rpc_request, http_request=request,
                              protocol=codec.name,
-                             pre_stage_seconds={"decode": decode_seconds})
+                             pre_stage_seconds={"decode": decode_seconds},
+                             validate_result=not spliceable)
         response = state.response
         response.call_id = rpc_request.call_id
 
         encode_start = time.perf_counter()
-        body = codec.encode_response(response)
+        if response.is_fault and response.call_id is None:
+            # Fault bodies without a call id are pure functions of the codec
+            # and the fault — serve the pre-encoded bytes (overload shedding
+            # re-encodes the identical 429 body thousands of times otherwise).
+            body = encode_fault_cached(codec, response.fault)
+        elif spliceable and not response.is_fault:
+            try:
+                body = self._encode_spliced(codec, rpc_request.method, response)
+            except ProtocolError as exc:
+                # The validation the invoke stage skipped surfaces here: an
+                # unencodable result becomes the same fault the validation
+                # walk would have raised.
+                response = RPCResponse.from_fault(to_fault(exc),
+                                                  call_id=rpc_request.call_id)
+                body = codec.encode_response(response)
+        else:
+            body = codec.encode_response(response)
         self.stats.record_stage("encode", time.perf_counter() - encode_start)
 
         status = 200
@@ -543,9 +732,7 @@ class RequestPipeline:
             # Load shedding is transport-visible: plain-HTTP callers (and any
             # intermediary) see 429 without having to parse the fault body.
             status = 429
-        return HTTPResponse(status=status,
-                            headers=Headers({"Content-Type": codec.content_type}),
-                            body=body)
+        return self._http_response(status, codec, body, advert)
 
     # -- batched RPC ---------------------------------------------------------
     def run_multicall(self, ctx: CallContext, calls: Sequence[Any]) -> list[Any]:

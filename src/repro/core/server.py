@@ -366,7 +366,8 @@ class ClarensServer:
         """A real threaded HTTP server bound to this Clarens instance."""
 
         return SocketHTTPServer(self.handle_request, host=host, port=port,
-                                keep_alive=keep_alive, access_log=self.access_log)
+                                keep_alive=keep_alive, access_log=self.access_log,
+                                sendfile_enabled=self.config.sendfile_enabled)
 
     def async_server(self, *, host: str = "127.0.0.1", port: int = 0,
                      keep_alive: bool = True) -> AsyncHTTPServer:
@@ -393,7 +394,8 @@ class ClarensServer:
             executor_workers=cfg.async_executor_workers,
             max_connections=cfg.async_max_connections,
             gate=gate, overload_handler=self._overload_response,
-            access_log=self.access_log)
+            access_log=self.access_log,
+            sendfile_enabled=cfg.sendfile_enabled)
 
     def frontend(self, *, host: str = "127.0.0.1", port: int = 0,
                  keep_alive: bool = True) -> SocketHTTPServer | AsyncHTTPServer:
@@ -413,8 +415,8 @@ class ClarensServer:
         (file GETs, refused connections) gets a plain-text 429.
         """
 
-        from repro.protocols import (Fault, ProtocolError, RPCResponse,
-                                     default_codec, detect_codec)
+        from repro.core.pipeline import encode_fault_cached
+        from repro.protocols import Fault, ProtocolError, default_codec, detect_codec
         from repro.protocols.errors import FaultCode
 
         message = str(exc) if exc else "server is at capacity; retry later"
@@ -423,11 +425,15 @@ class ClarensServer:
             response = HTTPResponse.error(429, message)
         else:
             try:
-                codec = detect_codec(request.body, request.content_type)
+                codec = detect_codec(request.body, request.content_type,
+                                     enabled=self.pipeline.enabled_protocols)
             except ProtocolError:
                 codec = default_codec()
-            body = codec.encode_response(RPCResponse.from_fault(
-                Fault(FaultCode.RETRY_LATER, message)))
+            # The shed message is constant per identity, so under a sustained
+            # overload burst this serves one pre-encoded body instead of
+            # re-encoding the identical fault per refused request.
+            body = encode_fault_cached(
+                codec, Fault(FaultCode.RETRY_LATER, message))
             response = HTTPResponse(
                 status=429, headers=Headers({"Content-Type": codec.content_type}),
                 body=body)
@@ -446,7 +452,7 @@ class ClarensServer:
                 str(self.credential.certificate.subject) if self.credential else ""),
             "services": self.registry.modules(),
             "methods": self.registry.list_methods(),
-            "protocols": ["xml-rpc", "soap", "json-rpc"],
+            "protocols": list(self.config.protocols()),
             "started_at": self.started_at,
         }
 

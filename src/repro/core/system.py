@@ -69,7 +69,7 @@ class SystemService(ClarensService):
             "server_name": config.server_name,
             "host_dn": config.host_dn or "",
             "url_prefix": config.url_prefix,
-            "protocols": ["xml-rpc", "soap", "json-rpc"],
+            "protocols": list(config.protocols()),
             "services": self.server.registry.modules(),
             "version": "1.0.0",
             "time": time.time(),

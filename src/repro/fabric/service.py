@@ -181,7 +181,12 @@ class FabricService(ClarensService):
         credential = self.server.credential
 
         def factory() -> "ClarensClient":
-            client = ClarensClient.for_url(url, url_prefix=prefix)
+            # Fabric channels negotiate the binary codec: peer traffic
+            # (gossip, catalogue sync, remote storage reads) upgrades when
+            # the other side enables it and falls back to XML-RPC against
+            # older or paper-mode peers.
+            client = ClarensClient.for_url(url, url_prefix=prefix,
+                                           negotiate=True)
             if credential is not None:
                 # Config-driven peers authenticate with this server's host
                 # credential — the natural machine identity; register its DN

@@ -80,7 +80,8 @@ class AsyncHTTPServer:
                  executor_workers: int = 8, max_connections: int = 0,
                  gate: Gate | None = None,
                  overload_handler: OverloadHandler | None = None,
-                 access_log: AccessLog | None = None) -> None:
+                 access_log: AccessLog | None = None,
+                 sendfile_enabled: bool = True) -> None:
         if executor_workers < 0:
             raise ValueError("executor_workers cannot be negative")
         if max_connections < 0:
@@ -93,6 +94,9 @@ class AsyncHTTPServer:
         self.gate = gate
         self.overload_handler = overload_handler or _default_overload
         self.access_log = access_log or AccessLog()
+        #: Try ``loop.sendfile`` for FilePayload bodies before falling back
+        #: to executor-offloaded chunked copies.
+        self.sendfile_enabled = sendfile_enabled
         # Bind eagerly, like the threaded server, so ``address`` is valid
         # (and port collisions surface) before the loop thread exists.
         self._sock = socket.create_server((host, port), backlog=128)
@@ -110,6 +114,7 @@ class AsyncHTTPServer:
         self.requests_served = 0
         self.requests_rejected = 0
         self.batches_served = 0
+        self.sendfile_sends = 0
 
     # -- lifecycle -----------------------------------------------------------
     @property
@@ -358,8 +363,29 @@ class AsyncHTTPServer:
 
     async def _stream_file(self, writer: asyncio.StreamWriter,
                            payload: FilePayload) -> None:
-        chunks = payload.chunks()
         loop = asyncio.get_running_loop()
+        if payload.length <= 0:
+            return
+        if self.sendfile_enabled:
+            # Zero-copy fast path: hand the file descriptor to the event
+            # loop's sendfile (head bytes were already written and drained).
+            # ``fallback=False`` keeps a loop without sendfile support from
+            # silently buffering the whole file; we fall through to the
+            # executor-offloaded chunked path instead.
+            try:
+                with open(payload.path, "rb") as fh:
+                    await loop.sendfile(writer.transport, fh,
+                                        offset=payload.offset,
+                                        count=payload.length, fallback=False)
+                self.sendfile_sends += 1
+                return
+            except (asyncio.SendfileNotAvailableError, NotImplementedError,
+                    AttributeError, RuntimeError):
+                # No native sendfile on this loop/transport (or the
+                # transport is mid-close): the chunked path below either
+                # serves the bytes or surfaces the connection error.
+                pass
+        chunks = payload.chunks()
         while True:
             if self._executor is None:
                 chunk = next(chunks, b"")

@@ -100,8 +100,16 @@ class _ConnectionHandler(socketserver.StreamRequestHandler):
         try:
             self.wfile.write(head)
             if isinstance(body, FilePayload):
-                self.wfile.flush()
-                body.sendfile_to(self.connection)
+                if owner.sendfile_enabled:
+                    # Kernel-to-kernel: flush the buffered head, then hand
+                    # the file descriptor pair to os.sendfile (FilePayload
+                    # falls back to chunked copies where it is unavailable).
+                    self.wfile.flush()
+                    body.sendfile_to(self.connection)
+                    owner.sendfile_sends += 1
+                else:
+                    for chunk in body.chunks():
+                        self.wfile.write(chunk)
             elif body:
                 self.wfile.write(body)
             self.wfile.flush()
@@ -165,11 +173,16 @@ class SocketHTTPServer:
 
     def __init__(self, handler: Handler, *, host: str = "127.0.0.1", port: int = 0,
                  keep_alive: bool = True, request_timeout: float = 30.0,
-                 access_log: AccessLog | None = None) -> None:
+                 access_log: AccessLog | None = None,
+                 sendfile_enabled: bool = True) -> None:
         self.handler = handler
         self.keep_alive = keep_alive
         self.request_timeout = request_timeout
         self.access_log = access_log or AccessLog()
+        #: Serve FilePayload bodies via os.sendfile (chunked writes when off).
+        self.sendfile_enabled = sendfile_enabled
+        #: File responses that went through the sendfile fast path.
+        self.sendfile_sends = 0
         self._server = _TCPServer((host, port), _ConnectionHandler, bind_and_activate=True)
         self._server.owner = self  # type: ignore[attr-defined]
         self._thread: threading.Thread | None = None

@@ -17,9 +17,12 @@ protocols on a single endpoint.
 
 from __future__ import annotations
 
+from repro.protocols.binary import BinaryCodec
 from repro.protocols.errors import Fault, ProtocolError
 from repro.protocols.jsonrpc import JSONRPCCodec
-from repro.protocols.negotiate import codec_for_content_type, detect_codec, default_codec
+from repro.protocols.negotiate import (
+    ACCEPT_HEADER, PROTOCOL_HEADER, all_codecs, codec_by_name,
+    codec_for_content_type, default_codec, detect_codec, parse_protocol_list)
 from repro.protocols.soap import SOAPCodec
 from repro.protocols.types import RPCRequest, RPCResponse
 from repro.protocols.xmlrpc import XMLRPCCodec
@@ -32,7 +35,13 @@ __all__ = [
     "XMLRPCCodec",
     "SOAPCodec",
     "JSONRPCCodec",
+    "BinaryCodec",
     "codec_for_content_type",
     "detect_codec",
     "default_codec",
+    "all_codecs",
+    "codec_by_name",
+    "parse_protocol_list",
+    "PROTOCOL_HEADER",
+    "ACCEPT_HEADER",
 ]

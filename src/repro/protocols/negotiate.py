@@ -1,28 +1,55 @@
 """Protocol negotiation.
 
-A single Clarens endpoint serves XML-RPC, SOAP and JSON-RPC POST bodies.  The
-server selects a codec from the request's Content-Type header when it is
-specific enough, and otherwise sniffs the body (a JSON object, a SOAP
-envelope, or an XML-RPC ``<methodCall>``).
+A single Clarens endpoint serves XML-RPC, SOAP, JSON-RPC and binary POST
+bodies.  The server selects a codec from the request's Content-Type header
+when it is specific enough, and otherwise sniffs the body (a binary magic
+prefix, a JSON object, a SOAP envelope, or an XML-RPC ``<methodCall>``).
+
+Codec *upgrade* rides two headers.  A client that is willing to speak a
+faster protocol sends ``X-Clarens-Accept-Protocol: binary`` with every RPC;
+a server that saw that header answers with
+``X-Clarens-Protocols: <its enabled codec list>``.  Once the client observes
+a protocol it prefers in the advert it switches its request codec; if a
+later response proves the server stopped understanding it (restart into an
+older build), the client falls back to XML-RPC and retries.  Servers
+restrict the codecs they accept through ``ServerConfig.protocol_preference``
+(the ``enabled`` argument below), so paper-mode deployments are bit-for-bit
+unchanged unless both ends opt in.
 """
 
 from __future__ import annotations
 
+from repro.protocols import binary as _binary_module
+from repro.protocols.binary import BinaryCodec
 from repro.protocols.errors import ProtocolError
 from repro.protocols.jsonrpc import JSONRPCCodec
 from repro.protocols.soap import SOAPCodec
 from repro.protocols.xmlrpc import XMLRPCCodec
 
-__all__ = ["codec_for_content_type", "detect_codec", "default_codec", "all_codecs"]
+__all__ = [
+    "codec_for_content_type", "detect_codec", "default_codec", "all_codecs",
+    "codec_by_name", "parse_protocol_list",
+    "PROTOCOL_HEADER", "ACCEPT_HEADER",
+]
+
+#: Response header: the codecs a server is willing to accept, in preference
+#: order, e.g. ``xml-rpc,soap,json-rpc,binary``.  Only sent when the request
+#: carried :data:`ACCEPT_HEADER`, so paper-mode traffic is byte-unchanged.
+PROTOCOL_HEADER = "X-Clarens-Protocols"
+
+#: Request header: the upgrade codec the client can speak (``binary``).
+ACCEPT_HEADER = "X-Clarens-Accept-Protocol"
 
 _XMLRPC = XMLRPCCodec()
 _SOAP = SOAPCodec()
 _JSONRPC = JSONRPCCodec()
+_BINARY = BinaryCodec()
 
 _BY_NAME = {
     _XMLRPC.name: _XMLRPC,
     _SOAP.name: _SOAP,
     _JSONRPC.name: _JSONRPC,
+    _BINARY.name: _BINARY,
 }
 
 
@@ -35,16 +62,34 @@ def default_codec() -> XMLRPCCodec:
 def all_codecs():
     """All codec singletons, XML-RPC first."""
 
-    return (_XMLRPC, _SOAP, _JSONRPC)
+    return (_XMLRPC, _SOAP, _JSONRPC, _BINARY)
 
 
 def codec_by_name(name: str):
-    """Look a codec up by its short name (``xml-rpc``, ``soap``, ``json-rpc``)."""
+    """Look a codec up by its short name (``xml-rpc``, ``binary``, ...)."""
 
     try:
         return _BY_NAME[name]
     except KeyError:
         raise ProtocolError(f"unknown protocol {name!r}") from None
+
+
+def parse_protocol_list(value: str) -> tuple[str, ...]:
+    """Parse a comma-separated codec-name list, validating every name.
+
+    Used both for ``ServerConfig.protocol_preference`` and for the
+    :data:`PROTOCOL_HEADER` advert a client receives.  Raises
+    :class:`ProtocolError` on unknown names and on an empty list.
+    """
+
+    names = tuple(part.strip() for part in value.split(",") if part.strip())
+    if not names:
+        raise ProtocolError("protocol list is empty")
+    for name in names:
+        if name not in _BY_NAME:
+            raise ProtocolError(
+                f"unknown protocol {name!r} (known: {', '.join(sorted(_BY_NAME))})")
+    return names
 
 
 def codec_for_content_type(content_type: str | None):
@@ -63,16 +108,37 @@ def codec_for_content_type(content_type: str | None):
         return _SOAP
     if mime in ("application/xml-rpc",):
         return _XMLRPC
+    if mime in (_BINARY.content_type,):
+        return _BINARY
     return None
 
 
-def detect_codec(body: bytes, content_type: str | None = None):
-    """Pick the codec for a request body, raising ProtocolError when impossible."""
+def detect_codec(body: bytes, content_type: str | None = None,
+                 enabled: tuple[str, ...] | None = None):
+    """Pick the codec for a request body, raising ProtocolError when impossible.
 
+    ``enabled`` restricts the accepted codec names (a server's
+    ``protocol_preference``); a recognisable body in a disabled protocol is
+    rejected with a clean :class:`ProtocolError` instead of being decoded.
+    """
+
+    codec = _detect(body, content_type)
+    if enabled is not None and codec.name not in enabled:
+        raise ProtocolError(
+            f"protocol {codec.name!r} is not enabled on this server "
+            f"(enabled: {', '.join(enabled)})")
+    return codec
+
+
+def _detect(body: bytes, content_type: str | None):
     codec = codec_for_content_type(content_type)
     if codec is not None:
         return codec
+    if isinstance(body, str):
+        body = body.encode("utf-8", "replace")
     head = body.lstrip()[:256]
+    if head.startswith(_binary_module.MAGIC):
+        return _BINARY
     if head.startswith(b"{"):
         return _JSONRPC
     if b"Envelope" in head and (b"soap" in head.lower() or b"envelope" in head.lower()):

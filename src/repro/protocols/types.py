@@ -58,6 +58,22 @@ class RPCRequest:
         for param in self.params:
             validate_value(param)
 
+    @classmethod
+    def from_wire(cls, method: str, params: tuple, call_id: Any) -> "RPCRequest":
+        """Construct from decoder output without re-validating the tree.
+
+        Only for codecs whose decoder is constructive — it can *only* produce
+        model types within the nesting cap (the binary decoder), so the
+        per-value validation walk would re-prove what the decode already
+        established.  ``method`` must be non-empty and ``params`` a tuple.
+        """
+
+        request = cls.__new__(cls)
+        request.method = method
+        request.params = params
+        request.call_id = call_id
+        return request
+
 
 @dataclass
 class RPCResponse:
@@ -87,5 +103,19 @@ class RPCResponse:
         return cls(result=None, fault=fault, call_id=call_id)
 
     @classmethod
-    def from_result(cls, result: Any, call_id: Any = None) -> "RPCResponse":
-        return cls(result=result, fault=None, call_id=call_id)
+    def from_result(cls, result: Any, call_id: Any = None, *,
+                    validate: bool = True) -> "RPCResponse":
+        """Wrap a result value, validating it against the type model.
+
+        ``validate=False`` skips the per-value walk; callers may only pass it
+        when the result is valid by construction — a constructive decoder's
+        output, or a pipeline whose codec validates during encoding anyway.
+        """
+
+        if validate:
+            return cls(result=result, fault=None, call_id=call_id)
+        response = cls.__new__(cls)
+        response.result = result
+        response.fault = None
+        response.call_id = call_id
+        return response

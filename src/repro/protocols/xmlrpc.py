@@ -174,6 +174,32 @@ class XMLRPCCodec:
                 params.append(_decode_value(value_el))
         return RPCRequest(method=(name_el.text or "").strip(), params=params)
 
+    def encode_multicall(self, calls, call_id: Any = None) -> bytes:
+        """Serialise a ``system.multicall`` batch straight into one body.
+
+        Byte-identical to :meth:`encode_request` over the equivalent
+        ``[{"methodName": ..., "params": [...]}]`` entry list, but writes
+        the boilerplate fragments directly instead of building and
+        re-validating the intermediate dicts.
+        """
+
+        out: list[str] = [
+            "<?xml version='1.0'?>",
+            "<methodCall><methodName>system.multicall</methodName><params>",
+            "<param><value><array><data>",
+        ]
+        for method, params in calls:
+            out.append("<value><struct><member><name>methodName</name>")
+            out.append(f"<value><string>{_escape(method)}</string></value>")
+            out.append("</member><member><name>params</name>")
+            out.append("<value><array><data>")
+            for param in params:
+                validate_value(param)
+                _encode_value(param, out)
+            out.append("</data></array></value></member></struct></value>")
+        out.append("</data></array></value></param></params></methodCall>")
+        return "".join(out).encode("utf-8")
+
     # -- responses -----------------------------------------------------------
     def encode_response(self, response: RPCResponse) -> bytes:
         out: list[str] = ["<?xml version='1.0'?>", "<methodResponse>"]

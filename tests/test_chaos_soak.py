@@ -134,6 +134,11 @@ class TestSoakConfig:
             SoakConfig(chaos_duration=0)
         with pytest.raises(ConfigError):
             SoakConfig(chaos_fault_kinds="meteor")
+        with pytest.raises(ConfigError):
+            SoakConfig(chaos_protocol="carrier-pigeon")
+
+    def test_protocol_knob_accepts_binary(self):
+        assert SoakConfig(chaos_protocol="binary").chaos_protocol == "binary"
 
     def test_seed_resolution_order(self, monkeypatch):
         monkeypatch.setenv("REPRO_TEST_SEED", "4242")

@@ -43,7 +43,8 @@ class TestIntrospection:
     def test_server_info(self, anon_client, server):
         info = anon_client.call("system.server_info")
         assert info["server_name"] == server.config.server_name
-        assert set(info["protocols"]) == {"xml-rpc", "soap", "json-rpc"}
+        assert set(info["protocols"]) == {"xml-rpc", "soap", "json-rpc",
+                                          "binary"}
 
     def test_echo_round_trips_structures(self, anon_client):
         payload = {"run": 2005, "files": ["a.root", "b.root"], "raw": b"\x00\x01"}

@@ -8,6 +8,7 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.protocols import (
+    BinaryCodec,
     Fault,
     JSONRPCCodec,
     ProtocolError,
@@ -22,7 +23,7 @@ from repro.protocols import (
 from repro.protocols.negotiate import all_codecs, codec_by_name
 from repro.protocols.types import validate_value
 
-CODECS = [XMLRPCCodec(), SOAPCodec(), JSONRPCCodec()]
+CODECS = [XMLRPCCodec(), SOAPCodec(), JSONRPCCodec(), BinaryCodec()]
 CODEC_IDS = [c.name for c in CODECS]
 
 SAMPLE_VALUES = [
@@ -177,7 +178,8 @@ class TestJSONRPCSpecifics:
 class TestNegotiation:
     def test_default_codec_is_xmlrpc(self):
         assert default_codec().name == "xml-rpc"
-        assert [c.name for c in all_codecs()] == ["xml-rpc", "soap", "json-rpc"]
+        assert [c.name for c in all_codecs()] == ["xml-rpc", "soap",
+                                                  "json-rpc", "binary"]
 
     @pytest.mark.parametrize("content_type,expected", [
         ("application/json", "json-rpc"),
@@ -280,6 +282,13 @@ def test_soap_round_trip_property(value):
 @given(_values)
 def test_jsonrpc_round_trip_property(value):
     codec = JSONRPCCodec()
+    assert codec.decode_response(codec.encode_response(RPCResponse.from_result(value))).result == value
+
+
+@settings(deadline=None, max_examples=60)
+@given(_values)
+def test_binary_round_trip_property(value):
+    codec = BinaryCodec()
     assert codec.decode_response(codec.encode_response(RPCResponse.from_result(value))).result == value
 
 
